@@ -1,0 +1,34 @@
+"""Benchmark regenerating Figure 2 (Section 2.2 motivation experiment)."""
+
+from repro.experiments.figures import fig02_motivation
+
+
+def test_fig02_motivation(run_figure):
+    result = run_figure("fig02_motivation", fig02_motivation)
+    by_panel_scheme = {
+        (row["panel"], row["scheme"]): row for row in result.rows
+    }
+    for panel in ("a:simplified_dla", "b:albert"):
+        smart = by_panel_scheme[(panel, "smart_mps_mig")]
+        mps_only = by_panel_scheme[(panel, "mps_only")]
+        no_sharing = by_panel_scheme[(panel, "no_mps_or_mig")]
+        mig_only = by_panel_scheme[(panel, "mig_only")]
+        # 'Smart' MPS+MIG clearly beats time sharing and plain MPS
+        # (paper: up to 98% more compliance, 72% less tail latency).
+        for row in (mps_only, mig_only, no_sharing):
+            assert smart["slo_%"] >= row["slo_%"] - 2.0
+            assert smart["p99_ms"] <= row["p99_ms"] + 10.0
+        # ...and is within noise of the best scheme overall.
+        best = max(r["slo_%"] for (p, _s), r in by_panel_scheme.items() if p == panel)
+        assert smart["slo_%"] >= best - 3.0
+        # Time sharing pays queueing, not interference.
+        assert no_sharing["queue_delay_ms"] > no_sharing["interference_ms"]
+        assert no_sharing["slo_%"] < 30.0
+        assert mig_only["slo_%"] < smart["slo_%"] - 20.0
+        # MPS Only shows substantial interference in its tail.
+        assert mps_only["interference_ms"] > 50.0
+    # ALBERT is hurt by MPS-only co-location far more than under 'Smart'
+    # isolation (paper: 0% vs ~98% compliance).
+    albert_mps = by_panel_scheme[("b:albert", "mps_only")]
+    albert_smart = by_panel_scheme[("b:albert", "smart_mps_mig")]
+    assert albert_smart["slo_%"] - albert_mps["slo_%"] >= 10.0

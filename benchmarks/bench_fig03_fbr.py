@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 3 (normalized FBRs + measured recovery)."""
+
+import pytest
+
+from repro.experiments.figures import fig03_fbr
+
+
+def test_fig03_fbr(run_figure):
+    result = run_figure("fig03_fbr", fig03_fbr)
+    rows = {row["model"]: row for row in result.rows}
+    assert len(rows) == 22
+    # Figure 3 shape: every LI bar below every HI bar; VHI above vision.
+    li = [r["fbr"] for r in rows.values() if r["category"] == "LI"]
+    hi = [r["fbr"] for r in rows.values() if r["category"] == "HI"]
+    vhi = [r["fbr"] for r in rows.values() if r["category"] == "VHI"]
+    assert max(li) < min(hi)
+    vision_mean = (sum(li) + sum(hi)) / (len(li) + len(hi))
+    vhi_mean = sum(vhi) / len(vhi)
+    assert vhi_mean / vision_mean == pytest.approx(1.59, abs=0.08)
+    # GPT-2 is the normalization peak.
+    assert rows["OpenAI GPT-2"]["normalized_fbr"] == 1.0
+    # Measured FBRs (profiling pipeline) recover the ground truth.
+    for row in rows.values():
+        if "measured_fbr" in row:
+            assert row["measured_fbr"] == pytest.approx(row["fbr"], abs=0.03)

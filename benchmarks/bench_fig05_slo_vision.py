@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 5 (SLO compliance, vision models)."""
+
+from repro.experiments.figures import fig05_slo_vision
+
+
+def test_fig05_slo_vision(run_figure):
+    result = run_figure("fig05_slo_vision", fig05_slo_vision)
+    for row in result.rows:
+        # PROTEAN dominates every model (paper: up to 62% more compliant).
+        for scheme in ("molecule", "naive_slicing", "infless_llama"):
+            assert row["protean_slo_%"] >= row[f"{scheme}_slo_%"] - 1.0
+        # PROTEAN itself stays highly compliant.
+        assert row["protean_slo_%"] >= 90.0
+    # Somewhere the gap over Molecule is large (paper: up to ~62pp).
+    gaps = [
+        row["protean_slo_%"] - row["molecule_slo_%"] for row in result.rows
+    ]
+    assert max(gaps) >= 20.0

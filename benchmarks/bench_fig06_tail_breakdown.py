@@ -1,0 +1,24 @@
+"""Benchmark regenerating Figure 6 (P99 latency breakdown)."""
+
+from repro.experiments.figures import fig06_tail_breakdown
+
+
+def test_fig06_tail_breakdown(run_figure):
+    result = run_figure("fig06_tail_breakdown", fig06_tail_breakdown)
+    by_key = {(row["model"], row["scheme"]): row for row in result.rows}
+    models = {row["model"] for row in result.rows}
+    for model in models:
+        protean = by_key[(model, "protean")]
+        infless = by_key[(model, "infless_llama")]
+        molecule = by_key[(model, "molecule")]
+        # INFless/Llama's tail carries far more interference than PROTEAN
+        # (paper: 47% less interference for VGG 19 under PROTEAN).
+        assert infless["interference_ms"] > protean["interference_ms"]
+        # Molecule's tail is queueing-dominated.
+        assert molecule["queue_delay_ms"] > molecule["interference_ms"]
+        # PROTEAN has the lowest P99 among the four schemes.
+        p99s = [
+            by_key[(model, s)]["p99_ms"]
+            for s in ("molecule", "naive_slicing", "infless_llama")
+        ]
+        assert protean["p99_ms"] <= min(p99s) * 1.1

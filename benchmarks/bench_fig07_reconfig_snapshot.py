@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 7 (dynamic geometry selection)."""
+
+from repro.experiments.figures import fig07_reconfig_snapshot
+
+
+def test_fig07_reconfig_snapshot(run_figure):
+    result = run_figure("fig07_reconfig_snapshot", fig07_reconfig_snapshot)
+    # The rotating BE model (including DPN 92) must trigger at least one
+    # geometry change during the window.
+    assert result.extra["reconfigurations"] >= 1
+    # The latency series exists and strict latency stays mostly in SLO.
+    series = result.extra["series"]
+    assert len(series) > 30
+    slo_ms = result.extra["slo_ms"]
+    within = sum(1 for point in series if point["p95_ms"] <= slo_ms)
+    assert within / len(series) >= 0.8

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 8 (latency CDF, SENet 18)."""
+
+from repro.experiments.figures import fig08_latency_cdf
+
+
+def test_fig08_latency_cdf(run_figure):
+    result = run_figure("fig08_latency_cdf", fig08_latency_cdf)
+    rows = {row["scheme"]: row for row in result.rows}
+    slo_ms = result.extra["slo_ms"]
+    # PROTEAN stays within the SLO through P99 (flat curve).
+    assert rows["protean"]["p99_ms"] <= slo_ms
+    assert rows["protean"]["within_slo_at_p99"]
+    # Molecule's curve rises progressively: far beyond the SLO at P99.
+    assert rows["molecule"]["p99_ms"] > slo_ms
+    # Monotone percentiles per scheme (sanity of the CDF).
+    for row in rows.values():
+        probes = [row[f"p{p}_ms"] for p in (50, 80, 90, 95, 99)]
+        assert probes == sorted(probes)
+    # Full curves available for plotting.
+    assert set(result.extra["curves"]) == set(rows)

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 10 (throughput and utilization)."""
+
+from repro.experiments.figures import fig10_throughput_util
+
+
+def test_fig10_throughput_util(run_figure):
+    result = run_figure("fig10_throughput_util", fig10_throughput_util)
+    cell = {(row["panel"], row["scheme"]): row for row in result.rows}
+    # (a) PROTEAN's strict throughput is at least on par with everyone
+    # (paper: up to 24% higher).
+    panel_a = "a:throughput"
+    protean_thru = cell[(panel_a, "protean")]["strict_rps_per_gpu"]
+    for scheme in ("molecule", "naive_slicing", "infless_llama"):
+        assert protean_thru >= cell[(panel_a, scheme)]["strict_rps_per_gpu"] * 0.98
+    # (b) Molecule's memory utilization is far below the MPS schemes
+    # (paper: 8% vs ~39-42%).
+    panel_b = "b:utilization"
+    molecule_mem = cell[(panel_b, "molecule")]["mem_util_%"]
+    for scheme in ("protean", "naive_slicing", "infless_llama"):
+        assert cell[(panel_b, scheme)]["mem_util_%"] > molecule_mem

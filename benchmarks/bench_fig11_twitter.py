@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 11 (erratic Twitter trace, MobileNet)."""
+
+from repro.experiments.figures import fig11_twitter
+
+
+def test_fig11_twitter(run_figure):
+    result = run_figure("fig11_twitter", fig11_twitter)
+    rows = {row["scheme"]: row for row in result.rows}
+    # PROTEAN achieves the highest compliance under surges (paper: 99.90%).
+    for scheme in ("molecule", "naive_slicing", "infless_llama"):
+        assert rows["protean"]["slo_%"] >= rows[scheme]["slo_%"] - 0.5
+    assert rows["protean"]["slo_%"] >= 90.0
+    # PROTEAN's tail is far below the surge-hit MPS-only and time-share
+    # schemes (the paper attributes this to reordering cutting queueing
+    # by ~69% versus INFless/Llama).
+    assert rows["protean"]["p99_ms"] <= rows["infless_llama"]["p99_ms"]
+    assert rows["protean"]["p99_ms"] <= rows["molecule"]["p99_ms"]

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 12 (VHI / LLM models)."""
+
+from repro.experiments.figures import fig12_vhi
+
+
+def test_fig12_vhi(run_figure):
+    result = run_figure("fig12_vhi", fig12_vhi)
+    # PROTEAN (almost) always wins — paper: up to ~93% more compliance.
+    for row in result.rows:
+        for scheme in ("molecule", "naive_slicing", "infless_llama"):
+            assert row["protean_slo_%"] >= row[f"{scheme}_slo_%"] - 2.0
+    # INFless/Llama is the worst-affected on average (paper mean: 5.92%).
+    infless_mean = sum(r["infless_llama_slo_%"] for r in result.rows) / len(
+        result.rows
+    )
+    protean_mean = sum(r["protean_slo_%"] for r in result.rows) / len(
+        result.rows
+    )
+    assert infless_mean < protean_mean - 20.0
+    assert infless_mean < 60.0

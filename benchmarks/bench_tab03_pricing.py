@@ -1,0 +1,19 @@
+"""Benchmark regenerating Table 3 (spot vs on-demand pricing)."""
+
+import pytest
+
+from repro.experiments.figures import tab03_pricing
+
+
+def test_tab03_pricing(run_figure):
+    result = run_figure("tab03_pricing", tab03_pricing)
+    by_provider = {row["provider"]: row for row in result.rows}
+    assert by_provider["AWS"]["savings_%"] == pytest.approx(69.99, abs=0.05)
+    assert by_provider["Microsoft Azure"]["savings_%"] == pytest.approx(
+        45.01, abs=0.05
+    )
+    assert by_provider["Google Cloud"]["savings_%"] == pytest.approx(
+        70.70, abs=0.05
+    )
+    # Paper: savings up to ~71% versus on-demand.
+    assert max(r["savings_%"] for r in result.rows) <= 71.0

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Table 5 (100% best-effort case)."""
+
+from repro.experiments.figures import tab05_all_be
+
+
+def test_tab05_all_be(run_figure):
+    result = run_figure("tab05_all_be", tab05_all_be)
+    rows = {row["scheme"]: row for row in result.rows}
+    # PROTEAN's median BE latency matches or beats the other spatial
+    # schemes (paper: best overall at 35 ms; Molecule's time-shared
+    # single-batch service wins the median at this load in our model —
+    # see EXPERIMENTS.md).
+    for scheme in ("naive_slicing", "infless_llama"):
+        assert rows["protean"]["be_p50_ms"] <= rows[scheme]["be_p50_ms"] + 1.0
+    # But PROTEAN's P99 is NOT the best — it deprioritizes BE requests
+    # (paper: others beat it by up to 28% at the tail).
+    best_other_p99 = min(
+        rows[s]["be_p99_ms"]
+        for s in ("molecule", "naive_slicing", "infless_llama")
+    )
+    assert rows["protean"]["be_p99_ms"] >= best_other_p99 * 0.95

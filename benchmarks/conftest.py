@@ -1,0 +1,44 @@
+"""Benchmark fixtures: run figures once, save tables under results/."""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def save_figure():
+    """Persist a FigureResult's table to results/<figure-id>.txt."""
+
+    def _save(figure_id, result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{figure_id}.txt"
+        text = result.table()
+        extras = getattr(result, "render_extras", lambda: "")()
+        if extras:
+            text += "\n\n" + extras
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save
+
+
+@pytest.fixture
+def run_figure(benchmark, save_figure):
+    """Benchmark one figure module's quick run and save its table."""
+
+    def _run(figure_id, module):
+        result = benchmark.pedantic(
+            lambda: module.run(quick=True), rounds=1, iterations=1
+        )
+        save_figure(figure_id, result)
+        return result
+
+    return _run
+
+
+def column(rows, name):
+    """Extract one column from FigureResult rows."""
+    return [row[name] for row in rows]

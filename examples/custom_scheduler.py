@@ -1,0 +1,112 @@
+"""Extending the platform: write your own scheduling scheme.
+
+The platform is scheme-agnostic — a scheme is just (a) an initial MIG
+geometry, (b) a sharing mode, and (c) a per-node scheduler with two
+hooks: queue ordering and slice placement. This example implements a
+"least-occupied slice" scheduler from scratch, registers nothing anywhere
+(schemes are plain objects), and races it against PROTEAN.
+
+Usage::
+
+    python examples/custom_scheduler.py
+"""
+
+from typing import Optional
+
+from repro.experiments import ExperimentConfig, build_specs, run_scheme
+from repro.experiments.runner import run_comparison
+from repro.gpu import GEOMETRY_4G_3G, Geometry, ShareMode
+from repro.metrics import format_table
+from repro.serverless import (
+    NodeScheduler,
+    Placement,
+    PlatformConfig,
+    RequestBatch,
+    Scheme,
+    ServerlessPlatform,
+)
+from repro.cluster.pricing import VMTier
+from repro.simulation import Simulator
+
+
+class LeastOccupiedScheduler(NodeScheduler):
+    """Place every batch on the slice with the fewest running jobs."""
+
+    def _place(self, batch: RequestBatch) -> Optional[Placement]:
+        candidates = [
+            s
+            for s in self.node.gpu.slices
+            if self.fits_now(batch, s)
+        ]
+        if not candidates:
+            return None
+        target = min(candidates, key=lambda s: len(s.running_jobs))
+        return self.standard_placement(batch, target)
+
+
+class LeastOccupiedScheme(Scheme):
+    """Static (4g, 3g) + MPS + least-occupied placement."""
+
+    name = "least_occupied"
+    share_mode = ShareMode.MPS
+
+    def initial_geometry(self) -> Geometry:
+        return GEOMETRY_4G_3G
+
+    def create_scheduler(self, platform, node, pool) -> LeastOccupiedScheduler:
+        return LeastOccupiedScheduler(
+            platform.sim, node, pool, platform.record_batch_completion
+        )
+
+
+def run_custom(config: ExperimentConfig) -> dict:
+    """Drive the custom scheme through the raw platform API."""
+    specs = build_specs(config)
+    sim = Simulator(config.seed)
+    platform = ServerlessPlatform(
+        sim, LeastOccupiedScheme(), PlatformConfig(n_nodes=config.n_nodes)
+    )
+    platform.provision_initial(VMTier.ON_DEMAND)
+    platform.inject(specs)
+    sim.run(until=config.duration + config.drain)
+    platform.finalize()
+    strict = [
+        r
+        for r in platform.collector.strict()
+        if config.warmup <= r.arrival < config.duration
+    ]
+    met = sum(1 for r in strict if r.slo_met)
+    import numpy as np
+
+    return {
+        "scheme": "least_occupied (custom)",
+        "slo_%": round(100.0 * met / max(len(strict), 1), 2),
+        "strict_p99_ms": round(
+            float(np.percentile([r.latency for r in strict], 99)) * 1000, 1
+        ),
+    }
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        strict_model="resnet50", trace="wiki", duration=90.0, warmup=30.0
+    )
+    rows = [run_custom(config)]
+    for name, result in run_comparison(["naive_slicing", "protean"], config).items():
+        rows.append(
+            {
+                "scheme": name,
+                "slo_%": round(result.summary.slo_percent, 2),
+                "strict_p99_ms": round(result.summary.strict_p99 * 1000, 1),
+            }
+        )
+    print(format_table(rows, title="Custom scheme vs built-ins"))
+    print(
+        "\nLeast-occupied placement balances job counts but ignores both "
+        "strictness and the slowdown model — PROTEAN's Eq. 2 placement "
+        "should match or beat it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Offline MIG geometry planning with the analytic sweep API.
+
+Given an expected workload mix, sweep every valid A100 geometry and rank
+them by expected strict-request slowdown — the "multiple offline
+configuration/scheduling sweeps" the paper's Oracle performs, exposed as
+a library call. Also shows the same decision on an H100-80GB, where the
+doubled slice memory changes which geometries are feasible.
+
+Usage::
+
+    python examples/geometry_planning.py
+"""
+
+from repro.gpu import H100_80GB, enumerate_geometries
+from repro.gpu.planner import BatchStream, best_geometry, evaluate_geometry
+from repro.metrics import format_table
+from repro.workloads import get_model
+
+
+def main() -> None:
+    streams = [
+        BatchStream(get_model("vgg19"), batches_per_second=4.0, strict=True),
+        BatchStream(get_model("mobilenet"), batches_per_second=6.0, strict=False),
+        BatchStream(get_model("dpn92"), batches_per_second=2.0, strict=False),
+    ]
+    print(
+        "Workload: strict VGG 19 @4 batches/s, BE MobileNet @6 + DPN 92 @2\n"
+    )
+
+    rows = []
+    for geometry in enumerate_geometries():
+        evaluation = evaluate_geometry(geometry, streams)
+        rows.append(
+            {
+                "geometry": repr(geometry),
+                "eta_mean": round(evaluation.strict_slowdown, 3),
+                "feasible": evaluation.feasible,
+            }
+        )
+    rows.sort(key=lambda r: r["eta_mean"])
+    print(format_table(rows[:8], title="Top geometries by expected strict slowdown"))
+
+    winner = best_geometry(streams)
+    print(f"\nPlanner pick: {winner.geometry!r} (η̄={winner.strict_slowdown:.3f})")
+    print("Placements:")
+    for model, slices in winner.placements.items():
+        print(f"  {model:12s} -> {', '.join(slices) or '(nowhere!)'}")
+
+    print("\nSame sweep, H100-80GB slice capacities:")
+    # The planner reads capacities from the profiles carried by slices;
+    # for an offline what-if we evaluate with H100 profiles directly.
+    from repro.gpu.device_models import geometry_profiles
+    from repro.gpu.mig import GEOMETRY_4G_2G_1G
+
+    a100 = [p.memory_gb for p in GEOMETRY_4G_2G_1G.profiles]
+    h100 = [p.memory_gb for p in geometry_profiles(GEOMETRY_4G_2G_1G.kinds, H100_80GB)]
+    print(f"  (4g,2g,1g) slice memory: A100 {a100} GB  vs  H100 {h100} GB")
+    print(
+        "  On H100 the DPN 92 stream (11 GB/batch) fits the 2g slice, so\n"
+        "  BE packing no longer spills into the strict slices."
+    )
+
+
+if __name__ == "__main__":
+    main()

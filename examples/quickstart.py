@@ -1,0 +1,42 @@
+"""Quickstart: compare PROTEAN against a baseline in ~20 seconds.
+
+Runs PROTEAN and the INFless/Llama serving policy on the same request
+stream (ResNet-50 strict requests, rotating low-interference best-effort
+models, Wiki-like diurnal trace on an 8-GPU cluster) and prints the
+headline metrics the paper reports: SLO compliance, tail latency, and
+GPU/memory utilization.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.experiments import ExperimentConfig, run_comparison
+from repro.metrics import format_table
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        strict_model="resnet50",
+        trace="wiki",
+        duration=60.0,
+        warmup=20.0,
+        n_nodes=8,
+        seed=7,
+    )
+    results = run_comparison(["infless_llama", "protean"], config)
+    rows = [result.summary.row() for result in results.values()]
+    print(format_table(rows, title="PROTEAN vs INFless/Llama (ResNet 50)"))
+    protean = results["protean"].summary
+    infless = results["infless_llama"].summary
+    print(
+        f"\nPROTEAN meets the SLO for {protean.slo_percent:.2f}% of strict "
+        f"requests vs {infless.slo_percent:.2f}% for INFless/Llama "
+        f"({protean.slo_percent - infless.slo_percent:+.2f} pp), with "
+        f"{(1 - protean.strict_p99 / infless.strict_p99) * 100:.0f}% lower "
+        "P99 latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

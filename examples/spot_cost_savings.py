@@ -1,0 +1,55 @@
+"""Spot-market cost optimization (the paper's Figure 9 scenario).
+
+Runs the same PROTEAN workload under three hosting policies — on-demand
+only, PROTEAN's hybrid spot+on-demand, and aggressive spot-only — across
+the paper's three spot-availability regimes, and prints dollar cost,
+savings, and the SLO compliance each policy sustains.
+
+Usage::
+
+    python examples/spot_cost_savings.py
+"""
+
+from repro.experiments import ExperimentConfig, run_scheme
+from repro.metrics import format_table
+
+POLICIES = ("on_demand_only", "hybrid", "spot_only")
+AVAILABILITY = ("high", "moderate", "low")
+
+
+def main() -> None:
+    rows = []
+    for availability in AVAILABILITY:
+        for policy in POLICIES:
+            config = ExperimentConfig(
+                strict_model="resnet50",
+                trace="constant",
+                duration=90.0,
+                warmup=20.0,
+                procurement=policy,
+                spot_availability=availability,
+                spot_check_interval=30.0,
+            )
+            result = run_scheme("protean", config)
+            summary = result.summary
+            rows.append(
+                {
+                    "availability": availability,
+                    "policy": policy,
+                    "slo_%": round(summary.slo_percent, 2),
+                    "cost_$": round(summary.total_cost, 4),
+                    "savings_%": round(summary.cost_savings_fraction * 100, 1),
+                    "evictions": result.extras["evictions"],
+                    "nodes_at_end": result.extras["nodes_at_end"],
+                }
+            )
+    print(format_table(rows, title="Hosting policy x spot availability"))
+    print(
+        "\nHybrid hosting banks the spot discount whenever the market has "
+        "capacity, but never sacrifices SLO compliance to get it — the "
+        "spot-only policy does, collapsing under low availability."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""PROTEAN reproduction — SLO-compliant, cost-effective GPU serverless.
+
+A faithful, simulation-backed reproduction of *"Towards SLO-Compliant and
+Cost-Effective Serverless Computing on Emerging GPU Architectures"*
+(MIDDLEWARE 2024). The package provides:
+
+- ``repro.simulation`` — deterministic discrete-event kernel;
+- ``repro.gpu``        — MIG/MPS substrate and the paper's slowdown model;
+- ``repro.workloads``  — the 22 ML inference workload profiles;
+- ``repro.traces``     — Wiki-like / Twitter-like request trace generators;
+- ``repro.cluster``    — worker nodes, spot market, pricing, cost model;
+- ``repro.serverless`` — gateway, dispatcher, containers, batching;
+- ``repro.core``       — the PROTEAN policies (reordering, autoscaling,
+  job distribution, GPU reconfiguration, cost-aware procurement);
+- ``repro.baselines``  — Molecule(beta), INFless/Llama, Naïve Slicing,
+  GPUlet, Oracle, and Spot-Only comparison schemes;
+- ``repro.metrics``    — SLO compliance, tail latency breakdowns, cost;
+- ``repro.experiments``— runners reproducing every evaluation figure/table.
+
+Quickstart::
+
+    from repro.experiments import run_scheme, ExperimentConfig
+
+    config = ExperimentConfig(strict_model="resnet50", duration=120.0)
+    result = run_scheme("protean", config)
+    print(result.summary.slo_percent, result.summary.strict_p99)
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,15 @@
+"""Analytic models for cross-validating the simulation substrate."""
+
+from repro.analysis.queueing import (
+    MG1Prediction,
+    consolidation_breakeven,
+    mg1,
+    mps_effective_capacity,
+)
+
+__all__ = [
+    "MG1Prediction",
+    "consolidation_breakeven",
+    "mg1",
+    "mps_effective_capacity",
+]

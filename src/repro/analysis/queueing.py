@@ -1,0 +1,102 @@
+"""Analytic queueing models for cross-validating the simulator.
+
+Time-sharing schemes (Molecule(beta), "MIG Only") are single-server FIFO
+queues, so classical results predict their behaviour in closed form. The
+tests compare these predictions against the discrete-event simulator —
+an independent check that the substrate's queueing dynamics are right,
+not just internally consistent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class MG1Prediction:
+    """Steady-state M/G/1 quantities (times in seconds)."""
+
+    utilization: float
+    mean_wait: float
+    mean_response: float
+
+    def response_percentile(self, q: float) -> float:
+        """Approximate response-time percentile.
+
+        Uses the standard exponential-tail approximation for the waiting
+        time of a stable M/G/1 (exact for M/M/1): the q-th percentile of
+        response ≈ service mean + mean_wait × ln(1/(1−q)) / ρ-correction.
+        Good to tens of percent below ρ ≈ 0.9, which is all the
+        cross-validation needs.
+        """
+        if not 0.0 < q < 1.0:
+            raise SchedulingError("percentile must lie in (0, 1)")
+        if self.utilization >= 1.0:
+            return math.inf
+        service_mean = self.mean_response - self.mean_wait
+        if self.mean_wait <= 0:
+            return service_mean
+        # P(W > t) ≈ ρ·exp(−t/w̄_cond), with w̄_cond the conditional wait.
+        conditional_wait = self.mean_wait / self.utilization
+        tail = (1.0 - q) / self.utilization
+        if tail >= 1.0:
+            return service_mean
+        return service_mean + conditional_wait * math.log(1.0 / tail)
+
+
+def mg1(
+    arrival_rate: float, service_mean: float, service_scv: float = 0.0
+) -> MG1Prediction:
+    """Pollaczek–Khinchine mean-value analysis of an M/G/1 queue.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Poisson arrival rate (jobs per second).
+    service_mean:
+        Mean service time, seconds.
+    service_scv:
+        Squared coefficient of variation of service time (0 for
+        deterministic service, 1 for exponential).
+    """
+    if arrival_rate < 0 or service_mean <= 0 or service_scv < 0:
+        raise SchedulingError("invalid M/G/1 parameters")
+    rho = arrival_rate * service_mean
+    if rho >= 1.0:
+        return MG1Prediction(rho, math.inf, math.inf)
+    mean_wait = rho * service_mean * (1.0 + service_scv) / (2.0 * (1.0 - rho))
+    return MG1Prediction(rho, mean_wait, mean_wait + service_mean)
+
+
+def mps_effective_capacity(
+    mean_fbr: float, concurrency: float
+) -> float:
+    """Effective service capacity of an MPS-shared GPU, in solo-work/s.
+
+    With ``concurrency`` co-resident jobs of mean slice-relative FBR
+    ``mean_fbr``, each job runs ``max(concurrency × mean_fbr, 1)`` times
+    slower (Eq. 1), so the GPU completes
+    ``concurrency / max(concurrency × mean_fbr, 1)`` units of solo work
+    per second — the quantity that saturates as consolidation deepens
+    (the INFless/Llama failure mode).
+    """
+    if mean_fbr < 0 or concurrency <= 0:
+        raise SchedulingError("invalid MPS capacity parameters")
+    factor = max(concurrency * mean_fbr, 1.0)
+    return concurrency / factor
+
+
+def consolidation_breakeven(mean_fbr: float) -> float:
+    """Concurrency beyond which adding co-residents stops helping.
+
+    For mean FBR ``f``, throughput grows linearly until ``n·f = 1`` and
+    is flat at ``1/f`` afterwards; the breakeven is ``1/f``. INFless's
+    packing past this point buys latency without throughput — exactly the
+    paper's "consolidate excessive workload batches" critique.
+    """
+    if mean_fbr <= 0:
+        return math.inf
+    return 1.0 / mean_fbr

@@ -1,0 +1,45 @@
+"""Comparison schemes: the request-serving policies of prior frameworks.
+
+Per Section 5 of the paper:
+
+- :class:`MoleculeBetaScheme` — time sharing only (no MPS, no MIG);
+- :class:`InflessLlamaScheme` — MPS-only consolidation on the whole GPU;
+- :class:`NaiveSlicingScheme` — static MIG slices + MPS, memory-balanced,
+  strictness-agnostic;
+- :class:`GpuletScheme` — strategic MPS with SM-percentage caps;
+- :class:`OracleScheme` — PROTEAN with offline-perfect configuration.
+
+Spot-Only is a procurement mode, not a scheduling scheme — see
+:class:`repro.core.procurement.ProcurementMode`.
+"""
+
+from repro.baselines.gpulet import (
+    DEFAULT_BE_SM_FRACTION,
+    DEFAULT_STRICT_SM_FRACTION,
+    GpuletScheduler,
+    GpuletScheme,
+)
+from repro.baselines.infless_llama import InflessLlamaScheduler, InflessLlamaScheme
+from repro.baselines.molecule import MoleculeBetaScheme, MoleculeScheduler
+from repro.baselines.naive_slicing import NaiveSlicingScheduler, NaiveSlicingScheme
+from repro.baselines.oracle import (
+    GeometryPlan,
+    OracleScheme,
+    PlannedReconfigurator,
+)
+
+__all__ = [
+    "DEFAULT_BE_SM_FRACTION",
+    "DEFAULT_STRICT_SM_FRACTION",
+    "GeometryPlan",
+    "GpuletScheduler",
+    "GpuletScheme",
+    "InflessLlamaScheduler",
+    "InflessLlamaScheme",
+    "MoleculeBetaScheme",
+    "MoleculeScheduler",
+    "NaiveSlicingScheduler",
+    "NaiveSlicingScheme",
+    "OracleScheme",
+    "PlannedReconfigurator",
+]

@@ -1,0 +1,103 @@
+"""GPUlet: strategic MPS-only sharing with SM-percentage caps.
+
+Section 6.2's "Comparison against strategic MPS-only usage": GPUlet sets
+upper bounds on the fraction of SMs each workload may use via MPS's
+execution-resource provisioning. Following the paper's configuration, we
+give strict requests a ~60–65% SM cap and best-effort requests the rest.
+Capping SMs limits a job's bandwidth *demand* (fewer SMs issue fewer
+memory requests) and costs it compute throughput, but caches and memory
+bandwidth remain fully shared — so interference persists (the paper
+measures up to ~2× overhead for GPUlet despite the caps).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gpu.engine import ShareMode
+from repro.gpu.mig import GEOMETRY_FULL, Geometry
+from repro.gpu.slowdown import resource_deficiency_factor
+from repro.serverless.request import RequestBatch
+from repro.serverless.scheduler import NodeScheduler, Placement
+from repro.serverless.scheme import Scheme
+
+#: Paper: "~60–65% upper bound on the SM usage for strict requests".
+DEFAULT_STRICT_SM_FRACTION = 0.625
+#: "...with the remaining used by the BE requests."
+DEFAULT_BE_SM_FRACTION = 0.375
+
+
+class GpuletScheduler(NodeScheduler):
+    """MPS placement on 7g with strictness-dependent SM caps."""
+
+    def __init__(
+        self,
+        sim,
+        node,
+        pool,
+        on_batch_complete,
+        *,
+        strict_sm_fraction: float = DEFAULT_STRICT_SM_FRACTION,
+        be_sm_fraction: float = DEFAULT_BE_SM_FRACTION,
+    ) -> None:
+        super().__init__(sim, node, pool, on_batch_complete)
+        self.strict_sm_fraction = strict_sm_fraction
+        self.be_sm_fraction = be_sm_fraction
+
+    def _place(self, batch: RequestBatch) -> Optional[Placement]:
+        if not self.node.gpu.slices:
+            return None
+        gpu_slice = self.node.gpu.slices[0]
+        if not self.fits_now(batch, gpu_slice):
+            return None
+        # Each GPU hosts one strict gpulet and one BE gpulet; batches of
+        # the same class run back-to-back within their partition, so at
+        # most one batch per class executes at a time.
+        for job in gpu_slice.running_jobs:
+            if getattr(job.payload, "strict", None) == batch.strict:
+                return None
+        model = batch.model
+        sm = self.strict_sm_fraction if batch.strict else self.be_sm_fraction
+        # SM capping slows the job like a compute-only deficiency (memory
+        # bandwidth and caches are NOT partitioned by MPS), and shrinks
+        # its bandwidth demand in proportion to active SMs.
+        rdf = resource_deficiency_factor(
+            compute_fraction=sm,
+            bandwidth_fraction=1.0,
+            compute_sensitivity=model.compute_sensitivity,
+            bandwidth_sensitivity=model.bandwidth_sensitivity,
+        )
+        return Placement(
+            gpu_slice=gpu_slice,
+            rdf=rdf,
+            fbr=model.slice_fbr(gpu_slice.profile, sm_fraction=sm),
+            sm_fraction=sm,
+        )
+
+
+class GpuletScheme(Scheme):
+    """Scheme bundle for GPUlet (strategic MPS-only)."""
+
+    name = "gpulet"
+    share_mode = ShareMode.MPS
+
+    def __init__(
+        self,
+        strict_sm_fraction: float = DEFAULT_STRICT_SM_FRACTION,
+        be_sm_fraction: float = DEFAULT_BE_SM_FRACTION,
+    ) -> None:
+        self.strict_sm_fraction = strict_sm_fraction
+        self.be_sm_fraction = be_sm_fraction
+
+    def initial_geometry(self) -> Geometry:
+        return GEOMETRY_FULL
+
+    def create_scheduler(self, platform, node, pool) -> GpuletScheduler:
+        return GpuletScheduler(
+            platform.sim,
+            node,
+            pool,
+            platform.record_batch_completion,
+            strict_sm_fraction=self.strict_sm_fraction,
+            be_sm_fraction=self.be_sm_fraction,
+        )

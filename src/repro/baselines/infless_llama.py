@@ -1,0 +1,54 @@
+"""INFless / Llama: MPS-only spatial sharing of the whole GPU.
+
+Both frameworks "employ MPS to schedule multiple request batches onto the
+available GPU while being agnostic of its MIG capabilities" (Section 5).
+All batches routed to a node are co-located on the unpartitioned 7g via
+MPS regardless of strictness, so strict requests absorb the cumulative
+interference of every co-resident — the dominant term in their tail
+latency for HI/VHI models (Figures 6, 12, 13).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gpu.engine import ShareMode
+from repro.gpu.mig import GEOMETRY_FULL, Geometry
+from repro.serverless.dispatcher import DispatchPolicy
+from repro.serverless.request import RequestBatch
+from repro.serverless.scheduler import NodeScheduler, Placement
+from repro.serverless.scheme import Scheme
+
+
+class InflessLlamaScheduler(NodeScheduler):
+    """FIFO MPS placement onto the single 7g instance."""
+
+    def _place(self, batch: RequestBatch) -> Optional[Placement]:
+        if not self.node.gpu.slices:
+            return None
+        gpu_slice = self.node.gpu.slices[0]
+        if not self.fits_now(batch, gpu_slice):
+            return None  # wait for memory; FIFO order preserved by dispatch
+        return self.standard_placement(batch, gpu_slice)
+
+
+class InflessLlamaScheme(Scheme):
+    """Scheme bundle for the INFless/Llama serving policy.
+
+    Uses the CONSOLIDATE dispatch policy: both frameworks pack batches
+    onto as few GPUs as possible to maximize utilization, which is the
+    behaviour the paper identifies as their weakness on MIG-era GPUs.
+    """
+
+    name = "infless_llama"
+    share_mode = ShareMode.MPS
+    dispatch_policy = DispatchPolicy.CONSOLIDATE
+    consolidation_limit = 6
+
+    def initial_geometry(self) -> Geometry:
+        return GEOMETRY_FULL
+
+    def create_scheduler(self, platform, node, pool) -> InflessLlamaScheduler:
+        return InflessLlamaScheduler(
+            platform.sim, node, pool, platform.record_batch_completion
+        )

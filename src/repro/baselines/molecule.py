@@ -1,0 +1,45 @@
+"""Molecule (beta): time-shared whole-GPU execution, no MPS, no MIG.
+
+The paper's *Molecule (beta)* scheme "offers minimal GPU support without
+MPS to consolidate requests ... it executes workload batches on the GPU(s)
+via time sharing" (Section 5). Batches therefore never interfere and never
+suffer resource deficiency — but they queue behind each other, which is
+what dominates its tail latency in Figures 2, 6, and 8.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gpu.engine import ShareMode
+from repro.gpu.mig import GEOMETRY_FULL, Geometry
+from repro.serverless.request import RequestBatch
+from repro.serverless.scheduler import NodeScheduler, Placement
+from repro.serverless.scheme import Scheme
+
+
+class MoleculeScheduler(NodeScheduler):
+    """FIFO submission to the single time-shared 7g instance."""
+
+    def _place(self, batch: RequestBatch) -> Optional[Placement]:
+        if not self.node.gpu.slices:
+            return None  # GPU unavailable (should not happen: no reconfig)
+        gpu_slice = self.node.gpu.slices[0]
+        # Time sharing: the engine serializes jobs, so memory only needs to
+        # fit when the batch actually runs (alone) — always true on 7g.
+        return self.standard_placement(batch, gpu_slice)
+
+
+class MoleculeBetaScheme(Scheme):
+    """Scheme bundle for Molecule (beta)."""
+
+    name = "molecule"
+    share_mode = ShareMode.TIME_SHARE
+
+    def initial_geometry(self) -> Geometry:
+        return GEOMETRY_FULL
+
+    def create_scheduler(self, platform, node, pool) -> MoleculeScheduler:
+        return MoleculeScheduler(
+            platform.sim, node, pool, platform.record_batch_completion
+        )

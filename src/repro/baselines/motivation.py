@@ -1,0 +1,123 @@
+"""The Section 2.2 motivation-experiment schemes (Figure 2).
+
+Five ways of sharing a single GPU between a strict and a BE workload:
+
+- *No MPS or MIG* — whole-GPU time sharing (Molecule-like); reuse
+  :class:`repro.baselines.molecule.MoleculeBetaScheme`.
+- *MPS Only* — whole-GPU MPS (INFless/Llama-like); reuse
+  :class:`repro.baselines.infless_llama.InflessLlamaScheme`.
+- *MIG Only* — static (4g, 3g) slices, time-shared, requests scheduled
+  equally (round-robin) across them.
+- *MPS+MIG* — static (4g, 3g) slices spatially shared via MPS, requests
+  round-robined across them.
+- *'Smart' MPS+MIG* — the straw-man PROTEAN: strict requests isolated on
+  the largest slice, BE requests on the other.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gpu.engine import ShareMode
+from repro.gpu.mig import GEOMETRY_4G_3G, Geometry
+from repro.serverless.request import RequestBatch
+from repro.serverless.scheduler import NodeScheduler, Placement
+from repro.serverless.scheme import Scheme
+
+
+class RoundRobinScheduler(NodeScheduler):
+    """Equal scheduling across slices: blind round-robin placement.
+
+    The cursor only advances when a batch is actually placed, so a
+    temporarily-full target slice blocks its turn (head-of-line) — this
+    is exactly the naivety the motivation experiment illustrates.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._cursor = 0
+
+    def _place(self, batch: RequestBatch) -> Optional[Placement]:
+        slices = self.node.gpu.slices
+        if not slices:
+            return None
+        candidates = [
+            s for s in slices if batch.memory_gb <= s.profile.memory_gb
+        ]
+        if not candidates:
+            return None
+        target = candidates[self._cursor % len(candidates)]
+        if self.node.gpu.mode is ShareMode.MPS and not self.fits_now(
+            batch, target
+        ):
+            return None  # wait for the slice whose turn it is
+        self._cursor += 1
+        return self.standard_placement(batch, target)
+
+
+class SmartScheduler(NodeScheduler):
+    """Strict on the largest slice, BE isolated on the rest."""
+
+    def _place(self, batch: RequestBatch) -> Optional[Placement]:
+        slices = self.node.gpu.slices_by_size(ascending=False)
+        if not slices:
+            return None
+        if batch.strict:
+            target = slices[0]
+        else:
+            fitting = [
+                s
+                for s in slices[1:]
+                if batch.memory_gb <= s.profile.memory_gb
+            ]
+            # Degenerate single-slice geometry: share the only slice.
+            target = fitting[0] if fitting else slices[0]
+        if not self.fits_now(batch, target):
+            return None
+        return self.standard_placement(batch, target)
+
+
+class _StaticGeometryScheme(Scheme):
+    """Shared plumbing for the static (4g, 3g) motivation schemes."""
+
+    def __init__(self, geometry: Geometry = GEOMETRY_4G_3G) -> None:
+        self._geometry = geometry
+
+    def initial_geometry(self) -> Geometry:
+        return self._geometry
+
+
+class MigOnlyScheme(_StaticGeometryScheme):
+    """Static MIG slices, time-shared, round-robin."""
+
+    name = "mig_only"
+    share_mode = ShareMode.TIME_SHARE
+
+    def create_scheduler(self, platform, node, pool) -> RoundRobinScheduler:
+        return RoundRobinScheduler(
+            platform.sim, node, pool, platform.record_batch_completion
+        )
+
+
+class MpsMigScheme(_StaticGeometryScheme):
+    """Static MIG slices, MPS within each, round-robin."""
+
+    name = "mps_mig"
+    share_mode = ShareMode.MPS
+
+    def create_scheduler(self, platform, node, pool) -> RoundRobinScheduler:
+        return RoundRobinScheduler(
+            platform.sim, node, pool, platform.record_batch_completion
+        )
+
+
+class SmartMpsMigScheme(_StaticGeometryScheme):
+    """The 'Smart' MPS+MIG straw man: strict isolated on the largest slice."""
+
+    name = "smart_mps_mig"
+    share_mode = ShareMode.MPS
+
+    def create_scheduler(self, platform, node, pool) -> SmartScheduler:
+        return SmartScheduler(
+            platform.sim, node, pool, platform.record_batch_completion
+        )

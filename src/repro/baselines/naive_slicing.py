@@ -1,0 +1,69 @@
+"""Naïve Slicing: static MIG slices, MPS within, memory-proportional LB.
+
+The paper introduces this scheme as the ablation of PROTEAN's intelligence:
+it "spatially shares (via MPS) static MIG slices among requests,
+load-balanced according to slice memory, without any of the intelligence
+of PROTEAN" (Section 5). It is strictness-agnostic: strict and BE batches
+mix freely on any slice, and placement ignores both the resource-deficiency
+factor and the interference the batch will suffer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gpu.engine import GPUSlice, ShareMode
+from repro.gpu.mig import GEOMETRY_4G_2G_1G, Geometry
+from repro.serverless.request import RequestBatch
+from repro.serverless.scheduler import NodeScheduler, Placement
+from repro.serverless.scheme import Scheme
+
+
+class NaiveSlicingScheduler(NodeScheduler):
+    """Memory-proportional placement across a static geometry.
+
+    Batches are apportioned to slices in proportion to slice memory (a
+    weighted round-robin over cumulative dispatched memory), "without any
+    of the intelligence of PROTEAN": no strictness awareness, no η, and no
+    second-guessing — if the proportional target slice is currently full,
+    the batch simply waits for it (head-of-line, like a per-slice queue).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._assigned_memory: dict[int, float] = {}
+
+    def _place(self, batch: RequestBatch) -> Optional[Placement]:
+        target: Optional[GPUSlice] = None
+        target_key: tuple[float, int] | None = None
+        for index, gpu_slice in enumerate(self.node.gpu.slices):
+            if batch.memory_gb > gpu_slice.profile.memory_gb:
+                continue  # can never fit this slice
+            assigned = self._assigned_memory.get(id(gpu_slice), 0.0)
+            key = (assigned / gpu_slice.profile.memory_gb, index)
+            if target_key is None or key < target_key:
+                target, target_key = gpu_slice, key
+        if target is None or not self.fits_now(batch, target):
+            return None
+        self._assigned_memory[id(target)] = (
+            self._assigned_memory.get(id(target), 0.0) + batch.memory_gb
+        )
+        return self.standard_placement(batch, target)
+
+
+class NaiveSlicingScheme(Scheme):
+    """Scheme bundle for Naïve Slicing (static (4g, 2g, 1g) geometry)."""
+
+    name = "naive_slicing"
+    share_mode = ShareMode.MPS
+
+    def __init__(self, geometry: Geometry = GEOMETRY_4G_2G_1G) -> None:
+        self._geometry = geometry
+
+    def initial_geometry(self) -> Geometry:
+        return self._geometry
+
+    def create_scheduler(self, platform, node, pool) -> NaiveSlicingScheduler:
+        return NaiveSlicingScheduler(
+            platform.sim, node, pool, platform.record_batch_completion
+        )

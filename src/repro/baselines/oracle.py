@@ -1,0 +1,86 @@
+"""Oracle: PROTEAN's policies with offline-perfect knowledge (Section 6.2).
+
+The paper's *Oracle* runs "all of PROTEAN's policies, but with knowledge
+of the ideal GPU configurations and job scheduling on slices ... (due to
+being done offline)", and "does not suffer from GPU re-configuration
+overheads". We model both advantages:
+
+- geometry changes follow a precomputed *plan* (built by the experiment
+  harness from the true BE model rotation and true request rates, via the
+  same :func:`repro.core.reconfigurator.decide_geometry` rule PROTEAN uses
+  online with EWMA predictions);
+- MIG reconfiguration takes zero time on Oracle nodes, and the plan is
+  applied the moment each window begins rather than after PROTEAN's
+  wait-counter hysteresis.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional, Sequence
+
+from repro.core.protean import ProteanScheme
+from repro.core.reconfigurator import GpuReconfigurator, ReconfiguratorConfig
+from repro.gpu.mig import Geometry
+
+#: A geometry plan: time-ordered (effective_from, geometry) pairs.
+GeometryPlan = Sequence[tuple[float, Geometry]]
+
+
+class PlannedReconfigurator(GpuReconfigurator):
+    """Replays a precomputed geometry plan instead of predicting."""
+
+    def __init__(self, platform, plan: GeometryPlan,
+                 config: ReconfiguratorConfig | None = None) -> None:
+        super().__init__(
+            platform,
+            config
+            or ReconfiguratorConfig(monitor_interval=1.0, wait_limit=1),
+        )
+        self._plan = sorted(plan, key=lambda item: item[0])
+        self._times = [item[0] for item in self._plan]
+
+    def planned_for(self, time: float) -> Optional[Geometry]:
+        """The geometry the plan prescribes at ``time``."""
+        index = bisect.bisect_right(self._times, time) - 1
+        if index < 0:
+            return None
+        return self._plan[index][1]
+
+    def on_monitor(self) -> None:
+        # Look one monitor interval ahead: the oracle configures *in
+        # advance* of the window it is preparing for.
+        decision = self.planned_for(
+            self.platform.sim.now + self.config.monitor_interval
+        )
+        if decision is None:
+            return
+        self.target = decision
+        self.decisions += 1
+        mismatched = [
+            node
+            for node in self.platform.cluster.active_nodes
+            if node.gpu.geometry != decision and node.node_id not in self._pending
+        ]
+        if mismatched:
+            self._apply(decision, mismatched)
+
+
+class OracleScheme(ProteanScheme):
+    """PROTEAN + perfect geometry plan + free reconfiguration."""
+
+    name = "oracle"
+
+    def __init__(self, plan: GeometryPlan, **kwargs) -> None:
+        kwargs.setdefault("enable_reconfigurator", False)
+        super().__init__(**kwargs)
+        self._plan = plan
+
+    def on_node_added(self, platform, node, scheduler) -> None:
+        # Oracle pays no reconfiguration downtime.
+        node.gpu.reconfig_seconds = 0.0
+
+    def on_platform_start(self, platform) -> None:
+        super().on_platform_start(platform)  # autoscaler (if enabled)
+        self.reconfigurator = PlannedReconfigurator(platform, self._plan)
+        self.reconfigurator.start()

@@ -1,0 +1,198 @@
+"""Command-line interface: run experiments and regenerate paper figures.
+
+Usage::
+
+    python -m repro list-figures
+    python -m repro figure fig05 [--full]
+    python -m repro run --scheme protean --model resnet50 --trace wiki
+    python -m repro compare --model vgg19 --schemes protean infless_llama
+    python -m repro models
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_comparison, run_scheme
+from repro.experiments.schemes import COMPARISON_SCHEMES, scheme_names
+from repro.metrics.summary import format_table
+from repro.workloads.registry import ALL_MODELS
+
+
+def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="resnet50", help="strict model")
+    parser.add_argument(
+        "--trace", default="wiki", choices=["constant", "wiki", "twitter"]
+    )
+    parser.add_argument("--duration", type=float, default=120.0)
+    parser.add_argument("--warmup", type=float, default=40.0)
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--load", type=float, default=0.85)
+    parser.add_argument("--strict-fraction", type=float, default=0.5)
+    parser.add_argument("--slo-multiplier", type=float, default=3.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--procurement",
+        default="on_demand_only",
+        choices=["on_demand_only", "hybrid", "spot_only"],
+    )
+    parser.add_argument(
+        "--spot-availability",
+        default="high",
+        choices=["high", "moderate", "low"],
+    )
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        strict_model=args.model,
+        trace=args.trace,
+        duration=args.duration,
+        warmup=args.warmup,
+        n_nodes=args.nodes,
+        offered_load=args.load,
+        strict_fraction=args.strict_fraction,
+        slo_multiplier=args.slo_multiplier,
+        seed=args.seed,
+        procurement=args.procurement,
+        spot_availability=args.spot_availability,
+    )
+
+
+def _cmd_models(_args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "name": m.name,
+            "display": m.display_name,
+            "domain": m.domain.value,
+            "category": m.category.value,
+            "batch": m.batch_size,
+            "latency_ms": round(m.solo_latency_7g * 1000, 1),
+            "memory_gb": m.memory_gb,
+            "fbr": m.fbr,
+        }
+        for m in ALL_MODELS
+    ]
+    print(format_table(rows, title="Workload registry (22 models)"))
+    return 0
+
+
+def _cmd_list_figures(_args: argparse.Namespace) -> int:
+    from repro.experiments.figures import ALL_FIGURES
+
+    for figure_id, module in sorted(ALL_FIGURES.items()):
+        doc = (module.run.__module__ or "").rsplit(".", 1)[-1]
+        summary = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{figure_id:7s} {doc:26s} {summary}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import ALL_FIGURES
+
+    module = ALL_FIGURES.get(args.figure_id)
+    if module is None:
+        print(
+            f"unknown figure {args.figure_id!r}; "
+            f"known: {', '.join(sorted(ALL_FIGURES))}",
+            file=sys.stderr,
+        )
+        return 2
+    result = module.run(quick=not args.full)
+    print(result.table())
+    return 0
+
+
+def _cmd_reproduce_all(args: argparse.Namespace) -> int:
+    from repro.experiments.suite import run_full_suite
+
+    entries = run_full_suite(
+        quick=not args.full,
+        output_dir=args.output,
+        only=tuple(args.only) if args.only else None,
+        progress=lambda figure_id: print(f"... {figure_id}", flush=True),
+    )
+    failures = [e for e in entries if e.error]
+    print(
+        f"regenerated {len(entries) - len(failures)}/{len(entries)} "
+        f"artifacts into {args.output}/"
+    )
+    for entry in failures:
+        print(f"  FAILED {entry.figure_id}: {entry.error}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    result = run_scheme(args.scheme, config)
+    print(format_table([result.summary.row()], title=f"{args.scheme}"))
+    for key, value in sorted(result.extras.items()):
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    results = run_comparison(args.schemes, config)
+    rows = [results[name].summary.row() for name in args.schemes]
+    print(format_table(rows, title=f"{args.model} on {args.trace} trace"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PROTEAN reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the 22 workload profiles").set_defaults(
+        func=_cmd_models
+    )
+    sub.add_parser(
+        "list-figures", help="list reproducible paper figures/tables"
+    ).set_defaults(func=_cmd_list_figures)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("figure_id", help="e.g. fig05, tab04")
+    figure.add_argument(
+        "--full", action="store_true", help="paper-breadth (slow) mode"
+    )
+    figure.set_defaults(func=_cmd_figure)
+
+    everything = sub.add_parser(
+        "reproduce-all", help="regenerate every paper table and figure"
+    )
+    everything.add_argument("--full", action="store_true")
+    everything.add_argument("--output", default="results")
+    everything.add_argument(
+        "--only", nargs="*", default=None, help="restrict to these figure ids"
+    )
+    everything.set_defaults(func=_cmd_reproduce_all)
+
+    run = sub.add_parser("run", help="run one scheme on one workload")
+    run.add_argument(
+        "--scheme", default="protean", choices=sorted(scheme_names())
+    )
+    _add_experiment_args(run)
+    run.set_defaults(func=_cmd_run)
+
+    compare = sub.add_parser("compare", help="run several schemes")
+    compare.add_argument(
+        "--schemes", nargs="+", default=list(COMPARISON_SCHEMES)
+    )
+    _add_experiment_args(compare)
+    compare.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""Cluster substrate: VMs, spot market, pricing, worker nodes."""
+
+from repro.cluster.cluster import (
+    DEFAULT_RECONFIG_FRACTION,
+    Cluster,
+    ReconfigurationGovernor,
+)
+from repro.cluster.node import NodeState, WorkerNode
+from repro.cluster.pricing import (
+    AWS,
+    AZURE,
+    DEFAULT_PRICING,
+    GCP,
+    GPUS_PER_REFERENCE_INSTANCE,
+    PROVIDERS,
+    CostMeter,
+    ProviderPricing,
+    VMTier,
+    get_provider,
+)
+from repro.cluster.spot import (
+    AVAILABILITY_LEVELS,
+    DEFAULT_CHECK_INTERVAL,
+    DEFAULT_NOTICE_SECONDS,
+    HIGH_AVAILABILITY,
+    LOW_AVAILABILITY,
+    MODERATE_AVAILABILITY,
+    P_REV_HIGH_AVAILABILITY,
+    P_REV_LOW_AVAILABILITY,
+    P_REV_MODERATE_AVAILABILITY,
+    SpotAvailability,
+    SpotMarket,
+)
+from repro.cluster.vm import VM, VMState
+
+__all__ = [
+    "AVAILABILITY_LEVELS",
+    "AWS",
+    "AZURE",
+    "Cluster",
+    "CostMeter",
+    "DEFAULT_CHECK_INTERVAL",
+    "DEFAULT_NOTICE_SECONDS",
+    "DEFAULT_PRICING",
+    "DEFAULT_RECONFIG_FRACTION",
+    "GCP",
+    "GPUS_PER_REFERENCE_INSTANCE",
+    "HIGH_AVAILABILITY",
+    "LOW_AVAILABILITY",
+    "MODERATE_AVAILABILITY",
+    "NodeState",
+    "PROVIDERS",
+    "P_REV_HIGH_AVAILABILITY",
+    "P_REV_LOW_AVAILABILITY",
+    "P_REV_MODERATE_AVAILABILITY",
+    "ProviderPricing",
+    "ReconfigurationGovernor",
+    "SpotAvailability",
+    "SpotMarket",
+    "VM",
+    "VMState",
+    "VMTier",
+    "WorkerNode",
+    "get_provider",
+]

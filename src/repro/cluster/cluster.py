@@ -1,0 +1,108 @@
+"""Cluster state: the live node set and the GPU-reconfiguration governor.
+
+The paper's cluster is 8 worker nodes plus a manager (Section 5). The
+``ReconfigurationGovernor`` enforces the Section 4.4 rule that "only ~30%
+of GPUs (on average) are allowed to be reconfigured simultaneously to keep
+overall GPU downtime low".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.cluster.node import NodeState, WorkerNode
+from repro.errors import ClusterError
+
+#: Section 4.4: at most ~30% of GPUs may reconfigure at once.
+DEFAULT_RECONFIG_FRACTION = 0.3
+
+
+class ReconfigurationGovernor:
+    """Token bucket limiting simultaneous MIG reconfigurations."""
+
+    def __init__(self, cluster_size: int, fraction: float = DEFAULT_RECONFIG_FRACTION):
+        if cluster_size < 1:
+            raise ClusterError("cluster_size must be >= 1")
+        if not 0.0 < fraction <= 1.0:
+            raise ClusterError("fraction must lie in (0, 1]")
+        self.limit = max(1, math.ceil(cluster_size * fraction))
+        self.in_flight = 0
+
+    def try_acquire(self) -> bool:
+        """Take a reconfiguration slot if one is free."""
+        if self.in_flight >= self.limit:
+            return False
+        self.in_flight += 1
+        return True
+
+    def release(self) -> None:
+        """Return a slot after the GPU finished reconfiguring."""
+        if self.in_flight <= 0:
+            raise ClusterError("governor release without acquire")
+        self.in_flight -= 1
+
+
+class Cluster:
+    """The set of worker nodes currently known to the platform."""
+
+    def __init__(self, *, reconfig_fraction: float = DEFAULT_RECONFIG_FRACTION):
+        self._nodes: list[WorkerNode] = []
+        self._reconfig_fraction = reconfig_fraction
+        self._governor: ReconfigurationGovernor | None = None
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add(self, node: WorkerNode) -> None:
+        """Register a (new) worker node."""
+        if node in self._nodes:
+            raise ClusterError(f"{node.name} already in cluster")
+        self._nodes.append(node)
+        self._refresh_governor()
+
+    def remove(self, node: WorkerNode) -> None:
+        """Deregister a retired node."""
+        try:
+            self._nodes.remove(node)
+        except ValueError as exc:
+            raise ClusterError(f"{node.name} not in cluster") from exc
+        self._refresh_governor()
+
+    def __iter__(self) -> Iterator[WorkerNode]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> tuple[WorkerNode, ...]:
+        """All registered nodes (snapshot)."""
+        return tuple(self._nodes)
+
+    @property
+    def active_nodes(self) -> tuple[WorkerNode, ...]:
+        """Nodes currently accepting new work."""
+        return tuple(n for n in self._nodes if n.state is NodeState.ACTIVE)
+
+    @property
+    def draining_nodes(self) -> tuple[WorkerNode, ...]:
+        """Nodes finishing existing work ahead of an eviction."""
+        return tuple(n for n in self._nodes if n.state is NodeState.DRAINING)
+
+    # ------------------------------------------------------------------
+    # Reconfiguration governance
+    # ------------------------------------------------------------------
+    @property
+    def governor(self) -> ReconfigurationGovernor:
+        """The shared reconfiguration token bucket (sized to the cluster)."""
+        if self._governor is None:
+            self._refresh_governor()
+        assert self._governor is not None
+        return self._governor
+
+    def _refresh_governor(self) -> None:
+        size = max(1, len(self._nodes))
+        in_flight = self._governor.in_flight if self._governor else 0
+        self._governor = ReconfigurationGovernor(size, self._reconfig_fraction)
+        self._governor.in_flight = in_flight

@@ -1,0 +1,76 @@
+"""Worker nodes: one VM + one GPU, with drain semantics for evictions.
+
+On receiving a spot eviction notice the node stops accepting new work and
+lets running requests finish (Section 4.5: GPU serverless workloads run
+for < 1 s, so they complete well within the 30 s notice). If work is still
+attached when the eviction lands, it is handed back to the platform for
+resubmission elsewhere.
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import Enum
+
+from repro.cluster.vm import VM
+from repro.errors import NodeUnavailableError
+from repro.gpu.device import GPU
+
+_node_ids = itertools.count()
+
+
+class NodeState(str, Enum):
+    """Lifecycle of a worker node."""
+
+    ACTIVE = "active"
+    DRAINING = "draining"
+    RETIRED = "retired"
+
+
+class WorkerNode:
+    """A single-GPU worker hosted on one VM."""
+
+    def __init__(self, vm: VM, gpu: GPU, *, name: str = "") -> None:
+        self.node_id = next(_node_ids)
+        self.name = name or f"node{self.node_id}"
+        self.vm = vm
+        self.gpu = gpu
+        self.state = NodeState.ACTIVE
+
+    @property
+    def accepting(self) -> bool:
+        """Whether the dispatcher may route new batches here."""
+        return self.state is NodeState.ACTIVE
+
+    def ensure_accepting(self) -> None:
+        """Raise :class:`NodeUnavailableError` unless the node accepts work."""
+        if not self.accepting:
+            raise NodeUnavailableError(
+                f"{self.name} is {self.state.value}; not accepting work"
+            )
+
+    def drain(self) -> None:
+        """Stop accepting new work (eviction notice received)."""
+        if self.state is NodeState.ACTIVE:
+            self.state = NodeState.DRAINING
+
+    def retire(self) -> list[object]:
+        """Tear the node down; return payloads of any unfinished jobs.
+
+        The VM is assumed terminated (or about to be) by the caller. Any
+        jobs still attached to the GPU — running or pending — are lost
+        with the node; their payloads (request batches) are returned so
+        the platform can resubmit them.
+        """
+        if self.state is NodeState.RETIRED:
+            return []
+        self.state = NodeState.RETIRED
+        stranded: list[object] = []
+        for gpu_slice in self.gpu.slices:
+            for job in gpu_slice.abort_all():
+                if job.payload is not None:
+                    stranded.append(job.payload)
+        return stranded
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkerNode({self.name}, {self.state.value}, {self.vm.name})"

@@ -1,0 +1,137 @@
+"""VM pricing (the paper's Table 3) and cost accounting.
+
+Table 3 lists on-demand and spot hourly prices for an 8×A100 instance at
+the three main IaaS providers, averaged across US-east/west. The paper's
+cluster has one A100 per worker node, and the evaluation projects cost from
+VM running time using *average AWS* pricing (Section 5) — we default to the
+same but keep all three providers available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ClusterError
+
+#: GPUs per the Table 3 reference instance.
+GPUS_PER_REFERENCE_INSTANCE = 8
+
+
+class VMTier(str, Enum):
+    """Reliability tier of a VM."""
+
+    ON_DEMAND = "on_demand"
+    SPOT = "spot"
+
+
+@dataclass(frozen=True)
+class ProviderPricing:
+    """Hourly prices (USD) for one provider's 8×A100 instance (Table 3)."""
+
+    provider: str
+    on_demand_hourly: float
+    spot_hourly: float
+
+    def __post_init__(self) -> None:
+        if self.on_demand_hourly <= 0 or self.spot_hourly <= 0:
+            raise ClusterError("prices must be positive")
+        if self.spot_hourly >= self.on_demand_hourly:
+            raise ClusterError("spot must be cheaper than on-demand")
+
+    @property
+    def savings_fraction(self) -> float:
+        """Spot discount relative to on-demand (Table 3's last column)."""
+        return 1.0 - self.spot_hourly / self.on_demand_hourly
+
+    def hourly(self, tier: VMTier) -> float:
+        """Hourly price of the full 8-GPU instance for ``tier``."""
+        if tier is VMTier.ON_DEMAND:
+            return self.on_demand_hourly
+        return self.spot_hourly
+
+    def per_gpu_hourly(self, tier: VMTier) -> float:
+        """Hourly price prorated to one single-GPU worker node."""
+        return self.hourly(tier) / GPUS_PER_REFERENCE_INSTANCE
+
+
+#: Table 3 — on-demand and spot hourly pricing for an 8×A100 instance.
+AWS = ProviderPricing("AWS", on_demand_hourly=32.7726, spot_hourly=9.8318)
+AZURE = ProviderPricing(
+    "Microsoft Azure", on_demand_hourly=32.7700, spot_hourly=18.0235
+)
+GCP = ProviderPricing("Google Cloud", on_demand_hourly=30.0846, spot_hourly=8.8147)
+
+PROVIDERS: dict[str, ProviderPricing] = {
+    "aws": AWS,
+    "azure": AZURE,
+    "gcp": GCP,
+}
+
+#: Pricing used by the paper's cost projections (Section 5: "average AWS
+#: spot and on-demand pricing").
+DEFAULT_PRICING = AWS
+
+
+def get_provider(name: str) -> ProviderPricing:
+    """Look up a provider's Table 3 pricing by short name."""
+    pricing = PROVIDERS.get(name.lower())
+    if pricing is None:
+        raise ClusterError(
+            f"unknown provider {name!r}; known: {sorted(PROVIDERS)}"
+        )
+    return pricing
+
+
+class CostMeter:
+    """Accumulates dollar cost from VM running time.
+
+    Usage is charged per second at the node-prorated hourly rate. The meter
+    separates spot from on-demand spend so experiments can report both the
+    total and the mix (Figure 9).
+    """
+
+    def __init__(self, pricing: ProviderPricing = DEFAULT_PRICING) -> None:
+        self.pricing = pricing
+        self._seconds: dict[VMTier, float] = {
+            VMTier.ON_DEMAND: 0.0,
+            VMTier.SPOT: 0.0,
+        }
+
+    def charge(self, tier: VMTier, seconds: float) -> None:
+        """Add ``seconds`` of single-GPU node time on ``tier``."""
+        if seconds < 0:
+            raise ClusterError("cannot charge negative time")
+        self._seconds[tier] += seconds
+
+    def seconds(self, tier: VMTier) -> float:
+        """Total charged node-seconds for ``tier``."""
+        return self._seconds[tier]
+
+    def cost(self, tier: VMTier) -> float:
+        """Dollar cost accrued on ``tier``."""
+        return self._seconds[tier] * self.pricing.per_gpu_hourly(tier) / 3600.0
+
+    @property
+    def total_cost(self) -> float:
+        """Total dollar cost across tiers."""
+        return self.cost(VMTier.ON_DEMAND) + self.cost(VMTier.SPOT)
+
+    @property
+    def on_demand_only_equivalent_cost(self) -> float:
+        """What the same node-time would have cost purely on-demand.
+
+        This is the baseline the paper normalizes against in Figure 9.
+        """
+        total_seconds = sum(self._seconds.values())
+        return (
+            total_seconds * self.pricing.per_gpu_hourly(VMTier.ON_DEMAND) / 3600.0
+        )
+
+    @property
+    def savings_fraction(self) -> float:
+        """Fraction saved versus the all-on-demand equivalent."""
+        baseline = self.on_demand_only_equivalent_cost
+        if baseline == 0:
+            return 0.0
+        return 1.0 - self.total_cost / baseline

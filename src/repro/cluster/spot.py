@@ -1,0 +1,170 @@
+"""The spot market model: availability, revocation draws, eviction notices.
+
+The paper emulates the spot/on-demand aspect rather than using real spot
+VMs (Section 5): revocation notifications are generated "at each worker
+node at fixed time intervals based on revocation probability (P_rev)
+values derived from [Narayanan et al.]":
+
+- high spot availability:     P_rev = 0
+- moderate spot availability: P_rev = 0.354
+- low spot availability:      P_rev = 0.708
+
+We model two coupled effects of the same scarcity parameter:
+
+1. *Revocations*: every ``check_interval`` seconds, each registered spot
+   VM is revoked with probability ``P_rev``; a notice fires
+   ``notice_seconds`` (30–120 s per the providers) before the eviction.
+2. *Acquisition*: a new spot VM request succeeds with probability
+   ``1 - P_rev`` (scarce capacity is both harder to keep and to get).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.vm import VM, VMState
+from repro.cluster.pricing import VMTier
+from repro.errors import ClusterError
+from repro.simulation.processes import PeriodicProcess
+from repro.simulation.simulator import Simulator
+
+#: Paper Section 5 revocation probabilities.
+P_REV_HIGH_AVAILABILITY = 0.0
+P_REV_MODERATE_AVAILABILITY = 0.354
+P_REV_LOW_AVAILABILITY = 0.708
+
+#: Minimum warning the three providers give before eviction (Section 2.3).
+DEFAULT_NOTICE_SECONDS = 30.0
+
+#: How often each spot VM's revocation coin is flipped.
+DEFAULT_CHECK_INTERVAL = 60.0
+
+
+@dataclass(frozen=True)
+class SpotAvailability:
+    """Named availability regime (Figure 9's high/medium/low scenarios)."""
+
+    name: str
+    revocation_probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.revocation_probability <= 1.0:
+            raise ClusterError("revocation probability must lie in [0, 1]")
+
+
+HIGH_AVAILABILITY = SpotAvailability("high", P_REV_HIGH_AVAILABILITY)
+MODERATE_AVAILABILITY = SpotAvailability("moderate", P_REV_MODERATE_AVAILABILITY)
+LOW_AVAILABILITY = SpotAvailability("low", P_REV_LOW_AVAILABILITY)
+
+AVAILABILITY_LEVELS: dict[str, SpotAvailability] = {
+    "high": HIGH_AVAILABILITY,
+    "moderate": MODERATE_AVAILABILITY,
+    "medium": MODERATE_AVAILABILITY,
+    "low": LOW_AVAILABILITY,
+}
+
+
+class SpotMarket:
+    """Generates spot acquisitions, revocation notices, and evictions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        availability: SpotAvailability = HIGH_AVAILABILITY,
+        *,
+        notice_seconds: float = DEFAULT_NOTICE_SECONDS,
+        check_interval: float = DEFAULT_CHECK_INTERVAL,
+    ) -> None:
+        if notice_seconds < 0:
+            raise ClusterError("notice_seconds must be non-negative")
+        if check_interval <= 0:
+            raise ClusterError("check_interval must be positive")
+        self.sim = sim
+        self.rng = rng
+        self.availability = availability
+        self.notice_seconds = notice_seconds
+        self.check_interval = check_interval
+        self._watchers: dict[int, PeriodicProcess] = {}
+        self.notices_issued = 0
+        self.evictions = 0
+        self.acquisition_attempts = 0
+        self.acquisition_failures = 0
+
+    @property
+    def p_rev(self) -> float:
+        return self.availability.revocation_probability
+
+    # ------------------------------------------------------------------
+    # Acquisition
+    # ------------------------------------------------------------------
+    def try_acquire_spot(self) -> bool:
+        """Attempt to get a new spot VM; succeeds w.p. ``1 - P_rev``."""
+        self.acquisition_attempts += 1
+        if self.rng.random() < self.p_rev:
+            self.acquisition_failures += 1
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Revocation
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        vm: VM,
+        on_notice: Callable[[VM], None],
+        on_eviction: Callable[[VM], None],
+    ) -> None:
+        """Start revocation draws for a spot ``vm``.
+
+        ``on_notice`` fires when the eviction notice arrives (the VM keeps
+        running); ``on_eviction`` fires ``notice_seconds`` later, after
+        which the VM is terminated by the caller-facing contract (this
+        market terminates it itself just before invoking ``on_eviction``).
+        """
+        if vm.tier is not VMTier.SPOT:
+            raise ClusterError(f"{vm.name} is not a spot VM")
+        if vm.vm_id in self._watchers:
+            raise ClusterError(f"{vm.name} already registered")
+
+        def draw() -> None:
+            if vm.state is not VMState.RUNNING:
+                return
+            if self.rng.random() < self.p_rev:
+                self._issue_notice(vm, on_notice, on_eviction)
+
+        watcher = PeriodicProcess(
+            self.sim, self.check_interval, draw, label=f"spot-draw-{vm.name}"
+        )
+        self._watchers[vm.vm_id] = watcher
+        watcher.start()
+
+    def unregister(self, vm: VM) -> None:
+        """Stop revocation draws (VM replaced or terminated voluntarily)."""
+        watcher = self._watchers.pop(vm.vm_id, None)
+        if watcher is not None:
+            watcher.stop()
+
+    def _issue_notice(
+        self,
+        vm: VM,
+        on_notice: Callable[[VM], None],
+        on_eviction: Callable[[VM], None],
+    ) -> None:
+        vm.mark_eviction_notice()
+        self.notices_issued += 1
+        on_notice(vm)
+
+        def evict() -> None:
+            watcher = self._watchers.pop(vm.vm_id, None)
+            if watcher is not None:
+                watcher.stop()
+            if vm.state is not VMState.TERMINATED:
+                vm.terminate()
+            self.evictions += 1
+            on_eviction(vm)
+
+        self.sim.after(self.notice_seconds, evict, label=f"evict-{vm.name}")

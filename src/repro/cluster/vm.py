@@ -1,0 +1,85 @@
+"""VM lifecycle: provisioning, running, eviction, termination.
+
+One VM hosts one worker node (paper Section 5: "There is one
+spot/on-demand VM per node in the cluster"). The VM object tracks the
+billing clock; the cost meter is charged when the VM terminates (or when a
+snapshot is taken mid-run).
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import Enum
+from typing import Optional
+
+from repro.cluster.pricing import CostMeter, VMTier
+from repro.errors import ClusterError
+from repro.simulation.simulator import Simulator
+
+_vm_ids = itertools.count()
+
+
+class VMState(str, Enum):
+    """Lifecycle states of a VM."""
+
+    RUNNING = "running"
+    EVICTION_NOTICE = "eviction_notice"
+    TERMINATED = "terminated"
+
+
+class VM:
+    """One IaaS virtual machine hosting a worker node."""
+
+    def __init__(self, sim: Simulator, tier: VMTier, meter: CostMeter) -> None:
+        self.sim = sim
+        self.tier = tier
+        self.meter = meter
+        self.vm_id = next(_vm_ids)
+        self.state = VMState.RUNNING
+        self.provisioned_at = sim.now
+        self.notice_at: Optional[float] = None
+        self.terminated_at: Optional[float] = None
+        self._billed_until = sim.now
+
+    @property
+    def name(self) -> str:
+        return f"vm{self.vm_id}({self.tier.value})"
+
+    @property
+    def running(self) -> bool:
+        """True until terminated (eviction notice still counts as running)."""
+        return self.state is not VMState.TERMINATED
+
+    @property
+    def uptime(self) -> float:
+        """Seconds since provisioning (frozen at termination)."""
+        end = self.terminated_at if self.terminated_at is not None else self.sim.now
+        return end - self.provisioned_at
+
+    def flush_billing(self) -> None:
+        """Charge accrued running time to the cost meter."""
+        if self.state is VMState.TERMINATED:
+            return
+        now = self.sim.now
+        self.meter.charge(self.tier, now - self._billed_until)
+        self._billed_until = now
+
+    def mark_eviction_notice(self) -> None:
+        """Record receipt of a spot eviction notice."""
+        if self.tier is not VMTier.SPOT:
+            raise ClusterError(f"{self.name}: only spot VMs receive notices")
+        if self.state is not VMState.RUNNING:
+            raise ClusterError(f"{self.name}: notice in state {self.state.value}")
+        self.state = VMState.EVICTION_NOTICE
+        self.notice_at = self.sim.now
+
+    def terminate(self) -> None:
+        """Stop the VM and settle its bill. Idempotent termination is a bug."""
+        if self.state is VMState.TERMINATED:
+            raise ClusterError(f"{self.name} already terminated")
+        self.flush_billing()
+        self.state = VMState.TERMINATED
+        self.terminated_at = self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VM({self.name}, {self.state.value}, up={self.uptime:.1f}s)"

@@ -1,0 +1,52 @@
+"""PROTEAN's core policies (paper Section 4).
+
+- :mod:`repro.core.reordering` — strict-first request reordering (§4.1);
+- :mod:`repro.core.autoscaler` — conservative container provisioning and
+  delayed termination (§4.2);
+- :mod:`repro.core.distribution` — Job Distribution, Algorithm 1 (§4.3);
+- :mod:`repro.core.reconfigurator` — GPU Reconfigurator, Algorithm 2 (§4.4);
+- :mod:`repro.core.procurement` — cost-aware spot/on-demand hosting (§4.5);
+- :mod:`repro.core.protean` — the assembled scheme.
+"""
+
+from repro.core.autoscaler import Autoscaler, AutoscalerConfig
+from repro.core.distribution import (
+    choose_best_effort_slice,
+    choose_strict_slice,
+    compute_tags,
+    distribute_batch,
+)
+from repro.core.ewma import EwmaPredictor, PerKeyEwma
+from repro.core.procurement import Procurement, ProcurementConfig, ProcurementMode
+from repro.core.protean import ProteanScheduler, ProteanScheme
+from repro.core.reconfigurator import (
+    GpuReconfigurator,
+    ReconfiguratorConfig,
+    SMALL_SLICE_SETS,
+    decide_geometry,
+    slice_set_memory,
+)
+from repro.core.reordering import best_effort_queued_memory, reorder_strict_first
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "EwmaPredictor",
+    "GpuReconfigurator",
+    "PerKeyEwma",
+    "Procurement",
+    "ProcurementConfig",
+    "ProcurementMode",
+    "ProteanScheduler",
+    "ProteanScheme",
+    "ReconfiguratorConfig",
+    "SMALL_SLICE_SETS",
+    "best_effort_queued_memory",
+    "choose_best_effort_slice",
+    "choose_strict_slice",
+    "compute_tags",
+    "decide_geometry",
+    "distribute_batch",
+    "reorder_strict_first",
+    "slice_set_memory",
+]

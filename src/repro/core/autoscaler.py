@@ -1,0 +1,120 @@
+"""Autoscaling (paper Section 4.2).
+
+Two of the paper's three autoscaling behaviours live in the container pool
+itself:
+
+- *reactive scale-up* — ``ContainerPool.acquire`` provisions one container
+  per request batch (``n_c = Σ ⌈n_r(m)/batch_size(m)⌉``);
+- *delayed termination* — idle containers survive a ~10-minute keep-alive
+  before being deemed surplus and terminated.
+
+This module adds the *conservative provisioning* layer: a daemon that
+EWMA-predicts each model's per-window request volume and pre-warms enough
+containers across the cluster that predicted batches find warm containers
+(avoiding cold starts on surges, which is what separates PROTEAN from the
+under-provisioned baselines in the Twitter-trace experiment, Figure 11).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.ewma import PerKeyEwma
+from repro.errors import ConfigurationError
+from repro.serverless.request import Request
+from repro.simulation.processes import PeriodicProcess
+from repro.workloads.profile import ModelProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serverless.platform import ServerlessPlatform
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Tuning of the conservative-provisioning daemon."""
+
+    monitor_interval: float = 5.0
+    ewma_alpha: float = 0.3
+    #: Headroom multiplier on the predicted batch count ("conservative").
+    headroom: float = 1.25
+
+    def __post_init__(self) -> None:
+        if self.monitor_interval <= 0:
+            raise ConfigurationError("monitor_interval must be positive")
+        if self.headroom < 1.0:
+            raise ConfigurationError("headroom must be >= 1")
+
+
+class Autoscaler:
+    """Predictive container pre-warmer."""
+
+    def __init__(
+        self,
+        platform: "ServerlessPlatform",
+        config: AutoscalerConfig | None = None,
+    ) -> None:
+        self.platform = platform
+        self.config = config or AutoscalerConfig()
+        self.predictor = PerKeyEwma(self.config.ewma_alpha)
+        self._window_counts: dict[str, int] = {}
+        self._models: dict[str, ModelProfile] = {}
+        self.prewarms_issued = 0
+        self._process = PeriodicProcess(
+            platform.sim,
+            self.config.monitor_interval,
+            self.on_monitor,
+            label="autoscaler",
+        )
+
+    def start(self) -> None:
+        """Arm the monitoring loop."""
+        self._process.start()
+
+    def stop(self) -> None:
+        """Disarm the monitoring loop."""
+        self._process.stop()
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def observe_request(self, request: Request) -> None:
+        """Count one arrival toward the current window."""
+        name = request.model.name
+        self._window_counts[name] = self._window_counts.get(name, 0) + 1
+        self._models[name] = request.model
+
+    # ------------------------------------------------------------------
+    # Monitoring tick
+    # ------------------------------------------------------------------
+    def desired_containers(self, model: ModelProfile) -> int:
+        """Cluster-wide warm-container target for ``model``.
+
+        The paper's reactive rule sized to the *predicted* next window:
+        ``⌈headroom × pred_requests / batch_size⌉``.
+        """
+        predicted = self.predictor.predict(model.name)
+        if predicted <= 0:
+            return 0
+        return math.ceil(self.config.headroom * predicted / model.batch_size)
+
+    def on_monitor(self) -> None:
+        """Fold the window's counts into the EWMAs and top up pools."""
+        for name, model in self._models.items():
+            self.predictor.observe(name, self._window_counts.get(name, 0))
+        self._window_counts.clear()
+        nodes = self.platform.cluster.active_nodes
+        if not nodes:
+            return
+        for name, model in self._models.items():
+            desired = self.desired_containers(model)
+            if desired == 0:
+                continue
+            per_node = math.ceil(desired / len(nodes))
+            for node in nodes:
+                pool = self.platform.pool_for(node)
+                deficit = per_node - pool.live_count(name)
+                for _ in range(deficit):
+                    pool.prewarm(name)
+                    self.prewarms_issued += 1

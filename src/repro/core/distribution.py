@@ -1,0 +1,145 @@
+"""Job Distribution logic — Algorithm 1 of the paper (Section 4.3).
+
+Given the current geometry and the memory the queued best-effort batches
+will need (``BE_mem``, supplied by the request-reordering module), the Job
+Distributor:
+
+1. *tags* slices in ascending size order with the fraction of their memory
+   BE requests are expected to occupy (``tag_value``), packing BE demand
+   onto the fewest, smallest slices (Guideline 1);
+2. places *strict* batches on the fitting slice with the minimum slowdown
+   factor η (Eq. 2), where η accounts for the RDF of the incoming batch,
+   the FBRs of jobs already resident, and the *potential* BE occupancy via
+   the slice's tag (Guideline 2);
+3. places *best-effort* batches by First-Fit bin packing over ascending
+   slice sizes — spilling to larger slices only when the small ones
+   cannot hold them (the Figure 7 "spillage" behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gpu.engine import GPUSlice
+from repro.gpu.slowdown import slowdown_factor
+from repro.serverless.request import RequestBatch
+
+
+def compute_tags(slices: list[GPUSlice], be_mem: float) -> dict[int, float]:
+    """Algorithm 1 lines 1–8: tag slices (ascending) with BE occupancy.
+
+    Returns ``{id(slice): tag_value}``; untagged slices default to 0.
+    ``tag_value = min(1, BE_mem / slice.available_mem)`` and the remaining
+    BE memory decreases by the slice's capacity, so demand is packed onto
+    the fewest, smallest slices.
+    """
+    tags: dict[int, float] = {}
+    remaining = max(0.0, be_mem)
+    for gpu_slice in sorted(slices, key=lambda s: s.profile.compute_units):
+        if remaining <= 0:
+            break
+        capacity = gpu_slice.profile.memory_gb
+        tags[id(gpu_slice)] = min(1.0, remaining / capacity)
+        remaining = max(0.0, remaining - capacity)
+    return tags
+
+
+def choose_strict_slice(
+    batch: RequestBatch,
+    slices: list[GPUSlice],
+    tags: dict[int, float],
+) -> Optional[GPUSlice]:
+    """Algorithm 1's ``choose_strict_slice`` (marker ⑦).
+
+    Candidates are slices that (a) are not expected to be fully occupied
+    by BE requests (``tag_value < 1``), (b) can hold the batch's memory
+    right now. Among them, pick the minimum slowdown factor
+
+        η = RDF × max{own_fbr + Σ resident_fbr + tag·potential, 1}
+
+    where the tag contributes a bandwidth demand proportional to the BE
+    occupancy it predicts (a tag of 1 ≈ a slice-saturating BE load).
+    Ties break toward the larger slice, then lower index, keeping the
+    decision deterministic.
+    """
+    model = batch.model
+    best: Optional[GPUSlice] = None
+    best_key: tuple[float, float, int] | None = None
+    for index, gpu_slice in enumerate(slices):
+        tag = tags.get(id(gpu_slice), 0.0)
+        if tag >= 1.0:
+            continue
+        if batch.memory_gb > gpu_slice.memory_free:
+            continue
+        eta = slowdown_factor(
+            model.rdf(gpu_slice.profile),
+            model.slice_fbr(gpu_slice.profile),
+            [*gpu_slice.resident_fbrs(), tag],
+        )
+        key = (eta, -gpu_slice.profile.compute_units, index)
+        if best_key is None or key < best_key:
+            best, best_key = gpu_slice, key
+    return best
+
+
+def choose_best_effort_slice(
+    batch: RequestBatch, slices: list[GPUSlice]
+) -> Optional[GPUSlice]:
+    """Algorithm 1's ``choose_best_effort_slice`` (marker ⑧).
+
+    First-Fit bin packing over slices in ascending size order: the first
+    slice whose free memory holds the batch wins, so BE load concentrates
+    on the smallest slices and spills upward only under pressure.
+    """
+    ordered = sorted(
+        enumerate(slices),
+        key=lambda item: (item[1].profile.compute_units, item[0]),
+    )
+    for _index, gpu_slice in ordered:
+        if batch.memory_gb <= gpu_slice.memory_free:
+            return gpu_slice
+    return None
+
+
+def choose_balanced_slice(
+    batch: RequestBatch, slices: list[GPUSlice]
+) -> Optional[GPUSlice]:
+    """η-minimizing placement with no tag reservations.
+
+    Used by the ``balance_best_effort`` extension (the paper's stated
+    future work for the 100%-BE corner case): when no strict traffic
+    needs protecting, BE batches benefit from the same
+    deficiency/interference tradeoff strict ones get, instead of being
+    packed onto the smallest slices.
+    """
+    return choose_strict_slice(batch, slices, {})
+
+
+def distribute_batch(
+    batch: RequestBatch,
+    slices: list[GPUSlice],
+    be_queued_memory: float,
+    *,
+    balance_best_effort: bool = False,
+    strict_present: bool = True,
+) -> Optional[GPUSlice]:
+    """Algorithm 1's ``Distribute_Jobs`` for one batch.
+
+    ``be_queued_memory`` is the BE_mem figure from the reordering module;
+    tags are recomputed per call because queue contents change between
+    scheduling rounds. With ``balance_best_effort`` enabled, BE batches
+    fall back to η-balanced placement whenever ``strict_present`` is
+    False (nothing to isolate them from).
+    """
+    if batch.strict:
+        tags = compute_tags(slices, be_queued_memory)
+        chosen = choose_strict_slice(batch, slices, tags)
+        if chosen is None:
+            # All untagged slices are full; fall back to *any* fitting
+            # slice rather than stalling a strict batch behind its own
+            # isolation rule.
+            chosen = choose_strict_slice(batch, slices, {})
+        return chosen
+    if balance_best_effort and not strict_present:
+        return choose_balanced_slice(batch, slices)
+    return choose_best_effort_slice(batch, slices)

@@ -1,0 +1,70 @@
+"""Exponentially-weighted moving average prediction.
+
+Algorithm 2 predicts the number of best-effort requests that will arrive
+in the next monitoring window "via the light-weight EWMA model" borrowed
+from Atoll. The same predictor also backs the autoscaler's conservative
+container pre-provisioning.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class EwmaPredictor:
+    """Classic EWMA: ``s ← α·x + (1−α)·s``.
+
+    Until the first observation, :meth:`predict` returns ``initial``
+    (default 0.0), which makes cold-start behaviour explicit rather than
+    an exception path.
+    """
+
+    def __init__(self, alpha: float = 0.3, initial: float = 0.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must lie in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value: float | None = None
+        self._initial = initial
+        self.observations = 0
+
+    def observe(self, sample: float) -> None:
+        """Fold one window's measurement into the average."""
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value = self.alpha * float(sample) + (1 - self.alpha) * self._value
+        self.observations += 1
+
+    def predict(self) -> float:
+        """Current estimate of the next window's value."""
+        return self._initial if self._value is None else self._value
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self._value = None
+        self.observations = 0
+
+
+class PerKeyEwma:
+    """A family of EWMA predictors keyed by string (e.g. model name)."""
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        self.alpha = alpha
+        self._predictors: dict[str, EwmaPredictor] = {}
+
+    def observe(self, key: str, sample: float) -> None:
+        """Update the predictor for ``key`` with one sample."""
+        predictor = self._predictors.get(key)
+        if predictor is None:
+            predictor = EwmaPredictor(self.alpha)
+            self._predictors[key] = predictor
+        predictor.observe(sample)
+
+    def predict(self, key: str) -> float:
+        """Estimate for ``key`` (0.0 for never-seen keys)."""
+        predictor = self._predictors.get(key)
+        return 0.0 if predictor is None else predictor.predict()
+
+    def keys(self) -> tuple[str, ...]:
+        """All keys ever observed."""
+        return tuple(self._predictors)

@@ -1,0 +1,148 @@
+"""Cost-aware VM procurement (paper Section 4.5).
+
+PROTEAN hosts its workers on spot VMs whenever the market has capacity and
+falls back to reliable on-demand VMs otherwise:
+
+- **ON_DEMAND_ONLY** — what every baseline does (and what PROTEAN offers
+  "if the user so desires"): reliable, full price, no evictions.
+- **HYBRID** (PROTEAN) — try spot first; on failure, buy on-demand. When a
+  spot VM receives its eviction notice, the node drains (running requests
+  finish within the ≥30 s warning since GPU serverless jobs run < 1 s) and
+  a replacement is requested immediately — spot again, then on-demand.
+- **SPOT_ONLY** — the aggressive cost-cutting variant of Figure 9: never
+  buys on-demand; when spot capacity is unavailable the cluster simply
+  runs short, retrying on a timer (this is what collapses its SLO
+  compliance under low spot availability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from repro.cluster.node import WorkerNode
+from repro.cluster.pricing import VMTier
+from repro.cluster.spot import SpotMarket
+from repro.cluster.vm import VM
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serverless.platform import ServerlessPlatform
+
+
+class ProcurementMode(str, Enum):
+    """Which VM tiers the platform may buy."""
+
+    ON_DEMAND_ONLY = "on_demand_only"
+    HYBRID = "hybrid"
+    SPOT_ONLY = "spot_only"
+
+
+@dataclass(frozen=True)
+class ProcurementConfig:
+    """Tuning of the procurement layer."""
+
+    mode: ProcurementMode = ProcurementMode.ON_DEMAND_ONLY
+    #: Time to spin up a replacement VM once granted.
+    provision_seconds: float = 30.0
+    #: Spot-Only: how long to wait before retrying a failed spot request.
+    retry_interval: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.provision_seconds < 0:
+            raise ConfigurationError("provision_seconds must be non-negative")
+        if self.retry_interval <= 0:
+            raise ConfigurationError("retry_interval must be positive")
+
+
+class Procurement:
+    """Drives node provisioning/replacement against the spot market."""
+
+    def __init__(
+        self,
+        platform: "ServerlessPlatform",
+        market: SpotMarket,
+        config: ProcurementConfig | None = None,
+    ) -> None:
+        self.platform = platform
+        self.market = market
+        self.config = config or ProcurementConfig()
+        self._node_by_vm: dict[int, WorkerNode] = {}
+        self.replacements_requested = 0
+        self.spot_nodes_built = 0
+        self.on_demand_nodes_built = 0
+        self.retries_scheduled = 0
+
+    @property
+    def mode(self) -> ProcurementMode:
+        return self.config.mode
+
+    # ------------------------------------------------------------------
+    # Provisioning
+    # ------------------------------------------------------------------
+    def provision_initial(self) -> None:
+        """Bring up the platform's configured node count and start daemons.
+
+        Initial provisioning is instantaneous (the cluster exists before
+        the experiment's trace starts), matching the paper's setup where
+        the 8 workers are already up at t=0.
+        """
+        for _ in range(self.platform.config.n_nodes):
+            self._build_now()
+        self.platform.scheme.on_platform_start(self.platform)
+
+    def _choose_tier(self) -> VMTier | None:
+        """Pick the tier for the next node; None means "no capacity"."""
+        if self.mode is ProcurementMode.ON_DEMAND_ONLY:
+            return VMTier.ON_DEMAND
+        if self.market.try_acquire_spot():
+            return VMTier.SPOT
+        if self.mode is ProcurementMode.HYBRID:
+            return VMTier.ON_DEMAND
+        return None  # SPOT_ONLY and the market said no
+
+    def _build_now(self) -> WorkerNode | None:
+        tier = self._choose_tier()
+        if tier is None:
+            self._schedule_retry()
+            return None
+        node = self.platform.build_node(tier)
+        if tier is VMTier.SPOT:
+            self.spot_nodes_built += 1
+            self.market.register(node.vm, self._on_notice, self._on_eviction)
+        else:
+            self.on_demand_nodes_built += 1
+        self._node_by_vm[node.vm.vm_id] = node
+        return node
+
+    def request_replacement(self) -> None:
+        """Ask for one more node after the provisioning delay."""
+        self.replacements_requested += 1
+        self.platform.sim.after(
+            self.config.provision_seconds, self._build_now, label="provision"
+        )
+
+    def _schedule_retry(self) -> None:
+        self.retries_scheduled += 1
+        self.platform.sim.after(
+            self.config.retry_interval, self._build_now, label="spot-retry"
+        )
+
+    # ------------------------------------------------------------------
+    # Eviction handling
+    # ------------------------------------------------------------------
+    def _on_notice(self, vm: VM) -> None:
+        """Eviction notice: drain the node, start acquiring a replacement."""
+        node = self._node_by_vm.get(vm.vm_id)
+        if node is None:  # pragma: no cover - defensive
+            return
+        node.drain()
+        self.request_replacement()
+
+    def _on_eviction(self, vm: VM) -> None:
+        """The VM is gone; tear the node down (stranded work resubmits)."""
+        node = self._node_by_vm.pop(vm.vm_id, None)
+        if node is None:  # pragma: no cover - defensive
+            return
+        self.platform.retire_node(node)

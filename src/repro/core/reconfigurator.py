@@ -1,0 +1,238 @@
+"""The GPU Reconfigurator — Algorithm 2 of the paper (Section 4.4).
+
+A platform-level daemon that runs every monitoring interval ``W``:
+
+1. predicts next-window best-effort request count with an EWMA (marker ⓐ)
+   and converts it to a memory footprint using the current BE model ⓑ;
+2. selects the smallest "small slice set" from ``[[1g, 2g], [3g]]`` that
+   can hold the predicted BE memory ⓒ;
+3. computes occupancy thresholds ``T_low`` ⓓ / ``T_high`` ⓔ — below
+   T_low, consolidating strict+BE on a 3g wins (the 3g's performance
+   outweighs the light BE interference); above T_high the (2g, 1g) set
+   would thrash — in either corner case the (4g, 3g) geometry is used ⓕ;
+4. only reconfigures after the same mismatching decision repeats
+   ``wait_limit`` (3) times ⓖ, and never lets more than ~30% of GPUs
+   reconfigure at once (the cluster's ReconfigurationGovernor).
+
+Applying a change to a node holds its scheduler, waits for the GPU to
+drain (MIG requires idle instances), performs the ~2 s reconfiguration,
+then resumes dispatch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.cluster.node import NodeState, WorkerNode
+from repro.core.ewma import EwmaPredictor
+from repro.errors import ConfigurationError
+from repro.gpu.device_models import A100_40GB, MigDeviceModel, get_device_model
+from repro.gpu.mig import (
+    GEOMETRY_4G_3G,
+    Geometry,
+    SliceKind,
+)
+from repro.serverless.request import Request
+from repro.simulation.processes import PeriodicProcess
+from repro.workloads.profile import ModelProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serverless.platform import ServerlessPlatform
+
+#: Algorithm 2 line 6: the candidate small-slice sets, in preference order.
+SMALL_SLICE_SETS: tuple[tuple[SliceKind, ...], ...] = (
+    (SliceKind.G1, SliceKind.G2),
+    (SliceKind.G3,),
+)
+
+
+@dataclass(frozen=True)
+class ReconfiguratorConfig:
+    """Tuning of the Algorithm 2 daemon."""
+
+    monitor_interval: float = 5.0
+    wait_limit: int = 3
+    ewma_alpha: float = 0.3
+    low_fill_fraction: float = 0.25
+    high_fill_fraction: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.monitor_interval <= 0:
+            raise ConfigurationError("monitor_interval must be positive")
+        if self.wait_limit < 1:
+            raise ConfigurationError("wait_limit must be >= 1")
+        if not 0.0 <= self.low_fill_fraction < self.high_fill_fraction <= 1.0:
+            raise ConfigurationError(
+                "need 0 <= low_fill_fraction < high_fill_fraction <= 1"
+            )
+
+
+def slice_set_memory(
+    kinds: tuple[SliceKind, ...], device: MigDeviceModel = A100_40GB
+) -> float:
+    """``sum_max_mem`` of Algorithm 2: total memory of a slice set, GB."""
+    return sum(device.profile(k).memory_gb for k in kinds)
+
+
+def decide_geometry(
+    pred_be_requests: float,
+    be_model: Optional[ModelProfile],
+    config: ReconfiguratorConfig = ReconfiguratorConfig(),
+    device: MigDeviceModel = A100_40GB,
+) -> Geometry:
+    """The pure decision core of Algorithm 2 (lines 5–23).
+
+    Returns the geometry the cluster's GPUs should converge to, given the
+    predicted BE request count for the next window and the model those
+    requests target.
+    """
+    if be_model is None or pred_be_requests <= 0:
+        # No BE load expected: give strict requests the (4g, 3g) split —
+        # the paper's fallback geometry, "the most effective in such
+        # scenarios".
+        return GEOMETRY_4G_3G
+    batches = math.ceil(pred_be_requests / be_model.batch_size)
+    pred_be_mem = batches * be_model.memory_gb
+    mem_per_request = be_model.memory_gb / be_model.batch_size
+
+    chosen: Optional[tuple[SliceKind, ...]] = None
+    for slice_set in SMALL_SLICE_SETS:
+        if slice_set_memory(slice_set, device) >= pred_be_mem:
+            chosen = slice_set
+            break
+    if chosen is None:
+        return GEOMETRY_4G_3G  # ⓕ "cannot fit all BE requests"
+    capacity = slice_set_memory(chosen, device)
+    t_low = config.low_fill_fraction * capacity / mem_per_request  # ⓓ
+    t_high = config.high_fill_fraction * capacity / mem_per_request  # ⓔ
+    if pred_be_requests < t_low or pred_be_requests > t_high:
+        return GEOMETRY_4G_3G  # ⓕ corner cases
+    return Geometry((*chosen, SliceKind.G4))
+
+
+class GpuReconfigurator:
+    """The live Algorithm 2 daemon driving per-node geometry changes."""
+
+    def __init__(
+        self,
+        platform: "ServerlessPlatform",
+        config: ReconfiguratorConfig | None = None,
+    ) -> None:
+        self.platform = platform
+        self.config = config or ReconfiguratorConfig()
+        self.device = get_device_model(platform.config.gpu_device)
+        self.predictor = EwmaPredictor(self.config.ewma_alpha)
+        self.wait_ctr = 0
+        self.target: Optional[Geometry] = None
+        self.decisions = 0
+        self.reconfigurations_started = 0
+        #: Completed geometry changes: (time, node name, geometry). Used
+        #: by the Figure 7 demonstration to annotate the latency series.
+        self.geometry_log: list[tuple[float, str, Geometry]] = []
+        self._window_be_count = 0
+        self._current_be_model: Optional[ModelProfile] = None
+        self._pending: dict[int, Geometry] = {}
+        self._process = PeriodicProcess(
+            platform.sim,
+            self.config.monitor_interval,
+            self.on_monitor,
+            label="reconfigurator",
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the monitoring loop."""
+        self._process.start()
+
+    def stop(self) -> None:
+        """Disarm the monitoring loop."""
+        self._process.stop()
+
+    # ------------------------------------------------------------------
+    # Observation (hooked into the request ingest path)
+    # ------------------------------------------------------------------
+    def observe_request(self, request: Request) -> None:
+        """Count BE arrivals and track the BE model currently in rotation."""
+        if not request.strict:
+            self._window_be_count += 1
+            self._current_be_model = request.model
+
+    # ------------------------------------------------------------------
+    # Monitoring tick (Algorithm 2 lines 1–3 wrapper)
+    # ------------------------------------------------------------------
+    def on_monitor(self) -> None:
+        """One Monitor_Interval: update prediction, decide, maybe apply."""
+        self.predictor.observe(self._window_be_count)
+        self._window_be_count = 0
+        decision = decide_geometry(
+            self.predictor.predict(),
+            self._current_be_model,
+            self.config,
+            self.device,
+        )
+        self.decisions += 1
+        if decision != self.target:
+            self.target = decision
+            self.wait_ctr = 0
+        mismatched = [
+            node
+            for node in self.platform.cluster.active_nodes
+            if node.gpu.geometry != decision and node.node_id not in self._pending
+        ]
+        if not mismatched:
+            self.wait_ctr = 0  # line 29–30: geometry already matches
+            return
+        self.wait_ctr += 1
+        if self.wait_ctr >= self.config.wait_limit:  # ⓖ
+            self._apply(decision, mismatched)
+
+    # ------------------------------------------------------------------
+    # Application machinery
+    # ------------------------------------------------------------------
+    def _apply(self, geometry: Geometry, nodes: list[WorkerNode]) -> None:
+        governor = self.platform.cluster.governor
+        for node in nodes:
+            if node.state is not NodeState.ACTIVE:
+                continue
+            if not governor.try_acquire():
+                break  # ≤ ~30% of GPUs reconfigure at once
+            self._pending[node.node_id] = geometry
+            scheduler = self.platform.dispatcher.scheduler_for(node)
+            scheduler.hold = True
+            self.reconfigurations_started += 1
+            self._try_start(node)
+
+    def notify_quiescent(self, node: WorkerNode) -> None:
+        """Called by the scheduler when a held node's GPU drains."""
+        if node.node_id in self._pending:
+            self._try_start(node)
+
+    def node_retired(self, node: WorkerNode) -> None:
+        """Drop pending state for a node that got evicted mid-flight."""
+        if self._pending.pop(node.node_id, None) is not None:
+            self.platform.cluster.governor.release()
+
+    def _try_start(self, node: WorkerNode) -> None:
+        geometry = self._pending.get(node.node_id)
+        if geometry is None:
+            return
+        if not node.gpu.can_reconfigure():
+            return  # still draining; notify_quiescent will retry
+
+        def done(_gpu) -> None:
+            if self._pending.pop(node.node_id, None) is None:
+                return  # node retired while reconfiguring
+            self.geometry_log.append(
+                (self.platform.sim.now, node.name, geometry)
+            )
+            self.platform.cluster.governor.release()
+            scheduler = self.platform.dispatcher.try_scheduler_for(node)
+            if scheduler is not None:
+                scheduler.hold = False
+                scheduler.dispatch()
+
+        node.gpu.reconfigure(geometry, done)

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the PROTEAN reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate the failure domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by this library."""
+
+
+class SimulationError(ReproError):
+    """An invariant of the discrete-event simulation kernel was violated."""
+
+
+class EventCancelledError(SimulationError):
+    """An operation was attempted on an event that was already cancelled."""
+
+
+class ClockError(SimulationError):
+    """An event was scheduled in the past, or time moved backwards."""
+
+
+class GPUError(ReproError):
+    """Base class for GPU-substrate errors."""
+
+
+class InvalidGeometryError(GPUError):
+    """A MIG geometry violates the A100 partitioning constraints."""
+
+
+class SliceBusyError(GPUError):
+    """A MIG reconfiguration was requested while slices still hold work."""
+
+
+class InsufficientMemoryError(GPUError):
+    """A job does not fit in the target slice's memory."""
+
+
+class ReconfigurationInProgressError(GPUError):
+    """The GPU is mid-reconfiguration and cannot accept work."""
+
+
+class WorkloadError(ReproError):
+    """A workload profile is malformed or unknown."""
+
+
+class UnknownModelError(WorkloadError):
+    """A model name was not found in the workload registry."""
+
+
+class TraceError(ReproError):
+    """A trace generator was configured inconsistently."""
+
+
+class ClusterError(ReproError):
+    """Base class for cluster/VM-layer errors."""
+
+
+class NodeUnavailableError(ClusterError):
+    """Work was routed to a node that is evicted or draining."""
+
+
+class ProcurementError(ClusterError):
+    """The procurement layer could not satisfy a VM request."""
+
+
+class SchedulingError(ReproError):
+    """A scheduling policy produced an infeasible decision."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or platform configuration is invalid."""

@@ -1,0 +1,47 @@
+"""Experiment harness reproducing the paper's evaluation (Section 6).
+
+Typical use::
+
+    from repro.experiments import ExperimentConfig, run_scheme, run_comparison
+
+    config = ExperimentConfig(strict_model="vgg19", duration=120.0)
+    results = run_comparison(["protean", "infless_llama"], config)
+    for name, result in results.items():
+        print(name, result.summary.slo_percent)
+
+Per-figure experiment definitions live in ``repro.experiments.figures``;
+the ``benchmarks/`` directory exposes one pytest-benchmark target per
+paper table/figure on top of them.
+"""
+
+from repro.experiments.ablations import (
+    ABLATION_VARIANTS,
+    make_variant,
+    run_ablation,
+    run_ablation_suite,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    ExperimentResult,
+    build_oracle_plan,
+    build_specs,
+    run_comparison,
+    run_scheme,
+)
+from repro.experiments.schemes import COMPARISON_SCHEMES, make_scheme, scheme_names
+
+__all__ = [
+    "ABLATION_VARIANTS",
+    "COMPARISON_SCHEMES",
+    "ExperimentConfig",
+    "make_variant",
+    "run_ablation",
+    "run_ablation_suite",
+    "ExperimentResult",
+    "build_oracle_plan",
+    "build_specs",
+    "make_scheme",
+    "run_comparison",
+    "run_scheme",
+    "scheme_names",
+]

@@ -1,0 +1,66 @@
+"""Ablation studies of PROTEAN's design choices.
+
+The paper motivates four mechanisms (Section 4); each ablation disables
+exactly one and measures what it was buying:
+
+- ``no_reordering``     — FIFO queues instead of strict-first (§4.1);
+- ``no_reconfigurator`` — the initial geometry is frozen (§4.4);
+- ``no_autoscaler``     — no predictive container pre-warming (§4.2);
+- ``static_4g_3g``      — reconfiguration replaced by the paper's
+  fallback geometry, isolating the value of *dynamic* selection;
+- ``full``              — unmodified PROTEAN, the reference point.
+
+Run :func:`run_ablation_suite` to get one summary row per variant on a
+shared request stream.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.protean import ProteanScheme
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, build_specs, run_scheme
+from repro.gpu.mig import GEOMETRY_4G_3G
+from repro.serverless.scheme import Scheme
+
+_VariantFactory = Callable[[], Scheme]
+
+ABLATION_VARIANTS: dict[str, _VariantFactory] = {
+    "full": lambda: ProteanScheme(),
+    "no_reordering": lambda: ProteanScheme(enable_reordering=False),
+    "no_reconfigurator": lambda: ProteanScheme(enable_reconfigurator=False),
+    "no_autoscaler": lambda: ProteanScheme(enable_autoscaler=False),
+    "static_4g_3g": lambda: ProteanScheme(
+        initial_geometry=GEOMETRY_4G_3G, enable_reconfigurator=False
+    ),
+}
+
+
+def make_variant(name: str) -> Scheme:
+    """Instantiate one ablation variant by name."""
+    factory = ABLATION_VARIANTS.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown ablation {name!r}; known: {sorted(ABLATION_VARIANTS)}"
+        )
+    return factory()
+
+
+def run_ablation(
+    name: str, config: ExperimentConfig, *, specs=None
+) -> ExperimentResult:
+    """Run one ablation variant under ``config``."""
+    result = run_scheme(make_variant(name), config, specs=specs)
+    result.scheme = name
+    return result
+
+
+def run_ablation_suite(
+    config: ExperimentConfig, variants: tuple[str, ...] | None = None
+) -> dict[str, ExperimentResult]:
+    """Run all (or selected) ablation variants on one request stream."""
+    names = tuple(ABLATION_VARIANTS) if variants is None else variants
+    specs = build_specs(config)
+    return {name: run_ablation(name, config, specs=specs) for name in names}

@@ -1,0 +1,141 @@
+"""Experiment configuration.
+
+One :class:`ExperimentConfig` describes everything about a run except the
+scheme under test: workload mix, trace shape, load level, cluster size,
+SLO tightness, spot-market regime, and simulation scale. The same config
+run against different schemes produces the comparisons in the paper's
+figures.
+
+Load convention: ``offered_load`` expresses the total offered work (in
+solo-7g execution seconds per second per GPU) as a fraction of the
+cluster's serial capacity. The paper's evaluation operates near
+saturation — that is where scheduling policy differentiates (Section 6.1's
+throughput discussion only makes sense for throughput-limited systems) —
+so the default is 0.95.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.profile import InterferenceCategory, ModelProfile
+from repro.workloads.registry import get_model, models_by_category, opposite_category
+from repro.workloads.scaling import scale_model, scale_models
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Full description of one experiment run (scheme supplied separately)."""
+
+    # Workload mix
+    strict_model: str = "resnet50"
+    be_pool: tuple[str, ...] | None = None  # None → opposite category
+    strict_fraction: float = 0.5
+    slo_multiplier: float = 3.0
+    rotation_period: float = 20.0
+
+    # Trace
+    trace: str = "wiki"  # "constant" | "wiki" | "twitter"
+    offered_load: float = 0.85
+    rate: float | None = None  # explicit rps; overrides offered_load
+    duration: float = 150.0
+    warmup: float = 40.0
+    drain: float = 240.0  # extra simulated time to let queues empty
+
+    # Cluster / platform
+    n_nodes: int = 8
+    gpu_device: str = "a100"  # | "a100-80gb" | "h100"
+    scale: float = 0.1  # batch-size (and hence rate) scale factor
+    batch_max_wait: float = 0.05
+    cold_start_seconds: float = 8.0
+    keep_alive_seconds: float = 600.0
+    reconfig_seconds: float = 2.0
+    prewarm_containers: int = 3
+
+    # Spot market / procurement
+    procurement: str = "on_demand_only"  # | "hybrid" | "spot_only"
+    spot_availability: str = "high"  # | "moderate" | "low"
+    spot_check_interval: float = 60.0
+    spot_notice_seconds: float = 30.0
+    provision_seconds: float = 30.0
+
+    #: Align request arrivals to batch-formation instants, matching the
+    #: paper's latency model (no batch-formation term in Section 4.1).
+    batched_arrivals: bool = True
+
+    # Determinism
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if not 0.0 <= self.warmup < self.duration:
+            raise ConfigurationError("warmup must lie in [0, duration)")
+        if self.rate is None and self.offered_load <= 0:
+            raise ConfigurationError("offered_load must be positive")
+        if self.trace not in ("constant", "wiki", "twitter"):
+            raise ConfigurationError(f"unknown trace kind {self.trace!r}")
+        if self.procurement not in ("on_demand_only", "hybrid", "spot_only"):
+            raise ConfigurationError(
+                f"unknown procurement mode {self.procurement!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived workload objects
+    # ------------------------------------------------------------------
+    def strict_profile(self) -> ModelProfile:
+        """The (scale-adjusted) strict model profile."""
+        return scale_model(get_model(self.strict_model), self.scale)
+
+    def be_profiles(self) -> tuple[ModelProfile, ...]:
+        """The (scale-adjusted) BE rotation pool.
+
+        Defaults to the paper's rule: BE models come from the opposite
+        interference category of the strict model (LI ↔ HI); VHI strict
+        models draw BE from the other VHI models.
+        """
+        if self.be_pool is not None:
+            models = tuple(get_model(name) for name in self.be_pool)
+        else:
+            strict = get_model(self.strict_model)
+            category = opposite_category(strict.category)
+            models = tuple(
+                m
+                for m in models_by_category(category)
+                if m.name != strict.name
+            )
+            if category is InterferenceCategory.VHI:
+                # Figure 12/13 setup: BE drawn from the non-generative LLMs.
+                models = tuple(m for m in models if not m.generative)
+        if not models and self.strict_fraction < 1.0:
+            raise ConfigurationError("empty BE pool with BE traffic requested")
+        return scale_models(models, self.scale)
+
+    def request_rate(self) -> float:
+        """Total request rate (rps) for the run.
+
+        Either the explicit ``rate`` (scaled), or derived from
+        ``offered_load`` so the offered solo-7g work per GPU per second
+        equals the load target.
+        """
+        if self.rate is not None:
+            return self.rate * self.scale
+        strict = self.strict_profile()
+        per_request = self.strict_fraction * (
+            strict.solo_latency_7g / strict.batch_size
+        )
+        if self.strict_fraction < 1.0:
+            pool = self.be_profiles()
+            be_work = float(
+                np.mean([m.solo_latency_7g / m.batch_size for m in pool])
+            )
+            per_request += (1.0 - self.strict_fraction) * be_work
+        if per_request <= 0:
+            raise ConfigurationError("degenerate workload: zero per-request work")
+        return self.offered_load * self.n_nodes / per_request
+
+    def with_overrides(self, **overrides) -> "ExperimentConfig":
+        """A copy with fields replaced (convenience for sweeps)."""
+        return replace(self, **overrides)

@@ -1,0 +1,72 @@
+"""Per-figure/table experiment definitions (one module per paper artifact).
+
+Each module exposes ``run(quick=True) -> FigureResult``. The mapping:
+
+========  ===========================================================
+module    paper artifact
+========  ===========================================================
+fig02     Figure 2 — motivation: five sharing schemes on one GPU
+fig03     Figure 3 — normalized FBRs (and measured recovery)
+tab03     Table 3 — spot vs on-demand pricing
+fig05     Figure 5 — SLO compliance across vision models
+fig06     Figure 6 — tail (P99) latency breakdown
+fig07     Figure 7 — dynamic geometry-selection snapshot
+fig08     Figure 8 — end-to-end latency CDF
+fig09     Figure 9 — cost vs SLO under spot availability
+fig10     Figure 10 — throughput and GPU/memory utilization
+fig11     Figure 11 — erratic (Twitter) trace
+fig12     Figure 12 — VHI (LLM) models
+fig13     Figure 13 — generative LLMs (GPT-1/2)
+fig14     Figure 14 — skewed strictness ratios
+tab04     Table 4 — 100% strict case
+tab05     Table 5 — 100% best-effort case
+fig15     Figure 15 — tightened SLO target
+fig16     Figure 16 — versus GPUlet
+fig17     Figure 17 — versus Oracle
+========  ===========================================================
+"""
+
+from repro.experiments.figures import (
+    fig02_motivation,
+    fig03_fbr,
+    fig05_slo_vision,
+    fig06_tail_breakdown,
+    fig07_reconfig_snapshot,
+    fig08_latency_cdf,
+    fig09_cost,
+    fig10_throughput_util,
+    fig11_twitter,
+    fig12_vhi,
+    fig13_gpt,
+    fig14_skew,
+    fig15_tight_slo,
+    fig16_gpulet,
+    fig17_oracle,
+    tab03_pricing,
+    tab04_all_strict,
+    tab05_all_be,
+)
+from repro.experiments.figures.common import FigureResult
+
+ALL_FIGURES = {
+    "fig02": fig02_motivation,
+    "fig03": fig03_fbr,
+    "tab03": tab03_pricing,
+    "fig05": fig05_slo_vision,
+    "fig06": fig06_tail_breakdown,
+    "fig07": fig07_reconfig_snapshot,
+    "fig08": fig08_latency_cdf,
+    "fig09": fig09_cost,
+    "fig10": fig10_throughput_util,
+    "fig11": fig11_twitter,
+    "fig12": fig12_vhi,
+    "fig13": fig13_gpt,
+    "fig14": fig14_skew,
+    "tab04": tab04_all_strict,
+    "tab05": tab05_all_be,
+    "fig15": fig15_tight_slo,
+    "fig16": fig16_gpulet,
+    "fig17": fig17_oracle,
+}
+
+__all__ = ["ALL_FIGURES", "FigureResult"]

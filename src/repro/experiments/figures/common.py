@@ -1,0 +1,119 @@
+"""Shared plumbing for the per-figure experiment modules.
+
+Every figure module exposes ``run(quick=True) -> FigureResult``. Quick mode
+shrinks durations/model rosters so a figure regenerates in seconds (the
+benchmark suite runs all of them); full mode matches the paper's breadth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, run_comparison
+from repro.metrics.breakdown import p99_stacked_breakdown
+from repro.metrics.summary import format_table
+
+#: The paper's four cluster-scale comparison schemes, plot order.
+SCHEMES = ("molecule", "naive_slicing", "infless_llama", "protean")
+
+#: Default durations (seconds) per mode.
+QUICK_DURATION = 60.0
+QUICK_WARMUP = 20.0
+FULL_DURATION = 240.0
+FULL_WARMUP = 60.0
+
+
+@dataclass
+class FigureResult:
+    """One regenerated table/figure: rows plus free-form extra series."""
+
+    figure: str
+    rows: list[dict]
+    notes: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def table(self) -> str:
+        """Text rendering of the rows."""
+        text = format_table(self.rows, title=self.figure)
+        if self.notes:
+            text += f"\n{self.notes}"
+        return text
+
+    def render_extras(self) -> str:
+        """ASCII plots of any curve/series data carried in ``extra``.
+
+        Figure 8's CDFs and Figure 7's latency trace become terminal
+        plots; returns an empty string when there is nothing plottable.
+        """
+        from repro.metrics.ascii_plots import ascii_cdf, ascii_series
+
+        parts: list[str] = []
+        curves = self.extra.get("curves")
+        if curves:
+            parts.append(
+                ascii_cdf(
+                    {
+                        name: (curve["latency_ms"], curve["fraction"])
+                        for name, curve in curves.items()
+                    },
+                    slo=self.extra.get("slo_ms"),
+                    title="Latency CDF (ms)",
+                )
+            )
+        series = self.extra.get("series")
+        if series:
+            parts.append(
+                ascii_series(
+                    [(point["t"], point["p95_ms"]) for point in series],
+                    threshold=self.extra.get("slo_ms"),
+                    title="Per-second strict P95 latency (ms)",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def base_config(quick: bool, **overrides) -> ExperimentConfig:
+    """An ExperimentConfig with mode-appropriate duration defaults."""
+    defaults = dict(
+        duration=QUICK_DURATION if quick else FULL_DURATION,
+        warmup=QUICK_WARMUP if quick else FULL_WARMUP,
+        drain=120.0 if quick else 240.0,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def scheme_rows(
+    results: dict[str, ExperimentResult], *, extra_columns: dict | None = None
+) -> list[dict]:
+    """Summary rows (one per scheme) in canonical column order."""
+    rows = []
+    for name, result in results.items():
+        row = result.summary.row()
+        if extra_columns:
+            for column, getter in extra_columns.items():
+                row[column] = getter(result)
+        rows.append(row)
+    return rows
+
+
+def compare(
+    config: ExperimentConfig, schemes=SCHEMES
+) -> dict[str, ExperimentResult]:
+    """Run the standard scheme comparison for one workload config."""
+    return run_comparison(list(schemes), config)
+
+
+def breakdown_columns(result: ExperimentResult) -> dict[str, float]:
+    """P99-stacked breakdown components in ms (for Figures 2/6/11).
+
+    Components are scaled so they sum to the strict P99 latency, matching
+    the paper's stacked-bar presentation.
+    """
+    strict = [r for r in result.measured if r.strict]
+    tail = p99_stacked_breakdown(strict) if strict else result.summary.tail_breakdown
+    return {
+        f"{name}_ms": round(value * 1000, 1)
+        for name, value in tail.as_dict().items()
+    }

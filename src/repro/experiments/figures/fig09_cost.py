@@ -1,0 +1,68 @@
+"""Figure 9 — normalized dollar cost vs SLO compliance under spot regimes.
+
+Three spot-availability scenarios (high / medium / low, P_rev = 0, 0.354,
+0.708). "Other schemes" host on on-demand VMs only; PROTEAN uses the
+hybrid spot+on-demand policy; Spot-Only never falls back. Expected shape:
+
+- high availability: PROTEAN ≈ Spot-Only ≈ 70% cheaper than on-demand,
+  with unharmed SLO compliance;
+- medium/low availability: Spot-Only stays cheapest but its SLO
+  compliance collapses (paper: 8.76% and 0.68% for ResNet 50); PROTEAN
+  pays more than Spot-Only yet keeps compliance ≈ on-demand levels.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures.common import FigureResult, base_config
+from repro.experiments.runner import run_scheme
+
+SCENARIOS = ("high", "moderate", "low")
+
+
+def run(quick: bool = True) -> FigureResult:
+    """Regenerate Figure 9."""
+    rows = []
+    variants = (
+        ("on_demand_baseline", "protean", "on_demand_only"),
+        ("protean_hybrid", "protean", "hybrid"),
+        ("spot_only", "protean", "spot_only"),
+    )
+    for availability in SCENARIOS:
+        baseline_cost = None
+        for label, scheme, procurement in variants:
+            config = base_config(
+                quick,
+                strict_model="resnet50",
+                trace="constant",
+                procurement=procurement,
+                spot_availability=availability,
+                spot_check_interval=30.0 if quick else 60.0,
+                duration=90.0 if quick else 240.0,
+                warmup=20.0 if quick else 60.0,
+            )
+            result = run_scheme(scheme, config)
+            cost = result.summary.total_cost
+            if baseline_cost is None:
+                baseline_cost = cost
+            rows.append(
+                {
+                    "availability": availability,
+                    "hosting": label,
+                    "slo_%": round(result.summary.slo_percent, 2),
+                    "cost_$": round(cost, 4),
+                    "normalized_cost": round(cost / baseline_cost, 3),
+                    "savings_%": round(
+                        result.summary.cost_savings_fraction * 100, 1
+                    ),
+                    "evictions": result.extras["evictions"],
+                }
+            )
+    return FigureResult(
+        figure="Figure 9: normalized cost vs SLO under spot availability",
+        rows=rows,
+        notes=(
+            "Expected: hybrid ≈ 70% savings at high availability with "
+            "on-demand-level SLO; spot_only cheapest but SLO collapses "
+            "as availability drops."
+        ),
+    )

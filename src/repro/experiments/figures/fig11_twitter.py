@@ -1,0 +1,48 @@
+"""Figure 11 — tail latency breakdown under the erratic Twitter trace.
+
+MobileNet strict requests; Twitter trace scaled so its *peak* hits the
+target rate (the mean lands ~35% lower). Expected shape: the sudden
+surges find INFless/Llama and Naïve Slicing under-provisioned, adding
+queueing to their tails; PROTEAN cuts queueing sharply (paper: ~69% less)
+through request reordering and conservative provisioning, reaching ~99.9%
+SLO compliance.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures.common import (
+    FigureResult,
+    base_config,
+    breakdown_columns,
+    compare,
+)
+
+
+def run(quick: bool = True) -> FigureResult:
+    """Regenerate Figure 11."""
+    config = base_config(
+        quick,
+        strict_model="mobilenet",
+        trace="twitter",
+        # Load targets the *peak* for Twitter: at the same nominal level
+        # the mean lands ~35% lower than the Wiki experiments.
+        offered_load=1.25,
+    )
+    results = compare(config)
+    rows = []
+    for scheme, result in results.items():
+        row = {
+            "scheme": scheme,
+            "slo_%": round(result.summary.slo_percent, 2),
+            "p99_ms": round(result.summary.strict_p99 * 1000, 1),
+        }
+        row.update(breakdown_columns(result))
+        rows.append(row)
+    return FigureResult(
+        figure="Figure 11: Twitter (erratic) trace, MobileNet",
+        rows=rows,
+        notes=(
+            "Expected: queueing components visible for infless/naive; "
+            "protean's queueing much smaller, compliance near 99.9%."
+        ),
+    )

@@ -1,0 +1,51 @@
+"""Figure 12 — SLO compliance for the Very-High-Interference (LLM) models.
+
+Sequence-classification LLMs (batch 4, ~128 rps at paper scale) whose
+FBRs run ~59% above the vision models. Expected shape: every MPS-based
+scheme suffers more than on vision workloads; INFless/Llama collapses
+(paper average: 5.92%); PROTEAN stays on top (up to ~93% more compliance),
+with Molecule(beta) competitive only where execution dominates queueing
+(FlauBERT).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures.common import (
+    FigureResult,
+    SCHEMES,
+    base_config,
+    compare,
+)
+from repro.workloads import very_high_interference_models
+
+QUICK_MODELS = ("albert", "bert", "flaubert")
+
+
+def run(quick: bool = True) -> FigureResult:
+    """Regenerate Figure 12."""
+    if quick:
+        models = QUICK_MODELS
+    else:
+        models = tuple(
+            m.name for m in very_high_interference_models() if not m.generative
+        )
+    rows = []
+    for model in models:
+        config = base_config(
+            quick,
+            strict_model=model,
+            trace="wiki",
+            scale=1.0,  # language batch size is already 4
+        )
+        results = compare(config)
+        row: dict = {"model": model}
+        for scheme in SCHEMES:
+            row[f"{scheme}_slo_%"] = round(
+                results[scheme].summary.slo_percent, 2
+            )
+        rows.append(row)
+    return FigureResult(
+        figure="Figure 12: SLO compliance, VHI (LLM) models",
+        rows=rows,
+        notes="Expected: infless_llama lowest on average; protean highest.",
+    )

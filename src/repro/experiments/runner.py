@@ -1,0 +1,303 @@
+"""Experiment runner: build, run, and summarize one (scheme, config) pair.
+
+The runner owns all the glue the paper's testbed scripts would: trace
+generation, request mixing, platform provisioning (through the
+cost-aware procurement layer), container pre-warming, warm-up exclusion,
+and metric summarization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.oracle import GeometryPlan
+from repro.cluster.spot import AVAILABILITY_LEVELS, SpotMarket
+from repro.core.procurement import Procurement, ProcurementConfig, ProcurementMode
+from repro.core.reconfigurator import decide_geometry
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.schemes import make_scheme
+from repro.metrics.breakdown import tail_breakdown
+from repro.metrics.latency import latency_cdf, p50, p99
+from repro.metrics.records import RecordCollector, RequestRecord
+from repro.metrics.slo import slo_compliance
+from repro.metrics.summary import RunSummary, filter_window
+from repro.metrics.throughput import (
+    cluster_utilization,
+    strict_throughput_per_gpu,
+    total_throughput_per_gpu,
+)
+from repro.serverless.platform import PlatformConfig, ServerlessPlatform
+from repro.serverless.scheme import Scheme
+from repro.simulation.simulator import Simulator
+from repro.traces.base import arrival_times, constant_trace
+from repro.traces.mixing import (
+    MixSpec,
+    RequestSpec,
+    collapse_to_batches,
+    mix_requests,
+)
+from repro.traces.twitter import twitter_trace
+from repro.traces.wiki import wiki_trace
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one run: summary metrics plus raw material for plots."""
+
+    scheme: str
+    config: ExperimentConfig
+    summary: RunSummary
+    collector: RecordCollector
+    measured: list[RequestRecord]
+    extras: dict = field(default_factory=dict)
+    #: The live platform (scheme daemons, cluster, pools) for post-hoc
+    #: inspection — e.g. Figure 7 reads the reconfigurator's geometry log.
+    platform: ServerlessPlatform | None = None
+
+    def cdf(self, *, strict_only: bool = True, points: int = 200):
+        """Latency CDF over the measured window (Figure 8)."""
+        records = [r for r in self.measured if r.strict] if strict_only else self.measured
+        return latency_cdf(records, points)
+
+
+def build_specs(config: ExperimentConfig) -> list[RequestSpec]:
+    """Generate the run's full request stream from its config."""
+    rng = np.random.default_rng(config.seed)
+    rate = config.request_rate()
+    if config.trace == "constant":
+        trace = constant_trace(rate, config.duration)
+    elif config.trace == "wiki":
+        trace = wiki_trace(config.duration, rng, mean_rate=rate)
+    elif config.trace == "twitter":
+        # The paper scales Twitter so its *peak* hits the target rate
+        # (the mean then lands ~35% lower, Section 6.2).
+        trace = twitter_trace(config.duration, rng, peak_rate=rate)
+    else:  # pragma: no cover - guarded by config validation
+        raise ConfigurationError(f"unknown trace {config.trace!r}")
+    arrivals = arrival_times(trace, rng)
+    mix = MixSpec(
+        strict_model=config.strict_profile(),
+        be_pool=config.be_profiles() if config.strict_fraction < 1.0 else (),
+        strict_fraction=config.strict_fraction,
+        rotation_period=config.rotation_period,
+        slo_multiplier=config.slo_multiplier,
+    )
+    specs = mix_requests(arrivals, mix, rng)
+    if config.batched_arrivals:
+        specs = collapse_to_batches(specs)
+    return specs
+
+
+def build_oracle_plan(
+    config: ExperimentConfig,
+    specs: list[RequestSpec],
+    *,
+    monitor_interval: float = 5.0,
+) -> GeometryPlan:
+    """Derive the Oracle's geometry plan from the *true* request stream.
+
+    For each BE rotation window, the plan applies the same decision rule
+    PROTEAN uses online (Algorithm 2), but fed the window's actual BE
+    request count and model instead of EWMA predictions.
+    """
+    windows: dict[int, tuple[int, object]] = {}
+    for spec in specs:
+        if spec.strict:
+            continue
+        index = int(spec.arrival // config.rotation_period)
+        count, _model = windows.get(index, (0, None))
+        windows[index] = (count + 1, spec.model)
+    plan = []
+    horizon = int(math.ceil(config.duration / config.rotation_period))
+    for index in range(horizon):
+        count, model = windows.get(index, (0, None))
+        per_monitor = count * monitor_interval / config.rotation_period
+        plan.append(
+            (
+                index * config.rotation_period,
+                decide_geometry(per_monitor, model),
+            )
+        )
+    return plan
+
+
+def run_scheme(
+    scheme_name,
+    config: ExperimentConfig,
+    *,
+    specs: list[RequestSpec] | None = None,
+) -> ExperimentResult:
+    """Run one scheme under ``config`` and summarize the outcome.
+
+    ``scheme_name`` is a registry name (``"protean"``, ``"oracle"``, ...)
+    or a pre-built :class:`~repro.serverless.scheme.Scheme` instance
+    (custom schemes, ablation variants).
+    """
+    if specs is None:
+        specs = build_specs(config)
+    if isinstance(scheme_name, Scheme):
+        scheme = scheme_name
+        scheme_name = scheme.name
+    else:
+        oracle_plan = (
+            build_oracle_plan(config, specs)
+            if scheme_name.lower().strip() == "oracle"
+            else None
+        )
+        scheme = make_scheme(scheme_name, oracle_plan=oracle_plan)
+
+    sim = Simulator(config.seed)
+    platform = ServerlessPlatform(
+        sim,
+        scheme,
+        PlatformConfig(
+            n_nodes=config.n_nodes,
+            cold_start_seconds=config.cold_start_seconds,
+            keep_alive_seconds=config.keep_alive_seconds,
+            batch_max_wait=config.batch_max_wait,
+            reconfig_seconds=config.reconfig_seconds,
+            gpu_device=config.gpu_device,
+        ),
+    )
+    market = SpotMarket(
+        sim,
+        sim.rng.stream("spot"),
+        AVAILABILITY_LEVELS[config.spot_availability],
+        notice_seconds=config.spot_notice_seconds,
+        check_interval=config.spot_check_interval,
+    )
+    procurement = Procurement(
+        platform,
+        market,
+        ProcurementConfig(
+            mode=ProcurementMode(config.procurement),
+            provision_seconds=config.provision_seconds,
+        ),
+    )
+    procurement.provision_initial()
+    _prewarm(platform, config)
+    platform.inject(specs)
+    # Snapshot utilization when the trace ends so drain time does not
+    # dilute the Figure 10b metrics.
+    utilization_box: list = []
+    sim.at(
+        config.duration,
+        lambda: utilization_box.append(cluster_utilization(platform.all_nodes)),
+        label="utilization-snapshot",
+    )
+    sim.run(until=config.duration + config.drain)
+    platform.finalize()
+    utilization = (
+        utilization_box[0]
+        if utilization_box
+        else cluster_utilization(platform.all_nodes)
+    )
+    return _summarize(
+        scheme_name, config, platform, procurement, specs, utilization
+    )
+
+
+def run_comparison(
+    scheme_names: list[str] | tuple[str, ...],
+    config: ExperimentConfig,
+) -> dict[str, ExperimentResult]:
+    """Run several schemes on the *same* request stream."""
+    specs = build_specs(config)
+    return {
+        name: run_scheme(name, config, specs=specs) for name in scheme_names
+    }
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _prewarm(platform: ServerlessPlatform, config: ExperimentConfig) -> None:
+    if config.prewarm_containers <= 0:
+        return
+    models = [config.strict_profile()]
+    if config.strict_fraction < 1.0:
+        models.extend(config.be_profiles())
+    for node in platform.cluster.nodes:
+        pool = platform.pool_for(node)
+        for model in models:
+            for _ in range(config.prewarm_containers):
+                pool.prewarm(model.name)
+
+
+def _summarize(
+    scheme_name: str,
+    config: ExperimentConfig,
+    platform: ServerlessPlatform,
+    procurement: Procurement,
+    specs: list[RequestSpec],
+    utilization,
+) -> ExperimentResult:
+    window_start, window_end = config.warmup, config.duration
+    measured = filter_window(
+        list(platform.collector.records), window_start, window_end
+    )
+    strict = [r for r in measured if r.strict]
+    best_effort = [r for r in measured if not r.strict]
+    expected_strict = sum(
+        1
+        for s in specs
+        if s.strict and window_start <= s.arrival < window_end
+    )
+    dropped_strict = max(0, expected_strict - len(strict))
+    window = window_end - window_start
+    # Throughput counts requests that both arrived and completed inside
+    # the window: an overloaded scheme's completions lag its arrivals
+    # (Figure 10a's differentiation), while backlog drained from before
+    # the window does not inflate the figure.
+    completed_in_window = [
+        r for r in measured if r.completion < window_end
+    ]
+    meter = platform.meter
+    summary = RunSummary(
+        scheme=scheme_name,
+        strict_model=config.strict_model,
+        requests_served=len(measured),
+        strict_requests=len(strict),
+        slo_compliance=slo_compliance(strict, dropped_strict=dropped_strict),
+        strict_p50=p50(strict),
+        strict_p99=p99(strict),
+        be_p50=p50(best_effort),
+        be_p99=p99(best_effort),
+        tail_breakdown=tail_breakdown(strict),
+        strict_throughput_per_gpu=strict_throughput_per_gpu(
+            completed_in_window, config.n_nodes, window
+        ),
+        total_throughput_per_gpu=total_throughput_per_gpu(
+            completed_in_window, config.n_nodes, window
+        ),
+        gpu_busy_fraction=utilization.gpu_busy_fraction,
+        gpu_any_busy_fraction=utilization.gpu_any_busy_fraction,
+        memory_fraction=utilization.memory_fraction,
+        reconfigurations=utilization.reconfigurations,
+        total_cost=meter.total_cost,
+        cost_savings_fraction=meter.savings_fraction,
+        dropped_requests=dropped_strict,
+    )
+    extras = {
+        "spot_nodes_built": procurement.spot_nodes_built,
+        "on_demand_nodes_built": procurement.on_demand_nodes_built,
+        "evictions": procurement.market.evictions,
+        "spot_notices": procurement.market.notices_issued,
+        "resubmissions": platform.dispatcher.resubmissions,
+        "backlog_at_end": platform.dispatcher.backlog_size,
+        "cold_starts": platform.total_cold_starts(),
+        "nodes_at_end": len(platform.cluster),
+    }
+    return ExperimentResult(
+        scheme=scheme_name,
+        config=config,
+        summary=summary,
+        collector=platform.collector,
+        measured=measured,
+        extras=extras,
+        platform=platform,
+    )

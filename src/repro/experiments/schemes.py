@@ -1,0 +1,75 @@
+"""Scheme factory: build the evaluated schemes by name.
+
+Names follow the paper's Section 5 (plus the Section 2.2 motivation
+schemes). The Oracle needs a geometry plan derived from the concrete
+request stream, so its factory takes the plan as an argument — the runner
+builds it (see :func:`repro.experiments.runner.build_oracle_plan`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.gpulet import GpuletScheme
+from repro.baselines.infless_llama import InflessLlamaScheme
+from repro.baselines.molecule import MoleculeBetaScheme
+from repro.baselines.motivation import (
+    MigOnlyScheme,
+    MpsMigScheme,
+    SmartMpsMigScheme,
+)
+from repro.baselines.naive_slicing import NaiveSlicingScheme
+from repro.baselines.oracle import GeometryPlan, OracleScheme
+from repro.core.protean import ProteanScheme
+from repro.errors import ConfigurationError
+from repro.serverless.scheme import Scheme
+
+_FACTORIES: dict[str, Callable[[], Scheme]] = {
+    "protean": ProteanScheme,
+    # Paper future work (Table 5): η-balanced BE placement when no strict
+    # traffic is present — improves the 100%-BE tail.
+    "protean_be_balanced": lambda: ProteanScheme(balance_best_effort=True),
+    "infless_llama": InflessLlamaScheme,
+    "infless": InflessLlamaScheme,
+    "llama": InflessLlamaScheme,
+    "molecule": MoleculeBetaScheme,
+    "molecule_beta": MoleculeBetaScheme,
+    "naive_slicing": NaiveSlicingScheme,
+    "naive": NaiveSlicingScheme,
+    "gpulet": GpuletScheme,
+    # Section 2.2 motivation schemes:
+    "no_mps_or_mig": MoleculeBetaScheme,
+    "mps_only": InflessLlamaScheme,
+    "mig_only": MigOnlyScheme,
+    "mps_mig": MpsMigScheme,
+    "smart_mps_mig": SmartMpsMigScheme,
+}
+
+#: Canonical scheme order used by comparison figures.
+COMPARISON_SCHEMES = ("molecule", "naive_slicing", "infless_llama", "protean")
+
+
+def scheme_names() -> tuple[str, ...]:
+    """All accepted scheme names."""
+    return tuple(sorted(_FACTORIES) + ["oracle"])
+
+
+def make_scheme(name: str, *, oracle_plan: GeometryPlan | None = None) -> Scheme:
+    """Instantiate a fresh scheme by name.
+
+    ``oracle_plan`` is required (and only used) for ``"oracle"``.
+    """
+    key = name.lower().strip()
+    if key == "oracle":
+        if oracle_plan is None:
+            raise ConfigurationError(
+                "the oracle scheme needs a geometry plan; use "
+                "run_experiment which builds it from the request stream"
+            )
+        return OracleScheme(oracle_plan)
+    factory = _FACTORIES.get(key)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown scheme {name!r}; known: {', '.join(scheme_names())}"
+        )
+    return factory()

@@ -1,0 +1,89 @@
+"""Run the full reproduction suite and emit a consolidated report.
+
+``run_full_suite`` regenerates every paper artifact (all 15 figures and 3
+tables) in one pass and writes the tables to an output directory, plus a
+``SUMMARY.txt`` index. Exposed on the CLI as ``python -m repro
+reproduce-all``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.figures.common import FigureResult
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One regenerated artifact plus how long it took."""
+
+    figure_id: str
+    result: FigureResult
+    seconds: float
+    error: str | None = None
+
+
+def run_full_suite(
+    *,
+    quick: bool = True,
+    output_dir: str | Path | None = None,
+    only: tuple[str, ...] | None = None,
+    progress=None,
+) -> list[SuiteEntry]:
+    """Regenerate every (or selected) paper artifact.
+
+    Parameters
+    ----------
+    quick:
+        Quick mode (reduced durations/rosters) or the paper's breadth.
+    output_dir:
+        Where to write ``<figure>.txt`` tables and ``SUMMARY.txt``;
+        ``None`` skips writing.
+    only:
+        Restrict to these figure ids.
+    progress:
+        Optional callable invoked as ``progress(figure_id)`` before each
+        artifact (the CLI prints these).
+    """
+    entries: list[SuiteEntry] = []
+    selected = ALL_FIGURES if only is None else {
+        figure_id: ALL_FIGURES[figure_id] for figure_id in only
+    }
+    for figure_id, module in selected.items():
+        if progress is not None:
+            progress(figure_id)
+        started = time.perf_counter()
+        try:
+            result = module.run(quick=quick)
+            error = None
+        except Exception as exc:  # pragma: no cover - surfaced, not hidden
+            result = FigureResult(figure=figure_id, rows=[], notes=str(exc))
+            error = f"{type(exc).__name__}: {exc}"
+        entries.append(
+            SuiteEntry(
+                figure_id=figure_id,
+                result=result,
+                seconds=time.perf_counter() - started,
+                error=error,
+            )
+        )
+    if output_dir is not None:
+        _write(entries, Path(output_dir))
+    return entries
+
+
+def _write(entries: list[SuiteEntry], output_dir: Path) -> None:
+    output_dir.mkdir(parents=True, exist_ok=True)
+    summary_lines = ["PROTEAN reproduction suite", ""]
+    for entry in entries:
+        path = output_dir / f"{entry.figure_id}.txt"
+        path.write_text(entry.result.table() + "\n")
+        status = "ERROR: " + entry.error if entry.error else "ok"
+        summary_lines.append(
+            f"{entry.figure_id:7s} {entry.seconds:7.1f}s  {status}  "
+            f"-> {path.name}"
+        )
+    (output_dir / "SUMMARY.txt").write_text("\n".join(summary_lines) + "\n")

@@ -1,0 +1,86 @@
+"""GPU substrate: MIG geometry model, MPS sharing, and the slowdown model.
+
+This package simulates the architectural capabilities the paper builds on
+(Section 2.2): MIG partitioning per Table 2, MPS spatial sharing with
+bandwidth-contention interference (Eq. 1), the resource-deficiency factor,
+and the combined slowdown factor η (Eq. 2) used for placement.
+"""
+
+from repro.gpu.device import DEFAULT_RECONFIG_SECONDS, GPU, GPUUtilization
+from repro.gpu.device_models import (
+    A100_40GB,
+    A100_80GB,
+    DEVICE_MODELS,
+    H100_80GB,
+    MigDeviceModel,
+    get_device_model,
+)
+from repro.gpu.engine import GPUSlice, JobTiming, ShareMode, SliceJob
+from repro.gpu.mig import (
+    GEOMETRY_4G_2G_1G,
+    GEOMETRY_4G_3G,
+    GEOMETRY_FULL,
+    MIG_PROFILES,
+    TOTAL_COMPUTE_UNITS,
+    TOTAL_MEMORY_GB,
+    TOTAL_MEMORY_UNITS,
+    Geometry,
+    SliceKind,
+    SliceProfile,
+    enumerate_geometries,
+    is_valid_geometry,
+    profile,
+    validate_geometry,
+)
+from repro.gpu.planner import (
+    BatchStream,
+    GeometryPlanEvaluation,
+    best_geometry,
+    evaluate_geometry,
+)
+from repro.gpu.slowdown import (
+    interference_factor,
+    predicted_execution_time,
+    resource_deficiency_factor,
+    slice_relative_fbr,
+    slowdown_factor,
+)
+
+__all__ = [
+    "A100_40GB",
+    "A100_80GB",
+    "BatchStream",
+    "DEFAULT_RECONFIG_SECONDS",
+    "DEVICE_MODELS",
+    "H100_80GB",
+    "MigDeviceModel",
+    "get_device_model",
+    "GeometryPlanEvaluation",
+    "best_geometry",
+    "evaluate_geometry",
+    "GEOMETRY_4G_2G_1G",
+    "GEOMETRY_4G_3G",
+    "GEOMETRY_FULL",
+    "GPU",
+    "GPUSlice",
+    "GPUUtilization",
+    "Geometry",
+    "JobTiming",
+    "MIG_PROFILES",
+    "ShareMode",
+    "SliceJob",
+    "SliceKind",
+    "SliceProfile",
+    "TOTAL_COMPUTE_UNITS",
+    "TOTAL_MEMORY_GB",
+    "TOTAL_MEMORY_UNITS",
+    "enumerate_geometries",
+    "interference_factor",
+    "is_valid_geometry",
+    "predicted_execution_time",
+    "profile",
+    "resource_deficiency_factor",
+    "slice_relative_fbr",
+    "slowdown_factor",
+    "validate_geometry",
+]

@@ -1,0 +1,211 @@
+"""A simulated MIG-capable GPU (one A100 per worker node).
+
+The device owns the current MIG geometry and its live slices. MIG semantics
+follow the user guide as summarized in Section 2.2 of the paper:
+
+- reconfiguring requires every slice to be idle (no running processes);
+- reconfiguration takes a fixed downtime (~2 s in the paper) during which
+  no work can be submitted;
+- MPS may be layered on top of each slice (the default here) or the slices
+  may be time-shared, depending on the scheme being modelled.
+
+The device rolls slice utilization integrals up across reconfigurations so
+whole-run GPU/memory utilization (Figure 10b) stays exact.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ReconfigurationInProgressError, SliceBusyError
+from repro.gpu.device_models import A100_40GB, MigDeviceModel, geometry_profiles
+from repro.gpu.engine import GPUSlice, ShareMode
+from repro.gpu.mig import Geometry, GEOMETRY_FULL
+from repro.simulation.simulator import Simulator
+
+#: MIG geometry change downtime, seconds (paper Section 4.4: "~2s").
+DEFAULT_RECONFIG_SECONDS = 2.0
+
+_gpu_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class GPUUtilization:
+    """Whole-run utilization summary for one GPU.
+
+    ``any_busy_fraction`` is the nvidia-smi-style "percentage non-idle
+    time" the paper reports in Figure 10b (fraction of wall time in which
+    at least one slice was executing); ``busy_fraction`` is the
+    compute-weighted variant (slice busy time × slice compute share).
+    """
+
+    busy_fraction: float
+    any_busy_fraction: float
+    memory_fraction: float
+    reconfigurations: int
+
+
+class GPU:
+    """One MIG-capable GPU: a geometry plus its live slices."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        geometry: Geometry = GEOMETRY_FULL,
+        mode: ShareMode = ShareMode.MPS,
+        *,
+        reconfig_seconds: float = DEFAULT_RECONFIG_SECONDS,
+        name: str = "",
+        device_model: MigDeviceModel = A100_40GB,
+    ) -> None:
+        self.sim = sim
+        self.mode = mode
+        self.device_model = device_model
+        self.reconfig_seconds = reconfig_seconds
+        self.gpu_id = next(_gpu_ids)
+        self.name = name or f"gpu{self.gpu_id}"
+        self.geometry = geometry
+        self.slices: list[GPUSlice] = []
+        self.reconfiguring = False
+        self.reconfigurations = 0
+        self._created_at = sim.now
+        # Utilization carried over from slices retired by reconfiguration.
+        self._retired_busy_weighted = 0.0
+        self._retired_memory_gb_seconds = 0.0
+        # Whole-device "any slice busy" integral (nvidia-smi style).
+        self._busy_slice_count = 0
+        self._any_busy_seconds = 0.0
+        self._last_any_account = sim.now
+        self._build_slices(geometry)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        """True when every slice is free of running and pending work."""
+        return all(s.idle for s in self.slices)
+
+    @property
+    def available(self) -> bool:
+        """True when the GPU can accept work (not mid-reconfiguration)."""
+        return not self.reconfiguring
+
+    @property
+    def occupancy(self) -> int:
+        """Total jobs attached across all slices."""
+        return sum(s.occupancy for s in self.slices)
+
+    def slices_by_size(self, *, ascending: bool = True) -> list[GPUSlice]:
+        """Slices ordered by compute share (the Algorithm 1 iteration order)."""
+        ordered = sorted(self.slices, key=lambda s: s.profile.compute_units)
+        return ordered if ascending else list(reversed(ordered))
+
+    def largest_slice(self) -> GPUSlice:
+        """The slice with the most compute units."""
+        return self.slices_by_size(ascending=False)[0]
+
+    # ------------------------------------------------------------------
+    # Reconfiguration
+    # ------------------------------------------------------------------
+    def can_reconfigure(self) -> bool:
+        """Whether a geometry change could start right now."""
+        return self.idle and not self.reconfiguring
+
+    def reconfigure(
+        self, geometry: Geometry, on_done: Optional[Callable[["GPU"], None]] = None
+    ) -> None:
+        """Switch to ``geometry`` after the reconfiguration downtime.
+
+        Raises
+        ------
+        SliceBusyError
+            If any slice still holds work (MIG requires idle instances).
+        ReconfigurationInProgressError
+            If a change is already underway.
+        """
+        if self.reconfiguring:
+            raise ReconfigurationInProgressError(
+                f"{self.name} is already reconfiguring"
+            )
+        if not self.idle:
+            raise SliceBusyError(
+                f"{self.name} has active work; MIG reconfiguration needs idle slices"
+            )
+        if geometry == self.geometry:
+            if on_done is not None:
+                on_done(self)
+            return
+        self._retire_slices()
+        self.reconfiguring = True
+
+        def finish() -> None:
+            self.reconfiguring = False
+            self.geometry = geometry
+            self._build_slices(geometry)
+            self.reconfigurations += 1
+            if on_done is not None:
+                on_done(self)
+
+        self.sim.after(self.reconfig_seconds, finish, label=f"{self.name}-reconfig")
+
+    def _build_slices(self, geometry: Geometry) -> None:
+        self.slices = []
+        profiles = geometry_profiles(geometry.kinds, self.device_model)
+        for index, prof in enumerate(profiles):
+            gpu_slice = GPUSlice(
+                self.sim,
+                prof,
+                self.mode,
+                name=f"{self.name}/{prof.kind.value}#{index}",
+            )
+            gpu_slice.busy_observer = self._on_slice_busy_change
+            self.slices.append(gpu_slice)
+
+    def _retire_slices(self) -> None:
+        for old in self.slices:
+            busy, mem_gb_s, _lifetime = old.utilization_snapshot()
+            self._retired_busy_weighted += busy * old.profile.compute_fraction
+            self._retired_memory_gb_seconds += mem_gb_s
+        self._account_any_busy()
+        self._busy_slice_count = 0  # idle is a reconfiguration precondition
+        self.slices = []
+
+    def _on_slice_busy_change(self, _slice: GPUSlice, busy: bool) -> None:
+        self._account_any_busy()
+        self._busy_slice_count += 1 if busy else -1
+
+    def _account_any_busy(self) -> None:
+        now = self.sim.now
+        if self._busy_slice_count > 0:
+            self._any_busy_seconds += now - self._last_any_account
+        self._last_any_account = now
+
+    # ------------------------------------------------------------------
+    # Utilization
+    # ------------------------------------------------------------------
+    def utilization(self) -> GPUUtilization:
+        """Compute-weighted busy fraction and memory occupancy fraction."""
+        busy_weighted = self._retired_busy_weighted
+        mem_gb_seconds = self._retired_memory_gb_seconds
+        for s in self.slices:
+            busy, mem_gb_s, _lifetime = s.utilization_snapshot()
+            busy_weighted += busy * s.profile.compute_fraction
+            mem_gb_seconds += mem_gb_s
+        self._account_any_busy()
+        elapsed = self.sim.now - self._created_at
+        if elapsed <= 0:
+            return GPUUtilization(0.0, 0.0, 0.0, self.reconfigurations)
+        return GPUUtilization(
+            busy_fraction=busy_weighted / elapsed,
+            any_busy_fraction=self._any_busy_seconds / elapsed,
+            memory_fraction=mem_gb_seconds
+            / (elapsed * self.device_model.total_memory_gb),
+            reconfigurations=self.reconfigurations,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "reconfiguring" if self.reconfiguring else "ready"
+        return f"GPU({self.name}, {self.geometry!r}, {state})"

@@ -1,0 +1,109 @@
+"""MIG device models beyond the A100-40GB.
+
+The paper's title targets "emerging GPU architectures" and §7 argues
+PROTEAN generalizes to any accelerator offering MIG-like partitioning and
+MPS-like sharing. Ampere and Hopper parts share the same partitioning
+skeleton — 7 compute slices × 8 memory slices with identical per-profile
+fractions — and differ in total memory:
+
+- **A100-40GB** (the paper's testbed): 1g.5gb … 7g.40gb;
+- **A100-80GB**: 1g.10gb … 7g.80gb;
+- **H100-80GB**: 1g.10gb … 7g.80gb (Hopper; same MIG shape as A100-80GB
+  for scheduling purposes — Hopper's extra 1g.20gb variant is a memory
+  oversubscription option we do not model).
+
+Because slice *fractions* are identical across these parts, the slowdown
+model (RDF power law, slice-relative FBR) transfers unchanged; only
+memory capacities — and therefore packing density — differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.errors import GPUError
+from repro.gpu.mig import MIG_PROFILES, SliceKind, SliceProfile
+
+
+@dataclass(frozen=True)
+class MigDeviceModel:
+    """One MIG-capable GPU part: its profile table and totals."""
+
+    name: str
+    total_memory_gb: float
+    profiles: Mapping[SliceKind, SliceProfile]
+
+    def profile(self, kind: SliceKind | str) -> SliceProfile:
+        """Look up one of this device's slice profiles."""
+        return self.profiles[SliceKind(kind)]
+
+
+def _scaled_profiles(memory_scale: float) -> Mapping[SliceKind, SliceProfile]:
+    if memory_scale <= 0:
+        raise GPUError("memory_scale must be positive")
+    return MappingProxyType(
+        {
+            kind: SliceProfile(
+                kind=prof.kind,
+                compute_units=prof.compute_units,
+                memory_units=prof.memory_units,
+                memory_gb=prof.memory_gb * memory_scale,
+                max_count=prof.max_count,
+            )
+            for kind, prof in MIG_PROFILES.items()
+        }
+    )
+
+
+#: The paper's testbed GPU.
+A100_40GB = MigDeviceModel(
+    name="A100-40GB",
+    total_memory_gb=40.0,
+    profiles=MappingProxyType(dict(MIG_PROFILES)),
+)
+
+#: The 80 GB Ampere part: same slice shapes, double memory.
+A100_80GB = MigDeviceModel(
+    name="A100-80GB",
+    total_memory_gb=80.0,
+    profiles=_scaled_profiles(2.0),
+)
+
+#: Hopper: identical MIG shape to the A100-80GB for scheduling purposes.
+H100_80GB = MigDeviceModel(
+    name="H100-80GB",
+    total_memory_gb=80.0,
+    profiles=_scaled_profiles(2.0),
+)
+
+DEVICE_MODELS: dict[str, MigDeviceModel] = {
+    "a100": A100_40GB,
+    "a100-40gb": A100_40GB,
+    "a100-80gb": A100_80GB,
+    "h100": H100_80GB,
+    "h100-80gb": H100_80GB,
+}
+
+
+def get_device_model(name: str) -> MigDeviceModel:
+    """Resolve a device model by short name (``"a100"``, ``"h100"``, ...)."""
+    model = DEVICE_MODELS.get(name.lower().strip())
+    if model is None:
+        raise GPUError(
+            f"unknown device model {name!r}; known: {sorted(DEVICE_MODELS)}"
+        )
+    return model
+
+
+def geometry_profiles(
+    kinds, device: MigDeviceModel = A100_40GB
+) -> tuple[SliceProfile, ...]:
+    """The device-specific profiles for a sequence of slice kinds.
+
+    Lets a :class:`~repro.gpu.device.GPU` be instantiated with another
+    part's memory capacities while reusing the (shape-identical) A100
+    geometry validation.
+    """
+    return tuple(device.profile(kind) for kind in kinds)

@@ -1,0 +1,333 @@
+"""Rate-based execution engine for MIG slices.
+
+A :class:`GPUSlice` executes :class:`SliceJob` work items under one of two
+sharing modes:
+
+- ``MPS`` — all admitted jobs progress concurrently; each job's progress
+  rate is ``1 / (RDF × max(Σ FBR, 1))`` per Eq. 1/2 of the paper. Whenever
+  the resident set changes, every resident's accumulated work is advanced
+  at its old rate and its completion event is rescheduled at the new rate.
+  This models interference *continuously*, not just at dispatch.
+- ``TIME_SHARE`` — jobs run one at a time in FIFO order at rate ``1/RDF``
+  (no interference, but queueing delay), matching the Molecule(beta)
+  baseline and the "MIG Only" scheme of Section 2.2.
+
+Jobs whose memory demand exceeds current free slice memory wait in a FIFO
+pending queue and are admitted as memory frees up — this is the "spillage"
+behaviour discussed around Figure 7.
+
+The slice also integrates busy-time and memory occupancy so the experiment
+harness can report the paper's GPU/memory utilization metrics (Figure 10b).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Optional
+
+from repro.errors import InsufficientMemoryError, SimulationError
+from repro.gpu.mig import SliceProfile
+from repro.simulation.events import Event
+from repro.simulation.simulator import Simulator
+
+_job_ids = itertools.count()
+
+
+class ShareMode(str, Enum):
+    """How concurrently-assigned jobs share a slice."""
+
+    MPS = "mps"
+    TIME_SHARE = "time_share"
+
+
+@dataclass
+class JobTiming:
+    """Timing decomposition of one completed job (for Figures 2/6/11).
+
+    ``pending_time`` is time spent memory-blocked (or behind other jobs in
+    TIME_SHARE mode) inside the slice. ``work`` is the paper's "min possible
+    time" (solo 7g execution). ``deficiency_time`` is the extra execution
+    time attributable to running on a smaller slice; ``interference_time``
+    is the extra time attributable to bandwidth contention with co-located
+    jobs. The three execution components always sum to the actual execution
+    span: ``finish - start == work + deficiency_time + interference_time``.
+    """
+
+    submitted_at: float
+    started_at: float
+    finished_at: float
+    work: float
+    rdf: float
+
+    @property
+    def pending_time(self) -> float:
+        return self.started_at - self.submitted_at
+
+    @property
+    def execution_time(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def deficiency_time(self) -> float:
+        return self.work * (self.rdf - 1.0)
+
+    @property
+    def interference_time(self) -> float:
+        # Guard against tiny negative values from float error.
+        return max(0.0, self.execution_time - self.work * self.rdf)
+
+
+@dataclass
+class SliceJob:
+    """One unit of GPU work (a request batch) placed on a specific slice.
+
+    ``work`` is the batch's solo execution time on the full GPU (7g);
+    ``rdf`` and ``fbr`` are the placement-specific deficiency factor and
+    slice-relative bandwidth term computed by the scheduler.
+    """
+
+    work: float
+    rdf: float
+    fbr: float
+    memory_gb: float
+    on_complete: Callable[["SliceJob", JobTiming], None]
+    payload: object = None
+    sm_fraction: float = 1.0
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+
+    # Runtime state, managed by GPUSlice.
+    submitted_at: float = field(default=0.0, repr=False)
+    started_at: float = field(default=0.0, repr=False)
+    work_done: float = field(default=0.0, repr=False)
+    last_update: float = field(default=0.0, repr=False)
+    rate: float = field(default=0.0, repr=False)
+    _event: Optional[Event] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.work <= 0:
+            raise ValueError(f"job work must be positive, got {self.work}")
+        if self.rdf < 1.0:
+            raise ValueError(f"RDF must be >= 1, got {self.rdf}")
+        if self.fbr < 0.0:
+            raise ValueError(f"FBR must be non-negative, got {self.fbr}")
+        if self.memory_gb < 0.0:
+            raise ValueError(f"memory must be non-negative, got {self.memory_gb}")
+
+
+class GPUSlice:
+    """A single MIG instance executing jobs under a :class:`ShareMode`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: SliceProfile,
+        mode: ShareMode = ShareMode.MPS,
+        *,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.profile = profile
+        self.mode = mode
+        self.name = name or profile.kind.value
+        self._running: list[SliceJob] = []
+        self._pending: deque[SliceJob] = deque()
+        self.memory_used = 0.0
+        self.completed_jobs = 0
+        #: Optional observer invoked as ``observer(slice, busy)`` whenever
+        #: the slice transitions between idle and executing (the GPU device
+        #: uses this to integrate whole-GPU any-busy time).
+        self.busy_observer: Optional[Callable[["GPUSlice", bool], None]] = None
+        self._was_busy = False
+        # Utilization integrals.
+        self._busy_seconds = 0.0
+        self._memory_gb_seconds = 0.0
+        self._last_account = sim.now
+        self._created_at = sim.now
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def running_jobs(self) -> tuple[SliceJob, ...]:
+        """Jobs currently executing (snapshot)."""
+        return tuple(self._running)
+
+    @property
+    def pending_jobs(self) -> tuple[SliceJob, ...]:
+        """Jobs admitted to the slice but not yet executing (snapshot)."""
+        return tuple(self._pending)
+
+    @property
+    def occupancy(self) -> int:
+        """Total jobs attached to the slice (running + pending)."""
+        return len(self._running) + len(self._pending)
+
+    @property
+    def idle(self) -> bool:
+        """True when the slice holds no work at all."""
+        return not self._running and not self._pending
+
+    @property
+    def memory_free(self) -> float:
+        """Free memory in GB (running jobs hold memory; pending do not)."""
+        return self.profile.memory_gb - self.memory_used
+
+    @property
+    def committed_memory(self) -> float:
+        """Memory held by running jobs plus demanded by pending jobs."""
+        return self.memory_used + sum(j.memory_gb for j in self._pending)
+
+    @property
+    def total_fbr(self) -> float:
+        """Σ FBR over currently-running jobs (the Eq. 1 contention sum)."""
+        return sum(job.fbr for job in self._running)
+
+    def resident_fbrs(self) -> list[float]:
+        """FBR terms of running jobs, for external η computations."""
+        return [job.fbr for job in self._running]
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, job: SliceJob) -> None:
+        """Admit ``job``; it starts immediately if memory (and the sharing
+        mode) allow, otherwise waits in the pending queue.
+
+        Raises :class:`InsufficientMemoryError` if the job can *never* fit
+        this slice (its demand exceeds total slice memory).
+        """
+        if job.memory_gb > self.profile.memory_gb:
+            raise InsufficientMemoryError(
+                f"job needs {job.memory_gb:.1f} GB > slice "
+                f"{self.profile.kind.value} capacity {self.profile.memory_gb:.1f} GB"
+            )
+        job.submitted_at = self.sim.now
+        self._pending.append(job)
+        self._account()
+        self._admit_pending()
+        self._reschedule()
+
+    # ------------------------------------------------------------------
+    # Internal machinery
+    # ------------------------------------------------------------------
+    def _account(self) -> None:
+        """Fold elapsed time into the utilization integrals."""
+        now = self.sim.now
+        elapsed = now - self._last_account
+        if elapsed > 0:
+            if self._running:
+                self._busy_seconds += elapsed
+            self._memory_gb_seconds += elapsed * self.memory_used
+            self._last_account = now
+
+    def _advance_progress(self) -> None:
+        """Credit each running job with work done since its last update."""
+        now = self.sim.now
+        for job in self._running:
+            job.work_done += (now - job.last_update) * job.rate
+            job.last_update = now
+
+    def _admit_pending(self) -> None:
+        """Move pending jobs into the running set as constraints allow."""
+        if self.mode is ShareMode.TIME_SHARE:
+            while not self._running and self._pending:
+                self._start(self._pending.popleft())
+            return
+        # MPS: admit in FIFO order while memory fits. Strictly FIFO (no
+        # skip-ahead) so reordering decisions stay with the scheduler.
+        while self._pending and self._pending[0].memory_gb <= self.memory_free:
+            self._start(self._pending.popleft())
+
+    def _start(self, job: SliceJob) -> None:
+        job.started_at = self.sim.now
+        job.last_update = self.sim.now
+        self.memory_used += job.memory_gb
+        self._running.append(job)
+        self._notify_busy()
+
+    def _notify_busy(self) -> None:
+        busy = bool(self._running)
+        if busy != self._was_busy:
+            self._was_busy = busy
+            if self.busy_observer is not None:
+                self.busy_observer(self, busy)
+
+    def _reschedule(self) -> None:
+        """Recompute every running job's rate and completion event."""
+        self._advance_progress()
+        if self.mode is ShareMode.MPS:
+            factor = max(self.total_fbr, 1.0)
+        else:
+            factor = 1.0
+        now = self.sim.now
+        for job in self._running:
+            job.rate = 1.0 / (job.rdf * factor)
+            remaining = max(job.work - job.work_done, 0.0)
+            self.sim.cancel(job._event)
+            job._event = self.sim.at(
+                now + remaining * job.rdf * factor,
+                lambda j=job: self._finish(j),
+                label=f"slice-{self.name}-finish",
+            )
+
+    def _finish(self, job: SliceJob) -> None:
+        self._account()
+        self._advance_progress()
+        job._event = None
+        try:
+            self._running.remove(job)
+        except ValueError as exc:  # pragma: no cover - invariant guard
+            raise SimulationError(f"finishing job not running: {job!r}") from exc
+        self.memory_used -= job.memory_gb
+        if self.memory_used < -1e-9:  # pragma: no cover - invariant guard
+            raise SimulationError("slice memory accounting went negative")
+        self.memory_used = max(0.0, self.memory_used)
+        self.completed_jobs += 1
+        timing = JobTiming(
+            submitted_at=job.submitted_at,
+            started_at=job.started_at,
+            finished_at=self.sim.now,
+            work=job.work,
+            rdf=job.rdf,
+        )
+        self._admit_pending()
+        self._reschedule()
+        self._notify_busy()
+        job.on_complete(job, timing)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def abort_all(self) -> list[SliceJob]:
+        """Cancel every running and pending job without completing them.
+
+        Used when the hosting node is evicted: the jobs' payloads are
+        resubmitted elsewhere, so their completion callbacks here must
+        never fire. Returns the aborted jobs.
+        """
+        self._account()
+        self._advance_progress()
+        aborted = list(self._running) + list(self._pending)
+        for job in self._running:
+            self.sim.cancel(job._event)
+            job._event = None
+        self._running.clear()
+        self._pending.clear()
+        self.memory_used = 0.0
+        self._notify_busy()
+        return aborted
+
+    # ------------------------------------------------------------------
+    # Utilization
+    # ------------------------------------------------------------------
+    def utilization_snapshot(self) -> tuple[float, float, float]:
+        """Return ``(busy_seconds, memory_gb_seconds, lifetime_seconds)``."""
+        self._account()
+        return (
+            self._busy_seconds,
+            self._memory_gb_seconds,
+            self.sim.now - self._created_at,
+        )

@@ -1,0 +1,232 @@
+"""MIG instance profiles and geometry validation for the A100.
+
+Implements Table 2 of the paper: the five instance profiles available on an
+A100-40GB, their compute/memory/cache fractions, and the partitioning rules
+that decide which combinations ("geometries") are valid.
+
+The A100 exposes 7 compute slices and 8 memory slices. A profile consumes a
+fixed number of each; a geometry is valid when the totals fit and per-profile
+max counts (Table 2) are respected. The ``7g`` profile is the whole GPU and
+must stand alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+from repro.errors import InvalidGeometryError
+
+#: Total compute slices (SM groups) on an A100.
+TOTAL_COMPUTE_UNITS = 7
+#: Total memory slices on an A100.
+TOTAL_MEMORY_UNITS = 8
+#: Total device memory of an A100-40GB, in GB.
+TOTAL_MEMORY_GB = 40.0
+
+
+class SliceKind(str, Enum):
+    """The five MIG instance profiles of an A100-40GB (Table 2)."""
+
+    G1 = "1g"
+    G2 = "2g"
+    G3 = "3g"
+    G4 = "4g"
+    G7 = "7g"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class SliceProfile:
+    """Static description of one MIG profile (a row of Table 2)."""
+
+    kind: SliceKind
+    compute_units: int
+    memory_units: int
+    memory_gb: float
+    max_count: int
+
+    @property
+    def compute_fraction(self) -> float:
+        """Fraction of the GPU's SMs this profile owns."""
+        return self.compute_units / TOTAL_COMPUTE_UNITS
+
+    @property
+    def bandwidth_fraction(self) -> float:
+        """Fraction of global memory bandwidth (∝ memory slices)."""
+        return self.memory_units / TOTAL_MEMORY_UNITS
+
+    @property
+    def cache_fraction(self) -> float:
+        """Fraction of L2 cache (same partitioning as memory slices)."""
+        return self.memory_units / TOTAL_MEMORY_UNITS
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.kind.value
+
+
+#: Table 2 — possible MIG instance profiles on an A100 GPU.
+MIG_PROFILES: dict[SliceKind, SliceProfile] = {
+    SliceKind.G7: SliceProfile(SliceKind.G7, 7, 8, 40.0, 1),
+    SliceKind.G4: SliceProfile(SliceKind.G4, 4, 4, 20.0, 1),
+    SliceKind.G3: SliceProfile(SliceKind.G3, 3, 4, 20.0, 2),
+    SliceKind.G2: SliceProfile(SliceKind.G2, 2, 2, 10.0, 3),
+    SliceKind.G1: SliceProfile(SliceKind.G1, 1, 1, 5.0, 7),
+}
+
+
+def profile(kind: SliceKind | str) -> SliceProfile:
+    """Look up the :class:`SliceProfile` for ``kind`` (enum or string)."""
+    return MIG_PROFILES[SliceKind(kind)]
+
+
+def _as_kinds(kinds: Iterable[SliceKind | str]) -> tuple[SliceKind, ...]:
+    return tuple(SliceKind(k) for k in kinds)
+
+
+class Geometry:
+    """An ordered multiset of MIG profiles configured on one GPU.
+
+    Geometries compare equal by their sorted slice multiset, matching the
+    paper's usage where e.g. ``(4g, 3g)`` names an unordered configuration.
+    """
+
+    __slots__ = ("kinds",)
+
+    def __init__(self, kinds: Iterable[SliceKind | str]):
+        resolved = _as_kinds(kinds)
+        validate_geometry(resolved)
+        # Store largest-first; schedulers frequently want the biggest slice.
+        self.kinds = tuple(
+            sorted(resolved, key=lambda k: -MIG_PROFILES[k].compute_units)
+        )
+
+    @property
+    def profiles(self) -> tuple[SliceProfile, ...]:
+        """The profiles of this geometry, largest-first."""
+        return tuple(MIG_PROFILES[k] for k in self.kinds)
+
+    @property
+    def compute_units(self) -> int:
+        """Total compute slices consumed."""
+        return sum(p.compute_units for p in self.profiles)
+
+    @property
+    def memory_units(self) -> int:
+        """Total memory slices consumed."""
+        return sum(p.memory_units for p in self.profiles)
+
+    @property
+    def total_memory_gb(self) -> float:
+        """Sum of slice memory capacities in GB."""
+        return sum(p.memory_gb for p in self.profiles)
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def __iter__(self):
+        return iter(self.profiles)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Geometry):
+            return NotImplemented
+        return self.kinds == other.kinds
+
+    def __hash__(self) -> int:
+        return hash(self.kinds)
+
+    def __repr__(self) -> str:
+        return "Geometry(" + ", ".join(k.value for k in self.kinds) + ")"
+
+
+def validate_geometry(kinds: Sequence[SliceKind]) -> None:
+    """Raise :class:`InvalidGeometryError` unless ``kinds`` is valid.
+
+    Rules (Table 2 + A100 partitioning):
+
+    - at least one slice;
+    - total compute slices ≤ 7 and total memory slices ≤ 8;
+    - per-profile counts within Table 2 maxima;
+    - ``7g`` must be the sole slice.
+    """
+    if not kinds:
+        raise InvalidGeometryError("a geometry needs at least one slice")
+    counts: dict[SliceKind, int] = {}
+    for kind in kinds:
+        counts[kind] = counts.get(kind, 0) + 1
+    for kind, count in counts.items():
+        if count > MIG_PROFILES[kind].max_count:
+            raise InvalidGeometryError(
+                f"{count}×{kind.value} exceeds max count "
+                f"{MIG_PROFILES[kind].max_count}"
+            )
+    if SliceKind.G7 in counts and len(kinds) > 1:
+        raise InvalidGeometryError("7g must occupy the GPU alone")
+    compute = sum(MIG_PROFILES[k].compute_units for k in kinds)
+    if compute > TOTAL_COMPUTE_UNITS:
+        raise InvalidGeometryError(
+            f"geometry uses {compute} compute units > {TOTAL_COMPUTE_UNITS}"
+        )
+    memory = sum(MIG_PROFILES[k].memory_units for k in kinds)
+    if memory > TOTAL_MEMORY_UNITS:
+        raise InvalidGeometryError(
+            f"geometry uses {memory} memory units > {TOTAL_MEMORY_UNITS}"
+        )
+
+
+def is_valid_geometry(kinds: Iterable[SliceKind | str]) -> bool:
+    """Boolean companion to :func:`validate_geometry`."""
+    try:
+        validate_geometry(_as_kinds(kinds))
+    except InvalidGeometryError:
+        return False
+    return True
+
+
+@lru_cache(maxsize=1)
+def enumerate_geometries() -> tuple[Geometry, ...]:
+    """All valid A100 geometries, deduplicated as multisets.
+
+    The result is deterministic: sorted by descending largest slice, then
+    descending slice count.
+    """
+    kinds = [SliceKind.G7, SliceKind.G4, SliceKind.G3, SliceKind.G2, SliceKind.G1]
+    found: set[tuple[SliceKind, ...]] = set()
+
+    def extend(current: list[SliceKind], start: int) -> None:
+        if current and is_valid_geometry(current):
+            found.add(
+                tuple(
+                    sorted(current, key=lambda k: -MIG_PROFILES[k].compute_units)
+                )
+            )
+        if len(current) >= TOTAL_MEMORY_UNITS:
+            return
+        for index in range(start, len(kinds)):
+            current.append(kinds[index])
+            compute = sum(MIG_PROFILES[k].compute_units for k in current)
+            memory = sum(MIG_PROFILES[k].memory_units for k in current)
+            if compute <= TOTAL_COMPUTE_UNITS and memory <= TOTAL_MEMORY_UNITS:
+                extend(current, index)
+            current.pop()
+
+    extend([], 0)
+    geometries = [Geometry(k) for k in found]
+    geometries.sort(
+        key=lambda g: (
+            -g.profiles[0].compute_units,
+            -len(g),
+            tuple(k.value for k in g.kinds),
+        )
+    )
+    return tuple(geometries)
+
+
+#: The geometries the paper's Algorithm 2 chooses between.
+GEOMETRY_4G_3G = Geometry([SliceKind.G4, SliceKind.G3])
+GEOMETRY_4G_2G_1G = Geometry([SliceKind.G4, SliceKind.G2, SliceKind.G1])
+GEOMETRY_FULL = Geometry([SliceKind.G7])

@@ -1,0 +1,164 @@
+"""Analytic MIG geometry planning.
+
+Given a workload mix (strict and best-effort batch streams), estimate the
+strict-request slowdown each candidate geometry would produce and pick the
+minimizer. This is the "multiple offline configuration/scheduling sweeps"
+the paper's Oracle performs (Section 6.2), exposed as a reusable API.
+
+The cost model composes the same primitives the online scheduler uses:
+
+- BE batches are packed First-Fit onto the smallest slices (Guideline 1);
+- strict batches occupy the remaining slices, load-balanced;
+- each stream's expected slowdown is ``RDF × max(Σ FBR·utilization, 1)``,
+  with co-residency weighted by per-slice utilization (an M/G/∞ view of
+  Eq. 1's contention sum);
+- the objective is the utilization-weighted mean strict slowdown, with an
+  infeasibility penalty when demand exceeds a slice set's capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.errors import SchedulingError
+from repro.gpu.mig import Geometry, SliceProfile, enumerate_geometries
+
+if TYPE_CHECKING:  # pragma: no cover — avoids gpu ↔ workloads import cycle
+    from repro.workloads.profile import ModelProfile
+
+#: Cost assigned per unit of demand that cannot be placed at all.
+INFEASIBLE_PENALTY = 100.0
+
+
+@dataclass(frozen=True)
+class BatchStream:
+    """One homogeneous stream of batches offered to a GPU."""
+
+    model: "ModelProfile"
+    batches_per_second: float
+    strict: bool
+
+    def __post_init__(self) -> None:
+        if self.batches_per_second < 0:
+            raise SchedulingError("batches_per_second must be non-negative")
+
+    def utilization_on(self, slice_profile: SliceProfile) -> float:
+        """Expected busy fraction this stream alone puts on a slice."""
+        return (
+            self.batches_per_second
+            * self.model.solo_latency_7g
+            * self.model.rdf(slice_profile)
+        )
+
+
+@dataclass(frozen=True)
+class GeometryPlanEvaluation:
+    """Outcome of evaluating one geometry against a workload mix."""
+
+    geometry: Geometry
+    strict_slowdown: float
+    feasible: bool
+    placements: dict[str, tuple[str, ...]]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "ok" if self.feasible else "infeasible"
+        return (
+            f"GeometryPlanEvaluation({self.geometry!r}, "
+            f"η̄={self.strict_slowdown:.3f}, {state})"
+        )
+
+
+def evaluate_geometry(
+    geometry: Geometry, streams: Sequence[BatchStream]
+) -> GeometryPlanEvaluation:
+    """Estimate the mean strict slowdown of ``streams`` on ``geometry``."""
+    slices = list(geometry.profiles)
+    ascending = sorted(slices, key=lambda p: p.compute_units)
+    descending = list(reversed(ascending))
+
+    # Per-slice aggregate state: utilization and Σ fbr·utilization.
+    load = {id(p): 0.0 for p in slices}
+    contention = {id(p): 0.0 for p in slices}
+    placements: dict[str, tuple[str, ...]] = {}
+    feasible = True
+
+    def place(stream: BatchStream, order: list[SliceProfile]) -> None:
+        nonlocal feasible
+        fitting = [p for p in order if stream.model.fits(p)]
+        if not fitting:
+            feasible = False
+            placements[stream.model.name] = ()
+            return
+        # Spread the stream across fitting slices proportionally to their
+        # remaining headroom — the best case a load balancer can achieve.
+        headroom = [max(0.0, 1.0 - load[id(p)]) for p in fitting]
+        total_headroom = sum(headroom)
+        chosen: list[str] = []
+        for prof, room in zip(fitting, headroom):
+            share = (
+                room / total_headroom
+                if total_headroom > 0
+                else 1.0 / len(fitting)
+            )
+            if share <= 0:
+                continue
+            util = stream.utilization_on(prof) * share
+            load[id(prof)] += util
+            contention[id(prof)] += stream.model.slice_fbr(prof) * min(
+                util, 1.0
+            )
+            chosen.append(prof.kind.value)
+        placements[stream.model.name] = tuple(chosen)
+
+    for stream in streams:
+        if not stream.strict:
+            place(stream, ascending)  # Guideline 1: pack small first
+    for stream in streams:
+        if stream.strict:
+            place(stream, descending)  # Guideline 2: large slices first
+
+    # Expected strict slowdown: utilization-weighted mean of
+    # RDF × max(Σ fbr·util on the slice, 1), plus overload penalties.
+    weighted = 0.0
+    weight = 0.0
+    for stream in streams:
+        if not stream.strict:
+            continue
+        for prof in slices:
+            if prof.kind.value not in placements.get(stream.model.name, ()):
+                continue
+            factor = max(contention[id(prof)], 1.0)
+            overload = max(0.0, load[id(prof)] - 1.0)
+            eta = stream.model.rdf(prof) * factor + overload * INFEASIBLE_PENALTY
+            share = stream.utilization_on(prof)
+            weighted += eta * share
+            weight += share
+    slowdown = weighted / weight if weight > 0 else 1.0
+    if not feasible:
+        slowdown += INFEASIBLE_PENALTY
+    return GeometryPlanEvaluation(geometry, slowdown, feasible, placements)
+
+
+def best_geometry(
+    streams: Sequence[BatchStream],
+    candidates: Iterable[Geometry] | None = None,
+) -> GeometryPlanEvaluation:
+    """Sweep ``candidates`` (default: all valid A100 geometries) and return
+    the evaluation with the lowest expected strict slowdown.
+
+    Ties break toward geometries with a larger biggest slice (less
+    resource deficiency headroom risk), mirroring the paper's preference.
+    """
+    pool = tuple(candidates) if candidates is not None else enumerate_geometries()
+    if not pool:
+        raise SchedulingError("no candidate geometries supplied")
+    evaluations = [evaluate_geometry(g, streams) for g in pool]
+    evaluations.sort(
+        key=lambda e: (
+            e.strict_slowdown,
+            -e.geometry.profiles[0].compute_units,
+            len(e.geometry),
+        )
+    )
+    return evaluations[0]

@@ -1,0 +1,136 @@
+"""The paper's job-slowdown model (Section 3, Equations 1 and 2).
+
+PROTEAN repurposes Prophet's MPS interference model: a job co-located on a
+shared (slice of a) GPU slows down in proportion to the total Fractional
+Bandwidth Requirement (FBR) of all residents,
+
+    T_k = Solo_k × max{ bw_k·sm_k + Σ_i bw_i·sm_i , 1 }        (Eq. 1)
+
+and combines it with the *Resource Deficiency Factor* RDF — the ratio of the
+job's solo time on the target slice to its solo time on the full GPU — into
+the slowdown factor used for placement decisions,
+
+    η = RDF × max{ bw_k·sm_k + Σ_i bw_i·sm_i , 1 }             (Eq. 2)
+
+FBR conventions used throughout this library:
+
+- A model profile stores its FBR normalized to the *full GPU's* bandwidth
+  (``bw·sm`` for the default MPS mode where the job spans all SMs given to
+  it). This matches Figure 3 of the paper.
+- On a MIG slice, bandwidth is partitioned, so contention is evaluated
+  against the slice's own bandwidth: a job's slice-relative FBR is its
+  full-GPU FBR divided by the slice's bandwidth fraction, capped at 1.0
+  (a single process cannot demand more than the slice can deliver; the
+  excess shows up as resource deficiency via RDF, not as interference).
+- Under SM capping (the GPUlet baseline), ``sm`` shrinks the job's
+  bandwidth demand proportionally.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def slice_relative_fbr(
+    model_fbr: float,
+    bandwidth_fraction: float,
+    sm_fraction: float = 1.0,
+    compute_fraction: float = 1.0,
+) -> float:
+    """FBR of one job relative to its slice's bandwidth (the ``bw·sm`` term).
+
+    A job running on a MIG slice occupies only the slice's SMs, so its
+    absolute bandwidth demand shrinks proportionally:
+    ``demand = model_fbr × compute_fraction × sm_fraction`` of the full
+    GPU's bandwidth, while the slice supplies ``bandwidth_fraction`` of
+    it. The slice-relative term is their ratio, capped at 1.0 (a single
+    process cannot pull more than the slice's full bandwidth — any excess
+    manifests as resource deficiency via RDF, not interference).
+
+    On the A100 the compute:bandwidth ratio per slice is nearly uniform
+    (e.g. 4g: (4/7)/(4/8) ≈ 1.14, 3g: (3/7)/(4/8) ≈ 0.86), so contention
+    pressure on a slice closely tracks the full-GPU FBR.
+
+    Parameters
+    ----------
+    model_fbr:
+        The job's FBR normalized to the full GPU (as in Figure 3).
+    bandwidth_fraction:
+        Fraction of total GPU bandwidth owned by the slice (1.0 for 7g).
+    sm_fraction:
+        Fraction of the slice's SMs the job may use (1.0 unless an SM cap
+        à la GPUlet is in force).
+    compute_fraction:
+        The slice's share of the GPU's SMs (1.0 for 7g).
+    """
+    if not 0.0 < bandwidth_fraction <= 1.0:
+        raise ValueError(f"bandwidth_fraction out of range: {bandwidth_fraction}")
+    if not 0.0 < sm_fraction <= 1.0:
+        raise ValueError(f"sm_fraction out of range: {sm_fraction}")
+    if not 0.0 < compute_fraction <= 1.0:
+        raise ValueError(f"compute_fraction out of range: {compute_fraction}")
+    if model_fbr < 0.0:
+        raise ValueError(f"negative FBR: {model_fbr}")
+    demand = model_fbr * compute_fraction * sm_fraction
+    return min(1.0, demand / bandwidth_fraction)
+
+
+def interference_factor(fbrs: Iterable[float]) -> float:
+    """The ``max{Σ FBR, 1}`` contention multiplier of Eq. 1.
+
+    ``fbrs`` must include the subject job's own FBR term. A total demand
+    below the slice's bandwidth (Σ < 1) causes no slowdown.
+    """
+    return max(sum(fbrs), 1.0)
+
+
+def predicted_execution_time(
+    solo_time: float, own_fbr: float, co_located_fbrs: Iterable[float]
+) -> float:
+    """Eq. 1 — expected execution time of a job on its current slice.
+
+    ``solo_time`` is the job's isolated execution time *on that slice*
+    (i.e., already including resource deficiency).
+    """
+    return solo_time * interference_factor([own_fbr, *co_located_fbrs])
+
+
+def slowdown_factor(
+    rdf: float, own_fbr: float, co_located_fbrs: Iterable[float]
+) -> float:
+    """Eq. 2 — the slowdown factor η used to rank candidate slices.
+
+    ``rdf`` is the Resource Deficiency Factor of the *incoming* job on the
+    candidate slice; ``co_located_fbrs`` are the slice-relative FBR terms of
+    the jobs already resident there.
+    """
+    if rdf < 1.0:
+        raise ValueError(f"RDF must be >= 1 (got {rdf}); 7g is the baseline")
+    return rdf * interference_factor([own_fbr, *co_located_fbrs])
+
+
+def resource_deficiency_factor(
+    compute_fraction: float,
+    bandwidth_fraction: float,
+    compute_sensitivity: float,
+    bandwidth_sensitivity: float,
+) -> float:
+    """Synthesize an RDF from slice fractions and model sensitivities.
+
+    The paper measures RDF on hardware; we model it as
+
+        RDF = (1/compute_frac)^α_c × (1/bw_frac)^α_b,
+
+    a standard roofline-style power law. ``α_c`` is high for compute-bound
+    models, ``α_b`` for bandwidth-bound ones; both are calibrated per model
+    against the paper's quoted anchor points (DESIGN.md).
+    """
+    if not 0.0 < compute_fraction <= 1.0:
+        raise ValueError(f"compute_fraction out of range: {compute_fraction}")
+    if not 0.0 < bandwidth_fraction <= 1.0:
+        raise ValueError(f"bandwidth_fraction out of range: {bandwidth_fraction}")
+    if compute_sensitivity < 0.0 or bandwidth_sensitivity < 0.0:
+        raise ValueError("sensitivities must be non-negative")
+    rdf = (1.0 / compute_fraction) ** compute_sensitivity
+    rdf *= (1.0 / bandwidth_fraction) ** bandwidth_sensitivity
+    return max(1.0, rdf)

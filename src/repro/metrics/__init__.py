@@ -1,0 +1,80 @@
+"""Metrics: per-request records, SLO compliance, tails, cost, stats."""
+
+from repro.metrics.breakdown import (
+    COMPONENT_ORDER,
+    LatencyBreakdown,
+    breakdown,
+    p99_stacked_breakdown,
+    tail_breakdown,
+)
+from repro.metrics.latency import (
+    latency_cdf,
+    mean_latency,
+    p50,
+    p99,
+    percentile,
+    tail_records,
+)
+from repro.metrics.records import RecordCollector, RequestRecord
+from repro.metrics.slo import (
+    collector_compliance,
+    slo_compliance,
+    slo_compliance_percent,
+    violations,
+)
+from repro.metrics.stats import (
+    ConfidenceInterval,
+    cohens_d,
+    confidence_interval,
+    welch_t_test,
+)
+from repro.metrics.ascii_plots import ascii_cdf, ascii_series, ascii_stacked_bars
+from repro.metrics.summary import RunSummary, filter_window, format_table
+from repro.metrics.timeline import (
+    arrival_rate_series,
+    latency_series,
+    slo_compliance_series,
+)
+from repro.metrics.throughput import (
+    ClusterUtilization,
+    cluster_utilization,
+    strict_throughput_per_gpu,
+    total_throughput_per_gpu,
+)
+
+__all__ = [
+    "COMPONENT_ORDER",
+    "ClusterUtilization",
+    "ConfidenceInterval",
+    "LatencyBreakdown",
+    "RecordCollector",
+    "RequestRecord",
+    "RunSummary",
+    "arrival_rate_series",
+    "ascii_cdf",
+    "ascii_series",
+    "ascii_stacked_bars",
+    "latency_series",
+    "slo_compliance_series",
+    "breakdown",
+    "cluster_utilization",
+    "cohens_d",
+    "collector_compliance",
+    "confidence_interval",
+    "filter_window",
+    "format_table",
+    "latency_cdf",
+    "mean_latency",
+    "p50",
+    "p99",
+    "p99_stacked_breakdown",
+    "percentile",
+    "slo_compliance",
+    "slo_compliance_percent",
+    "strict_throughput_per_gpu",
+    "tail_breakdown",
+    "tail_records",
+    "total_throughput_per_gpu",
+    "violations",
+    "welch_t_test",
+]

@@ -1,0 +1,142 @@
+"""Terminal plotting: render CDFs, time series, and stacked bars as text.
+
+The benchmark harness and examples run in terminals without a display;
+these helpers make the paper's figures *viewable* (not just tabulated)
+anywhere. No plotting dependencies — pure string assembly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: Characters used for stacked-bar segments, cycled in component order.
+_BAR_CHARS = "█▓▒░╳◦"
+
+
+def ascii_cdf(
+    curves: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    slo: float | None = None,
+    title: str = "",
+) -> str:
+    """Render one or more CDF curves as an ASCII plot.
+
+    ``curves`` maps a label to ``(x_values, cumulative_fractions)``; the
+    first letter of each label marks its curve. ``slo`` draws a vertical
+    marker at the deadline (Figure 8's dashed line).
+    """
+    points = [
+        (x, y)
+        for xs, ys in curves.values()
+        for x, y in zip(xs, ys)
+    ]
+    if not points:
+        return f"{title}\n(no data)"
+    x_max = max(x for x, _ in points)
+    if slo is not None:
+        x_max = max(x_max, slo * 1.05)
+    x_max = x_max or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for label, (xs, ys) in curves.items():
+        marker = label[0]
+        for x, y in zip(xs, ys):
+            col = min(width - 1, int(x / x_max * (width - 1)))
+            row = min(height - 1, int((1.0 - y) * (height - 1)))
+            grid[row][col] = marker
+    if slo is not None:
+        col = min(width - 1, int(slo / x_max * (width - 1)))
+        for row in range(height):
+            if grid[row][col] == " ":
+                grid[row][col] = "|"
+    lines = [title] if title else []
+    lines.append("1.0 ┤" + "".join(grid[0]))
+    for row in range(1, height - 1):
+        lines.append("    │" + "".join(grid[row]))
+    lines.append("0.0 └" + "─" * width)
+    lines.append(f"     0{'':{width - 12}}x_max={x_max:.3g}")
+    legend = "  ".join(f"{label[0]}={label}" for label in curves)
+    if slo is not None:
+        legend += "  |=SLO"
+    lines.append("     " + legend)
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: Sequence[tuple[float, float]],
+    *,
+    width: int = 64,
+    height: int = 12,
+    threshold: float | None = None,
+    title: str = "",
+) -> str:
+    """Render a time series (e.g. Figure 7's latency trace) as ASCII."""
+    if not series:
+        return f"{title}\n(no data)"
+    xs = [x for x, _ in series]
+    ys = [y for _, y in series]
+    x_min, x_max = min(xs), max(xs)
+    y_max = max(max(ys), threshold or 0.0) or 1.0
+    span = (x_max - x_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in series:
+        col = min(width - 1, int((x - x_min) / span * (width - 1)))
+        row = min(height - 1, int((1.0 - y / y_max) * (height - 1)))
+        grid[row][col] = "*"
+    if threshold is not None:
+        row = min(height - 1, int((1.0 - threshold / y_max) * (height - 1)))
+        for col in range(width):
+            if grid[row][col] == " ":
+                grid[row][col] = "-"
+    lines = [title] if title else []
+    lines.append(f"{y_max:8.3g} ┤" + "".join(grid[0]))
+    for row in range(1, height - 1):
+        lines.append("         │" + "".join(grid[row]))
+    lines.append("       0 └" + "─" * width)
+    lines.append(f"          t={x_min:.3g} .. {x_max:.3g}"
+                 + ("   (-- = threshold)" if threshold is not None else ""))
+    return "\n".join(lines)
+
+
+def ascii_stacked_bars(
+    bars: Mapping[str, Mapping[str, float]],
+    *,
+    width: int = 56,
+    title: str = "",
+) -> str:
+    """Render labelled stacked bars (the Figures 2/6/11 breakdowns).
+
+    ``bars`` maps a bar label to an ordered component→value mapping; all
+    bars share one scale. A legend of component glyphs follows the bars.
+    """
+    if not bars:
+        return f"{title}\n(no data)"
+    totals = {label: sum(parts.values()) for label, parts in bars.items()}
+    scale = max(totals.values()) or 1.0
+    label_width = max(len(label) for label in bars)
+    component_names: list[str] = []
+    for parts in bars.values():
+        for name in parts:
+            if name not in component_names:
+                component_names.append(name)
+    glyph = {
+        name: _BAR_CHARS[i % len(_BAR_CHARS)]
+        for i, name in enumerate(component_names)
+    }
+    lines = [title] if title else []
+    for label, parts in bars.items():
+        segments = []
+        for name in component_names:
+            value = parts.get(name, 0.0)
+            segments.append(glyph[name] * round(value / scale * width))
+        bar = "".join(segments)[:width]
+        lines.append(
+            f"{label:>{label_width}} │{bar:<{width}}│ {totals[label]:.3g}"
+        )
+    lines.append(
+        " " * label_width
+        + "  "
+        + "  ".join(f"{glyph[name]}={name}" for name in component_names)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Tail-latency breakdown (Figures 2, 6, 11).
+
+The paper decomposes the P99 latency of each scheme into stacked
+components: minimum possible execution time ("Min possible time" = solo 7g
+execution), resource-deficiency slowdown, job interference, queueing, and
+cold start. We reproduce that by averaging each additive component over
+the records in the top latency percentile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.metrics.latency import tail_records
+from repro.metrics.records import RequestRecord
+
+#: Component order as stacked in the paper's breakdown plots.
+COMPONENT_ORDER = (
+    "exec_min",
+    "deficiency",
+    "interference",
+    "queue_delay",
+    "batch_wait",
+    "cold_start",
+)
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Mean additive latency components over a set of records (seconds)."""
+
+    exec_min: float
+    deficiency: float
+    interference: float
+    queue_delay: float
+    batch_wait: float
+    cold_start: float
+
+    @property
+    def total(self) -> float:
+        """Sum of the components (≈ mean latency of the analysed set)."""
+        return (
+            self.exec_min
+            + self.deficiency
+            + self.interference
+            + self.queue_delay
+            + self.batch_wait
+            + self.cold_start
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Components keyed by name, in stacking order."""
+        return {name: getattr(self, name) for name in COMPONENT_ORDER}
+
+    def fractions(self) -> dict[str, float]:
+        """Each component as a fraction of the total (empty total → zeros)."""
+        total = self.total
+        if total <= 0:
+            return {name: 0.0 for name in COMPONENT_ORDER}
+        return {name: getattr(self, name) / total for name in COMPONENT_ORDER}
+
+
+def breakdown(records: Sequence[RequestRecord]) -> LatencyBreakdown:
+    """Mean component breakdown over ``records`` (zeros when empty)."""
+    if not records:
+        return LatencyBreakdown(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return LatencyBreakdown(
+        exec_min=float(np.mean([r.exec_min for r in records])),
+        deficiency=float(np.mean([r.deficiency for r in records])),
+        interference=float(np.mean([r.interference for r in records])),
+        queue_delay=float(np.mean([r.queue_delay for r in records])),
+        batch_wait=float(np.mean([r.batch_wait for r in records])),
+        cold_start=float(np.mean([r.cold_start for r in records])),
+    )
+
+
+def tail_breakdown(
+    records: Sequence[RequestRecord], q: float = 99.0
+) -> LatencyBreakdown:
+    """Breakdown of the requests at or above the q-th latency percentile."""
+    return breakdown(tail_records(records, q))
+
+
+def p99_stacked_breakdown(
+    records: Sequence[RequestRecord], q: float = 99.0
+) -> LatencyBreakdown:
+    """Tail breakdown rescaled so its components sum to the P99 latency.
+
+    This is how the paper's figures present the decomposition: stacked
+    bars whose total equals the P99 value. The component *proportions*
+    come from the tail records' means; the scale is pinned to the q-th
+    percentile (the raw tail mean can exceed P99 because the top 1% has
+    its own tail).
+    """
+    raw = breakdown(tail_records(records, q))
+    if raw.total <= 0:
+        return raw
+    target = float(
+        np.percentile([r.latency for r in records], q)
+    )
+    scale = target / raw.total
+    return LatencyBreakdown(
+        **{name: getattr(raw, name) * scale for name in COMPONENT_ORDER}
+    )

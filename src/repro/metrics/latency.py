@@ -1,0 +1,67 @@
+"""Latency statistics: percentiles, tails, and CDFs (Figures 6, 8)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.metrics.records import RequestRecord
+
+
+def percentile(latencies: Sequence[float] | np.ndarray, q: float) -> float:
+    """The q-th percentile (0–100) of ``latencies``; NaN when empty."""
+    array = np.asarray(latencies, dtype=float)
+    if array.size == 0:
+        return float("nan")
+    return float(np.percentile(array, q))
+
+
+def p50(records: Iterable[RequestRecord]) -> float:
+    """Median end-to-end latency."""
+    return percentile([r.latency for r in records], 50.0)
+
+
+def p99(records: Iterable[RequestRecord]) -> float:
+    """Tail (P99) end-to-end latency — the paper's headline tail metric."""
+    return percentile([r.latency for r in records], 99.0)
+
+
+def mean_latency(records: Iterable[RequestRecord]) -> float:
+    """Mean end-to-end latency; NaN when empty."""
+    latencies = [r.latency for r in records]
+    if not latencies:
+        return float("nan")
+    return float(np.mean(latencies))
+
+
+def latency_cdf(
+    records: Iterable[RequestRecord], points: int = 200
+) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of end-to-end latency (Figure 8).
+
+    Returns ``(latency_values, cumulative_fraction)`` arrays of length
+    ``points`` (or fewer for tiny samples), evaluated on evenly spaced
+    quantiles so the curve is directly plottable.
+    """
+    latencies = np.sort(np.asarray([r.latency for r in records], dtype=float))
+    if latencies.size == 0:
+        return np.empty(0), np.empty(0)
+    fractions = np.linspace(0.0, 1.0, min(points, latencies.size))
+    # Quantile positions over the sorted sample.
+    values = np.quantile(latencies, fractions)
+    return values, fractions
+
+
+def tail_records(
+    records: Sequence[RequestRecord], q: float = 99.0
+) -> list[RequestRecord]:
+    """The records at or above the q-th latency percentile.
+
+    These are the requests whose component breakdown the paper's
+    tail-latency figures decompose.
+    """
+    if not records:
+        return []
+    threshold = percentile([r.latency for r in records], q)
+    return [r for r in records if r.latency >= threshold]

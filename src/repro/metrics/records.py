@@ -1,0 +1,105 @@
+"""Per-request outcome records and their collector.
+
+Every completed request yields one :class:`RequestRecord` carrying the full
+latency decomposition the paper plots in its tail-latency breakdown figures
+(Figures 2, 6, 11):
+
+``latency = batch_wait + cold_start + queue_delay + exec_min + deficiency
++ interference``
+
+where ``exec_min`` is the paper's "min possible time" (solo execution on
+7g), ``deficiency`` the extra execution time from running on a smaller
+slice, and ``interference`` the extra time from bandwidth contention with
+co-located jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Outcome of one served request."""
+
+    model: str
+    strict: bool
+    arrival: float
+    completion: float
+    deadline: float | None
+    batch_wait: float
+    cold_start: float
+    queue_delay: float
+    exec_min: float
+    deficiency: float
+    interference: float
+
+    @property
+    def latency(self) -> float:
+        """End-to-end response time."""
+        return self.completion - self.arrival
+
+    @property
+    def slo_met(self) -> bool | None:
+        """True/False for strict requests; None for best-effort."""
+        if self.deadline is None:
+            return None
+        return self.completion <= self.deadline + 1e-12
+
+    def components(self) -> dict[str, float]:
+        """The additive latency decomposition (sums to :attr:`latency`)."""
+        return {
+            "batch_wait": self.batch_wait,
+            "cold_start": self.cold_start,
+            "queue_delay": self.queue_delay,
+            "exec_min": self.exec_min,
+            "deficiency": self.deficiency,
+            "interference": self.interference,
+        }
+
+
+class RecordCollector:
+    """Accumulates request records during a run and serves filtered views."""
+
+    def __init__(self) -> None:
+        self._records: list[RequestRecord] = []
+        self.dropped_requests = 0
+
+    def add(self, record: RequestRecord) -> None:
+        """Store one completed request's outcome."""
+        self._records.append(record)
+
+    def mark_dropped(self, count: int = 1) -> None:
+        """Count requests lost (e.g. stranded on an evicted node and never
+        resubmitted); they count against SLO compliance."""
+        self.dropped_requests += count
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[RequestRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> tuple[RequestRecord, ...]:
+        return tuple(self._records)
+
+    def strict(self) -> list[RequestRecord]:
+        """Records of strict (SLO-bound) requests."""
+        return [r for r in self._records if r.strict]
+
+    def best_effort(self) -> list[RequestRecord]:
+        """Records of best-effort requests."""
+        return [r for r in self._records if not r.strict]
+
+    def for_model(self, model: str) -> list[RequestRecord]:
+        """Records for one model name."""
+        return [r for r in self._records if r.model == model]
+
+    def latencies(self, records: Iterable[RequestRecord] | None = None) -> np.ndarray:
+        """Latency array over ``records`` (default: everything collected)."""
+        pool = self._records if records is None else list(records)
+        return np.array([r.latency for r in pool], dtype=float)

@@ -1,0 +1,53 @@
+"""SLO compliance (the paper's headline metric).
+
+"SLO compliance will refer to the percentage of strict requests meeting
+their SLO targets" (Section 2.2). Dropped strict requests (lost to an
+eviction and never served) count as violations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.metrics.records import RecordCollector, RequestRecord
+
+
+def slo_compliance(
+    records: Iterable[RequestRecord], *, dropped_strict: int = 0
+) -> float:
+    """Fraction (0–1) of strict requests that met their deadline.
+
+    Non-strict records in the input are ignored. Returns ``nan`` when no
+    strict requests exist (SLO compliance "is not a valid metric for BE
+    requests", Section 6.2).
+    """
+    met = 0
+    total = dropped_strict
+    for record in records:
+        if not record.strict:
+            continue
+        total += 1
+        if record.slo_met:
+            met += 1
+    if total == 0:
+        return float("nan")
+    return met / total
+
+
+def slo_compliance_percent(
+    records: Iterable[RequestRecord], *, dropped_strict: int = 0
+) -> float:
+    """:func:`slo_compliance` scaled to 0–100 (how the paper reports it)."""
+    return 100.0 * slo_compliance(records, dropped_strict=dropped_strict)
+
+
+def collector_compliance(collector: RecordCollector) -> float:
+    """Compliance over a whole run, counting dropped requests against it."""
+    return slo_compliance(
+        collector.strict(), dropped_strict=collector.dropped_requests
+    )
+
+
+def violations(records: Iterable[RequestRecord]) -> list[RequestRecord]:
+    """The strict records that missed their deadline."""
+    return [r for r in records if r.strict and r.slo_met is False]

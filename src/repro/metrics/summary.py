@@ -1,0 +1,92 @@
+"""Run-level metric summaries and text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.breakdown import LatencyBreakdown
+from repro.metrics.records import RequestRecord
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Everything the paper reports about one (scheme, workload) run."""
+
+    scheme: str
+    strict_model: str
+    requests_served: int
+    strict_requests: int
+    slo_compliance: float  # 0..1, NaN if no strict requests
+    strict_p50: float
+    strict_p99: float
+    be_p50: float
+    be_p99: float
+    tail_breakdown: LatencyBreakdown
+    strict_throughput_per_gpu: float
+    total_throughput_per_gpu: float
+    gpu_busy_fraction: float
+    gpu_any_busy_fraction: float
+    memory_fraction: float
+    reconfigurations: int
+    total_cost: float
+    cost_savings_fraction: float
+    dropped_requests: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def slo_percent(self) -> float:
+        """SLO compliance as the paper prints it (percent)."""
+        return 100.0 * self.slo_compliance
+
+    def row(self) -> dict[str, float | str | int]:
+        """A flat dict suitable for table rendering."""
+        return {
+            "scheme": self.scheme,
+            "model": self.strict_model,
+            "slo_%": round(self.slo_percent, 2),
+            "strict_p50_ms": round(self.strict_p50 * 1000, 1),
+            "strict_p99_ms": round(self.strict_p99 * 1000, 1),
+            "be_p99_ms": round(self.be_p99 * 1000, 1),
+            "thru_strict_rps_gpu": round(self.strict_throughput_per_gpu, 2),
+            "gpu_util_%": round(self.gpu_any_busy_fraction * 100, 1),
+            "mem_util_%": round(self.memory_fraction * 100, 1),
+            "cost_$": round(self.total_cost, 4),
+            "savings_%": round(self.cost_savings_fraction * 100, 1),
+        }
+
+
+def format_table(rows: list[dict], *, title: str = "") -> str:
+    """Render dict rows as a fixed-width text table (bench output)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows))
+        for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def filter_window(
+    records: list[RequestRecord], start: float, end: float | None = None
+) -> list[RequestRecord]:
+    """Records whose *arrival* falls inside ``[start, end)``.
+
+    Experiments exclude a warm-up prefix this way, so cold-start
+    transients at t=0 do not pollute steady-state metrics.
+    """
+    return [
+        r
+        for r in records
+        if r.arrival >= start and (end is None or r.arrival < end)
+    ]

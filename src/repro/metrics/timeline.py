@@ -1,0 +1,92 @@
+"""Time-series views of request records (Figure 7's latency trace)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.metrics.records import RequestRecord
+
+
+def latency_series(
+    records: Iterable[RequestRecord],
+    *,
+    bucket_seconds: float = 1.0,
+    percentile: float = 95.0,
+    start: float = 0.0,
+    end: float | None = None,
+) -> list[tuple[float, float]]:
+    """Per-bucket latency percentile over arrival time.
+
+    Returns ``(bucket_start, latency)`` points for every bucket that saw
+    at least one arrival; empty buckets are skipped so the series plots
+    cleanly.
+    """
+    if bucket_seconds <= 0:
+        raise ValueError("bucket_seconds must be positive")
+    buckets: dict[int, list[float]] = {}
+    for record in records:
+        if record.arrival < start:
+            continue
+        if end is not None and record.arrival >= end:
+            continue
+        index = int((record.arrival - start) // bucket_seconds)
+        buckets.setdefault(index, []).append(record.latency)
+    return [
+        (
+            start + index * bucket_seconds,
+            float(np.percentile(values, percentile)),
+        )
+        for index, values in sorted(buckets.items())
+    ]
+
+
+def arrival_rate_series(
+    records: Iterable[RequestRecord],
+    *,
+    bucket_seconds: float = 1.0,
+    start: float = 0.0,
+    end: float | None = None,
+) -> list[tuple[float, float]]:
+    """Requests per second over time (served requests only)."""
+    if bucket_seconds <= 0:
+        raise ValueError("bucket_seconds must be positive")
+    buckets: dict[int, int] = {}
+    for record in records:
+        if record.arrival < start:
+            continue
+        if end is not None and record.arrival >= end:
+            continue
+        index = int((record.arrival - start) // bucket_seconds)
+        buckets[index] = buckets.get(index, 0) + 1
+    return [
+        (start + index * bucket_seconds, count / bucket_seconds)
+        for index, count in sorted(buckets.items())
+    ]
+
+
+def slo_compliance_series(
+    records: Sequence[RequestRecord],
+    *,
+    bucket_seconds: float = 5.0,
+    start: float = 0.0,
+    end: float | None = None,
+) -> list[tuple[float, float]]:
+    """Windowed SLO compliance (fraction) of strict requests over time."""
+    if bucket_seconds <= 0:
+        raise ValueError("bucket_seconds must be positive")
+    buckets: dict[int, list[bool]] = {}
+    for record in records:
+        if not record.strict or record.slo_met is None:
+            continue
+        if record.arrival < start:
+            continue
+        if end is not None and record.arrival >= end:
+            continue
+        index = int((record.arrival - start) // bucket_seconds)
+        buckets.setdefault(index, []).append(bool(record.slo_met))
+    return [
+        (start + index * bucket_seconds, sum(flags) / len(flags))
+        for index, flags in sorted(buckets.items())
+    ]

@@ -1,0 +1,34 @@
+"""Serverless platform substrate: gateway, batching, containers, dispatch."""
+
+from repro.serverless.batcher import DEFAULT_MAX_WAIT, Batcher
+from repro.serverless.container import (
+    Container,
+    ContainerPool,
+    ContainerState,
+    DEFAULT_COLD_START_SECONDS,
+    DEFAULT_KEEP_ALIVE_SECONDS,
+)
+from repro.serverless.dispatcher import Dispatcher, Gateway
+from repro.serverless.platform import PlatformConfig, ServerlessPlatform
+from repro.serverless.request import Request, RequestBatch
+from repro.serverless.scheduler import NodeScheduler, Placement
+from repro.serverless.scheme import Scheme
+
+__all__ = [
+    "Batcher",
+    "Container",
+    "ContainerPool",
+    "ContainerState",
+    "DEFAULT_COLD_START_SECONDS",
+    "DEFAULT_KEEP_ALIVE_SECONDS",
+    "DEFAULT_MAX_WAIT",
+    "Dispatcher",
+    "Gateway",
+    "NodeScheduler",
+    "Placement",
+    "PlatformConfig",
+    "Request",
+    "RequestBatch",
+    "Scheme",
+    "ServerlessPlatform",
+]

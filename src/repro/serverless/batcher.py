@@ -1,0 +1,93 @@
+"""Request batching (paper Section 4.1).
+
+Requests are grouped per (model, strictness) and flushed as a
+:class:`RequestBatch` either when the model's batch size is reached or
+when the oldest member has waited ``max_wait`` seconds — whichever comes
+first. The timeout keeps low-rate workloads (e.g. ALBERT at 6 rps with
+batch size 4) from blowing their SLO budget waiting for a full batch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.serverless.request import Request, RequestBatch
+from repro.simulation.events import Event
+from repro.simulation.simulator import Simulator
+
+#: Default cap on how long the first request of a batch may wait.
+DEFAULT_MAX_WAIT = 0.050
+
+
+class Batcher:
+    """Accumulates requests into homogeneous batches."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        on_batch: Callable[[RequestBatch], None],
+        *,
+        max_wait: float = DEFAULT_MAX_WAIT,
+    ) -> None:
+        if max_wait <= 0:
+            raise ConfigurationError("max_wait must be positive")
+        self.sim = sim
+        self.on_batch = on_batch
+        self.max_wait = max_wait
+        self._buffers: dict[tuple[str, bool], list[Request]] = {}
+        self._timers: dict[tuple[str, bool], Event] = {}
+        self.batches_emitted = 0
+
+    def add(self, request: Request) -> None:
+        """Admit one request; may trigger an immediate flush."""
+        key = (request.model.name, request.strict)
+        buffer = self._buffers.setdefault(key, [])
+        buffer.append(request)
+        if len(buffer) >= request.model.batch_size:
+            self._flush(key)
+        elif len(buffer) == 1:
+            self._timers[key] = self.sim.after(
+                self.max_wait, lambda: self._flush(key), label="batch-timeout"
+            )
+
+    def flush_all(self) -> None:
+        """Emit every non-empty buffer (end-of-trace cleanup)."""
+        for key in list(self._buffers):
+            if self._buffers[key]:
+                self._flush(key)
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests currently buffered and not yet batched."""
+        return sum(len(buffer) for buffer in self._buffers.values())
+
+    def pending_best_effort_memory(self) -> float:
+        """Memory the buffered BE requests will need once batched.
+
+        This is the ``BE_mem`` input to PROTEAN's Algorithm 1 — the
+        request-reordering module exposes it to the Job Distributor.
+        """
+        total = 0.0
+        for (model_name, strict), buffer in self._buffers.items():
+            if strict or not buffer:
+                continue
+            model = buffer[0].model
+            total += math.ceil(len(buffer) / model.batch_size) * model.memory_gb
+        return total
+
+    def _flush(self, key: tuple[str, bool]) -> None:
+        buffer = self._buffers.get(key)
+        if not buffer:
+            return
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            self.sim.cancel(timer)
+        model_name, strict = key
+        batch = RequestBatch(buffer[0].model, strict, created_at=self.sim.now)
+        for request in buffer:
+            batch.add(request)
+        self._buffers[key] = []
+        self.batches_emitted += 1
+        self.on_batch(batch)

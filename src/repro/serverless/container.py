@@ -1,0 +1,193 @@
+"""Container lifecycle: cold starts, warm reuse, delayed termination.
+
+Implements the paper's autoscaling behaviour (Section 4.2):
+
+- *Reactive scale-up*: one container is provisioned per request batch —
+  ``acquire`` hands out an idle warm container when one exists for the
+  model, otherwise it spawns a new one and the caller waits out the cold
+  start.
+- *Delayed termination*: a container that goes idle is kept warm for a
+  keep-alive period (~10 minutes in the paper) and only terminated if it
+  remains surplus throughout, which the paper reports cuts cold starts by
+  up to 98% versus immediate scale-down.
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import Enum
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.simulation.processes import OneShotTimer
+from repro.simulation.simulator import Simulator
+
+#: Default container boot + model load latency, seconds. Real GPU serverless
+#: cold starts run seconds to tens of seconds; 8 s models a container boot
+#: plus a multi-GB model load.
+DEFAULT_COLD_START_SECONDS = 8.0
+
+#: Paper Section 4.2: surplus containers terminate after ~10 minutes.
+DEFAULT_KEEP_ALIVE_SECONDS = 600.0
+
+_container_ids = itertools.count()
+
+
+class ContainerState(str, Enum):
+    """Lifecycle of one container."""
+
+    COLD_STARTING = "cold_starting"
+    IDLE = "idle"
+    BUSY = "busy"
+    TERMINATED = "terminated"
+
+
+class Container:
+    """One GPU-accelerated container serving batches of a single model."""
+
+    def __init__(self, pool: "ContainerPool", model_name: str) -> None:
+        self.container_id = next(_container_ids)
+        self.pool = pool
+        self.model_name = model_name
+        self.state = ContainerState.COLD_STARTING
+        self.spawned_at = pool.sim.now
+        self.batches_served = 0
+        self._keep_alive = OneShotTimer(
+            pool.sim, self._expire, label=f"keepalive-c{self.container_id}"
+        )
+
+    def _expire(self) -> None:
+        if self.state is ContainerState.IDLE:
+            self.pool._terminate(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Container(#{self.container_id}, {self.model_name}, {self.state.value})"
+
+
+class ContainerPool:
+    """Per-node pool of warm/cold containers, one model per container."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        cold_start_seconds: float = DEFAULT_COLD_START_SECONDS,
+        keep_alive_seconds: float = DEFAULT_KEEP_ALIVE_SECONDS,
+    ) -> None:
+        if cold_start_seconds < 0 or keep_alive_seconds < 0:
+            raise ConfigurationError("container delays must be non-negative")
+        self.sim = sim
+        self.cold_start_seconds = cold_start_seconds
+        self.keep_alive_seconds = keep_alive_seconds
+        self._idle: dict[str, list[Container]] = {}
+        self._all: set[Container] = set()
+        self.cold_starts = 0
+        self.warm_hits = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Acquire / release
+    # ------------------------------------------------------------------
+    def acquire(
+        self, model_name: str, ready: Callable[[Container, float], None]
+    ) -> None:
+        """Obtain a container for ``model_name``.
+
+        ``ready(container, cold_start_seconds)`` fires immediately with 0
+        cold start when a warm idle container exists, otherwise after the
+        cold-start delay of a freshly spawned container.
+        """
+        if self._stopped:
+            raise ConfigurationError("pool is stopped")
+        idle = self._idle.get(model_name)
+        if idle:
+            container = idle.pop()
+            container._keep_alive.cancel()
+            container.state = ContainerState.BUSY
+            self.warm_hits += 1
+            ready(container, 0.0)
+            return
+        container = Container(self, model_name)
+        self._all.add(container)
+        self.cold_starts += 1
+
+        def booted() -> None:
+            if container.state is ContainerState.TERMINATED:
+                return  # pool shut down mid-boot
+            container.state = ContainerState.BUSY
+            ready(container, self.cold_start_seconds)
+
+        self.sim.after(self.cold_start_seconds, booted, label="cold-start")
+
+    def release(self, container: Container) -> None:
+        """Return a container after its batch completes."""
+        if container.state is not ContainerState.BUSY:
+            raise ConfigurationError(
+                f"release of non-busy container {container!r}"
+            )
+        container.batches_served += 1
+        container.state = ContainerState.IDLE
+        self._idle.setdefault(container.model_name, []).append(container)
+        container._keep_alive.restart(self.keep_alive_seconds)
+
+    def prewarm(self, model_name: str) -> None:
+        """Spawn a container that goes straight to IDLE once booted.
+
+        Used by the autoscaler's conservative provisioning: paying the
+        cold start *ahead* of demand so future batches find warm
+        containers.
+        """
+        if self._stopped:
+            raise ConfigurationError("pool is stopped")
+        container = Container(self, model_name)
+        self._all.add(container)
+        self.cold_starts += 1
+
+        def booted() -> None:
+            if container.state is ContainerState.TERMINATED:
+                return
+            container.state = ContainerState.IDLE
+            self._idle.setdefault(model_name, []).append(container)
+            container._keep_alive.restart(self.keep_alive_seconds)
+
+        self.sim.after(self.cold_start_seconds, booted, label="prewarm")
+
+    # ------------------------------------------------------------------
+    # Introspection / teardown
+    # ------------------------------------------------------------------
+    @property
+    def total_containers(self) -> int:
+        """Live containers (cold-starting, idle, or busy)."""
+        return sum(
+            1 for c in self._all if c.state is not ContainerState.TERMINATED
+        )
+
+    def live_count(self, model_name: str) -> int:
+        """Live containers (any non-terminated state) for one model."""
+        return sum(
+            1
+            for c in self._all
+            if c.model_name == model_name
+            and c.state is not ContainerState.TERMINATED
+        )
+
+    def idle_count(self, model_name: str | None = None) -> int:
+        """Idle warm containers, optionally filtered by model."""
+        if model_name is not None:
+            return len(self._idle.get(model_name, []))
+        return sum(len(v) for v in self._idle.values())
+
+    def stop(self) -> None:
+        """Terminate everything (node retirement)."""
+        self._stopped = True
+        for container in list(self._all):
+            if container.state is not ContainerState.TERMINATED:
+                container._keep_alive.cancel()
+                container.state = ContainerState.TERMINATED
+        self._idle.clear()
+
+    def _terminate(self, container: Container) -> None:
+        container.state = ContainerState.TERMINATED
+        idle = self._idle.get(container.model_name)
+        if idle and container in idle:
+            idle.remove(container)

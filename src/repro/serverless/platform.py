@@ -1,0 +1,224 @@
+"""The serverless platform: wiring of gateway → batcher → dispatcher →
+per-node schedulers → GPUs, plus node lifecycle and metrics emission.
+
+This is the scheme-agnostic harness of Figure 4. PROTEAN and every baseline
+run on the *same* platform; only the :class:`~repro.serverless.scheme.Scheme`
+(scheduling policies) and the procurement policy differ — mirroring the
+paper's methodology, where the evaluated schemes are "the request serving
+policies of state-of-the-art GPU-enabled serverless frameworks".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import WorkerNode
+from repro.cluster.pricing import CostMeter, DEFAULT_PRICING, ProviderPricing, VMTier
+from repro.cluster.vm import VM, VMState
+from repro.errors import ConfigurationError
+from repro.gpu.device import GPU
+from repro.gpu.device_models import get_device_model
+from repro.gpu.engine import JobTiming
+from repro.metrics.records import RecordCollector, RequestRecord
+from repro.serverless.batcher import DEFAULT_MAX_WAIT, Batcher
+from repro.serverless.container import (
+    DEFAULT_COLD_START_SECONDS,
+    DEFAULT_KEEP_ALIVE_SECONDS,
+    ContainerPool,
+)
+from repro.serverless.dispatcher import Dispatcher, Gateway
+from repro.serverless.request import Request, RequestBatch
+from repro.serverless.scheme import Scheme
+from repro.simulation.simulator import Simulator
+from repro.traces.mixing import RequestSpec
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Knobs of the scheme-agnostic platform machinery."""
+
+    n_nodes: int = 8
+    cold_start_seconds: float = DEFAULT_COLD_START_SECONDS
+    keep_alive_seconds: float = DEFAULT_KEEP_ALIVE_SECONDS
+    batch_max_wait: float = DEFAULT_MAX_WAIT
+    reconfig_seconds: float = 2.0
+    reconfig_fraction: float = 0.3
+    #: GPU part per worker node: "a100" (paper testbed), "a100-80gb",
+    #: or "h100" — same MIG shape, different memory capacities.
+    gpu_device: str = "a100"
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigurationError("n_nodes must be >= 1")
+        if self.reconfig_seconds < 0:
+            raise ConfigurationError("reconfig_seconds must be non-negative")
+
+
+class ServerlessPlatform:
+    """One running deployment of a scheme on a simulated cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheme: Scheme,
+        config: PlatformConfig | None = None,
+        *,
+        collector: RecordCollector | None = None,
+        pricing: ProviderPricing = DEFAULT_PRICING,
+    ) -> None:
+        self.sim = sim
+        self.scheme = scheme
+        self.config = config or PlatformConfig()
+        self.collector = collector or RecordCollector()
+        self.meter = CostMeter(pricing)
+        self.cluster = Cluster(reconfig_fraction=self.config.reconfig_fraction)
+        self.dispatcher = Dispatcher(
+            self.cluster,
+            policy=scheme.dispatch_policy,
+            consolidation_limit=scheme.consolidation_limit,
+        )
+        self.batcher = Batcher(
+            sim, self.dispatcher.route, max_wait=self.config.batch_max_wait
+        )
+        #: Daemons (reconfigurator, autoscaler) observing the ingest path.
+        self.request_observers: list = []
+        self.gateway = Gateway(self._ingest)
+        self._pools: dict[int, ContainerPool] = {}
+        #: Every node ever provisioned (metric rollup spans evictions).
+        self.all_nodes: list[WorkerNode] = []
+        self._started_at = sim.now
+
+    def _ingest(self, request: Request) -> None:
+        for observer in self.request_observers:
+            observer(request)
+        self.batcher.add(request)
+
+    # ------------------------------------------------------------------
+    # Node lifecycle
+    # ------------------------------------------------------------------
+    def build_node(self, tier: VMTier) -> WorkerNode:
+        """Provision a VM + GPU + scheduler and join it to the cluster."""
+        vm = VM(self.sim, tier, self.meter)
+        gpu = GPU(
+            self.sim,
+            self.scheme.initial_geometry(),
+            self.scheme.share_mode,
+            reconfig_seconds=self.config.reconfig_seconds,
+            device_model=get_device_model(self.config.gpu_device),
+        )
+        node = WorkerNode(vm, gpu)
+        pool = ContainerPool(
+            self.sim,
+            cold_start_seconds=self.config.cold_start_seconds,
+            keep_alive_seconds=self.config.keep_alive_seconds,
+        )
+        scheduler = self.scheme.create_scheduler(self, node, pool)
+        self._pools[node.node_id] = pool
+        self.cluster.add(node)
+        self.all_nodes.append(node)
+        self.dispatcher.register(node, scheduler)
+        self.scheme.on_node_added(self, node, scheduler)
+        return node
+
+    def provision_initial(self, tier: VMTier = VMTier.ON_DEMAND) -> None:
+        """Bring up the configured node count and start scheme daemons."""
+        for _ in range(self.config.n_nodes):
+            self.build_node(tier)
+        self.scheme.on_platform_start(self)
+
+    def retire_node(self, node: WorkerNode) -> None:
+        """Tear a node down and resubmit everything it still held."""
+        scheduler = self.dispatcher.deregister(node)
+        unfinished: list[RequestBatch] = []
+        if scheduler is not None:
+            unfinished.extend(scheduler.collect_unfinished())
+        for payload in node.retire():
+            if isinstance(payload, RequestBatch):
+                unfinished.append(payload)
+        pool = self._pools.pop(node.node_id, None)
+        if pool is not None:
+            pool.stop()
+        if node.vm.state is not VMState.TERMINATED:
+            node.vm.terminate()
+        self.cluster.remove(node)
+        self.scheme.on_node_retired(self, node)
+        for batch in unfinished:
+            self.dispatcher.resubmit(batch)
+
+    # ------------------------------------------------------------------
+    # Request injection
+    # ------------------------------------------------------------------
+    def inject(self, specs: Sequence[RequestSpec]) -> None:
+        """Schedule trace-generated requests for arrival.
+
+        Arrivals are injected lazily (one pending event at a time) so huge
+        traces do not bloat the event heap.
+        """
+        ordered = sorted(specs, key=lambda s: s.arrival)
+        iterator = iter(ordered)
+
+        def admit_next(spec: RequestSpec) -> None:
+            self.gateway.admit(Request.from_spec(spec))
+            upcoming = next(iterator, None)
+            if upcoming is not None:
+                self.sim.at(upcoming.arrival, lambda: admit_next(upcoming),
+                            label="arrival")
+
+        first = next(iterator, None)
+        if first is not None:
+            self.sim.at(first.arrival, lambda: admit_next(first), label="arrival")
+
+    # ------------------------------------------------------------------
+    # Completion accounting
+    # ------------------------------------------------------------------
+    def record_batch_completion(self, batch: RequestBatch, timing: JobTiming) -> None:
+        """Emit one :class:`RequestRecord` per member request.
+
+        The decomposition is additive: for each request,
+        ``batch_wait + cold_start + queue_delay + exec_min + deficiency +
+        interference == completion − arrival``.
+        """
+        queue_delay = max(
+            0.0,
+            timing.started_at - batch.created_at - batch.cold_start_seconds,
+        )
+        for request in batch.requests:
+            self.collector.add(
+                RequestRecord(
+                    model=batch.model.name,
+                    strict=batch.strict,
+                    arrival=request.arrival,
+                    completion=timing.finished_at,
+                    deadline=request.deadline,
+                    batch_wait=batch.created_at - request.arrival,
+                    cold_start=batch.cold_start_seconds,
+                    queue_delay=queue_delay,
+                    exec_min=timing.work,
+                    deficiency=timing.deficiency_time,
+                    interference=timing.interference_time,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Run finalization
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Settle VM billing at the end of a run."""
+        for node in self.cluster:
+            node.vm.flush_billing()
+
+    def pool_for(self, node: WorkerNode) -> ContainerPool:
+        """The container pool attached to ``node``."""
+        return self._pools[node.node_id]
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the platform was created."""
+        return self.sim.now - self._started_at
+
+    def total_cold_starts(self) -> int:
+        """Cold starts across live pools (retired pools keep their stats
+        in scheme-level accounting; live total suffices for reporting)."""
+        return sum(pool.cold_starts for pool in self._pools.values())

@@ -1,0 +1,71 @@
+"""The Scheme abstraction: what one evaluated framework contributes.
+
+A scheme bundles everything that distinguishes one evaluated system from
+another on the serving path (Section 5's "evaluated schemes"):
+
+- the GPU sharing mode (MPS spatial sharing vs. time sharing);
+- the initial MIG geometry (a single 7g for non-MIG schemes);
+- the per-node scheduler (ordering + placement policy);
+- optional platform-wide daemons (PROTEAN's GPU Reconfigurator).
+
+The platform is scheme-agnostic; experiments pair one scheme with one
+procurement policy and a trace.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.cluster.node import WorkerNode
+from repro.gpu.engine import ShareMode
+from repro.gpu.mig import GEOMETRY_FULL, Geometry
+from repro.serverless.container import ContainerPool
+from repro.serverless.dispatcher import DispatchPolicy
+from repro.serverless.scheduler import NodeScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serverless.platform import ServerlessPlatform
+
+
+class Scheme(ABC):
+    """One evaluated request-serving policy bundle."""
+
+    #: Human-readable scheme name (used in reports).
+    name: str = "scheme"
+
+    #: How jobs share a slice: spatial (MPS) or temporal.
+    share_mode: ShareMode = ShareMode.MPS
+
+    #: How the dispatcher spreads batches across nodes.
+    dispatch_policy: DispatchPolicy = DispatchPolicy.LEAST_LOADED
+
+    #: CONSOLIDATE only: batches per node before spilling.
+    consolidation_limit: int = 4
+
+    def initial_geometry(self) -> Geometry:
+        """MIG geometry each GPU starts with (default: unpartitioned)."""
+        return GEOMETRY_FULL
+
+    @abstractmethod
+    def create_scheduler(
+        self,
+        platform: "ServerlessPlatform",
+        node: WorkerNode,
+        pool: ContainerPool,
+    ) -> NodeScheduler:
+        """Build the per-node scheduler implementing this scheme."""
+
+    def on_node_added(
+        self, platform: "ServerlessPlatform", node: WorkerNode,
+        scheduler: NodeScheduler,
+    ) -> None:
+        """Hook invoked after a node joins (e.g. start per-node daemons)."""
+
+    def on_node_retired(
+        self, platform: "ServerlessPlatform", node: WorkerNode
+    ) -> None:
+        """Hook invoked after a node leaves (stop per-node daemons)."""
+
+    def on_platform_start(self, platform: "ServerlessPlatform") -> None:
+        """Hook invoked once, after initial provisioning."""

@@ -1,0 +1,35 @@
+"""Deterministic discrete-event simulation kernel.
+
+Public surface:
+
+- :class:`~repro.simulation.simulator.Simulator` — clock + event loop.
+- :class:`~repro.simulation.events.Event` / ``EventQueue`` — cancellable
+  scheduled callbacks.
+- :class:`~repro.simulation.processes.PeriodicProcess` /
+  ``OneShotTimer`` — recurring daemons and restartable timers.
+- :class:`~repro.simulation.rng.RngRegistry` — named seeded RNG streams.
+"""
+
+from repro.simulation.events import (
+    PRIORITY_EARLY,
+    PRIORITY_LATE,
+    PRIORITY_NORMAL,
+    Event,
+    EventQueue,
+)
+from repro.simulation.processes import OneShotTimer, PeriodicProcess
+from repro.simulation.rng import RngRegistry, derive_seed
+from repro.simulation.simulator import Simulator
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "OneShotTimer",
+    "PeriodicProcess",
+    "PRIORITY_EARLY",
+    "PRIORITY_LATE",
+    "PRIORITY_NORMAL",
+    "RngRegistry",
+    "Simulator",
+    "derive_seed",
+]

@@ -1,0 +1,148 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel is a classic calendar-queue design: callbacks are scheduled at
+absolute simulated times and executed in time order. Events are *handles* —
+they can be cancelled or rescheduled, which the GPU execution engine relies
+on heavily (a job's completion event moves every time its co-location set
+changes).
+
+Ties are broken by (priority, sequence number) so that same-timestamp events
+execute in a deterministic order: lower priority value first, then FIFO.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ClockError, EventCancelledError
+
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 100
+#: Priority for bookkeeping that must run before ordinary events at a tick.
+PRIORITY_EARLY = 10
+#: Priority for work that must observe all ordinary events at a tick.
+PRIORITY_LATE = 1000
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Instances are created through :meth:`EventQueue.schedule`; user code
+    holds them only to call :meth:`cancel`.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+    fired: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; the queue drops it when it surfaces."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and not yet fired/cancelled."""
+        return not self.cancelled and not self.fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, prio={self.priority}, {self.label!r}, {state})"
+
+
+class EventQueue:
+    """A cancellable priority queue of :class:`Event` objects.
+
+    Cancellation is lazy: cancelled events stay in the heap and are skipped
+    on pop. :meth:`compact` may be called if the fraction of dead entries
+    grows large (the simulator does this automatically).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Insert ``callback`` to run at simulated ``time``; return its handle."""
+        event = Event(time, priority, next(self._counter), callback, label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel ``event``. Idempotent errors are surfaced to catch bugs."""
+        if event.cancelled:
+            raise EventCancelledError(f"event already cancelled: {event!r}")
+        if event.fired:
+            raise EventCancelledError(f"event already fired: {event!r}")
+        event.cancel()
+        self._live -= 1
+
+    def cancel_if_pending(self, event: Event | None) -> None:
+        """Cancel ``event`` unless it is ``None``, fired, or cancelled."""
+        if event is not None and event.pending:
+            self.cancel(event)
+
+    def peek_time(self) -> float:
+        """Return the timestamp of the next live event.
+
+        Raises :class:`IndexError` when the queue is empty.
+        """
+        self._drop_dead()
+        return self._heap[0].time
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises :class:`IndexError` when the queue is empty.
+        """
+        self._drop_dead()
+        event = heapq.heappop(self._heap)
+        event.fired = True
+        self._live -= 1
+        return event
+
+    def compact(self) -> None:
+        """Rebuild the heap without cancelled entries."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+
+    @property
+    def dead_fraction(self) -> float:
+        """Fraction of heap entries that are cancelled tombstones."""
+        if not self._heap:
+            return 0.0
+        return 1.0 - self._live / len(self._heap)
+
+    def _drop_dead(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+
+
+def validate_schedule_time(now: float, time: float) -> None:
+    """Raise :class:`ClockError` if ``time`` lies in the simulated past."""
+    if time < now:
+        raise ClockError(f"cannot schedule at t={time} before now={now}")

@@ -1,0 +1,110 @@
+"""Helpers for recurring simulated activities.
+
+Several PROTEAN components are periodic daemons in the real system — the GPU
+Reconfigurator runs every monitoring interval ``W``, the autoscaler's
+delayed-termination sweep runs on its own timer, the spot market draws
+revocations at fixed intervals. :class:`PeriodicProcess` models exactly
+that: a callback re-armed on a fixed period until stopped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.simulation.events import Event
+from repro.simulation.simulator import Simulator
+
+
+class PeriodicProcess:
+    """Invoke ``callback`` every ``period`` seconds of simulated time.
+
+    The first invocation happens at ``start_delay`` (default: one full
+    period) after :meth:`start` is called. The callback may call
+    :meth:`stop` to cancel further invocations, including from within
+    itself.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], None],
+        *,
+        label: str = "periodic",
+        start_delay: float | None = None,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        self._sim = sim
+        self.period = period
+        self._callback = callback
+        self._label = label
+        self._start_delay = period if start_delay is None else start_delay
+        self._event: Event | None = None
+        self._running = False
+        self.invocations = 0
+
+    @property
+    def running(self) -> bool:
+        """Whether the process is currently armed."""
+        return self._running
+
+    def start(self) -> None:
+        """Arm the process. Idempotent-start is a bug, so it raises."""
+        if self._running:
+            raise SimulationError(f"periodic process {self._label!r} already running")
+        self._running = True
+        self._event = self._sim.after(
+            self._start_delay, self._tick, label=self._label
+        )
+
+    def stop(self) -> None:
+        """Disarm the process; safe to call when already stopped."""
+        if not self._running:
+            return
+        self._running = False
+        self._sim.cancel(self._event)
+        self._event = None
+
+    def _tick(self) -> None:
+        self._event = None
+        self.invocations += 1
+        self._callback()
+        if self._running:
+            self._event = self._sim.after(self.period, self._tick, label=self._label)
+
+
+class OneShotTimer:
+    """A restartable single-fire timer.
+
+    Used for container keep-alive deadlines and spot-eviction countdowns:
+    each restart cancels the previous pending fire.
+    """
+
+    def __init__(
+        self, sim: Simulator, callback: Callable[[], None], *, label: str = "timer"
+    ) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._label = label
+        self._event: Event | None = None
+
+    @property
+    def pending(self) -> bool:
+        """Whether a fire is currently scheduled."""
+        return self._event is not None and self._event.pending
+
+    def restart(self, delay: float) -> None:
+        """(Re)schedule the timer to fire ``delay`` seconds from now."""
+        self.cancel()
+        self._event = self._sim.after(delay, self._fire, label=self._label)
+
+    def cancel(self) -> None:
+        """Cancel any pending fire."""
+        self._sim.cancel(self._event)
+        self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()

@@ -1,0 +1,143 @@
+"""The discrete-event simulator core.
+
+A :class:`Simulator` owns the clock, the event queue, and the RNG registry.
+Components schedule callbacks at absolute times; :meth:`Simulator.run`
+drains the queue in time order. The design is deliberately single-threaded
+and synchronous — determinism is a hard requirement for reproducing the
+paper's experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.simulation.events import (
+    PRIORITY_NORMAL,
+    Event,
+    EventQueue,
+    validate_schedule_time,
+)
+from repro.simulation.rng import RngRegistry
+
+#: Compact the event heap when this fraction of entries are tombstones.
+_COMPACT_THRESHOLD = 0.5
+#: ... but only when the heap is at least this large (avoid churn).
+_COMPACT_MIN_SIZE = 4096
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for all named RNG streams.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self.queue = EventQueue()
+        self.rng = RngRegistry(seed)
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        validate_schedule_time(self._now, time)
+        return self.queue.schedule(time, callback, priority=priority, label=label)
+
+    def after(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.queue.schedule(
+            self._now + delay, callback, priority=priority, label=label
+        )
+
+    def cancel(self, event: Event | None) -> None:
+        """Cancel ``event`` if it is pending; no-op for ``None``/cancelled."""
+        self.queue.cancel_if_pending(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event. Return ``False`` if the queue is empty."""
+        if not self.queue:
+            return False
+        event = self.queue.pop()
+        if event.time < self._now:
+            raise SimulationError(
+                f"time went backwards: event at {event.time} < now {self._now}"
+            )
+        self._now = event.time
+        self._events_processed += 1
+        event.callback()
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event lies strictly after this time (the
+            clock is advanced to ``until``). ``None`` runs to exhaustion.
+        max_events:
+            Safety valve against runaway simulations.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while self.queue:
+                if until is not None and self.queue.peek_time() > until:
+                    self._now = max(self._now, until)
+                    return
+                self.step()
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (runaway simulation?)"
+                    )
+                if (
+                    len(self.queue._heap) >= _COMPACT_MIN_SIZE
+                    and self.queue.dead_fraction > _COMPACT_THRESHOLD
+                ):
+                    self.queue.compact()
+            if until is not None:
+                self._now = max(self._now, until)
+        finally:
+            self._running = False

@@ -1,0 +1,39 @@
+"""Request trace generation: rate curves, arrivals, and strict/BE mixing."""
+
+from repro.traces.base import RateTrace, arrival_times, constant_trace
+from repro.traces.io import (
+    load_rate_trace,
+    load_request_stream,
+    save_rate_trace,
+    save_request_stream,
+)
+from repro.traces.mixing import (
+    DEFAULT_ROTATION_PERIOD,
+    MixSpec,
+    RequestSpec,
+    be_model_schedule,
+    collapse_to_batches,
+    mix_requests,
+)
+from repro.traces.twitter import TWITTER_PEAK_TO_MEAN, twitter_trace
+from repro.traces.wiki import WIKI_PEAK_TO_MEAN, wiki_trace
+
+__all__ = [
+    "DEFAULT_ROTATION_PERIOD",
+    "MixSpec",
+    "RateTrace",
+    "RequestSpec",
+    "TWITTER_PEAK_TO_MEAN",
+    "WIKI_PEAK_TO_MEAN",
+    "arrival_times",
+    "be_model_schedule",
+    "collapse_to_batches",
+    "constant_trace",
+    "load_rate_trace",
+    "load_request_stream",
+    "mix_requests",
+    "save_rate_trace",
+    "save_request_stream",
+    "twitter_trace",
+    "wiki_trace",
+]

@@ -1,0 +1,115 @@
+"""Trace persistence: load and save rate traces and request streams.
+
+Users with *real* Wikipedia/Twitter traces (or production request logs)
+can feed them in through these loaders instead of the synthetic
+generators. Formats are deliberately plain CSV:
+
+- **Rate trace**: ``interval_start_s,rate_rps`` rows (header optional);
+  intervals must be uniform.
+- **Request stream**: ``arrival_s,model,strict`` rows; ``model`` is any
+  registry name, ``strict`` is 0/1.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.traces.base import RateTrace
+from repro.traces.mixing import RequestSpec
+from repro.workloads.registry import get_model
+
+
+def save_rate_trace(trace: RateTrace, path: str | Path) -> None:
+    """Write a rate trace as ``interval_start_s,rate_rps`` CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["interval_start_s", "rate_rps"])
+        for index, rate in enumerate(trace.rates):
+            writer.writerow([repr(index * trace.interval), repr(float(rate))])
+
+
+def load_rate_trace(path: str | Path, *, name: str = "") -> RateTrace:
+    """Read a rate trace written by :func:`save_rate_trace` (or by hand)."""
+    path = Path(path)
+    starts: list[float] = []
+    rates: list[float] = []
+    with path.open(newline="") as handle:
+        for row in csv.reader(handle):
+            if not row or not row[0].strip():
+                continue
+            try:
+                start, rate = float(row[0]), float(row[1])
+            except ValueError:
+                continue  # header or comment line
+            starts.append(start)
+            rates.append(rate)
+    if len(rates) < 1:
+        raise TraceError(f"{path}: no rate rows found")
+    if len(starts) >= 2:
+        deltas = np.diff(starts)
+        if not np.allclose(deltas, deltas[0], rtol=1e-6, atol=1e-9):
+            raise TraceError(f"{path}: intervals are not uniform")
+        interval = float(deltas[0])
+    else:
+        interval = 1.0
+    return RateTrace(
+        np.asarray(rates), interval, name=name or path.stem
+    )
+
+
+def save_request_stream(
+    specs: Iterable[RequestSpec], path: str | Path
+) -> None:
+    """Write request specs as ``arrival_s,model,strict,slo_multiplier``."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["arrival_s", "model", "strict", "slo_multiplier"])
+        for spec in specs:
+            writer.writerow(
+                [
+                    repr(spec.arrival),
+                    spec.model.name,
+                    int(spec.strict),
+                    f"{spec.slo_multiplier:g}",
+                ]
+            )
+
+
+def load_request_stream(path: str | Path) -> list[RequestSpec]:
+    """Read a request stream written by :func:`save_request_stream`.
+
+    Model names resolve through the workload registry; unknown names
+    raise :class:`repro.errors.UnknownModelError`.
+    """
+    path = Path(path)
+    specs: list[RequestSpec] = []
+    with path.open(newline="") as handle:
+        for row in csv.reader(handle):
+            if not row or not row[0].strip():
+                continue
+            try:
+                arrival = float(row[0])
+            except ValueError:
+                continue  # header line
+            if arrival < 0:
+                raise TraceError(f"{path}: negative arrival {arrival}")
+            model = get_model(row[1])
+            strict = bool(int(row[2]))
+            multiplier = float(row[3]) if len(row) > 3 else 3.0
+            specs.append(
+                RequestSpec(
+                    arrival=arrival,
+                    model=model,
+                    strict=strict,
+                    slo_multiplier=multiplier,
+                )
+            )
+    specs.sort(key=lambda s: s.arrival)
+    return specs

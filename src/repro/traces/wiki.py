@@ -1,0 +1,66 @@
+"""Wikipedia-like diurnal trace generator.
+
+The paper uses real Wikipedia request traces "as they resemble the diurnal
+request arrivals of ML inference workloads" (Section 5) and reports a very
+smooth peak:mean ratio of 316:303 (≈ 1.043). We synthesize the same shape:
+a slow sinusoidal diurnal swing plus mild multiplicative noise, then scale
+to the experiment's target mean rate (the paper targets ~5000 rps for
+vision models and 128 rps for language models).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.traces.base import RateTrace
+
+#: The paper's reported Wiki peak:mean ratio (316:303).
+WIKI_PEAK_TO_MEAN = 316.0 / 303.0
+
+#: Seconds in the diurnal period being compressed into the trace window.
+DEFAULT_DIURNAL_PERIOD = 86_400.0
+
+
+def wiki_trace(
+    duration: float,
+    rng: np.random.Generator,
+    *,
+    mean_rate: float = 5000.0,
+    interval: float = 1.0,
+    diurnal_cycles: float = 1.0,
+    noise: float = 0.008,
+) -> RateTrace:
+    """Generate a Wiki-like diurnal trace.
+
+    Parameters
+    ----------
+    duration:
+        Trace length in seconds (the full window is treated as
+        ``diurnal_cycles`` compressed day/night cycles).
+    rng:
+        Seeded generator for the noise component.
+    mean_rate:
+        Target mean rate after scaling (paper: ~5000 rps).
+    interval:
+        Rate-curve resolution in seconds.
+    diurnal_cycles:
+        How many sinusoidal cycles to fit in the window.
+    noise:
+        Relative σ of the per-interval multiplicative noise. The default,
+        together with the sinusoid amplitude, lands the peak:mean ratio
+        near the paper's 1.043.
+    """
+    if duration <= 0:
+        raise TraceError("duration must be positive")
+    if noise < 0:
+        raise TraceError("noise must be non-negative")
+    intervals = max(1, int(round(duration / interval)))
+    phase = np.linspace(0.0, 2.0 * np.pi * diurnal_cycles, intervals, endpoint=False)
+    # Amplitude tuned so peak/mean ≈ 1.043 once mild noise is added.
+    shape = 1.0 + 0.035 * np.sin(phase)
+    if noise > 0:
+        shape = shape * np.clip(rng.normal(1.0, noise, intervals), 0.5, 1.5)
+    shape = np.clip(shape, 1e-9, None)
+    trace = RateTrace(shape, interval, name="wiki")
+    return trace.scale_to_mean(mean_rate)

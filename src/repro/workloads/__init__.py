@@ -1,0 +1,64 @@
+"""The paper's 22 ML inference workloads and the profiling pipeline.
+
+12 vision models (batch 128) and 10 language models (batch 4), each with
+calibrated solo latency, memory footprint, FBR, and resource-deficiency
+sensitivities. See DESIGN.md for the calibration anchors.
+"""
+
+from repro.workloads.language import LANGUAGE_BATCH_SIZE, LANGUAGE_MODELS
+from repro.workloads.profile import (
+    DEFAULT_SLO_MULTIPLIER,
+    Domain,
+    InterferenceCategory,
+    ModelProfile,
+)
+from repro.workloads.profiler import (
+    CoLocationMeasurement,
+    estimate_fbrs,
+    measure_co_location,
+    measure_rdf,
+    measure_solo_latency,
+)
+from repro.workloads.registry import (
+    ALL_MODELS,
+    generative_models,
+    get_model,
+    high_interference_models,
+    language_models,
+    low_interference_models,
+    model_names,
+    models_by_category,
+    normalized_fbrs,
+    opposite_category,
+    very_high_interference_models,
+    vision_models,
+)
+from repro.workloads.vision import VISION_BATCH_SIZE, VISION_MODELS
+
+__all__ = [
+    "ALL_MODELS",
+    "CoLocationMeasurement",
+    "DEFAULT_SLO_MULTIPLIER",
+    "Domain",
+    "InterferenceCategory",
+    "LANGUAGE_BATCH_SIZE",
+    "LANGUAGE_MODELS",
+    "ModelProfile",
+    "VISION_BATCH_SIZE",
+    "VISION_MODELS",
+    "estimate_fbrs",
+    "generative_models",
+    "get_model",
+    "high_interference_models",
+    "language_models",
+    "low_interference_models",
+    "measure_co_location",
+    "measure_rdf",
+    "measure_solo_latency",
+    "model_names",
+    "models_by_category",
+    "normalized_fbrs",
+    "opposite_category",
+    "very_high_interference_models",
+    "vision_models",
+]

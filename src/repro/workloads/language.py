@@ -1,0 +1,79 @@
+"""The 10 language (sequence classification / generative) workloads.
+
+All use batch size 4 (Large Movie Review Dataset in the paper). These are
+the paper's Very-High-Interference (VHI) models: their FBRs are ~59% higher
+on average than the vision models (Section 6.2), and the generative GPT
+models run up to ~42% higher still (Figure 13). Calibration anchors:
+
+- *ALBERT*: batch execution time grows 2.15× on a 3g slice (Section 2.2's
+  motivation experiment), fixing its sensitivities.
+- *FlauBERT* and *GPT-2* have high execution latencies relative to queuing
+  delays, which is why Molecule(beta) looks comparatively better on them
+  (Sections 6.2 "VHI models" and "Modern Generative LLMs").
+"""
+
+from __future__ import annotations
+
+from repro.workloads.profile import Domain, InterferenceCategory, ModelProfile
+
+_L = Domain.LANGUAGE
+_VHI = InterferenceCategory.VHI
+
+#: Batch size used for every language workload (paper Section 5).
+LANGUAGE_BATCH_SIZE = 4
+
+LANGUAGE_MODELS: tuple[ModelProfile, ...] = (
+    ModelProfile(
+        name="albert", display_name="ALBERT", domain=_L, category=_VHI,
+        batch_size=LANGUAGE_BATCH_SIZE, solo_latency_7g=0.140, memory_gb=6.0,
+        fbr=0.66, compute_sensitivity=0.83, bandwidth_sensitivity=0.09,
+    ),
+    ModelProfile(
+        name="bert", display_name="BERT", domain=_L, category=_VHI,
+        batch_size=LANGUAGE_BATCH_SIZE, solo_latency_7g=0.120, memory_gb=7.0,
+        fbr=0.70, compute_sensitivity=0.50, bandwidth_sensitivity=0.15,
+    ),
+    ModelProfile(
+        name="deberta", display_name="DeBERTa", domain=_L, category=_VHI,
+        batch_size=LANGUAGE_BATCH_SIZE, solo_latency_7g=0.180, memory_gb=9.0,
+        fbr=0.74, compute_sensitivity=0.55, bandwidth_sensitivity=0.18,
+    ),
+    ModelProfile(
+        name="distilbert", display_name="DistilBERT", domain=_L, category=_VHI,
+        batch_size=LANGUAGE_BATCH_SIZE, solo_latency_7g=0.070, memory_gb=4.0,
+        fbr=0.62, compute_sensitivity=0.40, bandwidth_sensitivity=0.12,
+    ),
+    ModelProfile(
+        name="flaubert", display_name="FlauBERT", domain=_L, category=_VHI,
+        batch_size=LANGUAGE_BATCH_SIZE, solo_latency_7g=0.190, memory_gb=8.0,
+        fbr=0.70, compute_sensitivity=0.50, bandwidth_sensitivity=0.16,
+    ),
+    ModelProfile(
+        name="funnel_transformer", display_name="Funnel-Transformer", domain=_L,
+        category=_VHI, batch_size=LANGUAGE_BATCH_SIZE, solo_latency_7g=0.150,
+        memory_gb=7.5, fbr=0.68, compute_sensitivity=0.48,
+        bandwidth_sensitivity=0.14,
+    ),
+    ModelProfile(
+        name="roberta", display_name="RoBERTa", domain=_L, category=_VHI,
+        batch_size=LANGUAGE_BATCH_SIZE, solo_latency_7g=0.130, memory_gb=7.0,
+        fbr=0.70, compute_sensitivity=0.50, bandwidth_sensitivity=0.15,
+    ),
+    ModelProfile(
+        name="squeezebert", display_name="SqueezeBERT", domain=_L, category=_VHI,
+        batch_size=LANGUAGE_BATCH_SIZE, solo_latency_7g=0.090, memory_gb=5.0,
+        fbr=0.64, compute_sensitivity=0.40, bandwidth_sensitivity=0.12,
+    ),
+    ModelProfile(
+        name="gpt1", display_name="OpenAI GPT-1", domain=_L, category=_VHI,
+        batch_size=LANGUAGE_BATCH_SIZE, solo_latency_7g=0.180, memory_gb=12.0,
+        fbr=0.86, compute_sensitivity=0.60, bandwidth_sensitivity=0.20,
+        generative=True,
+    ),
+    ModelProfile(
+        name="gpt2", display_name="OpenAI GPT-2", domain=_L, category=_VHI,
+        batch_size=LANGUAGE_BATCH_SIZE, solo_latency_7g=0.200, memory_gb=14.0,
+        fbr=0.97, compute_sensitivity=0.65, bandwidth_sensitivity=0.22,
+        generative=True,
+    ),
+)

@@ -1,0 +1,148 @@
+"""Workload (model) profiles.
+
+A :class:`ModelProfile` captures everything the schedulers need to know
+about one ML inference model, mirroring what the paper obtains by offline
+profiling on hardware (Section 4.3: "prerequisites, such as FBRs, are
+estimated through profiling"):
+
+- batch size and the batch's solo execution latency on the full GPU (7g),
+  chosen per the paper in the ~50–200 ms band;
+- per-batch GPU memory footprint (~2–14 GB across the 22 workloads);
+- the Fractional Bandwidth Requirement (FBR) normalized to the full GPU
+  (Figure 3), which drives MPS interference via Eq. 1;
+- resource-deficiency sensitivities from which the per-slice RDF and solo
+  latencies are derived (Eq. 2's RDF term).
+
+Profiles are frozen value objects; the registry (``repro.workloads.registry``)
+owns the canonical instances for the paper's 22 models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.gpu.mig import MIG_PROFILES, SliceKind, SliceProfile
+from repro.gpu.slowdown import resource_deficiency_factor, slice_relative_fbr
+
+#: The paper sets strict-request SLOs to 3x the 7g batch execution latency.
+DEFAULT_SLO_MULTIPLIER = 3.0
+
+
+class Domain(str, Enum):
+    """Application domain of a workload (paper Section 5)."""
+
+    VISION = "vision"
+    LANGUAGE = "language"
+
+
+class InterferenceCategory(str, Enum):
+    """The paper's Low/High/Very-High interference buckets (Fig. 3, §6.2)."""
+
+    LI = "LI"
+    HI = "HI"
+    VHI = "VHI"
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Profiling data for one inference model.
+
+    Attributes
+    ----------
+    name:
+        Stable registry key (lowercase snake_case).
+    display_name:
+        Human-readable name as printed in the paper.
+    domain:
+        Vision or language.
+    category:
+        LI / HI / VHI interference bucket.
+    batch_size:
+        Requests per served batch (128 for vision, 4 for language).
+    solo_latency_7g:
+        Batch execution latency, seconds, alone on a full A100.
+    memory_gb:
+        GPU memory held while a batch executes.
+    fbr:
+        Fractional Bandwidth Requirement normalized to the full GPU.
+    compute_sensitivity / bandwidth_sensitivity:
+        Exponents of the RDF power law (see
+        :func:`repro.gpu.slowdown.resource_deficiency_factor`).
+    generative:
+        True for the autoregressive GPT models (Figure 13).
+    """
+
+    name: str
+    display_name: str
+    domain: Domain
+    category: InterferenceCategory
+    batch_size: int
+    solo_latency_7g: float
+    memory_gb: float
+    fbr: float
+    compute_sensitivity: float
+    bandwidth_sensitivity: float
+    generative: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError(f"{self.name}: batch_size must be positive")
+        if self.solo_latency_7g <= 0:
+            raise ValueError(f"{self.name}: solo_latency_7g must be positive")
+        if not 0.0 < self.memory_gb:
+            raise ValueError(f"{self.name}: memory_gb must be positive")
+        if not 0.0 <= self.fbr <= 1.0:
+            raise ValueError(f"{self.name}: fbr must lie in [0, 1]")
+        if self.compute_sensitivity < 0 or self.bandwidth_sensitivity < 0:
+            raise ValueError(f"{self.name}: sensitivities must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Derived per-slice quantities
+    # ------------------------------------------------------------------
+    def rdf(self, slice_profile: SliceProfile | SliceKind | str) -> float:
+        """Resource Deficiency Factor of this model on ``slice_profile``."""
+        prof = _resolve(slice_profile)
+        return resource_deficiency_factor(
+            prof.compute_fraction,
+            prof.bandwidth_fraction,
+            self.compute_sensitivity,
+            self.bandwidth_sensitivity,
+        )
+
+    def solo_latency(self, slice_profile: SliceProfile | SliceKind | str) -> float:
+        """Solo batch latency on a given slice (``Solo_k`` of Eq. 1)."""
+        return self.solo_latency_7g * self.rdf(slice_profile)
+
+    def slice_fbr(
+        self, slice_profile: SliceProfile | SliceKind | str, sm_fraction: float = 1.0
+    ) -> float:
+        """This model's ``bw·sm`` term relative to a slice's bandwidth."""
+        prof = _resolve(slice_profile)
+        return slice_relative_fbr(
+            self.fbr,
+            prof.bandwidth_fraction,
+            sm_fraction,
+            prof.compute_fraction,
+        )
+
+    def fits(self, slice_profile: SliceProfile | SliceKind | str) -> bool:
+        """Whether one batch of this model fits the slice's memory."""
+        return self.memory_gb <= _resolve(slice_profile).memory_gb
+
+    def slo_target(self, multiplier: float = DEFAULT_SLO_MULTIPLIER) -> float:
+        """Strict-request SLO deadline, seconds (paper: 3× the 7g latency)."""
+        if multiplier <= 0:
+            raise ValueError("SLO multiplier must be positive")
+        return multiplier * self.solo_latency_7g
+
+    @property
+    def is_language_model(self) -> bool:
+        """True for the LLM (sequence classification / generative) models."""
+        return self.domain is Domain.LANGUAGE
+
+
+def _resolve(slice_profile: SliceProfile | SliceKind | str) -> SliceProfile:
+    if isinstance(slice_profile, SliceProfile):
+        return slice_profile
+    return MIG_PROFILES[SliceKind(slice_profile)]

@@ -1,0 +1,168 @@
+"""Offline profiling: recovering FBR and RDF from observed executions.
+
+Section 3 of the paper explains how PROTEAN obtains its model inputs:
+
+- *RDF* "can be calculated by finding the required ratio of execution times
+  on the concerned slice" — i.e. measure solo latency on the slice and on
+  7g and divide;
+- *FBR* "can also be estimated by averaging the values obtained from
+  solving the linear equations derived from Equation 1 for multiple
+  co-locations".
+
+This module reproduces that pipeline against the simulated GPU substrate:
+it runs synthetic co-location experiments on a :class:`GPUSlice`, observes
+the slowdowns, and solves for the FBRs by least squares. It exists both as
+a faithfulness check (the recovered values must match the ground-truth
+profiles) and as the tool a user would run to profile *new* models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.gpu.engine import GPUSlice, ShareMode, SliceJob
+from repro.gpu.mig import SliceKind, profile as mig_profile
+from repro.simulation import Simulator
+from repro.workloads.profile import ModelProfile
+
+
+@dataclass(frozen=True)
+class CoLocationMeasurement:
+    """One co-location experiment: who ran together and the observed factor.
+
+    ``slowdown_factor`` is ``T_observed / Solo_on_slice`` for the subject
+    job — exactly the ``max{Σ FBR, 1}`` term of Eq. 1 when every job in the
+    group runs for the whole measurement window.
+    """
+
+    subject: str
+    co_runners: tuple[str, ...]
+    slowdown_factor: float
+
+
+def measure_solo_latency(
+    model: ModelProfile, slice_kind: SliceKind | str = SliceKind.G7
+) -> float:
+    """Run one batch of ``model`` alone on a fresh slice; return its latency.
+
+    This goes through the real execution engine rather than reading the
+    profile directly, so it exercises the same code path a hardware
+    profiler would.
+    """
+    sim = Simulator()
+    gpu_slice = GPUSlice(sim, mig_profile(slice_kind), ShareMode.MPS)
+    finished: list[float] = []
+    job = SliceJob(
+        work=model.solo_latency_7g,
+        rdf=model.rdf(slice_kind),
+        fbr=model.slice_fbr(slice_kind),
+        memory_gb=min(model.memory_gb, gpu_slice.profile.memory_gb),
+        on_complete=lambda j, t: finished.append(t.execution_time),
+    )
+    gpu_slice.submit(job)
+    sim.run()
+    if not finished:
+        raise WorkloadError(f"solo measurement of {model.name} never completed")
+    return finished[0]
+
+
+def measure_rdf(model: ModelProfile, slice_kind: SliceKind | str) -> float:
+    """Empirical RDF: solo latency on ``slice_kind`` over solo latency on 7g."""
+    on_slice = measure_solo_latency(model, slice_kind)
+    on_full = measure_solo_latency(model, SliceKind.G7)
+    return on_slice / on_full
+
+
+def measure_co_location(
+    subject: ModelProfile,
+    co_runners: Sequence[ModelProfile],
+    slice_kind: SliceKind | str = SliceKind.G7,
+) -> CoLocationMeasurement:
+    """Run ``subject`` spatially shared with ``co_runners``; observe Eq. 1.
+
+    The co-runners are given long-running jobs so they stay resident for
+    the subject's whole execution (steady-state contention, as Prophet's
+    model assumes).
+    """
+    sim = Simulator()
+    gpu_slice = GPUSlice(sim, mig_profile(slice_kind), ShareMode.MPS)
+    horizon = 100.0 * subject.solo_latency_7g
+    for runner in co_runners:
+        gpu_slice.submit(
+            SliceJob(
+                work=horizon,
+                rdf=runner.rdf(slice_kind),
+                fbr=runner.slice_fbr(slice_kind),
+                memory_gb=0.0,  # keep memory out of the contention picture
+                on_complete=lambda j, t: None,
+            )
+        )
+    observed: list[float] = []
+    gpu_slice.submit(
+        SliceJob(
+            work=subject.solo_latency_7g,
+            rdf=subject.rdf(slice_kind),
+            fbr=subject.slice_fbr(slice_kind),
+            memory_gb=0.0,
+            on_complete=lambda j, t: observed.append(t.execution_time),
+        )
+    )
+    sim.run(until=2.0 * horizon)
+    if not observed:
+        raise WorkloadError(
+            f"co-location measurement of {subject.name} never completed"
+        )
+    solo_on_slice = subject.solo_latency(slice_kind)
+    return CoLocationMeasurement(
+        subject=subject.name,
+        co_runners=tuple(r.name for r in co_runners),
+        slowdown_factor=observed[0] / solo_on_slice,
+    )
+
+
+def estimate_fbrs(
+    models: Sequence[ModelProfile],
+    *,
+    copies: int = 4,
+    slice_kind: SliceKind | str = SliceKind.G7,
+) -> dict[str, float]:
+    """Recover each model's FBR from co-location experiments (paper §3).
+
+    For every model pair (including self-pairs) we co-locate ``copies``
+    long-running instances with one subject instance and record the
+    observed slowdown. Measurements where contention saturates
+    (factor > 1, so the ``max`` of Eq. 1 is not binding) give one linear
+    equation ``(copies + 1 if self else 1)·fbr_subject + copies·fbr_other =
+    factor``; the full system is solved by non-negative least squares.
+
+    ``copies`` must be large enough that each pair saturates the bandwidth
+    (otherwise the measurement is censored at 1.0 and dropped).
+    """
+    if copies < 1:
+        raise WorkloadError("copies must be >= 1")
+    index = {m.name: i for i, m in enumerate(models)}
+    rows: list[np.ndarray] = []
+    rhs: list[float] = []
+    for subject in models:
+        for other in models:
+            measurement = measure_co_location(
+                subject, [other] * copies, slice_kind
+            )
+            if measurement.slowdown_factor <= 1.0 + 1e-9:
+                continue  # censored by the max(·, 1); no information
+            row = np.zeros(len(models))
+            row[index[subject.name]] += 1.0
+            row[index[other.name]] += float(copies)
+            rows.append(row)
+            rhs.append(measurement.slowdown_factor)
+    if not rows:
+        raise WorkloadError(
+            "no saturating co-locations observed; increase `copies`"
+        )
+    solution, *_ = np.linalg.lstsq(np.vstack(rows), np.asarray(rhs), rcond=None)
+    solution = np.clip(solution, 0.0, None)
+    return {m.name: float(solution[index[m.name]]) for m in models}

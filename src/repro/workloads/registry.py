@@ -1,0 +1,96 @@
+"""Canonical registry of the paper's 22 inference workloads.
+
+Lookup is by stable snake_case name (``"resnet50"``) or by the paper's
+display name (``"ResNet 50"``), case-insensitively. Category helpers expose
+the LI/HI/VHI buckets used throughout the evaluation, and
+:func:`normalized_fbrs` reproduces the data behind Figure 3.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnknownModelError
+from repro.workloads.language import LANGUAGE_MODELS
+from repro.workloads.profile import Domain, InterferenceCategory, ModelProfile
+from repro.workloads.vision import VISION_MODELS
+
+ALL_MODELS: tuple[ModelProfile, ...] = VISION_MODELS + LANGUAGE_MODELS
+
+_BY_NAME: dict[str, ModelProfile] = {}
+for _model in ALL_MODELS:
+    _BY_NAME[_model.name] = _model
+    _BY_NAME[_model.display_name.lower()] = _model
+
+
+def get_model(name: str) -> ModelProfile:
+    """Return the profile for ``name`` (registry key or display name).
+
+    Raises :class:`UnknownModelError` for unrecognized names, listing the
+    valid registry keys.
+    """
+    model = _BY_NAME.get(name.lower().strip())
+    if model is None:
+        known = ", ".join(sorted(m.name for m in ALL_MODELS))
+        raise UnknownModelError(f"unknown model {name!r}; known models: {known}")
+    return model
+
+
+def model_names() -> tuple[str, ...]:
+    """All registry keys, in definition order."""
+    return tuple(m.name for m in ALL_MODELS)
+
+
+def vision_models() -> tuple[ModelProfile, ...]:
+    """The 12 image-classification workloads."""
+    return tuple(m for m in ALL_MODELS if m.domain is Domain.VISION)
+
+
+def language_models() -> tuple[ModelProfile, ...]:
+    """The 10 LLM workloads (BERT family + GPT-1/2)."""
+    return tuple(m for m in ALL_MODELS if m.domain is Domain.LANGUAGE)
+
+
+def generative_models() -> tuple[ModelProfile, ...]:
+    """The modern generative LLMs of Figure 13 (GPT-1, GPT-2)."""
+    return tuple(m for m in ALL_MODELS if m.generative)
+
+
+def models_by_category(
+    category: InterferenceCategory | str,
+) -> tuple[ModelProfile, ...]:
+    """All models in one LI/HI/VHI bucket."""
+    category = InterferenceCategory(category)
+    return tuple(m for m in ALL_MODELS if m.category is category)
+
+
+def low_interference_models() -> tuple[ModelProfile, ...]:
+    """The LI vision models (Fig. 3, yellow bars)."""
+    return models_by_category(InterferenceCategory.LI)
+
+
+def high_interference_models() -> tuple[ModelProfile, ...]:
+    """The HI vision models (Fig. 3, orange bars)."""
+    return models_by_category(InterferenceCategory.HI)
+
+
+def very_high_interference_models() -> tuple[ModelProfile, ...]:
+    """The VHI language models (Figure 12/13)."""
+    return models_by_category(InterferenceCategory.VHI)
+
+
+def opposite_category(category: InterferenceCategory) -> InterferenceCategory:
+    """The paper's BE-model pairing: LI strict ↔ HI best-effort.
+
+    VHI (language) experiments draw BE models from the same VHI pool, so
+    VHI maps to itself.
+    """
+    if category is InterferenceCategory.LI:
+        return InterferenceCategory.HI
+    if category is InterferenceCategory.HI:
+        return InterferenceCategory.LI
+    return InterferenceCategory.VHI
+
+
+def normalized_fbrs() -> dict[str, float]:
+    """FBRs of all models normalized to the maximum (the Figure 3 data)."""
+    peak = max(m.fbr for m in ALL_MODELS)
+    return {m.name: m.fbr / peak for m in ALL_MODELS}

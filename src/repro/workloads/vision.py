@@ -1,0 +1,91 @@
+"""The 12 vision (image classification) workloads of the paper (Section 5).
+
+All use batch size 128 (ImageNet-1k in the paper). Latencies sit in the
+paper's 50–200 ms band on the full GPU; memory footprints span ~2–14 GB per
+batch; FBRs split the set into Low-Interference (LI) and High-Interference
+(HI) models per Figure 3. Calibration anchors:
+
+- *DPN 92* has the largest footprint among the primary vision models — up
+  to 2.74× that of the rotating BE models in Figure 7's demonstration.
+- *ShuffleNet V2* is "barely affected (<2%) by resource deficiency" on the
+  slices Naïve Slicing uses (Section 6.2), hence its near-zero
+  sensitivities.
+- *Simplified DLA* serves 500 rps at batch 128 in the Section 2.2
+  motivation experiment and behaves as an HI model there.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.profile import Domain, InterferenceCategory, ModelProfile
+
+_V = Domain.VISION
+_LI = InterferenceCategory.LI
+_HI = InterferenceCategory.HI
+
+#: Batch size used for every vision workload (paper Section 5).
+VISION_BATCH_SIZE = 128
+
+VISION_MODELS: tuple[ModelProfile, ...] = (
+    ModelProfile(
+        name="resnet50", display_name="ResNet 50", domain=_V, category=_HI,
+        batch_size=VISION_BATCH_SIZE, solo_latency_7g=0.110, memory_gb=8.0,
+        fbr=0.62, compute_sensitivity=0.30, bandwidth_sensitivity=0.10,
+    ),
+    ModelProfile(
+        name="googlenet", display_name="GoogleNet", domain=_V, category=_LI,
+        batch_size=VISION_BATCH_SIZE, solo_latency_7g=0.070, memory_gb=4.0,
+        fbr=0.38, compute_sensitivity=0.15, bandwidth_sensitivity=0.06,
+    ),
+    ModelProfile(
+        name="densenet121", display_name="DenseNet 121", domain=_V, category=_HI,
+        batch_size=VISION_BATCH_SIZE, solo_latency_7g=0.130, memory_gb=9.0,
+        fbr=0.60, compute_sensitivity=0.28, bandwidth_sensitivity=0.12,
+    ),
+    ModelProfile(
+        name="dpn92", display_name="DPN 92", domain=_V, category=_HI,
+        batch_size=VISION_BATCH_SIZE, solo_latency_7g=0.160, memory_gb=11.0,
+        fbr=0.66, compute_sensitivity=0.35, bandwidth_sensitivity=0.12,
+    ),
+    ModelProfile(
+        name="vgg19", display_name="VGG 19", domain=_V, category=_HI,
+        batch_size=VISION_BATCH_SIZE, solo_latency_7g=0.150, memory_gb=10.0,
+        fbr=0.64, compute_sensitivity=0.32, bandwidth_sensitivity=0.10,
+    ),
+    ModelProfile(
+        name="resnet18", display_name="ResNet 18", domain=_V, category=_LI,
+        batch_size=VISION_BATCH_SIZE, solo_latency_7g=0.055, memory_gb=3.0,
+        fbr=0.35, compute_sensitivity=0.12, bandwidth_sensitivity=0.05,
+    ),
+    ModelProfile(
+        name="mobilenet", display_name="MobileNet", domain=_V, category=_LI,
+        batch_size=VISION_BATCH_SIZE, solo_latency_7g=0.050, memory_gb=2.0,
+        fbr=0.30, compute_sensitivity=0.10, bandwidth_sensitivity=0.04,
+    ),
+    ModelProfile(
+        name="mobilenet_v2", display_name="MobileNet V2", domain=_V, category=_LI,
+        batch_size=VISION_BATCH_SIZE, solo_latency_7g=0.055, memory_gb=2.5,
+        fbr=0.32, compute_sensitivity=0.10, bandwidth_sensitivity=0.04,
+    ),
+    ModelProfile(
+        name="senet18", display_name="SENet 18", domain=_V, category=_LI,
+        batch_size=VISION_BATCH_SIZE, solo_latency_7g=0.065, memory_gb=3.5,
+        fbr=0.38, compute_sensitivity=0.12, bandwidth_sensitivity=0.05,
+    ),
+    ModelProfile(
+        name="shufflenet_v2", display_name="ShuffleNet V2", domain=_V, category=_LI,
+        batch_size=VISION_BATCH_SIZE, solo_latency_7g=0.050, memory_gb=4.0,
+        fbr=0.28, compute_sensitivity=0.015, bandwidth_sensitivity=0.005,
+    ),
+    ModelProfile(
+        name="efficientnet_b0", display_name="EfficientNet-B0", domain=_V,
+        category=_LI, batch_size=VISION_BATCH_SIZE, solo_latency_7g=0.075,
+        memory_gb=3.0, fbr=0.40, compute_sensitivity=0.15,
+        bandwidth_sensitivity=0.06,
+    ),
+    ModelProfile(
+        name="simplified_dla", display_name="Simplified DLA", domain=_V,
+        category=_HI, batch_size=VISION_BATCH_SIZE, solo_latency_7g=0.100,
+        memory_gb=6.0, fbr=0.56, compute_sensitivity=0.25,
+        bandwidth_sensitivity=0.10,
+    ),
+)

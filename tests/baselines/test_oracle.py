@@ -1,0 +1,78 @@
+"""Unit tests for the Oracle scheme and PlannedReconfigurator."""
+
+import pytest
+
+from repro.baselines.oracle import OracleScheme, PlannedReconfigurator
+from repro.cluster.pricing import VMTier
+from repro.gpu.mig import GEOMETRY_4G_2G_1G, GEOMETRY_4G_3G
+from repro.serverless.platform import PlatformConfig, ServerlessPlatform
+from repro.simulation import Simulator
+
+
+def build_platform(sim, plan, n_nodes=2):
+    scheme = OracleScheme(plan, enable_autoscaler=False)
+    platform = ServerlessPlatform(
+        sim,
+        scheme,
+        PlatformConfig(n_nodes=n_nodes, cold_start_seconds=0.0),
+    )
+    platform.provision_initial(VMTier.ON_DEMAND)
+    return platform, scheme
+
+
+class TestPlannedReconfigurator:
+    def test_planned_for_lookup(self):
+        sim = Simulator()
+        plan = [(0.0, GEOMETRY_4G_2G_1G), (20.0, GEOMETRY_4G_3G)]
+        platform, scheme = build_platform(sim, plan)
+        reconfigurator = scheme.reconfigurator
+        assert isinstance(reconfigurator, PlannedReconfigurator)
+        assert reconfigurator.planned_for(0.0) == GEOMETRY_4G_2G_1G
+        assert reconfigurator.planned_for(19.9) == GEOMETRY_4G_2G_1G
+        assert reconfigurator.planned_for(20.0) == GEOMETRY_4G_3G
+        assert reconfigurator.planned_for(500.0) == GEOMETRY_4G_3G
+
+    def test_before_plan_start_is_none(self):
+        sim = Simulator()
+        platform, scheme = build_platform(sim, [(10.0, GEOMETRY_4G_3G)])
+        assert scheme.reconfigurator.planned_for(5.0) is None
+
+    def test_plan_is_applied_ahead_of_windows(self):
+        sim = Simulator()
+        plan = [(0.0, GEOMETRY_4G_2G_1G), (20.0, GEOMETRY_4G_3G)]
+        platform, scheme = build_platform(sim, plan)
+        sim.run(until=25.0)
+        for node in platform.cluster.nodes:
+            assert node.gpu.geometry == GEOMETRY_4G_3G
+
+    def test_reconfiguration_is_free_on_oracle_nodes(self):
+        sim = Simulator()
+        plan = [(0.0, GEOMETRY_4G_3G)]
+        platform, scheme = build_platform(sim, plan)
+        for node in platform.cluster.nodes:
+            assert node.gpu.reconfig_seconds == 0.0
+        sim.run(until=5.0)
+        # Initial geometry (4g,2g,1g) converges to the plan immediately.
+        for node in platform.cluster.nodes:
+            assert node.gpu.geometry == GEOMETRY_4G_3G
+            assert node.gpu.reconfigurations == 1
+
+    def test_unordered_plan_is_sorted(self):
+        sim = Simulator()
+        plan = [(20.0, GEOMETRY_4G_2G_1G), (0.0, GEOMETRY_4G_3G)]
+        platform, scheme = build_platform(sim, plan)
+        assert scheme.reconfigurator.planned_for(1.0) == GEOMETRY_4G_3G
+
+
+class TestOracleScheme:
+    def test_disables_the_online_reconfigurator_by_default(self):
+        scheme = OracleScheme([(0.0, GEOMETRY_4G_3G)])
+        assert scheme._enable_reconfigurator is False
+
+    def test_empty_plan_keeps_initial_geometry(self):
+        sim = Simulator()
+        platform, scheme = build_platform(sim, [])
+        sim.run(until=10.0)
+        for node in platform.cluster.nodes:
+            assert node.gpu.geometry == GEOMETRY_4G_2G_1G
+            assert node.gpu.reconfigurations == 0

@@ -1,0 +1,132 @@
+"""Tests for worker nodes, drain/retire, and the cluster governor."""
+
+import pytest
+
+from repro.cluster import (
+    AWS,
+    Cluster,
+    CostMeter,
+    NodeState,
+    ReconfigurationGovernor,
+    VM,
+    VMTier,
+    WorkerNode,
+)
+from repro.errors import ClusterError, NodeUnavailableError
+from repro.gpu import GEOMETRY_FULL, GPU, SliceJob
+from repro.simulation import Simulator
+
+
+def make_node(sim, name=""):
+    vm = VM(sim, VMTier.SPOT, CostMeter(AWS))
+    gpu = GPU(sim, GEOMETRY_FULL)
+    return WorkerNode(vm, gpu, name=name)
+
+
+class TestWorkerNode:
+    def test_active_node_accepts(self):
+        sim = Simulator()
+        node = make_node(sim)
+        assert node.accepting
+        node.ensure_accepting()  # does not raise
+
+    def test_drain_stops_acceptance(self):
+        sim = Simulator()
+        node = make_node(sim)
+        node.drain()
+        assert node.state is NodeState.DRAINING
+        assert not node.accepting
+        with pytest.raises(NodeUnavailableError):
+            node.ensure_accepting()
+        node.drain()  # idempotent
+        assert node.state is NodeState.DRAINING
+
+    def test_retire_returns_stranded_payloads(self):
+        sim = Simulator()
+        node = make_node(sim)
+        payloads = ["batch-a", "batch-b"]
+        for payload in payloads:
+            sim.at(0.0, lambda p=payload: node.gpu.slices[0].submit(
+                SliceJob(work=10.0, rdf=1.0, fbr=0.1, memory_gb=1.0,
+                         on_complete=lambda j, t: None, payload=p)))
+        sim.run(until=1.0)
+        stranded = node.retire()
+        assert sorted(stranded) == payloads
+        assert node.state is NodeState.RETIRED
+        assert node.retire() == []  # second retire is empty
+
+    def test_retire_with_idle_gpu_returns_nothing(self):
+        sim = Simulator()
+        node = make_node(sim)
+        assert node.retire() == []
+
+
+class TestReconfigurationGovernor:
+    def test_limit_is_30_percent_rounded_up(self):
+        # Paper Section 4.4: only ~30% of GPUs reconfigure simultaneously.
+        assert ReconfigurationGovernor(8).limit == 3
+        assert ReconfigurationGovernor(1).limit == 1
+        assert ReconfigurationGovernor(10).limit == 3
+        assert ReconfigurationGovernor(4).limit == 2
+
+    def test_acquire_release_cycle(self):
+        governor = ReconfigurationGovernor(8)
+        assert governor.try_acquire()
+        assert governor.try_acquire()
+        assert governor.try_acquire()
+        assert not governor.try_acquire()  # limit 3 reached
+        governor.release()
+        assert governor.try_acquire()
+
+    def test_release_without_acquire_raises(self):
+        with pytest.raises(ClusterError):
+            ReconfigurationGovernor(8).release()
+
+    def test_validation(self):
+        with pytest.raises(ClusterError):
+            ReconfigurationGovernor(0)
+        with pytest.raises(ClusterError):
+            ReconfigurationGovernor(8, fraction=0.0)
+
+
+class TestCluster:
+    def test_membership_and_views(self):
+        sim = Simulator()
+        cluster = Cluster()
+        nodes = [make_node(sim, name=f"n{i}") for i in range(3)]
+        for node in nodes:
+            cluster.add(node)
+        assert len(cluster) == 3
+        assert cluster.active_nodes == tuple(nodes)
+        nodes[1].drain()
+        assert cluster.active_nodes == (nodes[0], nodes[2])
+        assert cluster.draining_nodes == (nodes[1],)
+        cluster.remove(nodes[1])
+        assert len(cluster) == 2
+
+    def test_duplicate_add_and_missing_remove_raise(self):
+        sim = Simulator()
+        cluster = Cluster()
+        node = make_node(sim)
+        cluster.add(node)
+        with pytest.raises(ClusterError):
+            cluster.add(node)
+        other = make_node(sim)
+        with pytest.raises(ClusterError):
+            cluster.remove(other)
+
+    def test_governor_tracks_cluster_size(self):
+        sim = Simulator()
+        cluster = Cluster()
+        for i in range(8):
+            cluster.add(make_node(sim))
+        assert cluster.governor.limit == 3
+
+    def test_governor_preserves_in_flight_across_resize(self):
+        sim = Simulator()
+        cluster = Cluster()
+        for i in range(8):
+            cluster.add(make_node(sim))
+        assert cluster.governor.try_acquire()
+        cluster.add(make_node(sim))
+        assert cluster.governor.in_flight == 1

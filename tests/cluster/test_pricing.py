@@ -1,0 +1,83 @@
+"""Tests pinning Table 3 pricing and the cost meter."""
+
+import pytest
+
+from repro.cluster import (
+    AWS,
+    AZURE,
+    GCP,
+    CostMeter,
+    ProviderPricing,
+    VMTier,
+    get_provider,
+)
+from repro.errors import ClusterError
+
+
+class TestTable3:
+    def test_aws_prices(self):
+        assert AWS.on_demand_hourly == pytest.approx(32.7726)
+        assert AWS.spot_hourly == pytest.approx(9.8318)
+        # Table 3: AWS cost savings 69.99%.
+        assert AWS.savings_fraction == pytest.approx(0.6999, abs=0.0005)
+
+    def test_azure_prices(self):
+        assert AZURE.on_demand_hourly == pytest.approx(32.77)
+        assert AZURE.spot_hourly == pytest.approx(18.0235)
+        # Table 3: Azure cost savings 45.01%.
+        assert AZURE.savings_fraction == pytest.approx(0.4501, abs=0.0005)
+
+    def test_gcp_prices(self):
+        assert GCP.on_demand_hourly == pytest.approx(30.0846)
+        assert GCP.spot_hourly == pytest.approx(8.8147)
+        # Table 3: Google Cloud cost savings 70.70%.
+        assert GCP.savings_fraction == pytest.approx(0.7070, abs=0.0005)
+
+    def test_per_gpu_proration(self):
+        assert AWS.per_gpu_hourly(VMTier.ON_DEMAND) == pytest.approx(32.7726 / 8)
+        assert AWS.per_gpu_hourly(VMTier.SPOT) == pytest.approx(9.8318 / 8)
+
+    def test_provider_lookup(self):
+        assert get_provider("aws") is AWS
+        assert get_provider("AZURE") is AZURE
+        with pytest.raises(ClusterError):
+            get_provider("oracle-cloud")
+
+    def test_validation(self):
+        with pytest.raises(ClusterError):
+            ProviderPricing("bad", on_demand_hourly=1.0, spot_hourly=2.0)
+        with pytest.raises(ClusterError):
+            ProviderPricing("bad", on_demand_hourly=0.0, spot_hourly=-1.0)
+
+
+class TestCostMeter:
+    def test_charging_accumulates_per_tier(self):
+        meter = CostMeter(AWS)
+        meter.charge(VMTier.ON_DEMAND, 3600.0)
+        meter.charge(VMTier.SPOT, 7200.0)
+        assert meter.seconds(VMTier.ON_DEMAND) == 3600.0
+        assert meter.cost(VMTier.ON_DEMAND) == pytest.approx(32.7726 / 8)
+        assert meter.cost(VMTier.SPOT) == pytest.approx(2 * 9.8318 / 8)
+
+    def test_total_and_baseline(self):
+        meter = CostMeter(AWS)
+        meter.charge(VMTier.SPOT, 3600.0)
+        assert meter.total_cost == pytest.approx(9.8318 / 8)
+        assert meter.on_demand_only_equivalent_cost == pytest.approx(32.7726 / 8)
+        # All-spot usage saves the full Table 3 discount (~70%).
+        assert meter.savings_fraction == pytest.approx(0.6999, abs=0.0005)
+
+    def test_mixed_usage_savings(self):
+        meter = CostMeter(AWS)
+        meter.charge(VMTier.SPOT, 1800.0)
+        meter.charge(VMTier.ON_DEMAND, 1800.0)
+        assert 0.0 < meter.savings_fraction < AWS.savings_fraction
+
+    def test_zero_usage(self):
+        meter = CostMeter(AWS)
+        assert meter.total_cost == 0.0
+        assert meter.savings_fraction == 0.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ClusterError):
+            CostMeter(AWS).charge(VMTier.SPOT, -1.0)

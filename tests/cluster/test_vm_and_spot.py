@@ -1,0 +1,169 @@
+"""Tests for VM lifecycle and the spot market model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    AWS,
+    CostMeter,
+    HIGH_AVAILABILITY,
+    LOW_AVAILABILITY,
+    MODERATE_AVAILABILITY,
+    SpotAvailability,
+    SpotMarket,
+    VM,
+    VMState,
+    VMTier,
+)
+from repro.errors import ClusterError
+from repro.simulation import Simulator
+
+
+def make_vm(sim, tier=VMTier.SPOT):
+    return VM(sim, tier, CostMeter(AWS))
+
+
+class TestVM:
+    def test_billing_on_terminate(self):
+        sim = Simulator()
+        meter = CostMeter(AWS)
+        vm = VM(sim, VMTier.SPOT, meter)
+        sim.at(100.0, vm.terminate)
+        sim.run()
+        assert meter.seconds(VMTier.SPOT) == pytest.approx(100.0)
+        assert vm.state is VMState.TERMINATED
+        assert vm.uptime == pytest.approx(100.0)
+
+    def test_flush_billing_is_incremental(self):
+        sim = Simulator()
+        meter = CostMeter(AWS)
+        vm = VM(sim, VMTier.ON_DEMAND, meter)
+        sim.at(50.0, vm.flush_billing)
+        sim.at(80.0, vm.terminate)
+        sim.run()
+        assert meter.seconds(VMTier.ON_DEMAND) == pytest.approx(80.0)
+
+    def test_double_terminate_raises(self):
+        sim = Simulator()
+        vm = make_vm(sim)
+        vm.terminate()
+        with pytest.raises(ClusterError):
+            vm.terminate()
+
+    def test_notice_only_for_spot(self):
+        sim = Simulator()
+        on_demand = make_vm(sim, VMTier.ON_DEMAND)
+        with pytest.raises(ClusterError):
+            on_demand.mark_eviction_notice()
+        spot = make_vm(sim)
+        spot.mark_eviction_notice()
+        assert spot.state is VMState.EVICTION_NOTICE
+        assert spot.running  # notice is not termination
+        with pytest.raises(ClusterError):
+            spot.mark_eviction_notice()
+
+
+class TestSpotMarket:
+    def test_high_availability_never_revokes(self):
+        sim = Simulator()
+        market = SpotMarket(sim, np.random.default_rng(0), HIGH_AVAILABILITY)
+        vm = make_vm(sim)
+        events = []
+        market.register(vm, lambda v: events.append("notice"),
+                        lambda v: events.append("evict"))
+        sim.run(until=3600.0)
+        assert events == []
+        assert market.notices_issued == 0
+
+    def test_acquisition_always_succeeds_at_high_availability(self):
+        sim = Simulator()
+        market = SpotMarket(sim, np.random.default_rng(0), HIGH_AVAILABILITY)
+        assert all(market.try_acquire_spot() for _ in range(50))
+
+    def test_acquisition_failure_rate_matches_p_rev(self):
+        sim = Simulator()
+        market = SpotMarket(sim, np.random.default_rng(1), LOW_AVAILABILITY)
+        successes = sum(market.try_acquire_spot() for _ in range(5000))
+        assert successes / 5000 == pytest.approx(1.0 - 0.708, abs=0.02)
+        assert market.acquisition_attempts == 5000
+        assert market.acquisition_failures == 5000 - successes
+
+    def test_notice_precedes_eviction_by_notice_seconds(self):
+        sim = Simulator()
+        market = SpotMarket(
+            sim,
+            np.random.default_rng(2),
+            SpotAvailability("certain", 1.0),
+            notice_seconds=30.0,
+            check_interval=60.0,
+        )
+        vm = make_vm(sim)
+        times = {}
+        market.register(
+            vm,
+            lambda v: times.__setitem__("notice", sim.now),
+            lambda v: times.__setitem__("evict", sim.now),
+        )
+        sim.run(until=200.0)
+        assert times["notice"] == pytest.approx(60.0)
+        assert times["evict"] == pytest.approx(90.0)
+        assert vm.state is VMState.TERMINATED
+        assert market.evictions == 1
+
+    def test_moderate_availability_revokes_eventually(self):
+        sim = Simulator()
+        market = SpotMarket(
+            sim, np.random.default_rng(3), MODERATE_AVAILABILITY,
+            check_interval=10.0,
+        )
+        vm = make_vm(sim)
+        events = []
+        market.register(vm, lambda v: events.append("notice"),
+                        lambda v: events.append("evict"))
+        sim.run(until=600.0)
+        assert events == ["notice", "evict"]
+
+    def test_no_second_notice_after_first(self):
+        sim = Simulator()
+        market = SpotMarket(
+            sim, np.random.default_rng(4), SpotAvailability("certain", 1.0),
+            check_interval=5.0, notice_seconds=30.0,
+        )
+        vm = make_vm(sim)
+        notices = []
+        market.register(vm, lambda v: notices.append(sim.now), lambda v: None)
+        sim.run(until=100.0)
+        assert len(notices) == 1
+
+    def test_unregister_stops_draws(self):
+        sim = Simulator()
+        market = SpotMarket(
+            sim, np.random.default_rng(5), SpotAvailability("certain", 1.0),
+            check_interval=10.0,
+        )
+        vm = make_vm(sim)
+        events = []
+        market.register(vm, lambda v: events.append("notice"), lambda v: None)
+        market.unregister(vm)
+        sim.run(until=100.0)
+        assert events == []
+
+    def test_register_rejects_on_demand_and_duplicates(self):
+        sim = Simulator()
+        market = SpotMarket(sim, np.random.default_rng(6))
+        with pytest.raises(ClusterError):
+            market.register(make_vm(sim, VMTier.ON_DEMAND),
+                            lambda v: None, lambda v: None)
+        vm = make_vm(sim)
+        market.register(vm, lambda v: None, lambda v: None)
+        with pytest.raises(ClusterError):
+            market.register(vm, lambda v: None, lambda v: None)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ClusterError):
+            SpotAvailability("bad", 1.5)
+        with pytest.raises(ClusterError):
+            SpotMarket(sim, np.random.default_rng(0), notice_seconds=-1.0)
+        with pytest.raises(ClusterError):
+            SpotMarket(sim, np.random.default_rng(0), check_interval=0.0)

@@ -1,0 +1,184 @@
+"""Tests for the conservative autoscaler (§4.2) and procurement (§4.5)."""
+
+import pytest
+
+from repro.cluster.pricing import VMTier
+from repro.cluster.spot import (
+    HIGH_AVAILABILITY,
+    LOW_AVAILABILITY,
+    SpotAvailability,
+    SpotMarket,
+)
+from repro.core.autoscaler import Autoscaler, AutoscalerConfig
+from repro.core.procurement import Procurement, ProcurementConfig, ProcurementMode
+from repro.core.protean import ProteanScheme
+from repro.errors import ConfigurationError
+from repro.serverless.platform import PlatformConfig, ServerlessPlatform
+from repro.serverless.request import Request
+from repro.simulation import Simulator
+from repro.traces.mixing import RequestSpec
+from repro.workloads import get_model
+from repro.workloads.scaling import scale_model
+
+MODEL = scale_model(get_model("resnet50"), 8 / 128)  # batch size 8
+
+
+def make_platform(sim, n_nodes=2, scheme=None):
+    scheme = scheme or ProteanScheme(
+        enable_reconfigurator=False, enable_autoscaler=False
+    )
+    platform = ServerlessPlatform(
+        sim,
+        scheme,
+        PlatformConfig(n_nodes=n_nodes, cold_start_seconds=1.0),
+    )
+    return platform
+
+
+def request(model=MODEL, strict=True):
+    return Request.from_spec(RequestSpec(arrival=0.0, model=model, strict=strict))
+
+
+class TestAutoscaler:
+    def test_desired_containers_from_prediction(self):
+        sim = Simulator()
+        platform = make_platform(sim)
+        platform.provision_initial(VMTier.ON_DEMAND)
+        autoscaler = Autoscaler(
+            platform, AutoscalerConfig(monitor_interval=5.0, headroom=1.0)
+        )
+        for _ in range(16):  # 16 requests/window, batch 8 → 2 batches
+            autoscaler.observe_request(request())
+        autoscaler.on_monitor()
+        assert autoscaler.desired_containers(MODEL) == 2
+
+    def test_headroom_rounds_up(self):
+        sim = Simulator()
+        platform = make_platform(sim)
+        platform.provision_initial(VMTier.ON_DEMAND)
+        autoscaler = Autoscaler(
+            platform, AutoscalerConfig(headroom=1.25)
+        )
+        for _ in range(16):
+            autoscaler.observe_request(request())
+        autoscaler.on_monitor()
+        assert autoscaler.desired_containers(MODEL) == 3  # ceil(2.5)
+
+    def test_monitor_prewarms_pools(self):
+        sim = Simulator()
+        platform = make_platform(sim, n_nodes=2)
+        platform.provision_initial(VMTier.ON_DEMAND)
+        autoscaler = Autoscaler(platform, AutoscalerConfig(headroom=1.0))
+        for _ in range(32):  # 4 batches cluster-wide → 2 per node
+            autoscaler.observe_request(request())
+        autoscaler.on_monitor()
+        assert autoscaler.prewarms_issued == 4
+        sim.run(until=5.0)
+        for node in platform.cluster.nodes:
+            assert platform.pool_for(node).idle_count(MODEL.name) == 2
+
+    def test_no_prewarm_without_prediction(self):
+        sim = Simulator()
+        platform = make_platform(sim)
+        platform.provision_initial(VMTier.ON_DEMAND)
+        autoscaler = Autoscaler(platform)
+        autoscaler.on_monitor()
+        assert autoscaler.prewarms_issued == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            AutoscalerConfig(monitor_interval=0.0)
+        with pytest.raises(ConfigurationError):
+            AutoscalerConfig(headroom=0.5)
+
+
+class TestProcurement:
+    def _setup(self, sim, mode, availability=HIGH_AVAILABILITY, n_nodes=2):
+        platform = make_platform(sim, n_nodes=n_nodes)
+        market = SpotMarket(
+            sim,
+            sim.rng.stream("spot"),
+            availability,
+            notice_seconds=10.0,
+            check_interval=20.0,
+        )
+        procurement = Procurement(
+            platform,
+            market,
+            ProcurementConfig(mode=mode, provision_seconds=5.0, retry_interval=5.0),
+        )
+        return platform, market, procurement
+
+    def test_on_demand_only_builds_on_demand(self):
+        sim = Simulator()
+        platform, _market, procurement = self._setup(
+            sim, ProcurementMode.ON_DEMAND_ONLY
+        )
+        procurement.provision_initial()
+        assert procurement.on_demand_nodes_built == 2
+        assert all(
+            n.vm.tier is VMTier.ON_DEMAND for n in platform.cluster.nodes
+        )
+
+    def test_hybrid_prefers_spot_when_available(self):
+        sim = Simulator()
+        platform, _market, procurement = self._setup(sim, ProcurementMode.HYBRID)
+        procurement.provision_initial()
+        assert procurement.spot_nodes_built == 2
+        assert all(n.vm.tier is VMTier.SPOT for n in platform.cluster.nodes)
+
+    def test_hybrid_falls_back_to_on_demand(self):
+        sim = Simulator()
+        platform, _market, procurement = self._setup(
+            sim, ProcurementMode.HYBRID,
+            availability=SpotAvailability("none", 1.0),
+        )
+        procurement.provision_initial()
+        assert procurement.on_demand_nodes_built == 2
+        assert len(platform.cluster) == 2
+
+    def test_spot_only_runs_short_when_market_dry(self):
+        sim = Simulator()
+        platform, _market, procurement = self._setup(
+            sim, ProcurementMode.SPOT_ONLY,
+            availability=SpotAvailability("none", 1.0),
+        )
+        procurement.provision_initial()
+        assert len(platform.cluster) == 0
+        assert procurement.retries_scheduled == 2
+
+    def test_eviction_drains_then_replaces(self):
+        sim = Simulator()
+        platform, market, procurement = self._setup(
+            sim, ProcurementMode.HYBRID,
+            availability=SpotAvailability("certain", 1.0),
+            n_nodes=1,
+        )
+        # Initial acquisition draws also fail at P_rev=1 → on-demand node.
+        procurement.provision_initial()
+        assert procurement.on_demand_nodes_built == 1
+
+    def test_eviction_cycle_with_moderate_market(self):
+        sim = Simulator()
+        platform, market, procurement = self._setup(
+            sim, ProcurementMode.HYBRID, availability=HIGH_AVAILABILITY,
+            n_nodes=1,
+        )
+        procurement.provision_initial()
+        node = platform.cluster.nodes[0]
+        assert node.vm.tier is VMTier.SPOT
+        # Force a revocation notice through the market machinery.
+        market.availability = SpotAvailability("certain", 1.0)
+        sim.run(until=21.0)  # first check at 20 → notice
+        assert market.notices_issued == 1
+        assert not node.accepting  # draining
+        sim.run(until=40.0)  # eviction at 30; replacement lands
+        assert node.state.value == "retired"
+        assert len(platform.cluster) == 1
+        assert platform.cluster.nodes[0] is not node
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProcurementConfig(provision_seconds=-1.0)
+        with pytest.raises(ConfigurationError):
+            ProcurementConfig(retry_interval=0.0)

@@ -1,0 +1,116 @@
+"""Tests for the BE-balancing extension (the paper's stated future work)."""
+
+import pytest
+
+from repro.core.distribution import choose_balanced_slice, distribute_batch
+from repro.core.protean import ProteanScheduler, ProteanScheme
+from repro.cluster.pricing import VMTier
+from repro.gpu import GEOMETRY_4G_2G_1G, GPU
+from repro.serverless.platform import PlatformConfig, ServerlessPlatform
+from repro.serverless.request import Request, RequestBatch
+from repro.simulation import Simulator
+from repro.traces.mixing import RequestSpec
+from repro.workloads import get_model
+from repro.workloads.scaling import scale_model
+
+SHUFFLE = scale_model(get_model("shufflenet_v2"), 4 / 128)
+RESNET = scale_model(get_model("resnet50"), 4 / 128)
+
+
+def make_batch(model, strict):
+    batch = RequestBatch(model, strict, created_at=0.0)
+    batch.add(
+        Request.from_spec(RequestSpec(arrival=0.0, model=model, strict=strict))
+    )
+    return batch
+
+
+def test_balanced_slice_prefers_large_empty_slice():
+    sim = Simulator()
+    gpu = GPU(sim, GEOMETRY_4G_2G_1G)
+    chosen = choose_balanced_slice(make_batch(SHUFFLE, False), gpu.slices)
+    assert chosen.profile.kind.value == "4g"
+
+
+def test_distribute_respects_strict_present_flag():
+    sim = Simulator()
+    gpu = GPU(sim, GEOMETRY_4G_2G_1G)
+    batch = make_batch(SHUFFLE, False)
+    packed = distribute_batch(
+        batch, gpu.slices, 0.0, balance_best_effort=True, strict_present=True
+    )
+    balanced = distribute_batch(
+        batch, gpu.slices, 0.0, balance_best_effort=True, strict_present=False
+    )
+    assert packed.profile.kind.value == "1g"  # normal first-fit packing
+    assert balanced.profile.kind.value == "4g"
+
+
+def _platform(sim, balance):
+    scheme = ProteanScheme(
+        enable_reconfigurator=False,
+        enable_autoscaler=False,
+        balance_best_effort=balance,
+    )
+    platform = ServerlessPlatform(
+        sim,
+        scheme,
+        PlatformConfig(n_nodes=1, cold_start_seconds=0.0, batch_max_wait=0.01),
+    )
+    platform.provision_initial(VMTier.ON_DEMAND)
+    return platform
+
+
+def test_scheduler_balances_only_without_strict_traffic():
+    sim = Simulator()
+    platform = _platform(sim, balance=True)
+    node = platform.cluster.nodes[0]
+    for _ in range(4):
+        platform.gateway.admit(
+            Request.from_spec(
+                RequestSpec(arrival=0.0, model=SHUFFLE, strict=False)
+            )
+        )
+    sim.run(until=0.05)
+    by_kind = {s.profile.kind.value: s for s in node.gpu.slices}
+    assert by_kind["4g"].running_jobs  # balanced onto the big slice
+
+
+def test_default_protean_still_packs_be():
+    sim = Simulator()
+    platform = _platform(sim, balance=False)
+    node = platform.cluster.nodes[0]
+    for _ in range(4):
+        platform.gateway.admit(
+            Request.from_spec(
+                RequestSpec(arrival=0.0, model=SHUFFLE, strict=False)
+            )
+        )
+    sim.run(until=0.05)
+    by_kind = {s.profile.kind.value: s for s in node.gpu.slices}
+    assert by_kind["1g"].running_jobs  # first-fit onto the smallest slice
+
+
+def test_strict_traffic_disables_balancing():
+    sim = Simulator()
+    platform = _platform(sim, balance=True)
+    node = platform.cluster.nodes[0]
+    scheduler = platform.dispatcher.scheduler_for(node)
+    scheduler.hold = True
+    for strict in (True, False):
+        model = RESNET if strict else SHUFFLE
+        for _ in range(4):
+            platform.gateway.admit(
+                Request.from_spec(
+                    RequestSpec(arrival=0.0, model=model, strict=strict)
+                )
+            )
+    sim.at(0.05, lambda: (setattr(scheduler, "hold", False),
+                          scheduler.dispatch()))
+    sim.run(until=0.1)
+    by_kind = {s.profile.kind.value: s for s in node.gpu.slices}
+    # With strict traffic present, BE goes back to the packing rule.
+    assert any(
+        not j.payload.strict for j in by_kind["1g"].running_jobs
+    )
+    assert all(j.payload.strict for j in by_kind["4g"].running_jobs)

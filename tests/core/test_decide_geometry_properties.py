@@ -1,0 +1,70 @@
+"""Property-based tests for Algorithm 2's geometry decision."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reconfigurator import decide_geometry
+from repro.gpu.mig import (
+    GEOMETRY_4G_2G_1G,
+    GEOMETRY_4G_3G,
+    Geometry,
+    SliceKind,
+    is_valid_geometry,
+)
+from repro.workloads import ALL_MODELS
+from repro.workloads.scaling import scale_model
+
+#: The only geometries Algorithm 2 can emit: the (4g, 3g) fallback and
+#: each small-slice set joined with the 4g.
+ALLOWED = {
+    GEOMETRY_4G_3G,
+    GEOMETRY_4G_2G_1G,
+    Geometry((SliceKind.G3, SliceKind.G4)),
+}
+
+model_strategy = st.sampled_from([m.name for m in ALL_MODELS])
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    count=st.floats(min_value=0.0, max_value=1000.0),
+    model_name=model_strategy,
+    scale=st.sampled_from([1.0, 0.1]),
+)
+def test_decision_is_always_a_valid_allowed_geometry(count, model_name, scale):
+    from repro.workloads import get_model
+
+    model = scale_model(get_model(model_name), scale)
+    geometry = decide_geometry(count, model)
+    assert geometry in ALLOWED
+    assert is_valid_geometry(geometry.kinds)
+
+
+@settings(max_examples=100, deadline=None)
+@given(count=st.floats(min_value=0.0, max_value=1000.0))
+def test_no_model_always_yields_fallback(count):
+    assert decide_geometry(count, None) == GEOMETRY_4G_3G
+
+
+@settings(max_examples=100, deadline=None)
+@given(model_name=model_strategy)
+def test_extreme_be_loads_use_fallback(model_name):
+    from repro.workloads import get_model
+
+    model = get_model(model_name)
+    # Zero predicted BE: fallback. Enormous predicted BE: fallback too
+    # (nothing small can hold it) — the corner cases of markers ⓓⓔⓕ.
+    assert decide_geometry(0.0, model) == GEOMETRY_4G_3G
+    assert decide_geometry(1e6, model) == GEOMETRY_4G_3G
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    model_name=model_strategy,
+    count=st.floats(min_value=0.1, max_value=500.0),
+)
+def test_decision_deterministic(model_name, count):
+    from repro.workloads import get_model
+
+    model = get_model(model_name)
+    assert decide_geometry(count, model) == decide_geometry(count, model)

@@ -1,0 +1,156 @@
+"""Tests for the Job Distribution logic — Algorithm 1 (§4.3)."""
+
+import pytest
+
+from repro.core.distribution import (
+    choose_best_effort_slice,
+    choose_strict_slice,
+    compute_tags,
+    distribute_batch,
+)
+from repro.gpu import GEOMETRY_4G_2G_1G, GEOMETRY_4G_3G, GPU, SliceJob
+from repro.serverless.request import Request, RequestBatch
+from repro.simulation import Simulator
+from repro.traces.mixing import RequestSpec
+from repro.workloads import get_model
+from repro.workloads.scaling import scale_model
+
+RESNET = scale_model(get_model("resnet50"), 4 / 128)  # 8 GB, HI
+SHUFFLE = scale_model(get_model("shufflenet_v2"), 4 / 128)  # 4 GB, LI
+DPN = scale_model(get_model("dpn92"), 4 / 128)  # 11 GB, HI
+
+
+def make_slices(sim=None, geometry=GEOMETRY_4G_2G_1G):
+    sim = sim or Simulator()
+    return sim, GPU(sim, geometry).slices
+
+
+def make_batch(model, strict=True):
+    batch = RequestBatch(model, strict, created_at=0.0)
+    batch.add(
+        Request.from_spec(RequestSpec(arrival=0.0, model=model, strict=strict))
+    )
+    return batch
+
+
+def occupy(sim, gpu_slice, fbr=0.5, memory=0.0, work=100.0):
+    gpu_slice.submit(
+        SliceJob(
+            work=work, rdf=1.0, fbr=fbr, memory_gb=memory,
+            on_complete=lambda j, t: None,
+        )
+    )
+
+
+class TestComputeTags:
+    def test_no_be_memory_tags_nothing(self):
+        _sim, slices = make_slices()
+        assert compute_tags(slices, 0.0) == {}
+
+    def test_packing_is_smallest_first(self):
+        _sim, slices = make_slices()  # 4g(20), 2g(10), 1g(5)
+        by_kind = {s.profile.kind.value: s for s in slices}
+        tags = compute_tags(slices, 7.0)
+        # 1g takes min(1, 7/5)=1.0; 2g takes (7-5)/10=0.2; 4g untouched.
+        assert tags[id(by_kind["1g"])] == 1.0
+        assert tags[id(by_kind["2g"])] == pytest.approx(0.2)
+        assert id(by_kind["4g"]) not in tags
+
+    def test_light_load_tags_only_smallest(self):
+        _sim, slices = make_slices()
+        by_kind = {s.profile.kind.value: s for s in slices}
+        tags = compute_tags(slices, 2.0)
+        assert tags == {id(by_kind["1g"]): pytest.approx(0.4)}
+
+    def test_overflow_saturates_everything(self):
+        _sim, slices = make_slices()
+        tags = compute_tags(slices, 100.0)
+        assert all(v == 1.0 for v in tags.values())
+        assert len(tags) == 3
+
+
+class TestChooseStrictSlice:
+    def test_prefers_empty_large_slice(self):
+        _sim, slices = make_slices(geometry=GEOMETRY_4G_3G)
+        chosen = choose_strict_slice(make_batch(RESNET), slices, {})
+        assert chosen.profile.kind.value == "4g"
+
+    def test_avoids_fully_tagged_slices(self):
+        _sim, slices = make_slices(geometry=GEOMETRY_4G_3G)
+        by_kind = {s.profile.kind.value: s for s in slices}
+        tags = {id(by_kind["4g"]): 1.0}
+        chosen = choose_strict_slice(make_batch(RESNET), slices, tags)
+        assert chosen.profile.kind.value == "3g"
+
+    def test_balances_interference_against_deficiency(self):
+        # 4g loaded with a heavy resident, 3g empty: eta should route the
+        # strict batch to the 3g despite its smaller size.
+        sim, slices = make_slices(geometry=GEOMETRY_4G_3G)
+        by_kind = {s.profile.kind.value: s for s in slices}
+        occupy(sim, by_kind["4g"], fbr=1.0)
+        occupy(sim, by_kind["4g"], fbr=1.0)
+        chosen = choose_strict_slice(make_batch(RESNET), slices, {})
+        assert chosen.profile.kind.value == "3g"
+
+    def test_tag_contributes_potential_interference(self):
+        # 4g tagged heavily with predicted BE occupancy; 3g untagged.
+        _sim, slices = make_slices(geometry=GEOMETRY_4G_3G)
+        by_kind = {s.profile.kind.value: s for s in slices}
+        tags = {id(by_kind["4g"]): 0.9}
+        chosen = choose_strict_slice(make_batch(RESNET), slices, tags)
+        assert chosen.profile.kind.value == "3g"
+
+    def test_memory_full_slices_skipped(self):
+        sim, slices = make_slices(geometry=GEOMETRY_4G_3G)
+        by_kind = {s.profile.kind.value: s for s in slices}
+        occupy(sim, by_kind["4g"], fbr=0.0, memory=15.0)  # 5 GB free < 8
+        chosen = choose_strict_slice(make_batch(RESNET), slices, {})
+        assert chosen.profile.kind.value == "3g"
+
+    def test_none_when_nothing_fits(self):
+        sim, slices = make_slices(geometry=GEOMETRY_4G_3G)
+        for gpu_slice in slices:
+            occupy(sim, gpu_slice, fbr=0.0, memory=15.0)
+        assert choose_strict_slice(make_batch(RESNET), slices, {}) is None
+
+
+class TestChooseBestEffortSlice:
+    def test_first_fit_smallest_slice(self):
+        _sim, slices = make_slices()
+        chosen = choose_best_effort_slice(make_batch(SHUFFLE, strict=False), slices)
+        assert chosen.profile.kind.value == "1g"  # 4 GB fits the 5 GB slice
+
+    def test_spills_upward_when_small_full(self):
+        sim, slices = make_slices()
+        by_kind = {s.profile.kind.value: s for s in slices}
+        occupy(sim, by_kind["1g"], memory=4.0)
+        chosen = choose_best_effort_slice(make_batch(SHUFFLE, strict=False), slices)
+        assert chosen.profile.kind.value == "2g"
+
+    def test_large_be_model_lands_on_large_slice(self):
+        _sim, slices = make_slices()
+        chosen = choose_best_effort_slice(make_batch(DPN, strict=False), slices)
+        assert chosen.profile.kind.value == "4g"  # 11 GB only fits 4g
+
+    def test_none_when_everything_full(self):
+        sim, slices = make_slices()
+        for gpu_slice in slices:
+            occupy(sim, gpu_slice, memory=gpu_slice.profile.memory_gb)
+        assert choose_best_effort_slice(make_batch(SHUFFLE, strict=False), slices) is None
+
+
+class TestDistributeBatch:
+    def test_strict_and_be_separated(self):
+        _sim, slices = make_slices()
+        be_mem = 8.0  # tags 1g fully, 2g at 0.3
+        strict_slice = distribute_batch(make_batch(RESNET), slices, be_mem)
+        be_slice = distribute_batch(make_batch(SHUFFLE, strict=False), slices, be_mem)
+        assert strict_slice.profile.kind.value == "4g"
+        assert be_slice.profile.kind.value == "1g"
+
+    def test_strict_fallback_ignores_tags_when_all_tagged(self):
+        _sim, slices = make_slices()
+        # Enormous predicted BE memory tags every slice at 1.0; the strict
+        # batch must still be placed somewhere rather than starve.
+        chosen = distribute_batch(make_batch(RESNET), slices, 1000.0)
+        assert chosen is not None

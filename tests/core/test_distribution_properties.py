@@ -1,0 +1,154 @@
+"""Property-based tests for Algorithm 1 (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distribution import (
+    choose_best_effort_slice,
+    choose_strict_slice,
+    compute_tags,
+    distribute_batch,
+)
+from repro.gpu import GEOMETRY_4G_2G_1G, GEOMETRY_4G_3G, GPU, SliceJob
+from repro.serverless.request import Request, RequestBatch
+from repro.simulation import Simulator
+from repro.traces.mixing import RequestSpec
+from repro.workloads import ALL_MODELS
+from repro.workloads.scaling import scale_model
+
+GEOMETRIES = [GEOMETRY_4G_2G_1G, GEOMETRY_4G_3G]
+
+model_strategy = st.sampled_from([m.name for m in ALL_MODELS])
+occupancy_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),  # slice index (clamped)
+        st.floats(min_value=0.0, max_value=1.0),  # fbr
+        st.floats(min_value=0.0, max_value=10.0),  # memory
+    ),
+    max_size=6,
+)
+
+
+def build_state(geometry, occupancy):
+    sim = Simulator()
+    gpu = GPU(sim, geometry)
+    for index, fbr, memory in occupancy:
+        gpu_slice = gpu.slices[index % len(gpu.slices)]
+        memory = min(memory, gpu_slice.profile.memory_gb - gpu_slice.memory_used)
+        if memory < 0:
+            continue
+        gpu_slice.submit(
+            SliceJob(
+                work=100.0,
+                rdf=1.0,
+                fbr=fbr,
+                memory_gb=max(0.0, memory),
+                on_complete=lambda j, t: None,
+            )
+        )
+    return gpu
+
+
+def make_batch(model_name, strict):
+    from repro.workloads import get_model
+
+    model = scale_model(get_model(model_name), 4 / max(4, 128))
+    batch = RequestBatch(model, strict, created_at=0.0)
+    batch.add(
+        Request.from_spec(RequestSpec(arrival=0.0, model=model, strict=strict))
+    )
+    return batch
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    geometry=st.sampled_from(GEOMETRIES),
+    occupancy=occupancy_strategy,
+    model_name=model_strategy,
+    strict=st.booleans(),
+    be_mem=st.floats(min_value=0.0, max_value=60.0),
+)
+def test_distribute_never_violates_memory(geometry, occupancy, model_name,
+                                          strict, be_mem):
+    gpu = build_state(geometry, occupancy)
+    batch = make_batch(model_name, strict)
+    chosen = distribute_batch(batch, gpu.slices, be_mem)
+    if chosen is not None:
+        assert batch.memory_gb <= chosen.memory_free + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    geometry=st.sampled_from(GEOMETRIES),
+    occupancy=occupancy_strategy,
+    model_name=model_strategy,
+    be_mem=st.floats(min_value=0.0, max_value=60.0),
+)
+def test_strict_choice_minimizes_eta(geometry, occupancy, model_name, be_mem):
+    from repro.gpu.slowdown import slowdown_factor
+
+    gpu = build_state(geometry, occupancy)
+    batch = make_batch(model_name, True)
+    tags = compute_tags(gpu.slices, be_mem)
+    chosen = choose_strict_slice(batch, gpu.slices, tags)
+    if chosen is None:
+        return
+    model = batch.model
+
+    def eta(gpu_slice):
+        return slowdown_factor(
+            model.rdf(gpu_slice.profile),
+            model.slice_fbr(gpu_slice.profile),
+            [*gpu_slice.resident_fbrs(), tags.get(id(gpu_slice), 0.0)],
+        )
+
+    eligible = [
+        s
+        for s in gpu.slices
+        if tags.get(id(s), 0.0) < 1.0 and batch.memory_gb <= s.memory_free
+    ]
+    assert chosen in eligible
+    assert eta(chosen) <= min(eta(s) for s in eligible) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    geometry=st.sampled_from(GEOMETRIES),
+    occupancy=occupancy_strategy,
+    model_name=model_strategy,
+)
+def test_best_effort_choice_is_first_fit_ascending(geometry, occupancy,
+                                                   model_name):
+    gpu = build_state(geometry, occupancy)
+    batch = make_batch(model_name, False)
+    chosen = choose_best_effort_slice(batch, gpu.slices)
+    if chosen is None:
+        for gpu_slice in gpu.slices:
+            assert batch.memory_gb > gpu_slice.memory_free
+        return
+    # No strictly smaller slice had room (first-fit ascending order).
+    for gpu_slice in gpu.slices:
+        if gpu_slice.profile.compute_units < chosen.profile.compute_units:
+            assert batch.memory_gb > gpu_slice.memory_free
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    geometry=st.sampled_from(GEOMETRIES),
+    be_mem=st.floats(min_value=0.0, max_value=200.0),
+)
+def test_tags_monotone_and_bounded(geometry, be_mem):
+    sim = Simulator()
+    gpu = GPU(sim, geometry)
+    tags = compute_tags(gpu.slices, be_mem)
+    assert all(0.0 <= value <= 1.0 for value in tags.values())
+    # Packing order: a larger slice may only be tagged if every smaller
+    # one is fully tagged.
+    ordered = sorted(gpu.slices, key=lambda s: s.profile.compute_units)
+    seen_untagged = False
+    for gpu_slice in ordered:
+        tag = tags.get(id(gpu_slice), 0.0)
+        if tag < 1.0:
+            seen_untagged = True
+        elif seen_untagged:
+            raise AssertionError("tagged a larger slice before filling smaller")

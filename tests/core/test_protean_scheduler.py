@@ -1,0 +1,133 @@
+"""Integration tests for the PROTEAN scheduler and scheme (§4)."""
+
+import pytest
+
+from repro.cluster.pricing import VMTier
+from repro.core.protean import ProteanScheme
+from repro.gpu.mig import GEOMETRY_4G_2G_1G, GEOMETRY_4G_3G
+from repro.serverless.platform import PlatformConfig, ServerlessPlatform
+from repro.serverless.request import Request
+from repro.simulation import Simulator
+from repro.traces.mixing import RequestSpec
+from repro.workloads import get_model
+from repro.workloads.scaling import scale_model
+
+RESNET = scale_model(get_model("resnet50"), 4 / 128)
+SHUFFLE = scale_model(get_model("shufflenet_v2"), 4 / 128)
+
+
+def make_platform(sim, *, n_nodes=1, reconfigurator=False, autoscaler=False,
+                  cold=0.0):
+    scheme = ProteanScheme(
+        enable_reconfigurator=reconfigurator, enable_autoscaler=autoscaler
+    )
+    platform = ServerlessPlatform(
+        sim,
+        scheme,
+        PlatformConfig(n_nodes=n_nodes, cold_start_seconds=cold,
+                       batch_max_wait=0.01),
+    )
+    platform.provision_initial(VMTier.ON_DEMAND)
+    return platform, scheme
+
+
+def admit(platform, model, strict, count=1, arrival=None):
+    arrival = platform.sim.now if arrival is None else arrival
+    for _ in range(count):
+        platform.gateway.admit(
+            Request.from_spec(
+                RequestSpec(arrival=arrival, model=model, strict=strict)
+            )
+        )
+
+
+class TestProteanPlacement:
+    def test_initial_geometry_is_4g_2g_1g(self):
+        sim = Simulator()
+        platform, _ = make_platform(sim)
+        node = platform.cluster.nodes[0]
+        assert node.gpu.geometry == GEOMETRY_4G_2G_1G
+
+    def test_strict_lands_on_large_slice_be_on_small(self):
+        sim = Simulator()
+        platform, _ = make_platform(sim)
+        node = platform.cluster.nodes[0]
+        sim.at(0.0, lambda: admit(platform, RESNET, strict=True, count=4))
+        sim.at(0.0, lambda: admit(platform, SHUFFLE, strict=False, count=4))
+        sim.run(until=0.05)
+        by_kind = {s.profile.kind.value: s for s in node.gpu.slices}
+        strict_jobs = by_kind["4g"].running_jobs
+        assert any(j.payload.strict for j in strict_jobs)
+        small_jobs = by_kind["1g"].running_jobs
+        assert small_jobs and not any(j.payload.strict for j in small_jobs)
+
+    def test_strict_first_ordering_under_contention(self):
+        # Queue BE batches ahead of a strict batch while dispatch is held;
+        # both can only run on the 4g slice. On release, reordering must
+        # hand the 4g to the strict batch first.
+        sim = Simulator()
+        platform, _ = make_platform(sim)
+        node = platform.cluster.nodes[0]
+        scheduler = platform.dispatcher.scheduler_for(node)
+        big = scale_model(get_model("gpt2"), 4 / 4)  # 14 GB: only fits 4g
+        dpn = scale_model(get_model("dpn92"), 4 / 128)  # 11 GB: only fits 4g
+
+        def hold():
+            scheduler.hold = True
+
+        def release():
+            scheduler.hold = False
+            scheduler.dispatch()
+
+        sim.at(0.0, hold)
+        sim.at(0.0, lambda: admit(platform, big, strict=False, count=8))
+        sim.at(0.01, lambda: admit(platform, dpn, strict=True, count=4))
+        sim.at(0.1, release)
+        sim.run(until=0.2)
+        by_kind = {s.profile.kind.value: s for s in node.gpu.slices}
+        running = by_kind["4g"].running_jobs
+        assert running, "4g should be executing a batch"
+        assert running[0].payload.strict, "strict batch must be placed first"
+
+
+class TestProteanDaemons:
+    def test_reconfigurator_converges_to_4g_3g_without_be(self):
+        sim = Simulator()
+        platform, scheme = make_platform(sim, reconfigurator=True)
+        node = platform.cluster.nodes[0]
+        # Strict-only traffic: Algorithm 2 predicts zero BE load and the
+        # geometry converges to (4g, 3g).
+        for t in range(0, 40):
+            sim.at(float(t), lambda: admit(platform, RESNET, strict=True, count=4))
+        sim.run(until=60.0)
+        assert node.gpu.geometry == GEOMETRY_4G_3G
+        assert scheme.reconfigurator.reconfigurations_started >= 1
+
+    def test_wait_counter_defers_reconfiguration(self):
+        sim = Simulator()
+        platform, scheme = make_platform(sim, reconfigurator=True)
+        node = platform.cluster.nodes[0]
+        sim.at(0.0, lambda: admit(platform, RESNET, strict=True, count=4))
+        # After one monitor tick (5 s) the decision mismatches but the
+        # wait counter (3) has not elapsed yet.
+        sim.run(until=6.0)
+        assert node.gpu.geometry == GEOMETRY_4G_2G_1G
+        sim.run(until=30.0)
+        assert node.gpu.geometry == GEOMETRY_4G_3G
+
+    def test_autoscaler_prewarms_for_recurring_traffic(self):
+        sim = Simulator()
+        platform, scheme = make_platform(sim, autoscaler=True, cold=2.0)
+        for t in range(0, 30):
+            sim.at(float(t), lambda: admit(platform, RESNET, strict=True, count=4))
+        sim.run(until=31.0)
+        assert scheme.autoscaler.prewarms_issued >= 1
+
+    def test_scheme_reports_reconfigurations_in_utilization(self):
+        sim = Simulator()
+        platform, _ = make_platform(sim, reconfigurator=True)
+        node = platform.cluster.nodes[0]
+        for t in range(0, 40):
+            sim.at(float(t), lambda: admit(platform, RESNET, strict=True, count=4))
+        sim.run(until=60.0)
+        assert node.gpu.utilization().reconfigurations >= 1

@@ -1,0 +1,121 @@
+"""Live-daemon tests for the GPU Reconfigurator: governor, eviction races."""
+
+import pytest
+
+from repro.cluster.pricing import VMTier
+from repro.core.protean import ProteanScheme
+from repro.core.reconfigurator import ReconfiguratorConfig
+from repro.gpu.mig import GEOMETRY_4G_2G_1G, GEOMETRY_4G_3G
+from repro.serverless.platform import PlatformConfig, ServerlessPlatform
+from repro.serverless.request import Request
+from repro.simulation import Simulator
+from repro.traces.mixing import RequestSpec
+from repro.workloads import get_model
+from repro.workloads.scaling import scale_model
+
+RESNET = scale_model(get_model("resnet50"), 4 / 128)
+
+
+def build(sim, n_nodes=8, wait_limit=1, interval=2.0):
+    scheme = ProteanScheme(
+        reconfigurator_config=ReconfiguratorConfig(
+            monitor_interval=interval, wait_limit=wait_limit
+        ),
+        enable_autoscaler=False,
+    )
+    platform = ServerlessPlatform(
+        sim,
+        scheme,
+        PlatformConfig(n_nodes=n_nodes, cold_start_seconds=0.0,
+                       batch_max_wait=0.01),
+    )
+    platform.provision_initial(VMTier.ON_DEMAND)
+    return platform, scheme
+
+
+def strict_burst(platform, count=4):
+    for _ in range(count):
+        platform.gateway.admit(
+            Request.from_spec(
+                RequestSpec(arrival=platform.sim.now, model=RESNET, strict=True)
+            )
+        )
+
+
+def test_governor_limits_concurrent_reconfigurations():
+    sim = Simulator()
+    platform, scheme = build(sim, n_nodes=8, wait_limit=1, interval=2.0)
+    # Strict-only traffic: every GPU wants to move to (4g, 3g) at once,
+    # but at most ceil(0.3×8)=3 may reconfigure simultaneously.
+    for t in range(0, 6):
+        sim.at(float(t), lambda: strict_burst(platform))
+    sim.run(until=3.1)  # first monitor tick at 2.0 triggers the wave
+    reconfiguring = sum(
+        1 for node in platform.cluster.nodes if node.gpu.reconfiguring
+    )
+    pending_or_done = sum(
+        1
+        for node in platform.cluster.nodes
+        if node.gpu.geometry == GEOMETRY_4G_3G or node.gpu.reconfiguring
+    )
+    assert reconfiguring <= 3
+    assert pending_or_done >= 1
+    sim.run(until=30.0)
+    # Eventually the whole fleet converges.
+    assert all(
+        node.gpu.geometry == GEOMETRY_4G_3G for node in platform.cluster.nodes
+    )
+    assert platform.cluster.governor.in_flight == 0
+
+
+def test_node_retired_mid_reconfiguration_releases_governor():
+    sim = Simulator()
+    platform, scheme = build(sim, n_nodes=2, wait_limit=1, interval=2.0)
+    for t in range(0, 4):
+        sim.at(float(t), lambda: strict_burst(platform))
+    # Let the reconfigurator claim both nodes (governor limit for 2 nodes
+    # is 1, so one node holds the token).
+    sim.run(until=2.05)
+    held = [
+        node
+        for node in platform.cluster.nodes
+        if node.node_id in scheme.reconfigurator._pending
+    ]
+    assert held, "expected a pending reconfiguration"
+    victim = held[0]
+    platform.retire_node(victim)
+    assert platform.cluster.governor.in_flight == 0 or (
+        platform.cluster.governor.in_flight
+        <= len(scheme.reconfigurator._pending)
+    )
+    sim.run(until=30.0)
+    # The surviving node still converges and the governor is clean.
+    assert platform.cluster.governor.in_flight == 0
+    for node in platform.cluster.nodes:
+        assert node.gpu.geometry in (GEOMETRY_4G_3G, GEOMETRY_4G_2G_1G)
+
+
+def test_hysteresis_requires_repeated_mismatch():
+    sim = Simulator()
+    platform, scheme = build(sim, n_nodes=1, wait_limit=3, interval=2.0)
+    for t in range(0, 20):
+        sim.at(float(t), lambda: strict_burst(platform))
+    node = platform.cluster.nodes[0]
+    sim.run(until=5.9)  # two monitor ticks: wait_ctr < 3
+    assert node.gpu.geometry == GEOMETRY_4G_2G_1G
+    sim.run(until=12.0)  # third mismatching tick fires the change
+    assert node.gpu.geometry == GEOMETRY_4G_3G
+
+
+def test_geometry_log_records_changes():
+    sim = Simulator()
+    platform, scheme = build(sim, n_nodes=1, wait_limit=1)
+    for t in range(0, 10):
+        sim.at(float(t), lambda: strict_burst(platform))
+    sim.run(until=20.0)
+    log = scheme.reconfigurator.geometry_log
+    assert log
+    time, node_name, geometry = log[0]
+    assert geometry == GEOMETRY_4G_3G
+    assert node_name.startswith("node")
+    assert time > 0

@@ -1,0 +1,130 @@
+"""Tests for request reordering (§4.1) and the EWMA predictor (§4.4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ewma import EwmaPredictor, PerKeyEwma
+from repro.core.reordering import best_effort_queued_memory, reorder_strict_first
+from repro.errors import ConfigurationError
+from repro.serverless.request import Request, RequestBatch
+from repro.traces.mixing import RequestSpec
+from repro.workloads import get_model
+from repro.workloads.scaling import scale_model
+
+MODEL = scale_model(get_model("resnet50"), 4 / 128)
+
+
+def batch(strict=True, created_at=0.0, arrival=None, model=MODEL):
+    b = RequestBatch(model, strict, created_at)
+    b.add(
+        Request.from_spec(
+            RequestSpec(
+                arrival=created_at if arrival is None else arrival,
+                model=model,
+                strict=strict,
+            )
+        )
+    )
+    return b
+
+
+class TestReordering:
+    def test_strict_before_best_effort(self):
+        queue = [batch(strict=False, created_at=0.0), batch(strict=True, created_at=1.0)]
+        reorder_strict_first(queue)
+        assert [b.strict for b in queue] == [True, False]
+
+    def test_strict_ordered_by_earliest_deadline(self):
+        late = batch(strict=True, created_at=0.0, arrival=5.0)
+        early = batch(strict=True, created_at=1.0, arrival=0.0)
+        queue = [late, early]
+        reorder_strict_first(queue)
+        assert queue == [early, late]
+
+    def test_best_effort_kept_fifo(self):
+        first = batch(strict=False, created_at=0.0)
+        second = batch(strict=False, created_at=1.0)
+        queue = [second, first]
+        reorder_strict_first(queue)
+        assert queue == [first, second]
+
+    def test_stable_for_equal_keys(self):
+        a = batch(strict=False, created_at=2.0)
+        b = batch(strict=False, created_at=2.0)
+        queue = [a, b]
+        reorder_strict_first(queue)
+        assert queue == [a, b]
+
+    @given(st.lists(st.tuples(st.booleans(), st.floats(0, 100)), max_size=20))
+    def test_reordering_is_a_permutation_with_strict_prefix(self, items):
+        queue = [batch(strict=s, created_at=t) for s, t in items]
+        original = set(id(b) for b in queue)
+        reorder_strict_first(queue)
+        assert set(id(b) for b in queue) == original
+        flags = [b.strict for b in queue]
+        # All strict batches precede all BE batches.
+        assert flags == sorted(flags, reverse=True)
+
+    def test_be_queued_memory(self):
+        queue = [batch(strict=True), batch(strict=False), batch(strict=False)]
+        assert best_effort_queued_memory(queue) == pytest.approx(
+            2 * MODEL.memory_gb
+        )
+        assert best_effort_queued_memory([]) == 0.0
+
+
+class TestEwma:
+    def test_initial_prediction(self):
+        assert EwmaPredictor().predict() == 0.0
+        assert EwmaPredictor(initial=5.0).predict() == 5.0
+
+    def test_first_observation_adopts_value(self):
+        predictor = EwmaPredictor(alpha=0.3)
+        predictor.observe(10.0)
+        assert predictor.predict() == 10.0
+
+    def test_smoothing(self):
+        predictor = EwmaPredictor(alpha=0.5)
+        predictor.observe(10.0)
+        predictor.observe(20.0)
+        assert predictor.predict() == pytest.approx(15.0)
+        predictor.observe(20.0)
+        assert predictor.predict() == pytest.approx(17.5)
+
+    def test_converges_to_constant_signal(self):
+        predictor = EwmaPredictor(alpha=0.3)
+        for _ in range(100):
+            predictor.observe(42.0)
+        assert predictor.predict() == pytest.approx(42.0)
+
+    def test_reset(self):
+        predictor = EwmaPredictor()
+        predictor.observe(10.0)
+        predictor.reset()
+        assert predictor.predict() == 0.0
+        assert predictor.observations == 0
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigurationError):
+            EwmaPredictor(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            EwmaPredictor(alpha=1.5)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    def test_prediction_bounded_by_observed_range(self, samples):
+        predictor = EwmaPredictor(alpha=0.3)
+        for sample in samples:
+            predictor.observe(sample)
+        assert min(samples) - 1e-6 <= predictor.predict() <= max(samples) + 1e-6
+
+
+class TestPerKeyEwma:
+    def test_independent_keys(self):
+        family = PerKeyEwma(alpha=0.5)
+        family.observe("a", 10.0)
+        family.observe("b", 2.0)
+        assert family.predict("a") == 10.0
+        assert family.predict("b") == 2.0
+        assert family.predict("never_seen") == 0.0
+        assert set(family.keys()) == {"a", "b"}

@@ -1,0 +1,74 @@
+"""Tests for the ablation harness."""
+
+import pytest
+
+from repro.core.protean import ProteanScheme
+from repro.errors import ConfigurationError
+from repro.experiments import ExperimentConfig, run_scheme
+from repro.experiments.ablations import (
+    ABLATION_VARIANTS,
+    make_variant,
+    run_ablation,
+    run_ablation_suite,
+)
+from repro.gpu.mig import GEOMETRY_4G_3G
+
+QUICK = dict(
+    trace="constant",
+    duration=25.0,
+    warmup=10.0,
+    drain=30.0,
+    n_nodes=2,
+    offered_load=0.5,
+)
+
+
+def test_variant_roster():
+    assert set(ABLATION_VARIANTS) == {
+        "full",
+        "no_reordering",
+        "no_reconfigurator",
+        "no_autoscaler",
+        "static_4g_3g",
+    }
+
+
+def test_make_variant_configures_scheme():
+    full = make_variant("full")
+    assert isinstance(full, ProteanScheme)
+    static = make_variant("static_4g_3g")
+    assert static.initial_geometry() == GEOMETRY_4G_3G
+    no_reorder = make_variant("no_reordering")
+    assert no_reorder._enable_reordering is False
+
+
+def test_unknown_variant():
+    with pytest.raises(ConfigurationError):
+        make_variant("no_gpus")
+
+
+def test_run_ablation_labels_result():
+    config = ExperimentConfig(strict_model="resnet50", **QUICK)
+    result = run_ablation("no_reordering", config)
+    assert result.scheme == "no_reordering"
+    assert result.summary.requests_served > 0
+
+
+def test_suite_shares_request_stream():
+    config = ExperimentConfig(strict_model="resnet50", **QUICK)
+    results = run_ablation_suite(config, variants=("full", "static_4g_3g"))
+    assert set(results) == {"full", "static_4g_3g"}
+    assert (
+        results["full"].summary.strict_requests
+        == results["static_4g_3g"].summary.strict_requests
+    )
+    # The frozen variant never reconfigures.
+    assert results["static_4g_3g"].summary.reconfigurations == 0
+
+
+def test_run_scheme_accepts_scheme_instance():
+    config = ExperimentConfig(strict_model="resnet50", **QUICK)
+    scheme = ProteanScheme(enable_reconfigurator=False, enable_autoscaler=False)
+    result = run_scheme(scheme, config)
+    assert result.scheme == "protean"
+    assert result.summary.requests_served > 0

@@ -1,0 +1,91 @@
+"""Smoke tests for the figure registry and the cheap figure modules.
+
+Heavy figure modules (full scheme comparisons) are exercised by the
+benchmark suite; here we verify the registry wiring, the FigureResult
+contract, and run the two figure modules that are cheap enough for unit
+testing.
+"""
+
+import pytest
+
+from repro.experiments.figures import ALL_FIGURES, FigureResult
+from repro.experiments.figures.common import (
+    FigureResult as CommonFigureResult,
+    base_config,
+)
+
+
+EXPECTED_IDS = {
+    "fig02", "fig03", "tab03", "fig05", "fig06", "fig07", "fig08",
+    "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "tab04",
+    "tab05", "fig15", "fig16", "fig17",
+}
+
+
+def test_registry_covers_every_evaluation_artifact():
+    assert set(ALL_FIGURES) == EXPECTED_IDS
+    for module in ALL_FIGURES.values():
+        assert callable(module.run)
+        assert module.run.__doc__
+
+
+def test_figure_result_table_renders():
+    result = FigureResult(
+        figure="Test", rows=[{"a": 1, "b": 2}], notes="note"
+    )
+    text = result.table()
+    assert "Test" in text and "note" in text
+    assert FigureResult is CommonFigureResult
+
+
+def test_render_extras_plots_curves_and_series():
+    result = FigureResult(
+        figure="Test",
+        rows=[],
+        extra={
+            "slo_ms": 100.0,
+            "curves": {
+                "protean": {"latency_ms": [10, 50, 90], "fraction": [0.1, 0.6, 1.0]},
+            },
+            "series": [{"t": 0, "p95_ms": 40.0}, {"t": 1, "p95_ms": 60.0}],
+        },
+    )
+    rendered = result.render_extras()
+    assert "Latency CDF" in rendered
+    assert "strict P95" in rendered
+    assert "p=protean" in rendered
+
+
+def test_render_extras_empty_without_plot_data():
+    assert FigureResult(figure="T", rows=[]).render_extras() == ""
+
+
+def test_tab03_runs_and_matches_paper():
+    result = ALL_FIGURES["tab03"].run(quick=True)
+    assert isinstance(result, FigureResult)
+    savings = {row["provider"]: row["savings_%"] for row in result.rows}
+    assert savings["AWS"] == pytest.approx(69.99, abs=0.05)
+    assert savings["Google Cloud"] == pytest.approx(70.70, abs=0.05)
+
+
+def test_fig03_runs_with_measured_columns():
+    result = ALL_FIGURES["fig03"].run(quick=True)
+    assert len(result.rows) == 22
+    measured = [row for row in result.rows if "measured_fbr" in row]
+    assert len(measured) >= 4
+    for row in measured:
+        assert row["measured_fbr"] == pytest.approx(row["fbr"], abs=0.03)
+
+
+def test_base_config_quick_vs_full_durations():
+    quick = base_config(True, strict_model="resnet50")
+    full = base_config(False, strict_model="resnet50")
+    assert quick.duration < full.duration
+    assert quick.warmup < full.warmup
+
+
+def test_base_config_accepts_overrides():
+    config = base_config(True, strict_model="vgg19", n_nodes=4, duration=33.0)
+    assert config.strict_model == "vgg19"
+    assert config.n_nodes == 4
+    assert config.duration == 33.0

@@ -1,0 +1,57 @@
+"""Scale-invariance check: the documented substitution argument, tested.
+
+DESIGN.md claims that shrinking batch size and request rate by the same
+factor preserves batch arrival rates, execution latencies, and memory
+footprints — hence all queueing/interference structure. This test runs
+the same experiment at two scales and requires the headline metrics to
+agree (up to sampling noise from the smaller request population).
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_scheme
+
+BASE = dict(
+    strict_model="vgg19",
+    trace="constant",
+    duration=60.0,
+    warmup=20.0,
+    drain=60.0,
+    n_nodes=4,
+    offered_load=0.85,
+    seed=5,
+)
+
+
+def run_at_scale(scheme, scale):
+    config = ExperimentConfig(scale=scale, **BASE)
+    return run_scheme(scheme, config)
+
+
+@pytest.mark.parametrize("scheme", ["protean", "infless_llama"])
+def test_slo_compliance_is_scale_invariant(scheme):
+    small = run_at_scale(scheme, 0.05)
+    large = run_at_scale(scheme, 0.15)
+    assert small.summary.slo_percent == pytest.approx(
+        large.summary.slo_percent, abs=8.0
+    )
+
+
+def test_batch_population_scales_linearly():
+    small = run_at_scale("protean", 0.05)
+    large = run_at_scale("protean", 0.15)
+    # 3x the scale → ~3x the requests, same number of *batches* (so the
+    # GPUs see identical pressure).
+    ratio = large.summary.requests_served / small.summary.requests_served
+    assert ratio == pytest.approx(3.0, rel=0.15)
+
+
+def test_latency_distribution_is_scale_invariant():
+    small = run_at_scale("protean", 0.05)
+    large = run_at_scale("protean", 0.15)
+    assert small.summary.strict_p50 == pytest.approx(
+        large.summary.strict_p50, rel=0.25
+    )
+    assert small.summary.strict_p99 == pytest.approx(
+        large.summary.strict_p99, rel=0.5
+    )

@@ -1,0 +1,38 @@
+"""Tests for the full-suite runner."""
+
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.suite import SuiteEntry, run_full_suite
+
+
+def test_selected_artifacts_run_and_write(tmp_path):
+    progress = []
+    entries = run_full_suite(
+        quick=True,
+        output_dir=tmp_path,
+        only=("tab03", "fig03"),
+        progress=progress.append,
+    )
+    assert progress == ["tab03", "fig03"]
+    assert all(isinstance(e, SuiteEntry) for e in entries)
+    assert all(e.error is None for e in entries)
+    assert (tmp_path / "tab03.txt").exists()
+    assert (tmp_path / "fig03.txt").exists()
+    summary = (tmp_path / "SUMMARY.txt").read_text()
+    assert "tab03" in summary and "ok" in summary
+
+
+def test_errors_are_captured_not_raised(tmp_path, monkeypatch):
+    class Boom:
+        @staticmethod
+        def run(quick=True):
+            raise RuntimeError("kaput")
+
+    monkeypatch.setitem(ALL_FIGURES, "tab03", Boom)
+    entries = run_full_suite(quick=True, output_dir=tmp_path, only=("tab03",))
+    assert entries[0].error == "RuntimeError: kaput"
+    assert "ERROR" in (tmp_path / "SUMMARY.txt").read_text()
+
+
+def test_no_output_dir_skips_writing():
+    entries = run_full_suite(quick=True, only=("tab03",))
+    assert entries[0].result.rows

@@ -1,0 +1,122 @@
+"""Unit tests for the GPU device and MIG reconfiguration."""
+
+import pytest
+
+from repro.errors import ReconfigurationInProgressError, SliceBusyError
+from repro.gpu import (
+    GEOMETRY_4G_2G_1G,
+    GEOMETRY_4G_3G,
+    GEOMETRY_FULL,
+    GPU,
+    ShareMode,
+    SliceJob,
+)
+from repro.simulation import Simulator
+
+
+def idle_job(work=0.1, memory=1.0):
+    return SliceJob(
+        work=work, rdf=1.0, fbr=0.1, memory_gb=memory, on_complete=lambda j, t: None
+    )
+
+
+def test_initial_geometry_builds_slices():
+    sim = Simulator()
+    gpu = GPU(sim, GEOMETRY_4G_3G)
+    kinds = sorted(s.profile.kind.value for s in gpu.slices)
+    assert kinds == ["3g", "4g"]
+    assert gpu.idle
+    assert gpu.available
+
+
+def test_slices_by_size_orders():
+    sim = Simulator()
+    gpu = GPU(sim, GEOMETRY_4G_2G_1G)
+    ascending = [s.profile.kind.value for s in gpu.slices_by_size()]
+    assert ascending == ["1g", "2g", "4g"]
+    assert gpu.largest_slice().profile.kind.value == "4g"
+
+
+def test_reconfigure_takes_downtime_and_swaps_slices():
+    sim = Simulator()
+    gpu = GPU(sim, GEOMETRY_4G_2G_1G, reconfig_seconds=2.0)
+    finished = []
+    sim.at(1.0, lambda: gpu.reconfigure(GEOMETRY_4G_3G, finished.append))
+    sim.run()
+    assert sim.now == pytest.approx(3.0)
+    assert finished == [gpu]
+    assert gpu.geometry == GEOMETRY_4G_3G
+    assert gpu.reconfigurations == 1
+    assert not gpu.reconfiguring
+
+
+def test_reconfigure_to_same_geometry_is_noop():
+    sim = Simulator()
+    gpu = GPU(sim, GEOMETRY_4G_3G)
+    called = []
+    gpu.reconfigure(GEOMETRY_4G_3G, called.append)
+    assert called == [gpu]
+    assert gpu.reconfigurations == 0
+
+
+def test_reconfigure_rejected_while_busy():
+    sim = Simulator()
+    gpu = GPU(sim, GEOMETRY_FULL)
+    sim.at(0.0, lambda: gpu.slices[0].submit(idle_job(work=1.0)))
+    errors = []
+
+    def attempt():
+        try:
+            gpu.reconfigure(GEOMETRY_4G_3G)
+        except SliceBusyError:
+            errors.append("busy")
+
+    sim.at(0.5, attempt)
+    sim.run()
+    assert errors == ["busy"]
+    assert gpu.geometry == GEOMETRY_FULL
+
+
+def test_reconfigure_rejected_while_reconfiguring():
+    sim = Simulator()
+    gpu = GPU(sim, GEOMETRY_FULL, reconfig_seconds=2.0)
+    errors = []
+
+    def first():
+        gpu.reconfigure(GEOMETRY_4G_3G)
+
+    def second():
+        assert not gpu.available
+        with pytest.raises(ReconfigurationInProgressError):
+            gpu.reconfigure(GEOMETRY_4G_2G_1G)
+        errors.append("caught")
+
+    sim.at(0.0, first)
+    sim.at(1.0, second)
+    sim.run()
+    assert errors == ["caught"]
+    assert gpu.geometry == GEOMETRY_4G_3G
+
+
+def test_utilization_rolls_up_across_reconfigurations():
+    sim = Simulator()
+    gpu = GPU(sim, GEOMETRY_FULL, reconfig_seconds=2.0)
+    # Busy 0..1 on the full GPU, reconfigure 2..4 — but run only until 4.
+    sim.at(0.0, lambda: gpu.slices[0].submit(idle_job(work=1.0)))
+    sim.at(2.0, lambda: gpu.reconfigure(GEOMETRY_4G_3G))
+    sim.run(until=4.0)
+    utilization = gpu.utilization()
+    # 1 busy second on a compute-fraction-1.0 slice over 4 seconds.
+    assert utilization.busy_fraction == pytest.approx(0.25)
+    assert utilization.reconfigurations == 1
+
+
+def test_occupancy_counts_running_and_pending():
+    sim = Simulator()
+    gpu = GPU(sim, GEOMETRY_FULL, mode=ShareMode.TIME_SHARE)
+    sim.at(0.0, lambda: gpu.slices[0].submit(idle_job(work=1.0)))
+    sim.at(0.0, lambda: gpu.slices[0].submit(idle_job(work=1.0)))
+    sim.run(until=0.5)
+    assert gpu.occupancy == 2
+    assert not gpu.idle
+    assert not gpu.can_reconfigure()

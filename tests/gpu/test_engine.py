@@ -1,0 +1,228 @@
+"""Unit tests for the slice execution engine (rate-based MPS / time-share)."""
+
+import pytest
+
+from repro.errors import InsufficientMemoryError
+from repro.gpu.engine import GPUSlice, JobTiming, ShareMode, SliceJob
+from repro.gpu.mig import profile
+from repro.simulation import Simulator
+
+
+def make_slice(sim, kind="7g", mode=ShareMode.MPS):
+    return GPUSlice(sim, profile(kind), mode)
+
+
+def collect():
+    done = []
+
+    def on_complete(job, timing):
+        done.append((job, timing))
+
+    return done, on_complete
+
+
+def job(work=0.1, rdf=1.0, fbr=0.2, memory=2.0, on_complete=None, **kwargs):
+    return SliceJob(
+        work=work,
+        rdf=rdf,
+        fbr=fbr,
+        memory_gb=memory,
+        on_complete=on_complete or (lambda j, t: None),
+        **kwargs,
+    )
+
+
+class TestSoloExecution:
+    def test_solo_job_finishes_at_solo_time(self):
+        sim = Simulator()
+        done, cb = collect()
+        gpu_slice = make_slice(sim)
+        sim.at(0.0, lambda: gpu_slice.submit(job(work=0.1, on_complete=cb)))
+        sim.run()
+        assert len(done) == 1
+        _, timing = done[0]
+        assert timing.finished_at == pytest.approx(0.1)
+        assert timing.execution_time == pytest.approx(0.1)
+        assert timing.interference_time == pytest.approx(0.0)
+        assert timing.deficiency_time == pytest.approx(0.0)
+
+    def test_rdf_stretches_solo_time(self):
+        sim = Simulator()
+        done, cb = collect()
+        gpu_slice = make_slice(sim, "3g")
+        sim.at(0.0, lambda: gpu_slice.submit(job(work=0.1, rdf=2.0, on_complete=cb)))
+        sim.run()
+        _, timing = done[0]
+        assert timing.execution_time == pytest.approx(0.2)
+        assert timing.deficiency_time == pytest.approx(0.1)
+        assert timing.interference_time == pytest.approx(0.0)
+
+    def test_memory_accounting_returns_to_zero(self):
+        sim = Simulator()
+        gpu_slice = make_slice(sim)
+        sim.at(0.0, lambda: gpu_slice.submit(job(memory=10.0)))
+        sim.run()
+        assert gpu_slice.memory_used == 0.0
+        assert gpu_slice.idle
+        assert gpu_slice.completed_jobs == 1
+
+
+class TestMpsInterference:
+    def test_low_fbr_jobs_do_not_interfere(self):
+        sim = Simulator()
+        done, cb = collect()
+        gpu_slice = make_slice(sim)
+        sim.at(0.0, lambda: gpu_slice.submit(job(fbr=0.3, on_complete=cb)))
+        sim.at(0.0, lambda: gpu_slice.submit(job(fbr=0.3, on_complete=cb)))
+        sim.run()
+        for _, timing in done:
+            assert timing.execution_time == pytest.approx(0.1)
+            assert timing.interference_time == pytest.approx(0.0)
+
+    def test_saturating_fbr_slows_both_jobs(self):
+        sim = Simulator()
+        done, cb = collect()
+        gpu_slice = make_slice(sim)
+        # Total FBR = 1.6 => both jobs run 1.6x slower (Eq. 1).
+        sim.at(0.0, lambda: gpu_slice.submit(job(fbr=0.8, on_complete=cb)))
+        sim.at(0.0, lambda: gpu_slice.submit(job(fbr=0.8, on_complete=cb)))
+        sim.run()
+        for _, timing in done:
+            assert timing.execution_time == pytest.approx(0.16)
+            assert timing.interference_time == pytest.approx(0.06)
+
+    def test_interference_recomputed_when_job_departs(self):
+        sim = Simulator()
+        done, cb = collect()
+        gpu_slice = make_slice(sim)
+        # Short job saturates bandwidth with the long one; once the short
+        # job leaves, the long job speeds back up.
+        sim.at(0.0, lambda: gpu_slice.submit(job(work=0.08, fbr=0.8, on_complete=cb)))
+        sim.at(0.0, lambda: gpu_slice.submit(job(work=0.2, fbr=0.8, on_complete=cb)))
+        sim.run()
+        assert len(done) == 2
+        short_timing = done[0][1]
+        long_timing = done[1][1]
+        # Short job: whole life at factor 1.6.
+        assert short_timing.execution_time == pytest.approx(0.08 * 1.6)
+        # Long job: 0.08 units of work at factor 1.6, then 0.12 solo.
+        expected = 0.08 * 1.6 + (0.2 - 0.08)
+        assert long_timing.execution_time == pytest.approx(expected)
+
+    def test_interference_recomputed_when_job_arrives_midway(self):
+        sim = Simulator()
+        done, cb = collect()
+        gpu_slice = make_slice(sim)
+        sim.at(0.0, lambda: gpu_slice.submit(job(work=0.2, fbr=0.8, on_complete=cb)))
+        sim.at(0.1, lambda: gpu_slice.submit(job(work=0.2, fbr=0.8, on_complete=cb)))
+        sim.run()
+        first = done[0][1]
+        # First job: 0.1 of work solo, remaining 0.1 at factor 1.6.
+        assert first.execution_time == pytest.approx(0.1 + 0.1 * 1.6)
+
+    def test_memory_blocked_job_waits_in_fifo(self):
+        sim = Simulator()
+        done, cb = collect()
+        gpu_slice = make_slice(sim, "2g")  # 10 GB
+        sim.at(0.0, lambda: gpu_slice.submit(job(work=0.1, memory=8.0, on_complete=cb)))
+        sim.at(0.0, lambda: gpu_slice.submit(job(work=0.1, memory=8.0, on_complete=cb)))
+        sim.run()
+        second_timing = done[1][1]
+        assert second_timing.pending_time == pytest.approx(0.1)
+        assert second_timing.finished_at == pytest.approx(0.2)
+
+    def test_pending_queue_is_strictly_fifo(self):
+        sim = Simulator()
+        starts = {}
+        gpu_slice = make_slice(sim, "2g")  # 10 GB
+
+        def record(name):
+            return lambda j, t: starts.__setitem__(name, t.started_at)
+
+        sim.at(0.0, lambda: gpu_slice.submit(
+            job(work=0.1, memory=8.0, on_complete=record("big1"))))
+        sim.at(0.0, lambda: gpu_slice.submit(
+            job(work=0.1, memory=8.0, on_complete=record("big2"))))
+        # Small job *could* fit alongside big1 but must not jump the queue:
+        # it starts only when big2 (ahead of it in FIFO) has been admitted.
+        sim.at(0.0, lambda: gpu_slice.submit(
+            job(work=0.01, memory=1.0, on_complete=record("small"))))
+        sim.run()
+        assert starts["big1"] == pytest.approx(0.0)
+        assert starts["big2"] == pytest.approx(0.1)
+        assert starts["small"] >= starts["big2"]
+
+    def test_oversized_job_rejected_outright(self):
+        sim = Simulator()
+        gpu_slice = make_slice(sim, "1g")  # 5 GB
+        with pytest.raises(InsufficientMemoryError):
+            gpu_slice.submit(job(memory=6.0))
+
+
+class TestTimeShare:
+    def test_jobs_run_serially(self):
+        sim = Simulator()
+        done, cb = collect()
+        gpu_slice = make_slice(sim, mode=ShareMode.TIME_SHARE)
+        sim.at(0.0, lambda: gpu_slice.submit(job(work=0.1, fbr=0.9, on_complete=cb)))
+        sim.at(0.0, lambda: gpu_slice.submit(job(work=0.1, fbr=0.9, on_complete=cb)))
+        sim.run()
+        first, second = done[0][1], done[1][1]
+        # No interference despite huge FBRs — but the second job queues.
+        assert first.execution_time == pytest.approx(0.1)
+        assert second.execution_time == pytest.approx(0.1)
+        assert second.pending_time == pytest.approx(0.1)
+        assert second.finished_at == pytest.approx(0.2)
+
+    def test_queue_drains_in_order(self):
+        sim = Simulator()
+        finished = []
+        gpu_slice = make_slice(sim, mode=ShareMode.TIME_SHARE)
+        for index in range(5):
+            sim.at(
+                0.0,
+                lambda i=index: gpu_slice.submit(
+                    job(work=0.1, on_complete=lambda j, t, i=i: finished.append(i))
+                ),
+            )
+        sim.run()
+        assert finished == [0, 1, 2, 3, 4]
+        assert sim.now == pytest.approx(0.5)
+
+
+class TestTimingInvariants:
+    def test_breakdown_components_sum_to_execution_time(self):
+        timing = JobTiming(
+            submitted_at=0.0, started_at=0.5, finished_at=1.0, work=0.2, rdf=1.5
+        )
+        total = timing.work + timing.deficiency_time + timing.interference_time
+        assert total == pytest.approx(timing.execution_time)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            job(work=0.0)
+        with pytest.raises(ValueError):
+            job(rdf=0.5)
+        with pytest.raises(ValueError):
+            job(fbr=-0.1)
+        with pytest.raises(ValueError):
+            job(memory=-1.0)
+
+
+class TestUtilizationIntegrals:
+    def test_busy_fraction_tracks_occupancy(self):
+        sim = Simulator()
+        gpu_slice = make_slice(sim)
+        sim.at(0.0, lambda: gpu_slice.submit(job(work=0.5)))
+        sim.run(until=1.0)
+        busy, _mem, lifetime = gpu_slice.utilization_snapshot()
+        assert busy == pytest.approx(0.5)
+        assert lifetime == pytest.approx(1.0)
+
+    def test_memory_integral(self):
+        sim = Simulator()
+        gpu_slice = make_slice(sim)
+        sim.at(0.0, lambda: gpu_slice.submit(job(work=0.5, memory=10.0)))
+        sim.run(until=1.0)
+        _busy, mem_gb_s, _lifetime = gpu_slice.utilization_snapshot()
+        assert mem_gb_s == pytest.approx(5.0)

@@ -1,0 +1,102 @@
+"""Property-based tests for the slice execution engine (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.engine import GPUSlice, ShareMode, SliceJob
+from repro.gpu.mig import profile
+from repro.simulation import Simulator
+
+job_strategy = st.fixed_dictionaries(
+    {
+        "work": st.floats(min_value=0.01, max_value=0.5),
+        "rdf": st.floats(min_value=1.0, max_value=3.0),
+        "fbr": st.floats(min_value=0.0, max_value=1.0),
+        "memory": st.floats(min_value=0.5, max_value=12.0),
+        "submit_at": st.floats(min_value=0.0, max_value=2.0),
+    }
+)
+
+
+def run_workload(jobs, mode):
+    sim = Simulator()
+    gpu_slice = GPUSlice(sim, profile("7g"), mode)
+    finished = []
+
+    def submit(spec):
+        gpu_slice.submit(
+            SliceJob(
+                work=spec["work"],
+                rdf=spec["rdf"],
+                fbr=spec["fbr"],
+                memory_gb=spec["memory"],
+                on_complete=lambda j, t: finished.append((j, t)),
+            )
+        )
+
+    for spec in jobs:
+        sim.at(spec["submit_at"], lambda s=spec: submit(s))
+    sim.run(max_events=100_000)
+    return gpu_slice, finished
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(job_strategy, min_size=1, max_size=12))
+def test_all_jobs_complete_and_memory_returns_to_zero(jobs):
+    for mode in (ShareMode.MPS, ShareMode.TIME_SHARE):
+        gpu_slice, finished = run_workload(jobs, mode)
+        assert len(finished) == len(jobs)
+        assert gpu_slice.memory_used == pytest.approx(0.0, abs=1e-9)
+        assert gpu_slice.idle
+        assert gpu_slice.completed_jobs == len(jobs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(job_strategy, min_size=1, max_size=12))
+def test_execution_never_faster_than_deficiency_floor(jobs):
+    # exec time >= work × rdf always (interference only slows down).
+    _slice, finished = run_workload(jobs, ShareMode.MPS)
+    for job, timing in finished:
+        assert timing.execution_time >= job.work * job.rdf - 1e-9
+        assert timing.interference_time >= -1e-12
+        assert timing.started_at >= timing.submitted_at - 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(job_strategy, min_size=1, max_size=12))
+def test_breakdown_is_additive(jobs):
+    _slice, finished = run_workload(jobs, ShareMode.MPS)
+    for job, timing in finished:
+        total = timing.work + timing.deficiency_time + timing.interference_time
+        assert total == pytest.approx(timing.execution_time, rel=1e-6, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(job_strategy, min_size=2, max_size=10))
+def test_time_share_has_no_interference(jobs):
+    _slice, finished = run_workload(jobs, ShareMode.TIME_SHARE)
+    for _job, timing in finished:
+        assert timing.interference_time == pytest.approx(0.0, abs=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(job_strategy, min_size=2, max_size=10))
+def test_mps_completion_no_earlier_than_solo_schedule(jobs):
+    # Each MPS job finishes no earlier than if it ran alone from its
+    # actual start time.
+    _slice, finished = run_workload(jobs, ShareMode.MPS)
+    for job, timing in finished:
+        solo_finish = timing.started_at + job.work * job.rdf
+        assert timing.finished_at >= solo_finish - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(job_strategy, min_size=1, max_size=10))
+def test_busy_time_bounded_by_wallclock_and_work(jobs):
+    gpu_slice, finished = run_workload(jobs, ShareMode.MPS)
+    busy, _mem, lifetime = gpu_slice.utilization_snapshot()
+    assert busy <= lifetime + 1e-9
+    # Busy time is at least the largest single execution span.
+    longest = max(t.execution_time for _j, t in finished)
+    assert busy >= longest - 1e-9

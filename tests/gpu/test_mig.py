@@ -1,0 +1,119 @@
+"""Unit tests for MIG profiles and geometry validation (Table 2)."""
+
+import pytest
+
+from repro.errors import InvalidGeometryError
+from repro.gpu.mig import (
+    GEOMETRY_4G_2G_1G,
+    GEOMETRY_4G_3G,
+    MIG_PROFILES,
+    Geometry,
+    SliceKind,
+    enumerate_geometries,
+    is_valid_geometry,
+    profile,
+)
+
+
+def test_table2_profile_fractions():
+    g7 = profile("7g")
+    assert g7.compute_fraction == 1.0
+    assert g7.memory_gb == 40.0
+    assert g7.cache_fraction == 1.0
+
+    g4 = profile("4g")
+    assert g4.compute_fraction == pytest.approx(4 / 7)
+    assert g4.memory_gb == 20.0
+    assert g4.cache_fraction == pytest.approx(4 / 8)
+
+    g3 = profile("3g")
+    assert g3.compute_fraction == pytest.approx(3 / 7)
+    assert g3.memory_gb == 20.0
+    assert g3.cache_fraction == pytest.approx(4 / 8)
+
+    g2 = profile("2g")
+    assert g2.compute_fraction == pytest.approx(2 / 7)
+    assert g2.memory_gb == 10.0
+    assert g2.cache_fraction == pytest.approx(2 / 8)
+
+    g1 = profile("1g")
+    assert g1.compute_fraction == pytest.approx(1 / 7)
+    assert g1.memory_gb == 5.0
+    assert g1.cache_fraction == pytest.approx(1 / 8)
+
+
+def test_table2_max_counts():
+    expected = {"7g": 1, "4g": 1, "3g": 2, "2g": 3, "1g": 7}
+    for kind, count in expected.items():
+        assert MIG_PROFILES[SliceKind(kind)].max_count == count
+
+
+@pytest.mark.parametrize(
+    "kinds",
+    [
+        ["7g"],
+        ["4g", "3g"],
+        ["4g", "2g", "1g"],
+        ["3g", "3g"],
+        ["2g", "2g", "2g", "1g"],
+        ["1g"] * 7,
+        ["4g"],
+        ["2g", "1g"],
+    ],
+)
+def test_valid_geometries(kinds):
+    assert is_valid_geometry(kinds)
+    Geometry(kinds)  # does not raise
+
+
+@pytest.mark.parametrize(
+    "kinds",
+    [
+        [],
+        ["7g", "1g"],              # 7g must stand alone
+        ["4g", "4g"],              # max one 4g
+        ["3g", "3g", "3g"],        # max two 3g
+        ["2g", "2g", "2g", "2g"],  # max three 2g
+        ["4g", "3g", "1g"],        # 8 compute units > 7
+        ["3g", "3g", "1g"],        # 9 memory slices > 8
+        ["1g"] * 8,                # count cap (and compute)
+    ],
+)
+def test_invalid_geometries(kinds):
+    assert not is_valid_geometry(kinds)
+    with pytest.raises(InvalidGeometryError):
+        Geometry(kinds)
+
+
+def test_geometry_is_unordered_multiset():
+    assert Geometry(["3g", "4g"]) == Geometry(["4g", "3g"])
+    assert hash(Geometry(["3g", "4g"])) == hash(Geometry(["4g", "3g"]))
+    assert Geometry(["4g", "3g"]) != Geometry(["4g", "2g", "1g"])
+
+
+def test_geometry_orders_slices_largest_first():
+    geometry = Geometry(["1g", "4g", "2g"])
+    assert [p.kind.value for p in geometry.profiles] == ["4g", "2g", "1g"]
+
+
+def test_geometry_totals():
+    geometry = GEOMETRY_4G_3G
+    assert geometry.compute_units == 7
+    assert geometry.memory_units == 8
+    assert geometry.total_memory_gb == 40.0
+    assert GEOMETRY_4G_2G_1G.total_memory_gb == 35.0
+
+
+def test_enumerate_geometries_contains_paper_geometries():
+    geometries = enumerate_geometries()
+    assert GEOMETRY_4G_3G in geometries
+    assert GEOMETRY_4G_2G_1G in geometries
+    assert Geometry(["7g"]) in geometries
+    # All enumerated geometries are valid and unique.
+    assert len(set(geometries)) == len(geometries)
+    for geometry in geometries:
+        assert is_valid_geometry(geometry.kinds)
+
+
+def test_enumerate_geometries_is_deterministic():
+    assert enumerate_geometries() == enumerate_geometries()

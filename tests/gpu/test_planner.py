@@ -1,0 +1,103 @@
+"""Tests for the analytic geometry planner."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.gpu.mig import GEOMETRY_4G_2G_1G, GEOMETRY_4G_3G, GEOMETRY_FULL, Geometry
+from repro.gpu.planner import (
+    BatchStream,
+    best_geometry,
+    evaluate_geometry,
+)
+from repro.workloads import get_model
+
+
+def stream(model_name, bps, strict=True):
+    return BatchStream(
+        model=get_model(model_name), batches_per_second=bps, strict=strict
+    )
+
+
+class TestEvaluateGeometry:
+    def test_idle_mix_has_unit_slowdown(self):
+        result = evaluate_geometry(GEOMETRY_4G_3G, [])
+        assert result.strict_slowdown == 1.0
+        assert result.feasible
+
+    def test_light_strict_load_close_to_rdf(self):
+        result = evaluate_geometry(
+            GEOMETRY_4G_3G, [stream("shufflenet_v2", 1.0)]
+        )
+        # ShuffleNet is deficiency-insensitive: slowdown ≈ 1.
+        assert result.strict_slowdown == pytest.approx(1.0, abs=0.1)
+
+    def test_infeasible_when_nothing_fits(self):
+        # GPT-2 batches (14 GB) cannot fit any slice of an all-1g geometry.
+        geometry = Geometry(["1g"] * 7)
+        result = evaluate_geometry(geometry, [stream("gpt2", 1.0)])
+        assert not result.feasible
+        assert result.strict_slowdown > 50.0
+
+    def test_overload_penalized(self):
+        light = evaluate_geometry(GEOMETRY_FULL, [stream("resnet50", 2.0)])
+        heavy = evaluate_geometry(GEOMETRY_FULL, [stream("resnet50", 20.0)])
+        assert heavy.strict_slowdown > light.strict_slowdown
+
+    def test_be_contention_raises_strict_cost(self):
+        # Rates high enough that the Eq. 1 contention sum saturates.
+        alone = evaluate_geometry(GEOMETRY_FULL, [stream("resnet50", 6.0)])
+        crowded = evaluate_geometry(
+            GEOMETRY_FULL,
+            [stream("resnet50", 6.0), stream("dpn92", 6.0, strict=False)],
+        )
+        assert crowded.strict_slowdown > alone.strict_slowdown
+
+    def test_placements_follow_guidelines(self):
+        result = evaluate_geometry(
+            GEOMETRY_4G_2G_1G,
+            [
+                stream("resnet50", 1.0, strict=True),  # 8 GB
+                stream("mobilenet", 1.0, strict=False),  # 2 GB
+            ],
+        )
+        # BE starts on the smallest slice; strict reaches the largest.
+        assert "1g" in result.placements["mobilenet"]
+        assert "4g" in result.placements["resnet50"]
+
+
+class TestBestGeometry:
+    def test_isolating_geometry_wins_for_mixed_load(self):
+        # Heavy strict HI + BE load overloading a lone 7g: a partitioned
+        # geometry must beat it by isolating the streams.
+        streams = [
+            stream("vgg19", 5.0, strict=True),
+            stream("mobilenet", 10.0, strict=False),
+        ]
+        winner = best_geometry(streams)
+        full = evaluate_geometry(GEOMETRY_FULL, streams)
+        assert winner.strict_slowdown < full.strict_slowdown
+        assert len(winner.geometry) >= 2  # actually partitioned
+
+    def test_low_load_prefers_large_slices(self):
+        winner = best_geometry([stream("resnet50", 0.5)])
+        assert winner.geometry.profiles[0].compute_units >= 4
+
+    def test_candidate_restriction(self):
+        candidates = (GEOMETRY_4G_3G, GEOMETRY_4G_2G_1G)
+        winner = best_geometry([stream("resnet50", 1.0)], candidates)
+        assert winner.geometry in candidates
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(SchedulingError):
+            best_geometry([stream("resnet50", 1.0)], candidates=())
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(SchedulingError):
+            BatchStream(get_model("resnet50"), -1.0, True)
+
+    def test_deterministic(self):
+        streams = [
+            stream("resnet50", 2.0),
+            stream("googlenet", 2.0, strict=False),
+        ]
+        assert best_geometry(streams).geometry == best_geometry(streams).geometry

@@ -1,0 +1,140 @@
+"""Unit tests for the Eq. 1 / Eq. 2 slowdown model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu.slowdown import (
+    interference_factor,
+    predicted_execution_time,
+    resource_deficiency_factor,
+    slice_relative_fbr,
+    slowdown_factor,
+)
+
+
+class TestSliceRelativeFbr:
+    def test_full_gpu_is_identity(self):
+        assert slice_relative_fbr(0.2, 1.0) == pytest.approx(0.2)
+
+    def test_demand_shrinks_with_slice_compute(self):
+        # A job on a 4g uses 4/7 of the SMs against 4/8 of the bandwidth:
+        # slice-relative demand is fbr × (4/7)/(4/8) ≈ 1.14 × fbr.
+        assert slice_relative_fbr(
+            0.5, bandwidth_fraction=4 / 8, compute_fraction=4 / 7
+        ) == pytest.approx(0.5 * 8 / 7)
+        # A 3g has a *better* bandwidth:compute ratio: 0.857 × fbr.
+        assert slice_relative_fbr(
+            0.5, bandwidth_fraction=4 / 8, compute_fraction=3 / 7
+        ) == pytest.approx(0.5 * 6 / 7)
+
+    def test_caps_at_one(self):
+        # A job cannot demand more than the slice's entire bandwidth.
+        assert slice_relative_fbr(0.95, 0.125, compute_fraction=1.0) == 1.0
+
+    def test_sm_fraction_scales_demand(self):
+        assert slice_relative_fbr(0.4, 1.0, sm_fraction=0.5) == pytest.approx(0.2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(model_fbr=-0.1, bandwidth_fraction=1.0),
+            dict(model_fbr=0.1, bandwidth_fraction=0.0),
+            dict(model_fbr=0.1, bandwidth_fraction=1.5),
+            dict(model_fbr=0.1, bandwidth_fraction=1.0, sm_fraction=0.0),
+            dict(model_fbr=0.1, bandwidth_fraction=1.0, sm_fraction=1.1),
+            dict(model_fbr=0.1, bandwidth_fraction=1.0, compute_fraction=0.0),
+        ],
+    )
+    def test_rejects_out_of_range(self, kwargs):
+        with pytest.raises(ValueError):
+            slice_relative_fbr(**kwargs)
+
+
+class TestInterferenceFactor:
+    def test_below_saturation_is_one(self):
+        assert interference_factor([0.2, 0.3]) == 1.0
+
+    def test_above_saturation_is_sum(self):
+        assert interference_factor([0.8, 0.7]) == pytest.approx(1.5)
+
+    def test_empty_is_one(self):
+        assert interference_factor([]) == 1.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=20))
+    def test_never_below_one(self, fbrs):
+        assert interference_factor(fbrs) >= 1.0
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=10),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_monotone_in_added_job(self, fbrs, extra):
+        # Adding a co-located job can never reduce contention (Eq. 1).
+        assert interference_factor(fbrs + [extra]) >= interference_factor(fbrs)
+
+
+class TestPredictedExecutionTime:
+    def test_solo_job_runs_at_solo_time(self):
+        assert predicted_execution_time(0.1, 0.3, []) == pytest.approx(0.1)
+
+    def test_eq1_worked_example(self):
+        # Solo 100ms, own FBR 0.6, neighbours 0.5+0.4 => factor 1.5.
+        assert predicted_execution_time(0.1, 0.6, [0.5, 0.4]) == pytest.approx(0.15)
+
+
+class TestSlowdownFactor:
+    def test_eta_combines_rdf_and_interference(self):
+        # RDF 1.3, total FBR 1.2 => eta = 1.56 (Eq. 2).
+        assert slowdown_factor(1.3, 0.6, [0.6]) == pytest.approx(1.56)
+
+    def test_eta_floor_is_rdf(self):
+        assert slowdown_factor(1.3, 0.1, [0.1]) == pytest.approx(1.3)
+
+    def test_rejects_rdf_below_one(self):
+        with pytest.raises(ValueError):
+            slowdown_factor(0.9, 0.1, [])
+
+    @given(
+        rdf=st.floats(min_value=1.0, max_value=10.0),
+        own=st.floats(min_value=0.0, max_value=1.0),
+        others=st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=10),
+    )
+    def test_eta_at_least_rdf(self, rdf, own, others):
+        assert slowdown_factor(rdf, own, others) >= rdf
+
+
+class TestResourceDeficiencyFactor:
+    def test_full_gpu_has_rdf_one(self):
+        assert resource_deficiency_factor(1.0, 1.0, 0.8, 0.3) == 1.0
+
+    def test_insensitive_model_unaffected(self):
+        assert resource_deficiency_factor(3 / 7, 4 / 8, 0.0, 0.0) == 1.0
+
+    def test_power_law_shape(self):
+        rdf = resource_deficiency_factor(0.5, 0.5, 1.0, 1.0)
+        assert rdf == pytest.approx(4.0)
+
+    def test_albert_anchor_from_paper(self):
+        # Paper Section 2.2: ALBERT's batch time grows 2.15x on a 3g slice.
+        rdf = resource_deficiency_factor(3 / 7, 4 / 8, 0.83, 0.09)
+        assert rdf == pytest.approx(2.15, rel=0.02)
+
+    @given(
+        compute=st.floats(min_value=0.1, max_value=1.0),
+        bandwidth=st.floats(min_value=0.1, max_value=1.0),
+        alpha_c=st.floats(min_value=0.0, max_value=2.0),
+        alpha_b=st.floats(min_value=0.0, max_value=2.0),
+    )
+    def test_rdf_never_below_one(self, compute, bandwidth, alpha_c, alpha_b):
+        assert resource_deficiency_factor(compute, bandwidth, alpha_c, alpha_b) >= 1.0
+
+    def test_smaller_slices_have_larger_rdf(self):
+        # Monotone: fewer resources can never speed a job up.
+        big = resource_deficiency_factor(4 / 7, 4 / 8, 0.5, 0.2)
+        small = resource_deficiency_factor(1 / 7, 1 / 8, 0.5, 0.2)
+        assert small > big
+
+    def test_rejects_negative_sensitivities(self):
+        with pytest.raises(ValueError):
+            resource_deficiency_factor(0.5, 0.5, -0.1, 0.0)

@@ -1,0 +1,61 @@
+"""Tests for the terminal plotting helpers."""
+
+from repro.metrics.ascii_plots import ascii_cdf, ascii_series, ascii_stacked_bars
+
+
+class TestAsciiCdf:
+    def test_renders_curves_and_legend(self):
+        curves = {
+            "protean": ([10, 20, 30], [0.1, 0.6, 1.0]),
+            "molecule": ([15, 40, 90], [0.2, 0.7, 1.0]),
+        }
+        text = ascii_cdf(curves, title="CDF", slo=50.0)
+        assert "CDF" in text
+        assert "p=protean" in text and "m=molecule" in text
+        assert "|" in text  # SLO marker
+        assert "1.0" in text and "0.0" in text
+
+    def test_empty(self):
+        assert "(no data)" in ascii_cdf({}, title="x")
+
+    def test_markers_present(self):
+        text = ascii_cdf({"a": ([1, 2], [0.5, 1.0])})
+        assert "a" in text
+
+
+class TestAsciiSeries:
+    def test_renders_points_and_threshold(self):
+        series = [(float(t), float(t % 7)) for t in range(60)]
+        text = ascii_series(series, threshold=5.0, title="latency")
+        assert "latency" in text
+        assert "*" in text
+        assert "-" in text  # threshold line
+        assert "t=0" in text
+
+    def test_empty(self):
+        assert "(no data)" in ascii_series([])
+
+
+class TestAsciiStackedBars:
+    def test_renders_bars_with_legend_and_totals(self):
+        bars = {
+            "protean": {"exec": 0.1, "queue": 0.05},
+            "molecule": {"exec": 0.1, "queue": 0.6},
+        }
+        text = ascii_stacked_bars(bars, title="P99 breakdown")
+        assert "P99 breakdown" in text
+        assert "protean" in text and "molecule" in text
+        assert "█=exec" in text
+        assert "0.7" in text  # molecule total
+
+    def test_bars_scale_to_max(self):
+        bars = {"a": {"x": 1.0}, "b": {"x": 0.5}}
+        text = ascii_stacked_bars(bars, width=20)
+        lines = [l for l in text.splitlines() if "│" in l]
+        a_fill = lines[0].count("█")
+        b_fill = lines[1].count("█")
+        assert a_fill == 20
+        assert b_fill == 10
+
+    def test_empty(self):
+        assert "(no data)" in ascii_stacked_bars({})

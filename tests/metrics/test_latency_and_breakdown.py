@@ -1,0 +1,142 @@
+"""Tests for latency percentiles, CDF, and the tail breakdown."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.breakdown import (
+    COMPONENT_ORDER,
+    breakdown,
+    p99_stacked_breakdown,
+    tail_breakdown,
+)
+from repro.metrics.latency import latency_cdf, mean_latency, p50, p99, percentile, tail_records
+from repro.metrics.records import RequestRecord
+
+
+def record(latency, *, strict=True, queue=0.0, interference=0.0):
+    exec_min = latency - queue - interference
+    return RequestRecord(
+        model="m",
+        strict=strict,
+        arrival=0.0,
+        completion=latency,
+        deadline=1.0 if strict else None,
+        batch_wait=0.0,
+        cold_start=0.0,
+        queue_delay=queue,
+        exec_min=exec_min,
+        deficiency=0.0,
+        interference=interference,
+    )
+
+
+class TestPercentiles:
+    def test_percentile_of_known_values(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == pytest.approx(50.5)
+        assert percentile(values, 99) == pytest.approx(99.01)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 99))
+        assert math.isnan(p99([]))
+        assert math.isnan(mean_latency([]))
+
+    def test_p50_p99_over_records(self):
+        records = [record(l) for l in np.linspace(0.01, 1.0, 100)]
+        assert p50(records) == pytest.approx(0.505, rel=0.02)
+        assert p99(records) < 1.0
+        assert p99(records) > 0.98
+
+    def test_mean(self):
+        records = [record(0.1), record(0.3)]
+        assert mean_latency(records) == pytest.approx(0.2)
+
+
+class TestCdf:
+    def test_cdf_monotone_and_bounded(self):
+        records = [record(l) for l in np.random.default_rng(0).random(500)]
+        values, fractions = latency_cdf(records)
+        assert (np.diff(values) >= 0).all()
+        assert fractions[0] == 0.0 and fractions[-1] == 1.0
+
+    def test_cdf_empty(self):
+        values, fractions = latency_cdf([])
+        assert values.size == 0 and fractions.size == 0
+
+    def test_cdf_median_matches_percentile(self):
+        records = [record(l) for l in np.linspace(0.0, 1.0, 101)]
+        values, fractions = latency_cdf(records, points=101)
+        median_index = np.argmin(np.abs(fractions - 0.5))
+        assert values[median_index] == pytest.approx(0.5, abs=0.02)
+
+
+class TestTailRecords:
+    def test_tail_selects_top_percent(self):
+        records = [record(l) for l in np.linspace(0.01, 1.0, 100)]
+        tail = tail_records(records, 99)
+        assert len(tail) <= 2
+        assert all(r.latency >= 0.99 for r in tail)
+
+    def test_tail_of_empty(self):
+        assert tail_records([], 99) == []
+
+
+class TestBreakdown:
+    def test_components_sum_to_mean_latency(self):
+        records = [
+            record(0.3, queue=0.1, interference=0.05),
+            record(0.5, queue=0.2, interference=0.1),
+        ]
+        result = breakdown(records)
+        assert result.total == pytest.approx(0.4)
+        assert result.queue_delay == pytest.approx(0.15)
+        assert result.interference == pytest.approx(0.075)
+
+    def test_empty_breakdown_is_zero(self):
+        result = breakdown([])
+        assert result.total == 0.0
+        assert result.fractions() == {name: 0.0 for name in COMPONENT_ORDER}
+
+    def test_fractions_sum_to_one(self):
+        records = [record(0.3, queue=0.1, interference=0.05)]
+        fractions = breakdown(records).fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_as_dict_order(self):
+        result = breakdown([record(0.2)])
+        assert tuple(result.as_dict().keys()) == COMPONENT_ORDER
+
+    def test_tail_breakdown_reflects_tail_only(self):
+        fast = [record(0.1) for _ in range(99)]
+        slow = [record(1.0, queue=0.9)]
+        result = tail_breakdown(fast + slow, 99)
+        assert result.queue_delay == pytest.approx(0.9)
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=10.0), min_size=1, max_size=50))
+    def test_breakdown_total_equals_mean_latency(self, latencies):
+        records = [record(l) for l in latencies]
+        result = breakdown(records)
+        assert result.total == pytest.approx(float(np.mean(latencies)), rel=1e-9)
+
+
+class TestP99StackedBreakdown:
+    def test_components_sum_to_p99(self):
+        records = [record(l, queue=l / 2) for l in np.linspace(0.01, 1.0, 200)]
+        stacked = p99_stacked_breakdown(records)
+        expected = float(np.percentile([r.latency for r in records], 99))
+        assert stacked.total == pytest.approx(expected)
+
+    def test_proportions_match_tail_means(self):
+        records = [record(1.0, queue=0.25, interference=0.25)]
+        stacked = p99_stacked_breakdown(records)
+        fractions = stacked.fractions()
+        assert fractions["queue_delay"] == pytest.approx(0.25)
+        assert fractions["interference"] == pytest.approx(0.25)
+        assert fractions["exec_min"] == pytest.approx(0.5)
+
+    def test_empty_records(self):
+        assert p99_stacked_breakdown([]).total == 0.0

@@ -1,0 +1,115 @@
+"""Tests for request records, collection, and SLO compliance."""
+
+import pytest
+
+from repro.metrics.records import RecordCollector, RequestRecord
+from repro.metrics.slo import (
+    collector_compliance,
+    slo_compliance,
+    slo_compliance_percent,
+    violations,
+)
+
+
+def record(
+    *,
+    strict=True,
+    arrival=0.0,
+    completion=0.1,
+    deadline=0.15,
+    batch_wait=0.01,
+    cold=0.0,
+    queue=0.02,
+    exec_min=0.05,
+    deficiency=0.01,
+    interference=0.01,
+    model="resnet50",
+):
+    if not strict:
+        deadline = None
+    return RequestRecord(
+        model=model,
+        strict=strict,
+        arrival=arrival,
+        completion=completion,
+        deadline=deadline,
+        batch_wait=batch_wait,
+        cold_start=cold,
+        queue_delay=queue,
+        exec_min=exec_min,
+        deficiency=deficiency,
+        interference=interference,
+    )
+
+
+class TestRequestRecord:
+    def test_latency(self):
+        assert record(arrival=1.0, completion=1.25).latency == pytest.approx(0.25)
+
+    def test_components_sum_to_latency(self):
+        r = record()
+        assert sum(r.components().values()) == pytest.approx(r.latency)
+
+    def test_slo_met_boundaries(self):
+        assert record(completion=0.15, deadline=0.15).slo_met is True
+        assert record(completion=0.150001, deadline=0.15).slo_met is False
+        assert record(strict=False).slo_met is None
+
+
+class TestCollector:
+    def test_filters(self):
+        collector = RecordCollector()
+        collector.add(record(strict=True, model="a"))
+        collector.add(record(strict=False, model="b"))
+        collector.add(record(strict=True, model="b"))
+        assert len(collector) == 3
+        assert len(collector.strict()) == 2
+        assert len(collector.best_effort()) == 1
+        assert len(collector.for_model("b")) == 2
+
+    def test_latencies_array(self):
+        collector = RecordCollector()
+        collector.add(record(arrival=0.0, completion=0.1))
+        collector.add(record(arrival=0.0, completion=0.3))
+        assert collector.latencies().tolist() == pytest.approx([0.1, 0.3])
+
+    def test_dropped_counter(self):
+        collector = RecordCollector()
+        collector.mark_dropped(3)
+        collector.mark_dropped()
+        assert collector.dropped_requests == 4
+
+
+class TestSloCompliance:
+    def test_all_met(self):
+        records = [record() for _ in range(10)]
+        assert slo_compliance(records) == 1.0
+        assert slo_compliance_percent(records) == 100.0
+
+    def test_partial(self):
+        records = [record(), record(completion=0.5)]
+        assert slo_compliance(records) == pytest.approx(0.5)
+
+    def test_ignores_best_effort(self):
+        records = [record(), record(strict=False, completion=99.0)]
+        assert slo_compliance(records) == 1.0
+
+    def test_nan_without_strict_requests(self):
+        import math
+
+        assert math.isnan(slo_compliance([record(strict=False)]))
+
+    def test_dropped_count_as_violations(self):
+        records = [record() for _ in range(3)]
+        assert slo_compliance(records, dropped_strict=1) == pytest.approx(0.75)
+
+    def test_collector_compliance_includes_drops(self):
+        collector = RecordCollector()
+        collector.add(record())
+        collector.mark_dropped(1)
+        assert collector_compliance(collector) == pytest.approx(0.5)
+
+    def test_violations_listing(self):
+        good = record()
+        bad = record(completion=9.9)
+        assert violations([good, bad, record(strict=False)]) == [bad]

@@ -1,0 +1,149 @@
+"""Tests for statistics helpers, throughput, and table rendering."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.breakdown import LatencyBreakdown
+from repro.metrics.records import RequestRecord
+from repro.metrics.stats import (
+    cohens_d,
+    confidence_interval,
+    welch_t_test,
+)
+from repro.metrics.summary import RunSummary, filter_window, format_table
+from repro.metrics.throughput import (
+    strict_throughput_per_gpu,
+    total_throughput_per_gpu,
+)
+
+
+def record(arrival, completion, strict=True):
+    return RequestRecord(
+        model="m",
+        strict=strict,
+        arrival=arrival,
+        completion=completion,
+        deadline=arrival + 1.0 if strict else None,
+        batch_wait=0.0,
+        cold_start=0.0,
+        queue_delay=0.0,
+        exec_min=completion - arrival,
+        deficiency=0.0,
+        interference=0.0,
+    )
+
+
+class TestStats:
+    def test_confidence_interval_contains_mean(self):
+        samples = np.random.default_rng(0).normal(10.0, 1.0, 100)
+        ci = confidence_interval(samples)
+        assert ci.lower < ci.mean < ci.upper
+        assert ci.mean == pytest.approx(10.0, abs=0.5)
+        assert ci.half_width == pytest.approx((ci.upper - ci.lower) / 2)
+
+    def test_ci_narrows_with_samples(self):
+        rng = np.random.default_rng(1)
+        small = confidence_interval(rng.normal(0, 1, 10))
+        large = confidence_interval(rng.normal(0, 1, 1000))
+        assert large.half_width < small.half_width
+
+    def test_ci_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0])
+
+    def test_cohens_d_known_value(self):
+        a = [1.0, 2.0, 3.0]
+        b = [3.0, 4.0, 5.0]
+        assert cohens_d(a, b) == pytest.approx(-2.0)
+
+    def test_cohens_d_zero_variance(self):
+        assert cohens_d([1.0, 1.0], [1.0, 1.0]) == 0.0
+        assert math.isinf(cohens_d([1.0, 1.0], [2.0, 2.0]))
+
+    def test_large_effects_like_paper(self):
+        # Section 7: deterministic schemes with tiny per-seed noise give
+        # very large Cohen's d (the paper reports up to 304).
+        rng = np.random.default_rng(2)
+        protean = 99.5 + rng.normal(0, 0.05, 5)
+        molecule = 45.0 + rng.normal(0, 0.5, 5)
+        assert cohens_d(protean, molecule) > 7.8
+
+    def test_welch_distinguishes_different_means(self):
+        rng = np.random.default_rng(3)
+        t, p = welch_t_test(rng.normal(0, 1, 50), rng.normal(5, 1, 50))
+        assert p < 1e-6
+        assert t < 0
+
+    def test_welch_same_distribution(self):
+        rng = np.random.default_rng(4)
+        _t, p = welch_t_test(rng.normal(0, 1, 50), rng.normal(0, 1, 50))
+        assert p > 0.01
+
+    def test_welch_identical_constant_samples(self):
+        t, p = welch_t_test([2.0, 2.0], [2.0, 2.0])
+        assert t == 0.0 and p == 1.0
+
+
+class TestThroughput:
+    def test_strict_throughput(self):
+        records = [record(0, 0.1) for _ in range(80)]
+        records += [record(0, 0.1, strict=False) for _ in range(40)]
+        assert strict_throughput_per_gpu(records, 8, 10.0) == pytest.approx(1.0)
+        assert total_throughput_per_gpu(records, 8, 10.0) == pytest.approx(1.5)
+
+    def test_rejects_degenerate_window(self):
+        with pytest.raises(ValueError):
+            strict_throughput_per_gpu([], 0, 10.0)
+        with pytest.raises(ValueError):
+            total_throughput_per_gpu([], 8, 0.0)
+
+
+class TestSummaryHelpers:
+    def test_filter_window(self):
+        records = [record(t, t + 0.1) for t in [0.0, 5.0, 10.0, 15.0]]
+        inside = filter_window(records, 5.0, 15.0)
+        assert [r.arrival for r in inside] == [5.0, 10.0]
+        open_ended = filter_window(records, 5.0)
+        assert len(open_ended) == 3
+
+    def test_format_table(self):
+        rows = [
+            {"scheme": "protean", "slo_%": 99.9},
+            {"scheme": "molecule", "slo_%": 45.1},
+        ]
+        text = format_table(rows, title="Figure X")
+        assert "Figure X" in text
+        assert "protean" in text and "molecule" in text
+        assert text.splitlines()[1].startswith("scheme")
+
+    def test_format_empty_table(self):
+        assert "(no rows)" in format_table([])
+
+    def test_run_summary_row(self):
+        summary = RunSummary(
+            scheme="protean",
+            strict_model="resnet50",
+            requests_served=100,
+            strict_requests=50,
+            slo_compliance=0.995,
+            strict_p50=0.05,
+            strict_p99=0.1,
+            be_p50=0.06,
+            be_p99=0.15,
+            tail_breakdown=LatencyBreakdown(0.05, 0.0, 0.0, 0.0, 0.0, 0.0),
+            strict_throughput_per_gpu=10.0,
+            total_throughput_per_gpu=20.0,
+            gpu_busy_fraction=0.5,
+            gpu_any_busy_fraction=0.9,
+            memory_fraction=0.39,
+            reconfigurations=3,
+            total_cost=1.23,
+            cost_savings_fraction=0.7,
+        )
+        row = summary.row()
+        assert row["slo_%"] == 99.5
+        assert row["gpu_util_%"] == 90.0
+        assert row["mem_util_%"] == 39.0
+        assert summary.slo_percent == pytest.approx(99.5)

@@ -1,0 +1,77 @@
+"""Tests for the time-series metric helpers."""
+
+import pytest
+
+from repro.metrics.records import RequestRecord
+from repro.metrics.timeline import (
+    arrival_rate_series,
+    latency_series,
+    slo_compliance_series,
+)
+
+
+def record(arrival, latency, strict=True, met=True):
+    completion = arrival + latency
+    deadline = completion + (0.0 if met else -1e-6) if strict else None
+    return RequestRecord(
+        model="m",
+        strict=strict,
+        arrival=arrival,
+        completion=completion,
+        deadline=deadline,
+        batch_wait=0.0,
+        cold_start=0.0,
+        queue_delay=0.0,
+        exec_min=latency,
+        deficiency=0.0,
+        interference=0.0,
+    )
+
+
+class TestLatencySeries:
+    def test_bucketing_and_percentile(self):
+        records = [record(0.1, 0.1), record(0.5, 0.3), record(1.2, 0.2)]
+        series = latency_series(records, bucket_seconds=1.0, percentile=100.0)
+        assert series == [(0.0, pytest.approx(0.3)), (1.0, pytest.approx(0.2))]
+
+    def test_empty_buckets_skipped(self):
+        records = [record(0.5, 0.1), record(5.5, 0.1)]
+        series = latency_series(records, bucket_seconds=1.0)
+        assert [t for t, _v in series] == [0.0, 5.0]
+
+    def test_window_filtering(self):
+        records = [record(t, 0.1) for t in (0.5, 2.5, 9.5)]
+        series = latency_series(records, start=1.0, end=5.0)
+        assert [t for t, _v in series] == [2.0]
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            latency_series([], bucket_seconds=0.0)
+
+
+class TestArrivalRateSeries:
+    def test_counts_per_second(self):
+        records = [record(0.1, 0.1), record(0.2, 0.1), record(1.9, 0.1)]
+        series = arrival_rate_series(records, bucket_seconds=1.0)
+        assert series == [(0.0, 2.0), (1.0, 1.0)]
+
+    def test_rate_normalized_by_bucket(self):
+        records = [record(t / 10, 0.1) for t in range(20)]  # 0..1.9s
+        series = arrival_rate_series(records, bucket_seconds=2.0)
+        assert series == [(0.0, 10.0)]
+
+
+class TestSloComplianceSeries:
+    def test_windowed_compliance(self):
+        records = [
+            record(0.0, 0.1, met=True),
+            record(1.0, 0.1, met=False),
+            record(6.0, 0.1, met=True),
+        ]
+        series = slo_compliance_series(records, bucket_seconds=5.0)
+        assert series[0] == (0.0, pytest.approx(0.5))
+        assert series[1] == (5.0, pytest.approx(1.0))
+
+    def test_best_effort_ignored(self):
+        records = [record(0.0, 0.1, strict=False)]
+        assert slo_compliance_series(records) == []

@@ -1,0 +1,162 @@
+"""Tests for the container pool: cold starts, keep-alive, pre-warming."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serverless.container import ContainerPool, ContainerState
+from repro.simulation import Simulator
+
+
+def make_pool(sim, cold=8.0, keep_alive=600.0):
+    return ContainerPool(
+        sim, cold_start_seconds=cold, keep_alive_seconds=keep_alive
+    )
+
+
+class TestAcquire:
+    def test_first_acquire_pays_cold_start(self):
+        sim = Simulator()
+        pool = make_pool(sim)
+        ready = []
+        sim.at(0.0, lambda: pool.acquire("resnet50", lambda c, cold: ready.append((sim.now, cold))))
+        sim.run()
+        assert ready == [(8.0, 8.0)]
+        assert pool.cold_starts == 1
+        assert pool.warm_hits == 0
+
+    def test_released_container_is_reused_warm(self):
+        sim = Simulator()
+        pool = make_pool(sim)
+        holder = []
+        sim.at(0.0, lambda: pool.acquire("resnet50", lambda c, cold: holder.append(c)))
+        sim.run()
+        pool.release(holder[0])
+        second = []
+        pool.acquire("resnet50", lambda c, cold: second.append((c, cold)))
+        assert second[0][0] is holder[0]
+        assert second[0][1] == 0.0
+        assert pool.warm_hits == 1
+
+    def test_model_isolation(self):
+        sim = Simulator()
+        pool = make_pool(sim)
+        holder = []
+        sim.at(0.0, lambda: pool.acquire("resnet50", lambda c, cold: holder.append(c)))
+        sim.run()
+        pool.release(holder[0])
+        other = []
+        pool.acquire("vgg19", lambda c, cold: other.append(cold))
+        assert other == []  # still cold-starting; different model
+        sim.run()
+        assert other == [8.0]
+
+    def test_concurrent_acquires_spawn_separate_containers(self):
+        # Reactive scale-up: one container per batch (Section 4.2).
+        sim = Simulator()
+        pool = make_pool(sim)
+        seen = []
+        sim.at(0.0, lambda: pool.acquire("m", lambda c, cold: seen.append(c)))
+        sim.at(0.0, lambda: pool.acquire("m", lambda c, cold: seen.append(c)))
+        sim.run()
+        assert len(seen) == 2
+        assert seen[0] is not seen[1]
+        assert pool.cold_starts == 2
+
+
+class TestKeepAlive:
+    def test_idle_container_terminates_after_keep_alive(self):
+        sim = Simulator()
+        pool = make_pool(sim, keep_alive=10.0)
+        holder = []
+        sim.at(0.0, lambda: pool.acquire("m", lambda c, cold: holder.append(c)))
+        sim.run()
+        pool.release(holder[0])
+        sim.run(until=sim.now + 9.0)
+        assert holder[0].state is ContainerState.IDLE
+        sim.run(until=sim.now + 2.0)
+        assert holder[0].state is ContainerState.TERMINATED
+        assert pool.idle_count("m") == 0
+
+    def test_reuse_resets_keep_alive(self):
+        sim = Simulator()
+        pool = make_pool(sim, keep_alive=10.0)
+        holder = []
+        sim.at(0.0, lambda: pool.acquire("m", lambda c, cold: holder.append(c)))
+        sim.run()
+        container = holder[0]
+        pool.release(container)
+        sim.run(until=sim.now + 8.0)
+        pool.acquire("m", lambda c, cold: None)  # warm hit re-busies it
+        pool.release(container)
+        sim.run(until=sim.now + 8.0)
+        assert container.state is ContainerState.IDLE  # timer restarted
+
+    def test_delayed_termination_cuts_cold_starts(self):
+        # With keep-alive, repeated bursts reuse containers; without it
+        # (tiny keep-alive) every burst pays cold starts — "reduces the
+        # number of cold starts by up to 98%" (Section 4.2).
+        def run(keep_alive):
+            sim = Simulator()
+            pool = make_pool(sim, cold=1.0, keep_alive=keep_alive)
+            held = []
+
+            def serve():
+                pool.acquire("m", lambda c, cold: held.append(c))
+
+            for burst in range(20):
+                sim.at(burst * 60.0, serve)
+                sim.at(burst * 60.0 + 5.0, lambda: pool.release(held.pop()))
+            sim.run()
+            return pool.cold_starts
+
+        assert run(keep_alive=600.0) == 1
+        assert run(keep_alive=1.0) == 20
+
+
+class TestPrewarm:
+    def test_prewarmed_container_becomes_idle(self):
+        sim = Simulator()
+        pool = make_pool(sim)
+        pool.prewarm("m")
+        assert pool.idle_count("m") == 0
+        sim.run(until=10.0)  # past the boot, before keep-alive expiry
+        assert pool.idle_count("m") == 1
+        assert pool.live_count("m") == 1
+        hits = []
+        pool.acquire("m", lambda c, cold: hits.append(cold))
+        assert hits == [0.0]
+
+
+class TestLifecycleErrors:
+    def test_release_idle_container_raises(self):
+        sim = Simulator()
+        pool = make_pool(sim)
+        holder = []
+        sim.at(0.0, lambda: pool.acquire("m", lambda c, cold: holder.append(c)))
+        sim.run()
+        pool.release(holder[0])
+        with pytest.raises(ConfigurationError):
+            pool.release(holder[0])
+
+    def test_stopped_pool_rejects_work(self):
+        sim = Simulator()
+        pool = make_pool(sim)
+        pool.stop()
+        with pytest.raises(ConfigurationError):
+            pool.acquire("m", lambda c, cold: None)
+        with pytest.raises(ConfigurationError):
+            pool.prewarm("m")
+
+    def test_stop_terminates_everything_and_swallows_boots(self):
+        sim = Simulator()
+        pool = make_pool(sim)
+        booted = []
+        sim.at(0.0, lambda: pool.acquire("m", lambda c, cold: booted.append(c)))
+        sim.at(1.0, pool.stop)  # mid-boot
+        sim.run()
+        assert booted == []
+        assert pool.total_containers == 0
+
+    def test_negative_delays_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ContainerPool(Simulator(), cold_start_seconds=-1.0)

@@ -1,0 +1,219 @@
+"""Tests for the NodeScheduler machinery and the Dispatcher."""
+
+import pytest
+
+from repro.cluster import AWS, Cluster, CostMeter, VM, VMTier, WorkerNode
+from repro.gpu import GEOMETRY_FULL, GPU, ShareMode
+from repro.serverless.container import ContainerPool
+from repro.serverless.dispatcher import DispatchPolicy, Dispatcher
+from repro.serverless.request import Request, RequestBatch
+from repro.serverless.scheduler import NodeScheduler, Placement
+from repro.simulation import Simulator
+from repro.traces.mixing import RequestSpec
+from repro.workloads import get_model
+from repro.workloads.scaling import scale_model
+
+MODEL = scale_model(get_model("resnet50"), 4 / 128)
+
+
+class FifoFullGpuScheduler(NodeScheduler):
+    """Minimal concrete scheduler: whole-GPU MPS placement."""
+
+    def _place(self, batch):
+        gpu_slice = self.node.gpu.slices[0]
+        if not self.fits_now(batch, gpu_slice):
+            return None
+        return self.standard_placement(batch, gpu_slice)
+
+
+def make_node(sim, mode=ShareMode.MPS):
+    vm = VM(sim, VMTier.ON_DEMAND, CostMeter(AWS))
+    return WorkerNode(vm, GPU(sim, GEOMETRY_FULL, mode))
+
+
+def make_batch(model=MODEL, strict=True, created_at=0.0, n=None):
+    batch = RequestBatch(model, strict, created_at)
+    n = model.batch_size if n is None else n  # full batch by default
+    for _ in range(n):
+        batch.add(
+            Request.from_spec(
+                RequestSpec(arrival=created_at, model=model, strict=strict)
+            )
+        )
+    return batch
+
+
+def make_scheduler(sim, node=None, completions=None, cold=0.0):
+    node = node or make_node(sim)
+    pool = ContainerPool(sim, cold_start_seconds=cold, keep_alive_seconds=600.0)
+    completions = completions if completions is not None else []
+    scheduler = FifoFullGpuScheduler(
+        sim, node, pool, lambda b, t: completions.append((b, t))
+    )
+    return scheduler, completions
+
+
+class TestNodeScheduler:
+    def test_submit_executes_and_completes(self):
+        sim = Simulator()
+        scheduler, completions = make_scheduler(sim)
+        sim.at(0.0, lambda: scheduler.submit(make_batch()))
+        sim.run()
+        assert len(completions) == 1
+        batch, timing = completions[0]
+        assert timing.finished_at == pytest.approx(MODEL.solo_latency_7g)
+        assert scheduler.batches_completed == 1
+        assert scheduler.in_flight == 0
+
+    def test_cold_start_delays_readiness(self):
+        sim = Simulator()
+        scheduler, completions = make_scheduler(sim, cold=5.0)
+        sim.at(0.0, lambda: scheduler.submit(make_batch()))
+        sim.run()
+        batch, timing = completions[0]
+        assert batch.cold_start_seconds == 5.0
+        assert batch.ready_at == pytest.approx(5.0)
+        assert timing.finished_at == pytest.approx(5.0 + MODEL.solo_latency_7g)
+
+    def test_container_released_and_reused(self):
+        sim = Simulator()
+        scheduler, _ = make_scheduler(sim, cold=5.0)
+        sim.at(0.0, lambda: scheduler.submit(make_batch()))
+        sim.run(until=10.0)  # done; container idle, within keep-alive
+        second = make_batch()
+        scheduler.submit(second)
+        sim.run(until=20.0)
+        assert scheduler.pool.warm_hits == 1
+        assert second.cold_start_seconds == 0.0
+
+    def test_memory_blocked_batch_waits_in_queue(self):
+        sim = Simulator()
+        big = scale_model(get_model("gpt2"), 1 / 4)  # 14 GB each
+        scheduler, completions = make_scheduler(sim)
+        for _ in range(3):  # 42 GB demand > 40 GB slice
+            sim.at(0.0, lambda: scheduler.submit(make_batch(model=big)))
+        sim.run(until=0.01)
+        assert scheduler.in_flight == 2
+        assert len(scheduler.queue) == 1
+        sim.run()
+        assert len(completions) == 3
+
+    def test_hold_pauses_dispatch(self):
+        sim = Simulator()
+        scheduler, completions = make_scheduler(sim)
+        scheduler.hold = True
+        sim.at(0.0, lambda: scheduler.submit(make_batch()))
+        sim.run()
+        assert completions == []
+        assert len(scheduler.queue) == 1
+        scheduler.hold = False
+        scheduler.dispatch()
+        sim.run()
+        assert len(completions) == 1
+
+    def test_load_counts_all_stages(self):
+        sim = Simulator()
+        scheduler, _ = make_scheduler(sim, cold=10.0)
+        sim.at(0.0, lambda: scheduler.submit(make_batch()))
+        sim.run(until=1.0)  # container booting
+        assert scheduler.load() == pytest.approx(MODEL.solo_latency_7g)
+        assert scheduler.outstanding_batches() == 1
+
+    def test_collect_unfinished_drains_scheduler_state(self):
+        sim = Simulator()
+        scheduler, _ = make_scheduler(sim, cold=10.0)
+        scheduler.hold = True
+        sim.at(0.0, lambda: scheduler.submit(make_batch()))
+        sim.run(until=11.0)  # booted, now queued but held
+        unfinished = scheduler.collect_unfinished()
+        assert len(unfinished) == 1
+        assert scheduler.outstanding_batches() == 0
+
+    def test_lost_batch_callback_on_late_boot_after_retire(self):
+        sim = Simulator()
+        node = make_node(sim)
+        pool = ContainerPool(sim, cold_start_seconds=5.0, keep_alive_seconds=60.0)
+        lost = []
+        scheduler = FifoFullGpuScheduler(
+            sim, node, pool, lambda b, t: None, lost.append
+        )
+        batch = make_batch()
+        sim.at(0.0, lambda: scheduler.submit(batch))
+        # Retire mid-boot: collect_unfinished reclaims the batch, so the
+        # late boot callback must NOT double-report it.
+        sim.at(1.0, lambda: (node.retire(), scheduler.collect_unfinished()))
+        sim.run()
+        assert lost == []
+
+
+class TestDispatcher:
+    def _cluster_with_nodes(self, sim, n):
+        cluster = Cluster()
+        dispatcher = Dispatcher(cluster)
+        schedulers = []
+        for _ in range(n):
+            node = make_node(sim)
+            pool = ContainerPool(sim, cold_start_seconds=0.0)
+            scheduler = FifoFullGpuScheduler(sim, node, pool, lambda b, t: None)
+            cluster.add(node)
+            dispatcher.register(node, scheduler)
+            schedulers.append((node, scheduler))
+        return cluster, dispatcher, schedulers
+
+    def test_least_loaded_routing_spreads_batches(self):
+        sim = Simulator()
+        _cluster, dispatcher, schedulers = self._cluster_with_nodes(sim, 3)
+        for _ in range(3):
+            dispatcher.route(make_batch())
+        counts = [s.outstanding_batches() for _node, s in schedulers]
+        assert counts == [1, 1, 1]
+
+    def test_consolidate_packs_then_spills(self):
+        sim = Simulator()
+        cluster = Cluster()
+        dispatcher = Dispatcher(
+            cluster, policy=DispatchPolicy.CONSOLIDATE, consolidation_limit=2
+        )
+        schedulers = []
+        for _ in range(2):
+            node = make_node(sim)
+            pool = ContainerPool(sim, cold_start_seconds=0.0)
+            scheduler = FifoFullGpuScheduler(sim, node, pool, lambda b, t: None)
+            cluster.add(node)
+            dispatcher.register(node, scheduler)
+            schedulers.append(scheduler)
+        for _ in range(3):
+            dispatcher.route(make_batch())
+        counts = sorted(s.outstanding_batches() for s in schedulers)
+        assert counts == [1, 2]  # packed to the limit, then spilled
+
+    def test_draining_node_excluded(self):
+        sim = Simulator()
+        _cluster, dispatcher, schedulers = self._cluster_with_nodes(sim, 2)
+        schedulers[0][0].drain()
+        for _ in range(2):
+            dispatcher.route(make_batch())
+        assert schedulers[0][1].outstanding_batches() == 0
+        assert schedulers[1][1].outstanding_batches() == 2
+
+    def test_backlog_when_no_nodes_then_flush_on_register(self):
+        sim = Simulator()
+        cluster = Cluster()
+        dispatcher = Dispatcher(cluster)
+        dispatcher.route(make_batch())
+        assert dispatcher.backlog_size == 1
+        node = make_node(sim)
+        pool = ContainerPool(sim, cold_start_seconds=0.0)
+        scheduler = FifoFullGpuScheduler(sim, node, pool, lambda b, t: None)
+        cluster.add(node)
+        dispatcher.register(node, scheduler)
+        assert dispatcher.backlog_size == 0
+        assert scheduler.outstanding_batches() == 1
+
+    def test_resubmit_counts(self):
+        sim = Simulator()
+        _cluster, dispatcher, _schedulers = self._cluster_with_nodes(sim, 1)
+        batch = make_batch()
+        dispatcher.resubmit(batch)
+        assert batch.resubmissions == 1
+        assert dispatcher.resubmissions == 1

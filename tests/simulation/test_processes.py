@@ -1,0 +1,102 @@
+"""Unit tests for PeriodicProcess and OneShotTimer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import OneShotTimer, PeriodicProcess, Simulator
+
+
+def test_periodic_fires_on_period():
+    sim = Simulator()
+    ticks = []
+    proc = PeriodicProcess(sim, 2.0, lambda: ticks.append(sim.now))
+    proc.start()
+    sim.run(until=7.0)
+    assert ticks == [2.0, 4.0, 6.0]
+    assert proc.invocations == 3
+
+
+def test_periodic_custom_start_delay():
+    sim = Simulator()
+    ticks = []
+    proc = PeriodicProcess(
+        sim, 5.0, lambda: ticks.append(sim.now), start_delay=0.0
+    )
+    proc.start()
+    sim.run(until=11.0)
+    assert ticks == [0.0, 5.0, 10.0]
+
+
+def test_periodic_stop_prevents_future_ticks():
+    sim = Simulator()
+    ticks = []
+    proc = PeriodicProcess(sim, 1.0, lambda: ticks.append(sim.now))
+    proc.start()
+    sim.at(2.5, proc.stop)
+    sim.run(until=10.0)
+    assert ticks == [1.0, 2.0]
+    assert not proc.running
+
+
+def test_periodic_can_stop_itself_from_callback():
+    sim = Simulator()
+    ticks = []
+    proc = PeriodicProcess(sim, 1.0, lambda: (ticks.append(sim.now), proc.stop()))
+    proc.start()
+    sim.run(until=10.0)
+    assert ticks == [1.0]
+
+
+def test_periodic_double_start_raises():
+    sim = Simulator()
+    proc = PeriodicProcess(sim, 1.0, lambda: None)
+    proc.start()
+    with pytest.raises(SimulationError):
+        proc.start()
+
+
+def test_periodic_rejects_nonpositive_period():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        PeriodicProcess(sim, 0.0, lambda: None)
+
+
+def test_periodic_stop_is_idempotent():
+    sim = Simulator()
+    proc = PeriodicProcess(sim, 1.0, lambda: None)
+    proc.stop()  # never started: fine
+    proc.start()
+    proc.stop()
+    proc.stop()
+
+
+def test_timer_fires_once():
+    sim = Simulator()
+    fired = []
+    timer = OneShotTimer(sim, lambda: fired.append(sim.now))
+    timer.restart(3.0)
+    assert timer.pending
+    sim.run()
+    assert fired == [3.0]
+    assert not timer.pending
+
+
+def test_timer_restart_supersedes_previous_fire():
+    sim = Simulator()
+    fired = []
+    timer = OneShotTimer(sim, lambda: fired.append(sim.now))
+    timer.restart(3.0)
+    sim.at(1.0, lambda: timer.restart(5.0))
+    sim.run()
+    assert fired == [6.0]
+
+
+def test_timer_cancel():
+    sim = Simulator()
+    fired = []
+    timer = OneShotTimer(sim, lambda: fired.append(sim.now))
+    timer.restart(3.0)
+    timer.cancel()
+    sim.run()
+    assert fired == []
+    timer.cancel()  # idempotent

@@ -1,0 +1,111 @@
+"""Unit tests for the Simulator event loop."""
+
+import pytest
+
+from repro.errors import ClockError, SimulationError
+from repro.simulation import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_run_executes_in_time_order_and_advances_clock():
+    sim = Simulator()
+    seen = []
+    sim.at(3.0, lambda: seen.append(("c", sim.now)))
+    sim.at(1.0, lambda: seen.append(("a", sim.now)))
+    sim.after(2.0, lambda: seen.append(("b", sim.now)))
+    sim.run()
+    assert seen == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+    assert sim.now == 3.0
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    seen = []
+    sim.at(1.0, lambda: seen.append(1))
+    sim.at(10.0, lambda: seen.append(10))
+    sim.run(until=5.0)
+    assert seen == [1]
+    assert sim.now == 5.0
+    sim.run()
+    assert seen == [1, 10]
+
+
+def test_run_until_advances_clock_even_with_empty_queue():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_events_can_schedule_more_events():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(sim.now)
+        if n > 0:
+            sim.after(1.0, lambda: chain(n - 1))
+
+    sim.at(0.0, lambda: chain(3))
+    sim.run()
+    assert seen == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_scheduling_in_past_raises():
+    sim = Simulator()
+    sim.at(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(ClockError):
+        sim.at(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.after(-1.0, lambda: None)
+
+
+def test_cancel_pending_event():
+    sim = Simulator()
+    seen = []
+    event = sim.at(1.0, lambda: seen.append("doomed"))
+    sim.at(2.0, lambda: seen.append("kept"))
+    sim.cancel(event)
+    sim.run()
+    assert seen == ["kept"]
+
+
+def test_max_events_guard_trips_on_runaway():
+    sim = Simulator()
+
+    def rearm():
+        sim.after(0.1, rearm)
+
+    sim.at(0.0, rearm)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=100)
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for t in range(5):
+        sim.at(float(t), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_step_returns_false_on_empty_queue():
+    assert Simulator().step() is False
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    failures = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError:
+            failures.append(True)
+
+    sim.at(0.0, reenter)
+    sim.run()
+    assert failures == [True]

@@ -1,0 +1,131 @@
+"""Cross-validation: analytic queueing models vs the simulator.
+
+These tests give the substrate an *external* check: classical M/G/1
+theory must predict the simulated time-sharing scheme's queueing, and
+the MPS capacity formula must predict where consolidation stops paying.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    consolidation_breakeven,
+    mg1,
+    mps_effective_capacity,
+)
+from repro.errors import SchedulingError
+
+
+class TestMG1Theory:
+    def test_pollaczek_khinchine_known_values(self):
+        # M/M/1 (scv=1) at rho=0.5: W_q = rho/(1-rho) * s = 1.0 * s... :
+        # W_q = 0.5 * 1.0 * 2 / (2 * 0.5) = 1.0 × service.
+        prediction = mg1(arrival_rate=0.5, service_mean=1.0, service_scv=1.0)
+        assert prediction.utilization == pytest.approx(0.5)
+        assert prediction.mean_wait == pytest.approx(1.0)
+        assert prediction.mean_response == pytest.approx(2.0)
+
+    def test_deterministic_service_halves_waiting(self):
+        md1 = mg1(0.5, 1.0, service_scv=0.0)
+        mm1 = mg1(0.5, 1.0, service_scv=1.0)
+        assert md1.mean_wait == pytest.approx(mm1.mean_wait / 2)
+
+    def test_saturation_is_infinite(self):
+        prediction = mg1(1.0, 1.0)
+        assert math.isinf(prediction.mean_wait)
+        assert math.isinf(prediction.response_percentile(0.99))
+
+    def test_percentiles_monotone(self):
+        prediction = mg1(7.0, 0.1, service_scv=0.5)  # rho = 0.7
+        p50 = prediction.response_percentile(0.50)
+        p90 = prediction.response_percentile(0.90)
+        p99 = prediction.response_percentile(0.99)
+        assert p50 < p90 < p99
+        assert p50 >= 0.1  # never below the service time
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            mg1(-1.0, 1.0)
+        with pytest.raises(SchedulingError):
+            mg1(0.5, 0.0)
+        with pytest.raises(SchedulingError):
+            mg1(0.5, 1.0).response_percentile(1.5)
+
+
+class TestMpsCapacity:
+    def test_linear_growth_until_breakeven(self):
+        assert mps_effective_capacity(0.5, 1.0) == pytest.approx(1.0)
+        assert mps_effective_capacity(0.5, 2.0) == pytest.approx(2.0)
+        # Beyond 1/f = 2 co-residents, throughput is flat at 1/f.
+        assert mps_effective_capacity(0.5, 4.0) == pytest.approx(2.0)
+        assert consolidation_breakeven(0.5) == pytest.approx(2.0)
+
+    def test_zero_fbr_scales_forever(self):
+        assert mps_effective_capacity(0.0, 8.0) == pytest.approx(8.0)
+        assert math.isinf(consolidation_breakeven(0.0))
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            mps_effective_capacity(-0.1, 1.0)
+        with pytest.raises(SchedulingError):
+            mps_effective_capacity(0.5, 0.0)
+
+
+class TestTheoryVsSimulator:
+    def _simulate_time_share_queue(self, arrival_rate, service_mean, seed=0):
+        """Poisson arrivals into a single TIME_SHARE slice."""
+        from repro.gpu.engine import GPUSlice, ShareMode, SliceJob
+        from repro.gpu.mig import profile
+        from repro.simulation import Simulator
+
+        sim = Simulator(seed)
+        gpu_slice = GPUSlice(sim, profile("7g"), ShareMode.TIME_SHARE)
+        rng = np.random.default_rng(seed)
+        waits = []
+
+        def on_complete(job, timing):
+            waits.append(timing.pending_time)
+
+        t = 0.0
+        for _ in range(3000):
+            t += rng.exponential(1.0 / arrival_rate)
+            sim.at(
+                t,
+                lambda: gpu_slice.submit(
+                    SliceJob(
+                        work=service_mean,
+                        rdf=1.0,
+                        fbr=0.0,
+                        memory_gb=0.0,
+                        on_complete=on_complete,
+                    )
+                ),
+            )
+        sim.run()
+        # Discard the transient.
+        return float(np.mean(waits[500:]))
+
+    @pytest.mark.parametrize("rho", [0.4, 0.6, 0.8])
+    def test_md1_mean_wait_matches_simulation(self, rho):
+        service = 0.1
+        arrival = rho / service
+        predicted = mg1(arrival, service, service_scv=0.0).mean_wait
+        simulated = self._simulate_time_share_queue(arrival, service)
+        assert simulated == pytest.approx(predicted, rel=0.25)
+
+    def test_consolidation_collapse_matches_sensitivity_sweep(self):
+        # VGG 19's 7g FBR is 0.64 → breakeven ≈ 1.6 co-residents; the
+        # INFless sensitivity sweep (bench_sensitivity) shows compliance
+        # degrading once consolidation exceeds ~2-4 — consistent with the
+        # analytic prediction that packing deeper adds latency without
+        # throughput.
+        from repro.workloads import get_model
+
+        fbr = get_model("vgg19").slice_fbr("7g")
+        breakeven = consolidation_breakeven(fbr)
+        assert 1.0 < breakeven < 4.0
+        deep = mps_effective_capacity(fbr, 8.0)
+        shallow = mps_effective_capacity(fbr, 2.0)
+        assert deep == pytest.approx(shallow, rel=0.35)  # flat region

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_models_command(capsys):
+    assert main(["models"]) == 0
+    output = capsys.readouterr().out
+    assert "resnet50" in output
+    assert "OpenAI GPT-2" in output
+
+
+def test_list_figures(capsys):
+    assert main(["list-figures"]) == 0
+    output = capsys.readouterr().out
+    assert "fig05" in output and "tab04" in output
+
+
+def test_figure_command(capsys):
+    assert main(["figure", "tab03"]) == 0
+    output = capsys.readouterr().out
+    assert "AWS" in output
+
+
+def test_figure_unknown_id(capsys):
+    assert main(["figure", "fig99"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_run_command_quick(capsys):
+    code = main(
+        [
+            "run",
+            "--scheme",
+            "molecule",
+            "--model",
+            "mobilenet",
+            "--trace",
+            "constant",
+            "--duration",
+            "20",
+            "--warmup",
+            "5",
+            "--nodes",
+            "2",
+            "--load",
+            "0.3",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "molecule" in output
+    assert "slo_%" in output
+
+
+def test_compare_command_quick(capsys):
+    code = main(
+        [
+            "compare",
+            "--schemes",
+            "molecule",
+            "protean",
+            "--model",
+            "mobilenet",
+            "--trace",
+            "constant",
+            "--duration",
+            "20",
+            "--warmup",
+            "5",
+            "--nodes",
+            "2",
+            "--load",
+            "0.3",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "molecule" in output and "protean" in output
+
+
+def test_reproduce_all_selected(tmp_path, capsys):
+    code = main(
+        ["reproduce-all", "--only", "tab03", "--output", str(tmp_path)]
+    )
+    assert code == 0
+    assert (tmp_path / "tab03.txt").exists()
+    assert "regenerated 1/1" in capsys.readouterr().out
+
+
+def test_parser_rejects_unknown_scheme():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--scheme", "skynet"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

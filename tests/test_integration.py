@@ -1,0 +1,131 @@
+"""End-to-end integration tests: whole-platform invariants.
+
+These exercise the full pipeline (trace → gateway → batcher → dispatcher →
+scheduler → GPU engine → metrics) under adversarial conditions — spot
+evictions mid-flight, MIG reconfigurations under load — and check the
+conservation and exactly-once properties the per-module tests cannot see.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, build_specs, run_scheme
+
+QUICK = dict(
+    trace="constant",
+    duration=40.0,
+    warmup=10.0,
+    drain=60.0,
+    n_nodes=3,
+    offered_load=0.5,
+)
+
+
+class TestConservation:
+    @pytest.mark.parametrize(
+        "scheme", ["protean", "molecule", "infless_llama", "naive_slicing",
+                   "gpulet", "oracle"]
+    )
+    def test_every_request_served_exactly_once(self, scheme):
+        config = ExperimentConfig(strict_model="resnet50", **QUICK)
+        specs = build_specs(config)
+        result = run_scheme(scheme, config, specs=specs)
+        assert len(result.collector) == len(specs)
+        assert result.summary.dropped_requests == 0
+
+    def test_latency_components_always_additive(self):
+        config = ExperimentConfig(strict_model="vgg19", **QUICK)
+        result = run_scheme("protean", config)
+        for record in result.collector:
+            assert sum(record.components().values()) == pytest.approx(
+                record.latency, rel=1e-9, abs=1e-9
+            )
+            assert record.latency >= 0
+
+
+class TestSpotChurn:
+    def _run(self, procurement, availability, scheme="protean", seed=3):
+        config = ExperimentConfig(
+            strict_model="resnet50",
+            procurement=procurement,
+            spot_availability=availability,
+            spot_check_interval=10.0,
+            spot_notice_seconds=5.0,
+            provision_seconds=5.0,
+            seed=seed,
+            **QUICK,
+        )
+        specs = build_specs(config)
+        return run_scheme(scheme, config, specs=specs), specs
+
+    def test_hybrid_under_heavy_churn_serves_everything(self):
+        result, specs = self._run("hybrid", "low")
+        assert result.extras["evictions"] >= 1
+        # Every request is eventually served exactly once, even when its
+        # batch was stranded on an evicted node and resubmitted.
+        assert len(result.collector) == len(specs)
+        assert result.extras["nodes_at_end"] >= 1
+
+    def test_hybrid_compliance_survives_churn(self):
+        result, _specs = self._run("hybrid", "moderate")
+        assert result.summary.slo_compliance >= 0.8
+
+    def test_spot_only_drops_capacity_not_correctness(self):
+        result, specs = self._run("spot_only", "low")
+        # No double-serving even under repeated resubmission.
+        assert len(result.collector) <= len(specs)
+        served_plus_inflight = len(result.collector)
+        assert served_plus_inflight >= 0.3 * len(specs)
+
+    def test_cost_accounting_consistent_under_churn(self):
+        result, _specs = self._run("hybrid", "moderate")
+        summary = result.summary
+        assert summary.total_cost > 0
+        assert 0.0 <= summary.cost_savings_fraction <= 0.71
+
+
+class TestReconfigurationUnderLoad:
+    def test_protean_reconfigures_while_serving(self):
+        config = ExperimentConfig(
+            strict_model="shufflenet_v2",
+            be_pool=("dpn92", "mobilenet"),
+            rotation_period=10.0,
+            **QUICK,
+        )
+        specs = build_specs(config)
+        result = run_scheme("protean", config, specs=specs)
+        assert result.summary.reconfigurations >= 1
+        assert len(result.collector) == len(specs)
+
+    def test_oracle_reconfigures_for_free(self):
+        config = ExperimentConfig(
+            strict_model="shufflenet_v2",
+            be_pool=("dpn92", "mobilenet"),
+            rotation_period=10.0,
+            **QUICK,
+        )
+        result = run_scheme("oracle", config)
+        # Oracle nodes have zero reconfig downtime but the changes count.
+        assert result.summary.reconfigurations >= 1
+
+
+class TestDeterminismEndToEnd:
+    def test_identical_seeds_identical_everything(self):
+        config = ExperimentConfig(
+            strict_model="resnet50",
+            procurement="hybrid",
+            spot_availability="moderate",
+            seed=11,
+            **QUICK,
+        )
+        a = run_scheme("protean", config)
+        b = run_scheme("protean", config)
+        assert a.summary == b.summary
+        assert a.extras == b.extras
+
+    def test_different_seeds_differ(self):
+        config = ExperimentConfig(strict_model="resnet50", **QUICK)
+        a = run_scheme("protean", config)
+        b = run_scheme("protean", config.with_overrides(seed=99))
+        assert a.summary.strict_requests != b.summary.strict_requests or (
+            a.summary.strict_p99 != b.summary.strict_p99
+        )

@@ -1,0 +1,99 @@
+"""Unit tests for RateTrace and arrival-time generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces import RateTrace, arrival_times, constant_trace
+
+
+class TestRateTrace:
+    def test_basic_statistics(self):
+        trace = RateTrace(np.array([1.0, 3.0, 2.0]), interval=2.0)
+        assert trace.duration == 6.0
+        assert trace.mean_rate == pytest.approx(2.0)
+        assert trace.peak_rate == 3.0
+        assert trace.peak_to_mean == pytest.approx(1.5)
+        assert trace.expected_requests == pytest.approx(12.0)
+
+    def test_rate_at_boundaries(self):
+        trace = RateTrace(np.array([1.0, 2.0]), interval=1.0)
+        assert trace.rate_at(0.0) == 1.0
+        assert trace.rate_at(0.999) == 1.0
+        assert trace.rate_at(1.0) == 2.0
+        assert trace.rate_at(-0.1) == 0.0
+        assert trace.rate_at(2.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            RateTrace(np.array([]))
+        with pytest.raises(TraceError):
+            RateTrace(np.array([-1.0]))
+        with pytest.raises(TraceError):
+            RateTrace(np.array([1.0]), interval=0.0)
+
+    def test_scale_to_mean(self):
+        trace = RateTrace(np.array([1.0, 3.0])).scale_to_mean(100.0)
+        assert trace.mean_rate == pytest.approx(100.0)
+        assert trace.peak_to_mean == pytest.approx(1.5)
+
+    def test_scale_to_peak(self):
+        trace = RateTrace(np.array([1.0, 3.0])).scale_to_peak(5000.0)
+        assert trace.peak_rate == pytest.approx(5000.0)
+        assert trace.mean_rate == pytest.approx(5000.0 / 1.5)
+
+    def test_scale_rejects_degenerate(self):
+        zero = RateTrace(np.array([0.0]))
+        with pytest.raises(TraceError):
+            zero.scale_to_mean(1.0)
+        with pytest.raises(TraceError):
+            zero.scale_to_peak(1.0)
+        with pytest.raises(TraceError):
+            RateTrace(np.array([1.0])).scale_by(0.0)
+
+
+class TestConstantTrace:
+    def test_shape(self):
+        trace = constant_trace(500.0, 10.0)
+        assert trace.mean_rate == 500.0
+        assert trace.peak_to_mean == 1.0
+        assert trace.duration == 10.0
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(TraceError):
+            constant_trace(1.0, 0.0)
+
+
+class TestArrivalTimes:
+    def test_deterministic_arrivals_match_expected_count(self):
+        trace = constant_trace(10.0, 5.0)
+        stamps = arrival_times(trace, np.random.default_rng(0), poisson=False)
+        assert stamps.size == 50
+        assert (np.diff(stamps) > 0).all()
+        assert stamps[0] >= 0 and stamps[-1] < 5.0
+
+    def test_poisson_arrivals_are_sorted_and_in_range(self):
+        trace = constant_trace(100.0, 10.0)
+        stamps = arrival_times(trace, np.random.default_rng(1))
+        assert (np.diff(stamps) >= 0).all()
+        assert stamps[0] >= 0 and stamps[-1] < 10.0
+
+    def test_poisson_count_near_expectation(self):
+        trace = constant_trace(200.0, 20.0)
+        stamps = arrival_times(trace, np.random.default_rng(2))
+        assert stamps.size == pytest.approx(4000, rel=0.1)
+
+    def test_poisson_is_seed_deterministic(self):
+        trace = constant_trace(50.0, 5.0)
+        a = arrival_times(trace, np.random.default_rng(3))
+        b = arrival_times(trace, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_zero_rate_intervals_produce_no_arrivals(self):
+        trace = RateTrace(np.array([0.0, 10.0, 0.0]))
+        stamps = arrival_times(trace, np.random.default_rng(4), poisson=False)
+        assert ((stamps >= 1.0) & (stamps < 2.0)).all()
+
+    def test_empty_result_for_zero_trace(self):
+        trace = RateTrace(np.array([0.0, 0.0]))
+        assert arrival_times(trace, np.random.default_rng(5)).size == 0

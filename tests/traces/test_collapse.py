@@ -1,0 +1,76 @@
+"""Tests for batch-formation arrival collapsing."""
+
+import numpy as np
+import pytest
+
+from repro.traces import MixSpec, mix_requests
+from repro.traces.mixing import collapse_to_batches
+from repro.workloads import get_model, high_interference_models
+from repro.workloads.scaling import scale_model
+
+MODEL = scale_model(get_model("shufflenet_v2"), 4 / 128)  # batch size 4
+
+
+def make_specs(n=20, strict_fraction=1.0):
+    arrivals = np.linspace(0.0, 10.0, n)
+    mix = MixSpec(
+        strict_model=MODEL,
+        be_pool=tuple(
+            scale_model(m, 4 / 128) for m in high_interference_models()
+        ),
+        strict_fraction=strict_fraction,
+    )
+    return mix_requests(arrivals, mix, np.random.default_rng(0))
+
+
+def test_groups_share_one_arrival_instant():
+    collapsed = collapse_to_batches(make_specs(20))
+    arrivals = sorted({s.arrival for s in collapsed})
+    assert len(arrivals) == 5  # 20 requests / batch 4
+    counts = {a: 0 for a in arrivals}
+    for spec in collapsed:
+        counts[spec.arrival] += 1
+    assert all(count == 4 for count in counts.values())
+
+
+def test_batch_arrival_is_last_member_arrival():
+    specs = make_specs(8)
+    collapsed = collapse_to_batches(specs)
+    originals = sorted(s.arrival for s in specs)
+    collapsed_times = sorted({s.arrival for s in collapsed})
+    # Each chunk's formation instant is its last member's arrival.
+    assert collapsed_times == [originals[3], originals[7]]
+
+
+def test_preserves_counts_and_models():
+    specs = make_specs(40, strict_fraction=0.5)
+    collapsed = collapse_to_batches(specs)
+    assert len(collapsed) == len(specs)
+    assert sum(s.strict for s in collapsed) == sum(s.strict for s in specs)
+    assert {s.model.name for s in collapsed} == {s.model.name for s in specs}
+
+
+def test_deadlines_reanchored_to_formation():
+    collapsed = collapse_to_batches(make_specs(4))
+    for spec in collapsed:
+        assert spec.slo_deadline == pytest.approx(
+            spec.arrival + 3.0 * spec.model.solo_latency_7g
+        )
+
+
+def test_output_is_sorted():
+    collapsed = collapse_to_batches(make_specs(40, strict_fraction=0.5))
+    arrivals = [s.arrival for s in collapsed]
+    assert arrivals == sorted(arrivals)
+
+
+def test_trailing_partial_chunk_kept():
+    collapsed = collapse_to_batches(make_specs(6))
+    assert len(collapsed) == 6  # 4 + trailing 2
+
+
+def test_input_not_modified():
+    specs = make_specs(8)
+    before = [(s.arrival, s.strict) for s in specs]
+    collapse_to_batches(specs)
+    assert [(s.arrival, s.strict) for s in specs] == before

@@ -1,0 +1,92 @@
+"""Tests for the Wiki-like and Twitter-like trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces import (
+    TWITTER_PEAK_TO_MEAN,
+    WIKI_PEAK_TO_MEAN,
+    twitter_trace,
+    wiki_trace,
+)
+
+
+class TestWikiTrace:
+    def test_mean_rate_hits_target(self):
+        trace = wiki_trace(300.0, np.random.default_rng(0), mean_rate=5000.0)
+        assert trace.mean_rate == pytest.approx(5000.0)
+
+    def test_peak_to_mean_matches_paper(self):
+        # Paper Section 5: Wiki peak:mean is 316:303 (≈ 1.043).
+        ratios = [
+            wiki_trace(600.0, np.random.default_rng(seed)).peak_to_mean
+            for seed in range(5)
+        ]
+        mean_ratio = sum(ratios) / len(ratios)
+        assert mean_ratio == pytest.approx(WIKI_PEAK_TO_MEAN, abs=0.03)
+
+    def test_diurnal_shape_is_smooth(self):
+        trace = wiki_trace(600.0, np.random.default_rng(1), noise=0.0)
+        step = np.abs(np.diff(trace.rates)) / trace.mean_rate
+        assert step.max() < 0.01  # no sudden surges
+
+    def test_deterministic_for_seed(self):
+        a = wiki_trace(100.0, np.random.default_rng(7))
+        b = wiki_trace(100.0, np.random.default_rng(7))
+        assert np.array_equal(a.rates, b.rates)
+
+    def test_language_model_rate(self):
+        trace = wiki_trace(120.0, np.random.default_rng(2), mean_rate=128.0)
+        assert trace.mean_rate == pytest.approx(128.0)
+
+    def test_rejects_bad_inputs(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(TraceError):
+            wiki_trace(0.0, rng)
+        with pytest.raises(TraceError):
+            wiki_trace(10.0, rng, noise=-0.1)
+
+
+class TestTwitterTrace:
+    def test_peak_rate_hits_target(self):
+        trace = twitter_trace(300.0, np.random.default_rng(0), peak_rate=5000.0)
+        assert trace.peak_rate == pytest.approx(5000.0)
+
+    def test_peak_to_mean_is_erratic(self):
+        # Paper Section 5: Twitter peak:mean is 4561:2969 (≈ 1.54).
+        ratios = [
+            twitter_trace(600.0, np.random.default_rng(seed)).peak_to_mean
+            for seed in range(8)
+        ]
+        mean_ratio = sum(ratios) / len(ratios)
+        assert mean_ratio == pytest.approx(TWITTER_PEAK_TO_MEAN, abs=0.25)
+        assert min(ratios) > 1.2  # always clearly burstier than Wiki
+
+    def test_resulting_mean_is_about_35_percent_below_peak_target(self):
+        # Paper Section 6.2: scaling Twitter's peak to ~5000 rps yields a
+        # mean of ~3000 rps.
+        means = [
+            twitter_trace(600.0, np.random.default_rng(seed)).mean_rate
+            for seed in range(8)
+        ]
+        mean = sum(means) / len(means)
+        assert mean == pytest.approx(3000.0, rel=0.2)
+
+    def test_deterministic_for_seed(self):
+        a = twitter_trace(200.0, np.random.default_rng(3))
+        b = twitter_trace(200.0, np.random.default_rng(3))
+        assert np.array_equal(a.rates, b.rates)
+
+    def test_short_window_still_has_a_surge(self):
+        trace = twitter_trace(30.0, np.random.default_rng(11))
+        assert trace.peak_to_mean > 1.15
+
+    def test_rejects_bad_inputs(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(TraceError):
+            twitter_trace(0.0, rng)
+        with pytest.raises(TraceError):
+            twitter_trace(10.0, rng, surge_probability=1.5)
+        with pytest.raises(TraceError):
+            twitter_trace(10.0, rng, surge_mean_length=0.5)

@@ -1,0 +1,91 @@
+"""Tests for trace persistence (CSV load/save)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError, UnknownModelError
+from repro.traces import MixSpec, constant_trace, mix_requests, wiki_trace
+from repro.traces.io import (
+    load_rate_trace,
+    load_request_stream,
+    save_rate_trace,
+    save_request_stream,
+)
+from repro.workloads import get_model, high_interference_models
+
+
+class TestRateTraceIO:
+    def test_round_trip(self, tmp_path):
+        trace = wiki_trace(30.0, np.random.default_rng(0), mean_rate=100.0)
+        path = tmp_path / "wiki.csv"
+        save_rate_trace(trace, path)
+        loaded = load_rate_trace(path)
+        assert loaded.interval == pytest.approx(trace.interval)
+        assert np.allclose(loaded.rates, trace.rates)
+        assert loaded.name == "wiki"
+
+    def test_custom_interval_preserved(self, tmp_path):
+        trace = constant_trace(50.0, 10.0, interval=2.0)
+        path = tmp_path / "c.csv"
+        save_rate_trace(trace, path)
+        assert load_rate_trace(path).interval == pytest.approx(2.0)
+
+    def test_header_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "hand.csv"
+        path.write_text("interval_start_s,rate_rps\n\n0.0,10\n1.0,20\n")
+        trace = load_rate_trace(path)
+        assert trace.rates.tolist() == [10.0, 20.0]
+
+    def test_nonuniform_intervals_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0.0,1\n1.0,2\n3.5,3\n")
+        with pytest.raises(TraceError):
+            load_rate_trace(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("header,only\n")
+        with pytest.raises(TraceError):
+            load_rate_trace(path)
+
+
+class TestRequestStreamIO:
+    def _specs(self):
+        mix = MixSpec(
+            strict_model=get_model("resnet50"),
+            be_pool=tuple(high_interference_models()),
+            slo_multiplier=2.0,
+        )
+        return mix_requests(
+            np.linspace(0, 10, 50), mix, np.random.default_rng(1)
+        )
+
+    def test_round_trip(self, tmp_path):
+        specs = self._specs()
+        path = tmp_path / "stream.csv"
+        save_request_stream(specs, path)
+        loaded = load_request_stream(path)
+        assert len(loaded) == len(specs)
+        for original, read in zip(specs, loaded):
+            assert read.arrival == pytest.approx(original.arrival)
+            assert read.model.name == original.model.name
+            assert read.strict == original.strict
+            assert read.slo_multiplier == pytest.approx(2.0)
+
+    def test_unknown_model_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("arrival_s,model,strict\n0.0,skynet,1\n")
+        with pytest.raises(UnknownModelError):
+            load_request_stream(path)
+
+    def test_negative_arrival_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("-1.0,resnet50,1\n")
+        with pytest.raises(TraceError):
+            load_request_stream(path)
+
+    def test_missing_multiplier_defaults_to_three(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("0.5,resnet50,1\n")
+        loaded = load_request_stream(path)
+        assert loaded[0].slo_multiplier == 3.0

@@ -1,0 +1,129 @@
+"""Tests for strict/BE request mixing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces import MixSpec, be_model_schedule, mix_requests
+from repro.workloads import get_model, high_interference_models
+
+
+def hi_pool():
+    return tuple(high_interference_models())
+
+
+def make_mix(**overrides):
+    defaults = dict(
+        strict_model=get_model("shufflenet_v2"),
+        be_pool=hi_pool(),
+        strict_fraction=0.5,
+    )
+    defaults.update(overrides)
+    return MixSpec(**defaults)
+
+
+def test_strict_fraction_is_respected_statistically():
+    arrivals = np.linspace(0.0, 100.0, 20_000, endpoint=False)
+    requests = mix_requests(arrivals, make_mix(), np.random.default_rng(0))
+    strict_share = sum(r.strict for r in requests) / len(requests)
+    assert strict_share == pytest.approx(0.5, abs=0.02)
+
+
+@pytest.mark.parametrize("fraction", [0.25, 0.75])
+def test_skewed_fractions(fraction):
+    arrivals = np.linspace(0.0, 50.0, 10_000, endpoint=False)
+    requests = mix_requests(
+        arrivals, make_mix(strict_fraction=fraction), np.random.default_rng(1)
+    )
+    strict_share = sum(r.strict for r in requests) / len(requests)
+    assert strict_share == pytest.approx(fraction, abs=0.03)
+
+
+def test_all_strict_case_needs_no_pool():
+    mix = MixSpec(
+        strict_model=get_model("resnet50"), be_pool=(), strict_fraction=1.0
+    )
+    requests = mix_requests([0.0, 1.0, 2.0], mix, np.random.default_rng(2))
+    assert all(r.strict for r in requests)
+    assert all(r.model.name == "resnet50" for r in requests)
+
+
+def test_all_be_case():
+    requests = mix_requests(
+        np.linspace(0, 10, 100),
+        make_mix(strict_fraction=0.0),
+        np.random.default_rng(3),
+    )
+    assert not any(r.strict for r in requests)
+
+
+def test_strict_requests_always_use_strict_model():
+    requests = mix_requests(
+        np.linspace(0, 40, 2000), make_mix(), np.random.default_rng(4)
+    )
+    for request in requests:
+        if request.strict:
+            assert request.model.name == "shufflenet_v2"
+        else:
+            assert request.model.category.value == "HI"
+
+
+def test_be_model_constant_within_rotation_window():
+    requests = mix_requests(
+        np.linspace(0, 100, 5000), make_mix(), np.random.default_rng(5)
+    )
+    by_window: dict[int, set[str]] = {}
+    for request in requests:
+        if not request.strict:
+            window = int(request.arrival // 20.0)
+            by_window.setdefault(window, set()).add(request.model.name)
+    assert by_window, "expected some BE requests"
+    for models in by_window.values():
+        assert len(models) == 1
+
+
+def test_be_model_rotates_across_windows():
+    requests = mix_requests(
+        np.linspace(0, 400, 20_000), make_mix(), np.random.default_rng(6)
+    )
+    models = {r.model.name for r in requests if not r.strict}
+    assert len(models) > 1
+
+
+def test_be_schedule_matches_mix_with_same_rng_state():
+    mix = make_mix()
+    arrivals = np.linspace(0, 100, 5000)
+    rng_a = np.random.default_rng(7)
+    requests = mix_requests(arrivals, mix, rng_a)
+    rng_b = np.random.default_rng(7)
+    rng_b.random(len(arrivals))  # consume the strictness draws
+    schedule = be_model_schedule(float(arrivals[-1]), mix, rng_b)
+    lookup = dict(schedule)
+    for request in requests:
+        if not request.strict:
+            window_start = (request.arrival // 20.0) * 20.0
+            assert lookup[window_start].name == request.model.name
+
+
+def test_slo_deadline_only_for_strict():
+    mix = make_mix()
+    requests = mix_requests(
+        np.linspace(0, 40, 500), mix, np.random.default_rng(8)
+    )
+    for request in requests:
+        if request.strict:
+            expected = request.arrival + request.model.slo_target()
+            assert request.slo_deadline == pytest.approx(expected)
+        else:
+            assert request.slo_deadline is None
+
+
+def test_validation():
+    with pytest.raises(TraceError):
+        make_mix(strict_fraction=1.5)
+    with pytest.raises(TraceError):
+        MixSpec(strict_model=get_model("bert"), be_pool=(), strict_fraction=0.5)
+    with pytest.raises(TraceError):
+        make_mix(rotation_period=0.0)
+    with pytest.raises(TraceError):
+        mix_requests([-1.0], make_mix(), np.random.default_rng(0))

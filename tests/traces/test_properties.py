@@ -1,0 +1,93 @@
+"""Property-based tests for trace generation (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces import (
+    MixSpec,
+    RateTrace,
+    arrival_times,
+    mix_requests,
+    twitter_trace,
+    wiki_trace,
+)
+from repro.traces.mixing import collapse_to_batches
+from repro.workloads import get_model, high_interference_models
+from repro.workloads.scaling import scale_model
+
+rates_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=500.0), min_size=1, max_size=60
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rates=rates_strategy, seed=st.integers(0, 2**16))
+def test_arrivals_sorted_and_within_trace(rates, seed):
+    trace = RateTrace(np.asarray(rates))
+    stamps = arrival_times(trace, np.random.default_rng(seed))
+    assert (np.diff(stamps) >= 0).all()
+    if stamps.size:
+        assert stamps[0] >= 0.0
+        assert stamps[-1] < trace.duration
+
+
+@settings(max_examples=30, deadline=None)
+@given(rates=rates_strategy)
+def test_deterministic_arrivals_count_matches_rates(rates):
+    trace = RateTrace(np.asarray(rates))
+    stamps = arrival_times(trace, np.random.default_rng(0), poisson=False)
+    expected = sum(int(round(r * trace.interval)) for r in rates)
+    assert stamps.size == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    duration=st.floats(min_value=30.0, max_value=400.0),
+    mean=st.floats(min_value=1.0, max_value=10_000.0),
+    seed=st.integers(0, 2**16),
+)
+def test_wiki_scaling_invariant(duration, mean, seed):
+    trace = wiki_trace(duration, np.random.default_rng(seed), mean_rate=mean)
+    assert trace.mean_rate == pytest.approx(mean, rel=1e-9)
+    assert (trace.rates > 0).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    duration=st.floats(min_value=30.0, max_value=400.0),
+    peak=st.floats(min_value=1.0, max_value=10_000.0),
+    seed=st.integers(0, 2**16),
+)
+def test_twitter_scaling_invariant(duration, peak, seed):
+    trace = twitter_trace(duration, np.random.default_rng(seed), peak_rate=peak)
+    assert trace.peak_rate == pytest.approx(peak, rel=1e-9)
+    assert trace.peak_to_mean > 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=300),
+    fraction=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(0, 2**16),
+)
+def test_mixing_then_collapsing_preserves_population(n, fraction, seed):
+    model = scale_model(get_model("shufflenet_v2"), 4 / 128)
+    mix = MixSpec(
+        strict_model=model,
+        be_pool=tuple(
+            scale_model(m, 4 / 128) for m in high_interference_models()
+        ),
+        strict_fraction=fraction,
+    )
+    arrivals = np.sort(np.random.default_rng(seed).random(n) * 50.0)
+    specs = mix_requests(arrivals, mix, np.random.default_rng(seed))
+    collapsed = collapse_to_batches(specs)
+    assert len(collapsed) == n
+    assert sum(s.strict for s in collapsed) == sum(s.strict for s in specs)
+    # Collapsing never moves an arrival earlier than the original latest
+    # member, and all arrivals stay inside the original window.
+    assert all(0.0 <= s.arrival <= 50.0 for s in collapsed)
+    stamps = [s.arrival for s in collapsed]
+    assert stamps == sorted(stamps)

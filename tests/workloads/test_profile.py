@@ -1,0 +1,96 @@
+"""Unit tests for ModelProfile derived quantities."""
+
+import pytest
+
+from repro.gpu.mig import SliceKind
+from repro.workloads.profile import Domain, InterferenceCategory, ModelProfile
+
+
+def make_profile(**overrides):
+    defaults = dict(
+        name="toy",
+        display_name="Toy",
+        domain=Domain.VISION,
+        category=InterferenceCategory.LI,
+        batch_size=128,
+        solo_latency_7g=0.1,
+        memory_gb=4.0,
+        fbr=0.3,
+        compute_sensitivity=0.5,
+        bandwidth_sensitivity=0.1,
+    )
+    defaults.update(overrides)
+    return ModelProfile(**defaults)
+
+
+def test_rdf_is_one_on_full_gpu():
+    assert make_profile().rdf("7g") == 1.0
+
+
+def test_rdf_grows_as_slices_shrink():
+    model = make_profile()
+    rdfs = [model.rdf(k) for k in ("7g", "4g", "3g", "2g", "1g")]
+    assert rdfs == sorted(rdfs)
+    assert rdfs[0] == 1.0
+    assert rdfs[-1] > 1.0
+
+
+def test_solo_latency_scales_with_rdf():
+    model = make_profile()
+    assert model.solo_latency("7g") == pytest.approx(0.1)
+    assert model.solo_latency("3g") == pytest.approx(0.1 * model.rdf("3g"))
+
+
+def test_slice_fbr_accepts_kind_enum_and_string():
+    model = make_profile()
+    assert model.slice_fbr(SliceKind.G7) == model.slice_fbr("7g")
+
+
+def test_slice_fbr_tracks_compute_to_bandwidth_ratio():
+    model = make_profile(fbr=0.3)
+    assert model.slice_fbr("7g") == pytest.approx(0.3)
+    # 4g/2g/1g: compute:bandwidth = (k/7)/(k/8) = 8/7 → mild inflation.
+    for kind in ("4g", "2g", "1g"):
+        assert model.slice_fbr(kind) == pytest.approx(0.3 * 8 / 7)
+    # 3g enjoys 4 memory slices for 3 compute slices: 6/7 deflation.
+    assert model.slice_fbr("3g") == pytest.approx(0.3 * 6 / 7)
+    # Saturated demand caps at the slice's bandwidth.
+    heavy = make_profile(fbr=0.95)
+    assert heavy.slice_fbr("2g") == 1.0
+
+
+def test_fits_checks_slice_memory():
+    model = make_profile(memory_gb=8.0)
+    assert model.fits("7g")
+    assert model.fits("2g")  # 10 GB
+    assert not model.fits("1g")  # 5 GB
+
+
+def test_slo_target_default_is_three_times_7g_latency():
+    model = make_profile(solo_latency_7g=0.05)
+    assert model.slo_target() == pytest.approx(0.15)
+    assert model.slo_target(2.0) == pytest.approx(0.10)
+    with pytest.raises(ValueError):
+        model.slo_target(0.0)
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        dict(batch_size=0),
+        dict(solo_latency_7g=0.0),
+        dict(memory_gb=0.0),
+        dict(fbr=1.5),
+        dict(fbr=-0.1),
+        dict(compute_sensitivity=-1.0),
+    ],
+)
+def test_validation_rejects_bad_fields(overrides):
+    with pytest.raises(ValueError):
+        make_profile(**overrides)
+
+
+def test_language_flag():
+    assert not make_profile().is_language_model
+    lm = make_profile(domain=Domain.LANGUAGE, category=InterferenceCategory.VHI)
+    assert lm.is_language_model

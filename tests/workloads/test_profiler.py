@@ -1,0 +1,64 @@
+"""Tests for the profiling pipeline: FBR/RDF recovery from measurements."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import get_model
+from repro.workloads.profiler import (
+    estimate_fbrs,
+    measure_co_location,
+    measure_rdf,
+    measure_solo_latency,
+)
+
+
+def test_measured_solo_latency_matches_profile_on_7g():
+    model = get_model("resnet50")
+    assert measure_solo_latency(model, "7g") == pytest.approx(
+        model.solo_latency_7g
+    )
+
+
+def test_measured_solo_latency_matches_profile_on_slice():
+    model = get_model("albert")
+    assert measure_solo_latency(model, "3g") == pytest.approx(
+        model.solo_latency("3g")
+    )
+
+
+def test_measured_rdf_matches_ground_truth():
+    for name, kind in [("albert", "3g"), ("resnet50", "2g"), ("vgg19", "4g")]:
+        model = get_model(name)
+        assert measure_rdf(model, kind) == pytest.approx(model.rdf(kind), rel=1e-6)
+
+
+def test_co_location_observes_eq1_factor():
+    model = get_model("dpn92")  # fbr 0.55
+    measurement = measure_co_location(model, [model, model])
+    # Three residents of FBR 0.55 => factor 1.65.
+    assert measurement.slowdown_factor == pytest.approx(3 * model.fbr, rel=1e-6)
+
+
+def test_co_location_below_saturation_shows_no_slowdown():
+    model = get_model("mobilenet")  # fbr 0.22
+    measurement = measure_co_location(model, [model])
+    assert measurement.slowdown_factor == pytest.approx(1.0)
+
+
+def test_estimate_fbrs_recovers_ground_truth():
+    models = [get_model(n) for n in ("resnet50", "dpn92", "vgg19", "densenet121")]
+    estimates = estimate_fbrs(models, copies=4)
+    for model in models:
+        assert estimates[model.name] == pytest.approx(model.fbr, abs=0.02)
+
+
+def test_estimate_fbrs_mixed_li_hi():
+    models = [get_model(n) for n in ("mobilenet", "dpn92", "shufflenet_v2")]
+    estimates = estimate_fbrs(models, copies=8)
+    for model in models:
+        assert estimates[model.name] == pytest.approx(model.fbr, abs=0.03)
+
+
+def test_estimate_fbrs_rejects_bad_copies():
+    with pytest.raises(WorkloadError):
+        estimate_fbrs([get_model("resnet50")], copies=0)

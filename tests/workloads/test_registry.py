@@ -1,0 +1,138 @@
+"""Tests pinning the registry to the paper's workload suite (Section 5)."""
+
+import pytest
+
+from repro.errors import UnknownModelError
+from repro.workloads import (
+    ALL_MODELS,
+    Domain,
+    InterferenceCategory,
+    generative_models,
+    get_model,
+    high_interference_models,
+    language_models,
+    low_interference_models,
+    model_names,
+    normalized_fbrs,
+    opposite_category,
+    very_high_interference_models,
+    vision_models,
+)
+
+PAPER_VISION = {
+    "resnet50", "googlenet", "densenet121", "dpn92", "vgg19", "resnet18",
+    "mobilenet", "mobilenet_v2", "senet18", "shufflenet_v2",
+    "efficientnet_b0", "simplified_dla",
+}
+PAPER_LANGUAGE = {
+    "albert", "bert", "deberta", "distilbert", "flaubert",
+    "funnel_transformer", "roberta", "squeezebert", "gpt1", "gpt2",
+}
+
+
+def test_there_are_exactly_22_workloads():
+    assert len(ALL_MODELS) == 22
+    assert len(set(model_names())) == 22
+
+
+def test_vision_and_language_rosters_match_paper():
+    assert {m.name for m in vision_models()} == PAPER_VISION
+    assert {m.name for m in language_models()} == PAPER_LANGUAGE
+
+
+def test_lookup_by_display_name_and_case():
+    assert get_model("ResNet 50").name == "resnet50"
+    assert get_model("resnet50").display_name == "ResNet 50"
+    assert get_model("SHUFFLENET_V2").name == "shufflenet_v2"
+
+
+def test_unknown_model_raises_with_hint():
+    with pytest.raises(UnknownModelError, match="resnet50"):
+        get_model("resnet51")
+
+
+def test_batch_sizes_follow_paper():
+    for model in vision_models():
+        assert model.batch_size == 128
+    for model in language_models():
+        assert model.batch_size == 4
+
+
+def test_latencies_are_in_paper_band():
+    # Paper Section 5: batch latency on 7g between ~50 and 200 ms.
+    for model in ALL_MODELS:
+        assert 0.050 <= model.solo_latency_7g <= 0.200
+
+
+def test_memory_footprints_are_in_paper_band():
+    # Paper Section 5: ~2 to 14 GB per batch.
+    for model in ALL_MODELS:
+        assert 2.0 <= model.memory_gb <= 14.0
+
+
+def test_category_assignment_consistency():
+    li = low_interference_models()
+    hi = high_interference_models()
+    vhi = very_high_interference_models()
+    assert {m.name for m in li} | {m.name for m in hi} == PAPER_VISION
+    assert {m.name for m in vhi} == PAPER_LANGUAGE
+    # FBR ordering between buckets: every LI < every HI.
+    assert max(m.fbr for m in li) < min(m.fbr for m in hi)
+
+
+def test_vhi_fbrs_are_59_percent_above_vision_average():
+    # Paper Section 6.2: LLM FBRs are ~59% higher on average than vision.
+    vision_mean = sum(m.fbr for m in vision_models()) / 12
+    language_mean = sum(m.fbr for m in language_models()) / 10
+    assert language_mean / vision_mean == pytest.approx(1.59, abs=0.08)
+
+
+def test_gpt_fbrs_top_out_42_percent_above_other_llms():
+    # Paper Figure 13 discussion: GPT FBRs up to ~42% above the other LLMs.
+    others = [m.fbr for m in language_models() if not m.generative]
+    gpt_peak = max(m.fbr for m in generative_models())
+    assert gpt_peak / (sum(others) / len(others)) == pytest.approx(1.42, abs=0.06)
+
+
+def test_generative_models_are_gpt_family():
+    assert {m.name for m in generative_models()} == {"gpt1", "gpt2"}
+
+
+def test_dpn92_footprint_anchor():
+    # Figure 7: DPN 92's footprint is up to 2.74x the rotating BE models'.
+    dpn = get_model("dpn92")
+    shufflenet = get_model("shufflenet_v2")
+    assert dpn.memory_gb / shufflenet.memory_gb == pytest.approx(2.75, abs=0.15)
+
+
+def test_albert_rdf_anchor():
+    # Section 2.2: ALBERT batch time grows 2.15x on a 3g slice.
+    assert get_model("albert").rdf("3g") == pytest.approx(2.15, rel=0.03)
+
+
+def test_shufflenet_is_deficiency_insensitive():
+    # Section 6.2: ShuffleNet V2 sees <2% resource-deficiency slowdown.
+    assert get_model("shufflenet_v2").rdf("3g") < 1.02
+
+
+def test_opposite_category_mapping():
+    assert opposite_category(InterferenceCategory.LI) is InterferenceCategory.HI
+    assert opposite_category(InterferenceCategory.HI) is InterferenceCategory.LI
+    assert opposite_category(InterferenceCategory.VHI) is InterferenceCategory.VHI
+
+
+def test_normalized_fbrs_peak_at_one():
+    normalized = normalized_fbrs()
+    assert len(normalized) == 22
+    assert max(normalized.values()) == 1.0
+    assert min(normalized.values()) > 0.0
+    # GPT-2 has the largest FBR of all 22 workloads.
+    assert normalized["gpt2"] == 1.0
+
+
+def test_domains_are_consistent():
+    for model in ALL_MODELS:
+        if model.name in PAPER_VISION:
+            assert model.domain is Domain.VISION
+        else:
+            assert model.domain is Domain.LANGUAGE

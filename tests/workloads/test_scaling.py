@@ -1,0 +1,49 @@
+"""Tests for scaled-down workload variants."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import get_model
+from repro.workloads.scaling import scale_model, scale_models
+
+
+def test_identity_scale_returns_same_object():
+    model = get_model("resnet50")
+    assert scale_model(model, 1.0) is model
+
+
+def test_scale_only_changes_batch_size():
+    model = get_model("resnet50")
+    scaled = scale_model(model, 0.1)
+    assert scaled.batch_size == 13
+    assert scaled.solo_latency_7g == model.solo_latency_7g
+    assert scaled.memory_gb == model.memory_gb
+    assert scaled.fbr == model.fbr
+    assert scaled.name == model.name
+
+
+def test_scale_floors_at_one():
+    model = get_model("bert")  # batch size 4
+    assert scale_model(model, 0.01).batch_size == 1
+
+
+def test_scale_models_vector():
+    models = (get_model("resnet50"), get_model("vgg19"))
+    scaled = scale_models(models, 0.5)
+    assert [m.batch_size for m in scaled] == [64, 64]
+
+
+def test_invalid_factor():
+    with pytest.raises(WorkloadError):
+        scale_model(get_model("resnet50"), 0.0)
+
+
+def test_batch_rate_invariance():
+    # The point of scaling: batches per second at rate r×f with batch
+    # size b×f equals batches per second at rate r with batch size b.
+    model = get_model("resnet50")
+    scaled = scale_model(model, 0.25)
+    rate, factor = 4000.0, 0.25
+    assert rate / model.batch_size == pytest.approx(
+        (rate * factor) / scaled.batch_size, rel=0.01
+    )
