@@ -26,8 +26,8 @@ Quickstart::
     print(result.summary.slo_percent, result.summary.strict_p99)
 """
 
-__version__ = "1.0.0"
-
 from repro.errors import ReproError
+
+__version__ = "1.0.0"
 
 __all__ = ["ReproError", "__version__"]

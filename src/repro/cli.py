@@ -6,6 +6,7 @@ Usage::
     python -m repro figure fig05 [--full]
     python -m repro run --scheme protean --model resnet50 --trace wiki
     python -m repro compare --model vgg19 --schemes protean infless_llama
+    python -m repro trace fig5 --out trace.json
     python -m repro models
 """
 
@@ -124,6 +125,63 @@ def _cmd_reproduce_all(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+#: ``trace`` experiment presets: config overrides recreating each paper
+#: experiment's setup (durations applied separately via quick/full).
+_TRACE_PRESETS: dict[str, dict] = {
+    "default": {},
+    "fig5": {"strict_model": "resnet50", "trace": "wiki"},
+    "fig7": {"strict_model": "shufflenet_v2", "trace": "wiki"},
+    "fig9": {
+        "strict_model": "resnet50",
+        "procurement": "hybrid",
+        "spot_availability": "moderate",
+    },
+    "fig11": {"strict_model": "mobilenet", "trace": "twitter"},
+    "fig13": {"strict_model": "gpt2", "trace": "wiki"},
+    "fig15": {"strict_model": "resnet50", "slo_multiplier": 2.0},
+}
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.observability.export import (
+        text_summary,
+        write_chrome_trace,
+        write_span_jsonl,
+    )
+
+    experiment = args.experiment.lower().replace("fig0", "fig")
+    overrides = _TRACE_PRESETS.get(experiment)
+    if overrides is None:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"known: {', '.join(sorted(_TRACE_PRESETS))}",
+            file=sys.stderr,
+        )
+        return 2
+    duration, warmup = (240.0, 60.0) if args.full else (60.0, 20.0)
+    if args.duration is not None:
+        duration = args.duration
+    if args.warmup is not None:
+        warmup = args.warmup
+    if args.nodes is not None:
+        overrides = {**overrides, "n_nodes": args.nodes}
+    config = ExperimentConfig(
+        duration=duration,
+        warmup=warmup,
+        tracing=True,
+        seed=args.seed,
+        **overrides,
+    )
+    result = run_scheme(args.scheme, config)
+    write_chrome_trace(result.tracer, args.out)
+    print(f"wrote {args.out} (open in https://ui.perfetto.dev)")
+    if args.jsonl:
+        write_span_jsonl(result.tracer, args.jsonl)
+        print(f"wrote {args.jsonl}")
+    print(text_summary(result.tracer))
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     result = run_scheme(args.scheme, config)
@@ -185,6 +243,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_experiment_args(compare)
     compare.set_defaults(func=_cmd_compare)
+
+    trace = sub.add_parser(
+        "trace", help="run a traced experiment and export a Perfetto trace"
+    )
+    trace.add_argument(
+        "experiment",
+        help=f"preset: {', '.join(sorted(_TRACE_PRESETS))} (fig05 == fig5)",
+    )
+    trace.add_argument("--out", default="trace.json", help="Chrome trace path")
+    trace.add_argument(
+        "--jsonl", default=None, help="also write a JSONL span log here"
+    )
+    trace.add_argument(
+        "--scheme", default="protean", choices=sorted(scheme_names())
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--full", action="store_true", help="paper-breadth (slow) mode"
+    )
+    trace.add_argument("--duration", type=float, default=None)
+    trace.add_argument("--warmup", type=float, default=None)
+    trace.add_argument("--nodes", type=int, default=None)
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

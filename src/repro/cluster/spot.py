@@ -28,6 +28,7 @@ import numpy as np
 from repro.cluster.vm import VM, VMState
 from repro.cluster.pricing import VMTier
 from repro.errors import ClusterError
+from repro.observability.tracer import NULL_TRACER, Tracer
 from repro.simulation.processes import PeriodicProcess
 from repro.simulation.simulator import Simulator
 
@@ -78,6 +79,7 @@ class SpotMarket:
         *,
         notice_seconds: float = DEFAULT_NOTICE_SECONDS,
         check_interval: float = DEFAULT_CHECK_INTERVAL,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         if notice_seconds < 0:
             raise ClusterError("notice_seconds must be non-negative")
@@ -88,6 +90,9 @@ class SpotMarket:
         self.availability = availability
         self.notice_seconds = notice_seconds
         self.check_interval = check_interval
+        self.tracer = tracer
+        self._ctr_notices = tracer.telemetry.counter("spot.notices")
+        self._ctr_evictions = tracer.telemetry.counter("spot.evictions")
         self._watchers: dict[int, PeriodicProcess] = {}
         self.notices_issued = 0
         self.evictions = 0
@@ -156,6 +161,14 @@ class SpotMarket:
     ) -> None:
         vm.mark_eviction_notice()
         self.notices_issued += 1
+        self._ctr_notices.inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "spot.notice",
+                track="spot",
+                vm=vm.name,
+                evict_in_s=self.notice_seconds,
+            )
         on_notice(vm)
 
         def evict() -> None:
@@ -165,6 +178,9 @@ class SpotMarket:
             if vm.state is not VMState.TERMINATED:
                 vm.terminate()
             self.evictions += 1
+            self._ctr_evictions.inc()
+            if self.tracer.enabled:
+                self.tracer.instant("spot.eviction", track="spot", vm=vm.name)
             on_eviction(vm)
 
         self.sim.after(self.notice_seconds, evict, label=f"evict-{vm.name}")

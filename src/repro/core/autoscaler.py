@@ -61,6 +61,8 @@ class Autoscaler:
         self._window_counts: dict[str, int] = {}
         self._models: dict[str, ModelProfile] = {}
         self.prewarms_issued = 0
+        self.tracer = platform.tracer
+        self._ctr_prewarms = self.tracer.telemetry.counter("autoscale.prewarms")
         self._process = PeriodicProcess(
             platform.sim,
             self.config.monitor_interval,
@@ -107,6 +109,7 @@ class Autoscaler:
         nodes = self.platform.cluster.active_nodes
         if not nodes:
             return
+        tick_prewarms = 0
         for name, model in self._models.items():
             desired = self.desired_containers(model)
             if desired == 0:
@@ -118,3 +121,12 @@ class Autoscaler:
                 for _ in range(deficit):
                     pool.prewarm(name)
                     self.prewarms_issued += 1
+                    tick_prewarms += 1
+        if tick_prewarms:
+            self._ctr_prewarms.inc(tick_prewarms)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "autoscale.prewarm",
+                    track="autoscale",
+                    containers=tick_prewarms,
+                )

@@ -26,6 +26,7 @@ from repro.cluster.pricing import VMTier
 from repro.cluster.spot import SpotMarket
 from repro.cluster.vm import VM
 from repro.errors import ConfigurationError
+from repro.observability.span import Span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.serverless.platform import ServerlessPlatform
@@ -73,6 +74,10 @@ class Procurement:
         self.spot_nodes_built = 0
         self.on_demand_nodes_built = 0
         self.retries_scheduled = 0
+        self.tracer = platform.tracer
+        self._ctr_built = self.tracer.telemetry.counter("procure.nodes_built")
+        self._ctr_retries = self.tracer.telemetry.counter("procure.retries")
+        self._drain_spans: dict[int, Span] = {}
 
     @property
     def mode(self) -> ProcurementMode:
@@ -114,17 +119,38 @@ class Procurement:
         else:
             self.on_demand_nodes_built += 1
         self._node_by_vm[node.vm.vm_id] = node
+        self._ctr_built.inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "procure.node_built",
+                track="procurement",
+                node=node.name,
+                tier=tier.value,
+            )
         return node
 
     def request_replacement(self) -> None:
         """Ask for one more node after the provisioning delay."""
         self.replacements_requested += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "procure.request",
+                track="procurement",
+                provision_s=self.config.provision_seconds,
+            )
         self.platform.sim.after(
             self.config.provision_seconds, self._build_now, label="provision"
         )
 
     def _schedule_retry(self) -> None:
         self.retries_scheduled += 1
+        self._ctr_retries.inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "procure.retry",
+                track="procurement",
+                retry_in_s=self.config.retry_interval,
+            )
         self.platform.sim.after(
             self.config.retry_interval, self._build_now, label="spot-retry"
         )
@@ -137,6 +163,10 @@ class Procurement:
         node = self._node_by_vm.get(vm.vm_id)
         if node is None:  # pragma: no cover - defensive
             return
+        if self.tracer.enabled:
+            self._drain_spans[vm.vm_id] = self.tracer.begin(
+                "spot.drain", track="spot", node=node.name, vm=vm.name
+            )
         node.drain()
         self.request_replacement()
 
@@ -145,4 +175,5 @@ class Procurement:
         node = self._node_by_vm.pop(vm.vm_id, None)
         if node is None:  # pragma: no cover - defensive
             return
+        self.tracer.end(self._drain_spans.pop(vm.vm_id, None))
         self.platform.retire_node(node)

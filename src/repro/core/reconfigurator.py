@@ -34,6 +34,7 @@ from repro.gpu.mig import (
     Geometry,
     SliceKind,
 )
+from repro.observability.span import Span
 from repro.serverless.request import Request
 from repro.simulation.processes import PeriodicProcess
 from repro.workloads.profile import ModelProfile
@@ -134,6 +135,10 @@ class GpuReconfigurator:
         self._window_be_count = 0
         self._current_be_model: Optional[ModelProfile] = None
         self._pending: dict[int, Geometry] = {}
+        self.tracer = platform.tracer
+        self._ctr_decisions = self.tracer.telemetry.counter("reconfig.decisions")
+        self._ctr_started = self.tracer.telemetry.counter("reconfig.started")
+        self._spans: dict[int, Span] = {}
         self._process = PeriodicProcess(
             platform.sim,
             self.config.monitor_interval,
@@ -175,6 +180,14 @@ class GpuReconfigurator:
             self.device,
         )
         self.decisions += 1
+        self._ctr_decisions.inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "reconfig.decision",
+                track="reconfig",
+                geometry=str(decision),
+                predicted_be=round(self.predictor.predict(), 3),
+            )
         if decision != self.target:
             self.target = decision
             self.wait_ctr = 0
@@ -204,6 +217,14 @@ class GpuReconfigurator:
             scheduler = self.platform.dispatcher.scheduler_for(node)
             scheduler.hold = True
             self.reconfigurations_started += 1
+            self._ctr_started.inc()
+            if self.tracer.enabled:
+                self._spans[node.node_id] = self.tracer.begin(
+                    "reconfig.apply",
+                    track="reconfig",
+                    node=node.name,
+                    geometry=str(geometry),
+                )
             self._try_start(node)
 
     def notify_quiescent(self, node: WorkerNode) -> None:
@@ -215,6 +236,7 @@ class GpuReconfigurator:
         """Drop pending state for a node that got evicted mid-flight."""
         if self._pending.pop(node.node_id, None) is not None:
             self.platform.cluster.governor.release()
+            self.tracer.end(self._spans.pop(node.node_id, None), aborted=True)
 
     def _try_start(self, node: WorkerNode) -> None:
         geometry = self._pending.get(node.node_id)
@@ -229,6 +251,7 @@ class GpuReconfigurator:
             self.geometry_log.append(
                 (self.platform.sim.now, node.name, geometry)
             )
+            self.tracer.end(self._spans.pop(node.node_id, None))
             self.platform.cluster.governor.release()
             scheduler = self.platform.dispatcher.try_scheduler_for(node)
             if scheduler is not None:

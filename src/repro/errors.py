@@ -56,6 +56,14 @@ class TraceError(ReproError):
     """A trace generator was configured inconsistently."""
 
 
+class TraceFormatError(TraceError):
+    """A persisted trace file (CSV) is malformed or inconsistent."""
+
+
+class ObservabilityError(ReproError):
+    """The tracing/telemetry subsystem was misused (e.g. double-end)."""
+
+
 class ClusterError(ReproError):
     """Base class for cluster/VM-layer errors."""
 

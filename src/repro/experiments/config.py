@@ -65,6 +65,11 @@ class ExperimentConfig:
     #: paper's latency model (no batch-formation term in Section 4.1).
     batched_arrivals: bool = True
 
+    # Observability. Tracing is an observer: enabling it must leave every
+    # metric bit-identical (asserted by the determinism regression test).
+    tracing: bool = False
+    telemetry_interval: float = 5.0
+
     # Determinism
     seed: int = 0
 
@@ -81,6 +86,8 @@ class ExperimentConfig:
             raise ConfigurationError(
                 f"unknown procurement mode {self.procurement!r}"
             )
+        if self.telemetry_interval <= 0:
+            raise ConfigurationError("telemetry_interval must be positive")
 
     # ------------------------------------------------------------------
     # Derived workload objects

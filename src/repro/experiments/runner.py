@@ -25,6 +25,9 @@ from repro.metrics.latency import latency_cdf, p50, p99
 from repro.metrics.records import RecordCollector, RequestRecord
 from repro.metrics.slo import slo_compliance
 from repro.metrics.summary import RunSummary, filter_window
+from repro.observability.span import CATEGORY_RUN
+from repro.observability.telemetry import TelemetrySampler
+from repro.observability.tracer import NULL_TRACER, SimTracer, Tracer
 from repro.metrics.throughput import (
     cluster_utilization,
     strict_throughput_per_gpu,
@@ -57,6 +60,9 @@ class ExperimentResult:
     #: The live platform (scheme daemons, cluster, pools) for post-hoc
     #: inspection — e.g. Figure 7 reads the reconfigurator's geometry log.
     platform: ServerlessPlatform | None = None
+    #: The run's tracer when ``config.tracing`` is set; feed it to
+    #: :func:`repro.observability.write_chrome_trace` et al. None otherwise.
+    tracer: Tracer | None = None
 
     def cdf(self, *, strict_only: bool = True, points: int = 200):
         """Latency CDF over the measured window (Figure 8)."""
@@ -151,6 +157,7 @@ def run_scheme(
         scheme = make_scheme(scheme_name, oracle_plan=oracle_plan)
 
     sim = Simulator(config.seed)
+    tracer: Tracer = SimTracer(sim) if config.tracing else NULL_TRACER
     platform = ServerlessPlatform(
         sim,
         scheme,
@@ -162,6 +169,7 @@ def run_scheme(
             reconfig_seconds=config.reconfig_seconds,
             gpu_device=config.gpu_device,
         ),
+        tracer=tracer,
     )
     market = SpotMarket(
         sim,
@@ -169,6 +177,7 @@ def run_scheme(
         AVAILABILITY_LEVELS[config.spot_availability],
         notice_seconds=config.spot_notice_seconds,
         check_interval=config.spot_check_interval,
+        tracer=tracer,
     )
     procurement = Procurement(
         platform,
@@ -181,6 +190,20 @@ def run_scheme(
     procurement.provision_initial()
     _prewarm(platform, config)
     platform.inject(specs)
+    sampler: TelemetrySampler | None = None
+    if tracer.enabled:
+        tracer.instant(
+            "run.start",
+            category=CATEGORY_RUN,
+            track="run",
+            scheme=scheme_name,
+            seed=config.seed,
+            duration=config.duration,
+        )
+        sampler = TelemetrySampler(
+            sim, tracer.telemetry, interval=config.telemetry_interval
+        )
+        sampler.start()
     # Snapshot utilization when the trace ends so drain time does not
     # dilute the Figure 10b metrics.
     utilization_box: list = []
@@ -191,14 +214,22 @@ def run_scheme(
     )
     sim.run(until=config.duration + config.drain)
     platform.finalize()
+    if tracer.enabled:
+        if sampler is not None:
+            sampler.stop()
+        tracer.instant("run.end", category=CATEGORY_RUN, track="run")
+        tracer.close_open_spans(reason="run ended")
     utilization = (
         utilization_box[0]
         if utilization_box
         else cluster_utilization(platform.all_nodes)
     )
-    return _summarize(
+    result = _summarize(
         scheme_name, config, platform, procurement, specs, utilization
     )
+    if tracer.enabled:
+        result.tracer = tracer
+    return result
 
 
 def run_comparison(

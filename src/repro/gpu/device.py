@@ -23,6 +23,8 @@ from repro.errors import ReconfigurationInProgressError, SliceBusyError
 from repro.gpu.device_models import A100_40GB, MigDeviceModel, geometry_profiles
 from repro.gpu.engine import GPUSlice, ShareMode
 from repro.gpu.mig import Geometry, GEOMETRY_FULL
+from repro.observability.span import CATEGORY_GPU
+from repro.observability.tracer import NULL_TRACER, Tracer
 from repro.simulation.simulator import Simulator
 
 #: MIG geometry change downtime, seconds (paper Section 4.4: "~2s").
@@ -59,9 +61,11 @@ class GPU:
         reconfig_seconds: float = DEFAULT_RECONFIG_SECONDS,
         name: str = "",
         device_model: MigDeviceModel = A100_40GB,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.sim = sim
         self.mode = mode
+        self.tracer = tracer
         self.device_model = device_model
         self.reconfig_seconds = reconfig_seconds
         self.gpu_id = next(_gpu_ids)
@@ -140,12 +144,20 @@ class GPU:
             return
         self._retire_slices()
         self.reconfiguring = True
+        span = self.tracer.begin(
+            "gpu.reconfigure",
+            category=CATEGORY_GPU,
+            track=f"gpu/{self.name}",
+            gpu=self.name,
+            geometry=str(geometry),
+        )
 
         def finish() -> None:
             self.reconfiguring = False
             self.geometry = geometry
             self._build_slices(geometry)
             self.reconfigurations += 1
+            self.tracer.end(span)
             if on_done is not None:
                 on_done(self)
 
@@ -160,6 +172,7 @@ class GPU:
                 prof,
                 self.mode,
                 name=f"{self.name}/{prof.kind.value}#{index}",
+                tracer=self.tracer,
             )
             gpu_slice.busy_observer = self._on_slice_busy_change
             self.slices.append(gpu_slice)

@@ -30,6 +30,7 @@ from typing import Callable, Optional
 
 from repro.errors import InsufficientMemoryError, SimulationError
 from repro.gpu.mig import SliceProfile
+from repro.observability.tracer import NULL_TRACER, Tracer
 from repro.simulation.events import Event
 from repro.simulation.simulator import Simulator
 
@@ -61,6 +62,8 @@ class JobTiming:
     finished_at: float
     work: float
     rdf: float
+    #: Name of the slice that executed the job (for span attribution).
+    slice_name: str = ""
 
     @property
     def pending_time(self) -> float:
@@ -127,11 +130,16 @@ class GPUSlice:
         mode: ShareMode = ShareMode.MPS,
         *,
         name: str = "",
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.sim = sim
         self.profile = profile
         self.mode = mode
         self.name = name or profile.kind.value
+        self.tracer = tracer
+        self._jobs_submitted = tracer.telemetry.counter("gpu.jobs_submitted")
+        self._jobs_finished = tracer.telemetry.counter("gpu.jobs_completed")
+        self._pending_hist = tracer.telemetry.histogram("gpu.pending_time_s")
         self._running: list[SliceJob] = []
         self._pending: deque[SliceJob] = deque()
         self.memory_used = 0.0
@@ -205,6 +213,7 @@ class GPUSlice:
                 f"{self.profile.kind.value} capacity {self.profile.memory_gb:.1f} GB"
             )
         job.submitted_at = self.sim.now
+        self._jobs_submitted.inc()
         self._pending.append(job)
         self._account()
         self._admit_pending()
@@ -286,13 +295,16 @@ class GPUSlice:
             raise SimulationError("slice memory accounting went negative")
         self.memory_used = max(0.0, self.memory_used)
         self.completed_jobs += 1
+        self._jobs_finished.inc()
         timing = JobTiming(
             submitted_at=job.submitted_at,
             started_at=job.started_at,
             finished_at=self.sim.now,
             work=job.work,
             rdf=job.rdf,
+            slice_name=self.name,
         )
+        self._pending_hist.observe(timing.pending_time)
         self._admit_pending()
         self._reschedule()
         self._notify_busy()

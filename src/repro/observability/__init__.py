@@ -1,0 +1,62 @@
+"""Observability: span tracing, telemetry, and trace export.
+
+The serving stack is instrumented end to end — every request's lifecycle
+(``gateway.admit`` → ``queue.wait`` → ``batch.form`` → ``slice.execute``
+→ ``complete``/``slo_violation``) and every control-plane action
+(reconfiguration, autoscaling, procurement, spot eviction) becomes a
+:class:`Span` when a live :class:`SimTracer` is threaded through the
+platform. With the default :data:`NULL_TRACER` every trace point is a
+constant no-op, keeping the untraced hot path within the <5% overhead
+budget.
+
+Typical use::
+
+    config = ExperimentConfig(tracing=True)
+    result = run_scheme("protean", config)
+    write_chrome_trace(result.tracer, "trace.json")  # open in ui.perfetto.dev
+
+or from the CLI: ``python -m repro trace fig5 --out trace.json``.
+"""
+
+from repro.observability.export import (
+    text_summary,
+    to_trace_events,
+    write_chrome_trace,
+    write_span_jsonl,
+)
+from repro.observability.span import (
+    CATEGORY_CONTROL,
+    CATEGORY_GPU,
+    CATEGORY_REQUEST,
+    CATEGORY_RUN,
+    Span,
+)
+from repro.observability.telemetry import (
+    Counter,
+    Histogram,
+    NullTelemetry,
+    TelemetryRegistry,
+    TelemetrySampler,
+)
+from repro.observability.tracer import NULL_TRACER, NullTracer, SimTracer, Tracer
+
+__all__ = [
+    "CATEGORY_CONTROL",
+    "CATEGORY_GPU",
+    "CATEGORY_REQUEST",
+    "CATEGORY_RUN",
+    "Counter",
+    "Histogram",
+    "NULL_TRACER",
+    "NullTelemetry",
+    "NullTracer",
+    "SimTracer",
+    "Span",
+    "TelemetryRegistry",
+    "TelemetrySampler",
+    "Tracer",
+    "text_summary",
+    "to_trace_events",
+    "write_chrome_trace",
+    "write_span_jsonl",
+]

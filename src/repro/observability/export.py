@@ -1,0 +1,195 @@
+"""Trace exporters: Chrome/Perfetto ``trace_event`` JSON, JSONL, text.
+
+The Chrome trace-event format (also read by ``ui.perfetto.dev``) is the
+interchange target: one JSON object with a ``traceEvents`` list. The
+mapping from our span model:
+
+- Request-lifecycle spans (category ``"request"``) overlap freely, so
+  they become legacy *async* event pairs (``ph: "b"`` / ``ph: "e"``)
+  keyed by the span's correlation id (its ``request_id`` / ``batch_id``
+  attribute) — Perfetto renders each request's chain as one async track
+  group without requiring stack discipline.
+- Control-plane / GPU / run spans become *complete* events (``ph: "X"``)
+  on the thread assigned to their ``track`` — e.g. reconfigurations on
+  ``reconfig``, spot drains on ``spot``, each labelled via thread-name
+  metadata events so they appear as their own named tracks in the UI.
+- Zero-duration spans become *instant* events (``ph: "i"``).
+
+Timestamps are microseconds of simulated time (the format's unit).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.observability.span import CATEGORY_REQUEST, Span
+from repro.observability.tracer import SimTracer
+
+#: Synthetic process id for the single simulated "process".
+_PID = 1
+
+#: Attribute keys used (in order) to correlate async request events.
+_CORRELATION_KEYS = ("request_id", "batch_id", "correlation_id")
+
+
+def _usec(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def _correlation_id(span: Span) -> str:
+    for key in _CORRELATION_KEYS:
+        value = span.attrs.get(key)
+        if value is not None:
+            return f"{key}:{value}"
+    return f"span:{span.span_id}"
+
+
+def _json_safe(attrs: dict) -> dict:
+    """Attribute dict with non-JSON values stringified (e.g. Geometry)."""
+    safe = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            safe[key] = value
+        elif isinstance(value, (list, tuple)):
+            safe[key] = [
+                v if isinstance(v, (str, int, float, bool)) else str(v)
+                for v in value
+            ]
+        else:
+            safe[key] = str(value)
+    return safe
+
+
+def to_trace_events(tracer: SimTracer) -> list[dict]:
+    """Flatten a tracer's spans into Chrome ``trace_event`` dicts."""
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro simulation"},
+        }
+    ]
+    tids: dict[str, int] = {}
+
+    def tid_for(track: str) -> int:
+        tid = tids.get(track)
+        if tid is None:
+            tid = tids[track] = len(tids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": track},
+                }
+            )
+        return tid
+
+    for span in tracer.spans:
+        args = _json_safe(span.attrs)
+        base = {
+            "name": span.name,
+            "cat": span.category,
+            "pid": _PID,
+            "tid": tid_for(span.track),
+            "args": args,
+        }
+        if span.category == CATEGORY_REQUEST and span.duration > 0:
+            cid = _correlation_id(span)
+            events.append(
+                {**base, "ph": "b", "id": cid, "ts": _usec(span.start)}
+            )
+            events.append(
+                {**base, "ph": "e", "id": cid, "ts": _usec(span.end)}
+            )
+        elif span.duration > 0:
+            events.append(
+                {
+                    **base,
+                    "ph": "X",
+                    "ts": _usec(span.start),
+                    "dur": _usec(span.duration),
+                }
+            )
+        else:
+            events.append(
+                {**base, "ph": "i", "ts": _usec(span.start), "s": "t"}
+            )
+    return events
+
+
+def write_chrome_trace(tracer: SimTracer, path: str | Path) -> Path:
+    """Write the Perfetto-loadable ``trace_event`` JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "traceEvents": to_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.observability",
+            "spans": len(tracer.spans),
+            "counters": tracer.telemetry.counters(),
+        },
+    }
+    with path.open("w") as handle:
+        json.dump(document, handle)
+    return path
+
+
+def write_span_jsonl(tracer: SimTracer, path: str | Path) -> Path:
+    """Write one JSON object per span (machine-readable span log)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for span in tracer.spans:
+            handle.write(
+                json.dumps(
+                    {
+                        "span_id": span.span_id,
+                        "parent_id": span.parent_id,
+                        "name": span.name,
+                        "category": span.category,
+                        "track": span.track,
+                        "start": span.start,
+                        "end": span.end,
+                        "attrs": _json_safe(span.attrs),
+                    }
+                )
+            )
+            handle.write("\n")
+    return path
+
+
+def text_summary(tracer: SimTracer) -> str:
+    """Human-readable rollup: per-span-name counts/durations + counters."""
+    by_name: dict[str, list[Span]] = {}
+    for span in tracer.spans:
+        by_name.setdefault(span.name, []).append(span)
+    lines = ["span name                  count    total_s     mean_ms"]
+    for name in sorted(by_name):
+        spans = by_name[name]
+        total = sum(s.duration for s in spans)
+        mean_ms = 1000.0 * total / len(spans)
+        lines.append(f"{name:<25s} {len(spans):>6d} {total:>10.3f} {mean_ms:>11.3f}")
+    counters = tracer.telemetry.counters()
+    if counters:
+        lines.append("")
+        lines.append("counter                                value")
+        for name, value in counters.items():
+            lines.append(f"{name:<36s} {value:>8d}")
+    histograms = tracer.telemetry.histograms()
+    if histograms:
+        lines.append("")
+        lines.append("histogram                   count        mean         max")
+        for name in sorted(histograms):
+            hist = histograms[name]
+            if hist.count:
+                lines.append(
+                    f"{name:<25s} {hist.count:>8d} {hist.mean:>11.4f} "
+                    f"{hist.maximum:>11.4f}"
+                )
+    return "\n".join(lines)

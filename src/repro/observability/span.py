@@ -1,0 +1,64 @@
+"""Span model: the unit of tracing.
+
+A :class:`Span` is a named interval of simulated time with attributes.
+Spans form the complete lifecycle record of every request flowing through
+the platform (``gateway.admit`` → ``queue.wait`` → ``batch.form`` →
+``slice.execute`` → ``complete``/``slo_violation``) and of every
+control-plane action (reconfiguration, autoscaling, procurement, spot
+eviction). Zero-duration spans (``start == end``) model instant events.
+
+Spans carry a ``category`` (which exporters use to pick a rendering —
+request-lifecycle spans overlap freely and become Perfetto *async*
+events; control-plane spans sit on per-track timelines) and a ``track``
+(the named timeline they render on, e.g. ``"requests"``, ``"reconfig"``,
+``"node/vm3"``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+#: Request-lifecycle spans; exported as async (overlapping) events keyed
+#: by the request/batch id in their attributes.
+CATEGORY_REQUEST = "request"
+#: Control-plane spans (reconfiguration, autoscaling, procurement, spot).
+CATEGORY_CONTROL = "control"
+#: GPU-substrate spans (MIG reconfiguration downtime, slice activity).
+CATEGORY_GPU = "gpu"
+#: Run-level markers (run start/end, warmup boundary).
+CATEGORY_RUN = "run"
+
+_span_ids = itertools.count(1)
+
+
+@dataclass
+class Span:
+    """One named, attributed interval of simulated time.
+
+    ``end`` is ``None`` while the span is open; :meth:`SimTracer.end`
+    closes it. ``parent_id`` links nested spans (0 means root).
+    """
+
+    name: str
+    start: float
+    category: str = CATEGORY_CONTROL
+    track: str = "main"
+    end: float | None = None
+    attrs: dict = field(default_factory=dict)
+    span_id: int = field(default_factory=lambda: next(_span_ids))
+    parent_id: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated seconds (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    @property
+    def closed(self) -> bool:
+        """Whether the span has been ended."""
+        return self.end is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        when = f"[{self.start:.6f}, {self.end:.6f}]" if self.closed else f"[{self.start:.6f}, ...)"
+        return f"Span(#{self.span_id} {self.name!r} {when} {self.track})"

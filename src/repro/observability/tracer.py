@@ -1,0 +1,223 @@
+"""The span tracer: live and null implementations.
+
+Two concrete tracers share one interface:
+
+- :class:`SimTracer` — records spans against the simulator clock into an
+  in-memory buffer, ready for export (Perfetto JSON, JSONL, text).
+- :class:`NullTracer` — the zero-overhead-when-off fast path. Every
+  method is a constant no-op and its telemetry registry hands out shared
+  null instruments, so fully-instrumented components cost one no-op call
+  per trace point when tracing is disabled. A process-wide singleton
+  (:data:`NULL_TRACER`) is the default everywhere a tracer is threaded.
+
+Tracing is an *observer*: tracers never schedule events, never draw from
+RNG streams, and never mutate platform state, so enabling tracing leaves
+the simulated system bit-identical (the determinism regression test
+asserts this).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ObservabilityError
+from repro.observability.span import CATEGORY_CONTROL, Span
+from repro.observability.telemetry import NullTelemetry, TelemetryRegistry
+from repro.simulation.simulator import Simulator
+
+
+class Tracer:
+    """Interface shared by :class:`SimTracer` and :class:`NullTracer`."""
+
+    #: Whether this tracer records anything. Hot paths may branch on this
+    #: to skip attribute-dict construction entirely.
+    enabled: bool = False
+
+    #: The instrument registry components fetch counters/histograms from.
+    telemetry: TelemetryRegistry
+
+    def begin(
+        self,
+        name: str,
+        *,
+        category: str = CATEGORY_CONTROL,
+        track: str = "main",
+        parent: Span | None = None,
+        **attrs,
+    ) -> Span | None:
+        """Open a span now; returns ``None`` when tracing is disabled."""
+        raise NotImplementedError
+
+    def end(self, span: Span | None, **attrs) -> None:
+        """Close ``span`` now, folding ``attrs`` in. ``None`` is a no-op
+        so call sites need no disabled-tracing branch."""
+        raise NotImplementedError
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        category: str = CATEGORY_CONTROL,
+        track: str = "main",
+        **attrs,
+    ) -> None:
+        """Record a completed span retroactively with explicit times."""
+        raise NotImplementedError
+
+    def instant(
+        self,
+        name: str,
+        *,
+        category: str = CATEGORY_CONTROL,
+        track: str = "main",
+        **attrs,
+    ) -> None:
+        """Record a zero-duration marker at the current simulated time."""
+        raise NotImplementedError
+
+
+class NullTracer(Tracer):
+    """The disabled-tracing fast path: every operation is a no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.telemetry = NullTelemetry()
+
+    def begin(self, name, *, category=CATEGORY_CONTROL, track="main",
+              parent=None, **attrs):
+        return None
+
+    def end(self, span, **attrs):
+        pass
+
+    def record(self, name, start, end, *, category=CATEGORY_CONTROL,
+               track="main", **attrs):
+        pass
+
+    def instant(self, name, *, category=CATEGORY_CONTROL, track="main",
+                **attrs):
+        pass
+
+
+#: Process-wide shared null tracer: the default wherever one is threaded.
+NULL_TRACER = NullTracer()
+
+
+class SimTracer(Tracer):
+    """Live tracer bound to a :class:`Simulator` clock.
+
+    Spans land in :attr:`spans` in completion order (open spans are
+    tracked separately and flushed by :meth:`close_open_spans` at the end
+    of a run so in-flight work is never silently dropped).
+    """
+
+    enabled = True
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.telemetry = TelemetryRegistry()
+        self.spans: list[Span] = []
+        self._open: dict[int, Span] = {}
+
+    # ------------------------------------------------------------------
+    # Span API
+    # ------------------------------------------------------------------
+    def begin(
+        self,
+        name: str,
+        *,
+        category: str = CATEGORY_CONTROL,
+        track: str = "main",
+        parent: Span | None = None,
+        **attrs,
+    ) -> Span:
+        span = Span(
+            name=name,
+            start=self.sim.now,
+            category=category,
+            track=track,
+            attrs=attrs,
+            parent_id=parent.span_id if parent is not None else 0,
+        )
+        self._open[span.span_id] = span
+        return span
+
+    def end(self, span: Span | None, **attrs) -> None:
+        if span is None:
+            return
+        if self._open.pop(span.span_id, None) is None:
+            raise ObservabilityError(f"span ended twice or never begun: {span!r}")
+        span.end = self.sim.now
+        if attrs:
+            span.attrs.update(attrs)
+        self.spans.append(span)
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        category: str = CATEGORY_CONTROL,
+        track: str = "main",
+        **attrs,
+    ) -> None:
+        if end < start:
+            raise ObservabilityError(
+                f"span {name!r} ends before it starts: [{start}, {end}]"
+            )
+        self.spans.append(
+            Span(
+                name=name,
+                start=start,
+                end=end,
+                category=category,
+                track=track,
+                attrs=attrs,
+            )
+        )
+
+    def instant(
+        self,
+        name: str,
+        *,
+        category: str = CATEGORY_CONTROL,
+        track: str = "main",
+        **attrs,
+    ) -> None:
+        now = self.sim.now
+        self.spans.append(
+            Span(
+                name=name,
+                start=now,
+                end=now,
+                category=category,
+                track=track,
+                attrs=attrs,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Run finalization / introspection
+    # ------------------------------------------------------------------
+    @property
+    def open_spans(self) -> tuple[Span, ...]:
+        """Spans begun but not yet ended (snapshot)."""
+        return tuple(self._open.values())
+
+    def close_open_spans(self, **attrs) -> int:
+        """Force-close every open span at the current time (end of run).
+
+        Marks them ``truncated=True`` so exports distinguish spans cut
+        off by run end from naturally-completed ones. Returns the count.
+        """
+        count = 0
+        for span in list(self._open.values()):
+            self.end(span, truncated=True, **attrs)
+            count += 1
+        return count
+
+    def spans_named(self, name: str) -> list[Span]:
+        """All recorded spans with ``name`` (test/analysis helper)."""
+        return [s for s in self.spans if s.name == name]

@@ -13,6 +13,8 @@ import math
 from typing import Callable
 
 from repro.errors import ConfigurationError
+from repro.observability.span import CATEGORY_REQUEST, Span
+from repro.observability.tracer import NULL_TRACER, Tracer
 from repro.serverless.request import Request, RequestBatch
 from repro.simulation.events import Event
 from repro.simulation.simulator import Simulator
@@ -30,14 +32,18 @@ class Batcher:
         on_batch: Callable[[RequestBatch], None],
         *,
         max_wait: float = DEFAULT_MAX_WAIT,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         if max_wait <= 0:
             raise ConfigurationError("max_wait must be positive")
         self.sim = sim
         self.on_batch = on_batch
         self.max_wait = max_wait
+        self.tracer = tracer
         self._buffers: dict[tuple[str, bool], list[Request]] = {}
         self._timers: dict[tuple[str, bool], Event] = {}
+        self._form_spans: dict[tuple[str, bool], Span] = {}
+        self._batch_size_hist = tracer.telemetry.histogram("batch.size")
         self.batches_emitted = 0
 
     def add(self, request: Request) -> None:
@@ -45,6 +51,14 @@ class Batcher:
         key = (request.model.name, request.strict)
         buffer = self._buffers.setdefault(key, [])
         buffer.append(request)
+        if self.tracer.enabled and len(buffer) == 1:
+            self._form_spans[key] = self.tracer.begin(
+                "batch.form",
+                category=CATEGORY_REQUEST,
+                track="batch",
+                model=request.model.name,
+                strict=request.strict,
+            )
         if len(buffer) >= request.model.batch_size:
             self._flush(key)
         elif len(buffer) == 1:
@@ -90,4 +104,12 @@ class Batcher:
             batch.add(request)
         self._buffers[key] = []
         self.batches_emitted += 1
+        self._batch_size_hist.observe(len(batch))
+        if self.tracer.enabled:
+            self.tracer.end(
+                self._form_spans.pop(key, None),
+                batch_id=batch.batch_id,
+                request_ids=[r.request_id for r in batch.requests],
+                size=len(batch),
+            )
         self.on_batch(batch)

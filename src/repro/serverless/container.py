@@ -19,6 +19,7 @@ from enum import Enum
 from typing import Callable
 
 from repro.errors import ConfigurationError
+from repro.observability.tracer import NULL_TRACER, Tracer
 from repro.simulation.processes import OneShotTimer
 from repro.simulation.simulator import Simulator
 
@@ -73,12 +74,17 @@ class ContainerPool:
         *,
         cold_start_seconds: float = DEFAULT_COLD_START_SECONDS,
         keep_alive_seconds: float = DEFAULT_KEEP_ALIVE_SECONDS,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         if cold_start_seconds < 0 or keep_alive_seconds < 0:
             raise ConfigurationError("container delays must be non-negative")
         self.sim = sim
         self.cold_start_seconds = cold_start_seconds
         self.keep_alive_seconds = keep_alive_seconds
+        self.tracer = tracer
+        self._ctr_cold = tracer.telemetry.counter("containers.cold_starts")
+        self._ctr_warm = tracer.telemetry.counter("containers.warm_hits")
+        self._ctr_prewarm = tracer.telemetry.counter("containers.prewarms")
         self._idle: dict[str, list[Container]] = {}
         self._all: set[Container] = set()
         self.cold_starts = 0
@@ -105,11 +111,13 @@ class ContainerPool:
             container._keep_alive.cancel()
             container.state = ContainerState.BUSY
             self.warm_hits += 1
+            self._ctr_warm.inc()
             ready(container, 0.0)
             return
         container = Container(self, model_name)
         self._all.add(container)
         self.cold_starts += 1
+        self._ctr_cold.inc()
 
         def booted() -> None:
             if container.state is ContainerState.TERMINATED:
@@ -142,6 +150,8 @@ class ContainerPool:
         container = Container(self, model_name)
         self._all.add(container)
         self.cold_starts += 1
+        self._ctr_cold.inc()
+        self._ctr_prewarm.inc()
 
         def booted() -> None:
             if container.state is ContainerState.TERMINATED:

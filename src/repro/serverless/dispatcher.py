@@ -13,6 +13,7 @@ from typing import Callable
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import WorkerNode
+from repro.observability.tracer import NULL_TRACER, Tracer
 from repro.serverless.request import RequestBatch
 from repro.serverless.scheduler import NodeScheduler
 
@@ -47,10 +48,14 @@ class Dispatcher:
         *,
         policy: DispatchPolicy = DispatchPolicy.LEAST_LOADED,
         consolidation_limit: int = DEFAULT_CONSOLIDATION_LIMIT,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.cluster = cluster
         self.policy = policy
         self.consolidation_limit = consolidation_limit
+        self.tracer = tracer
+        self._routed_counter = tracer.telemetry.counter("dispatch.batches_routed")
+        self._backlog_counter = tracer.telemetry.counter("dispatch.backlogged")
         self._schedulers: dict[int, NodeScheduler] = {}
         self._backlog: list[RequestBatch] = []
         self.batches_routed = 0
@@ -87,8 +92,16 @@ class Dispatcher:
         target = self._pick_node()
         if target is None:
             self._backlog.append(batch)
+            self._backlog_counter.inc()
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "dispatch.backlogged",
+                    track="dispatch",
+                    batch_id=batch.batch_id,
+                )
             return
         self.batches_routed += 1
+        self._routed_counter.inc()
         self._schedulers[target.node_id].submit(batch)
 
     def resubmit(self, batch: RequestBatch) -> None:

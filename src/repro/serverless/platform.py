@@ -22,6 +22,8 @@ from repro.gpu.device import GPU
 from repro.gpu.device_models import get_device_model
 from repro.gpu.engine import JobTiming
 from repro.metrics.records import RecordCollector, RequestRecord
+from repro.observability.span import CATEGORY_REQUEST
+from repro.observability.tracer import NULL_TRACER, Tracer
 from repro.serverless.batcher import DEFAULT_MAX_WAIT, Batcher
 from repro.serverless.container import (
     DEFAULT_COLD_START_SECONDS,
@@ -67,20 +69,41 @@ class ServerlessPlatform:
         *,
         collector: RecordCollector | None = None,
         pricing: ProviderPricing = DEFAULT_PRICING,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.sim = sim
         self.scheme = scheme
         self.config = config or PlatformConfig()
         self.collector = collector or RecordCollector()
         self.meter = CostMeter(pricing)
+        self.tracer = tracer
         self.cluster = Cluster(reconfig_fraction=self.config.reconfig_fraction)
         self.dispatcher = Dispatcher(
             self.cluster,
             policy=scheme.dispatch_policy,
             consolidation_limit=scheme.consolidation_limit,
+            tracer=tracer,
         )
         self.batcher = Batcher(
-            sim, self.dispatcher.route, max_wait=self.config.batch_max_wait
+            sim,
+            self.dispatcher.route,
+            max_wait=self.config.batch_max_wait,
+            tracer=tracer,
+        )
+        telemetry = tracer.telemetry
+        self._ctr_admitted = telemetry.counter("gateway.requests_admitted")
+        self._ctr_completed = telemetry.counter("requests.completed")
+        self._ctr_violations = telemetry.counter("requests.slo_violations")
+        self._hist_latency = telemetry.histogram("request.latency_s")
+        self._hist_queue_delay = telemetry.histogram("request.queue_delay_s")
+        telemetry.register_gauge(
+            "dispatch.backlog", lambda: self.dispatcher.backlog_size
+        )
+        telemetry.register_gauge(
+            "batcher.pending", lambda: self.batcher.pending_requests
+        )
+        telemetry.register_gauge(
+            "cluster.active_nodes", lambda: len(self.cluster.active_nodes)
         )
         #: Daemons (reconfigurator, autoscaler) observing the ingest path.
         self.request_observers: list = []
@@ -91,6 +114,17 @@ class ServerlessPlatform:
         self._started_at = sim.now
 
     def _ingest(self, request: Request) -> None:
+        self._ctr_admitted.inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "gateway.admit",
+                category=CATEGORY_REQUEST,
+                track="gateway",
+                request_id=request.request_id,
+                model=request.model.name,
+                strict=request.strict,
+                deadline=request.deadline,
+            )
         for observer in self.request_observers:
             observer(request)
         self.batcher.add(request)
@@ -107,12 +141,25 @@ class ServerlessPlatform:
             self.scheme.share_mode,
             reconfig_seconds=self.config.reconfig_seconds,
             device_model=get_device_model(self.config.gpu_device),
+            tracer=self.tracer,
         )
         node = WorkerNode(vm, gpu)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "node.join",
+                track="cluster",
+                node=node.name,
+                tier=tier.value,
+                gpu=gpu.name,
+            )
+            self.tracer.telemetry.register_gauge(
+                f"gpu.occupancy.{node.name}", lambda: node.gpu.occupancy
+            )
         pool = ContainerPool(
             self.sim,
             cold_start_seconds=self.config.cold_start_seconds,
             keep_alive_seconds=self.config.keep_alive_seconds,
+            tracer=self.tracer,
         )
         scheduler = self.scheme.create_scheduler(self, node, pool)
         self._pools[node.node_id] = pool
@@ -144,6 +191,14 @@ class ServerlessPlatform:
             node.vm.terminate()
         self.cluster.remove(node)
         self.scheme.on_node_retired(self, node)
+        if self.tracer.enabled:
+            self.tracer.telemetry.unregister_gauge(f"gpu.occupancy.{node.name}")
+            self.tracer.instant(
+                "node.retire",
+                track="cluster",
+                node=node.name,
+                resubmitted_batches=len(unfinished),
+            )
         for batch in unfinished:
             self.dispatcher.resubmit(batch)
 
@@ -184,6 +239,10 @@ class ServerlessPlatform:
             0.0,
             timing.started_at - batch.created_at - batch.cold_start_seconds,
         )
+        self._ctr_completed.inc(len(batch.requests))
+        self._hist_queue_delay.observe(queue_delay)
+        if self.tracer.enabled:
+            self._trace_batch_completion(batch, timing, queue_delay)
         for request in batch.requests:
             self.collector.add(
                 RequestRecord(
@@ -199,6 +258,62 @@ class ServerlessPlatform:
                     deficiency=timing.deficiency_time,
                     interference=timing.interference_time,
                 )
+            )
+
+    def _trace_batch_completion(
+        self, batch: RequestBatch, timing: JobTiming, queue_delay: float
+    ) -> None:
+        """Emit the lifecycle spans of a finished batch and its requests.
+
+        ``queue.wait`` and ``slice.execute`` are recorded retroactively
+        from the authoritative :class:`JobTiming` — the engine already
+        measured the exact transitions, so live begin/end hooks on the
+        execution hot path would only duplicate them.
+        """
+        request_ids = [r.request_id for r in batch.requests]
+        self.tracer.record(
+            "queue.wait",
+            batch.created_at,
+            timing.started_at,
+            category=CATEGORY_REQUEST,
+            track="queue",
+            batch_id=batch.batch_id,
+            request_ids=request_ids,
+            cold_start_s=batch.cold_start_seconds,
+            queue_delay_s=queue_delay,
+        )
+        self.tracer.record(
+            "slice.execute",
+            timing.started_at,
+            timing.finished_at,
+            category=CATEGORY_REQUEST,
+            track="execute",
+            batch_id=batch.batch_id,
+            request_ids=request_ids,
+            model=batch.model.name,
+            strict=batch.strict,
+            slice=timing.slice_name,
+            work_s=timing.work,
+            deficiency_s=timing.deficiency_time,
+            interference_s=timing.interference_time,
+        )
+        for request in batch.requests:
+            latency = timing.finished_at - request.arrival
+            self._hist_latency.observe(latency)
+            violated = (
+                request.deadline is not None
+                and timing.finished_at > request.deadline
+            )
+            if violated:
+                self._ctr_violations.inc()
+            self.tracer.instant(
+                "slo_violation" if violated else "complete",
+                category=CATEGORY_REQUEST,
+                track="complete",
+                request_id=request.request_id,
+                batch_id=batch.batch_id,
+                latency_s=latency,
+                deadline=request.deadline,
             )
 
     # ------------------------------------------------------------------

@@ -18,10 +18,26 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.errors import TraceError
+from repro.errors import TraceError, TraceFormatError
 from repro.traces.base import RateTrace
 from repro.traces.mixing import RequestSpec
 from repro.workloads.registry import get_model
+
+
+def _is_header(row: list[str], first_data_row: bool) -> bool:
+    """Whether ``row`` is the optional leading header line.
+
+    Only the *first* non-blank row may be non-numeric; a non-numeric row
+    deeper in the file is corrupt data and must raise, not be skipped
+    (silent skipping is how a half-written trace loses rows unnoticed).
+    """
+    if not first_data_row:
+        return False
+    try:
+        float(row[0])
+    except ValueError:
+        return True
+    return False
 
 
 def save_rate_trace(trace: RateTrace, path: str | Path) -> None:
@@ -40,13 +56,27 @@ def load_rate_trace(path: str | Path, *, name: str = "") -> RateTrace:
     starts: list[float] = []
     rates: list[float] = []
     with path.open(newline="") as handle:
-        for row in csv.reader(handle):
+        for line_no, row in enumerate(csv.reader(handle), start=1):
             if not row or not row[0].strip():
                 continue
+            if _is_header(row, first_data_row=not starts):
+                continue
+            if len(row) != 2:
+                raise TraceFormatError(
+                    f"{path}:{line_no}: expected 2 columns "
+                    f"(interval_start_s,rate_rps), got {len(row)}"
+                )
             try:
                 start, rate = float(row[0]), float(row[1])
-            except ValueError:
-                continue  # header or comment line
+            except ValueError as exc:
+                raise TraceFormatError(
+                    f"{path}:{line_no}: non-numeric rate row {row!r}"
+                ) from exc
+            if starts and start <= starts[-1]:
+                raise TraceFormatError(
+                    f"{path}:{line_no}: non-monotonic interval start "
+                    f"{start} after {starts[-1]}"
+                )
             starts.append(start)
             rates.append(rate)
     if len(rates) < 1:
@@ -91,18 +121,39 @@ def load_request_stream(path: str | Path) -> list[RequestSpec]:
     path = Path(path)
     specs: list[RequestSpec] = []
     with path.open(newline="") as handle:
-        for row in csv.reader(handle):
+        for line_no, row in enumerate(csv.reader(handle), start=1):
             if not row or not row[0].strip():
                 continue
+            if _is_header(row, first_data_row=not specs):
+                continue
+            if not 3 <= len(row) <= 4:
+                raise TraceFormatError(
+                    f"{path}:{line_no}: expected 3-4 columns "
+                    f"(arrival_s,model,strict[,slo_multiplier]), "
+                    f"got {len(row)}"
+                )
             try:
                 arrival = float(row[0])
-            except ValueError:
-                continue  # header line
+            except ValueError as exc:
+                raise TraceFormatError(
+                    f"{path}:{line_no}: non-numeric arrival {row[0]!r}"
+                ) from exc
             if arrival < 0:
                 raise TraceError(f"{path}: negative arrival {arrival}")
             model = get_model(row[1])
-            strict = bool(int(row[2]))
-            multiplier = float(row[3]) if len(row) > 3 else 3.0
+            if row[2].strip() not in ("0", "1"):
+                raise TraceFormatError(
+                    f"{path}:{line_no}: strict flag must be 0 or 1, "
+                    f"got {row[2]!r}"
+                )
+            strict = row[2].strip() == "1"
+            try:
+                multiplier = float(row[3]) if len(row) > 3 else 3.0
+            except ValueError as exc:
+                raise TraceFormatError(
+                    f"{path}:{line_no}: non-numeric slo_multiplier "
+                    f"{row[3]!r}"
+                ) from exc
             specs.append(
                 RequestSpec(
                     arrival=arrival,

@@ -1,6 +1,5 @@
 """Unit tests for the Oracle scheme and PlannedReconfigurator."""
 
-import pytest
 
 from repro.baselines.oracle import OracleScheme, PlannedReconfigurator
 from repro.cluster.pricing import VMTier

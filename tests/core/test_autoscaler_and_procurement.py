@@ -5,7 +5,6 @@ import pytest
 from repro.cluster.pricing import VMTier
 from repro.cluster.spot import (
     HIGH_AVAILABILITY,
-    LOW_AVAILABILITY,
     SpotAvailability,
     SpotMarket,
 )

@@ -1,9 +1,8 @@
 """Tests for the BE-balancing extension (the paper's stated future work)."""
 
-import pytest
 
 from repro.core.distribution import choose_balanced_slice, distribute_batch
-from repro.core.protean import ProteanScheduler, ProteanScheme
+from repro.core.protean import ProteanScheme
 from repro.cluster.pricing import VMTier
 from repro.gpu import GEOMETRY_4G_2G_1G, GPU
 from repro.serverless.platform import PlatformConfig, ServerlessPlatform

@@ -1,6 +1,5 @@
 """Integration tests for the PROTEAN scheduler and scheme (§4)."""
 
-import pytest
 
 from repro.cluster.pricing import VMTier
 from repro.core.protean import ProteanScheme

@@ -1,6 +1,5 @@
 """Live-daemon tests for the GPU Reconfigurator: governor, eviction races."""
 
-import pytest
 
 from repro.cluster.pricing import VMTier
 from repro.core.protean import ProteanScheme

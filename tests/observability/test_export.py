@@ -1,0 +1,104 @@
+"""Tests for the Chrome-trace / JSONL / text exporters."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    CATEGORY_REQUEST,
+    SimTracer,
+    text_summary,
+    to_trace_events,
+    write_chrome_trace,
+    write_span_jsonl,
+)
+from repro.simulation.simulator import Simulator
+
+
+def _tracer_with_spans() -> SimTracer:
+    tracer = SimTracer(Simulator(0))
+    tracer.record(
+        "queue.wait", 1.0, 2.0,
+        category=CATEGORY_REQUEST, track="queue",
+        batch_id=7, request_ids=[1, 2],
+    )
+    tracer.record("reconfig.apply", 0.5, 2.5, track="reconfig", node="node0")
+    tracer.instant("spot.eviction", track="spot", vm="vm3")
+    tracer.telemetry.counter("requests.completed").inc(2)
+    tracer.telemetry.histogram("request.latency_s").observe(1.25)
+    return tracer
+
+
+class TestToTraceEvents:
+    def test_request_spans_become_async_pairs(self):
+        events = to_trace_events(_tracer_with_spans())
+        begins = [e for e in events if e["ph"] == "b"]
+        ends = [e for e in events if e["ph"] == "e"]
+        assert len(begins) == len(ends) == 1
+        assert begins[0]["name"] == "queue.wait"
+        assert begins[0]["id"] == ends[0]["id"] == "batch_id:7"
+        assert begins[0]["ts"] == pytest.approx(1.0e6)
+        assert ends[0]["ts"] == pytest.approx(2.0e6)
+
+    def test_control_spans_become_complete_events(self):
+        events = to_trace_events(_tracer_with_spans())
+        (complete,) = [e for e in events if e["ph"] == "X"]
+        assert complete["name"] == "reconfig.apply"
+        assert complete["ts"] == pytest.approx(0.5e6)
+        assert complete["dur"] == pytest.approx(2.0e6)
+
+    def test_zero_duration_spans_become_instants(self):
+        events = to_trace_events(_tracer_with_spans())
+        (instant,) = [e for e in events if e["ph"] == "i"]
+        assert instant["name"] == "spot.eviction"
+        assert instant["args"]["vm"] == "vm3"
+
+    def test_tracks_get_thread_name_metadata(self):
+        events = to_trace_events(_tracer_with_spans())
+        names = {
+            e["args"]["name"]: e["tid"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert set(names) == {"queue", "reconfig", "spot"}
+        spans_by_track = {
+            e["tid"] for e in events if e["ph"] in ("X", "i", "b", "e")
+        }
+        assert spans_by_track == set(names.values())
+
+    def test_non_json_attrs_are_stringified(self):
+        tracer = SimTracer(Simulator(0))
+
+        class Geometry:
+            def __str__(self):
+                return "4g+3g"
+
+        tracer.instant("x", geometry=Geometry(), kinds=(1, Geometry()))
+        (event,) = [e for e in to_trace_events(tracer) if e["ph"] == "i"]
+        assert event["args"]["geometry"] == "4g+3g"
+        assert event["args"]["kinds"] == [1, "4g+3g"]
+
+
+class TestWriters:
+    def test_chrome_trace_is_valid_json(self, tmp_path):
+        path = write_chrome_trace(_tracer_with_spans(), tmp_path / "t.json")
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["otherData"]["spans"] == 3
+        assert doc["otherData"]["counters"]["requests.completed"] == 2
+
+    def test_jsonl_one_object_per_span(self, tmp_path):
+        path = write_span_jsonl(_tracer_with_spans(), tmp_path / "t.jsonl")
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["name"] for r in rows] == [
+            "queue.wait", "reconfig.apply", "spot.eviction",
+        ]
+        assert rows[0]["attrs"]["request_ids"] == [1, 2]
+
+
+class TestTextSummary:
+    def test_rollup_mentions_spans_and_instruments(self):
+        summary = text_summary(_tracer_with_spans())
+        assert "queue.wait" in summary
+        assert "requests.completed" in summary
+        assert "request.latency_s" in summary

@@ -1,0 +1,123 @@
+"""End-to-end tracing: a traced run yields the full request span chain."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_scheme
+from repro.observability import SimTracer, to_trace_events
+from repro.observability.tracer import NULL_TRACER
+
+CONFIG = ExperimentConfig(
+    duration=30.0,
+    warmup=5.0,
+    drain=60.0,
+    n_nodes=2,
+    tracing=True,
+    seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def traced_result():
+    return run_scheme("protean", CONFIG)
+
+
+def test_untraced_run_exposes_no_tracer():
+    result = run_scheme("protean", CONFIG.with_overrides(tracing=False))
+    assert result.tracer is None
+    assert result.platform.tracer is NULL_TRACER
+    # The null tracer allocates no span storage at all (satellite of the
+    # <5% overhead budget: disabled tracing must not even build lists).
+    assert not hasattr(NULL_TRACER, "spans")
+
+
+def test_traced_run_exposes_sim_tracer(traced_result):
+    tracer = traced_result.tracer
+    assert isinstance(tracer, SimTracer)
+    assert tracer.spans
+    assert tracer.open_spans == ()  # everything closed by run end
+
+
+def test_every_completed_request_has_a_full_span_chain(traced_result):
+    tracer = traced_result.tracer
+    terminal = tracer.spans_named("complete") + tracer.spans_named(
+        "slo_violation"
+    )
+    assert terminal, "run completed no requests"
+    admitted = {
+        s.attrs["request_id"] for s in tracer.spans_named("gateway.admit")
+    }
+    waited = {
+        rid
+        for s in tracer.spans_named("queue.wait")
+        for rid in s.attrs["request_ids"]
+    }
+    executed = {
+        rid
+        for s in tracer.spans_named("slice.execute")
+        for rid in s.attrs["request_ids"]
+    }
+    formed = {
+        rid
+        for s in tracer.spans_named("batch.form")
+        for rid in s.attrs.get("request_ids", ())
+    }
+    for span in terminal:
+        rid = span.attrs["request_id"]
+        assert rid in admitted, f"request {rid} completed but never admitted"
+        assert rid in waited, f"request {rid} has no queue.wait span"
+        assert rid in executed, f"request {rid} has no slice.execute span"
+        assert rid in formed, f"request {rid} has no batch.form span"
+
+
+def test_lifecycle_span_times_are_ordered(traced_result):
+    tracer = traced_result.tracer
+    for name in ("queue.wait", "slice.execute"):
+        for span in tracer.spans_named(name):
+            assert span.closed
+            assert span.end >= span.start
+
+
+def test_control_plane_spans_sit_on_their_own_tracks(traced_result):
+    tracer = traced_result.tracer
+    decisions = tracer.spans_named("reconfig.decision")
+    assert decisions  # the Algorithm 2 daemon monitors every interval
+    assert {s.track for s in decisions} == {"reconfig"}
+    for span in tracer.spans_named("reconfig.apply"):
+        assert span.track == "reconfig"
+    for span in tracer.spans_named("gpu.reconfigure"):
+        assert span.track.startswith("gpu/")
+    request_tracks = {
+        s.track
+        for s in tracer.spans
+        if s.name in ("gateway.admit", "queue.wait", "slice.execute")
+    }
+    assert request_tracks.isdisjoint({"reconfig", "spot", "autoscale"})
+
+
+def test_run_markers_and_export(traced_result):
+    tracer = traced_result.tracer
+    assert len(tracer.spans_named("run.start")) == 1
+    assert len(tracer.spans_named("run.end")) == 1
+    events = to_trace_events(tracer)
+    opens = {}
+    for event in events:
+        if event["ph"] == "b":
+            opens[(event["id"], event["name"])] = (
+                opens.get((event["id"], event["name"]), 0) + 1
+            )
+        elif event["ph"] == "e":
+            opens[(event["id"], event["name"])] -= 1
+    assert all(count == 0 for count in opens.values())
+
+
+def test_telemetry_counters_match_platform_state(traced_result):
+    counters = traced_result.tracer.telemetry.counters()
+    platform = traced_result.platform
+    assert counters["requests.completed"] == len(
+        list(platform.collector.records)
+    )
+    assert counters["requests.completed"] <= counters[
+        "gateway.requests_admitted"
+    ]
+    assert counters["reconfig.decisions"] > 0

@@ -1,0 +1,80 @@
+"""Tests for the telemetry registry and the periodic gauge sampler."""
+
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import TelemetryRegistry, TelemetrySampler
+from repro.simulation.simulator import Simulator
+
+
+class TestCounter:
+    def test_inc(self):
+        registry = TelemetryRegistry()
+        counter = registry.counter("hits")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert registry.counters() == {"hits": 5}
+
+    def test_same_name_same_object(self):
+        registry = TelemetryRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        registry = TelemetryRegistry()
+        hist = registry.histogram("latency")
+        for value in (1.0, 3.0, 2.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(6.0)
+        assert hist.minimum == 1.0
+        assert hist.maximum == 3.0
+        assert hist.mean == pytest.approx(2.0)
+
+    def test_empty_mean_is_nan(self):
+        hist = TelemetryRegistry().histogram("empty")
+        assert math.isnan(hist.mean)
+
+
+class TestGauges:
+    def test_sample_and_reregister(self):
+        registry = TelemetryRegistry()
+        registry.register_gauge("depth", lambda: 7)
+        assert registry.sample_gauges() == {"depth": 7.0}
+        registry.register_gauge("depth", lambda: 9)  # replacement wins
+        assert registry.sample_gauges() == {"depth": 9.0}
+        registry.unregister_gauge("depth")
+        registry.unregister_gauge("depth")  # absent is a no-op
+        assert registry.sample_gauges() == {}
+
+
+class TestSampler:
+    def test_periodic_samples(self):
+        sim = Simulator(0)
+        registry = TelemetryRegistry()
+        registry.register_gauge("clock", lambda: sim.now)
+        sampler = TelemetrySampler(sim, registry, interval=2.0)
+        sampler.start()
+        sim.run(until=7.0)
+        times = [t for t, _ in sampler.samples]
+        assert times == pytest.approx([2.0, 4.0, 6.0])
+        assert [s["clock"] for _, s in sampler.samples] == pytest.approx(
+            [2.0, 4.0, 6.0]
+        )
+
+    def test_stop_halts_sampling(self):
+        sim = Simulator(0)
+        sampler = TelemetrySampler(sim, TelemetryRegistry(), interval=1.0)
+        sampler.start()
+        sim.after(2.5, sampler.stop)
+        sim.run(until=10.0)
+        assert len(sampler.samples) == 2
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(ObservabilityError):
+            TelemetrySampler(Simulator(0), TelemetryRegistry(), interval=0.0)

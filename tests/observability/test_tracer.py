@@ -1,0 +1,134 @@
+"""Tests for the span tracer (SimTracer and the NullTracer fast path)."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import (
+    CATEGORY_GPU,
+    CATEGORY_REQUEST,
+    NULL_TRACER,
+    NullTracer,
+    SimTracer,
+    Span,
+)
+from repro.simulation.simulator import Simulator
+
+
+class TestSpan:
+    def test_duration_open_vs_closed(self):
+        span = Span(name="x", start=1.0)
+        assert not span.closed
+        assert span.duration == 0.0
+        span.end = 3.5
+        assert span.closed
+        assert span.duration == pytest.approx(2.5)
+
+    def test_span_ids_are_unique(self):
+        a = Span(name="a", start=0.0)
+        b = Span(name="b", start=0.0)
+        assert a.span_id != b.span_id
+
+
+class TestSimTracer:
+    def test_begin_end_records_span(self):
+        sim = Simulator(0)
+        tracer = SimTracer(sim)
+        span = tracer.begin("work", track="t", key="v")
+        sim.after(2.0, lambda: tracer.end(span, outcome="ok"))
+        sim.run(until=5.0)
+        assert tracer.spans == [span]
+        assert span.start == 0.0
+        assert span.end == pytest.approx(2.0)
+        assert span.attrs == {"key": "v", "outcome": "ok"}
+
+    def test_end_twice_raises(self):
+        tracer = SimTracer(Simulator(0))
+        span = tracer.begin("w")
+        tracer.end(span)
+        with pytest.raises(ObservabilityError):
+            tracer.end(span)
+
+    def test_end_foreign_span_raises(self):
+        tracer = SimTracer(Simulator(0))
+        with pytest.raises(ObservabilityError):
+            tracer.end(Span(name="never-begun", start=0.0))
+
+    def test_end_none_is_noop(self):
+        tracer = SimTracer(Simulator(0))
+        tracer.end(None)  # call sites need no disabled-tracing branch
+        assert tracer.spans == []
+
+    def test_nesting_links_parent(self):
+        tracer = SimTracer(Simulator(0))
+        outer = tracer.begin("outer")
+        inner = tracer.begin("inner", parent=outer)
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id == 0
+
+    def test_record_retroactive(self):
+        tracer = SimTracer(Simulator(0))
+        tracer.record("late", 1.0, 4.0, category=CATEGORY_GPU, track="g", n=2)
+        (span,) = tracer.spans
+        assert (span.start, span.end) == (1.0, 4.0)
+        assert span.category == CATEGORY_GPU
+        assert span.attrs == {"n": 2}
+
+    def test_record_backwards_interval_raises(self):
+        tracer = SimTracer(Simulator(0))
+        with pytest.raises(ObservabilityError):
+            tracer.record("bad", 4.0, 1.0)
+
+    def test_instant_is_zero_duration(self):
+        sim = Simulator(0)
+        tracer = SimTracer(sim)
+        sim.after(3.0, lambda: tracer.instant("mark", track="m"))
+        sim.run(until=5.0)
+        (span,) = tracer.spans
+        assert span.start == span.end == pytest.approx(3.0)
+        assert span.duration == 0.0
+
+    def test_close_open_spans_marks_truncated(self):
+        sim = Simulator(0)
+        tracer = SimTracer(sim)
+        span = tracer.begin("hung")
+        assert tracer.open_spans == (span,)
+        closed = tracer.close_open_spans(reason="run ended")
+        assert closed == 1
+        assert tracer.open_spans == ()
+        assert span.attrs["truncated"] is True
+        assert span.attrs["reason"] == "run ended"
+
+    def test_spans_named(self):
+        tracer = SimTracer(Simulator(0))
+        tracer.instant("a")
+        tracer.instant("b")
+        tracer.instant("a")
+        assert len(tracer.spans_named("a")) == 2
+        assert len(tracer.spans_named("b")) == 1
+
+
+class TestNullTracer:
+    def test_enabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert SimTracer(Simulator(0)).enabled is True
+
+    def test_all_operations_allocate_no_spans(self):
+        tracer = NullTracer()
+        assert tracer.begin("x", category=CATEGORY_REQUEST, a=1) is None
+        tracer.end(None)
+        tracer.end(Span(name="s", start=0.0))  # tolerated, still a no-op
+        tracer.record("x", 0.0, 1.0)
+        tracer.instant("x")
+        assert not hasattr(tracer, "spans")
+
+    def test_null_telemetry_is_shared_noop(self):
+        tracer = NullTracer()
+        counter = tracer.telemetry.counter("a")
+        assert tracer.telemetry.counter("b") is counter
+        counter.inc(100)
+        assert counter.value == 0
+        hist = tracer.telemetry.histogram("h")
+        hist.observe(4.2)
+        assert hist.count == 0
+        tracer.telemetry.register_gauge("g", lambda: 1.0)
+        assert tracer.telemetry.sample_gauges() == {}

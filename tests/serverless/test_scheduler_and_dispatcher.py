@@ -7,7 +7,7 @@ from repro.gpu import GEOMETRY_FULL, GPU, ShareMode
 from repro.serverless.container import ContainerPool
 from repro.serverless.dispatcher import DispatchPolicy, Dispatcher
 from repro.serverless.request import Request, RequestBatch
-from repro.serverless.scheduler import NodeScheduler, Placement
+from repro.serverless.scheduler import NodeScheduler
 from repro.simulation import Simulator
 from repro.traces.mixing import RequestSpec
 from repro.workloads import get_model

@@ -90,6 +90,43 @@ def test_reproduce_all_selected(tmp_path, capsys):
     assert "regenerated 1/1" in capsys.readouterr().out
 
 
+def test_trace_command_writes_chrome_trace(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "trace.json"
+    jsonl = tmp_path / "spans.jsonl"
+    code = main(
+        [
+            "trace",
+            "fig05",  # normalized to the fig5 preset
+            "--out",
+            str(out),
+            "--jsonl",
+            str(jsonl),
+            "--duration",
+            "15",
+            "--warmup",
+            "5",
+            "--nodes",
+            "2",
+        ]
+    )
+    assert code == 0
+    doc = json.loads(out.read_text())
+    names = {e["name"] for e in doc["traceEvents"]}
+    assert {"gateway.admit", "queue.wait", "slice.execute"} <= names
+    assert jsonl.exists()
+    output = capsys.readouterr().out
+    assert "perfetto" in output
+    assert "gateway.requests_admitted" in output
+
+
+def test_trace_command_unknown_experiment(tmp_path, capsys):
+    code = main(["trace", "fig99", "--out", str(tmp_path / "t.json")])
+    assert code == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
 def test_parser_rejects_unknown_scheme():
     parser = build_parser()
     with pytest.raises(SystemExit):

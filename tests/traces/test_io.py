@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import TraceError, UnknownModelError
+from repro.errors import TraceError, TraceFormatError, UnknownModelError
 from repro.traces import MixSpec, constant_trace, mix_requests, wiki_trace
 from repro.traces.io import (
     load_rate_trace,
@@ -48,6 +48,40 @@ class TestRateTraceIO:
         with pytest.raises(TraceError):
             load_rate_trace(path)
 
+    def test_truly_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "zero.csv"
+        path.write_text("")
+        with pytest.raises(TraceError, match="no rate rows"):
+            load_rate_trace(path)
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "narrow.csv"
+        path.write_text("0.0,10\n1.0\n")
+        with pytest.raises(TraceFormatError, match="expected 2 columns"):
+            load_rate_trace(path)
+
+    def test_extra_column_rejected(self, tmp_path):
+        path = tmp_path / "wide.csv"
+        path.write_text("0.0,10,999\n")
+        with pytest.raises(TraceFormatError, match="expected 2 columns"):
+            load_rate_trace(path)
+
+    def test_corrupt_mid_file_row_raises_not_skipped(self, tmp_path):
+        # A non-numeric row past the header is corrupt data; silently
+        # skipping it (the old behaviour) loses trace rows unnoticed.
+        path = tmp_path / "corrupt.csv"
+        path.write_text("0.0,10\n1.0,oops\n2.0,30\n")
+        with pytest.raises(TraceFormatError, match="non-numeric"):
+            load_rate_trace(path)
+
+    def test_non_monotonic_timestamps_rejected(self, tmp_path):
+        # Strictly decreasing starts have *uniform* deltas, so the
+        # uniform-interval check alone would accept them.
+        path = tmp_path / "backwards.csv"
+        path.write_text("2.0,1\n1.0,2\n0.0,3\n")
+        with pytest.raises(TraceFormatError, match="non-monotonic"):
+            load_rate_trace(path)
+
 
 class TestRequestStreamIO:
     def _specs(self):
@@ -89,3 +123,39 @@ class TestRequestStreamIO:
         path.write_text("0.5,resnet50,1\n")
         loaded = load_request_stream(path)
         assert loaded[0].slo_multiplier == 3.0
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "narrow.csv"
+        path.write_text("0.5,resnet50\n")
+        with pytest.raises(TraceFormatError, match="expected 3-4 columns"):
+            load_request_stream(path)
+
+    def test_extra_columns_rejected(self, tmp_path):
+        path = tmp_path / "wide.csv"
+        path.write_text("0.5,resnet50,1,3.0,surprise\n")
+        with pytest.raises(TraceFormatError, match="expected 3-4 columns"):
+            load_request_stream(path)
+
+    def test_malformed_strict_flag_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0.5,resnet50,yes\n")
+        with pytest.raises(TraceFormatError, match="strict flag"):
+            load_request_stream(path)
+
+    def test_malformed_multiplier_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0.5,resnet50,1,loose\n")
+        with pytest.raises(TraceFormatError, match="slo_multiplier"):
+            load_request_stream(path)
+
+    def test_corrupt_mid_file_arrival_raises_not_skipped(self, tmp_path):
+        path = tmp_path / "corrupt.csv"
+        path.write_text("0.5,resnet50,1\nbroken,resnet50,1\n")
+        with pytest.raises(TraceFormatError, match="non-numeric arrival"):
+            load_request_stream(path)
+
+    def test_unsorted_arrivals_are_sorted(self, tmp_path):
+        path = tmp_path / "shuffled.csv"
+        path.write_text("2.0,resnet50,1\n0.5,resnet50,0\n1.0,resnet50,1\n")
+        loaded = load_request_stream(path)
+        assert [s.arrival for s in loaded] == [0.5, 1.0, 2.0]
