@@ -1,0 +1,107 @@
+"""Benchmark fault recovery: how fast the platform heals capacity losses.
+
+Both recovery paths are measured in *simulated* seconds straight off the
+recorded span log (the same data the recovery invariants assert on):
+
+- **notice → replacement** (``spot.drain`` → ``procure.node_built``):
+  the replacement is requested the moment the eviction notice arrives,
+  so recovery should land at exactly ``provision_seconds`` — the drain
+  window itself never goes capacity-short.
+- **crash → replacement** (``fault.node_crash`` → ``procure.node_built``):
+  no notice, no drain; the same provisioning delay runs from the crash
+  instant, during which the cluster *is* one node short.
+
+Wall-clock is also reported so the fault layer's overhead on a faulty
+run stays visible.
+"""
+
+import time
+
+from repro.cluster.spot import HIGH_AVAILABILITY, SpotAvailability, SpotMarket
+from repro.core.procurement import (
+    Procurement,
+    ProcurementConfig,
+    ProcurementMode,
+)
+from repro.core.protean import ProteanScheme
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_scheme
+from repro.faults import FaultKind, FaultPlan, FaultSpec, check_recovery
+from repro.observability.tracer import SimTracer
+from repro.serverless.platform import PlatformConfig, ServerlessPlatform
+from repro.simulation import Simulator
+
+PROVISION_SECONDS = 30.0
+SLA = PROVISION_SECONDS + 0.5
+
+
+def test_notice_to_replacement_delay():
+    """Forced eviction: drain begins at the notice, heals in provision_s."""
+    sim = Simulator()
+    tracer = SimTracer(sim)
+    platform = ServerlessPlatform(
+        sim,
+        ProteanScheme(enable_reconfigurator=False, enable_autoscaler=False),
+        PlatformConfig(n_nodes=1),
+        tracer=tracer,
+    )
+    market = SpotMarket(
+        sim,
+        sim.rng.stream("spot"),
+        HIGH_AVAILABILITY,
+        notice_seconds=30.0,
+        check_interval=60.0,
+        tracer=tracer,
+    )
+    procurement = Procurement(
+        platform,
+        market,
+        ProcurementConfig(
+            mode=ProcurementMode.HYBRID, provision_seconds=PROVISION_SECONDS
+        ),
+    )
+    procurement.provision_initial()
+    market.availability = SpotAvailability("certain", 1.0)  # revoke at t=60
+    start = time.perf_counter()
+    sim.run(until=200.0)
+    wall = time.perf_counter() - start
+    report = check_recovery(tracer.spans, sla_seconds=SLA)
+    assert report.ok and len(report.matches) == 1
+    delay = report.matches[0].delay
+    print(
+        f"\nnotice->replacement: {delay:.1f}s simulated "
+        f"(SLA {SLA:.1f}s, wall {wall * 1000:.0f}ms)"
+    )
+    assert delay == PROVISION_SECONDS
+
+
+def test_crash_to_replacement_delay():
+    """Injected crash: no warning, heals provision_s after the instant."""
+    plan = FaultPlan((FaultSpec(FaultKind.NODE_CRASH, at=20.0),))
+    config = ExperimentConfig(
+        duration=60.0,
+        warmup=10.0,
+        drain=120.0,
+        n_nodes=2,
+        seed=5,
+        tracing=True,
+        procurement="hybrid",
+        spot_availability="high",
+        fault_plan=plan,
+    )
+    start = time.perf_counter()
+    result = run_scheme("protean", config)
+    wall = time.perf_counter() - start
+    report = check_recovery(
+        result.tracer.spans, sla_seconds=config.provision_seconds + 0.5
+    )
+    assert report.ok and len(report.matches) == 1
+    delay = report.matches[0].delay
+    print(
+        f"\ncrash->replacement: {delay:.1f}s simulated "
+        f"(provision {config.provision_seconds:.1f}s, "
+        f"wall {wall * 1000:.0f}ms, "
+        f"resubmissions {result.extras['resubmissions']})"
+    )
+    assert delay == config.provision_seconds
+    assert result.extras["fault_crashes"] == 1

@@ -7,6 +7,7 @@ Usage::
     python -m repro run --scheme protean --model resnet50 --trace wiki
     python -m repro compare --model vgg19 --schemes protean infless_llama
     python -m repro trace fig5 --out trace.json
+    python -m repro faults fig9 --plan plan.json
     python -m repro models
 """
 
@@ -182,6 +183,51 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import FaultPlan, check_recovery, demo_plan
+    from repro.observability.export import write_chrome_trace
+
+    experiment = args.experiment.lower().replace("fig0", "fig")
+    overrides = _TRACE_PRESETS.get(experiment)
+    if overrides is None:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"known: {', '.join(sorted(_TRACE_PRESETS))}",
+            file=sys.stderr,
+        )
+        return 2
+    duration, warmup = (240.0, 60.0) if args.full else (60.0, 20.0)
+    if args.duration is not None:
+        duration = args.duration
+    if args.warmup is not None:
+        warmup = args.warmup
+    if args.nodes is not None:
+        overrides = {**overrides, "n_nodes": args.nodes}
+    plan = (
+        FaultPlan.from_json(args.plan) if args.plan else demo_plan(duration)
+    )
+    config = ExperimentConfig(
+        duration=duration,
+        warmup=warmup,
+        tracing=True,
+        seed=args.seed,
+        fault_plan=plan,
+        **overrides,
+    )
+    result = run_scheme(args.scheme, config)
+    sla = args.sla if args.sla is not None else config.provision_seconds + 0.5
+    report = check_recovery(result.tracer.spans, sla_seconds=sla)
+    print(format_table([result.summary.row()], title=f"{args.scheme} under faults"))
+    for key, value in sorted(result.extras.items()):
+        print(f"  {key}: {value}")
+    print()
+    print(report.describe())
+    if args.out:
+        write_chrome_trace(result.tracer, args.out)
+        print(f"wrote {args.out} (open in https://ui.perfetto.dev)")
+    return 0 if report.ok else 1
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     result = run_scheme(args.scheme, config)
@@ -266,6 +312,41 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--warmup", type=float, default=None)
     trace.add_argument("--nodes", type=int, default=None)
     trace.set_defaults(func=_cmd_trace)
+
+    faults = sub.add_parser(
+        "faults",
+        help="run an experiment under an injected fault plan and check "
+        "that every capacity loss recovers within the provisioning SLA",
+    )
+    faults.add_argument(
+        "experiment",
+        help=f"preset: {', '.join(sorted(_TRACE_PRESETS))} (fig05 == fig5)",
+    )
+    faults.add_argument(
+        "--plan",
+        default=None,
+        help="fault plan JSON path (default: built-in demo plan)",
+    )
+    faults.add_argument(
+        "--scheme", default="protean", choices=sorted(scheme_names())
+    )
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument(
+        "--full", action="store_true", help="paper-breadth (slow) mode"
+    )
+    faults.add_argument("--duration", type=float, default=None)
+    faults.add_argument("--warmup", type=float, default=None)
+    faults.add_argument("--nodes", type=int, default=None)
+    faults.add_argument(
+        "--sla",
+        type=float,
+        default=None,
+        help="recovery SLA seconds (default: provision_seconds + 0.5)",
+    )
+    faults.add_argument(
+        "--out", default=None, help="also export a Chrome trace here"
+    )
+    faults.set_defaults(func=_cmd_faults)
     return parser
 
 

@@ -29,6 +29,7 @@ from repro.cluster.vm import VM, VMState
 from repro.cluster.pricing import VMTier
 from repro.errors import ClusterError
 from repro.observability.tracer import NULL_TRACER, Tracer
+from repro.simulation.events import Event
 from repro.simulation.processes import PeriodicProcess
 from repro.simulation.simulator import Simulator
 
@@ -94,6 +95,7 @@ class SpotMarket:
         self._ctr_notices = tracer.telemetry.counter("spot.notices")
         self._ctr_evictions = tracer.telemetry.counter("spot.evictions")
         self._watchers: dict[int, PeriodicProcess] = {}
+        self._pending_evictions: dict[int, Event] = {}
         self.notices_issued = 0
         self.evictions = 0
         self.acquisition_attempts = 0
@@ -148,10 +150,15 @@ class SpotMarket:
         watcher.start()
 
     def unregister(self, vm: VM) -> None:
-        """Stop revocation draws (VM replaced or terminated voluntarily)."""
+        """Stop revocation draws (VM replaced, crashed, or terminated
+        voluntarily). Also cancels a pending eviction countdown so a
+        notice issued before unregistration cannot evict a retired node."""
         watcher = self._watchers.pop(vm.vm_id, None)
         if watcher is not None:
             watcher.stop()
+        pending = self._pending_evictions.pop(vm.vm_id, None)
+        if pending is not None:
+            self.sim.cancel(pending)
 
     def _issue_notice(
         self,
@@ -172,15 +179,22 @@ class SpotMarket:
         on_notice(vm)
 
         def evict() -> None:
+            self._pending_evictions.pop(vm.vm_id, None)
             watcher = self._watchers.pop(vm.vm_id, None)
             if watcher is not None:
                 watcher.stop()
-            if vm.state is not VMState.TERMINATED:
-                vm.terminate()
+            if vm.state is VMState.TERMINATED:
+                # The VM is already gone (voluntary termination or crash):
+                # counting an eviction and invoking ``on_eviction`` here
+                # would double-retire the node and inflate telemetry.
+                return
+            vm.terminate()
             self.evictions += 1
             self._ctr_evictions.inc()
             if self.tracer.enabled:
                 self.tracer.instant("spot.eviction", track="spot", vm=vm.name)
             on_eviction(vm)
 
-        self.sim.after(self.notice_seconds, evict, label=f"evict-{vm.name}")
+        self._pending_evictions[vm.vm_id] = self.sim.after(
+            self.notice_seconds, evict, label=f"evict-{vm.name}"
+        )

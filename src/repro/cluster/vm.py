@@ -39,6 +39,8 @@ class VM:
         self.provisioned_at = sim.now
         self.notice_at: Optional[float] = None
         self.terminated_at: Optional[float] = None
+        #: Whether termination came as a crash (no eviction notice).
+        self.crashed = False
         self._billed_until = sim.now
 
     @property
@@ -80,6 +82,16 @@ class VM:
         self.flush_billing()
         self.state = VMState.TERMINATED
         self.terminated_at = self.sim.now
+
+    def crash(self) -> None:
+        """Terminate without notice (hardware/host failure, any tier).
+
+        Unlike a spot eviction there is no warning window: the VM goes
+        straight from its current state to TERMINATED. Billing still
+        settles — providers charge until the instance stops.
+        """
+        self.crashed = True
+        self.terminate()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"VM({self.name}, {self.state.value}, up={self.uptime:.1f}s)"

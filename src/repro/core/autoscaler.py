@@ -39,12 +39,17 @@ class AutoscalerConfig:
     ewma_alpha: float = 0.3
     #: Headroom multiplier on the predicted batch count ("conservative").
     headroom: float = 1.25
+    #: EWMA level below which a model counts as retired and is pruned
+    #: from the scan set (its predictor is dropped with it).
+    prune_threshold: float = 1e-3
 
     def __post_init__(self) -> None:
         if self.monitor_interval <= 0:
             raise ConfigurationError("monitor_interval must be positive")
         if self.headroom < 1.0:
             raise ConfigurationError("headroom must be >= 1")
+        if self.prune_threshold <= 0:
+            raise ConfigurationError("prune_threshold must be positive")
 
 
 class Autoscaler:
@@ -103,9 +108,19 @@ class Autoscaler:
 
     def on_monitor(self) -> None:
         """Fold the window's counts into the EWMAs and top up pools."""
-        for name, model in self._models.items():
+        for name in self._models:
             self.predictor.observe(name, self._window_counts.get(name, 0))
         self._window_counts.clear()
+        # Prune retired/idle models: once a model's EWMA has decayed to
+        # (effectively) zero it would otherwise be re-scanned every tick
+        # forever — the scan set grows monotonically over a long run.
+        for name in [
+            n
+            for n in self._models
+            if self.predictor.predict(n) < self.config.prune_threshold
+        ]:
+            del self._models[name]
+            self.predictor.forget(name)
         nodes = self.platform.cluster.active_nodes
         if not nodes:
             return
@@ -114,10 +129,14 @@ class Autoscaler:
             desired = self.desired_containers(model)
             if desired == 0:
                 continue
-            per_node = math.ceil(desired / len(nodes))
-            for node in nodes:
+            # Split the cluster-wide target across nodes, spreading the
+            # remainder: ceil(desired / n) per node over-prewarms by up
+            # to n-1 containers versus the cluster-wide target.
+            base, remainder = divmod(desired, len(nodes))
+            for index, node in enumerate(nodes):
+                target = base + (1 if index < remainder else 0)
                 pool = self.platform.pool_for(node)
-                deficit = per_node - pool.live_count(name)
+                deficit = target - pool.live_count(name)
                 for _ in range(deficit):
                     pool.prewarm(name)
                     self.prewarms_issued += 1

@@ -65,6 +65,14 @@ class PerKeyEwma:
         predictor = self._predictors.get(key)
         return 0.0 if predictor is None else predictor.predict()
 
+    def forget(self, key: str) -> None:
+        """Drop the predictor for ``key`` (no-op for unknown keys).
+
+        A later observation recreates the key from scratch, so forgetting
+        a fully-decayed key is equivalent to never having seen it.
+        """
+        self._predictors.pop(key, None)
+
     def keys(self) -> tuple[str, ...]:
         """All keys ever observed."""
         return tuple(self._predictors)

@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING
 from repro.cluster.node import WorkerNode
 from repro.cluster.pricing import VMTier
 from repro.cluster.spot import SpotMarket
-from repro.cluster.vm import VM
+from repro.cluster.vm import VM, VMState
 from repro.errors import ConfigurationError
 from repro.observability.span import Span
 
@@ -74,9 +74,11 @@ class Procurement:
         self.spot_nodes_built = 0
         self.on_demand_nodes_built = 0
         self.retries_scheduled = 0
+        self.crashes_handled = 0
         self.tracer = platform.tracer
         self._ctr_built = self.tracer.telemetry.counter("procure.nodes_built")
         self._ctr_retries = self.tracer.telemetry.counter("procure.retries")
+        self._ctr_crashes = self.tracer.telemetry.counter("procure.crashes")
         self._drain_spans: dict[int, Span] = {}
 
     @property
@@ -177,3 +179,31 @@ class Procurement:
             return
         self.tracer.end(self._drain_spans.pop(vm.vm_id, None))
         self.platform.retire_node(node)
+
+    # ------------------------------------------------------------------
+    # Crash handling (fault injection)
+    # ------------------------------------------------------------------
+    def handle_crash(self, node: WorkerNode) -> None:
+        """A node's VM vanished with *no* notice (unlike a spot eviction).
+
+        There is no drain window: the node is torn down immediately
+        (stranded batches resubmit through the platform) and a
+        replacement is requested right away — unless the node was already
+        draining from an eviction notice, in which case the replacement
+        was requested when the notice arrived.
+        """
+        vm = node.vm
+        was_draining = vm.vm_id in self._node_by_vm and not node.accepting
+        self._node_by_vm.pop(vm.vm_id, None)
+        if vm.tier is VMTier.SPOT:
+            # Cancels the revocation watcher and any pending eviction
+            # countdown so the market never evicts the dead node again.
+            self.market.unregister(vm)
+        self.tracer.end(self._drain_spans.pop(vm.vm_id, None), crashed=True)
+        if vm.state is not VMState.TERMINATED:
+            vm.crash()
+        self.crashes_handled += 1
+        self._ctr_crashes.inc()
+        self.platform.retire_node(node)
+        if not was_draining:
+            self.request_replacement()

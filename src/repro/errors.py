@@ -80,5 +80,17 @@ class SchedulingError(ReproError):
     """A scheduling policy produced an infeasible decision."""
 
 
+class FaultError(ReproError):
+    """Base class for fault-injection errors."""
+
+
+class FaultPlanError(FaultError):
+    """A fault plan is malformed or references an unknown fault kind."""
+
+
+class FaultRecoveryError(FaultError):
+    """A recovery invariant over the recorded span log was violated."""
+
+
 class ConfigurationError(ReproError):
     """An experiment or platform configuration is invalid."""

@@ -20,6 +20,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
 from repro.workloads.profile import InterferenceCategory, ModelProfile
 from repro.workloads.registry import get_model, models_by_category, opposite_category
 from repro.workloads.scaling import scale_model, scale_models
@@ -70,6 +71,11 @@ class ExperimentConfig:
     tracing: bool = False
     telemetry_interval: float = 5.0
 
+    #: Fault injection. None (or an empty plan) disables it entirely —
+    #: a run with an empty plan is bit-identical to faults disabled
+    #: (asserted by the fault determinism regression tests).
+    fault_plan: FaultPlan | None = None
+
     # Determinism
     seed: int = 0
 
@@ -88,6 +94,13 @@ class ExperimentConfig:
             )
         if self.telemetry_interval <= 0:
             raise ConfigurationError("telemetry_interval must be positive")
+        if self.fault_plan is not None and not isinstance(
+            self.fault_plan, FaultPlan
+        ):
+            raise ConfigurationError(
+                "fault_plan must be a repro.faults.FaultPlan (or None); "
+                f"got {type(self.fault_plan).__name__}"
+            )
 
     # ------------------------------------------------------------------
     # Derived workload objects

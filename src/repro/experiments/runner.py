@@ -20,6 +20,7 @@ from repro.core.reconfigurator import decide_geometry
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.schemes import make_scheme
+from repro.faults.injector import FaultInjector
 from repro.metrics.breakdown import tail_breakdown
 from repro.metrics.latency import latency_cdf, p50, p99
 from repro.metrics.records import RecordCollector, RequestRecord
@@ -190,6 +191,19 @@ def run_scheme(
     procurement.provision_initial()
     _prewarm(platform, config)
     platform.inject(specs)
+    # Fault injection: armed only for a non-empty plan, so a run with an
+    # empty plan is bit-identical to faults disabled (no RNG stream is
+    # touched, no events scheduled, no extras keys added).
+    injector: FaultInjector | None = None
+    if config.fault_plan is not None and config.fault_plan.faults:
+        injector = FaultInjector(
+            platform,
+            procurement,
+            config.fault_plan,
+            rng=sim.rng.stream("faults"),
+            tracer=tracer,
+        )
+        injector.arm()
     sampler: TelemetrySampler | None = None
     if tracer.enabled:
         tracer.instant(
@@ -227,6 +241,9 @@ def run_scheme(
     result = _summarize(
         scheme_name, config, platform, procurement, specs, utilization
     )
+    if injector is not None:
+        result.extras.update(injector.stats())
+        result.extras["crashes_handled"] = procurement.crashes_handled
     if tracer.enabled:
         result.tracer = tracer
     return result

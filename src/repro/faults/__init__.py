@@ -1,0 +1,49 @@
+"""Fault injection: seeded, declarative failure schedules for the
+simulated platform, plus recovery invariants over the recorded spans.
+
+Typical use::
+
+    from repro.faults import FaultKind, FaultPlan, FaultSpec, check_recovery
+
+    plan = FaultPlan((FaultSpec(FaultKind.NODE_CRASH, at=60.0),))
+    config = ExperimentConfig(tracing=True, fault_plan=plan,
+                              procurement="hybrid")
+    result = run_scheme("protean", config)
+    report = check_recovery(result.tracer.spans,
+                            sla_seconds=config.provision_seconds + 1.0)
+    assert report.ok
+
+or from the CLI: ``python -m repro faults fig9 --plan plan.json``.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import (
+    DEFAULT_FAULT_NAMES,
+    DEFAULT_RECOVERY_NAME,
+    RecoveryMatch,
+    RecoveryReport,
+    assert_recovery,
+    check_recovery,
+)
+from repro.faults.plan import (
+    EMPTY_PLAN,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    demo_plan,
+)
+
+__all__ = [
+    "DEFAULT_FAULT_NAMES",
+    "DEFAULT_RECOVERY_NAME",
+    "EMPTY_PLAN",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "RecoveryMatch",
+    "RecoveryReport",
+    "assert_recovery",
+    "check_recovery",
+    "demo_plan",
+]

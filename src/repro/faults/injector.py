@@ -1,0 +1,258 @@
+"""The fault injector: executes a :class:`FaultPlan` against a live run.
+
+The injector is armed after initial provisioning and schedules one
+simulator event per fault (plus one per window end). Every injection and
+every windowed recovery is emitted as a ``fault.*`` span so the recorded
+span log carries the full failure timeline — the recovery invariants in
+:mod:`repro.faults.invariants` are asserted purely on that log.
+
+Determinism: all randomness (node picks, start-failure draws, admission
+jitter) comes from one named RNG stream (``"faults"`` by convention),
+derived from the experiment seed. The same seed and plan therefore
+reproduce the same faults bit-for-bit, and an *empty* plan draws nothing
+— a run with ``EMPTY_PLAN`` is bit-identical to a run with faults
+disabled (pinned by the regression tests).
+
+Span taxonomy (all ``category="fault"``, ``track="fault"``):
+
+- ``fault.node_crash`` — instant; attrs ``node``, ``tier``, ``stranded``.
+- ``fault.slow_slice`` — interval spanning the degradation window;
+  attrs ``node``, ``multiplier``.
+- ``fault.container_start_window`` — interval; attr ``failures`` on end.
+- ``fault.container_start_fail`` — instant per failed boot attempt.
+- ``fault.network_delay`` — interval; attr ``delayed`` on end.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.cluster.node import NodeState, WorkerNode
+from repro.errors import FaultError
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.observability.span import CATEGORY_FAULT
+from repro.observability.tracer import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.procurement import Procurement
+    from repro.serverless.platform import ServerlessPlatform
+
+
+class FaultInjector:
+    """Schedules and executes the faults of one plan against one run."""
+
+    def __init__(
+        self,
+        platform: "ServerlessPlatform",
+        procurement: "Procurement",
+        plan: FaultPlan,
+        *,
+        rng: np.random.Generator,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.platform = platform
+        self.procurement = procurement
+        self.plan = plan
+        self.rng = rng
+        self.tracer = tracer
+        self._armed = False
+        self._ctr_injected = tracer.telemetry.counter("faults.injected")
+        # Outcome statistics (surfaced in ExperimentResult.extras).
+        self.faults_injected = 0
+        self.crashes_injected = 0
+        self.slow_slice_windows = 0
+        self.start_failures_injected = 0
+        self.delayed_admissions = 0
+        self.skipped_no_target = 0
+        # The gateway holds a single delay provider and the platform a
+        # single start interceptor, so same-kind windows must not overlap.
+        for kind in (FaultKind.NETWORK_DELAY, FaultKind.CONTAINER_START_FAILURE):
+            windows = sorted(
+                (s.at, s.until) for s in plan.faults if s.kind is kind
+            )
+            for (_, prev_end), (next_start, _) in zip(windows, windows[1:]):
+                if next_start < prev_end:
+                    raise FaultError(
+                        f"overlapping {kind.value} windows in plan"
+                    )
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+    def arm(self) -> None:
+        """Schedule every fault in the plan on the simulator clock."""
+        if self._armed:
+            raise FaultError("fault injector already armed")
+        self._armed = True
+        for spec in self.plan.ordered():
+            self.platform.sim.at(
+                spec.at,
+                lambda s=spec: self._inject(s),
+                label=f"fault-{spec.kind.value}",
+            )
+
+    def _inject(self, spec: FaultSpec) -> None:
+        self.faults_injected += 1
+        self._ctr_injected.inc()
+        if spec.kind is FaultKind.NODE_CRASH:
+            self._inject_crash(spec)
+        elif spec.kind is FaultKind.SLOW_SLICE:
+            self._inject_slow_slice(spec)
+        elif spec.kind is FaultKind.CONTAINER_START_FAILURE:
+            self._inject_start_failures(spec)
+        elif spec.kind is FaultKind.NETWORK_DELAY:
+            self._inject_network_delay(spec)
+        else:  # pragma: no cover - exhaustive over FaultKind
+            raise FaultError(f"unhandled fault kind {spec.kind!r}")
+
+    # ------------------------------------------------------------------
+    # Target selection
+    # ------------------------------------------------------------------
+    def _pick_node(self, spec: FaultSpec) -> WorkerNode | None:
+        """The target node, by name or by seeded draw over live nodes."""
+        candidates = [
+            n
+            for n in self.platform.cluster.nodes
+            if n.state is not NodeState.RETIRED
+        ]
+        if spec.target:
+            for node in candidates:
+                if node.name == spec.target:
+                    return node
+            return None
+        if not candidates:
+            return None
+        return candidates[int(self.rng.integers(len(candidates)))]
+
+    # ------------------------------------------------------------------
+    # Fault implementations
+    # ------------------------------------------------------------------
+    def _inject_crash(self, spec: FaultSpec) -> None:
+        node = self._pick_node(spec)
+        if node is None:
+            self.skipped_no_target += 1
+            return
+        stranded = node.gpu.occupancy
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "fault.node_crash",
+                category=CATEGORY_FAULT,
+                track="fault",
+                node=node.name,
+                tier=node.vm.tier.value,
+                stranded=stranded,
+            )
+        self.crashes_injected += 1
+        self.procurement.handle_crash(node)
+
+    def _inject_slow_slice(self, spec: FaultSpec) -> None:
+        node = self._pick_node(spec)
+        if node is None:
+            self.skipped_no_target += 1
+            return
+        gpu = node.gpu
+        span = self.tracer.begin(
+            "fault.slow_slice",
+            category=CATEGORY_FAULT,
+            track="fault",
+            node=node.name,
+            multiplier=spec.multiplier,
+        )
+        gpu.set_slowdown(spec.multiplier)
+        self.slow_slice_windows += 1
+
+        def recover() -> None:
+            # The node may have been retired (evicted/crashed) meanwhile;
+            # the overlay sits on its GPU object, so lifting it is safe
+            # either way.
+            gpu.set_slowdown(1.0)
+            self.tracer.end(span)
+
+        self.platform.sim.after(spec.duration, recover, label="fault-recover")
+
+    def _inject_start_failures(self, spec: FaultSpec) -> None:
+        span = self.tracer.begin(
+            "fault.container_start_window",
+            category=CATEGORY_FAULT,
+            track="fault",
+            probability=spec.failure_probability,
+        )
+        window_failures = 0
+
+        def intercept(cold_start_seconds: float) -> float:
+            nonlocal window_failures
+            retry = spec.retry_seconds or cold_start_seconds
+            extra = 0.0
+            # Geometric retries, capped so a probability-1 spec cannot
+            # stall a boot forever.
+            for _ in range(self._MAX_START_RETRIES):
+                if self.rng.random() >= spec.failure_probability:
+                    break
+                extra += retry
+                window_failures += 1
+                self.start_failures_injected += 1
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "fault.container_start_fail",
+                        category=CATEGORY_FAULT,
+                        track="fault",
+                        retry_in_s=retry,
+                    )
+            return extra
+
+        self.platform.set_container_start_interceptor(intercept)
+
+        def recover() -> None:
+            self.platform.set_container_start_interceptor(None)
+            self.tracer.end(span, failures=window_failures)
+
+        self.platform.sim.after(spec.duration, recover, label="fault-recover")
+
+    #: Cap on consecutive failed boot attempts per container start.
+    _MAX_START_RETRIES = 5
+
+    def _inject_network_delay(self, spec: FaultSpec) -> None:
+        gateway = self.platform.gateway
+        span = self.tracer.begin(
+            "fault.network_delay",
+            category=CATEGORY_FAULT,
+            track="fault",
+            delay_s=spec.delay_seconds,
+            jitter_s=spec.jitter_seconds,
+        )
+        window_delayed = 0
+
+        def provider() -> float:
+            nonlocal window_delayed
+            window_delayed += 1
+            self.delayed_admissions += 1
+            jitter = (
+                float(self.rng.random()) * spec.jitter_seconds
+                if spec.jitter_seconds > 0
+                else 0.0
+            )
+            return spec.delay_seconds + jitter
+
+        gateway.delay_provider = provider
+
+        def recover() -> None:
+            gateway.delay_provider = None
+            self.tracer.end(span, delayed=window_delayed)
+
+        self.platform.sim.after(spec.duration, recover, label="fault-recover")
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Outcome counters for ExperimentResult.extras."""
+        return {
+            "faults_injected": self.faults_injected,
+            "fault_crashes": self.crashes_injected,
+            "fault_slow_slice_windows": self.slow_slice_windows,
+            "fault_start_failures": self.start_failures_injected,
+            "fault_delayed_admissions": self.delayed_admissions,
+            "fault_skipped_no_target": self.skipped_no_target,
+        }

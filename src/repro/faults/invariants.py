@@ -1,0 +1,139 @@
+"""Recovery invariants asserted on the recorded span log.
+
+The paper's spot-market claim (Section 4.5, Figure 9) only holds if every
+capacity loss is healed within the provisioning SLA. With tracing on, the
+span log carries the whole failure timeline, so the invariant is checked
+*after* a run, on data, rather than inside the simulation:
+
+    every fault span (``fault.node_crash``, ``spot.drain``) must be
+    followed by a ``procure.node_built`` span within ``sla_seconds``.
+
+Matching is one-to-one and greedy in time order: each recovery span heals
+at most one fault, so two crashes need two replacement nodes — a single
+rebuild cannot silently satisfy both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import FaultRecoveryError
+from repro.observability.span import Span
+
+#: Span names that represent a capacity loss needing a rebuilt node.
+DEFAULT_FAULT_NAMES = ("fault.node_crash", "spot.drain")
+
+#: Span name that represents the corresponding recovery.
+DEFAULT_RECOVERY_NAME = "procure.node_built"
+
+
+@dataclass(frozen=True)
+class RecoveryMatch:
+    """One fault span paired with the recovery span that healed it."""
+
+    fault: Span
+    recovery: Span
+    #: Seconds from fault start to recovery (span start to span start).
+    delay: float
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Outcome of one invariant check over a span log."""
+
+    matches: tuple[RecoveryMatch, ...]
+    #: Fault spans with no recovery span inside the SLA.
+    violations: tuple[Span, ...]
+    sla_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def max_delay(self) -> float:
+        """Worst observed fault→recovery delay (0.0 with no faults)."""
+        return max((m.delay for m in self.matches), default=0.0)
+
+    def describe(self) -> str:
+        """Human-readable one-paragraph summary."""
+        lines = [
+            f"{len(self.matches)} fault(s) recovered within "
+            f"{self.sla_seconds:.1f}s SLA"
+            + (f" (worst {self.max_delay:.1f}s)" if self.matches else "")
+        ]
+        for span in self.violations:
+            lines.append(
+                f"VIOLATION: {span.name} at t={span.start:.1f}s "
+                f"({span.attrs.get('node', '?')}) never recovered in time"
+            )
+        return "\n".join(lines)
+
+
+def check_recovery(
+    spans: Iterable[Span],
+    *,
+    sla_seconds: float,
+    fault_names: Sequence[str] = DEFAULT_FAULT_NAMES,
+    recovery_name: str = DEFAULT_RECOVERY_NAME,
+) -> RecoveryReport:
+    """Walk ``spans`` and match each fault to a recovery within the SLA.
+
+    ``sla_seconds`` is typically ``provision_seconds`` plus a small slack
+    for same-instant event ordering. Faults are processed in start-time
+    order; each claims the earliest unclaimed recovery span whose start
+    lies in ``[fault.start, fault.start + sla_seconds]``.
+    """
+    span_list = list(spans)
+    faults = sorted(
+        (s for s in span_list if s.name in fault_names), key=lambda s: s.start
+    )
+    recoveries = sorted(
+        (s for s in span_list if s.name == recovery_name),
+        key=lambda s: s.start,
+    )
+    claimed = [False] * len(recoveries)
+    matches: list[RecoveryMatch] = []
+    violations: list[Span] = []
+    for fault in faults:
+        found = None
+        for index, recovery in enumerate(recoveries):
+            if claimed[index] or recovery.start < fault.start:
+                continue
+            if recovery.start > fault.start + sla_seconds:
+                break  # sorted: no later recovery can qualify either
+            found = index
+            break
+        if found is None:
+            violations.append(fault)
+        else:
+            claimed[found] = True
+            matches.append(
+                RecoveryMatch(
+                    fault=fault,
+                    recovery=recoveries[found],
+                    delay=recoveries[found].start - fault.start,
+                )
+            )
+    return RecoveryReport(tuple(matches), tuple(violations), sla_seconds)
+
+
+def assert_recovery(
+    spans: Iterable[Span],
+    *,
+    sla_seconds: float,
+    fault_names: Sequence[str] = DEFAULT_FAULT_NAMES,
+    recovery_name: str = DEFAULT_RECOVERY_NAME,
+) -> RecoveryReport:
+    """:func:`check_recovery`, raising :class:`FaultRecoveryError` on any
+    violation. Returns the (clean) report otherwise."""
+    report = check_recovery(
+        spans,
+        sla_seconds=sla_seconds,
+        fault_names=fault_names,
+        recovery_name=recovery_name,
+    )
+    if not report.ok:
+        raise FaultRecoveryError(report.describe())
+    return report

@@ -74,6 +74,9 @@ class GPU:
         self.slices: list[GPUSlice] = []
         self.reconfiguring = False
         self.reconfigurations = 0
+        #: Device-wide slowdown overlay; survives reconfigurations (new
+        #: slices inherit it) so a fault window outlives geometry changes.
+        self.slowdown = 1.0
         self._created_at = sim.now
         # Utilization carried over from slices retired by reconfiguration.
         self._retired_busy_weighted = 0.0
@@ -163,6 +166,13 @@ class GPU:
 
         self.sim.after(self.reconfig_seconds, finish, label=f"{self.name}-reconfig")
 
+    def set_slowdown(self, multiplier: float) -> None:
+        """Apply a latency multiplier to every slice, now and after any
+        future reconfiguration, until lifted with ``set_slowdown(1.0)``."""
+        self.slowdown = multiplier
+        for gpu_slice in self.slices:
+            gpu_slice.set_slowdown(multiplier)
+
     def _build_slices(self, geometry: Geometry) -> None:
         self.slices = []
         profiles = geometry_profiles(geometry.kinds, self.device_model)
@@ -175,6 +185,8 @@ class GPU:
                 tracer=self.tracer,
             )
             gpu_slice.busy_observer = self._on_slice_busy_change
+            if self.slowdown != 1.0:
+                gpu_slice.set_slowdown(self.slowdown)
             self.slices.append(gpu_slice)
 
     def _retire_slices(self) -> None:

@@ -144,6 +144,9 @@ class GPUSlice:
         self._pending: deque[SliceJob] = deque()
         self.memory_used = 0.0
         self.completed_jobs = 0
+        #: Fault-injection overlay: all execution on this slice runs this
+        #: many times slower (1.0 = healthy). See :meth:`set_slowdown`.
+        self.slowdown = 1.0
         #: Optional observer invoked as ``observer(slice, busy)`` whenever
         #: the slice transitions between idle and executing (the GPU device
         #: uses this to integrate whole-GPU any-busy time).
@@ -264,6 +267,26 @@ class GPUSlice:
             if self.busy_observer is not None:
                 self.busy_observer(self, busy)
 
+    def set_slowdown(self, multiplier: float) -> None:
+        """Apply a latency multiplier to all execution on this slice.
+
+        Models an injected degradation (thermal throttling, a misbehaving
+        neighbour outside the simulated cluster, ECC retirement): every
+        resident job's progress rate is divided by ``multiplier`` until
+        the overlay is lifted with ``set_slowdown(1.0)``. Progress already
+        made is preserved — rates change from *now* on. The extra time
+        surfaces in :class:`JobTiming` as interference.
+        """
+        if multiplier < 1.0:
+            raise SimulationError(
+                f"slowdown multiplier must be >= 1, got {multiplier}"
+            )
+        if multiplier == self.slowdown:
+            return
+        self.slowdown = multiplier
+        self._account()
+        self._reschedule()
+
     def _reschedule(self) -> None:
         """Recompute every running job's rate and completion event."""
         self._advance_progress()
@@ -271,6 +294,7 @@ class GPUSlice:
             factor = max(self.total_fbr, 1.0)
         else:
             factor = 1.0
+        factor *= self.slowdown
         now = self.sim.now
         for job in self._running:
             job.rate = 1.0 / (job.rdf * factor)

@@ -47,7 +47,13 @@ def latency_cdf(
     latencies = np.sort(np.asarray([r.latency for r in records], dtype=float))
     if latencies.size == 0:
         return np.empty(0), np.empty(0)
-    fractions = np.linspace(0.0, 1.0, min(points, latencies.size))
+    n = min(points, latencies.size)
+    if n == 1:
+        # A one-point linspace would yield fraction [0.0], a CDF that
+        # never reaches 1; the curve must terminate at cumulative 1.0.
+        fractions = np.array([1.0])
+    else:
+        fractions = np.linspace(0.0, 1.0, n)
     # Quantile positions over the sorted sample.
     values = np.quantile(latencies, fractions)
     return values, fractions

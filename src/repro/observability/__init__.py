@@ -26,6 +26,7 @@ from repro.observability.export import (
 )
 from repro.observability.span import (
     CATEGORY_CONTROL,
+    CATEGORY_FAULT,
     CATEGORY_GPU,
     CATEGORY_REQUEST,
     CATEGORY_RUN,
@@ -42,6 +43,7 @@ from repro.observability.tracer import NULL_TRACER, NullTracer, SimTracer, Trace
 
 __all__ = [
     "CATEGORY_CONTROL",
+    "CATEGORY_FAULT",
     "CATEGORY_GPU",
     "CATEGORY_REQUEST",
     "CATEGORY_RUN",

@@ -28,6 +28,8 @@ CATEGORY_CONTROL = "control"
 CATEGORY_GPU = "gpu"
 #: Run-level markers (run start/end, warmup boundary).
 CATEGORY_RUN = "run"
+#: Injected faults (node crashes, slow slices, start failures, net delay).
+CATEGORY_FAULT = "fault"
 
 _span_ids = itertools.count(1)
 

@@ -90,6 +90,18 @@ class ContainerPool:
         self.cold_starts = 0
         self.warm_hits = 0
         self._stopped = False
+        #: Fault-injection hook: called with this pool's cold-start delay
+        #: at every container spawn; returns *extra* boot seconds (0.0 =
+        #: the start succeeded first try). None = no faults active.
+        self.start_interceptor: Callable[[float], float] | None = None
+
+    def _spawn_delay(self) -> float:
+        """Boot delay for a fresh container, including injected failures."""
+        if self.start_interceptor is None:
+            return self.cold_start_seconds
+        return self.cold_start_seconds + self.start_interceptor(
+            self.cold_start_seconds
+        )
 
     # ------------------------------------------------------------------
     # Acquire / release
@@ -118,14 +130,15 @@ class ContainerPool:
         self._all.add(container)
         self.cold_starts += 1
         self._ctr_cold.inc()
+        delay = self._spawn_delay()
 
         def booted() -> None:
             if container.state is ContainerState.TERMINATED:
                 return  # pool shut down mid-boot
             container.state = ContainerState.BUSY
-            ready(container, self.cold_start_seconds)
+            ready(container, delay)
 
-        self.sim.after(self.cold_start_seconds, booted, label="cold-start")
+        self.sim.after(delay, booted, label="cold-start")
 
     def release(self, container: Container) -> None:
         """Return a container after its batch completes."""
@@ -160,7 +173,7 @@ class ContainerPool:
             self._idle.setdefault(model_name, []).append(container)
             container._keep_alive.restart(self.keep_alive_seconds)
 
-        self.sim.after(self.cold_start_seconds, booted, label="prewarm")
+        self.sim.after(self._spawn_delay(), booted, label="prewarm")
 
     # ------------------------------------------------------------------
     # Introspection / teardown

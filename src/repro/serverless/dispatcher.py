@@ -143,14 +143,31 @@ class Gateway:
 
     Feeds admitted requests into the batcher; exists as its own component
     so the platform's ingest path mirrors the paper's architecture and so
-    ingestion stats have a home.
+    ingestion stats have a home. A fault injector may install a
+    ``delay_provider`` to model network jitter on admission: each request
+    is then held for the returned delay before entering the batcher.
     """
 
-    def __init__(self, on_request: Callable) -> None:
+    def __init__(self, on_request: Callable, *, sim=None) -> None:
         self._on_request = on_request
+        self.sim = sim
         self.requests_admitted = 0
+        #: Fault-injection hook: returns the admission delay (seconds)
+        #: for the next request. None = no network fault active.
+        self.delay_provider: Callable[[], float] | None = None
+        self.delayed_admissions = 0
 
     def admit(self, request) -> None:
         """Accept one request into the platform."""
         self.requests_admitted += 1
+        if self.delay_provider is not None and self.sim is not None:
+            delay = self.delay_provider()
+            if delay > 0.0:
+                self.delayed_admissions += 1
+                self.sim.after(
+                    delay,
+                    lambda: self._on_request(request),
+                    label="gateway-delay",
+                )
+                return
         self._on_request(request)

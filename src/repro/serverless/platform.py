@@ -107,7 +107,11 @@ class ServerlessPlatform:
         )
         #: Daemons (reconfigurator, autoscaler) observing the ingest path.
         self.request_observers: list = []
-        self.gateway = Gateway(self._ingest)
+        self.gateway = Gateway(self._ingest, sim=sim)
+        #: Fault-injection hook inherited by every container pool (set on
+        #: existing pools *and* pools of nodes built while a container
+        #: start-failure window is active). See ContainerPool.
+        self.container_start_interceptor = None
         self._pools: dict[int, ContainerPool] = {}
         #: Every node ever provisioned (metric rollup spans evictions).
         self.all_nodes: list[WorkerNode] = []
@@ -161,6 +165,7 @@ class ServerlessPlatform:
             keep_alive_seconds=self.config.keep_alive_seconds,
             tracer=self.tracer,
         )
+        pool.start_interceptor = self.container_start_interceptor
         scheduler = self.scheme.create_scheduler(self, node, pool)
         self._pools[node.node_id] = pool
         self.cluster.add(node)
@@ -327,6 +332,13 @@ class ServerlessPlatform:
     def pool_for(self, node: WorkerNode) -> ContainerPool:
         """The container pool attached to ``node``."""
         return self._pools[node.node_id]
+
+    def set_container_start_interceptor(self, interceptor) -> None:
+        """Install (or clear, with None) the container start-failure hook
+        on every live pool and on pools of nodes built afterwards."""
+        self.container_start_interceptor = interceptor
+        for pool in self._pools.values():
+            pool.start_interceptor = interceptor
 
     @property
     def elapsed(self) -> float:

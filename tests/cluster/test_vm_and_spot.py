@@ -50,6 +50,17 @@ class TestVM:
         with pytest.raises(ClusterError):
             vm.terminate()
 
+    def test_crash_terminates_without_notice(self):
+        sim = Simulator()
+        meter = CostMeter(AWS)
+        vm = VM(sim, VMTier.ON_DEMAND, meter)
+        sim.at(40.0, vm.crash)
+        sim.run()
+        assert vm.crashed
+        assert vm.state is VMState.TERMINATED
+        # Billing still settles up to the crash instant.
+        assert meter.seconds(VMTier.ON_DEMAND) == pytest.approx(40.0)
+
     def test_notice_only_for_spot(self):
         sim = Simulator()
         on_demand = make_vm(sim, VMTier.ON_DEMAND)
@@ -147,6 +158,45 @@ class TestSpotMarket:
         market.unregister(vm)
         sim.run(until=100.0)
         assert events == []
+
+    def test_unregister_after_notice_cancels_pending_eviction(self):
+        # Regression: the eviction countdown scheduled at notice time used
+        # to keep firing after unregister(), evicting retired nodes and
+        # inflating the eviction counters.
+        sim = Simulator()
+        market = SpotMarket(
+            sim, np.random.default_rng(7), SpotAvailability("certain", 1.0),
+            check_interval=10.0, notice_seconds=30.0,
+        )
+        vm = make_vm(sim)
+        evictions = []
+        market.register(vm, lambda v: None, lambda v: evictions.append(sim.now))
+        sim.run(until=15.0)  # notice at 10; eviction pending at 40
+        assert vm.state is VMState.EVICTION_NOTICE
+        market.unregister(vm)  # node replaced/crashed meanwhile
+        vm.terminate()
+        sim.run(until=100.0)
+        assert evictions == []
+        assert market.evictions == 0
+
+    def test_voluntary_terminate_after_notice_is_not_an_eviction(self):
+        # Regression: a VM torn down during its drain window must not be
+        # terminated again (ClusterError) nor counted as an eviction when
+        # the countdown fires.
+        sim = Simulator()
+        market = SpotMarket(
+            sim, np.random.default_rng(8), SpotAvailability("certain", 1.0),
+            check_interval=10.0, notice_seconds=30.0,
+        )
+        vm = make_vm(sim)
+        evicted = []
+        market.register(vm, lambda v: None, lambda v: evicted.append(v))
+        sim.run(until=15.0)  # notice at 10
+        vm.terminate()  # voluntary scale-down mid-drain
+        sim.run(until=100.0)
+        assert evicted == []
+        assert market.evictions == 0
+        assert vm.state is VMState.TERMINATED
 
     def test_register_rejects_on_demand_and_duplicates(self):
         sim = Simulator()

@@ -76,6 +76,49 @@ class TestAutoscaler:
         for node in platform.cluster.nodes:
             assert platform.pool_for(node).idle_count(MODEL.name) == 2
 
+    def test_remainder_is_distributed_not_ceiled(self):
+        # Regression: ceil(desired / n_nodes) per node over-prewarmed by
+        # up to n_nodes - 1 containers versus the cluster-wide target.
+        sim = Simulator()
+        platform = make_platform(sim, n_nodes=4)
+        platform.provision_initial(VMTier.ON_DEMAND)
+        autoscaler = Autoscaler(platform, AutoscalerConfig(headroom=1.0))
+        for _ in range(40):  # 5 batches cluster-wide over 4 nodes
+            autoscaler.observe_request(request())
+        autoscaler.on_monitor()
+        # ceil(5/4) = 2 per node would have issued 8; divmod spreads
+        # the remainder as 2+1+1+1.
+        assert autoscaler.prewarms_issued == 5
+        sim.run(until=5.0)
+        counts = sorted(
+            platform.pool_for(n).idle_count(MODEL.name)
+            for n in platform.cluster.nodes
+        )
+        assert counts == [1, 1, 1, 2]
+
+    def test_decayed_models_are_pruned(self):
+        # Regression: models were never removed from the scan set, so a
+        # long run re-scanned every model ever seen on every tick and the
+        # EWMA family grew without bound.
+        sim = Simulator()
+        platform = make_platform(sim)
+        platform.provision_initial(VMTier.ON_DEMAND)
+        autoscaler = Autoscaler(
+            platform, AutoscalerConfig(ewma_alpha=0.5, headroom=1.0)
+        )
+        for _ in range(8):
+            autoscaler.observe_request(request())
+        autoscaler.on_monitor()
+        assert MODEL.name in autoscaler.predictor.keys()
+        for _ in range(40):  # idle windows: EWMA decays below threshold
+            autoscaler.on_monitor()
+        assert MODEL.name not in autoscaler._models
+        assert MODEL.name not in autoscaler.predictor.keys()
+        # A returning model is re-learned from scratch.
+        autoscaler.observe_request(request())
+        autoscaler.on_monitor()
+        assert MODEL.name in autoscaler._models
+
     def test_no_prewarm_without_prediction(self):
         sim = Simulator()
         platform = make_platform(sim)
@@ -89,6 +132,8 @@ class TestAutoscaler:
             AutoscalerConfig(monitor_interval=0.0)
         with pytest.raises(ConfigurationError):
             AutoscalerConfig(headroom=0.5)
+        with pytest.raises(ConfigurationError):
+            AutoscalerConfig(prune_threshold=0.0)
 
 
 class TestProcurement:

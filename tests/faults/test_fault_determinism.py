@@ -1,0 +1,91 @@
+"""Fault-injection determinism regression.
+
+Two promises are pinned here (both acceptance criteria of the fault
+subsystem):
+
+1. an *empty* fault plan is bit-identical to faults disabled — threading
+   the fault layer through the runner must not perturb any RNG stream or
+   event ordering when no fault is scheduled; and
+2. the same seed and the same plan reproduce the same faulty run
+   bit-for-bit, so failure experiments are replayable.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_scheme
+from repro.faults import EMPTY_PLAN, FaultKind, FaultPlan, FaultSpec
+
+CONFIG = ExperimentConfig(
+    duration=25.0,
+    warmup=5.0,
+    drain=50.0,
+    n_nodes=2,
+    seed=11,
+    procurement="hybrid",
+    spot_availability="high",
+)
+
+PLAN = FaultPlan(
+    (
+        FaultSpec(
+            FaultKind.CONTAINER_START_FAILURE,
+            at=4.0,
+            duration=6.0,
+            failure_probability=0.5,
+            retry_seconds=1.0,
+        ),
+        FaultSpec(FaultKind.NODE_CRASH, at=8.0),
+        FaultSpec(
+            FaultKind.SLOW_SLICE, at=10.0, duration=6.0, multiplier=2.0
+        ),
+        FaultSpec(
+            FaultKind.NETWORK_DELAY,
+            at=12.0,
+            duration=6.0,
+            delay_seconds=0.02,
+            jitter_seconds=0.03,
+        ),
+    )
+)
+
+
+def _rows(config: ExperimentConfig):
+    result = run_scheme("protean", config)
+    return result.summary.row(), dict(result.extras)
+
+
+def test_empty_plan_is_bit_identical_to_disabled():
+    disabled_row, disabled_extras = _rows(CONFIG)
+    empty_row, empty_extras = _rows(CONFIG.with_overrides(fault_plan=EMPTY_PLAN))
+    assert disabled_row == empty_row  # dict equality on floats == bitwise
+    assert disabled_extras == empty_extras
+
+
+def test_same_plan_twice_is_bit_identical():
+    config = CONFIG.with_overrides(fault_plan=PLAN)
+    first_row, first_extras = _rows(config)
+    second_row, second_extras = _rows(config)
+    assert first_row == second_row
+    assert first_extras == second_extras
+
+
+@pytest.mark.parametrize("tracing", [False, True])
+def test_tracing_stays_a_pure_observer_under_faults(tracing):
+    # Guarded by the bit-identity of the traced and untraced faulty runs.
+    base_row, base_extras = _rows(CONFIG.with_overrides(fault_plan=PLAN))
+    traced_row, traced_extras = _rows(
+        CONFIG.with_overrides(fault_plan=PLAN, tracing=tracing)
+    )
+    assert base_row == traced_row
+    assert base_extras == traced_extras
+
+
+def test_fault_plan_changes_outcomes():
+    # Guard the guard: faults must actually perturb the run.
+    clean_row, clean_extras = _rows(CONFIG)
+    faulty_row, faulty_extras = _rows(CONFIG.with_overrides(fault_plan=PLAN))
+    assert faulty_extras["fault_crashes"] == 1
+    assert faulty_extras["crashes_handled"] == 1
+    assert "fault_crashes" not in clean_extras
+    assert clean_row != faulty_row

@@ -1,0 +1,325 @@
+"""Behavioural tests for the fault injector against a live platform."""
+
+import pytest
+
+from repro.cluster.spot import HIGH_AVAILABILITY, SpotAvailability, SpotMarket
+from repro.core.procurement import (
+    Procurement,
+    ProcurementConfig,
+    ProcurementMode,
+)
+from repro.core.protean import ProteanScheme
+from repro.errors import FaultError
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.observability.tracer import NULL_TRACER, SimTracer
+from repro.serverless.platform import PlatformConfig, ServerlessPlatform
+from repro.serverless.request import Request
+from repro.simulation import Simulator
+from repro.traces.mixing import RequestSpec
+from repro.workloads import get_model
+from repro.workloads.scaling import scale_model
+
+MODEL = scale_model(get_model("resnet50"), 8 / 128)
+
+
+def make_rig(
+    sim,
+    *,
+    n_nodes=2,
+    mode=ProcurementMode.HYBRID,
+    availability=HIGH_AVAILABILITY,
+    tracer=NULL_TRACER,
+):
+    scheme = ProteanScheme(
+        enable_reconfigurator=False, enable_autoscaler=False
+    )
+    platform = ServerlessPlatform(
+        sim,
+        scheme,
+        PlatformConfig(n_nodes=n_nodes, cold_start_seconds=1.0),
+        tracer=tracer,
+    )
+    market = SpotMarket(
+        sim,
+        sim.rng.stream("spot"),
+        availability,
+        notice_seconds=10.0,
+        check_interval=20.0,
+        tracer=tracer,
+    )
+    procurement = Procurement(
+        platform,
+        market,
+        ProcurementConfig(mode=mode, provision_seconds=5.0),
+    )
+    procurement.provision_initial()
+    return platform, market, procurement
+
+
+def inject(platform, procurement, plan, *, tracer=NULL_TRACER):
+    injector = FaultInjector(
+        platform,
+        procurement,
+        plan,
+        rng=platform.sim.rng.stream("faults"),
+        tracer=tracer,
+    )
+    injector.arm()
+    return injector
+
+
+class TestNodeCrash:
+    def test_crash_retires_node_and_builds_replacement(self):
+        sim = Simulator()
+        tracer = SimTracer(sim)
+        platform, _market, procurement = make_rig(sim, tracer=tracer)
+        victim = platform.cluster.nodes[0]
+        plan = FaultPlan(
+            (FaultSpec(FaultKind.NODE_CRASH, at=5.0, target=victim.name),)
+        )
+        injector = inject(platform, procurement, plan, tracer=tracer)
+        sim.run(until=5.1)
+        assert victim.state.value == "retired"
+        assert victim.vm.crashed
+        assert len(platform.cluster) == 1
+        assert procurement.crashes_handled == 1
+        sim.run(until=10.1)  # replacement after provision_seconds=5
+        assert len(platform.cluster) == 2
+        names = [s.name for s in tracer.spans]
+        assert names.count("fault.node_crash") == 1
+        assert names.count("procure.node_built") == 3  # 2 initial + 1
+        assert injector.stats()["fault_crashes"] == 1
+
+    def test_crash_on_spot_node_cancels_market_machinery(self):
+        sim = Simulator()
+        platform, market, procurement = make_rig(sim, n_nodes=1)
+        node = platform.cluster.nodes[0]
+        assert node.vm.tier.value == "spot"
+        # Force a revocation notice at the first check (t=20), then crash
+        # the node mid-drain (t=26): the pending eviction at t=30 must be
+        # cancelled and no second replacement requested.
+        market.availability = SpotAvailability("certain", 1.0)
+        plan = FaultPlan(
+            (FaultSpec(FaultKind.NODE_CRASH, at=26.0, target=node.name),)
+        )
+        inject(platform, procurement, plan)
+        sim.run(until=60.0)
+        assert market.notices_issued == 1
+        assert market.evictions == 0
+        assert procurement.crashes_handled == 1
+        # The notice's replacement (built at t=25) is the only one.
+        assert procurement.replacements_requested == 1
+        assert len(platform.cluster) == 1
+
+    def test_unknown_target_is_skipped(self):
+        sim = Simulator()
+        platform, _market, procurement = make_rig(sim)
+        plan = FaultPlan(
+            (FaultSpec(FaultKind.NODE_CRASH, at=1.0, target="no-such-node"),)
+        )
+        injector = inject(platform, procurement, plan)
+        sim.run(until=2.0)
+        assert injector.skipped_no_target == 1
+        assert injector.crashes_injected == 0
+        assert len(platform.cluster) == 2
+
+
+class TestSlowSlice:
+    def test_slowdown_applied_then_lifted(self):
+        sim = Simulator()
+        tracer = SimTracer(sim)
+        platform, _market, procurement = make_rig(
+            sim, n_nodes=1, tracer=tracer
+        )
+        node = platform.cluster.nodes[0]
+        plan = FaultPlan(
+            (
+                FaultSpec(
+                    FaultKind.SLOW_SLICE,
+                    at=2.0,
+                    duration=3.0,
+                    multiplier=2.5,
+                    target=node.name,
+                ),
+            )
+        )
+        injector = inject(platform, procurement, plan, tracer=tracer)
+        sim.run(until=2.1)
+        assert node.gpu.slowdown == 2.5
+        assert all(s.slowdown == 2.5 for s in node.gpu.slices)
+        sim.run(until=5.1)
+        assert node.gpu.slowdown == 1.0
+        assert all(s.slowdown == 1.0 for s in node.gpu.slices)
+        assert injector.slow_slice_windows == 1
+        (span,) = [s for s in tracer.spans if s.name == "fault.slow_slice"]
+        assert span.closed
+        assert span.start == pytest.approx(2.0)
+        assert span.duration == pytest.approx(3.0)
+        assert span.attrs["multiplier"] == 2.5
+
+
+class TestContainerStartFailure:
+    def test_failed_starts_delay_boot_then_window_closes(self):
+        sim = Simulator()
+        tracer = SimTracer(sim)
+        platform, _market, procurement = make_rig(
+            sim, n_nodes=1, tracer=tracer
+        )
+        node = platform.cluster.nodes[0]
+        pool = platform.pool_for(node)
+        plan = FaultPlan(
+            (
+                FaultSpec(
+                    FaultKind.CONTAINER_START_FAILURE,
+                    at=1.0,
+                    duration=5.0,
+                    failure_probability=1.0,
+                    retry_seconds=2.0,
+                ),
+            )
+        )
+        injector = inject(platform, procurement, plan, tracer=tracer)
+        sim.at(2.0, lambda: pool.prewarm(MODEL.name))
+        # p=1 hits the retry cap: 5 failures x 2 s + 1 s cold start = 11 s.
+        sim.run(until=12.9)
+        assert pool.idle_count(MODEL.name) == 0
+        sim.run(until=13.1)
+        assert pool.idle_count(MODEL.name) == 1
+        assert injector.start_failures_injected == 5
+        # The window closed at t=6: later spawns boot normally.
+        assert platform.container_start_interceptor is None
+        sim.at(20.0, lambda: pool.prewarm(MODEL.name))
+        sim.run(until=21.1)
+        assert pool.idle_count(MODEL.name) == 2
+        (window,) = [
+            s for s in tracer.spans if s.name == "fault.container_start_window"
+        ]
+        assert window.closed and window.attrs["failures"] == 5
+        fails = [
+            s for s in tracer.spans if s.name == "fault.container_start_fail"
+        ]
+        assert len(fails) == 5
+
+    def test_nodes_built_mid_window_inherit_the_fault(self):
+        sim = Simulator()
+        platform, _market, procurement = make_rig(sim, n_nodes=1)
+        plan = FaultPlan(
+            (
+                FaultSpec(
+                    FaultKind.CONTAINER_START_FAILURE,
+                    at=1.0,
+                    duration=20.0,
+                    failure_probability=1.0,
+                    retry_seconds=1.0,
+                ),
+            )
+        )
+        inject(platform, procurement, plan)
+        sim.run(until=2.0)
+        from repro.cluster.pricing import VMTier
+
+        node = platform.build_node(VMTier.ON_DEMAND)
+        assert platform.pool_for(node).start_interceptor is not None
+
+
+class TestNetworkDelay:
+    def test_admissions_delayed_inside_window_only(self):
+        sim = Simulator()
+        platform, _market, procurement = make_rig(sim, n_nodes=1)
+        plan = FaultPlan(
+            (
+                FaultSpec(
+                    FaultKind.NETWORK_DELAY,
+                    at=1.0,
+                    duration=4.0,
+                    delay_seconds=0.5,
+                ),
+            )
+        )
+        injector = inject(platform, procurement, plan)
+        seen = []
+        platform.request_observers.append(lambda r: seen.append(sim.now))
+
+        def admit(arrival):
+            spec = RequestSpec(arrival=arrival, model=MODEL, strict=True)
+            platform.gateway.admit(Request.from_spec(spec))
+
+        sim.at(2.0, lambda: admit(2.0))
+        sim.at(6.0, lambda: admit(6.0))
+        sim.run(until=10.0)
+        assert seen == [pytest.approx(2.5), pytest.approx(6.0)]
+        assert injector.delayed_admissions == 1
+        assert platform.gateway.delayed_admissions == 1
+        assert platform.gateway.delay_provider is None
+
+
+class TestValidationAndArming:
+    def test_overlapping_single_slot_windows_rejected(self):
+        sim = Simulator()
+        platform, _market, procurement = make_rig(sim)
+        for kind, extra in (
+            (FaultKind.NETWORK_DELAY, {"delay_seconds": 0.1}),
+            (FaultKind.CONTAINER_START_FAILURE, {}),
+        ):
+            plan = FaultPlan(
+                (
+                    FaultSpec(kind, at=1.0, duration=5.0, **extra),
+                    FaultSpec(kind, at=4.0, duration=5.0, **extra),
+                )
+            )
+            with pytest.raises(FaultError):
+                FaultInjector(
+                    platform,
+                    procurement,
+                    plan,
+                    rng=sim.rng.stream("faults"),
+                )
+
+    def test_back_to_back_windows_allowed(self):
+        sim = Simulator()
+        platform, _market, procurement = make_rig(sim)
+        plan = FaultPlan(
+            (
+                FaultSpec(
+                    FaultKind.NETWORK_DELAY,
+                    at=1.0,
+                    duration=2.0,
+                    delay_seconds=0.1,
+                ),
+                FaultSpec(
+                    FaultKind.NETWORK_DELAY,
+                    at=3.0,
+                    duration=2.0,
+                    delay_seconds=0.1,
+                ),
+            )
+        )
+        FaultInjector(
+            platform, procurement, plan, rng=sim.rng.stream("faults")
+        )
+
+    def test_double_arm_rejected(self):
+        sim = Simulator()
+        platform, _market, procurement = make_rig(sim)
+        plan = FaultPlan((FaultSpec(FaultKind.NODE_CRASH, at=1.0),))
+        injector = inject(platform, procurement, plan)
+        with pytest.raises(FaultError):
+            injector.arm()
+
+    def test_stats_keys_are_stable(self):
+        sim = Simulator()
+        platform, _market, procurement = make_rig(sim)
+        injector = FaultInjector(
+            platform,
+            procurement,
+            FaultPlan(),
+            rng=sim.rng.stream("faults"),
+        )
+        assert set(injector.stats()) == {
+            "faults_injected",
+            "fault_crashes",
+            "fault_slow_slice_windows",
+            "fault_start_failures",
+            "fault_delayed_admissions",
+            "fault_skipped_no_target",
+        }

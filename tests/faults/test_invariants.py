@@ -1,0 +1,93 @@
+"""Tests for the recovery invariants over synthetic span logs."""
+
+import pytest
+
+from repro.errors import FaultRecoveryError
+from repro.faults import assert_recovery, check_recovery
+from repro.observability.span import Span
+
+
+def span(name, start, end=None):
+    return Span(name=name, start=start, end=start if end is None else end)
+
+
+class TestCheckRecovery:
+    def test_fault_matched_within_sla(self):
+        spans = [span("fault.node_crash", 10.0), span("procure.node_built", 35.0)]
+        report = check_recovery(spans, sla_seconds=30.0)
+        assert report.ok
+        assert report.max_delay == pytest.approx(25.0)
+        assert len(report.matches) == 1
+
+    def test_late_recovery_is_a_violation(self):
+        spans = [span("fault.node_crash", 10.0), span("procure.node_built", 45.0)]
+        report = check_recovery(spans, sla_seconds=30.0)
+        assert not report.ok
+        assert len(report.violations) == 1
+        assert report.violations[0].name == "fault.node_crash"
+
+    def test_matching_is_one_to_one(self):
+        # Two crashes, one rebuild: a single recovery cannot heal both.
+        spans = [
+            span("fault.node_crash", 10.0),
+            span("fault.node_crash", 12.0),
+            span("procure.node_built", 20.0),
+        ]
+        report = check_recovery(spans, sla_seconds=30.0)
+        assert len(report.matches) == 1
+        assert len(report.violations) == 1
+        assert report.violations[0].start == 12.0
+
+    def test_recovery_before_fault_does_not_count(self):
+        spans = [span("procure.node_built", 5.0), span("fault.node_crash", 10.0)]
+        report = check_recovery(spans, sla_seconds=30.0)
+        assert not report.ok
+
+    def test_drain_spans_count_as_faults(self):
+        spans = [
+            span("spot.drain", 20.0, end=50.0),
+            span("procure.node_built", 45.0),
+        ]
+        report = check_recovery(spans, sla_seconds=30.0)
+        assert report.ok
+        assert report.max_delay == pytest.approx(25.0)
+
+    def test_no_faults_is_trivially_ok(self):
+        report = check_recovery(
+            [span("procure.node_built", 1.0)], sla_seconds=30.0
+        )
+        assert report.ok
+        assert report.max_delay == 0.0
+        assert report.matches == ()
+
+    def test_exact_sla_boundary_is_inclusive(self):
+        spans = [span("fault.node_crash", 0.0), span("procure.node_built", 30.0)]
+        assert check_recovery(spans, sla_seconds=30.0).ok
+
+    def test_custom_names(self):
+        spans = [span("my.fault", 1.0), span("my.fix", 2.0)]
+        report = check_recovery(
+            spans,
+            sla_seconds=5.0,
+            fault_names=("my.fault",),
+            recovery_name="my.fix",
+        )
+        assert report.ok
+
+    def test_describe_mentions_violations(self):
+        spans = [span("fault.node_crash", 10.0)]
+        report = check_recovery(spans, sla_seconds=30.0)
+        assert "VIOLATION" in report.describe()
+
+
+class TestAssertRecovery:
+    def test_raises_on_violation(self):
+        with pytest.raises(FaultRecoveryError, match="VIOLATION"):
+            assert_recovery(
+                [span("fault.node_crash", 10.0)], sla_seconds=30.0
+            )
+
+    def test_returns_clean_report(self):
+        spans = [span("fault.node_crash", 10.0), span("procure.node_built", 15.0)]
+        report = assert_recovery(spans, sla_seconds=30.0)
+        assert report.ok

@@ -1,0 +1,126 @@
+"""Tests for the fault plan data model and its JSON round-trip."""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import EMPTY_PLAN, FaultKind, FaultPlan, FaultSpec, demo_plan
+
+
+class TestFaultSpec:
+    def test_string_kind_coerces(self):
+        spec = FaultSpec("node_crash", at=5.0)
+        assert spec.kind is FaultKind.NODE_CRASH
+
+    def test_windowed_kinds_need_duration(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(FaultKind.SLOW_SLICE, at=1.0)
+        with pytest.raises(FaultPlanError):
+            FaultSpec(FaultKind.NETWORK_DELAY, at=1.0, delay_seconds=0.1)
+
+    def test_crash_needs_no_duration(self):
+        assert FaultSpec(FaultKind.NODE_CRASH, at=1.0).duration == 0.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(FaultKind.NODE_CRASH, at=-1.0)
+
+    def test_slow_slice_multiplier_must_exceed_one(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(
+                FaultKind.SLOW_SLICE, at=0.0, duration=1.0, multiplier=1.0
+            )
+
+    def test_failure_probability_bounds(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(
+                FaultKind.CONTAINER_START_FAILURE,
+                at=0.0,
+                duration=1.0,
+                failure_probability=0.0,
+            )
+        with pytest.raises(FaultPlanError):
+            FaultSpec(
+                FaultKind.CONTAINER_START_FAILURE,
+                at=0.0,
+                duration=1.0,
+                failure_probability=1.5,
+            )
+
+    def test_network_delay_needs_positive_sum(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(FaultKind.NETWORK_DELAY, at=0.0, duration=1.0)
+
+    def test_negative_retry_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(
+                FaultKind.CONTAINER_START_FAILURE,
+                at=0.0,
+                duration=1.0,
+                retry_seconds=-1.0,
+            )
+
+    def test_until(self):
+        spec = FaultSpec(FaultKind.SLOW_SLICE, at=2.0, duration=3.0)
+        assert spec.until == 5.0
+        assert FaultSpec(FaultKind.NODE_CRASH, at=2.0).until == 2.0
+
+    def test_dict_round_trip_elides_defaults(self):
+        spec = FaultSpec(FaultKind.NODE_CRASH, at=4.0)
+        payload = spec.to_dict()
+        assert payload == {"kind": "node_crash", "at": 4.0}
+        assert FaultSpec.from_dict(payload) == spec
+
+    def test_from_dict_rejects_bad_entries(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec.from_dict({"kind": "node_crash", "at": 1.0, "bogus": 2})
+        with pytest.raises(FaultPlanError):
+            FaultSpec.from_dict({"kind": "meteor_strike", "at": 1.0})
+        with pytest.raises(FaultPlanError):
+            FaultSpec.from_dict({"kind": "node_crash"})
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_falsy(self):
+        assert not EMPTY_PLAN
+        assert len(EMPTY_PLAN) == 0
+
+    def test_list_input_becomes_tuple(self):
+        plan = FaultPlan([FaultSpec(FaultKind.NODE_CRASH, at=1.0)])
+        assert isinstance(plan.faults, tuple)
+        assert bool(plan)
+
+    def test_ordered_sorts_by_time(self):
+        plan = FaultPlan(
+            (
+                FaultSpec(FaultKind.NODE_CRASH, at=9.0),
+                FaultSpec(FaultKind.NODE_CRASH, at=3.0),
+            )
+        )
+        assert [s.at for s in plan.ordered()] == [3.0, 9.0]
+
+    def test_json_round_trip(self, tmp_path):
+        plan = demo_plan(100.0)
+        path = tmp_path / "plan.json"
+        plan.to_json(path)
+        assert FaultPlan.from_json(path) == plan
+
+    def test_from_dict_accepts_bare_list(self):
+        plan = FaultPlan.from_dict([{"kind": "node_crash", "at": 1.0}])
+        assert len(plan) == 1
+
+    def test_from_dict_rejects_bad_shapes(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"nope": []})
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"faults": "nope"})
+
+    def test_from_json_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json(path)
+
+    def test_demo_plan_covers_every_kind(self):
+        plan = demo_plan(60.0)
+        assert {s.kind for s in plan.faults} == set(FaultKind)
+        assert all(s.until <= 60.0 for s in plan.faults)

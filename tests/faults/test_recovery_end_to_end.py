@@ -1,0 +1,214 @@
+"""End-to-end recovery: spot lifecycle and crash healing, on state + spans.
+
+The acceptance invariant for the fault subsystem: every injected capacity
+loss (``fault.node_crash`` instant, ``spot.drain`` interval) is followed
+by a ``procure.node_built`` span within the provisioning SLA — asserted
+here on the recorded span log via :func:`repro.faults.check_recovery`,
+alongside direct platform-state assertions (drain, eviction, stranded
+batch resubmission, replacement).
+"""
+
+import pytest
+
+from repro.cluster.spot import HIGH_AVAILABILITY, SpotAvailability, SpotMarket
+from repro.core.procurement import (
+    Procurement,
+    ProcurementConfig,
+    ProcurementMode,
+)
+from repro.core.protean import ProteanScheme
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_scheme
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    assert_recovery,
+    check_recovery,
+)
+from repro.observability.tracer import SimTracer
+from repro.serverless.platform import PlatformConfig, ServerlessPlatform
+from repro.serverless.request import Request
+from repro.simulation import Simulator
+from repro.traces.mixing import RequestSpec
+from repro.workloads import get_model
+from repro.workloads.scaling import scale_model
+
+MODEL = scale_model(get_model("resnet50"), 8 / 128)
+
+PROVISION_SECONDS = 5.0
+SLA = PROVISION_SECONDS + 0.5
+
+
+def make_rig(sim, tracer, *, n_nodes=1):
+    scheme = ProteanScheme(
+        enable_reconfigurator=False, enable_autoscaler=False
+    )
+    platform = ServerlessPlatform(
+        sim,
+        scheme,
+        PlatformConfig(n_nodes=n_nodes, cold_start_seconds=1.0),
+        tracer=tracer,
+    )
+    market = SpotMarket(
+        sim,
+        sim.rng.stream("spot"),
+        HIGH_AVAILABILITY,
+        notice_seconds=10.0,
+        check_interval=20.0,
+        tracer=tracer,
+    )
+    procurement = Procurement(
+        platform,
+        market,
+        ProcurementConfig(
+            mode=ProcurementMode.HYBRID, provision_seconds=PROVISION_SECONDS
+        ),
+    )
+    procurement.provision_initial()
+    return platform, market, procurement
+
+
+def admit(platform, arrival, count=1):
+    def _go():
+        for _ in range(count):
+            spec = RequestSpec(arrival=arrival, model=MODEL, strict=True)
+            platform.gateway.admit(Request.from_spec(spec))
+
+    platform.sim.at(arrival, _go)
+
+
+class TestSpotLifecycle:
+    def test_notice_drain_evict_replace_within_sla(self):
+        sim = Simulator()
+        tracer = SimTracer(sim)
+        platform, market, procurement = make_rig(sim, tracer)
+        node = platform.cluster.nodes[0]
+        assert node.vm.tier.value == "spot"
+        # Flip the market so the first revocation draw (t=20) fires.
+        market.availability = SpotAvailability("certain", 1.0)
+
+        sim.run(until=21.0)  # notice at t=20
+        assert market.notices_issued == 1
+        assert not node.accepting  # draining
+        assert node.state.value == "draining"
+
+        sim.run(until=26.0)  # replacement lands at t=25 (on-demand: the
+        assert len(platform.cluster) == 2  # dry market rejects spot)
+
+        sim.run(until=31.0)  # eviction at t=30
+        assert market.evictions == 1
+        assert node.state.value == "retired"
+        assert len(platform.cluster) == 1
+        assert platform.cluster.nodes[0] is not node
+
+        # The platform still serves traffic on the replacement.
+        admit(platform, 32.0, count=8)
+        sim.run(until=60.0)
+        assert len(platform.collector.records) == 8
+
+        # Span log: notice -> drain interval -> eviction, and the drain is
+        # healed by a node_built within the provisioning SLA.
+        names = [s.name for s in tracer.spans]
+        for expected in (
+            "spot.notice",
+            "spot.drain",
+            "spot.eviction",
+            "node.retire",
+        ):
+            assert expected in names
+        (drain,) = [s for s in tracer.spans if s.name == "spot.drain"]
+        assert drain.start == pytest.approx(20.0)
+        assert drain.end == pytest.approx(30.0)
+        report = assert_recovery(tracer.spans, sla_seconds=SLA)
+        assert len(report.matches) == 1
+        assert report.max_delay == pytest.approx(PROVISION_SECONDS)
+
+    def test_crash_strands_work_then_resubmits_on_replacement(self):
+        sim = Simulator()
+        tracer = SimTracer(sim)
+        platform, market, procurement = make_rig(sim, tracer)
+        node = platform.cluster.nodes[0]
+        # A batch is admitted at t=2: it forms, pays a 1 s cold start, and
+        # is executing (or queued) when the node crashes at t=2.5.
+        admit(platform, 2.0, count=8)
+        plan = FaultPlan(
+            (FaultSpec(FaultKind.NODE_CRASH, at=2.5, target=node.name),)
+        )
+        injector = FaultInjector(
+            platform,
+            procurement,
+            plan,
+            rng=sim.rng.stream("faults"),
+            tracer=tracer,
+        )
+        injector.arm()
+        sim.run(until=60.0)
+
+        # Crash path: no notice, no eviction, watcher cancelled.
+        assert market.notices_issued == 0
+        assert market.evictions == 0
+        assert procurement.crashes_handled == 1
+        assert node.state.value == "retired"
+        # The stranded batch was resubmitted and completed on the
+        # replacement node.
+        assert platform.dispatcher.resubmissions >= 1
+        assert len(platform.collector.records) == 8
+        assert len(platform.cluster) == 1
+        assert platform.cluster.nodes[0] is not node
+
+        report = assert_recovery(tracer.spans, sla_seconds=SLA)
+        assert len(report.matches) == 1
+        (crash,) = [s for s in tracer.spans if s.name == "fault.node_crash"]
+        assert crash.attrs["node"] == node.name
+
+
+class TestRunnerRecovery:
+    def test_runner_crash_recovers_within_provisioning_sla(self):
+        plan = FaultPlan((FaultSpec(FaultKind.NODE_CRASH, at=10.0),))
+        config = ExperimentConfig(
+            duration=30.0,
+            warmup=5.0,
+            drain=60.0,
+            n_nodes=2,
+            seed=3,
+            tracing=True,
+            procurement="hybrid",
+            spot_availability="high",
+            fault_plan=plan,
+        )
+        result = run_scheme("protean", config)
+        assert result.extras["fault_crashes"] == 1
+        assert result.extras["crashes_handled"] == 1
+        report = check_recovery(
+            result.tracer.spans,
+            sla_seconds=config.provision_seconds + 0.5,
+        )
+        assert report.ok
+        assert len(report.matches) == 1
+        assert report.max_delay <= config.provision_seconds + 0.5
+        assert result.extras["nodes_at_end"] == 2
+
+    def test_runner_full_demo_plan_recovers(self):
+        # Every fault kind at once, via the same demo plan the CLI uses.
+        from repro.faults import demo_plan
+
+        config = ExperimentConfig(
+            duration=40.0,
+            warmup=5.0,
+            drain=60.0,
+            n_nodes=2,
+            seed=7,
+            tracing=True,
+            procurement="hybrid",
+            spot_availability="high",
+            fault_plan=demo_plan(40.0),
+        )
+        result = run_scheme("protean", config)
+        assert result.extras["faults_injected"] == 4
+        report = check_recovery(
+            result.tracer.spans,
+            sla_seconds=config.provision_seconds + 0.5,
+        )
+        assert report.ok

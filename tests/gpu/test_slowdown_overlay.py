@@ -1,0 +1,83 @@
+"""Tests for the fault-injection slowdown overlay on slices and devices."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu import GEOMETRY_4G_3G, GEOMETRY_FULL, GPU, ShareMode, SliceJob
+from repro.gpu.engine import GPUSlice
+from repro.gpu.mig import profile
+from repro.simulation import Simulator
+
+
+def job(work=0.1, on_complete=None):
+    return SliceJob(
+        work=work,
+        rdf=1.0,
+        fbr=0.1,
+        memory_gb=1.0,
+        on_complete=on_complete or (lambda j, t: None),
+    )
+
+
+class TestSliceSlowdown:
+    def test_slowdown_stretches_execution(self):
+        sim = Simulator()
+        gpu_slice = GPUSlice(sim, profile("7g"), ShareMode.MPS)
+        gpu_slice.set_slowdown(2.0)
+        done = []
+        sim.at(0.0, lambda: gpu_slice.submit(
+            job(work=0.1, on_complete=lambda j, t: done.append(t))
+        ))
+        sim.run()
+        assert done[0].finished_at == pytest.approx(0.2)
+
+    def test_mid_flight_change_reschedules(self):
+        sim = Simulator()
+        gpu_slice = GPUSlice(sim, profile("7g"), ShareMode.MPS)
+        done = []
+        sim.at(0.0, lambda: gpu_slice.submit(
+            job(work=0.2, on_complete=lambda j, t: done.append(t))
+        ))
+        # Half the work done at 2x slowdown onset: 0.1 remaining runs at
+        # half rate -> finishes at 0.1 + 0.2 = 0.3.
+        sim.at(0.1, lambda: gpu_slice.set_slowdown(2.0))
+        sim.run()
+        assert done[0].finished_at == pytest.approx(0.3)
+
+    def test_lifting_slowdown_restores_rate(self):
+        sim = Simulator()
+        gpu_slice = GPUSlice(sim, profile("7g"), ShareMode.MPS)
+        gpu_slice.set_slowdown(2.0)
+        done = []
+        sim.at(0.0, lambda: gpu_slice.submit(
+            job(work=0.2, on_complete=lambda j, t: done.append(t))
+        ))
+        sim.at(0.2, lambda: gpu_slice.set_slowdown(1.0))  # half done
+        sim.run()
+        assert done[0].finished_at == pytest.approx(0.3)
+
+    def test_rejects_speedup(self):
+        sim = Simulator()
+        gpu_slice = GPUSlice(sim, profile("7g"), ShareMode.MPS)
+        with pytest.raises(SimulationError):
+            gpu_slice.set_slowdown(0.5)
+
+
+class TestDeviceSlowdown:
+    def test_applies_to_all_slices(self):
+        sim = Simulator()
+        gpu = GPU(sim, GEOMETRY_4G_3G)
+        gpu.set_slowdown(3.0)
+        assert gpu.slowdown == 3.0
+        assert all(s.slowdown == 3.0 for s in gpu.slices)
+        gpu.set_slowdown(1.0)
+        assert all(s.slowdown == 1.0 for s in gpu.slices)
+
+    def test_overlay_survives_reconfiguration(self):
+        sim = Simulator()
+        gpu = GPU(sim, GEOMETRY_FULL, reconfig_seconds=1.0)
+        gpu.set_slowdown(2.0)
+        sim.at(0.0, lambda: gpu.reconfigure(GEOMETRY_4G_3G))
+        sim.run()
+        assert gpu.geometry == GEOMETRY_4G_3G
+        assert all(s.slowdown == 2.0 for s in gpu.slices)

@@ -67,6 +67,18 @@ class TestCdf:
         values, fractions = latency_cdf([])
         assert values.size == 0 and fractions.size == 0
 
+    def test_cdf_single_sample_terminates_at_one(self):
+        # Regression: one record produced fraction [0.0] — a CDF that
+        # never reached cumulative 1.0.
+        values, fractions = latency_cdf([record(0.25)])
+        assert fractions.tolist() == [1.0]
+        assert values.tolist() == [0.25]
+
+    def test_cdf_two_samples_spans_zero_to_one(self):
+        values, fractions = latency_cdf([record(0.1), record(0.3)])
+        assert fractions.tolist() == [0.0, 1.0]
+        assert values.tolist() == [0.1, 0.3]
+
     def test_cdf_median_matches_percentile(self):
         records = [record(l) for l in np.linspace(0.0, 1.0, 101)]
         values, fractions = latency_cdf(records, points=101)

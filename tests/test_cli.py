@@ -127,6 +127,40 @@ def test_trace_command_unknown_experiment(tmp_path, capsys):
     assert "unknown experiment" in capsys.readouterr().err
 
 
+def test_faults_command_with_plan_file(tmp_path, capsys):
+    from repro.faults import FaultKind, FaultPlan, FaultSpec
+
+    plan_path = tmp_path / "plan.json"
+    FaultPlan((FaultSpec(FaultKind.NODE_CRASH, at=10.0),)).to_json(plan_path)
+    out = tmp_path / "trace.json"
+    code = main(
+        [
+            "faults",
+            "default",
+            "--plan",
+            str(plan_path),
+            "--duration",
+            "25",
+            "--warmup",
+            "5",
+            "--nodes",
+            "2",
+            "--out",
+            str(out),
+        ]
+    )
+    assert code == 0  # recovered within SLA
+    output = capsys.readouterr().out
+    assert "fault_crashes: 1" in output
+    assert "recovered within" in output
+    assert out.exists()
+
+
+def test_faults_command_unknown_experiment(capsys):
+    assert main(["faults", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
 def test_parser_rejects_unknown_scheme():
     parser = build_parser()
     with pytest.raises(SystemExit):
