@@ -1,0 +1,94 @@
+"""Benchmark the raw Simulator dispatch loop and tombstone compaction.
+
+Measures events/sec on two synthetic workloads that isolate the hot path
+from the serverless layers above it:
+
+- *dispatch*: a self-rescheduling callback chain (pure pop/execute/push
+  churn — the shape of batch-completion timers);
+- *cancel-heavy*: every event schedules a timeout it then cancels, so the
+  heap fills with tombstones and the lazy-compaction machinery has to
+  keep ``dead_fraction`` bounded.
+
+Results land in ``BENCH_runner.json`` under ``simulator_hotpath`` next to
+the runner-scaling numbers. The floor asserted here is deliberately
+conservative (shared CI runners); the value of the bench is the recorded
+trend across commits.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.simulation.simulator import Simulator
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_runner.json"
+
+#: Events per measured workload — large enough to amortise setup and to
+#: cross the compaction thresholds in the cancel-heavy variant.
+N_EVENTS = 200_000
+
+#: Conservative floor (events/sec) for the pure dispatch loop.
+MIN_DISPATCH_RATE = 50_000
+
+
+def _bench_dispatch():
+    sim = Simulator(seed=0)
+    state = {"left": N_EVENTS}
+
+    def tick():
+        state["left"] -= 1
+        if state["left"] > 0:
+            sim.after(0.001, tick)
+
+    sim.after(0.001, tick)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return sim.events_processed, elapsed
+
+
+def _bench_cancel_heavy():
+    sim = Simulator(seed=0)
+    state = {"left": N_EVENTS}
+
+    def tick():
+        state["left"] -= 1
+        # The common serverless pattern: arm a timeout far in the future,
+        # then cancel it when the real completion lands first.
+        timeout = sim.after(1000.0, lambda: None)
+        sim.cancel(timeout)
+        if state["left"] > 0:
+            sim.after(0.001, tick)
+
+    sim.after(0.001, tick)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return sim.events_processed, elapsed, len(sim.queue._heap)
+
+
+def test_simulator_hotpath_throughput():
+    dispatched, dispatch_s = _bench_dispatch()
+    cancelled, cancel_s, heap_left = _bench_cancel_heavy()
+    dispatch_rate = dispatched / dispatch_s
+    cancel_rate = cancelled / cancel_s
+    payload = {
+        "benchmark": "simulator_hotpath",
+        "events": N_EVENTS,
+        "dispatch_events_per_sec": round(dispatch_rate),
+        "cancel_heavy_events_per_sec": round(cancel_rate),
+        "heap_entries_at_end": heap_left,
+    }
+    existing = (
+        json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    )
+    existing["simulator_hotpath"] = payload
+    BENCH_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+    print(f"\n{json.dumps(payload, indent=2)}\n[saved to {BENCH_PATH}]")
+
+    assert dispatch_rate > MIN_DISPATCH_RATE
+    # Compaction must bound the heap: every tick leaves one far-future
+    # tombstone, so without it the heap would end ~N_EVENTS long. With
+    # the 4096-entry/50% policy it stays within one compaction cycle.
+    assert heap_left < 8192

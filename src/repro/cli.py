@@ -20,7 +20,24 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_comparison, run_scheme
 from repro.experiments.schemes import COMPARISON_SCHEMES, scheme_names
 from repro.metrics.summary import format_table
+from repro.parallel import cpu_jobs, resolve_jobs, using_jobs
 from repro.workloads.registry import ALL_MODELS
+
+
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes for run fan-out "
+        "(default: $REPRO_JOBS, else the CPU count; 1 = serial)",
+    )
+
+
+def _cli_jobs(args: argparse.Namespace) -> int:
+    """Effective job count for a CLI command (defaults to all cores)."""
+    return resolve_jobs(args.jobs, default=cpu_jobs())
 
 
 def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
@@ -102,7 +119,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    result = module.run(quick=not args.full)
+    with using_jobs(_cli_jobs(args)):
+        result = module.run(quick=not args.full)
     print(result.table())
     return 0
 
@@ -110,11 +128,18 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_reproduce_all(args: argparse.Namespace) -> int:
     from repro.experiments.suite import run_full_suite
 
+    jobs = _cli_jobs(args)
     entries = run_full_suite(
         quick=not args.full,
         output_dir=args.output,
         only=tuple(args.only) if args.only else None,
+        jobs=jobs,
         progress=lambda figure_id: print(f"... {figure_id}", flush=True),
+        on_complete=lambda entry: print(
+            f"    {entry.figure_id} done in {entry.seconds:.1f}s"
+            + (f"  [{entry.error}]" if entry.error else ""),
+            flush=True,
+        ),
     )
     failures = [e for e in entries if e.error]
     print(
@@ -173,13 +198,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         seed=args.seed,
         **overrides,
     )
-    result = run_scheme(args.scheme, config)
+    # Detach before exporting: the exporters run against the same
+    # DetachedTrace surface the parallel layer ships between processes.
+    result = run_scheme(args.scheme, config).detach()
     write_chrome_trace(result.tracer, args.out)
     print(f"wrote {args.out} (open in https://ui.perfetto.dev)")
     if args.jsonl:
         write_span_jsonl(result.tracer, args.jsonl)
         print(f"wrote {args.jsonl}")
     print(text_summary(result.tracer))
+    if args.rollup:
+        from repro.observability import format_rollup, rollup_spans
+
+        print()
+        print(format_rollup(rollup_spans(result.tracer.spans)))
     return 0
 
 
@@ -239,7 +271,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
-    results = run_comparison(args.schemes, config)
+    results = run_comparison(args.schemes, config, jobs=_cli_jobs(args))
     rows = [results[name].summary.row() for name in args.schemes]
     print(format_table(rows, title=f"{args.model} on {args.trace} trace"))
     return 0
@@ -264,6 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "--full", action="store_true", help="paper-breadth (slow) mode"
     )
+    _add_jobs_arg(figure)
     figure.set_defaults(func=_cmd_figure)
 
     everything = sub.add_parser(
@@ -274,6 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
     everything.add_argument(
         "--only", nargs="*", default=None, help="restrict to these figure ids"
     )
+    _add_jobs_arg(everything)
     everything.set_defaults(func=_cmd_reproduce_all)
 
     run = sub.add_parser("run", help="run one scheme on one workload")
@@ -287,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--schemes", nargs="+", default=list(COMPARISON_SCHEMES)
     )
+    _add_jobs_arg(compare)
     _add_experiment_args(compare)
     compare.set_defaults(func=_cmd_compare)
 
@@ -311,6 +346,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--duration", type=float, default=None)
     trace.add_argument("--warmup", type=float, default=None)
     trace.add_argument("--nodes", type=int, default=None)
+    trace.add_argument(
+        "--rollup",
+        action="store_true",
+        help="print a flamegraph-style per-track/name self-time rollup",
+    )
     trace.set_defaults(func=_cmd_trace)
 
     faults = sub.add_parser(

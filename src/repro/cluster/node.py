@@ -19,6 +19,12 @@ from repro.gpu.device import GPU
 _node_ids = itertools.count()
 
 
+def reset_ids() -> None:
+    """Restart node numbering (fresh id space per experiment run)."""
+    global _node_ids
+    _node_ids = itertools.count()
+
+
 class NodeState(str, Enum):
     """Lifecycle of a worker node."""
 

@@ -19,6 +19,12 @@ from repro.simulation.simulator import Simulator
 _vm_ids = itertools.count()
 
 
+def reset_ids() -> None:
+    """Restart VM numbering (fresh id space per experiment run)."""
+    global _vm_ids
+    _vm_ids = itertools.count()
+
+
 class VMState(str, Enum):
     """Lifecycle states of a VM."""
 

@@ -3,6 +3,16 @@
 Every figure module exposes ``run(quick=True) -> FigureResult``. Quick mode
 shrinks durations/model rosters so a figure regenerates in seconds (the
 benchmark suite runs all of them); full mode matches the paper's breadth.
+
+Figures declare their experiment runs as **work-lists** of
+:class:`~repro.parallel.RunRequest` entries (via :func:`compare`,
+:func:`run_grid`, or an explicit list through :func:`execute_figure_runs`)
+instead of invoking the runner inline. The work-list executes through
+:mod:`repro.parallel` — serial by default, fanned across worker processes
+under ``--jobs``/``REPRO_JOBS`` — and always hands back *detached*
+results: summary + measured records + extras + span log, no live
+platform. Figures that need platform internals extract them worker-side
+through a module-level ``postprocess`` hook (see Figure 7).
 """
 
 from __future__ import annotations
@@ -10,9 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import ExperimentResult, run_comparison
+from repro.experiments.runner import ExperimentResult
 from repro.metrics.breakdown import p99_stacked_breakdown
 from repro.metrics.summary import format_table
+from repro.parallel import RunRequest, execute_keyed
 
 #: The paper's four cluster-scale comparison schemes, plot order.
 SCHEMES = ("molecule", "naive_slicing", "infless_llama", "protean")
@@ -101,8 +112,54 @@ def scheme_rows(
 def compare(
     config: ExperimentConfig, schemes=SCHEMES
 ) -> dict[str, ExperimentResult]:
-    """Run the standard scheme comparison for one workload config."""
-    return run_comparison(list(schemes), config)
+    """Run the standard scheme comparison for one workload config.
+
+    Declares one run per scheme and executes the work-list through the
+    parallel layer (fan-out width from the ambient ``--jobs`` /
+    ``REPRO_JOBS`` setting; serial by default). Results are detached.
+    """
+    return execute_figure_runs(
+        [
+            RunRequest(key=str(name), scheme=name, config=config)
+            for name in schemes
+        ]
+    )
+
+
+def run_grid(
+    cases: list[tuple[str, ExperimentConfig]], schemes=SCHEMES
+) -> dict[str, dict[str, ExperimentResult]]:
+    """Run ``schemes`` over several configs as one flat work-list.
+
+    ``cases`` is ``[(case_key, config), ...]`` — e.g. one entry per model
+    or scenario. Submitting the full cross product at once (instead of
+    one :func:`compare` batch per case) keeps every worker busy for the
+    whole figure. Returns ``{case_key: {scheme: result}}`` in declaration
+    order.
+    """
+    requests = [
+        RunRequest(key=f"{case_key}/{scheme}", scheme=scheme, config=config)
+        for case_key, config in cases
+        for scheme in schemes
+    ]
+    flat = execute_figure_runs(requests)
+    grid: dict[str, dict[str, ExperimentResult]] = {}
+    for case_key, _config in cases:
+        grid[case_key] = {
+            str(scheme): flat[f"{case_key}/{scheme}"] for scheme in schemes
+        }
+    return grid
+
+
+def execute_figure_runs(
+    requests: list[RunRequest],
+) -> dict[str, ExperimentResult]:
+    """Execute a figure's declared work-list, keyed by request key.
+
+    Thin wrapper over :func:`repro.parallel.execute_keyed` so figure
+    modules depend only on this module for plumbing.
+    """
+    return execute_keyed(requests)
 
 
 def breakdown_columns(result: ExperimentResult) -> dict[str, float]:

@@ -22,12 +22,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.figures.common import FigureResult, base_config
-from repro.experiments.runner import run_scheme
+from repro.experiments.figures.common import (
+    FigureResult,
+    base_config,
+    execute_figure_runs,
+)
 from repro.metrics.breakdown import p99_stacked_breakdown
 from repro.metrics.latency import p99
 from repro.metrics.slo import slo_compliance_percent
 from repro.traces.base import arrival_times, constant_trace
+from repro.parallel import RunRequest
 from repro.traces.mixing import MixSpec, collapse_to_batches, mix_requests
 
 MOTIVATION_SCHEMES = (
@@ -48,8 +52,13 @@ WORKLOADS = (
 )
 
 
-def _build_specs(config, quick: bool):
-    """Merge the DLA and ALBERT request streams into one trace."""
+def _build_specs(config):
+    """Merge the DLA and ALBERT request streams into one trace.
+
+    Module-level so it pickles by reference as a ``RunRequest``
+    ``specs_builder`` hook; each worker rebuilds the identical merged
+    stream from ``config`` alone.
+    """
     rng = np.random.default_rng(config.seed)
     specs = []
     for _panel, model, rate, scale in WORKLOADS:
@@ -79,10 +88,20 @@ def run(quick: bool = True) -> FigureResult:
         scale=0.1,
         n_nodes=1,
     )
-    specs = _build_specs(config, quick)
+    results = execute_figure_runs(
+        [
+            RunRequest(
+                key=scheme,
+                scheme=scheme,
+                config=config,
+                specs_builder=_build_specs,
+            )
+            for scheme in MOTIVATION_SCHEMES
+        ]
+    )
     rows: list[dict] = []
     for scheme in MOTIVATION_SCHEMES:
-        result = run_scheme(scheme, config, specs=specs)
+        result = results[scheme]
         for panel, model, _rate, scale in WORKLOADS:
             name = model  # scaled profiles keep the registry name
             strict = [

@@ -12,7 +12,7 @@ from repro.experiments.figures.common import (
     FigureResult,
     SCHEMES,
     base_config,
-    compare,
+    run_grid,
 )
 from repro.workloads import vision_models
 
@@ -25,10 +25,16 @@ def run(quick: bool = True) -> FigureResult:
     models = (
         QUICK_MODELS if quick else tuple(m.name for m in vision_models())
     )
+    # Work-list: the full model x scheme cross product in one batch.
+    grid = run_grid(
+        [
+            (model, base_config(quick, strict_model=model, trace="wiki"))
+            for model in models
+        ]
+    )
     rows = []
     for model in models:
-        config = base_config(quick, strict_model=model, trace="wiki")
-        results = compare(config)
+        results = grid[model]
         row: dict = {"model": model}
         for scheme in SCHEMES:
             row[f"{scheme}_slo_%"] = round(results[scheme].summary.slo_percent, 2)

@@ -13,7 +13,7 @@ from repro.experiments.figures.common import (
     FigureResult,
     base_config,
     breakdown_columns,
-    compare,
+    run_grid,
 )
 
 #: The paper's panels show a subset of the vision models; VGG 19 is (c).
@@ -23,11 +23,15 @@ MODELS = ("googlenet", "densenet121", "vgg19")
 def run(quick: bool = True) -> FigureResult:
     """Regenerate Figure 6."""
     models = MODELS[-1:] if quick else MODELS
+    grid = run_grid(
+        [
+            (model, base_config(quick, strict_model=model, trace="wiki"))
+            for model in models
+        ]
+    )
     rows = []
     for model in models:
-        config = base_config(quick, strict_model=model, trace="wiki")
-        results = compare(config)
-        for scheme, result in results.items():
+        for scheme, result in grid[model].items():
             row = {
                 "model": model,
                 "scheme": scheme,

@@ -12,9 +12,36 @@ change log so the episode can be plotted.
 
 from __future__ import annotations
 
-from repro.experiments.figures.common import FigureResult, base_config
-from repro.experiments.runner import run_scheme
+from repro.experiments.figures.common import (
+    FigureResult,
+    base_config,
+    execute_figure_runs,
+)
 from repro.metrics.timeline import latency_series
+from repro.parallel import RunRequest
+
+
+def _snapshot_internals(result) -> dict:
+    """Worker-side extractor: latency series + geometry change log.
+
+    Runs against the live result (platform attached) before detachment,
+    so the per-second series and the reconfigurator's geometry log cross
+    the process boundary as plain dicts in ``extras``.
+    """
+    config = result.config
+    records = [r for r in result.collector.records if r.strict]
+    series = [
+        {"t": t, "p95_ms": round(latency * 1000, 1)}
+        for t, latency in latency_series(
+            records, bucket_seconds=1.0, percentile=95.0, end=config.duration
+        )
+    ]
+    scheme = result.platform.scheme
+    log = [
+        {"t": round(t, 1), "node": node, "geometry": repr(geometry)}
+        for t, node, geometry in scheme.reconfigurator.geometry_log
+    ]
+    return {"series": series, "geometry_log": log}
 
 
 def run(quick: bool = True) -> FigureResult:
@@ -28,20 +55,18 @@ def run(quick: bool = True) -> FigureResult:
         warmup=0.0,
         rotation_period=20.0,
     )
-    result = run_scheme("protean", config)
-    # Per-second p95 strict latency series.
-    records = [r for r in result.collector.records if r.strict]
-    series = [
-        {"t": t, "p95_ms": round(latency * 1000, 1)}
-        for t, latency in latency_series(
-            records, bucket_seconds=1.0, percentile=95.0, end=config.duration
-        )
-    ]
-    scheme = result.platform.scheme
-    log = [
-        {"t": round(t, 1), "node": node, "geometry": repr(geometry)}
-        for t, node, geometry in scheme.reconfigurator.geometry_log
-    ]
+    result = execute_figure_runs(
+        [
+            RunRequest(
+                key="snapshot",
+                scheme="protean",
+                config=config,
+                postprocess=_snapshot_internals,
+            )
+        ]
+    )["snapshot"]
+    series = result.extras["series"]
+    log = result.extras["geometry_log"]
     slo_ms = config.strict_profile().slo_target(config.slo_multiplier) * 1000
     return FigureResult(
         figure="Figure 7: dynamic geometry selection snapshot",

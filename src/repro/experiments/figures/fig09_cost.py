@@ -13,24 +13,28 @@ hybrid spot+on-demand policy; Spot-Only never falls back. Expected shape:
 
 from __future__ import annotations
 
-from repro.experiments.figures.common import FigureResult, base_config
-from repro.experiments.runner import run_scheme
+from repro.experiments.figures.common import (
+    FigureResult,
+    base_config,
+    execute_figure_runs,
+)
+from repro.parallel import RunRequest
 
 SCENARIOS = ("high", "moderate", "low")
 
 
 def run(quick: bool = True) -> FigureResult:
     """Regenerate Figure 9."""
-    rows = []
     variants = (
         ("on_demand_baseline", "protean", "on_demand_only"),
         ("protean_hybrid", "protean", "hybrid"),
         ("spot_only", "protean", "spot_only"),
     )
-    for availability in SCENARIOS:
-        baseline_cost = None
-        for label, scheme, procurement in variants:
-            config = base_config(
+    requests = [
+        RunRequest(
+            key=f"{availability}/{label}",
+            scheme=scheme,
+            config=base_config(
                 quick,
                 strict_model="resnet50",
                 trace="constant",
@@ -39,8 +43,17 @@ def run(quick: bool = True) -> FigureResult:
                 spot_check_interval=30.0 if quick else 60.0,
                 duration=90.0 if quick else 240.0,
                 warmup=20.0 if quick else 60.0,
-            )
-            result = run_scheme(scheme, config)
+            ),
+        )
+        for availability in SCENARIOS
+        for label, scheme, procurement in variants
+    ]
+    results = execute_figure_runs(requests)
+    rows = []
+    for availability in SCENARIOS:
+        baseline_cost = None
+        for label, _scheme, _procurement in variants:
+            result = results[f"{availability}/{label}"]
             cost = result.summary.total_cost
             if baseline_cost is None:
                 baseline_cost = cost

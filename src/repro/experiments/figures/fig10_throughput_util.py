@@ -13,22 +13,26 @@ from repro.experiments.figures.common import (
     FigureResult,
     SCHEMES,
     base_config,
-    compare,
+    run_grid,
 )
 
 
 def run(quick: bool = True) -> FigureResult:
     """Regenerate Figure 10 (both panels)."""
-    rows = []
     panels = (
         ("a:throughput", "densenet121"),
         ("b:utilization", "efficientnet_b0"),
     )
-    for panel, model in panels:
-        config = base_config(quick, strict_model=model, trace="wiki")
-        results = compare(config)
+    grid = run_grid(
+        [
+            (panel, base_config(quick, strict_model=model, trace="wiki"))
+            for panel, model in panels
+        ]
+    )
+    rows = []
+    for panel, _model in panels:
         for scheme in SCHEMES:
-            summary = results[scheme].summary
+            summary = grid[panel][scheme].summary
             rows.append(
                 {
                     "panel": panel,

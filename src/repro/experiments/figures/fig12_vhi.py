@@ -14,7 +14,7 @@ from repro.experiments.figures.common import (
     FigureResult,
     SCHEMES,
     base_config,
-    compare,
+    run_grid,
 )
 from repro.workloads import very_high_interference_models
 
@@ -29,19 +29,26 @@ def run(quick: bool = True) -> FigureResult:
         models = tuple(
             m.name for m in very_high_interference_models() if not m.generative
         )
+    grid = run_grid(
+        [
+            (
+                model,
+                base_config(
+                    quick,
+                    strict_model=model,
+                    trace="wiki",
+                    scale=1.0,  # language batch size is already 4
+                ),
+            )
+            for model in models
+        ]
+    )
     rows = []
     for model in models:
-        config = base_config(
-            quick,
-            strict_model=model,
-            trace="wiki",
-            scale=1.0,  # language batch size is already 4
-        )
-        results = compare(config)
         row: dict = {"model": model}
         for scheme in SCHEMES:
             row[f"{scheme}_slo_%"] = round(
-                results[scheme].summary.slo_percent, 2
+                grid[model][scheme].summary.slo_percent, 2
             )
         rows.append(row)
     return FigureResult(

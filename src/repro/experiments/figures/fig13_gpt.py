@@ -15,7 +15,7 @@ from repro.experiments.figures.common import (
     FigureResult,
     SCHEMES,
     base_config,
-    compare,
+    run_grid,
 )
 
 MODELS = ("gpt1", "gpt2")
@@ -24,14 +24,21 @@ MODELS = ("gpt1", "gpt2")
 def run(quick: bool = True) -> FigureResult:
     """Regenerate Figure 13."""
     models = MODELS[:1] if quick else MODELS
+    grid = run_grid(
+        [
+            (
+                model,
+                base_config(quick, strict_model=model, trace="wiki", scale=1.0),
+            )
+            for model in models
+        ]
+    )
     rows = []
     for model in models:
-        config = base_config(quick, strict_model=model, trace="wiki", scale=1.0)
-        results = compare(config)
         row: dict = {"model": model}
         for scheme in SCHEMES:
             row[f"{scheme}_slo_%"] = round(
-                results[scheme].summary.slo_percent, 2
+                grid[model][scheme].summary.slo_percent, 2
             )
         rows.append(row)
     return FigureResult(

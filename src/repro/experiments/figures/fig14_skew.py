@@ -15,7 +15,7 @@ from repro.experiments.figures.common import (
     FigureResult,
     SCHEMES,
     base_config,
-    compare,
+    run_grid,
 )
 
 SCENARIOS = (("strict_skewed", 0.75), ("be_skewed", 0.25))
@@ -24,17 +24,25 @@ MODELS = ("shufflenet_v2", "dpn92")
 
 def run(quick: bool = True) -> FigureResult:
     """Regenerate Figure 14 (both panels)."""
-    rows = []
     models = MODELS if not quick else MODELS
-    for scenario, fraction in SCENARIOS:
-        for model in models:
-            config = base_config(
+    cases = [
+        (
+            f"{scenario}/{model}",
+            base_config(
                 quick,
                 strict_model=model,
                 strict_fraction=fraction,
                 trace="wiki",
-            )
-            results = compare(config)
+            ),
+        )
+        for scenario, fraction in SCENARIOS
+        for model in models
+    ]
+    grid = run_grid(cases)
+    rows = []
+    for scenario, _fraction in SCENARIOS:
+        for model in models:
+            results = grid[f"{scenario}/{model}"]
             row: dict = {"scenario": scenario, "model": model}
             for scheme in SCHEMES:
                 row[f"{scheme}_slo_%"] = round(

@@ -11,7 +11,7 @@ from repro.experiments.figures.common import (
     FigureResult,
     SCHEMES,
     base_config,
-    compare,
+    run_grid,
 )
 
 MODELS = ("resnet50", "shufflenet_v2", "vgg19")
@@ -20,16 +20,25 @@ MODELS = ("resnet50", "shufflenet_v2", "vgg19")
 def run(quick: bool = True) -> FigureResult:
     """Regenerate Figure 15."""
     models = MODELS[:2] if quick else MODELS
-    rows = []
-    for model in models:
-        for multiplier, label in ((3.0, "slo_3x"), (2.0, "slo_2x")):
-            config = base_config(
+    targets = ((3.0, "slo_3x"), (2.0, "slo_2x"))
+    cases = [
+        (
+            f"{model}/{label}",
+            base_config(
                 quick,
                 strict_model=model,
                 slo_multiplier=multiplier,
                 trace="wiki",
-            )
-            results = compare(config)
+            ),
+        )
+        for model in models
+        for multiplier, label in targets
+    ]
+    grid = run_grid(cases)
+    rows = []
+    for model in models:
+        for _multiplier, label in targets:
+            results = grid[f"{model}/{label}"]
             row: dict = {"model": model, "target": label}
             for scheme in SCHEMES:
                 row[f"{scheme}_slo_%"] = round(

@@ -8,8 +8,7 @@ because caches and memory bandwidth remain shared under MPS.
 
 from __future__ import annotations
 
-from repro.experiments.figures.common import FigureResult, base_config
-from repro.experiments.runner import run_comparison
+from repro.experiments.figures.common import FigureResult, base_config, run_grid
 
 MODELS = ("resnet50", "vgg19", "densenet121", "shufflenet_v2")
 
@@ -17,10 +16,16 @@ MODELS = ("resnet50", "vgg19", "densenet121", "shufflenet_v2")
 def run(quick: bool = True) -> FigureResult:
     """Regenerate Figure 16."""
     models = MODELS[:2] if quick else MODELS
+    grid = run_grid(
+        [
+            (model, base_config(quick, strict_model=model, trace="wiki"))
+            for model in models
+        ],
+        schemes=("gpulet", "protean"),
+    )
     rows = []
     for model in models:
-        config = base_config(quick, strict_model=model, trace="wiki")
-        results = run_comparison(["gpulet", "protean"], config)
+        results = grid[model]
         rows.append(
             {
                 "model": model,

@@ -8,8 +8,7 @@ shape: Oracle beats PROTEAN by at most ~0.42% SLO compliance and up to
 
 from __future__ import annotations
 
-from repro.experiments.figures.common import FigureResult, base_config
-from repro.experiments.runner import run_comparison
+from repro.experiments.figures.common import FigureResult, base_config, run_grid
 
 MODELS = ("shufflenet_v2", "resnet50", "densenet121")
 
@@ -17,12 +16,17 @@ MODELS = ("shufflenet_v2", "resnet50", "densenet121")
 def run(quick: bool = True) -> FigureResult:
     """Regenerate Figure 17."""
     models = MODELS[:2] if quick else MODELS
+    grid = run_grid(
+        [
+            (model, base_config(quick, strict_model=model, trace="wiki"))
+            for model in models
+        ],
+        schemes=("protean", "oracle"),
+    )
     rows = []
     for model in models:
-        config = base_config(quick, strict_model=model, trace="wiki")
-        results = run_comparison(["protean", "oracle"], config)
-        protean = results["protean"].summary
-        oracle = results["oracle"].summary
+        protean = grid[model]["protean"].summary
+        oracle = grid[model]["oracle"].summary
         rows.append(
             {
                 "model": model,

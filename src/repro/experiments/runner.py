@@ -25,7 +25,7 @@ from repro.metrics.breakdown import tail_breakdown
 from repro.metrics.latency import latency_cdf, p50, p99
 from repro.metrics.records import RecordCollector, RequestRecord
 from repro.metrics.slo import slo_compliance
-from repro.metrics.summary import RunSummary, filter_window
+from repro.metrics.summary import RunSummary, partition_window
 from repro.observability.span import CATEGORY_RUN
 from repro.observability.telemetry import TelemetrySampler
 from repro.observability.tracer import NULL_TRACER, SimTracer, Tracer
@@ -36,6 +36,7 @@ from repro.metrics.throughput import (
 )
 from repro.serverless.platform import PlatformConfig, ServerlessPlatform
 from repro.serverless.scheme import Scheme
+from repro.simulation.identity import reset_run_ids
 from repro.simulation.simulator import Simulator
 from repro.traces.base import arrival_times, constant_trace
 from repro.traces.mixing import (
@@ -55,20 +56,61 @@ class ExperimentResult:
     scheme: str
     config: ExperimentConfig
     summary: RunSummary
-    collector: RecordCollector
+    #: The run's record collector. ``None`` on detached results — the
+    #: measured window below is all a figure consumes.
+    collector: RecordCollector | None
     measured: list[RequestRecord]
     extras: dict = field(default_factory=dict)
     #: The live platform (scheme daemons, cluster, pools) for post-hoc
     #: inspection — e.g. Figure 7 reads the reconfigurator's geometry log.
+    #: ``None`` on detached results; figures that need platform internals
+    #: extract them worker-side via a ``RunRequest.postprocess`` hook.
     platform: ServerlessPlatform | None = None
     #: The run's tracer when ``config.tracing`` is set; feed it to
     #: :func:`repro.observability.write_chrome_trace` et al. None otherwise.
+    #: On detached results this is a
+    #: :class:`~repro.observability.spanlog.DetachedTrace` (same exporter
+    #: surface, picklable).
     tracer: Tracer | None = None
 
     def cdf(self, *, strict_only: bool = True, points: int = 200):
         """Latency CDF over the measured window (Figure 8)."""
         records = [r for r in self.measured if r.strict] if strict_only else self.measured
         return latency_cdf(records, points)
+
+    @property
+    def detached(self) -> bool:
+        """Whether this result has been stripped of live platform state."""
+        return self.platform is None and self.collector is None
+
+    def detach(self) -> "ExperimentResult":
+        """A picklable copy that releases the live platform.
+
+        Carries summary + measured records + extras + (when tracing) the
+        exported span log across a process boundary; drops the
+        ``ServerlessPlatform``, its collector, and the live tracer, whose
+        scheduled closures neither pickle nor free until dropped. This is
+        also the memory fix for long suites: once a figure's rows are
+        extracted, nothing keeps the whole platform object graph alive.
+        """
+        trace = None
+        if self.tracer is not None and self.tracer.enabled:
+            from repro.observability.spanlog import DetachedTrace
+
+            if isinstance(self.tracer, DetachedTrace):
+                trace = self.tracer
+            else:
+                trace = DetachedTrace.from_tracer(self.tracer)
+        return ExperimentResult(
+            scheme=self.scheme,
+            config=self.config,
+            summary=self.summary,
+            collector=None,
+            measured=self.measured,
+            extras=dict(self.extras),
+            platform=None,
+            tracer=trace,
+        )
 
 
 def build_specs(config: ExperimentConfig) -> list[RequestSpec]:
@@ -157,6 +199,10 @@ def run_scheme(
         )
         scheme = make_scheme(scheme_name, oracle_plan=oracle_plan)
 
+    # Fresh id spaces (nodes, requests, spans, ...) so the run's full
+    # output is a pure function of its config — required for the
+    # serial/parallel bit-identity guarantee (see repro.parallel).
+    reset_run_ids()
     sim = Simulator(config.seed)
     tracer: Tracer = SimTracer(sim) if config.tracing else NULL_TRACER
     platform = ServerlessPlatform(
@@ -252,8 +298,34 @@ def run_scheme(
 def run_comparison(
     scheme_names: list[str] | tuple[str, ...],
     config: ExperimentConfig,
+    *,
+    jobs: int | None = None,
 ) -> dict[str, ExperimentResult]:
-    """Run several schemes on the *same* request stream."""
+    """Run several schemes on the *same* request stream.
+
+    With ``jobs`` > 1 the runs fan out across worker processes through
+    :mod:`repro.parallel` and come back *detached* (summary + measured
+    records + span log, no live platform); results and ordering are
+    bit-identical to the serial path. ``jobs=None`` resolves the ambient
+    default (``repro.parallel.using_jobs`` / ``REPRO_JOBS``, else serial),
+    and the serial path returns live results exactly as before.
+    """
+    from repro.parallel import RunRequest, execute_runs, resolve_jobs
+
+    if resolve_jobs(jobs) > 1:
+        requests = [
+            RunRequest(
+                key=name.name if isinstance(name, Scheme) else str(name),
+                scheme=name,
+                config=config,
+            )
+            for name in scheme_names
+        ]
+        results = execute_runs(requests, jobs=jobs)
+        return {
+            request.key: result
+            for request, result in zip(requests, results)
+        }
     specs = build_specs(config)
     return {
         name: run_scheme(name, config, specs=specs) for name in scheme_names
@@ -285,11 +357,13 @@ def _summarize(
     utilization,
 ) -> ExperimentResult:
     window_start, window_end = config.warmup, config.duration
-    measured = filter_window(
+    # Throughput counts requests that both arrived and completed inside
+    # the window: an overloaded scheme's completions lag its arrivals
+    # (Figure 10a's differentiation), while backlog drained from before
+    # the window does not inflate the figure.
+    measured, strict, best_effort, completed_in_window = partition_window(
         list(platform.collector.records), window_start, window_end
     )
-    strict = [r for r in measured if r.strict]
-    best_effort = [r for r in measured if not r.strict]
     expected_strict = sum(
         1
         for s in specs
@@ -297,13 +371,6 @@ def _summarize(
     )
     dropped_strict = max(0, expected_strict - len(strict))
     window = window_end - window_start
-    # Throughput counts requests that both arrived and completed inside
-    # the window: an overloaded scheme's completions lag its arrivals
-    # (Figure 10a's differentiation), while backlog drained from before
-    # the window does not inflate the figure.
-    completed_in_window = [
-        r for r in measured if r.completion < window_end
-    ]
     meter = platform.meter
     summary = RunSummary(
         scheme=scheme_name,

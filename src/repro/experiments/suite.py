@@ -4,10 +4,21 @@
 tables) in one pass and writes the tables to an output directory, plus a
 ``SUMMARY.txt`` index. Exposed on the CLI as ``python -m repro
 reproduce-all``.
+
+With ``jobs > 1`` the suite fans out at *figure* granularity: each worker
+process regenerates whole artifacts (looked up by figure id, so only the
+id string crosses the process boundary) while the parent streams
+completions. Workers pin their own ambient job count to 1, so a figure's
+internal work-list never multiplies the fan-out. Entries always come back
+in selection order regardless of completion order, and each figure's
+result is bit-identical to a serial run (see :mod:`repro.parallel`).
+The default is serial — parallelism is strictly opt-in for library
+callers; the CLI opts in with the machine's core count.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -26,12 +37,36 @@ class SuiteEntry:
     error: str | None = None
 
 
+def _run_one_figure(figure_id: str, quick: bool) -> SuiteEntry:
+    """Regenerate one artifact, capturing failures instead of raising.
+
+    Module-level so a pool worker can execute it from just the figure id:
+    the module is looked up in the worker, keeping the submission payload
+    down to ``(str, bool)``.
+    """
+    started = time.perf_counter()
+    try:
+        result = ALL_FIGURES[figure_id].run(quick=quick)
+        error = None
+    except Exception as exc:  # pragma: no cover - surfaced, not hidden
+        result = FigureResult(figure=figure_id, rows=[], notes=str(exc))
+        error = f"{type(exc).__name__}: {exc}"
+    return SuiteEntry(
+        figure_id=figure_id,
+        result=result,
+        seconds=time.perf_counter() - started,
+        error=error,
+    )
+
+
 def run_full_suite(
     *,
     quick: bool = True,
     output_dir: str | Path | None = None,
     only: tuple[str, ...] | None = None,
     progress=None,
+    on_complete=None,
+    jobs: int | None = None,
 ) -> list[SuiteEntry]:
     """Regenerate every (or selected) paper artifact.
 
@@ -45,34 +80,64 @@ def run_full_suite(
     only:
         Restrict to these figure ids.
     progress:
-        Optional callable invoked as ``progress(figure_id)`` before each
-        artifact (the CLI prints these).
+        Optional callable invoked as ``progress(figure_id)`` when an
+        artifact starts (serial) or is submitted (parallel); the CLI
+        prints these.
+    on_complete:
+        Optional callable invoked as ``on_complete(entry)`` when an
+        artifact finishes — in completion order under fan-out.
+    jobs:
+        Worker processes for figure-level fan-out. ``None``/1 runs
+        serially in this process (the default for library callers).
     """
-    entries: list[SuiteEntry] = []
     selected = ALL_FIGURES if only is None else {
         figure_id: ALL_FIGURES[figure_id] for figure_id in only
     }
-    for figure_id, module in selected.items():
-        if progress is not None:
-            progress(figure_id)
-        started = time.perf_counter()
-        try:
-            result = module.run(quick=quick)
-            error = None
-        except Exception as exc:  # pragma: no cover - surfaced, not hidden
-            result = FigureResult(figure=figure_id, rows=[], notes=str(exc))
-            error = f"{type(exc).__name__}: {exc}"
-        entries.append(
-            SuiteEntry(
-                figure_id=figure_id,
-                result=result,
-                seconds=time.perf_counter() - started,
-                error=error,
-            )
+    workers = min(jobs or 1, len(selected))
+    if workers > 1:
+        entries = _run_parallel(
+            tuple(selected), quick, workers, progress, on_complete
         )
+    else:
+        entries = []
+        for figure_id in selected:
+            if progress is not None:
+                progress(figure_id)
+            entry = _run_one_figure(figure_id, quick)
+            if on_complete is not None:
+                on_complete(entry)
+            entries.append(entry)
     if output_dir is not None:
         _write(entries, Path(output_dir))
     return entries
+
+
+def _run_parallel(
+    figure_ids: tuple[str, ...],
+    quick: bool,
+    workers: int,
+    progress,
+    on_complete,
+) -> list[SuiteEntry]:
+    """Fan the selected figures across a worker pool, merge in order."""
+    from repro.parallel import mp_context, worker_init
+
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=mp_context(),
+        initializer=worker_init,
+    ) as pool:
+        futures = []
+        for figure_id in figure_ids:
+            if progress is not None:
+                progress(figure_id)
+            futures.append(pool.submit(_run_one_figure, figure_id, quick))
+        if on_complete is not None:
+            for future in concurrent.futures.as_completed(futures):
+                if future.exception() is None:
+                    on_complete(future.result())
+        # Merge by submission index — completion order never leaks.
+        return [future.result() for future in futures]
 
 
 def _write(entries: list[SuiteEntry], output_dir: Path) -> None:

@@ -33,6 +33,12 @@ DEFAULT_RECONFIG_SECONDS = 2.0
 _gpu_ids = itertools.count()
 
 
+def reset_ids() -> None:
+    """Restart GPU numbering (fresh id space per experiment run)."""
+    global _gpu_ids
+    _gpu_ids = itertools.count()
+
+
 @dataclass(frozen=True)
 class GPUUtilization:
     """Whole-run utilization summary for one GPU.

@@ -37,6 +37,12 @@ from repro.simulation.simulator import Simulator
 _job_ids = itertools.count()
 
 
+def reset_ids() -> None:
+    """Restart job numbering (fresh id space per experiment run)."""
+    global _job_ids
+    _job_ids = itertools.count()
+
+
 class ShareMode(str, Enum):
     """How concurrently-assigned jobs share a slice."""
 

@@ -24,6 +24,21 @@ from repro.observability.export import (
     write_chrome_trace,
     write_span_jsonl,
 )
+from repro.observability.rollup import (
+    RollupRow,
+    format_rollup,
+    rollup_from_jsonl,
+    rollup_from_log,
+    rollup_spans,
+)
+from repro.observability.spanlog import (
+    DetachedTrace,
+    TelemetrySnapshot,
+    read_span_jsonl,
+    span_log_digest,
+    spans_from_log,
+    spans_to_log,
+)
 from repro.observability.span import (
     CATEGORY_CONTROL,
     CATEGORY_FAULT,
@@ -48,15 +63,26 @@ __all__ = [
     "CATEGORY_REQUEST",
     "CATEGORY_RUN",
     "Counter",
+    "DetachedTrace",
     "Histogram",
     "NULL_TRACER",
     "NullTelemetry",
     "NullTracer",
+    "RollupRow",
     "SimTracer",
     "Span",
     "TelemetryRegistry",
     "TelemetrySampler",
+    "TelemetrySnapshot",
     "Tracer",
+    "format_rollup",
+    "read_span_jsonl",
+    "rollup_from_jsonl",
+    "rollup_from_log",
+    "rollup_spans",
+    "span_log_digest",
+    "spans_from_log",
+    "spans_to_log",
     "text_summary",
     "to_trace_events",
     "write_chrome_trace",

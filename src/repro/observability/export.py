@@ -22,9 +22,21 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import TYPE_CHECKING, Union
 
 from repro.observability.span import CATEGORY_REQUEST, Span
-from repro.observability.tracer import SimTracer
+from repro.observability.spanlog import json_safe_attrs as _json_safe
+from repro.observability.spanlog import spans_to_log
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.spanlog import DetachedTrace
+    from repro.observability.tracer import SimTracer
+
+    #: Anything with ``.spans`` and ``.telemetry`` — a live tracer or a
+    #: span log re-attached after worker fan-out.
+    TraceLike = Union[SimTracer, DetachedTrace]
+else:
+    TraceLike = object
 
 #: Synthetic process id for the single simulated "process".
 _PID = 1
@@ -45,23 +57,7 @@ def _correlation_id(span: Span) -> str:
     return f"span:{span.span_id}"
 
 
-def _json_safe(attrs: dict) -> dict:
-    """Attribute dict with non-JSON values stringified (e.g. Geometry)."""
-    safe = {}
-    for key, value in attrs.items():
-        if isinstance(value, (str, int, float, bool)) or value is None:
-            safe[key] = value
-        elif isinstance(value, (list, tuple)):
-            safe[key] = [
-                v if isinstance(v, (str, int, float, bool)) else str(v)
-                for v in value
-            ]
-        else:
-            safe[key] = str(value)
-    return safe
-
-
-def to_trace_events(tracer: SimTracer) -> list[dict]:
+def to_trace_events(tracer: TraceLike) -> list[dict]:
     """Flatten a tracer's spans into Chrome ``trace_event`` dicts."""
     events: list[dict] = [
         {
@@ -122,7 +118,7 @@ def to_trace_events(tracer: SimTracer) -> list[dict]:
     return events
 
 
-def write_chrome_trace(tracer: SimTracer, path: str | Path) -> Path:
+def write_chrome_trace(tracer: TraceLike, path: str | Path) -> Path:
     """Write the Perfetto-loadable ``trace_event`` JSON file."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -140,31 +136,24 @@ def write_chrome_trace(tracer: SimTracer, path: str | Path) -> Path:
     return path
 
 
-def write_span_jsonl(tracer: SimTracer, path: str | Path) -> Path:
-    """Write one JSON object per span (machine-readable span log)."""
+def write_span_jsonl(tracer: TraceLike, path: str | Path) -> Path:
+    """Write one JSON object per span (machine-readable span log).
+
+    Span ids are normalised (renumbered ``1..N`` in recorded order, parent
+    links remapped) so the file is a pure function of the simulated run —
+    a worker-side export and a parent-side export of the same run are
+    byte-identical. See :mod:`repro.observability.spanlog`.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w") as handle:
-        for span in tracer.spans:
-            handle.write(
-                json.dumps(
-                    {
-                        "span_id": span.span_id,
-                        "parent_id": span.parent_id,
-                        "name": span.name,
-                        "category": span.category,
-                        "track": span.track,
-                        "start": span.start,
-                        "end": span.end,
-                        "attrs": _json_safe(span.attrs),
-                    }
-                )
-            )
+        for row in spans_to_log(tracer.spans):
+            handle.write(json.dumps(row))
             handle.write("\n")
     return path
 
 
-def text_summary(tracer: SimTracer) -> str:
+def text_summary(tracer: TraceLike) -> str:
     """Human-readable rollup: per-span-name counts/durations + counters."""
     by_name: dict[str, list[Span]] = {}
     for span in tracer.spans:

@@ -1,0 +1,107 @@
+"""Trace-driven flamegraph rollup: per-track/per-name self-time totals.
+
+Answers "where did this run's simulated time go?" without opening
+Perfetto: every span's *self time* (its duration minus the durations of
+its direct children) is aggregated per ``(track, name)``, so queueing vs
+execution vs reconfiguration downtime is directly attributable from the
+span log.
+
+Works on live tracers, re-attached :class:`DetachedTrace` payloads, span
+dict rows, or a JSONL span-log file — all of which carry the
+``parent_id`` links the self-time computation walks. Exposed on the CLI
+as ``python -m repro trace <experiment> --rollup``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.observability.span import Span
+from repro.observability.spanlog import read_span_jsonl, spans_from_log
+
+
+@dataclass(frozen=True)
+class RollupRow:
+    """Aggregated timing for one ``(track, name)`` span group."""
+
+    track: str
+    name: str
+    count: int
+    total_s: float
+    self_s: float
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean span duration in milliseconds."""
+        return 1000.0 * self.total_s / self.count if self.count else 0.0
+
+
+def rollup_spans(spans: list[Span]) -> list[RollupRow]:
+    """Aggregate ``spans`` into per-track/per-name self-time rows.
+
+    Self time is ``duration - sum(direct children durations)``, clamped at
+    zero (children may overlap or outlive a truncated parent). Spans whose
+    ``parent_id`` is unknown count as roots. Rows come back sorted by
+    descending self time, then track/name for determinism.
+    """
+    child_time: dict[int, float] = {}
+    for span in spans:
+        if span.parent_id:
+            child_time[span.parent_id] = (
+                child_time.get(span.parent_id, 0.0) + span.duration
+            )
+    groups: dict[tuple[str, str], list[float]] = {}
+    for span in spans:
+        duration = span.duration
+        self_time = duration - child_time.get(span.span_id, 0.0)
+        if self_time < 0.0:
+            self_time = 0.0
+        entry = groups.get((span.track, span.name))
+        if entry is None:
+            groups[(span.track, span.name)] = [1, duration, self_time]
+        else:
+            entry[0] += 1
+            entry[1] += duration
+            entry[2] += self_time
+    rows = [
+        RollupRow(track=track, name=name, count=int(count), total_s=total, self_s=self_s)
+        for (track, name), (count, total, self_s) in groups.items()
+    ]
+    rows.sort(key=lambda r: (-r.self_s, r.track, r.name))
+    return rows
+
+
+def rollup_from_log(log: list[dict]) -> list[RollupRow]:
+    """Rollup from span-log dict rows (worker payloads, parsed JSONL)."""
+    return rollup_spans(spans_from_log(log))
+
+
+def rollup_from_jsonl(path: str | Path) -> list[RollupRow]:
+    """Rollup straight from a JSONL span-log file."""
+    return rollup_from_log(read_span_jsonl(path))
+
+
+def format_rollup(rows: list[RollupRow], *, limit: int | None = None) -> str:
+    """Fixed-width text rendering of rollup rows (CLI output).
+
+    ``limit`` truncates to the top-N self-time rows, with a trailing line
+    noting how many were folded — never silently.
+    """
+    total_self = sum(r.self_s for r in rows) or 1.0
+    shown = rows if limit is None else rows[:limit]
+    lines = [
+        "track              span name                  count    total_s     self_s  self_%"
+    ]
+    for row in shown:
+        lines.append(
+            f"{row.track:<18s} {row.name:<25s} {row.count:>6d} "
+            f"{row.total_s:>10.3f} {row.self_s:>10.3f} {100.0 * row.self_s / total_self:>6.1f}"
+        )
+    if limit is not None and len(rows) > limit:
+        folded = len(rows) - limit
+        folded_self = sum(r.self_s for r in rows[limit:])
+        lines.append(
+            f"... {folded} more groups folded ({folded_self:.3f}s self time)"
+        )
+    return "\n".join(lines)

@@ -34,6 +34,12 @@ CATEGORY_FAULT = "fault"
 _span_ids = itertools.count(1)
 
 
+def reset_ids() -> None:
+    """Restart span numbering (fresh id space per experiment run)."""
+    global _span_ids
+    _span_ids = itertools.count(1)
+
+
 @dataclass
 class Span:
     """One named, attributed interval of simulated time.

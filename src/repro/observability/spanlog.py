@@ -1,0 +1,239 @@
+"""Serialised span logs: the picklable trace payload for worker fan-out.
+
+When an experiment runs inside a worker process (``repro.parallel``), the
+live :class:`~repro.observability.tracer.SimTracer` — bound to a
+``Simulator`` and full of platform closures — cannot cross the process
+boundary. What crosses instead is a *span log*: a list of plain JSON-safe
+dicts (the exact rows :func:`~repro.observability.export.write_span_jsonl`
+writes) plus a frozen snapshot of the telemetry registry.
+
+Span ids are **normalised** during export: spans are renumbered ``1..N``
+in recorded order and ``parent_id`` links are remapped. The live tracer
+draws ids from a process-global counter, so the raw ids depend on how many
+spans earlier runs in the same process happened to record; normalising
+makes the log a pure function of the simulated run, which is what lets the
+parallel/serial equivalence suite compare :func:`span_log_digest` values
+byte for byte.
+
+:class:`DetachedTrace` re-attaches a span log in the parent process. It
+duck-types the pieces of ``SimTracer`` the exporters and analysis helpers
+consume (``.spans``, ``.telemetry``, ``.spans_named``), so
+``write_chrome_trace`` / ``write_span_jsonl`` / ``text_summary`` and the
+rollup work identically on results that came back from a worker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.observability.span import Span
+
+#: Fields of one span-log row, in canonical order.
+SPAN_LOG_FIELDS = (
+    "span_id",
+    "parent_id",
+    "name",
+    "category",
+    "track",
+    "start",
+    "end",
+    "attrs",
+)
+
+
+def json_safe_attrs(attrs: dict) -> dict:
+    """Attribute dict with non-JSON values stringified (e.g. Geometry)."""
+    safe = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            safe[key] = value
+        elif isinstance(value, (list, tuple)):
+            safe[key] = [
+                v if isinstance(v, (str, int, float, bool)) else str(v)
+                for v in value
+            ]
+        else:
+            safe[key] = str(value)
+    return safe
+
+
+def spans_to_log(spans: list[Span]) -> list[dict]:
+    """Serialise ``spans`` into normalised JSON-safe span-log rows.
+
+    Ids are renumbered ``1..N`` in list order; parent links to spans
+    outside the list collapse to 0 (root).
+    """
+    id_map = {span.span_id: index for index, span in enumerate(spans, start=1)}
+    log = []
+    for index, span in enumerate(spans, start=1):
+        log.append(
+            {
+                "span_id": index,
+                "parent_id": id_map.get(span.parent_id, 0),
+                "name": span.name,
+                "category": span.category,
+                "track": span.track,
+                "start": span.start,
+                "end": span.start if span.end is None else span.end,
+                "attrs": json_safe_attrs(span.attrs),
+            }
+        )
+    return log
+
+
+def spans_from_log(log: list[dict]) -> list[Span]:
+    """Rebuild :class:`Span` objects from span-log rows.
+
+    The rebuilt spans keep the normalised ids from the log (they do not
+    draw from the process-global id counter).
+    """
+    return [
+        Span(
+            name=row["name"],
+            start=row["start"],
+            end=row["end"],
+            category=row["category"],
+            track=row["track"],
+            attrs=dict(row["attrs"]),
+            span_id=row["span_id"],
+            parent_id=row["parent_id"],
+        )
+        for row in log
+    ]
+
+
+def span_log_digest(log: list[dict]) -> str:
+    """SHA-256 over the canonical JSON rendering of a span log.
+
+    Two runs that produced identical simulated traces have identical
+    digests regardless of which process (or worker) recorded them.
+    """
+    payload = "\n".join(
+        json.dumps(row, sort_keys=True, separators=(",", ":")) for row in log
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def read_span_jsonl(path: str | Path) -> list[dict]:
+    """Load span-log rows from a JSONL file written by ``write_span_jsonl``."""
+    rows = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Frozen scalar aggregates of one histogram (picklable)."""
+
+    name: str
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+
+    @property
+    def mean(self) -> float:
+        """Mean of observed values (NaN when empty)."""
+        return self.total / self.count if self.count else float("nan")
+
+
+class TelemetrySnapshot:
+    """Read-only view of a telemetry registry's final state.
+
+    Mirrors the introspection half of
+    :class:`~repro.observability.telemetry.TelemetryRegistry`
+    (``counters()`` / ``histograms()``) over plain data.
+    """
+
+    def __init__(
+        self,
+        counters: dict[str, int] | None = None,
+        histograms: dict[str, HistogramSnapshot] | None = None,
+    ) -> None:
+        self._counters = dict(counters or {})
+        self._histograms = dict(histograms or {})
+
+    @classmethod
+    def from_registry(cls, registry) -> "TelemetrySnapshot":
+        """Freeze a live registry's counters and histograms."""
+        histograms = {
+            name: HistogramSnapshot(
+                name=hist.name,
+                count=hist.count,
+                total=hist.total,
+                minimum=hist.minimum,
+                maximum=hist.maximum,
+            )
+            for name, hist in registry.histograms().items()
+        }
+        return cls(registry.counters(), histograms)
+
+    def counters(self) -> dict[str, int]:
+        """Snapshot of every counter's value."""
+        return dict(self._counters)
+
+    def histograms(self) -> dict[str, HistogramSnapshot]:
+        """The frozen histograms by name."""
+        return dict(self._histograms)
+
+
+class DetachedTrace:
+    """A span log re-attached in the parent process.
+
+    Provides the subset of the ``SimTracer`` surface the exporters and
+    analysis helpers use, backed by plain data. ``spans`` are rebuilt
+    lazily (and dropped from the pickled state, so only the span-log rows
+    cross process boundaries).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        span_log: list[dict],
+        telemetry: TelemetrySnapshot | None = None,
+    ) -> None:
+        self.span_log = span_log
+        self.telemetry = telemetry if telemetry is not None else TelemetrySnapshot()
+        self._spans: list[Span] | None = None
+
+    @classmethod
+    def from_tracer(cls, tracer) -> "DetachedTrace":
+        """Detach a live ``SimTracer``'s spans + telemetry."""
+        return cls(
+            spans_to_log(tracer.spans),
+            TelemetrySnapshot.from_registry(tracer.telemetry),
+        )
+
+    @property
+    def spans(self) -> list[Span]:
+        """The rebuilt :class:`Span` objects (cached after first access)."""
+        if self._spans is None:
+            self._spans = spans_from_log(self.span_log)
+        return self._spans
+
+    def spans_named(self, name: str) -> list[Span]:
+        """All spans with ``name`` (parity with ``SimTracer``)."""
+        return [s for s in self.spans if s.name == name]
+
+    def digest(self) -> str:
+        """Digest of the underlying span log (see :func:`span_log_digest`)."""
+        return span_log_digest(self.span_log)
+
+    def __getstate__(self):
+        return {"span_log": self.span_log, "telemetry": self.telemetry}
+
+    def __setstate__(self, state):
+        self.span_log = state["span_log"]
+        self.telemetry = state["telemetry"]
+        self._spans = None
+
+    def __len__(self) -> int:
+        return len(self.span_log)

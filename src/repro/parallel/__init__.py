@@ -1,0 +1,51 @@
+"""Parallel experiment execution: process fan-out for run work-lists.
+
+Every experiment run in this repo is an isolated, seeded, deterministic
+simulation — the embarrassingly-parallel shape. This package fans
+work-lists of :class:`RunRequest` declarations out across a
+``ProcessPoolExecutor`` while guaranteeing results bit-identical to
+serial execution (same seeds, same summaries, id-normalised span logs,
+merge order keyed by submission index). See ``docs/parallel_runner.md``
+for the worker model and the pickling contract.
+
+Typical use::
+
+    from repro.parallel import RunRequest, execute_keyed
+
+    requests = [
+        RunRequest(key=s, scheme=s, config=config)
+        for s in ("protean", "molecule")
+    ]
+    results = execute_keyed(requests, jobs=4)   # {scheme: detached result}
+
+or simply pass ``jobs=`` to :func:`repro.experiments.run_comparison`,
+``--jobs`` to the ``figure`` / ``compare`` / ``reproduce-all`` CLI
+commands, or export ``REPRO_JOBS``.
+"""
+
+from repro.parallel.pool import (
+    JOBS_ENV_VAR,
+    cpu_jobs,
+    execute_keyed,
+    execute_runs,
+    mp_context,
+    resolve_jobs,
+    set_default_jobs,
+    using_jobs,
+)
+from repro.parallel.request import RunRequest
+from repro.parallel.worker import execute_request, worker_init
+
+__all__ = [
+    "JOBS_ENV_VAR",
+    "RunRequest",
+    "cpu_jobs",
+    "execute_keyed",
+    "execute_request",
+    "execute_runs",
+    "mp_context",
+    "resolve_jobs",
+    "set_default_jobs",
+    "using_jobs",
+    "worker_init",
+]

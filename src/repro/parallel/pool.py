@@ -1,0 +1,183 @@
+"""Process-pool execution of run work-lists with a serial twin.
+
+Determinism contract
+--------------------
+``execute_runs`` guarantees bit-identical output to a serial loop:
+
+- every run is seeded entirely by its ``RunRequest`` (config embeds the
+  seed; workers rebuild request streams from it deterministically);
+- the serial fallback and pool workers execute the *same* function
+  (:func:`repro.parallel.worker.execute_request`);
+- results merge in **submission order** (keyed by submission index),
+  never in completion order;
+- span logs are id-normalised on detach, so even trace digests match.
+
+Job-count resolution, in priority order: explicit ``jobs`` argument →
+ambient default (:func:`using_jobs` / :func:`set_default_jobs`, used by
+the CLI and pinned to 1 inside pool workers) → the ``REPRO_JOBS``
+environment variable → the caller-supplied fallback (library entry
+points default to serial; the CLI defaults to ``os.cpu_count()``).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+import pickle
+import time
+import warnings
+from contextlib import contextmanager
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import ExperimentResult
+from repro.parallel.request import RunRequest
+from repro.parallel.worker import execute_request, worker_init
+
+#: Environment variable consulted when no explicit/ambient count is set.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+_default_jobs: int | None = None
+
+
+def set_default_jobs(jobs: int | None) -> None:
+    """Set (or clear, with ``None``) the ambient job count."""
+    global _default_jobs
+    if jobs is not None and jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    _default_jobs = jobs
+
+
+@contextmanager
+def using_jobs(jobs: int | None):
+    """Scope an ambient job count (the CLI wraps commands in this)."""
+    previous = _default_jobs
+    set_default_jobs(jobs)
+    try:
+        yield
+    finally:
+        set_default_jobs(previous)
+
+
+def cpu_jobs() -> int:
+    """The machine's core count (the CLI's default fan-out width)."""
+    return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: int | None = None, *, default: int = 1) -> int:
+    """Resolve an effective job count (see module docstring for order)."""
+    if jobs is not None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        return jobs
+    if _default_jobs is not None:
+        return _default_jobs
+    env = os.environ.get(JOBS_ENV_VAR)
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"{JOBS_ENV_VAR} must be an integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ConfigurationError(f"{JOBS_ENV_VAR} must be >= 1, got {value}")
+        return value
+    return default
+
+
+def mp_context():
+    """The multiprocessing context used for worker pools.
+
+    Prefers ``fork`` (no re-import cost per worker; identical module
+    state) and falls back to ``spawn`` where fork is unavailable.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _timed_execute(request: RunRequest) -> tuple[float, ExperimentResult]:
+    started = time.perf_counter()
+    result = execute_request(request)
+    return time.perf_counter() - started, result
+
+
+def _all_picklable(requests: list[RunRequest]) -> bool:
+    try:
+        pickle.dumps(requests)
+    except Exception:
+        return False
+    return True
+
+
+def execute_runs(
+    requests: list[RunRequest],
+    *,
+    jobs: int | None = None,
+    progress: Callable[[str, float], None] | None = None,
+) -> list[ExperimentResult]:
+    """Execute a work-list of runs, fanning out across processes.
+
+    Returns detached results in **submission order** (``results[i]``
+    answers ``requests[i]``). ``progress(key, seconds)`` is invoked as
+    each run completes — out of submission order under fan-out, which is
+    the only observable difference from the serial path.
+
+    Falls back to the serial twin when the effective job count is 1, the
+    work-list has a single entry, or a request is unpicklable (custom
+    schemes built from closures) — with a warning in the last case, so a
+    silently-serial sweep never masquerades as a parallel one.
+    """
+    keys = [request.key for request in requests]
+    if len(set(keys)) != len(keys):
+        raise ConfigurationError(f"duplicate run keys in work-list: {keys}")
+    workers = min(resolve_jobs(jobs), len(requests))
+    if workers > 1 and not _all_picklable(requests):
+        warnings.warn(
+            "work-list contains unpicklable requests (closure-built scheme "
+            "or hook?); falling back to serial execution",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        workers = 1
+    if workers <= 1:
+        results = []
+        for request in requests:
+            seconds, result = _timed_execute(request)
+            if progress is not None:
+                progress(request.key, seconds)
+            results.append(result)
+        return results
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=mp_context(),
+        initializer=worker_init,
+    ) as pool:
+        futures = [pool.submit(_timed_execute, request) for request in requests]
+        if progress is not None:
+            by_future = dict(zip(futures, requests))
+            for future in concurrent.futures.as_completed(futures):
+                error = future.exception()
+                if error is None:
+                    seconds, _ = future.result()
+                    progress(by_future[future].key, seconds)
+        # Merge keyed by submission index — completion order never leaks.
+        return [future.result()[1] for future in futures]
+
+
+def execute_keyed(
+    requests: list[RunRequest],
+    *,
+    jobs: int | None = None,
+    progress: Callable[[str, float], None] | None = None,
+) -> dict[str, ExperimentResult]:
+    """:func:`execute_runs`, returned as a ``{request.key: result}`` dict.
+
+    Insertion order follows submission order, so iterating the mapping is
+    as deterministic as the list form.
+    """
+    results = execute_runs(requests, jobs=jobs, progress=progress)
+    return {
+        request.key: result for request, result in zip(requests, results)
+    }

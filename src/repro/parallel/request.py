@@ -1,0 +1,45 @@
+"""The unit of parallel work: one (scheme, config) run declaration.
+
+A :class:`RunRequest` is everything a worker process needs to reproduce
+one experiment run bit-identically: the scheme (registry name or a
+picklable :class:`~repro.serverless.scheme.Scheme` instance), the full
+:class:`~repro.experiments.config.ExperimentConfig` (which embeds the
+seed), and two optional *module-level* hooks:
+
+- ``specs_builder(config) -> list[RequestSpec]`` replaces the default
+  :func:`~repro.experiments.runner.build_specs` trace generation (e.g.
+  Figure 2 merges two request streams). It must be deterministic in
+  ``config`` — each worker rebuilds the stream from scratch, and the
+  serial path does the same, so both sides see identical specs.
+- ``postprocess(result) -> dict`` runs in the worker against the *live*
+  :class:`~repro.experiments.runner.ExperimentResult` (platform still
+  attached) and returns a picklable dict merged into the detached
+  result's ``extras``. This is how figures that read platform internals
+  (e.g. Figure 7's reconfigurator geometry log) survive the process
+  boundary.
+
+Both hooks must be importable top-level functions (pickled by reference);
+lambdas or closures force the batch onto the serial fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.config import ExperimentConfig
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One declared experiment run in a work-list."""
+
+    #: Merge key: results come back addressable by this (unique per batch).
+    key: str
+    #: Scheme registry name or a picklable Scheme instance.
+    scheme: object
+    config: ExperimentConfig
+    #: Optional module-level trace builder (see module docstring).
+    specs_builder: Callable | None = None
+    #: Optional module-level worker-side extractor (see module docstring).
+    postprocess: Callable | None = None

@@ -1,0 +1,52 @@
+"""Worker-side execution: run one request, return a detached result.
+
+:func:`execute_request` is the single code path for *both* the serial
+fallback and pool workers — the parent and the workers literally run the
+same function, which is what makes ``--jobs 1`` vs ``--jobs N``
+bit-identity hold by construction rather than by testing alone.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult, run_scheme
+from repro.parallel.request import RunRequest
+
+
+def execute_request(request: RunRequest) -> ExperimentResult:
+    """Run ``request`` and return the detached (picklable) result.
+
+    The run is seeded entirely by ``request.config``; nothing from the
+    submitting process leaks in, so executing here or in a pool worker
+    yields the same summary, measured records, extras, and span log.
+    """
+    specs = (
+        request.specs_builder(request.config)
+        if request.specs_builder is not None
+        else None
+    )
+    live = run_scheme(request.scheme, request.config, specs=specs)
+    derived = {}
+    if request.postprocess is not None:
+        derived = request.postprocess(live)
+        if not isinstance(derived, dict):
+            raise TypeError(
+                f"postprocess for {request.key!r} must return a dict, "
+                f"got {type(derived).__name__}"
+            )
+    result = live.detach()
+    if derived:
+        result.extras.update(derived)
+    return result
+
+
+def worker_init() -> None:
+    """Pool-worker initializer: force nested work onto the serial path.
+
+    A worker that itself fanned out (e.g. a suite worker whose figure
+    calls ``compare()`` while ``REPRO_JOBS`` is exported) would multiply
+    processes out of control; inside a worker the ambient job count is
+    pinned to 1.
+    """
+    from repro.parallel import pool
+
+    pool.set_default_jobs(1)

@@ -34,6 +34,12 @@ DEFAULT_KEEP_ALIVE_SECONDS = 600.0
 _container_ids = itertools.count()
 
 
+def reset_ids() -> None:
+    """Restart container numbering (fresh id space per experiment run)."""
+    global _container_ids
+    _container_ids = itertools.count()
+
+
 class ContainerState(str, Enum):
     """Lifecycle of one container."""
 

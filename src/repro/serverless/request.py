@@ -13,6 +13,13 @@ _request_ids = itertools.count()
 _batch_ids = itertools.count()
 
 
+def reset_ids() -> None:
+    """Restart request/batch numbering (fresh id space per experiment run)."""
+    global _request_ids, _batch_ids
+    _request_ids = itertools.count()
+    _batch_ids = itertools.count()
+
+
 @dataclass(frozen=True)
 class Request:
     """One user request as admitted by the gateway."""

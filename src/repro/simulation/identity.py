@@ -1,0 +1,35 @@
+"""Run-scoped identity: make every run's id spaces start from zero.
+
+Several components number their instances from process-global counters
+(nodes, VMs, GPUs, containers, requests, batches, GPU jobs, spans).
+Metrics never depend on the absolute values, but the ids *do* surface in
+span attributes and extras ("node16", ``request_id``), which made a run's
+trace depend on how many runs the process had executed before it — and,
+under process fan-out, on which worker the run landed.
+
+:func:`reset_run_ids` restarts every counter. The experiment runner calls
+it at the start of each run, so a run's full output (summary, records,
+span log) is a pure function of its :class:`ExperimentConfig` — the
+property the parallel/serial equivalence suite pins down to the digest.
+
+Only the runner should call this: resetting mid-run would hand out
+duplicate ids to live objects.
+"""
+
+from __future__ import annotations
+
+
+def reset_run_ids() -> None:
+    """Restart every process-global instance counter."""
+    from repro.cluster import node, vm
+    from repro.gpu import device, engine
+    from repro.observability import span
+    from repro.serverless import container, request
+
+    node.reset_ids()
+    vm.reset_ids()
+    device.reset_ids()
+    engine.reset_ids()
+    span.reset_ids()
+    container.reset_ids()
+    request.reset_ids()

@@ -9,6 +9,7 @@ paper's experiments.
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable
 
 from repro.errors import SimulationError
@@ -24,6 +25,10 @@ from repro.simulation.rng import RngRegistry
 _COMPACT_THRESHOLD = 0.5
 #: ... but only when the heap is at least this large (avoid churn).
 _COMPACT_MIN_SIZE = 4096
+#: Check the compaction condition every ``_COMPACT_CHECK_EVERY`` events
+#: (power of two: the dispatch loop tests ``processed & mask``) instead of
+#: on every dispatch — the ratio test itself was showing up in profiles.
+_COMPACT_CHECK_EVERY = 1024
 
 
 class Simulator:
@@ -116,28 +121,56 @@ class Simulator:
             clock is advanced to ``until``). ``None`` runs to exhaustion.
         max_events:
             Safety valve against runaway simulations.
+
+        The loop is the simulator's hottest path (one iteration per event,
+        ~70k/simulated-minute under fig05 load), so the queue's pop/peek
+        is inlined here: dead-entry skipping, the ``until`` check, and the
+        dispatch all touch the heap directly through local bindings, and
+        the tombstone-compaction ratio test runs every
+        :data:`_COMPACT_CHECK_EVERY` events instead of every event. The
+        event order is exactly what :meth:`step` would produce.
         """
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
+        queue = self.queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        check_mask = _COMPACT_CHECK_EVERY - 1
         processed = 0
         try:
-            while self.queue:
-                if until is not None and self.queue.peek_time() > until:
-                    self._now = max(self._now, until)
+            while queue._live:
+                # Skip tombstones at the head (inlined EventQueue._drop_dead).
+                while heap[0][3].cancelled:
+                    heappop(heap)
+                time = heap[0][0]
+                if until is not None and time > until:
+                    if until > self._now:
+                        self._now = until
                     return
-                self.step()
+                if time < self._now:
+                    raise SimulationError(
+                        f"time went backwards: event at {time} < now {self._now}"
+                    )
+                event = heappop(heap)[3]
+                event.fired = True
+                queue._live -= 1
+                self._now = time
+                self._events_processed += 1
+                event.callback()
                 processed += 1
                 if max_events is not None and processed >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events} (runaway simulation?)"
                     )
                 if (
-                    len(self.queue._heap) >= _COMPACT_MIN_SIZE
-                    and self.queue.dead_fraction > _COMPACT_THRESHOLD
+                    not processed & check_mask
+                    and len(heap) >= _COMPACT_MIN_SIZE
+                    and queue.dead_fraction > _COMPACT_THRESHOLD
                 ):
-                    self.queue.compact()
-            if until is not None:
-                self._now = max(self._now, until)
+                    queue.compact()
+                    heap = queue._heap  # compact() rebuilds the heap list
+            if until is not None and until > self._now:
+                self._now = until
         finally:
             self._running = False

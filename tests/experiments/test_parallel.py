@@ -1,0 +1,201 @@
+"""Parallel/serial equivalence for the process fan-out layer.
+
+The contract under test (see ``docs/parallel_runner.md``): executing a
+work-list with ``jobs=4`` yields results *bit-identical* to ``jobs=1`` —
+same ``RunSummary`` rows, same measured records, same extras, and the
+same span-log digest — because every run is a pure function of its
+``RunRequest`` and results merge by submission index. The suite also pins
+the lifetime fix that motivated detachment: results that cross the
+work-list boundary hold no live platform.
+"""
+
+import gc
+import pickle
+import warnings
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.figures.common import FigureResult, compare
+from repro.experiments.runner import run_comparison, run_scheme
+from repro.experiments.suite import run_full_suite
+from repro.faults import demo_plan
+from repro.parallel import (
+    RunRequest,
+    execute_keyed,
+    execute_runs,
+    resolve_jobs,
+    set_default_jobs,
+    using_jobs,
+)
+
+#: Small but non-trivial: long enough for batching, autoscaling, and a
+#: reconfiguration decision or two to fire.
+CONFIG = ExperimentConfig(
+    duration=20.0,
+    warmup=5.0,
+    drain=40.0,
+    n_nodes=2,
+    seed=7,
+    tracing=True,
+)
+
+SCHEMES = ("protean", "molecule")
+
+
+def _requests(config=CONFIG, schemes=SCHEMES):
+    return [
+        RunRequest(key=name, scheme=name, config=config) for name in schemes
+    ]
+
+
+def _fingerprint(result):
+    """Everything observable about one run, as comparable plain data."""
+    return (
+        result.summary.row(),
+        [repr(r) for r in result.measured],
+        result.extras,
+        result.tracer.digest(),
+    )
+
+
+def test_parallel_matches_serial_bit_for_bit():
+    serial = execute_runs(_requests(), jobs=1)
+    fanned = execute_runs(_requests(), jobs=4)
+    assert len(serial) == len(fanned) == len(SCHEMES)
+    for one, four in zip(serial, fanned):
+        assert one.detached and four.detached
+        assert _fingerprint(one) == _fingerprint(four)
+
+
+def test_parallel_matches_serial_under_faults():
+    config = CONFIG.with_overrides(fault_plan=demo_plan(CONFIG.duration))
+    assert config.fault_plan  # non-empty plan, or the test is vacuous
+    serial = execute_runs(_requests(config), jobs=1)
+    fanned = execute_runs(_requests(config), jobs=4)
+    for one, four in zip(serial, fanned):
+        assert _fingerprint(one) == _fingerprint(four)
+
+
+def test_run_comparison_jobs_matches_legacy_serial():
+    # The legacy path shares one request stream across schemes; the
+    # work-list path rebuilds it per worker. Summaries must agree.
+    legacy = run_comparison(list(SCHEMES), CONFIG)
+    fanned = run_comparison(list(SCHEMES), CONFIG, jobs=4)
+    for name in SCHEMES:
+        assert legacy[name].summary.row() == fanned[name].summary.row()
+        assert legacy[name].extras == fanned[name].extras
+
+
+def test_results_merge_in_submission_order():
+    results = execute_keyed(_requests(), jobs=4)
+    assert list(results) == list(SCHEMES)
+
+
+def test_worklist_results_hold_no_platform():
+    # The lifetime fix: anything coming back from the work-list path has
+    # released its ServerlessPlatform and collector, and pickles cleanly.
+    for result in compare(CONFIG, schemes=SCHEMES).values():
+        assert result.platform is None
+        assert result.collector is None
+        assert pickle.loads(pickle.dumps(result)).summary.row() == (
+            result.summary.row()
+        )
+
+
+class _TinyFigure:
+    """A real (small) experiment figure for the suite lifetime test."""
+
+    @staticmethod
+    def run(quick=True):
+        results = compare(CONFIG, schemes=("protean",))
+        rows = [
+            {"scheme": name, "slo_%": result.summary.slo_percent}
+            for name, result in results.items()
+        ]
+        return FigureResult(figure="tiny", rows=rows)
+
+
+def test_suite_entries_hold_no_live_platform(monkeypatch):
+    # The memory fix behind detach(): once a figure's rows exist, nothing
+    # reachable from its SuiteEntry — nor anything leaked into the
+    # process — keeps a ServerlessPlatform (event queue, containers,
+    # daemons) alive.
+    from repro.serverless.platform import ServerlessPlatform
+
+    gc.collect()
+    before = {
+        id(o) for o in gc.get_objects() if isinstance(o, ServerlessPlatform)
+    }
+    monkeypatch.setitem(ALL_FIGURES, "tiny", _TinyFigure)
+    entries = run_full_suite(quick=True, only=("tiny",))
+    assert entries[0].error is None and entries[0].result.rows
+    gc.collect()
+    leaked = [
+        o
+        for o in gc.get_objects()
+        if isinstance(o, ServerlessPlatform) and id(o) not in before
+    ]
+    assert leaked == []
+
+
+def test_detach_is_lossless_for_summary_consumers():
+    live = run_scheme("protean", CONFIG)
+    detached = live.detach()
+    assert live.platform is not None  # detach copies, never mutates
+    assert detached.summary.row() == live.summary.row()
+    assert detached.measured == live.measured
+    assert detached.tracer.digest()  # span log survived the detach
+
+
+def test_duplicate_keys_rejected():
+    requests = _requests() + _requests()
+    with pytest.raises(ConfigurationError):
+        execute_runs(requests, jobs=1)
+
+
+def test_unpicklable_request_falls_back_to_serial():
+    requests = [
+        RunRequest(key="plain", scheme="protean", config=CONFIG),
+        RunRequest(
+            key="closure",
+            scheme="protean",
+            config=CONFIG,
+            postprocess=lambda result: {},  # lambdas don't pickle
+        ),
+    ]
+    with pytest.warns(RuntimeWarning, match="serial"):
+        results = execute_runs(requests, jobs=4)
+    assert len(results) == 2
+    assert results[0].summary.slo_percent >= 0.0
+
+
+def test_jobs_resolution_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(default=1) == 1
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert resolve_jobs(default=1) == 3  # env beats the fallback
+    with using_jobs(2):
+        assert resolve_jobs(default=1) == 2  # ambient beats env
+        assert resolve_jobs(5) == 5  # explicit beats everything
+    assert resolve_jobs(default=1) == 3  # ambient scope restored
+    monkeypatch.setenv("REPRO_JOBS", "zero")
+    with pytest.raises(ConfigurationError):
+        resolve_jobs(default=1)
+
+
+def test_invalid_jobs_rejected():
+    with pytest.raises(ConfigurationError):
+        resolve_jobs(0)
+    with pytest.raises(ConfigurationError):
+        set_default_jobs(-1)
+    set_default_jobs(None)
+
+
+def test_single_request_runs_serially_without_warning():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        results = execute_runs(_requests(schemes=("protean",)), jobs=4)
+    assert len(results) == 1

@@ -1,0 +1,116 @@
+"""Flamegraph rollup and span-log normalisation/digest tests."""
+
+import pickle
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_scheme
+from repro.observability import (
+    DetachedTrace,
+    format_rollup,
+    rollup_from_jsonl,
+    rollup_from_log,
+    rollup_spans,
+    span_log_digest,
+    spans_from_log,
+    spans_to_log,
+    write_span_jsonl,
+)
+from repro.observability.span import Span
+
+
+def _span(name, start, end, *, span_id, parent_id=0, track="main"):
+    return Span(
+        name=name,
+        start=start,
+        end=end,
+        track=track,
+        span_id=span_id,
+        parent_id=parent_id,
+    )
+
+
+def test_self_time_subtracts_direct_children():
+    spans = [
+        _span("outer", 0.0, 10.0, span_id=1),
+        _span("inner", 2.0, 5.0, span_id=2, parent_id=1),
+        _span("inner", 6.0, 9.0, span_id=3, parent_id=1),
+    ]
+    rows = {(r.track, r.name): r for r in rollup_spans(spans)}
+    outer = rows[("main", "outer")]
+    inner = rows[("main", "inner")]
+    assert outer.total_s == 10.0
+    assert outer.self_s == 4.0  # 10 - (3 + 3)
+    assert inner.count == 2
+    assert inner.self_s == 6.0  # leaves keep their full duration
+    assert inner.mean_ms == 3000.0
+
+
+def test_self_time_clamped_when_children_overlap():
+    spans = [
+        _span("outer", 0.0, 2.0, span_id=1),
+        _span("a", 0.0, 2.0, span_id=2, parent_id=1),
+        _span("b", 0.0, 2.0, span_id=3, parent_id=1),
+    ]
+    rows = {r.name: r for r in rollup_spans(spans)}
+    assert rows["outer"].self_s == 0.0  # never negative
+
+
+def test_rows_sorted_by_descending_self_time():
+    spans = [
+        _span("small", 0.0, 1.0, span_id=1),
+        _span("large", 0.0, 5.0, span_id=2),
+    ]
+    assert [r.name for r in rollup_spans(spans)] == ["large", "small"]
+
+
+def test_format_rollup_folds_explicitly():
+    spans = [
+        _span(f"s{i}", 0.0, float(10 - i), span_id=i + 1) for i in range(5)
+    ]
+    text = format_rollup(rollup_spans(spans), limit=2)
+    assert "s0" in text and "s1" in text
+    assert "s4" not in text
+    assert "3 more groups folded" in text
+
+
+def test_log_normalisation_erases_process_history():
+    # Same spans, different absolute ids (as if earlier runs had advanced
+    # the id counter): the normalised logs and digests must match.
+    def build(offset):
+        return [
+            _span("outer", 0.0, 4.0, span_id=offset + 1),
+            _span("inner", 1.0, 2.0, span_id=offset + 2, parent_id=offset + 1),
+        ]
+
+    log_a, log_b = spans_to_log(build(0)), spans_to_log(build(700))
+    assert log_a == log_b
+    assert span_log_digest(log_a) == span_log_digest(log_b)
+    restored = spans_from_log(log_a)
+    assert [s.name for s in restored] == ["outer", "inner"]
+    assert restored[1].parent_id == restored[0].span_id
+
+
+def _traced_run():
+    config = ExperimentConfig(
+        duration=15.0, warmup=5.0, drain=30.0, n_nodes=2, seed=3, tracing=True
+    )
+    return run_scheme("protean", config)
+
+
+def test_detached_trace_matches_live_rollup(tmp_path):
+    result = _traced_run()
+    live_rows = rollup_spans(result.tracer.spans)
+    detached = DetachedTrace.from_tracer(result.tracer)
+    assert rollup_spans(detached.spans) == live_rows
+    assert rollup_from_log(detached.span_log) == live_rows
+    # ... and through a JSONL file on disk (the CLI path).
+    path = tmp_path / "spans.jsonl"
+    write_span_jsonl(result.tracer, path)
+    assert rollup_from_jsonl(path) == live_rows
+
+
+def test_detached_trace_pickles_and_keeps_digest():
+    detached = DetachedTrace.from_tracer(_traced_run().tracer)
+    clone = pickle.loads(pickle.dumps(detached))
+    assert clone.digest() == detached.digest()
+    assert len(clone.spans) == len(detached.spans)
