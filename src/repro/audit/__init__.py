@@ -1,0 +1,29 @@
+"""Runtime invariant auditing: conservation laws checked continuously.
+
+Every result this repo produces rests on the simulator's bookkeeping
+being exact. The audit subsystem attaches an
+:class:`~repro.audit.auditor.Auditor` to a live run through the
+platform's observer hooks and verifies, continuously, that requests,
+GPU memory, MIG geometry, the clock, and spot lifecycles all conserve —
+see :data:`~repro.audit.violations.CHECK_GROUPS`.
+
+Typical use::
+
+    config = ExperimentConfig(audit=True)
+    result = run_scheme("protean", config)
+    assert result.audit.ok, result.audit.describe()
+
+or from the CLI: ``python -m repro audit default`` (all registered
+schemes) and ``python -m repro audit fig9 --fault-demo`` (under faults).
+"""
+
+from repro.audit.auditor import DEFAULT_AUDIT_INTERVAL, Auditor
+from repro.audit.violations import CHECK_GROUPS, AuditReport, AuditViolation
+
+__all__ = [
+    "AuditReport",
+    "AuditViolation",
+    "Auditor",
+    "CHECK_GROUPS",
+    "DEFAULT_AUDIT_INTERVAL",
+]

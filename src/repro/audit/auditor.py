@@ -1,0 +1,339 @@
+"""The runtime auditor: continuous conservation checking for one run.
+
+The :class:`Auditor` attaches to a live platform through the same cheap
+observer hooks the observability stack uses (``request_observers``,
+``completion_observers``) plus one periodic sweep event, and verifies the
+five invariant groups of :data:`~repro.audit.violations.CHECK_GROUPS`:
+
+1. **request** — every admitted request completes *exactly once*; none
+   are stranded at drain (outstanding requests must be locatable in a
+   batcher buffer, dispatcher backlog, scheduler queue, or GPU slice).
+2. **memory** — per-slice allocated memory is never negative, never
+   exceeds slice capacity, always equals the resident jobs' demand, and
+   is fully freed on node teardown.
+3. **geometry** — every GPU's geometry is a legal A100 partitioning and
+   no work is resident mid-reconfiguration (MIG destroy requires idle).
+4. **clock** — simulated time and the event counter are monotonic; no
+   tombstoned (retired) entity still holds or executes work.
+5. **spot** — VM and node lifecycles agree: terminated VMs have retired
+   nodes, eviction notices imply draining, retired nodes are detached
+   from the dispatcher.
+
+The auditor mutates nothing and draws no RNG, so an audited run produces
+bit-identical metrics to an unaudited one (the sweep events shift event
+sequence numbers but never reorder ties between other events); the
+determinism regression test pins this. Violations are collected into an
+:class:`~repro.audit.violations.AuditReport`, or raised immediately as
+:class:`~repro.errors.AuditViolationError` in fail-fast mode.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cluster.node import NodeState, WorkerNode
+from repro.cluster.vm import VMState
+from repro.errors import AuditError, AuditViolationError, InvalidGeometryError
+from repro.gpu.mig import validate_geometry
+from repro.observability.span import CATEGORY_AUDIT
+from repro.serverless.request import RequestBatch
+from repro.simulation.processes import PeriodicProcess
+from repro.simulation.simulator import Simulator
+
+from repro.audit.violations import AuditReport, AuditViolation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gpu.engine import JobTiming
+    from repro.serverless.platform import ServerlessPlatform
+    from repro.serverless.request import Request
+
+#: Default seconds of simulated time between invariant sweeps.
+DEFAULT_AUDIT_INTERVAL = 5.0
+
+#: Slack for floating-point memory accounting (GB).
+_MEMORY_EPS = 1e-6
+#: Slack for clock comparisons (seconds).
+_TIME_EPS = 1e-9
+
+
+class Auditor:
+    """Continuously audits one platform/simulator pair.
+
+    Lifecycle: construct, :meth:`arm` before the run starts, then
+    :meth:`finalize` after the simulation drains to obtain the
+    :class:`AuditReport`. :meth:`sweep` may also be invoked directly
+    (the planted-bug tests do) to force an immediate invariant pass.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        platform: "ServerlessPlatform",
+        *,
+        interval: float = DEFAULT_AUDIT_INTERVAL,
+        fail_fast: bool = False,
+    ) -> None:
+        if interval <= 0:
+            raise AuditError(f"audit interval must be positive, got {interval}")
+        self.sim = sim
+        self.platform = platform
+        self.fail_fast = fail_fast
+        self.violations: list[AuditViolation] = []
+        self._admitted: set[int] = set()
+        self._completions: dict[int, int] = {}
+        self._sweeps = 0
+        self._last_now = sim.now
+        self._last_events = sim.events_processed
+        self._armed = False
+        self._finalized = False
+        #: GPU name → owning node, for completion-time spot checks.
+        self._gpu_owner: dict[str, WorkerNode] = {}
+        self._process = PeriodicProcess(
+            sim, interval, self.sweep, label="audit-sweep"
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def arm(self) -> None:
+        """Hook the platform observers and start the periodic sweep."""
+        if self._armed:
+            raise AuditError("auditor already armed")
+        self._armed = True
+        self.platform.request_observers.append(self._on_admit)
+        self.platform.completion_observers.append(self._on_completion)
+        self._process.start()
+
+    def finalize(self) -> AuditReport:
+        """Stop sweeping, run the drain-time conservation checks, and
+        return the report. Idempotent: later calls return the same report.
+        """
+        if self._finalized:
+            return self.report()
+        self._finalized = True
+        self._process.stop()
+        self.sweep()
+        residual = self._check_request_conservation()
+        return self.report(residual=residual)
+
+    def report(self, *, residual: int = 0) -> AuditReport:
+        """The report for the run so far."""
+        return AuditReport(
+            violations=tuple(self.violations),
+            sweeps=self._sweeps,
+            admitted=len(self._admitted),
+            completed=len(self._completions),
+            residual=residual,
+        )
+
+    # ------------------------------------------------------------------
+    # Observer hooks (hot path: one set op / dict op per request)
+    # ------------------------------------------------------------------
+    def _on_admit(self, request: "Request") -> None:
+        rid = request.request_id
+        if rid in self._admitted:
+            self._violate(
+                "request.duplicate_admission",
+                "request ingested twice",
+                subject=f"request{rid}",
+            )
+        self._admitted.add(rid)
+
+    def _on_completion(self, batch: RequestBatch, timing: "JobTiming") -> None:
+        completions = self._completions
+        for request in batch.requests:
+            rid = request.request_id
+            count = completions.get(rid, 0) + 1
+            completions[rid] = count
+            if count > 1:
+                self._violate(
+                    "request.duplicate_completion",
+                    f"request completed {count} times "
+                    f"(batch{batch.batch_id} on {timing.slice_name})",
+                    subject=f"request{rid}",
+                )
+            elif rid not in self._admitted:
+                self._violate(
+                    "request.phantom_completion",
+                    f"request completed but was never admitted "
+                    f"(batch{batch.batch_id})",
+                    subject=f"request{rid}",
+                )
+        owner = self._owner_of(timing.slice_name)
+        if owner is not None and owner.vm.state is VMState.TERMINATED:
+            self._violate(
+                "spot.work_after_eviction",
+                f"batch{batch.batch_id} completed on {timing.slice_name} "
+                f"after its VM terminated",
+                subject=owner.name,
+            )
+
+    def _owner_of(self, slice_name: str) -> WorkerNode | None:
+        gpu_name = slice_name.split("/", 1)[0]
+        nodes = self.platform.all_nodes
+        if len(self._gpu_owner) != len(nodes):
+            self._gpu_owner = {node.gpu.name: node for node in nodes}
+        return self._gpu_owner.get(gpu_name)
+
+    # ------------------------------------------------------------------
+    # Periodic sweep
+    # ------------------------------------------------------------------
+    def sweep(self) -> None:
+        """One full invariant pass over the platform's live structures."""
+        self._sweeps += 1
+        self._check_clock()
+        for node in self.platform.all_nodes:
+            self._check_gpu(node)
+            self._check_lifecycle(node)
+
+    def _check_clock(self) -> None:
+        now = self.sim.now
+        if now < self._last_now - _TIME_EPS:
+            self._violate(
+                "clock.backwards",
+                f"simulated time moved backwards: {now} < {self._last_now}",
+            )
+        events = self.sim.events_processed
+        if events < self._last_events:
+            self._violate(
+                "clock.event_counter",
+                f"events_processed decreased: {events} < {self._last_events}",
+            )
+        self._last_now = max(now, self._last_now)
+        self._last_events = max(events, self._last_events)
+
+    def _check_gpu(self, node: WorkerNode) -> None:
+        gpu = node.gpu
+        try:
+            validate_geometry(gpu.geometry.kinds)
+        except InvalidGeometryError as exc:
+            self._violate("geometry.invalid", str(exc), subject=gpu.name)
+        if gpu.reconfiguring and any(s.occupancy for s in gpu.slices):
+            self._violate(
+                "geometry.busy_reconfiguration",
+                "work resident on a GPU mid-reconfiguration "
+                "(MIG destroy requires idle instances)",
+                subject=gpu.name,
+            )
+        for gpu_slice in gpu.slices:
+            used = gpu_slice.memory_used
+            capacity = gpu_slice.profile.memory_gb
+            if used < -_MEMORY_EPS:
+                self._violate(
+                    "memory.negative",
+                    f"slice memory went negative: {used:.6f} GB",
+                    subject=gpu_slice.name,
+                )
+            if used > capacity + _MEMORY_EPS:
+                self._violate(
+                    "memory.over_capacity",
+                    f"slice memory {used:.3f} GB exceeds capacity "
+                    f"{capacity:.3f} GB",
+                    subject=gpu_slice.name,
+                )
+            resident = sum(j.memory_gb for j in gpu_slice.running_jobs)
+            if abs(used - resident) > _MEMORY_EPS:
+                self._violate(
+                    "memory.leak",
+                    f"slice accounts {used:.3f} GB but resident jobs "
+                    f"hold {resident:.3f} GB",
+                    subject=gpu_slice.name,
+                )
+
+    def _check_lifecycle(self, node: WorkerNode) -> None:
+        vm_state = node.vm.state
+        if vm_state is VMState.TERMINATED and node.state is not NodeState.RETIRED:
+            self._violate(
+                "spot.zombie_node",
+                f"VM terminated but node is {node.state.value}",
+                subject=node.name,
+            )
+        if vm_state is VMState.EVICTION_NOTICE and node.state is NodeState.ACTIVE:
+            self._violate(
+                "spot.notice_ignored",
+                "eviction notice received but node still accepting work",
+                subject=node.name,
+            )
+        if node.state is NodeState.RETIRED:
+            if any(s.occupancy for s in node.gpu.slices):
+                self._violate(
+                    "clock.tombstoned_activity",
+                    "retired node still holds GPU work",
+                    subject=node.name,
+                )
+            leaked = sum(s.memory_used for s in node.gpu.slices)
+            if leaked > _MEMORY_EPS:
+                self._violate(
+                    "memory.teardown_leak",
+                    f"retired node still accounts {leaked:.3f} GB of "
+                    f"slice memory",
+                    subject=node.name,
+                )
+            if self.platform.dispatcher.try_scheduler_for(node) is not None:
+                self._violate(
+                    "spot.dangling_scheduler",
+                    "retired node still registered with the dispatcher",
+                    subject=node.name,
+                )
+
+    # ------------------------------------------------------------------
+    # Drain-time conservation
+    # ------------------------------------------------------------------
+    def _check_request_conservation(self) -> int:
+        """Locate every admitted-but-uncompleted request; flag the rest.
+
+        Returns the residual count (requests legitimately still queued at
+        drain end — batcher buffers, dispatcher backlog, scheduler queues,
+        GPU-resident batches). Any outstanding request *not* found in one
+        of those places leaked out of the system and is a violation.
+        """
+        outstanding = self._admitted - set(self._completions)
+        if not outstanding:
+            return 0
+        located: set[int] = set()
+        platform = self.platform
+        for request in platform.batcher.buffered_requests():
+            located.add(request.request_id)
+        for batch in platform.dispatcher.backlog_batches:
+            located.update(r.request_id for r in batch.requests)
+        for scheduler in platform.dispatcher.schedulers():
+            for batch in scheduler.attached_batches():
+                located.update(r.request_id for r in batch.requests)
+        for node in platform.all_nodes:
+            for gpu_slice in node.gpu.slices:
+                for job in gpu_slice.running_jobs + gpu_slice.pending_jobs:
+                    payload = job.payload
+                    if isinstance(payload, RequestBatch):
+                        located.update(
+                            r.request_id for r in payload.requests
+                        )
+        stranded = outstanding - located
+        for rid in sorted(stranded):
+            self._violate(
+                "request.stranded",
+                "admitted request neither completed nor locatable in any "
+                "queue at drain",
+                subject=f"request{rid}",
+            )
+        return len(outstanding & located)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _violate(self, check: str, message: str, *, subject: str = "") -> None:
+        violation = AuditViolation(
+            check=check, message=message, time=self.sim.now, subject=subject
+        )
+        self.violations.append(violation)
+        tracer = self.platform.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "audit.violation",
+                category=CATEGORY_AUDIT,
+                track="audit",
+                check=check,
+                subject=subject,
+                message=message,
+            )
+        if self.fail_fast:
+            raise AuditViolationError(violation.describe())

@@ -1,0 +1,108 @@
+"""Structured audit findings: violations and the per-run report.
+
+An :class:`AuditViolation` is one detected breach of a conservation
+invariant; an :class:`AuditReport` is the end-of-run rollup the
+:class:`~repro.audit.auditor.Auditor` returns from ``finalize()``. Both
+are plain frozen data — picklable across the parallel runner's process
+boundary and JSON-serialisable for CLI/CI consumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The invariant groups the auditor enforces (violation ``check`` values
+#: are ``"<group>.<detail>"`` strings, e.g. ``"memory.bounds"``).
+CHECK_GROUPS = (
+    "request",   # lifecycle conservation: admit/complete exactly once
+    "memory",    # per-slice GPU memory accounting
+    "geometry",  # MIG geometry legality and reconfiguration quiescence
+    "clock",     # monotonic time, no activity on tombstoned entities
+    "spot",      # VM/node lifecycle agreement under eviction/crash
+)
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One detected breach of a simulator conservation invariant."""
+
+    #: Dotted check name, ``"<group>.<detail>"`` with the group drawn
+    #: from :data:`CHECK_GROUPS` (e.g. ``"request.duplicate_completion"``).
+    check: str
+    #: Human-readable description of what went wrong.
+    message: str
+    #: Simulated time at which the breach was detected.
+    time: float
+    #: The entity involved (slice/GPU/VM/node name, ``request<N>``, ...).
+    subject: str = ""
+
+    @property
+    def group(self) -> str:
+        """The invariant group this violation belongs to."""
+        return self.check.split(".", 1)[0]
+
+    def describe(self) -> str:
+        """One-line rendering for reports and fail-fast exceptions."""
+        where = f" [{self.subject}]" if self.subject else ""
+        return f"t={self.time:9.3f}  {self.check}{where}: {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "check": self.check,
+            "message": self.message,
+            "time": self.time,
+            "subject": self.subject,
+        }
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """End-of-run audit rollup: violations plus conservation totals."""
+
+    violations: tuple[AuditViolation, ...] = ()
+    #: Periodic invariant sweeps executed (including the final one).
+    sweeps: int = 0
+    #: Requests that entered the platform (ingested past the gateway).
+    admitted: int = 0
+    #: Distinct requests completed (each exactly once when ``ok``).
+    completed: int = 0
+    #: Requests still queued somewhere at drain end — legitimate residue
+    #: of an overloaded run, counted (not a violation) because every one
+    #: was located in a live queue/buffer/backlog.
+    residual: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no invariant was violated."""
+        return not self.violations
+
+    def by_group(self) -> dict[str, int]:
+        """Violation counts keyed by invariant group."""
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.group] = counts.get(violation.group, 0) + 1
+        return counts
+
+    def describe(self) -> str:
+        """Multi-line report for CLI output."""
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        lines = [
+            f"audit: {status}  "
+            f"(admitted={self.admitted} completed={self.completed} "
+            f"residual={self.residual} sweeps={self.sweeps})"
+        ]
+        for violation in self.violations:
+            lines.append(f"  {violation.describe()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (for extras / CI artifacts)."""
+        return {
+            "ok": self.ok,
+            "sweeps": self.sweeps,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "residual": self.residual,
+            "violations": [v.to_dict() for v in self.violations],
+        }

@@ -8,6 +8,8 @@ Usage::
     python -m repro compare --model vgg19 --schemes protean infless_llama
     python -m repro trace fig5 --out trace.json
     python -m repro faults fig9 --plan plan.json
+    python -m repro audit default
+    python -m repro audit fig9 --fault-demo --schemes protean
     python -m repro models
 """
 
@@ -16,9 +18,15 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_comparison, run_scheme
-from repro.experiments.schemes import COMPARISON_SCHEMES, scheme_names
+from repro.experiments.schemes import (
+    COMPARISON_SCHEMES,
+    available_schemes,
+    canonical_name,
+    scheme_names,
+)
 from repro.metrics.summary import format_table
 from repro.parallel import cpu_jobs, resolve_jobs, using_jobs
 from repro.workloads.registry import ALL_MODELS
@@ -260,6 +268,78 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.faults import FaultPlan, demo_plan
+
+    experiment = args.experiment.lower().replace("fig0", "fig")
+    overrides = _TRACE_PRESETS.get(experiment)
+    if overrides is None:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"known: {', '.join(sorted(_TRACE_PRESETS))}",
+            file=sys.stderr,
+        )
+        return 2
+    duration, warmup = (240.0, 60.0) if args.full else (60.0, 20.0)
+    if args.duration is not None:
+        duration = args.duration
+    if args.warmup is not None:
+        warmup = args.warmup
+    if args.nodes is not None:
+        overrides = {**overrides, "n_nodes": args.nodes}
+    plan = None
+    if args.plan:
+        plan = FaultPlan.from_json(args.plan)
+    elif args.fault_demo:
+        plan = demo_plan(duration)
+    try:
+        schemes = [
+            canonical_name(name)
+            for name in (args.schemes or available_schemes())
+        ]
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    config = ExperimentConfig(
+        duration=duration,
+        warmup=warmup,
+        seed=args.seed,
+        audit=True,
+        fault_plan=plan,
+        **overrides,
+    )
+    results = run_comparison(schemes, config, jobs=_cli_jobs(args))
+    rows = []
+    violations = 0
+    for name in schemes:
+        report = results[name].audit
+        rows.append(
+            {
+                "scheme": name,
+                "ok": "yes" if report.ok else "NO",
+                "violations": len(report.violations),
+                "admitted": report.admitted,
+                "completed": report.completed,
+                "residual": report.residual,
+                "sweeps": report.sweeps,
+            }
+        )
+        violations += len(report.violations)
+    plan_note = " under fault plan" if plan else ""
+    print(format_table(rows, title=f"conservation audit ({experiment}{plan_note})"))
+    for name in schemes:
+        report = results[name].audit
+        if not report.ok:
+            print(f"\n{name}:")
+            print(report.describe())
+    if violations:
+        print(f"\nAUDIT FAILED: {violations} violation(s)")
+        return 1
+    print("\naudit passed: zero violations across "
+          f"{len(schemes)} scheme(s)")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     result = run_scheme(args.scheme, config)
@@ -387,6 +467,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="also export a Chrome trace here"
     )
     faults.set_defaults(func=_cmd_faults)
+
+    audit = sub.add_parser(
+        "audit",
+        help="run the conservation audit (request/memory/geometry/clock/"
+        "spot invariants) across schemes; non-zero exit on any violation",
+    )
+    audit.add_argument(
+        "experiment",
+        nargs="?",
+        default="default",
+        help=f"preset: {', '.join(sorted(_TRACE_PRESETS))} (fig05 == fig5)",
+    )
+    audit.add_argument(
+        "--schemes",
+        nargs="+",
+        default=None,
+        help="schemes to audit (default: every registered scheme)",
+    )
+    audit.add_argument(
+        "--plan",
+        default=None,
+        help="audit under this fault plan JSON",
+    )
+    audit.add_argument(
+        "--fault-demo",
+        action="store_true",
+        help="audit under the built-in demo fault plan",
+    )
+    audit.add_argument("--seed", type=int, default=0)
+    audit.add_argument(
+        "--full", action="store_true", help="paper-breadth (slow) mode"
+    )
+    audit.add_argument("--duration", type=float, default=None)
+    audit.add_argument("--warmup", type=float, default=None)
+    audit.add_argument("--nodes", type=int, default=None)
+    _add_jobs_arg(audit)
+    audit.set_defaults(func=_cmd_audit)
     return parser
 
 

@@ -92,5 +92,19 @@ class FaultRecoveryError(FaultError):
     """A recovery invariant over the recorded span log was violated."""
 
 
-class ConfigurationError(ReproError):
-    """An experiment or platform configuration is invalid."""
+class ConfigurationError(ReproError, ValueError):
+    """An experiment or platform configuration is invalid.
+
+    Subclasses :class:`ValueError` as well: user-facing misconfiguration
+    historically surfaced as ``ValueError`` in a few leaf modules, and the
+    dual inheritance lets every such site raise the structured type without
+    breaking callers (or tests) that catch the builtin.
+    """
+
+
+class AuditError(ReproError):
+    """Base class for runtime-audit errors."""
+
+
+class AuditViolationError(AuditError):
+    """A conservation invariant was violated (fail-fast audit mode)."""

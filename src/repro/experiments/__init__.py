@@ -20,7 +20,7 @@ from repro.experiments.ablations import (
     run_ablation,
     run_ablation_suite,
 )
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import CONFIG_SCHEMA_VERSION, ExperimentConfig
 from repro.experiments.runner import (
     ExperimentResult,
     build_oracle_plan,
@@ -28,19 +28,32 @@ from repro.experiments.runner import (
     run_comparison,
     run_scheme,
 )
-from repro.experiments.schemes import COMPARISON_SCHEMES, make_scheme, scheme_names
+from repro.experiments.schemes import (
+    COMPARISON_SCHEMES,
+    available_schemes,
+    canonical_name,
+    get_scheme,
+    make_scheme,
+    register_scheme,
+    scheme_names,
+)
 
 __all__ = [
     "ABLATION_VARIANTS",
     "COMPARISON_SCHEMES",
+    "CONFIG_SCHEMA_VERSION",
     "ExperimentConfig",
-    "make_variant",
-    "run_ablation",
-    "run_ablation_suite",
     "ExperimentResult",
+    "available_schemes",
     "build_oracle_plan",
     "build_specs",
+    "canonical_name",
+    "get_scheme",
     "make_scheme",
+    "make_variant",
+    "register_scheme",
+    "run_ablation",
+    "run_ablation_suite",
     "run_comparison",
     "run_scheme",
     "scheme_names",

@@ -16,7 +16,7 @@ so the default is 0.95.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 import numpy as np
 
 from repro.errors import ConfigurationError
@@ -24,6 +24,11 @@ from repro.faults.plan import FaultPlan
 from repro.workloads.profile import InterferenceCategory, ModelProfile
 from repro.workloads.registry import get_model, models_by_category, opposite_category
 from repro.workloads.scaling import scale_model, scale_models
+
+#: Version stamp of the :meth:`ExperimentConfig.to_dict` wire format.
+#: Bump when a field changes meaning (not when one is merely added with a
+#: default — old payloads then still parse).
+CONFIG_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -76,6 +81,16 @@ class ExperimentConfig:
     #: (asserted by the fault determinism regression tests).
     fault_plan: FaultPlan | None = None
 
+    #: Runtime auditing (repro.audit): continuously verify conservation
+    #: invariants (request lifecycle, GPU memory, MIG geometry, clock,
+    #: spot lifecycle). Like tracing, auditing is a pure observer: an
+    #: audited run's metrics are bit-identical to an unaudited one.
+    audit: bool = False
+    audit_interval: float = 5.0
+    #: Raise AuditViolationError at the first violation instead of
+    #: collecting them into the run's AuditReport.
+    audit_fail_fast: bool = False
+
     # Determinism
     seed: int = 0
 
@@ -94,6 +109,8 @@ class ExperimentConfig:
             )
         if self.telemetry_interval <= 0:
             raise ConfigurationError("telemetry_interval must be positive")
+        if self.audit_interval <= 0:
+            raise ConfigurationError("audit_interval must be positive")
         if self.fault_plan is not None and not isinstance(
             self.fault_plan, FaultPlan
         ):
@@ -159,3 +176,55 @@ class ExperimentConfig:
     def with_overrides(self, **overrides) -> "ExperimentConfig":
         """A copy with fields replaced (convenience for sweeps)."""
         return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # Serialisation (the one wire format shared by the CLI, fault plans,
+    # and parallel RunRequests)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe, versioned representation.
+
+        Round-trips exactly: ``ExperimentConfig.from_dict(cfg.to_dict())
+        == cfg`` for every constructible config (property-tested over the
+        whole figure suite).
+        """
+        payload: dict = {"version": CONFIG_SCHEMA_VERSION}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "be_pool":
+                value = list(value) if value is not None else None
+            elif spec.name == "fault_plan":
+                value = value.to_dict() if value is not None else None
+            payload[spec.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentConfig":
+        """Parse a :meth:`to_dict` payload, rejecting unknown keys.
+
+        The ``version`` key is optional (defaults to the current schema);
+        payloads from a *newer* schema are refused rather than silently
+        misread.
+        """
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"config payload must be a dict, got {type(payload).__name__}"
+            )
+        data = dict(payload)
+        version = data.pop("version", CONFIG_SCHEMA_VERSION)
+        if version != CONFIG_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported config schema version {version!r}; "
+                f"this build reads version {CONFIG_SCHEMA_VERSION}"
+            )
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown config field(s): {', '.join(sorted(unknown))}"
+            )
+        if data.get("be_pool") is not None:
+            data["be_pool"] = tuple(data["be_pool"])
+        if data.get("fault_plan") is not None:
+            data["fault_plan"] = FaultPlan.from_dict(data["fault_plan"])
+        return cls(**data)

@@ -13,13 +13,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.audit import AuditReport, Auditor
 from repro.baselines.oracle import GeometryPlan
 from repro.cluster.spot import AVAILABILITY_LEVELS, SpotMarket
 from repro.core.procurement import Procurement, ProcurementConfig, ProcurementMode
 from repro.core.reconfigurator import decide_geometry
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.schemes import make_scheme
+from repro.experiments.schemes import get_scheme
 from repro.faults.injector import FaultInjector
 from repro.metrics.breakdown import tail_breakdown
 from repro.metrics.latency import latency_cdf, p50, p99
@@ -72,6 +73,9 @@ class ExperimentResult:
     #: :class:`~repro.observability.spanlog.DetachedTrace` (same exporter
     #: surface, picklable).
     tracer: Tracer | None = None
+    #: The run's conservation-audit report when ``config.audit`` is set
+    #: (``None`` otherwise). Plain data; survives :meth:`detach`.
+    audit: AuditReport | None = None
 
     def cdf(self, *, strict_only: bool = True, points: int = 200):
         """Latency CDF over the measured window (Figure 8)."""
@@ -110,6 +114,7 @@ class ExperimentResult:
             extras=dict(self.extras),
             platform=None,
             tracer=trace,
+            audit=self.audit,
         )
 
 
@@ -175,29 +180,32 @@ def build_oracle_plan(
 
 
 def run_scheme(
-    scheme_name,
+    scheme,
     config: ExperimentConfig,
     *,
     specs: list[RequestSpec] | None = None,
 ) -> ExperimentResult:
     """Run one scheme under ``config`` and summarize the outcome.
 
-    ``scheme_name`` is a registry name (``"protean"``, ``"oracle"``, ...)
-    or a pre-built :class:`~repro.serverless.scheme.Scheme` instance
-    (custom schemes, ablation variants).
+    This is a stable entry point: the two leading parameters are
+    positional (``scheme`` then ``config``) and everything else is
+    keyword-only. ``scheme`` is a registry name (``"protean"``,
+    ``"oracle"``, an alias, ...) or a pre-built
+    :class:`~repro.serverless.scheme.Scheme` instance (custom schemes,
+    ablation variants).
     """
     if specs is None:
         specs = build_specs(config)
-    if isinstance(scheme_name, Scheme):
-        scheme = scheme_name
+    if isinstance(scheme, Scheme):
         scheme_name = scheme.name
     else:
         oracle_plan = (
             build_oracle_plan(config, specs)
-            if scheme_name.lower().strip() == "oracle"
+            if scheme.lower().strip() == "oracle"
             else None
         )
-        scheme = make_scheme(scheme_name, oracle_plan=oracle_plan)
+        scheme_name = scheme
+        scheme = get_scheme(scheme_name, oracle_plan=oracle_plan)
 
     # Fresh id spaces (nodes, requests, spans, ...) so the run's full
     # output is a pure function of its config — required for the
@@ -234,6 +242,17 @@ def run_scheme(
             provision_seconds=config.provision_seconds,
         ),
     )
+    # The auditor is a pure observer (no mutation, no RNG): an audited
+    # run's metrics are bit-identical to an unaudited one.
+    auditor: Auditor | None = None
+    if config.audit:
+        auditor = Auditor(
+            sim,
+            platform,
+            interval=config.audit_interval,
+            fail_fast=config.audit_fail_fast,
+        )
+        auditor.arm()
     procurement.provision_initial()
     _prewarm(platform, config)
     platform.inject(specs)
@@ -290,20 +309,25 @@ def run_scheme(
     if injector is not None:
         result.extras.update(injector.stats())
         result.extras["crashes_handled"] = procurement.crashes_handled
+    if auditor is not None:
+        result.audit = auditor.finalize()
+        result.extras["audit_violations"] = len(result.audit.violations)
     if tracer.enabled:
         result.tracer = tracer
     return result
 
 
 def run_comparison(
-    scheme_names: list[str] | tuple[str, ...],
+    schemes: list[str] | tuple[str, ...],
     config: ExperimentConfig,
     *,
     jobs: int | None = None,
 ) -> dict[str, ExperimentResult]:
     """Run several schemes on the *same* request stream.
 
-    With ``jobs`` > 1 the runs fan out across worker processes through
+    Stable entry point: ``(schemes, config)`` positional, the rest
+    keyword-only. With ``jobs`` > 1 the runs fan out across worker
+    processes through
     :mod:`repro.parallel` and come back *detached* (summary + measured
     records + span log, no live platform); results and ordering are
     bit-identical to the serial path. ``jobs=None`` resolves the ambient
@@ -319,7 +343,7 @@ def run_comparison(
                 scheme=name,
                 config=config,
             )
-            for name in scheme_names
+            for name in schemes
         ]
         results = execute_runs(requests, jobs=jobs)
         return {
@@ -328,7 +352,7 @@ def run_comparison(
         }
     specs = build_specs(config)
     return {
-        name: run_scheme(name, config, specs=specs) for name in scheme_names
+        name: run_scheme(name, config, specs=specs) for name in schemes
     }
 
 

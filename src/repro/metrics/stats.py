@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.errors import ConfigurationError
+
 import numpy as np
 
 
@@ -36,7 +38,7 @@ def confidence_interval(
     """Normal-approximation CI of the mean of ``samples``."""
     array = np.asarray(samples, dtype=float)
     if array.size < 2:
-        raise ValueError("need at least 2 samples for a confidence interval")
+        raise ConfigurationError("need at least 2 samples for a confidence interval")
     mean = float(array.mean())
     sem = float(array.std(ddof=1) / math.sqrt(array.size))
     z = _normal_ppf(0.5 + level / 2.0)
@@ -53,7 +55,7 @@ def cohens_d(a: Sequence[float], b: Sequence[float]) -> float:
     x = np.asarray(a, dtype=float)
     y = np.asarray(b, dtype=float)
     if x.size < 2 or y.size < 2:
-        raise ValueError("need at least 2 samples per group")
+        raise ConfigurationError("need at least 2 samples per group")
     pooled_var = (
         (x.size - 1) * x.var(ddof=1) + (y.size - 1) * y.var(ddof=1)
     ) / (x.size + y.size - 2)
@@ -70,7 +72,7 @@ def welch_t_test(a: Sequence[float], b: Sequence[float]) -> tuple[float, float]:
     x = np.asarray(a, dtype=float)
     y = np.asarray(b, dtype=float)
     if x.size < 2 or y.size < 2:
-        raise ValueError("need at least 2 samples per group")
+        raise ConfigurationError("need at least 2 samples per group")
     vx, vy = x.var(ddof=1), y.var(ddof=1)
     if vx == 0 and vy == 0:
         if x.mean() == y.mean():
@@ -100,7 +102,7 @@ def _normal_cdf(x: float) -> float:
 def _normal_ppf(p: float) -> float:
     """Inverse normal CDF via bisection (no scipy dependency needed)."""
     if not 0.0 < p < 1.0:
-        raise ValueError("p must lie in (0, 1)")
+        raise ConfigurationError("p must lie in (0, 1)")
     lo, hi = -10.0, 10.0
     for _ in range(200):
         mid = (lo + hi) / 2.0

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.cluster.node import WorkerNode
+from repro.errors import ConfigurationError
 from repro.metrics.records import RequestRecord
 
 
@@ -14,7 +15,7 @@ def strict_throughput_per_gpu(
 ) -> float:
     """Strict requests served per GPU per second (Figure 10a's metric)."""
     if n_gpus <= 0 or window_seconds <= 0:
-        raise ValueError("n_gpus and window_seconds must be positive")
+        raise ConfigurationError("n_gpus and window_seconds must be positive")
     count = sum(1 for r in records if r.strict)
     return count / (n_gpus * window_seconds)
 
@@ -24,7 +25,7 @@ def total_throughput_per_gpu(
 ) -> float:
     """All requests (strict + BE) served per GPU per second."""
     if n_gpus <= 0 or window_seconds <= 0:
-        raise ValueError("n_gpus and window_seconds must be positive")
+        raise ConfigurationError("n_gpus and window_seconds must be positive")
     count = sum(1 for _ in records)
     return count / (n_gpus * window_seconds)
 

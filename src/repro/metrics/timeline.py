@@ -6,6 +6,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.metrics.records import RequestRecord
 
 
@@ -24,7 +25,7 @@ def latency_series(
     cleanly.
     """
     if bucket_seconds <= 0:
-        raise ValueError("bucket_seconds must be positive")
+        raise ConfigurationError("bucket_seconds must be positive")
     buckets: dict[int, list[float]] = {}
     for record in records:
         if record.arrival < start:
@@ -51,7 +52,7 @@ def arrival_rate_series(
 ) -> list[tuple[float, float]]:
     """Requests per second over time (served requests only)."""
     if bucket_seconds <= 0:
-        raise ValueError("bucket_seconds must be positive")
+        raise ConfigurationError("bucket_seconds must be positive")
     buckets: dict[int, int] = {}
     for record in records:
         if record.arrival < start:
@@ -75,7 +76,7 @@ def slo_compliance_series(
 ) -> list[tuple[float, float]]:
     """Windowed SLO compliance (fraction) of strict requests over time."""
     if bucket_seconds <= 0:
-        raise ValueError("bucket_seconds must be positive")
+        raise ConfigurationError("bucket_seconds must be positive")
     buckets: dict[int, list[bool]] = {}
     for record in records:
         if not record.strict or record.slo_met is None:

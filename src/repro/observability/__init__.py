@@ -40,6 +40,7 @@ from repro.observability.spanlog import (
     spans_to_log,
 )
 from repro.observability.span import (
+    CATEGORY_AUDIT,
     CATEGORY_CONTROL,
     CATEGORY_FAULT,
     CATEGORY_GPU,
@@ -57,6 +58,7 @@ from repro.observability.telemetry import (
 from repro.observability.tracer import NULL_TRACER, NullTracer, SimTracer, Tracer
 
 __all__ = [
+    "CATEGORY_AUDIT",
     "CATEGORY_CONTROL",
     "CATEGORY_FAULT",
     "CATEGORY_GPU",

@@ -30,6 +30,8 @@ CATEGORY_GPU = "gpu"
 CATEGORY_RUN = "run"
 #: Injected faults (node crashes, slow slices, start failures, net delay).
 CATEGORY_FAULT = "fault"
+#: Runtime-audit findings (conservation-invariant violations).
+CATEGORY_AUDIT = "audit"
 
 _span_ids = itertools.count(1)
 

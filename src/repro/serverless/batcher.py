@@ -77,6 +77,14 @@ class Batcher:
         """Requests currently buffered and not yet batched."""
         return sum(len(buffer) for buffer in self._buffers.values())
 
+    def buffered_requests(self) -> tuple[Request, ...]:
+        """Snapshot of buffered requests (audit residual accounting)."""
+        return tuple(
+            request
+            for buffer in self._buffers.values()
+            for request in buffer
+        )
+
     def pending_best_effort_memory(self) -> float:
         """Memory the buffered BE requests will need once batched.
 

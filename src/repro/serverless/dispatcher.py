@@ -137,6 +137,15 @@ class Dispatcher:
         """Batches waiting for any node to become active."""
         return len(self._backlog)
 
+    @property
+    def backlog_batches(self) -> tuple[RequestBatch, ...]:
+        """Snapshot of backlogged batches (audit residual accounting)."""
+        return tuple(self._backlog)
+
+    def schedulers(self) -> tuple[NodeScheduler, ...]:
+        """Snapshot of every registered per-node scheduler."""
+        return tuple(self._schedulers.values())
+
 
 class Gateway:
     """Entry point for user requests (paper Figure 4, component ①).

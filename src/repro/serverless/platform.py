@@ -107,6 +107,10 @@ class ServerlessPlatform:
         )
         #: Daemons (reconfigurator, autoscaler) observing the ingest path.
         self.request_observers: list = []
+        #: Observers invoked as ``observer(batch, timing)`` on every batch
+        #: completion, before records are emitted (the runtime auditor
+        #: hooks request-conservation checking here).
+        self.completion_observers: list = []
         self.gateway = Gateway(self._ingest, sim=sim)
         #: Fault-injection hook inherited by every container pool (set on
         #: existing pools *and* pools of nodes built while a container
@@ -244,6 +248,8 @@ class ServerlessPlatform:
             0.0,
             timing.started_at - batch.created_at - batch.cold_start_seconds,
         )
+        for observer in self.completion_observers:
+            observer(batch, timing)
         self._ctr_completed.inc(len(batch.requests))
         self._hist_queue_delay.observe(queue_delay)
         if self.tracer.enabled:

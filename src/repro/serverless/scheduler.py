@@ -193,6 +193,11 @@ class NodeScheduler(ABC):
         """Count of batches attached to this node in any stage."""
         return len(self.queue) + len(self._awaiting_container) + self.in_flight
 
+    def attached_batches(self) -> tuple[RequestBatch, ...]:
+        """Non-destructive snapshot of scheduler-held batches (queued or
+        awaiting containers); GPU-resident batches live on the slices."""
+        return tuple(self.queue) + tuple(self._awaiting_container.values())
+
     def collect_unfinished(self) -> list[RequestBatch]:
         """Pull back every batch not yet completed (node retirement).
 

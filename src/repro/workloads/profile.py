@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from repro.errors import ConfigurationError
 from repro.gpu.mig import MIG_PROFILES, SliceKind, SliceProfile
 from repro.gpu.slowdown import resource_deficiency_factor, slice_relative_fbr
 
@@ -87,15 +88,15 @@ class ModelProfile:
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
-            raise ValueError(f"{self.name}: batch_size must be positive")
+            raise ConfigurationError(f"{self.name}: batch_size must be positive")
         if self.solo_latency_7g <= 0:
-            raise ValueError(f"{self.name}: solo_latency_7g must be positive")
+            raise ConfigurationError(f"{self.name}: solo_latency_7g must be positive")
         if not 0.0 < self.memory_gb:
-            raise ValueError(f"{self.name}: memory_gb must be positive")
+            raise ConfigurationError(f"{self.name}: memory_gb must be positive")
         if not 0.0 <= self.fbr <= 1.0:
-            raise ValueError(f"{self.name}: fbr must lie in [0, 1]")
+            raise ConfigurationError(f"{self.name}: fbr must lie in [0, 1]")
         if self.compute_sensitivity < 0 or self.bandwidth_sensitivity < 0:
-            raise ValueError(f"{self.name}: sensitivities must be non-negative")
+            raise ConfigurationError(f"{self.name}: sensitivities must be non-negative")
 
     # ------------------------------------------------------------------
     # Derived per-slice quantities
@@ -133,7 +134,7 @@ class ModelProfile:
     def slo_target(self, multiplier: float = DEFAULT_SLO_MULTIPLIER) -> float:
         """Strict-request SLO deadline, seconds (paper: 3× the 7g latency)."""
         if multiplier <= 0:
-            raise ValueError("SLO multiplier must be positive")
+            raise ConfigurationError("SLO multiplier must be positive")
         return multiplier * self.solo_latency_7g
 
     @property

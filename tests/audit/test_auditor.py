@@ -1,0 +1,122 @@
+"""End-to-end auditor tests: clean runs audit clean, reports behave.
+
+The planted-bug suite proves each checker *can* fire; this module proves
+the real platform *doesn't* trip them — across schemes, under fault
+injection — and that enabling the audit observer leaves every metric
+bit-identical (the same contract tracing honours).
+"""
+
+import json
+
+import pytest
+
+from repro.audit import (
+    AuditReport,
+    AuditViolation,
+    CHECK_GROUPS,
+    DEFAULT_AUDIT_INTERVAL,
+)
+from repro.experiments import ExperimentConfig, run_scheme
+from repro.faults import demo_plan
+
+QUICK = dict(duration=30.0, warmup=10.0, drain=60.0, n_nodes=2)
+
+
+def test_clean_run_audits_clean():
+    config = ExperimentConfig(audit=True, **QUICK)
+    result = run_scheme("protean", config)
+    report = result.audit
+    assert isinstance(report, AuditReport)
+    assert report.ok
+    assert report.violations == ()
+    assert report.sweeps >= 3
+    assert report.admitted > 0
+    assert report.completed + report.residual == report.admitted
+    assert result.extras["audit_violations"] == 0
+
+
+def test_unaudited_run_has_no_report():
+    result = run_scheme("protean", ExperimentConfig(**QUICK))
+    assert result.audit is None
+    assert "audit_violations" not in result.extras
+
+
+def test_fault_plan_run_audits_clean():
+    config = ExperimentConfig(
+        audit=True,
+        procurement="hybrid",
+        fault_plan=demo_plan(30.0),
+        **QUICK,
+    )
+    result = run_scheme("protean", config)
+    assert result.audit.ok, result.audit.describe()
+
+
+def test_audit_is_a_pure_observer():
+    base = ExperimentConfig(**QUICK)
+    plain = run_scheme("protean", base)
+    audited = run_scheme("protean", base.with_overrides(audit=True))
+    assert audited.summary.row() == plain.summary.row()
+    assert len(audited.measured) == len(plain.measured)
+
+
+def test_audit_interval_is_configurable():
+    config = ExperimentConfig(audit=True, audit_interval=2.0, **QUICK)
+    result = run_scheme("protean", config)
+    dense = result.audit.sweeps
+    sparse = run_scheme(
+        "protean", config.with_overrides(audit_interval=30.0)
+    ).audit.sweeps
+    assert dense > sparse
+
+
+# ----------------------------------------------------------------------
+# Report / violation value objects
+# ----------------------------------------------------------------------
+def _violation(check="memory.leak", time=3.0, subject="slice0"):
+    return AuditViolation(
+        check=check, message="planted", time=time, subject=subject
+    )
+
+
+def test_violation_group_and_describe():
+    violation = _violation()
+    assert violation.group == "memory"
+    assert violation.group in CHECK_GROUPS
+    text = violation.describe()
+    assert "memory.leak" in text and "slice0" in text and "planted" in text
+
+
+def test_report_by_group_and_describe():
+    report = AuditReport(
+        violations=(_violation(), _violation(check="clock.backwards")),
+        sweeps=4,
+        admitted=10,
+        completed=9,
+        residual=1,
+    )
+    assert not report.ok
+    groups = report.by_group()
+    assert groups["memory"] == 1 and groups["clock"] == 1
+    text = report.describe()
+    assert "memory.leak" in text and "clock.backwards" in text
+
+
+def test_report_to_dict_is_json_safe():
+    report = AuditReport(
+        violations=(_violation(),), sweeps=2, admitted=5, completed=5
+    )
+    payload = json.loads(json.dumps(report.to_dict()))
+    assert payload["sweeps"] == 2
+    assert payload["violations"][0]["check"] == "memory.leak"
+
+
+def test_empty_report_is_ok():
+    assert AuditReport().ok
+    assert AuditReport().by_group() == {}
+
+
+def test_config_validates_audit_interval():
+    with pytest.raises(ValueError):
+        ExperimentConfig(audit_interval=0.0)
+    assert DEFAULT_AUDIT_INTERVAL == 5.0

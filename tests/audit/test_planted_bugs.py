@@ -1,0 +1,301 @@
+"""Planted-bug tests: every audit checker must fire on its target defect.
+
+Each test builds a small live platform, arms an :class:`Auditor`, plants
+exactly one class of invariant violation by reaching into the platform
+the way a real bug would (double completion, leaked memory accounting,
+forged geometry, zombie lifecycle states, ...), and asserts the matching
+check name appears in the collected violations. Together they prove the
+auditor is not vacuously green: a clean run passing means the invariants
+actually hold, not that nobody is looking.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.audit import Auditor
+from repro.cluster.node import NodeState
+from repro.cluster.pricing import VMTier
+from repro.errors import AuditError, AuditViolationError
+from repro.gpu.engine import JobTiming, SliceJob
+from repro.gpu.mig import SliceKind
+from repro.serverless.platform import PlatformConfig, ServerlessPlatform
+from repro.serverless.request import Request, RequestBatch
+from repro.simulation import Simulator
+from repro.simulation.identity import reset_run_ids
+from repro.traces.mixing import RequestSpec
+from repro.workloads import get_model
+from repro.workloads.scaling import scale_model
+
+MODEL = scale_model(get_model("resnet50"), 8 / 128)
+
+
+def make_rig(*, n_nodes=2, fail_fast=False):
+    """A tiny live platform with an armed auditor (no traffic yet)."""
+    reset_run_ids()
+    sim = Simulator()
+    from repro.core.protean import ProteanScheme
+
+    scheme = ProteanScheme(enable_reconfigurator=False, enable_autoscaler=False)
+    platform = ServerlessPlatform(
+        sim,
+        scheme,
+        PlatformConfig(n_nodes=n_nodes, cold_start_seconds=1.0),
+    )
+    platform.provision_initial()
+    auditor = Auditor(sim, platform, fail_fast=fail_fast)
+    auditor.arm()
+    return sim, platform, auditor
+
+
+def checks(auditor) -> list[str]:
+    return [v.check for v in auditor.violations]
+
+
+def make_request(arrival=0.0) -> Request:
+    spec = RequestSpec(arrival=arrival, model=MODEL, strict=True)
+    return Request.from_spec(spec)
+
+
+def make_batch(request: Request) -> RequestBatch:
+    batch = RequestBatch(MODEL, strict=True, created_at=request.arrival)
+    batch.add(request)
+    return batch
+
+
+def make_timing(slice_name: str = "no-such-gpu/g7#0") -> JobTiming:
+    return JobTiming(
+        submitted_at=0.0,
+        started_at=0.1,
+        finished_at=0.2,
+        work=0.1,
+        rdf=1.0,
+        slice_name=slice_name,
+    )
+
+
+def make_job(memory_gb=1.0) -> SliceJob:
+    return SliceJob(
+        work=0.5,
+        rdf=1.0,
+        fbr=1.0,
+        memory_gb=memory_gb,
+        on_complete=lambda job, timing: None,
+    )
+
+
+# ----------------------------------------------------------------------
+# request.* — lifecycle conservation
+# ----------------------------------------------------------------------
+class TestRequestChecks:
+    def test_duplicate_admission_fires(self):
+        _sim, platform, auditor = make_rig()
+        request = make_request()
+        platform.gateway.admit(request)
+        platform.gateway.admit(request)  # planted: same request twice
+        assert "request.duplicate_admission" in checks(auditor)
+
+    def test_duplicate_completion_fires(self):
+        _sim, platform, auditor = make_rig()
+        request = make_request()
+        platform.gateway.admit(request)
+        batch = make_batch(request)
+        timing = make_timing()
+        platform.record_batch_completion(batch, timing)
+        platform.record_batch_completion(batch, timing)  # planted
+        assert "request.duplicate_completion" in checks(auditor)
+
+    def test_phantom_completion_fires(self):
+        _sim, platform, auditor = make_rig()
+        request = make_request()  # planted: never admitted
+        platform.record_batch_completion(make_batch(request), make_timing())
+        assert "request.phantom_completion" in checks(auditor)
+
+    def test_stranded_request_fires_at_drain(self):
+        _sim, platform, auditor = make_rig()
+        platform.gateway.admit(make_request())
+        platform.batcher._buffers.clear()  # planted: drop the buffer
+        report = auditor.finalize()
+        assert "request.stranded" in checks(auditor)
+        assert report.residual == 0
+        assert not report.ok
+
+    def test_buffered_request_counts_as_residual_not_stranded(self):
+        _sim, platform, auditor = make_rig()
+        platform.gateway.admit(make_request())
+        report = auditor.finalize()  # still buffered: legitimate residue
+        assert "request.stranded" not in checks(auditor)
+        assert report.residual == 1
+
+
+# ----------------------------------------------------------------------
+# memory.* — slice memory accounting
+# ----------------------------------------------------------------------
+class TestMemoryChecks:
+    def test_negative_memory_fires(self):
+        _sim, platform, auditor = make_rig()
+        gpu_slice = platform.all_nodes[0].gpu.slices[0]
+        gpu_slice.memory_used = -1.0  # planted
+        auditor.sweep()
+        assert "memory.negative" in checks(auditor)
+
+    def test_over_capacity_fires(self):
+        _sim, platform, auditor = make_rig()
+        gpu_slice = platform.all_nodes[0].gpu.slices[0]
+        gpu_slice.memory_used = gpu_slice.profile.memory_gb + 5.0  # planted
+        auditor.sweep()
+        assert "memory.over_capacity" in checks(auditor)
+
+    def test_leaked_accounting_fires(self):
+        _sim, platform, auditor = make_rig()
+        gpu_slice = platform.all_nodes[0].gpu.slices[0]
+        gpu_slice.memory_used = 1.0  # planted: no resident job holds it
+        auditor.sweep()
+        assert "memory.leak" in checks(auditor)
+
+    def test_teardown_leak_fires(self):
+        _sim, platform, auditor = make_rig()
+        node = platform.all_nodes[0]
+        platform.retire_node(node)
+        node.gpu.slices[0].memory_used = 2.0  # planted: survived teardown
+        auditor.sweep()
+        assert "memory.teardown_leak" in checks(auditor)
+
+    def test_consistent_accounting_is_clean(self):
+        sim, platform, auditor = make_rig()
+        gpu_slice = platform.all_nodes[0].gpu.slices[0]
+        gpu_slice.submit(make_job(memory_gb=1.0))
+        auditor.sweep()
+        assert not [c for c in checks(auditor) if c.startswith("memory.")]
+
+
+# ----------------------------------------------------------------------
+# geometry.* — MIG legality
+# ----------------------------------------------------------------------
+class TestGeometryChecks:
+    def test_invalid_geometry_fires(self):
+        _sim, platform, auditor = make_rig()
+        gpu = platform.all_nodes[0].gpu
+        # planted: two 7g instances (14 compute units) cannot coexist.
+        gpu.geometry = SimpleNamespace(kinds=(SliceKind.G7, SliceKind.G7))
+        auditor.sweep()
+        assert "geometry.invalid" in checks(auditor)
+
+    def test_busy_reconfiguration_fires(self):
+        _sim, platform, auditor = make_rig()
+        gpu = platform.all_nodes[0].gpu
+        gpu.slices[0].submit(make_job())
+        gpu.reconfiguring = True  # planted: destroy with work resident
+        auditor.sweep()
+        assert "geometry.busy_reconfiguration" in checks(auditor)
+
+
+# ----------------------------------------------------------------------
+# clock.* — time, counters, tombstones
+# ----------------------------------------------------------------------
+class TestClockChecks:
+    def test_backwards_clock_fires(self):
+        sim, _platform, auditor = make_rig()
+        sim.at(1.0, lambda: None)
+        sim.run(until=2.0)
+        auditor.sweep()
+        sim._now = 1.0  # planted: time reversal
+        auditor.sweep()
+        assert "clock.backwards" in checks(auditor)
+
+    def test_event_counter_regression_fires(self):
+        sim, _platform, auditor = make_rig()
+        sim.at(1.0, lambda: None)
+        sim.run(until=2.0)
+        auditor.sweep()
+        sim._events_processed = 0  # planted: counter reset mid-run
+        auditor.sweep()
+        assert "clock.event_counter" in checks(auditor)
+
+    def test_tombstoned_activity_fires(self):
+        _sim, platform, auditor = make_rig()
+        node = platform.all_nodes[0]
+        platform.retire_node(node)
+        node.gpu.slices[0].submit(make_job())  # planted: work after death
+        auditor.sweep()
+        assert "clock.tombstoned_activity" in checks(auditor)
+
+
+# ----------------------------------------------------------------------
+# spot.* — VM/node lifecycle agreement
+# ----------------------------------------------------------------------
+class TestSpotChecks:
+    def test_zombie_node_fires(self):
+        _sim, platform, auditor = make_rig()
+        node = platform.all_nodes[0]
+        node.vm.terminate()  # planted: VM gone, node never retired
+        auditor.sweep()
+        assert "spot.zombie_node" in checks(auditor)
+
+    def test_ignored_eviction_notice_fires(self):
+        _sim, platform, auditor = make_rig()
+        node = platform.build_node(VMTier.SPOT)
+        node.vm.mark_eviction_notice()  # planted: no drain followed
+        auditor.sweep()
+        assert "spot.notice_ignored" in checks(auditor)
+
+    def test_drained_node_with_notice_is_clean(self):
+        _sim, platform, auditor = make_rig()
+        node = platform.build_node(VMTier.SPOT)
+        node.vm.mark_eviction_notice()
+        node.drain()
+        auditor.sweep()
+        assert checks(auditor) == []
+
+    def test_work_after_eviction_fires(self):
+        _sim, platform, auditor = make_rig()
+        node = platform.all_nodes[0]
+        request = make_request()
+        platform.gateway.admit(request)
+        node.vm.terminate()
+        node.state = NodeState.RETIRED
+        # planted: a batch completes on the terminated node's GPU.
+        timing = make_timing(slice_name=node.gpu.slices[0].name)
+        platform.record_batch_completion(make_batch(request), timing)
+        assert "spot.work_after_eviction" in checks(auditor)
+
+    def test_dangling_scheduler_fires(self):
+        _sim, platform, auditor = make_rig()
+        node = platform.all_nodes[0]
+        node.state = NodeState.RETIRED  # planted: skipped deregistration
+        auditor.sweep()
+        assert "spot.dangling_scheduler" in checks(auditor)
+
+
+# ----------------------------------------------------------------------
+# Fail-fast and arming semantics
+# ----------------------------------------------------------------------
+class TestAuditorSemantics:
+    def test_fail_fast_raises_on_first_violation(self):
+        _sim, platform, auditor = make_rig(fail_fast=True)
+        platform.all_nodes[0].gpu.slices[0].memory_used = -1.0
+        with pytest.raises(AuditViolationError):
+            auditor.sweep()
+
+    def test_double_arm_rejected(self):
+        _sim, _platform, auditor = make_rig()
+        with pytest.raises(AuditError):
+            auditor.arm()
+
+    def test_nonpositive_interval_rejected(self):
+        reset_run_ids()
+        sim = Simulator()
+        from repro.core.protean import ProteanScheme
+
+        platform = ServerlessPlatform(
+            sim, ProteanScheme(), PlatformConfig(n_nodes=1)
+        )
+        with pytest.raises(AuditError):
+            Auditor(sim, platform, interval=0.0)
+
+    def test_clean_platform_sweeps_clean(self):
+        sim, _platform, auditor = make_rig()
+        sim.run(until=20.0)
+        report = auditor.finalize()
+        assert report.ok
+        assert report.sweeps >= 2  # periodic sweeps ran

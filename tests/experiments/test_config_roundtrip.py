@@ -1,0 +1,96 @@
+"""Config serialisation round-trip, property-tested over the figure suite.
+
+``ExperimentConfig.to_dict()`` is the one wire format configs cross
+process (parallel workers) and disk (CLI fault plans) boundaries in.
+Rather than hand-pick a few configs, we harvest *every* config any
+figure module would actually run: ``execute_keyed`` is monkeypatched to
+capture the declared work-lists and abort before execution, then every
+figure's ``run(quick=True)`` is invoked. Each captured config must
+survive ``from_dict(to_dict())`` exactly and serialise to plain JSON.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import CONFIG_SCHEMA_VERSION, ExperimentConfig
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.figures import common as figures_common
+from repro.faults import demo_plan
+
+
+class _Captured(Exception):
+    """Sentinel raised by the patched executor to skip the real runs."""
+
+
+@pytest.fixture
+def figure_configs(monkeypatch):
+    """Every ExperimentConfig the figure suite would execute (quick mode)."""
+    captured: list[ExperimentConfig] = []
+
+    def capture_keyed(requests):
+        captured.extend(request.config for request in requests)
+        raise _Captured
+
+    monkeypatch.setattr(figures_common, "execute_keyed", capture_keyed)
+    for _figure_id, module in sorted(ALL_FIGURES.items()):
+        try:
+            module.run(quick=True)
+        except _Captured:
+            pass
+    return captured
+
+
+def test_every_figure_config_round_trips(figure_configs):
+    # The comparison figures alone declare 4 schemes × many workloads;
+    # a low captured count means the capture hook silently broke.
+    assert len(figure_configs) >= 20
+    for config in figure_configs:
+        payload = config.to_dict()
+        assert payload["version"] == CONFIG_SCHEMA_VERSION
+        json.dumps(payload)  # must be JSON-safe as-is
+        assert ExperimentConfig.from_dict(payload) == config
+
+
+def test_round_trip_with_fault_plan_and_be_pool():
+    config = ExperimentConfig(
+        be_pool=("resnet50", "vgg19"),
+        procurement="hybrid",
+        fault_plan=demo_plan(60.0),
+        audit=True,
+        audit_fail_fast=True,
+        duration=60.0,
+        warmup=10.0,
+    )
+    payload = json.loads(json.dumps(config.to_dict()))
+    restored = ExperimentConfig.from_dict(payload)
+    assert restored == config
+    assert restored.be_pool == ("resnet50", "vgg19")
+    assert restored.fault_plan == config.fault_plan
+
+
+def test_from_dict_rejects_unknown_keys():
+    payload = ExperimentConfig().to_dict()
+    payload["definitely_not_a_field"] = 1
+    with pytest.raises(ConfigurationError) as excinfo:
+        ExperimentConfig.from_dict(payload)
+    assert "definitely_not_a_field" in str(excinfo.value)
+
+
+def test_from_dict_rejects_newer_schema():
+    payload = ExperimentConfig().to_dict()
+    payload["version"] = CONFIG_SCHEMA_VERSION + 1
+    with pytest.raises(ConfigurationError):
+        ExperimentConfig.from_dict(payload)
+
+
+def test_from_dict_rejects_non_dict():
+    with pytest.raises(ConfigurationError):
+        ExperimentConfig.from_dict([("duration", 10.0)])
+
+
+def test_version_key_is_optional():
+    payload = ExperimentConfig(seed=7).to_dict()
+    del payload["version"]
+    assert ExperimentConfig.from_dict(payload) == ExperimentConfig(seed=7)

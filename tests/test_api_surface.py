@@ -1,0 +1,121 @@
+"""Snapshot of the public API surface (`__all__`) of the stable packages.
+
+These names are the repo's contract with external callers (notebooks,
+scripts, downstream forks): removing or renaming one is a breaking
+change and must be a deliberate decision, not a refactor side effect.
+A failure here means *update the snapshot on purpose* — and mention the
+break in the changelog — not "fix the test".
+"""
+
+import importlib
+
+import pytest
+
+PUBLIC_API = {
+    "repro.audit": [
+        "AuditReport",
+        "AuditViolation",
+        "Auditor",
+        "CHECK_GROUPS",
+        "DEFAULT_AUDIT_INTERVAL",
+    ],
+    "repro.experiments": [
+        "ABLATION_VARIANTS",
+        "COMPARISON_SCHEMES",
+        "CONFIG_SCHEMA_VERSION",
+        "ExperimentConfig",
+        "ExperimentResult",
+        "available_schemes",
+        "build_oracle_plan",
+        "build_specs",
+        "canonical_name",
+        "get_scheme",
+        "make_scheme",
+        "make_variant",
+        "register_scheme",
+        "run_ablation",
+        "run_ablation_suite",
+        "run_comparison",
+        "run_scheme",
+        "scheme_names",
+    ],
+    "repro.faults": [
+        "DEFAULT_FAULT_NAMES",
+        "DEFAULT_RECOVERY_NAME",
+        "EMPTY_PLAN",
+        "FaultInjector",
+        "FaultKind",
+        "FaultPlan",
+        "FaultSpec",
+        "RecoveryMatch",
+        "RecoveryReport",
+        "assert_recovery",
+        "check_recovery",
+        "demo_plan",
+    ],
+    "repro.observability": [
+        "CATEGORY_AUDIT",
+        "CATEGORY_CONTROL",
+        "CATEGORY_FAULT",
+        "CATEGORY_GPU",
+        "CATEGORY_REQUEST",
+        "CATEGORY_RUN",
+        "Counter",
+        "DetachedTrace",
+        "Histogram",
+        "NULL_TRACER",
+        "NullTelemetry",
+        "NullTracer",
+        "RollupRow",
+        "SimTracer",
+        "Span",
+        "TelemetryRegistry",
+        "TelemetrySampler",
+        "TelemetrySnapshot",
+        "Tracer",
+        "format_rollup",
+        "read_span_jsonl",
+        "rollup_from_jsonl",
+        "rollup_from_log",
+        "rollup_spans",
+        "span_log_digest",
+        "spans_from_log",
+        "spans_to_log",
+        "text_summary",
+        "to_trace_events",
+        "write_chrome_trace",
+        "write_span_jsonl",
+    ],
+    "repro.parallel": [
+        "JOBS_ENV_VAR",
+        "RunRequest",
+        "cpu_jobs",
+        "execute_keyed",
+        "execute_request",
+        "execute_runs",
+        "mp_context",
+        "resolve_jobs",
+        "set_default_jobs",
+        "using_jobs",
+        "worker_init",
+    ],
+}
+
+
+@pytest.mark.parametrize("module_name", sorted(PUBLIC_API))
+def test_public_api_matches_snapshot(module_name):
+    module = importlib.import_module(module_name)
+    assert sorted(module.__all__) == PUBLIC_API[module_name]
+
+
+@pytest.mark.parametrize("module_name", sorted(PUBLIC_API))
+def test_every_exported_name_resolves(module_name):
+    module = importlib.import_module(module_name)
+    for name in module.__all__:
+        assert getattr(module, name) is not None
+
+
+@pytest.mark.parametrize("module_name", sorted(PUBLIC_API))
+def test_all_lists_are_sorted_and_unique(module_name):
+    module = importlib.import_module(module_name)
+    assert list(module.__all__) == sorted(set(module.__all__))

@@ -161,6 +161,62 @@ def test_faults_command_unknown_experiment(capsys):
     assert "unknown experiment" in capsys.readouterr().err
 
 
+def test_audit_command_quick(capsys):
+    code = main(
+        [
+            "audit",
+            "default",
+            "--schemes",
+            "protean",
+            "naive",
+            "--duration",
+            "20",
+            "--warmup",
+            "5",
+            "--nodes",
+            "2",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "conservation audit" in output
+    assert "protean" in output and "naive_slicing" in output
+    assert "zero violations" in output
+
+
+def test_audit_command_with_fault_demo(capsys):
+    code = main(
+        [
+            "audit",
+            "fig9",
+            "--fault-demo",
+            "--schemes",
+            "protean",
+            "--duration",
+            "25",
+            "--warmup",
+            "5",
+            "--nodes",
+            "2",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "under fault plan" in output
+    assert "zero violations" in output
+
+
+def test_audit_command_unknown_scheme(capsys):
+    assert main(["audit", "default", "--schemes", "skynet"]) == 2
+    err = capsys.readouterr().err
+    assert "skynet" in err and "protean" in err
+
+
+def test_audit_command_unknown_experiment(capsys):
+    assert main(["audit", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
 def test_parser_rejects_unknown_scheme():
     parser = build_parser()
     with pytest.raises(SystemExit):
