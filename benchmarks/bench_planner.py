@@ -1,0 +1,79 @@
+"""Benchmark the capacity planner's pre-screen against exhaustive search.
+
+The planner's value proposition is pruning: the analytic pre-screen must
+eliminate a large share of the candidate grid (the ISSUE-5 bar is ≥50%
+on the seeded benchmark grid) without ever changing the recommendation
+an exhaustive sweep would make. Both properties are asserted here, and
+the measured numbers — prune ratio, wall-clock of the staged planner vs
+simulating every candidate — land in ``BENCH_planner.json`` at the repo
+root (uploaded as a CI artifact).
+
+Wall-clock ratios on shared CI runners are noisy, so no speedup is
+asserted — only recorded; correctness (same recommendation) and the
+prune ratio are the hard gates.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.capacity import CandidateGrid, plan, simulated_optimum
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_planner.json"
+
+#: The benchmark grid: every procurement mode over the default cluster
+#: sizes, the smoke workload's demand.
+GRID = CandidateGrid(
+    n_nodes=(2, 4, 6, 8, 12),
+    procurement=("on_demand_only", "hybrid", "spot_only"),
+    schemes=("protean",),
+)
+
+TARGET = 0.99
+
+#: The issue's pruning bar for the pre-screen on this grid.
+MIN_PRUNE_RATIO = 0.5
+
+
+def test_planner_prunes_without_changing_the_answer():
+    start = time.perf_counter()
+    staged = plan("smoke", grid=GRID, target=TARGET, jobs=1)
+    staged_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    exhaustive = plan(
+        "smoke", grid=GRID, target=TARGET, jobs=1, exhaustive=True
+    )
+    exhaustive_seconds = time.perf_counter() - start
+
+    optimum = simulated_optimum(exhaustive.outcomes, TARGET)
+    assert staged.recommended == optimum, (
+        f"staged planner recommended {staged.recommended}, exhaustive "
+        f"ground truth is {optimum}"
+    )
+    assert staged.prune_ratio >= MIN_PRUNE_RATIO, (
+        f"prune ratio {staged.prune_ratio:.2f} below the "
+        f"{MIN_PRUNE_RATIO:.0%} bar ({staged.prune_counts})"
+    )
+
+    payload = {
+        "benchmark": "capacity_planner",
+        "workload": "smoke",
+        "target": TARGET,
+        "candidates": len(staged.outcomes),
+        "pruned": staged.prune_counts,
+        "prune_ratio": round(staged.prune_ratio, 4),
+        "simulated_staged": staged.simulated_count,
+        "simulated_exhaustive": exhaustive.simulated_count,
+        "recommended": staged.recommended,
+        "staged_seconds": round(staged_seconds, 3),
+        "exhaustive_seconds": round(exhaustive_seconds, 3),
+        "speedup": round(exhaustive_seconds / staged_seconds, 2),
+    }
+    existing = (
+        json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    )
+    existing["capacity_planner"] = payload
+    BENCH_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+    print(f"\n{json.dumps(payload, indent=2)}\n[saved to {BENCH_PATH}]")

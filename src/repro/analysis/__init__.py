@@ -2,14 +2,20 @@
 
 from repro.analysis.queueing import (
     MG1Prediction,
+    MMCPrediction,
     consolidation_breakeven,
+    erlang_c,
     mg1,
+    mmc,
     mps_effective_capacity,
 )
 
 __all__ = [
     "MG1Prediction",
+    "MMCPrediction",
     "consolidation_breakeven",
+    "erlang_c",
     "mg1",
+    "mmc",
     "mps_effective_capacity",
 ]

@@ -71,6 +71,112 @@ def mg1(
     return MG1Prediction(rho, mean_wait, mean_wait + service_mean)
 
 
+@dataclass(frozen=True)
+class MMCPrediction:
+    """Steady-state M/M/c quantities (times in seconds)."""
+
+    servers: int
+    utilization: float
+    #: Erlang-C probability that an arriving job has to wait.
+    wait_probability: float
+    mean_wait: float
+    mean_response: float
+    service_mean: float
+
+    def wait_tail(self, t: float) -> float:
+        """``P(W > t)`` — exponential waiting-time tail (exact for M/M/c).
+
+        ``P(W > t) = C(c, a) · exp(−(cμ − λ)·t)``, the standard M/M/c
+        waiting-time distribution. This is what the capacity planner uses
+        to bound SLO attainment: a request meets a latency target ``T``
+        when its wait does not exceed ``T − service``.
+        """
+        if t < 0:
+            raise SchedulingError("wait_tail time must be non-negative")
+        if self.utilization >= 1.0:
+            return 1.0
+        if self.wait_probability <= 0.0:
+            return 0.0
+        drain = (self.servers - self.servers * self.utilization) / self.service_mean
+        return self.wait_probability * math.exp(-drain * t)
+
+    def response_percentile(self, q: float) -> float:
+        """Approximate q-th percentile of response time.
+
+        Waiting time is a mixture of an atom at zero (mass ``1 − C``) and
+        an exponential; response ≈ service mean + wait quantile, the same
+        approximation family as :meth:`MG1Prediction.response_percentile`.
+        """
+        if not 0.0 < q < 1.0:
+            raise SchedulingError("percentile must lie in (0, 1)")
+        if self.utilization >= 1.0:
+            return math.inf
+        tail = 1.0 - q
+        if tail >= self.wait_probability:
+            return self.service_mean
+        drain = (self.servers - self.servers * self.utilization) / self.service_mean
+        return self.service_mean + math.log(self.wait_probability / tail) / drain
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C delay probability for ``offered_load = λ/μ`` Erlangs.
+
+    Computed through the numerically-stable Erlang-B recursion
+    ``B(0) = 1; B(k) = a·B(k−1) / (k + a·B(k−1))`` and the standard B→C
+    conversion — no factorials, safe for hundreds of servers.
+    """
+    if servers < 1:
+        raise SchedulingError("Erlang-C needs at least one server")
+    if offered_load < 0:
+        raise SchedulingError("offered load must be non-negative")
+    if offered_load >= servers:
+        return 1.0
+    blocking = 1.0
+    for k in range(1, servers + 1):
+        blocking = offered_load * blocking / (k + offered_load * blocking)
+    rho = offered_load / servers
+    return blocking / (1.0 - rho * (1.0 - blocking))
+
+
+def mmc(arrival_rate: float, service_mean: float, servers: int) -> MMCPrediction:
+    """Erlang-C mean-value analysis of an M/M/c queue.
+
+    A multi-replica time-sharing deployment (one FIFO GPU per replica fed
+    from a shared dispatch queue) is an M/M/c system; this is the
+    analytic model the capacity planner's pre-screen uses to bound a
+    candidate cluster's attainment before paying for simulation.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Poisson arrival rate (jobs per second) over the whole pool.
+    service_mean:
+        Mean (exponential) service time of one job on one server, seconds.
+    servers:
+        Number of parallel servers ``c``.
+    """
+    if arrival_rate < 0 or service_mean <= 0:
+        raise SchedulingError("invalid M/M/c parameters")
+    if servers < 1:
+        raise SchedulingError("M/M/c needs at least one server")
+    offered = arrival_rate * service_mean
+    rho = offered / servers
+    if rho >= 1.0:
+        return MMCPrediction(
+            servers, rho, 1.0, math.inf, math.inf, service_mean
+        )
+    delay_probability = erlang_c(servers, offered)
+    mean_wait = delay_probability * service_mean / (servers - offered)
+    return MMCPrediction(
+        servers,
+        rho,
+        delay_probability,
+        mean_wait,
+        mean_wait + service_mean,
+        service_mean,
+    )
+
+
 def mps_effective_capacity(
     mean_fbr: float, concurrency: float
 ) -> float:

@@ -1,0 +1,84 @@
+"""What-if capacity planning: cost/SLO optimisation over cluster configs.
+
+The decision layer on top of the reproduction: given a workload
+(:class:`WorkloadSpec`) and an SLO attainment goal, :func:`plan` searches
+a declarative grid of cluster configurations (:class:`CandidateGrid` —
+cluster size, spot/on-demand procurement, scheme, extra config knobs) in
+two stages: an analytic pre-screen built on the
+:mod:`repro.analysis.queueing` models prunes infeasible and dominated
+candidates with a conservative admissibility margin, then the survivors
+are validated by full simulation through :mod:`repro.parallel`. The
+:class:`PlanReport` carries the cost-vs-attainment Pareto frontier, the
+recommended configuration, and per-candidate evidence — including why
+every pruned candidate was pruned.
+
+Typical use::
+
+    from repro.capacity import plan
+
+    report = plan("wiki", target=0.99, jobs=4)
+    print(report.describe())
+    best = report.recommended_outcome.decision.candidate.config
+
+or ``python -m repro plan wiki --target 0.99 --jobs 4``. See
+``docs/capacity_planner.md``.
+"""
+
+from repro.capacity.grid import (
+    DEFAULT_NODE_COUNTS,
+    PROCUREMENT_MODES,
+    Candidate,
+    CandidateGrid,
+    sweepable_knobs,
+)
+from repro.capacity.planner import (
+    DEFAULT_TARGET,
+    plan,
+    resolve_workload,
+    simulated_optimum,
+)
+from repro.capacity.report import (
+    PLAN_SCHEMA_VERSION,
+    CandidateOutcome,
+    PlanReport,
+    SimulationEvidence,
+    pareto_frontier,
+)
+from repro.capacity.screen import (
+    DEFAULT_MARGIN,
+    PRUNE_DOMINATED,
+    PRUNE_INFEASIBLE,
+    AnalyticBound,
+    ScreenDecision,
+    analytic_bound,
+    estimate_hourly_cost,
+    screen_candidates,
+)
+from repro.capacity.spec import PLAN_PRESETS, WorkloadSpec
+
+__all__ = [
+    "AnalyticBound",
+    "Candidate",
+    "CandidateGrid",
+    "CandidateOutcome",
+    "DEFAULT_MARGIN",
+    "DEFAULT_NODE_COUNTS",
+    "DEFAULT_TARGET",
+    "PLAN_PRESETS",
+    "PLAN_SCHEMA_VERSION",
+    "PROCUREMENT_MODES",
+    "PRUNE_DOMINATED",
+    "PRUNE_INFEASIBLE",
+    "PlanReport",
+    "ScreenDecision",
+    "SimulationEvidence",
+    "WorkloadSpec",
+    "analytic_bound",
+    "estimate_hourly_cost",
+    "pareto_frontier",
+    "plan",
+    "resolve_workload",
+    "screen_candidates",
+    "simulated_optimum",
+    "sweepable_knobs",
+]

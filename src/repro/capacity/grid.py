@@ -1,0 +1,239 @@
+"""Declarative candidate grids of cluster configurations.
+
+A :class:`CandidateGrid` names the supply-side dimensions the planner
+searches: cluster sizes, procurement modes, schemes (resolved through the
+scheme registry), and optional extra :class:`ExperimentConfig` knobs
+(reconfigurator/autoscaler settings such as ``rotation_period`` or
+``prewarm_containers``). :meth:`CandidateGrid.candidates` crosses the
+dimensions with a :class:`~repro.capacity.spec.WorkloadSpec` into
+concrete :class:`Candidate` entries, each carrying a fully-built config —
+ready to screen analytically and, if admitted, to simulate.
+
+Unknown dimension or knob names raise
+:class:`~repro.errors.ConfigurationError`, consistent with the
+``ExperimentConfig.from_dict`` normalisation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, fields
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.schemes import canonical_name
+from repro.capacity.spec import WorkloadSpec
+
+#: Default cluster sizes searched when the caller does not narrow them.
+DEFAULT_NODE_COUNTS = (2, 4, 6, 8, 12)
+
+#: Procurement modes understood by the runner.
+PROCUREMENT_MODES = ("on_demand_only", "hybrid", "spot_only")
+
+#: ExperimentConfig fields the grid/spec own; everything else that is a
+#: config field may be swept as a knob.
+_RESERVED_FIELDS = frozenset(
+    {
+        "n_nodes",
+        "procurement",
+        "strict_model",
+        "trace",
+        "rate",
+        "offered_load",
+        "duration",
+        "warmup",
+        "drain",
+        "scale",
+        "slo_multiplier",
+        "strict_fraction",
+        "rotation_period",
+        "spot_availability",
+        "seed",
+        "fault_plan",
+        "audit",
+        "audit_interval",
+        "audit_fail_fast",
+        "tracing",
+        "telemetry_interval",
+        "batched_arrivals",
+    }
+)
+
+
+def sweepable_knobs() -> tuple[str, ...]:
+    """Config fields a grid may sweep (sorted)."""
+    return tuple(
+        sorted(
+            spec.name
+            for spec in fields(ExperimentConfig)
+            if spec.name not in _RESERVED_FIELDS
+        )
+    )
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One concrete cluster configuration under evaluation."""
+
+    key: str
+    scheme: str
+    n_nodes: int
+    procurement: str
+    knobs: tuple[tuple[str, object], ...]
+    config: ExperimentConfig
+
+    def describe(self) -> dict:
+        """JSON-safe identity of the candidate (no full config)."""
+        return {
+            "key": self.key,
+            "scheme": self.scheme,
+            "n_nodes": self.n_nodes,
+            "procurement": self.procurement,
+            "knobs": dict(self.knobs),
+        }
+
+
+@dataclass(frozen=True)
+class CandidateGrid:
+    """The supply-side search space of a planning run."""
+
+    n_nodes: tuple[int, ...] = DEFAULT_NODE_COUNTS
+    procurement: tuple[str, ...] = PROCUREMENT_MODES
+    schemes: tuple[str, ...] = ("protean",)
+    #: Extra config dimensions: ``(("prewarm_containers", (1, 3)), ...)``.
+    #: A mapping of name → values is accepted and normalised.
+    knobs: tuple[tuple[str, tuple], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "n_nodes", tuple(self.n_nodes))
+        object.__setattr__(self, "procurement", tuple(self.procurement))
+        if not self.n_nodes:
+            raise ConfigurationError("candidate grid needs at least one n_nodes")
+        for n in self.n_nodes:
+            if not isinstance(n, int) or n < 1:
+                raise ConfigurationError(
+                    f"n_nodes entries must be positive integers, got {n!r}"
+                )
+        if len(set(self.n_nodes)) != len(self.n_nodes):
+            raise ConfigurationError("duplicate n_nodes entries in grid")
+        if not self.procurement:
+            raise ConfigurationError(
+                "candidate grid needs at least one procurement mode"
+            )
+        for mode in self.procurement:
+            if mode not in PROCUREMENT_MODES:
+                raise ConfigurationError(
+                    f"unknown procurement mode {mode!r}; "
+                    f"known: {', '.join(PROCUREMENT_MODES)}"
+                )
+        if not self.schemes:
+            raise ConfigurationError("candidate grid needs at least one scheme")
+        # Resolve through the registry now: unknown schemes fail fast with
+        # the registry's ConfigurationError, and aliases canonicalise so
+        # grid keys are stable.
+        object.__setattr__(
+            self,
+            "schemes",
+            tuple(canonical_name(name) for name in self.schemes),
+        )
+        if len(set(self.schemes)) != len(self.schemes):
+            raise ConfigurationError("duplicate schemes in grid")
+        if "oracle" in self.schemes:
+            raise ConfigurationError(
+                "the oracle scheme is not plannable: it needs a per-run "
+                "geometry plan and models no deployable policy"
+            )
+        knobs = self.knobs
+        if isinstance(knobs, Mapping):
+            knobs = tuple(sorted(knobs.items()))
+        normalised = []
+        allowed = set(sweepable_knobs())
+        for name, values in knobs:
+            if name not in allowed:
+                raise ConfigurationError(
+                    f"unknown planner knob {name!r}; sweepable: "
+                    f"{', '.join(sweepable_knobs())}"
+                )
+            values = tuple(values)
+            if not values:
+                raise ConfigurationError(f"knob {name!r} has no values")
+            normalised.append((name, values))
+        object.__setattr__(self, "knobs", tuple(normalised))
+
+    def __len__(self) -> int:
+        total = len(self.n_nodes) * len(self.procurement) * len(self.schemes)
+        for _name, values in self.knobs:
+            total *= len(values)
+        return total
+
+    def candidates(self, workload: WorkloadSpec) -> tuple[Candidate, ...]:
+        """Cross the grid with ``workload`` into concrete candidates.
+
+        Deterministic order: scheme → procurement → n_nodes → knob
+        combinations, matching declaration order — candidate keys double
+        as stable run keys for the parallel work-list.
+        """
+        knob_names = [name for name, _values in self.knobs]
+        knob_spaces = [values for _name, values in self.knobs]
+        entries = []
+        for scheme in self.schemes:
+            for procurement in self.procurement:
+                for n_nodes in self.n_nodes:
+                    for combo in itertools.product(*knob_spaces):
+                        knobs = tuple(zip(knob_names, combo))
+                        key = f"{scheme}/{procurement}/n{n_nodes}"
+                        key += "".join(f"/{k}={v}" for k, v in knobs)
+                        entries.append(
+                            Candidate(
+                                key=key,
+                                scheme=scheme,
+                                n_nodes=n_nodes,
+                                procurement=procurement,
+                                knobs=knobs,
+                                config=workload.to_config(
+                                    n_nodes=n_nodes,
+                                    procurement=procurement,
+                                    **dict(knobs),
+                                ),
+                            )
+                        )
+        return tuple(entries)
+
+    # ------------------------------------------------------------------
+    # Serialisation (grid files for the CLI)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe representation; round-trips via :meth:`from_dict`."""
+        return {
+            "n_nodes": list(self.n_nodes),
+            "procurement": list(self.procurement),
+            "schemes": list(self.schemes),
+            "knobs": {name: list(values) for name, values in self.knobs},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CandidateGrid":
+        """Parse a :meth:`to_dict` payload, rejecting unknown keys."""
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"grid payload must be a dict, got {type(payload).__name__}"
+            )
+        known = {"n_nodes", "procurement", "schemes", "knobs"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown grid field(s): {', '.join(sorted(unknown))}"
+            )
+        data = dict(payload)
+        if "n_nodes" in data:
+            data["n_nodes"] = tuple(data["n_nodes"])
+        if "procurement" in data:
+            data["procurement"] = tuple(data["procurement"])
+        if "schemes" in data:
+            data["schemes"] = tuple(data["schemes"])
+        if "knobs" in data:
+            data["knobs"] = {
+                name: tuple(values) for name, values in data["knobs"].items()
+            }
+        return cls(**data)

@@ -1,0 +1,286 @@
+"""Two-stage what-if capacity planning.
+
+:func:`plan` answers "what is the cheapest cluster configuration that
+still meets my SLO attainment target?" for a fixed workload:
+
+1. **Analytic pre-screen** (:mod:`repro.capacity.screen`) bounds every
+   candidate's attainment in closed form and prunes the infeasible and
+   dominated ones — cheaply, with a conservative admissibility margin so
+   the true optimum always survives to stage two.
+2. **Simulation validation** fans the survivors out through
+   :mod:`repro.parallel` (``jobs`` worker processes, bit-identical to
+   serial) and measures real attainment, dollar cost, and tail latency
+   per candidate. When a conservative dominator turns out to *miss* the
+   target under simulation, the planner **escalates**: the candidates it
+   dominated are re-admitted smallest-first and simulated until the
+   group produces a validated-feasible member (or runs out). Domination
+   pruning is therefore sound by construction — a candidate stays pruned
+   only while a cheaper validated-feasible configuration exists below
+   it — rather than relying on the analytic lower bound being perfectly
+   calibrated.
+
+The result is a :class:`~repro.capacity.report.PlanReport`: the simulated
+cost-vs-attainment Pareto frontier, the recommended configuration
+(cheapest candidate meeting the target, serialised via the versioned
+``ExperimentConfig.to_dict``), and per-candidate evidence including the
+prune reason for everything screened out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable
+
+from repro.capacity.grid import CandidateGrid
+from repro.capacity.report import (
+    CandidateOutcome,
+    PlanReport,
+    SimulationEvidence,
+    pareto_frontier,
+)
+from repro.capacity.screen import (
+    DEFAULT_MARGIN,
+    PRUNE_DOMINATED,
+    ScreenDecision,
+    screen_candidates,
+)
+from repro.capacity.spec import PLAN_PRESETS, WorkloadSpec
+from repro.cluster.pricing import cost_per_1k_requests
+from repro.errors import ConfigurationError
+from repro.experiments.runner import ExperimentResult
+
+#: Default attainment goal: ≥99% of strict requests inside their SLO.
+DEFAULT_TARGET = 0.99
+
+
+def resolve_workload(workload: WorkloadSpec | dict | str) -> WorkloadSpec:
+    """Coerce a preset name, payload dict, or spec into a WorkloadSpec."""
+    if isinstance(workload, WorkloadSpec):
+        return workload
+    if isinstance(workload, str):
+        spec = PLAN_PRESETS.get(workload.lower().strip())
+        if spec is None:
+            raise ConfigurationError(
+                f"unknown workload preset {workload!r}; "
+                f"known: {', '.join(sorted(PLAN_PRESETS))}"
+            )
+        return spec
+    if isinstance(workload, dict):
+        return WorkloadSpec.from_dict(workload)
+    raise ConfigurationError(
+        "workload must be a WorkloadSpec, a preset name, or a dict; "
+        f"got {type(workload).__name__}"
+    )
+
+
+def _evidence(result: ExperimentResult) -> SimulationEvidence:
+    summary = result.summary
+    attainment = summary.slo_compliance
+    if math.isnan(attainment):  # pragma: no cover - spec requires strict>0
+        attainment = 0.0
+    return SimulationEvidence(
+        attainment=attainment,
+        total_cost=summary.total_cost,
+        cost_per_1k_requests=cost_per_1k_requests(
+            summary.total_cost, summary.requests_served
+        ),
+        requests_served=summary.requests_served,
+        strict_p99=summary.strict_p99,
+        evictions=int(result.extras.get("evictions", 0)),
+    )
+
+
+def _escalate(
+    decisions: list[ScreenDecision],
+    results: dict,
+    simulate: Callable,
+    target: float,
+) -> list[ScreenDecision]:
+    """Re-admit dominated candidates whose dominator failed validation.
+
+    Domination pruning assumed a cheaper same-group candidate would
+    validate; while a group has no simulated member meeting the target,
+    its smallest still-pruned dominated candidate is simulated next
+    (one per group per round, batched across groups through the same
+    parallel fan-out). Mutates ``results`` in place and returns the
+    updated decision list, with escalated candidates marked admitted.
+    """
+    groups: dict[tuple, list[ScreenDecision]] = {}
+    for decision in decisions:
+        candidate = decision.candidate
+        groups.setdefault(
+            (candidate.scheme, candidate.procurement, candidate.knobs), []
+        ).append(decision)
+
+    escalated: set[str] = set()
+    while True:
+        batch = []
+        for members in groups.values():
+            satisfied = any(
+                decision.candidate.key in results
+                and _evidence(
+                    results[decision.candidate.key]
+                ).attainment
+                >= target
+                for decision in members
+            )
+            if satisfied:
+                continue
+            pending = sorted(
+                (
+                    decision.candidate
+                    for decision in members
+                    if decision.prune_reason == PRUNE_DOMINATED
+                    and decision.candidate.key not in results
+                ),
+                key=lambda candidate: candidate.n_nodes,
+            )
+            if pending:
+                batch.append(pending[0])
+        if not batch:
+            break
+        results.update(simulate(batch))
+        escalated.update(candidate.key for candidate in batch)
+
+    if not escalated:
+        return decisions
+    return [
+        dataclasses.replace(
+            decision,
+            admitted=True,
+            prune_reason=None,
+            detail=(
+                "re-admitted: the conservative dominator missed the "
+                "target under simulation"
+            ),
+        )
+        if decision.candidate.key in escalated
+        else decision
+        for decision in decisions
+    ]
+
+
+def simulated_optimum(
+    outcomes: tuple[CandidateOutcome, ...] | list[CandidateOutcome],
+    target: float,
+) -> str | None:
+    """Key of the cheapest simulated candidate meeting ``target``.
+
+    Ties break toward higher attainment, then lexicographic key, so the
+    answer is deterministic. ``None`` when nothing qualifies.
+    """
+    feasible = [
+        outcome
+        for outcome in outcomes
+        if outcome.simulated is not None
+        and outcome.simulated.attainment >= target
+    ]
+    if not feasible:
+        return None
+    best = min(
+        feasible,
+        key=lambda o: (
+            o.simulated.total_cost,
+            -o.simulated.attainment,
+            o.key,
+        ),
+    )
+    return best.key
+
+
+def plan(
+    workload: WorkloadSpec | dict | str,
+    *,
+    grid: CandidateGrid | dict | None = None,
+    target: float = DEFAULT_TARGET,
+    margin: float = DEFAULT_MARGIN,
+    jobs: int | None = None,
+    exhaustive: bool = False,
+    progress: Callable[[str, float], None] | None = None,
+) -> PlanReport:
+    """Search ``grid`` for the cheapest configuration meeting ``target``.
+
+    Stable entry point: ``workload`` positional, everything else
+    keyword-only. ``workload`` is a :class:`WorkloadSpec`, a preset name
+    (``"wiki"``, ``"twitter"``, ...), or a spec payload dict; ``grid``
+    defaults to :class:`CandidateGrid`'s standard search space.
+
+    ``jobs`` controls the stage-two fan-out exactly like
+    :func:`repro.experiments.run_comparison` (``None`` resolves the
+    ambient ``--jobs``/``REPRO_JOBS`` default). With ``exhaustive=True``
+    the pruned candidates are simulated too — the screen's verdicts are
+    still recorded, which is how the property tests and
+    ``benchmarks/bench_planner.py`` audit the pre-screen against ground
+    truth.
+    """
+    from repro.parallel import RunRequest, execute_keyed
+
+    if not 0.0 < target <= 1.0:
+        raise ConfigurationError("attainment target must lie in (0, 1]")
+    spec = resolve_workload(workload)
+    if grid is None:
+        grid = CandidateGrid()
+    elif isinstance(grid, dict):
+        grid = CandidateGrid.from_dict(grid)
+    elif not isinstance(grid, CandidateGrid):
+        raise ConfigurationError(
+            f"grid must be a CandidateGrid or dict, got {type(grid).__name__}"
+        )
+
+    candidates = grid.candidates(spec)
+    decisions = screen_candidates(candidates, target=target, margin=margin)
+
+    def simulate(batch):
+        return execute_keyed(
+            [
+                RunRequest(
+                    key=candidate.key,
+                    scheme=candidate.scheme,
+                    config=candidate.config,
+                )
+                for candidate in batch
+            ],
+            jobs=jobs,
+            progress=progress,
+        )
+
+    results = simulate(
+        [
+            decision.candidate
+            for decision in decisions
+            if exhaustive or decision.admitted
+        ]
+    )
+
+    if not exhaustive:
+        decisions = _escalate(decisions, results, simulate, target)
+
+    outcomes = tuple(
+        CandidateOutcome(
+            decision=decision,
+            simulated=(
+                _evidence(results[decision.candidate.key])
+                if decision.candidate.key in results
+                else None
+            ),
+        )
+        for decision in decisions
+    )
+    frontier = pareto_frontier(
+        [
+            (o.key, o.simulated.total_cost, o.simulated.attainment)
+            for o in outcomes
+            if o.simulated is not None
+        ]
+    )
+    return PlanReport(
+        workload=spec,
+        grid=grid,
+        target=target,
+        margin=margin,
+        outcomes=outcomes,
+        frontier=frontier,
+        recommended=simulated_optimum(outcomes, target),
+        exhaustive=exhaustive,
+    )

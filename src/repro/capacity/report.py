@@ -1,0 +1,255 @@
+"""Planner output: per-candidate evidence, Pareto frontier, recommendation.
+
+A :class:`PlanReport` is the complete answer to one what-if question.
+Nothing is silently capped: every candidate in the grid appears exactly
+once — admitted candidates with their simulated evidence, pruned ones
+with the analytic bound and reason that eliminated them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.capacity.grid import CandidateGrid
+from repro.capacity.screen import (
+    PRUNE_DOMINATED,
+    PRUNE_INFEASIBLE,
+    ScreenDecision,
+)
+from repro.capacity.spec import WorkloadSpec
+from repro.metrics.summary import format_table
+
+#: Version stamp of :meth:`PlanReport.to_dict`.
+PLAN_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SimulationEvidence:
+    """Measured outcome of one validated candidate."""
+
+    attainment: float
+    total_cost: float
+    cost_per_1k_requests: float
+    requests_served: int
+    strict_p99: float
+    evictions: int
+
+    def to_dict(self) -> dict:
+        return {
+            "attainment": round(self.attainment, 6),
+            "total_cost": round(self.total_cost, 6),
+            "cost_per_1k_requests": round(self.cost_per_1k_requests, 6),
+            "requests_served": self.requests_served,
+            "strict_p99": round(self.strict_p99, 6),
+            "evictions": self.evictions,
+        }
+
+
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """One candidate's full evidence trail through both stages."""
+
+    decision: ScreenDecision
+    #: ``None`` for pruned candidates (unless the run was exhaustive).
+    simulated: SimulationEvidence | None = None
+
+    @property
+    def key(self) -> str:
+        return self.decision.candidate.key
+
+    def feasible(self, target: float) -> bool:
+        """Whether simulation validated the candidate against ``target``."""
+        return (
+            self.simulated is not None
+            and self.simulated.attainment >= target
+        )
+
+    def to_dict(self) -> dict:
+        payload = self.decision.candidate.describe()
+        payload["admitted"] = self.decision.admitted
+        payload["prune_reason"] = self.decision.prune_reason
+        payload["prune_detail"] = self.decision.detail
+        payload["analytic"] = self.decision.bound.to_dict()
+        payload["simulated"] = (
+            self.simulated.to_dict() if self.simulated is not None else None
+        )
+        return payload
+
+
+def pareto_frontier(
+    points: list[tuple[str, float, float]]
+) -> tuple[str, ...]:
+    """Keys of the cost/attainment Pareto frontier.
+
+    ``points`` is ``[(key, cost, attainment), ...]``. A point is on the
+    frontier when no other point is at least as good on both axes and
+    strictly better on one. Returned sorted by ascending cost (ties by
+    descending attainment then key, so the order is deterministic).
+    """
+    frontier = []
+    for key, cost, attainment in points:
+        dominated = any(
+            (other_cost <= cost and other_att >= attainment)
+            and (other_cost < cost or other_att > attainment)
+            for other_key, other_cost, other_att in points
+            if other_key != key
+        )
+        if not dominated:
+            frontier.append((cost, -attainment, key))
+    return tuple(key for _cost, _neg, key in sorted(frontier))
+
+
+@dataclass(frozen=True)
+class PlanReport:
+    """The planner's complete, JSON-exportable answer."""
+
+    workload: WorkloadSpec
+    grid: CandidateGrid
+    target: float
+    margin: float
+    outcomes: tuple[CandidateOutcome, ...]
+    #: Candidate keys on the simulated cost/attainment Pareto frontier.
+    frontier: tuple[str, ...]
+    #: Key of the cheapest simulated candidate meeting the target, or None.
+    recommended: str | None
+    #: Whether pruned candidates were simulated anyway (property tests,
+    #: benchmarking the screen).
+    exhaustive: bool = False
+    extra: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def outcome(self, key: str) -> CandidateOutcome:
+        for outcome in self.outcomes:
+            if outcome.key == key:
+                return outcome
+        raise KeyError(key)
+
+    @property
+    def recommended_outcome(self) -> CandidateOutcome | None:
+        return self.outcome(self.recommended) if self.recommended else None
+
+    @property
+    def prune_counts(self) -> dict[str, int]:
+        counts = {PRUNE_INFEASIBLE: 0, PRUNE_DOMINATED: 0}
+        for outcome in self.outcomes:
+            reason = outcome.decision.prune_reason
+            if reason is not None:
+                counts[reason] += 1
+        return counts
+
+    @property
+    def pruned(self) -> int:
+        return sum(self.prune_counts.values())
+
+    @property
+    def prune_ratio(self) -> float:
+        return self.pruned / len(self.outcomes) if self.outcomes else 0.0
+
+    @property
+    def simulated_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.simulated is not None)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def frontier_rows(self) -> list[dict]:
+        """Table rows for the frontier (recommendation marked)."""
+        rows = []
+        for key in self.frontier:
+            outcome = self.outcome(key)
+            evidence = outcome.simulated
+            rows.append(
+                {
+                    "candidate": key,
+                    "recommended": "*" if key == self.recommended else "",
+                    "attainment_%": round(evidence.attainment * 100, 2),
+                    "meets_target": "yes"
+                    if outcome.feasible(self.target)
+                    else "no",
+                    "cost_$": round(evidence.total_cost, 4),
+                    "cost_$per_1k": round(evidence.cost_per_1k_requests, 4),
+                    "strict_p99_ms": round(evidence.strict_p99 * 1000, 1),
+                    "evictions": evidence.evictions,
+                }
+            )
+        return rows
+
+    def describe(self) -> str:
+        """Full text rendering: screen summary + frontier + verdict."""
+        counts = self.prune_counts
+        lines = [
+            f"workload: {self.workload.name} "
+            f"(model={self.workload.strict_model}, trace={self.workload.trace})",
+            f"target: ≥{self.target * 100:.2f}% strict requests in SLO   "
+            f"margin: {self.margin}",
+            f"grid: {len(self.outcomes)} candidates — "
+            f"{counts[PRUNE_INFEASIBLE]} pruned infeasible, "
+            f"{counts[PRUNE_DOMINATED]} pruned dominated, "
+            f"{self.simulated_count} simulated "
+            f"(prune ratio {self.prune_ratio * 100:.0f}%)",
+            "",
+            format_table(
+                self.frontier_rows(),
+                title="cost vs attainment Pareto frontier (simulated)",
+            ),
+        ]
+        recommended = self.recommended_outcome
+        if recommended is not None:
+            evidence = recommended.simulated
+            lines.append(
+                f"\nrecommended: {recommended.key} — "
+                f"{evidence.attainment * 100:.2f}% attainment at "
+                f"${evidence.total_cost:.4f} "
+                f"(${evidence.cost_per_1k_requests:.4f}/1k requests)"
+            )
+        else:
+            lines.append(
+                "\nno candidate met the target under simulation; "
+                "widen the grid or relax the target"
+            )
+        pruned = [
+            outcome
+            for outcome in self.outcomes
+            if outcome.decision.prune_reason is not None
+        ]
+        if pruned:
+            lines.append("\npruned candidates (analytic pre-screen):")
+            for outcome in pruned:
+                lines.append(
+                    f"  {outcome.key}: {outcome.decision.prune_reason} — "
+                    f"{outcome.decision.detail}"
+                )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe, versioned export (the ``--json`` payload)."""
+        recommended = self.recommended_outcome
+        return {
+            "version": PLAN_SCHEMA_VERSION,
+            "workload": self.workload.to_dict(),
+            "grid": self.grid.to_dict(),
+            "target": self.target,
+            "margin": self.margin,
+            "exhaustive": self.exhaustive,
+            "candidates": [outcome.to_dict() for outcome in self.outcomes],
+            "pruned": self.prune_counts,
+            "prune_ratio": round(self.prune_ratio, 4),
+            "simulated": self.simulated_count,
+            "frontier": list(self.frontier),
+            "recommended": (
+                None
+                if recommended is None
+                else {
+                    "key": recommended.key,
+                    "scheme": recommended.decision.candidate.scheme,
+                    "config": recommended.decision.candidate.config.to_dict(),
+                    "evidence": recommended.simulated.to_dict(),
+                }
+            ),
+            **({"extra": self.extra} if self.extra else {}),
+        }

@@ -10,6 +10,8 @@ Usage::
     python -m repro faults fig9 --plan plan.json
     python -m repro audit default
     python -m repro audit fig9 --fault-demo --schemes protean
+    python -m repro plan wiki --target 0.99 --jobs 4
+    python -m repro plan smoke --json plan.json
     python -m repro models
 """
 
@@ -340,6 +342,83 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+    from pathlib import Path
+
+    from repro.capacity import (
+        DEFAULT_MARGIN,
+        PLAN_PRESETS,
+        CandidateGrid,
+        plan,
+        resolve_workload,
+    )
+
+    # Workload: a preset name, or a path to a WorkloadSpec JSON file.
+    try:
+        if args.workload.lower().strip() in PLAN_PRESETS:
+            workload = resolve_workload(args.workload)
+        elif Path(args.workload).is_file():
+            workload = resolve_workload(
+                json.loads(Path(args.workload).read_text())
+            )
+        else:
+            print(
+                f"unknown workload {args.workload!r}: not a preset "
+                f"({', '.join(sorted(PLAN_PRESETS))}) or a JSON file",
+                file=sys.stderr,
+            )
+            return 2
+        if args.seed is not None:
+            workload = dataclasses.replace(workload, seed=args.seed)
+
+        # Grid: a JSON file, or inline dimension flags on the default.
+        inline = {
+            key: tuple(value)
+            for key, value in (
+                ("n_nodes", args.nodes),
+                ("procurement", args.procurement),
+                ("schemes", args.schemes),
+            )
+            if value
+        }
+        if args.grid is not None:
+            if inline:
+                print(
+                    "--grid is exclusive with --nodes/--procurement/--schemes",
+                    file=sys.stderr,
+                )
+                return 2
+            grid = CandidateGrid.from_dict(
+                json.loads(Path(args.grid).read_text())
+            )
+        else:
+            grid = CandidateGrid(**inline)
+
+        report = plan(
+            workload,
+            grid=grid,
+            target=args.target,
+            margin=args.margin if args.margin is not None else DEFAULT_MARGIN,
+            jobs=_cli_jobs(args),
+            exhaustive=args.exhaustive,
+            progress=lambda key, seconds: print(
+                f"... {key} ({seconds:.1f}s)", flush=True
+            ),
+        )
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(report.describe())
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        print(f"\nwrote {args.json}")
+    return 0 if report.recommended is not None else 1
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     result = run_scheme(args.scheme, config)
@@ -504,6 +583,68 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--nodes", type=int, default=None)
     _add_jobs_arg(audit)
     audit.set_defaults(func=_cmd_audit)
+
+    plan = sub.add_parser(
+        "plan",
+        help="what-if capacity planner: cheapest cluster configuration "
+        "meeting an SLO attainment target (analytic pre-screen, then "
+        "simulation of the survivors); non-zero exit when nothing "
+        "qualifies",
+    )
+    plan.add_argument(
+        "workload",
+        help="workload preset (wiki, twitter, constant, smoke) or a "
+        "WorkloadSpec JSON file",
+    )
+    plan.add_argument(
+        "--target",
+        type=float,
+        default=0.99,
+        help="strict-SLO attainment goal in (0, 1] (default 0.99)",
+    )
+    plan.add_argument(
+        "--margin",
+        type=float,
+        default=None,
+        help="admissibility margin of the analytic pre-screen "
+        "(default 0.2; larger = prune less, safer)",
+    )
+    plan.add_argument(
+        "--grid", default=None, help="CandidateGrid JSON file to search"
+    )
+    plan.add_argument(
+        "--nodes",
+        nargs="+",
+        type=int,
+        default=None,
+        help="cluster sizes to search (default 2 4 6 8 12)",
+    )
+    plan.add_argument(
+        "--procurement",
+        nargs="+",
+        default=None,
+        choices=["on_demand_only", "hybrid", "spot_only"],
+        help="procurement modes to search (default: all three)",
+    )
+    plan.add_argument(
+        "--schemes",
+        nargs="+",
+        default=None,
+        help="schemes to search (default: protean)",
+    )
+    plan.add_argument(
+        "--seed", type=int, default=None, help="override the workload seed"
+    )
+    plan.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help="simulate pruned candidates too (audits the pre-screen)",
+    )
+    plan.add_argument(
+        "--json", default=None, help="also write the versioned report here"
+    )
+    _add_jobs_arg(plan)
+    plan.set_defaults(func=_cmd_plan)
     return parser
 
 

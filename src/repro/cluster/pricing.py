@@ -54,6 +54,15 @@ class ProviderPricing:
         """Hourly price prorated to one single-GPU worker node."""
         return self.hourly(tier) / GPUS_PER_REFERENCE_INSTANCE
 
+    def to_dict(self) -> dict:
+        """JSON-safe representation (one Table 3 row, savings recomputed)."""
+        return {
+            "provider": self.provider,
+            "on_demand_hourly": self.on_demand_hourly,
+            "spot_hourly": self.spot_hourly,
+            "savings_fraction": self.savings_fraction,
+        }
+
 
 #: Table 3 — on-demand and spot hourly pricing for an 8×A100 instance.
 AWS = ProviderPricing("AWS", on_demand_hourly=32.7726, spot_hourly=9.8318)
@@ -81,6 +90,74 @@ def get_provider(name: str) -> ProviderPricing:
             f"unknown provider {name!r}; known: {sorted(PROVIDERS)}"
         )
     return pricing
+
+
+def pricing_table_rows(
+    providers: dict[str, ProviderPricing] | None = None,
+) -> list[dict]:
+    """Table 3's rows, recomputed from the pricing objects.
+
+    This is the single code path behind the tab03 figure, the capacity
+    planner's cost estimates, and the pinned pricing regression test —
+    the numbers cannot drift apart because they are all derived here.
+    """
+    rows = []
+    seen: set[str] = set()
+    for pricing in (providers or PROVIDERS).values():
+        if pricing.provider in seen:
+            continue
+        seen.add(pricing.provider)
+        rows.append(
+            {
+                "provider": pricing.provider,
+                "on_demand_$per_h": round(pricing.on_demand_hourly, 4),
+                "spot_$per_h": round(pricing.spot_hourly, 4),
+                "savings_%": round(pricing.savings_fraction * 100, 2),
+            }
+        )
+    return rows
+
+
+def cost_per_1k_requests(total_cost: float, requests_served: int) -> float:
+    """Dollar cost normalised to one thousand served requests.
+
+    The unit the capacity planner ranks candidate clusters by: unlike raw
+    run cost it is comparable across durations and request rates. Zero
+    served requests yields ``inf`` (paying for capacity that served
+    nothing) unless nothing was spent either.
+    """
+    if total_cost < 0 or requests_served < 0:
+        raise ClusterError("cost and request count must be non-negative")
+    if requests_served == 0:
+        return 0.0 if total_cost == 0 else float("inf")
+    return 1000.0 * total_cost / requests_served
+
+
+def per_scheme_summary(summaries: dict[str, object]) -> list[dict]:
+    """Per-scheme cost rows shared by Figure 9 and the capacity planner.
+
+    ``summaries`` maps a label (scheme name, candidate key, ...) to any
+    object exposing ``total_cost``, ``cost_savings_fraction`` and
+    ``requests_served`` — a :class:`~repro.metrics.summary.RunSummary`
+    qualifies, detached or live. Rows are JSON-safe.
+    """
+    rows = []
+    for label, summary in summaries.items():
+        rows.append(
+            {
+                "scheme": label,
+                "cost_$": round(summary.total_cost, 4),
+                "savings_%": round(summary.cost_savings_fraction * 100, 1),
+                "cost_$per_1k_requests": round(
+                    cost_per_1k_requests(
+                        summary.total_cost, summary.requests_served
+                    ),
+                    4,
+                ),
+                "requests_served": summary.requests_served,
+            }
+        )
+    return rows
 
 
 class CostMeter:
@@ -135,3 +212,20 @@ class CostMeter:
         if baseline == 0:
             return 0.0
         return 1.0 - self.total_cost / baseline
+
+    def summary(self) -> dict:
+        """JSON-safe export of the meter's full accounting.
+
+        The per-tier seconds/costs plus the derived totals — everything
+        Figure 9 and the capacity planner report about a run's spend.
+        """
+        return {
+            "provider": self.pricing.provider,
+            "on_demand_seconds": self._seconds[VMTier.ON_DEMAND],
+            "spot_seconds": self._seconds[VMTier.SPOT],
+            "on_demand_cost": self.cost(VMTier.ON_DEMAND),
+            "spot_cost": self.cost(VMTier.SPOT),
+            "total_cost": self.total_cost,
+            "on_demand_only_equivalent_cost": self.on_demand_only_equivalent_cost,
+            "savings_fraction": self.savings_fraction,
+        }

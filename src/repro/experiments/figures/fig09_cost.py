@@ -13,6 +13,7 @@ hybrid spot+on-demand policy; Spot-Only never falls back. Expected shape:
 
 from __future__ import annotations
 
+from repro.cluster.pricing import cost_per_1k_requests, per_scheme_summary
 from repro.experiments.figures.common import (
     FigureResult,
     base_config,
@@ -51,9 +52,21 @@ def run(quick: bool = True) -> FigureResult:
     results = execute_figure_runs(requests)
     rows = []
     for availability in SCENARIOS:
+        # Cost columns come from the shared pricing code path (also used
+        # by tab03 and the capacity planner).
+        cost_rows = {
+            row["scheme"]: row
+            for row in per_scheme_summary(
+                {
+                    label: results[f"{availability}/{label}"].summary
+                    for label, _scheme, _procurement in variants
+                }
+            )
+        }
         baseline_cost = None
         for label, _scheme, _procurement in variants:
             result = results[f"{availability}/{label}"]
+            cost_row = cost_rows[label]
             cost = result.summary.total_cost
             if baseline_cost is None:
                 baseline_cost = cost
@@ -62,10 +75,14 @@ def run(quick: bool = True) -> FigureResult:
                     "availability": availability,
                     "hosting": label,
                     "slo_%": round(result.summary.slo_percent, 2),
-                    "cost_$": round(cost, 4),
+                    "cost_$": cost_row["cost_$"],
                     "normalized_cost": round(cost / baseline_cost, 3),
-                    "savings_%": round(
-                        result.summary.cost_savings_fraction * 100, 1
+                    "savings_%": cost_row["savings_%"],
+                    "cost_$per_1k": round(
+                        cost_per_1k_requests(
+                            cost, result.summary.requests_served
+                        ),
+                        4,
                     ),
                     "evictions": result.extras["evictions"],
                 }

@@ -6,26 +6,13 @@ this is the input the Figure 9 cost projections consume.
 
 from __future__ import annotations
 
-from repro.cluster.pricing import PROVIDERS
+from repro.cluster.pricing import pricing_table_rows
 from repro.experiments.figures.common import FigureResult
 
 
 def run(quick: bool = True) -> FigureResult:
     """Regenerate Table 3."""
-    rows = []
-    seen = set()
-    for pricing in PROVIDERS.values():
-        if pricing.provider in seen:
-            continue
-        seen.add(pricing.provider)
-        rows.append(
-            {
-                "provider": pricing.provider,
-                "on_demand_$per_h": round(pricing.on_demand_hourly, 4),
-                "spot_$per_h": round(pricing.spot_hourly, 4),
-                "savings_%": round(pricing.savings_fraction * 100, 2),
-            }
-        )
+    rows = pricing_table_rows()
     return FigureResult(
         figure="Table 3: 8xA100 hourly pricing",
         rows=rows,

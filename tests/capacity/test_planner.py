@@ -1,0 +1,149 @@
+"""End-to-end tests for plan() and the PlanReport surface."""
+
+import json
+
+import pytest
+
+from repro.capacity import (
+    CandidateGrid,
+    PLAN_PRESETS,
+    PLAN_SCHEMA_VERSION,
+    pareto_frontier,
+    plan,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+
+SMALL_GRID = CandidateGrid(
+    n_nodes=(2, 4), procurement=("on_demand_only", "hybrid")
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return plan("smoke", grid=SMALL_GRID, target=0.99, jobs=1)
+
+
+class TestPlan:
+    def test_recommended_meets_target_under_simulation(self, smoke_report):
+        outcome = smoke_report.recommended_outcome
+        assert outcome is not None
+        assert outcome.simulated.attainment >= smoke_report.target
+
+    def test_recommended_is_cheapest_feasible(self, smoke_report):
+        recommended = smoke_report.recommended_outcome
+        for outcome in smoke_report.outcomes:
+            if outcome.feasible(smoke_report.target):
+                assert (
+                    recommended.simulated.total_cost
+                    <= outcome.simulated.total_cost
+                )
+
+    def test_every_candidate_has_an_outcome(self, smoke_report):
+        assert len(smoke_report.outcomes) == len(SMALL_GRID)
+        for outcome in smoke_report.outcomes:
+            assert outcome.decision.bound is not None
+            if outcome.decision.admitted:
+                assert outcome.simulated is not None
+            else:
+                assert outcome.decision.prune_reason is not None
+
+    def test_frontier_is_simulated_and_non_dominated(self, smoke_report):
+        evidence = {
+            o.key: o.simulated
+            for o in smoke_report.outcomes
+            if o.simulated is not None
+        }
+        for key in smoke_report.frontier:
+            assert key in evidence
+        for key in smoke_report.frontier:
+            for other_key, other in evidence.items():
+                if other_key == key:
+                    continue
+                mine = evidence[key]
+                strictly_better = (
+                    other.total_cost <= mine.total_cost
+                    and other.attainment >= mine.attainment
+                    and (
+                        other.total_cost < mine.total_cost
+                        or other.attainment > mine.attainment
+                    )
+                )
+                assert not strictly_better
+
+    def test_recommended_config_serialises_versioned(self, smoke_report):
+        payload = smoke_report.to_dict()
+        assert payload["version"] == PLAN_SCHEMA_VERSION
+        config_payload = payload["recommended"]["config"]
+        config = ExperimentConfig.from_dict(config_payload)
+        assert config.n_nodes == (
+            smoke_report.recommended_outcome.decision.candidate.n_nodes
+        )
+
+    def test_report_json_round_trips(self, smoke_report):
+        payload = json.loads(json.dumps(smoke_report.to_dict()))
+        assert payload["simulated"] == smoke_report.simulated_count
+        assert payload["prune_ratio"] == round(smoke_report.prune_ratio, 4)
+        assert [c["key"] for c in payload["candidates"]] == [
+            o.key for o in smoke_report.outcomes
+        ]
+
+    def test_describe_renders_prunes_and_recommendation(self, smoke_report):
+        text = smoke_report.describe()
+        assert "Pareto frontier" in text
+        assert "recommended:" in text
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ConfigurationError, match="target"):
+            plan("smoke", target=0.0)
+
+    def test_invalid_grid_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="grid"):
+            plan("smoke", grid=42)
+
+    def test_grid_dict_is_accepted(self):
+        report = plan(
+            "smoke",
+            grid={"n_nodes": [2], "procurement": ["on_demand_only"]},
+            target=0.99,
+            jobs=1,
+        )
+        assert len(report.outcomes) == 1
+
+    def test_no_feasible_candidate_yields_none(self):
+        # molecule on a single node collapses under the smoke load.
+        report = plan(
+            "smoke",
+            grid={
+                "n_nodes": [1],
+                "procurement": ["on_demand_only"],
+                "schemes": ["molecule"],
+            },
+            target=0.99,
+            jobs=1,
+        )
+        assert report.recommended is None
+        assert report.recommended_outcome is None
+        assert "no candidate met the target" in report.describe()
+
+
+class TestParetoFrontier:
+    def test_keeps_non_dominated_points(self):
+        frontier = pareto_frontier(
+            [
+                ("cheap_bad", 1.0, 0.50),
+                ("mid", 2.0, 0.90),
+                ("dominated", 3.0, 0.80),
+                ("dear_good", 4.0, 0.99),
+            ]
+        )
+        assert frontier == ("cheap_bad", "mid", "dear_good")
+
+    def test_ties_are_kept_and_ordered_deterministically(self):
+        frontier = pareto_frontier(
+            [("b", 1.0, 0.9), ("a", 1.0, 0.9)]
+        )
+        assert frontier == ("a", "b")
+
+    def test_empty_input(self):
+        assert pareto_frontier([]) == ()

@@ -1,0 +1,166 @@
+"""Tests for the analytic pre-screen (stage one of the planner)."""
+
+import pytest
+
+from repro.capacity import (
+    PRUNE_DOMINATED,
+    PRUNE_INFEASIBLE,
+    CandidateGrid,
+    PLAN_PRESETS,
+    analytic_bound,
+    estimate_hourly_cost,
+    screen_candidates,
+)
+from repro.cluster.pricing import DEFAULT_PRICING, VMTier
+from repro.errors import ConfigurationError
+
+
+def _candidates(workload="smoke", **grid_kwargs):
+    grid_kwargs.setdefault("procurement", ("on_demand_only",))
+    grid = CandidateGrid(**grid_kwargs)
+    return grid.candidates(PLAN_PRESETS[workload])
+
+
+class TestAnalyticBound:
+    def test_lower_never_exceeds_upper(self):
+        for candidate in _candidates(
+            n_nodes=(1, 2, 4, 8), procurement=("on_demand_only", "spot_only")
+        ):
+            bound = analytic_bound(candidate)
+            assert 0.0 <= bound.attainment_lower <= bound.attainment_upper <= 1.0
+
+    def test_bounds_are_monotone_in_cluster_size(self):
+        bounds = [
+            analytic_bound(c) for c in _candidates(n_nodes=(1, 2, 4, 8, 16))
+        ]
+        uppers = [b.attainment_upper for b in bounds]
+        lowers = [b.attainment_lower for b in bounds]
+        assert uppers == sorted(uppers)
+        assert lowers == sorted(lowers)
+
+    def test_utilization_halves_when_nodes_double(self):
+        two, four = (
+            analytic_bound(c) for c in _candidates(n_nodes=(2, 4))
+        )
+        assert two.utilization == pytest.approx(2 * four.utilization)
+
+    def test_spot_discount_lowers_the_conservative_bound(self):
+        # The wiki preset runs at moderate availability, so spot_only
+        # procurement must pay a revocation penalty on the lower bound.
+        grid = CandidateGrid(
+            n_nodes=(16,), procurement=("on_demand_only", "spot_only")
+        )
+        on_demand, spot = (
+            analytic_bound(c) for c in grid.candidates(PLAN_PRESETS["wiki"])
+        )
+        assert spot.attainment_lower < on_demand.attainment_lower
+        assert spot.est_hourly_cost < on_demand.est_hourly_cost
+
+    def test_overloaded_candidate_upper_is_served_fraction(self):
+        # Enough load that even the margin-inflated ideal pool saturates
+        # on the strict stream alone.
+        import dataclasses
+
+        spec = dataclasses.replace(
+            PLAN_PRESETS["smoke"], name="heavy", offered_load=4.0
+        )
+        grid = CandidateGrid(n_nodes=(1,), procurement=("on_demand_only",))
+        (candidate,) = grid.candidates(spec)
+        bound = analytic_bound(candidate)
+        assert bound.attainment_upper < 1.0
+
+    def test_negative_margin_rejected(self):
+        (candidate,) = _candidates(n_nodes=(2,))
+        with pytest.raises(ConfigurationError, match="margin"):
+            analytic_bound(candidate, margin=-0.1)
+
+    def test_to_dict_is_json_safe(self):
+        (candidate,) = _candidates(n_nodes=(2,))
+        payload = analytic_bound(candidate).to_dict()
+        assert set(payload) == {
+            "utilization",
+            "attainment_upper",
+            "attainment_lower",
+            "est_hourly_cost",
+        }
+
+
+class TestEstimateHourlyCost:
+    def test_on_demand_cost_scales_with_nodes(self):
+        two, four = _candidates(n_nodes=(2, 4))
+        assert estimate_hourly_cost(four) == pytest.approx(
+            2 * estimate_hourly_cost(two)
+        )
+
+    def test_procurement_cost_ordering(self):
+        grid = CandidateGrid(n_nodes=(4,))
+        on_demand, hybrid, spot = (
+            estimate_hourly_cost(c)
+            for c in grid.candidates(PLAN_PRESETS["wiki"])
+        )
+        assert spot < hybrid < on_demand
+
+    def test_on_demand_matches_pricing_table(self):
+        (candidate,) = _candidates(n_nodes=(2,))
+        expected = 2 * DEFAULT_PRICING.per_gpu_hourly(VMTier.ON_DEMAND)
+        assert estimate_hourly_cost(candidate) == pytest.approx(expected)
+
+
+class TestScreenCandidates:
+    def test_decisions_preserve_input_order(self):
+        candidates = _candidates(n_nodes=(2, 4, 6))
+        decisions = screen_candidates(candidates, target=0.99)
+        assert [d.candidate.key for d in decisions] == [
+            c.key for c in candidates
+        ]
+
+    def test_dominated_candidates_name_their_dominator(self):
+        decisions = screen_candidates(
+            _candidates(n_nodes=(2, 4, 6, 8, 12)), target=0.99
+        )
+        by_key = {d.candidate.key: d for d in decisions}
+        dominated = [
+            d for d in decisions if d.prune_reason == PRUNE_DOMINATED
+        ]
+        assert dominated, "expected domination pruning on the default sizes"
+        for decision in dominated:
+            dominator_key = decision.detail.split(" already clears")[0]
+            dominator = by_key[dominator_key]
+            assert dominator.admitted
+            assert (
+                dominator.candidate.n_nodes < decision.candidate.n_nodes
+            )
+            assert dominator.bound.attainment_lower >= 0.99
+
+    def test_infeasible_pruning_requires_upper_below_target(self):
+        import dataclasses
+
+        spec = dataclasses.replace(
+            PLAN_PRESETS["smoke"], name="heavy", offered_load=4.0
+        )
+        grid = CandidateGrid(
+            n_nodes=(1, 2), procurement=("on_demand_only",)
+        )
+        decisions = screen_candidates(grid.candidates(spec), target=0.99)
+        assert decisions[0].prune_reason == PRUNE_INFEASIBLE
+        assert decisions[0].bound.attainment_upper < 0.99
+
+    def test_zero_margin_prunes_at_least_as_much_as_default(self):
+        candidates = _candidates(n_nodes=(2, 4, 6, 8, 12))
+        pruned_default = sum(
+            1
+            for d in screen_candidates(candidates, target=0.99)
+            if not d.admitted
+        )
+        pruned_tight = sum(
+            1
+            for d in screen_candidates(candidates, target=0.99, margin=0.0)
+            if not d.admitted
+        )
+        assert pruned_tight >= pruned_default
+
+    def test_invalid_target_rejected(self):
+        candidates = _candidates(n_nodes=(2,))
+        for target in (0.0, 1.5, -1.0):
+            with pytest.raises(ConfigurationError, match="target"):
+                screen_candidates(candidates, target=target)

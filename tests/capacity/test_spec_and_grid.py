@@ -1,0 +1,160 @@
+"""Tests for WorkloadSpec and CandidateGrid (the planner's inputs)."""
+
+import dataclasses
+
+import pytest
+
+from repro.capacity import (
+    DEFAULT_NODE_COUNTS,
+    PLAN_PRESETS,
+    PROCUREMENT_MODES,
+    CandidateGrid,
+    WorkloadSpec,
+    resolve_workload,
+    sweepable_knobs,
+)
+from repro.errors import ConfigurationError
+
+
+class TestWorkloadSpec:
+    def test_rate_is_fixed_across_cluster_sizes(self):
+        # The planner's core premise: one workload, many clusters. The
+        # absolute request rate must not change with n_nodes the way
+        # offered_load-driven configs do.
+        spec = PLAN_PRESETS["smoke"]
+        rates = {
+            spec.to_config(n_nodes=n).request_rate() for n in (1, 2, 4, 8)
+        }
+        assert len(rates) == 1
+
+    def test_rate_matches_offered_load_at_reference_nodes(self):
+        spec = PLAN_PRESETS["smoke"]
+        reference = dataclasses.replace(spec, rate=None)
+        config = reference.to_config(n_nodes=spec.reference_nodes)
+        assert config.request_rate() == pytest.approx(
+            spec.resolved_rate() * spec.scale
+        )
+
+    def test_explicit_rate_wins(self):
+        spec = WorkloadSpec(rate=500.0)
+        assert spec.resolved_rate() == 500.0
+        assert spec.to_config(n_nodes=3).rate == 500.0
+
+    def test_round_trips_through_dict(self):
+        spec = PLAN_PRESETS["twitter"]
+        assert WorkloadSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_keys(self):
+        payload = PLAN_PRESETS["smoke"].to_dict()
+        payload["gpu_flavor"] = "b200"
+        with pytest.raises(ConfigurationError, match="unknown workload field"):
+            WorkloadSpec.from_dict(payload)
+
+    def test_invalid_strict_fraction_rejected(self):
+        with pytest.raises(ConfigurationError, match="strict_fraction"):
+            WorkloadSpec(strict_fraction=0.0)
+
+    def test_invalid_model_rejected_at_construction(self):
+        # WorkloadSpec delegates model validation to ExperimentConfig,
+        # which surfaces the registry's own error type.
+        from repro.errors import UnknownModelError
+
+        with pytest.raises(UnknownModelError):
+            WorkloadSpec(strict_model="not_a_model")
+
+    def test_resolve_workload_accepts_preset_dict_and_spec(self):
+        spec = PLAN_PRESETS["wiki"]
+        assert resolve_workload("wiki") == spec
+        assert resolve_workload(spec) is spec
+        assert resolve_workload(spec.to_dict()) == spec
+
+    def test_resolve_workload_rejects_unknown_preset(self):
+        with pytest.raises(ConfigurationError, match="unknown workload preset"):
+            resolve_workload("narnia")
+
+    def test_resolve_workload_rejects_wrong_type(self):
+        with pytest.raises(ConfigurationError, match="must be a WorkloadSpec"):
+            resolve_workload(42)
+
+
+class TestCandidateGrid:
+    def test_default_grid_shape(self):
+        grid = CandidateGrid()
+        assert grid.n_nodes == DEFAULT_NODE_COUNTS
+        assert grid.procurement == PROCUREMENT_MODES
+        assert len(grid) == len(DEFAULT_NODE_COUNTS) * len(PROCUREMENT_MODES)
+
+    def test_candidates_cross_product_and_stable_keys(self):
+        grid = CandidateGrid(
+            n_nodes=(2, 4),
+            procurement=("on_demand_only",),
+            schemes=("protean", "molecule"),
+        )
+        candidates = grid.candidates(PLAN_PRESETS["smoke"])
+        assert [c.key for c in candidates] == [
+            "protean/on_demand_only/n2",
+            "protean/on_demand_only/n4",
+            "molecule/on_demand_only/n2",
+            "molecule/on_demand_only/n4",
+        ]
+        assert all(c.config.n_nodes == c.n_nodes for c in candidates)
+        assert len(candidates) == len(grid)
+
+    def test_knobs_expand_and_reach_the_config(self):
+        grid = CandidateGrid(
+            n_nodes=(2,),
+            procurement=("on_demand_only",),
+            knobs={"prewarm_containers": (0, 2)},
+        )
+        candidates = grid.candidates(PLAN_PRESETS["smoke"])
+        assert [c.key for c in candidates] == [
+            "protean/on_demand_only/n2/prewarm_containers=0",
+            "protean/on_demand_only/n2/prewarm_containers=2",
+        ]
+        assert [c.config.prewarm_containers for c in candidates] == [0, 2]
+
+    def test_scheme_aliases_canonicalise(self):
+        grid = CandidateGrid(schemes=("infless",))
+        assert grid.schemes == ("infless_llama",)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CandidateGrid(schemes=("skynet",))
+
+    def test_oracle_rejected_as_unplannable(self):
+        with pytest.raises(ConfigurationError, match="oracle"):
+            CandidateGrid(schemes=("oracle",))
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown planner knob"):
+            CandidateGrid(knobs={"warp_factor": (9,)})
+
+    def test_reserved_fields_are_not_sweepable(self):
+        knobs = sweepable_knobs()
+        for reserved in ("n_nodes", "trace", "rate", "seed", "procurement"):
+            assert reserved not in knobs
+        assert "prewarm_containers" in knobs
+
+    def test_unknown_procurement_rejected(self):
+        with pytest.raises(ConfigurationError, match="procurement"):
+            CandidateGrid(procurement=("barter",))
+
+    def test_bad_node_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CandidateGrid(n_nodes=())
+        with pytest.raises(ConfigurationError):
+            CandidateGrid(n_nodes=(0,))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            CandidateGrid(n_nodes=(2, 2))
+
+    def test_round_trips_through_dict(self):
+        grid = CandidateGrid(
+            n_nodes=(2, 4),
+            schemes=("protean", "molecule"),
+            knobs={"prewarm_containers": (0, 1)},
+        )
+        assert CandidateGrid.from_dict(grid.to_dict()) == grid
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown grid field"):
+            CandidateGrid.from_dict({"n_nodes": [2], "warp": 9})

@@ -9,7 +9,10 @@ from repro.cluster import (
     CostMeter,
     ProviderPricing,
     VMTier,
+    cost_per_1k_requests,
     get_provider,
+    per_scheme_summary,
+    pricing_table_rows,
 )
 from repro.errors import ClusterError
 
@@ -77,6 +80,78 @@ class TestCostMeter:
         meter = CostMeter(AWS)
         assert meter.total_cost == 0.0
         assert meter.savings_fraction == 0.0
+
+    def test_summary_json_export(self):
+        import json
+
+        meter = CostMeter(AWS)
+        meter.charge(VMTier.SPOT, 1800.0)
+        meter.charge(VMTier.ON_DEMAND, 3600.0)
+        summary = meter.summary()
+        json.dumps(summary)  # JSON-safe by construction
+        assert summary["provider"] == "AWS"
+        assert summary["spot_seconds"] == 1800.0
+        assert summary["on_demand_seconds"] == 3600.0
+        assert summary["total_cost"] == pytest.approx(meter.total_cost)
+        assert summary["on_demand_cost"] + summary["spot_cost"] == pytest.approx(
+            meter.total_cost
+        )
+        assert summary["savings_fraction"] == pytest.approx(
+            meter.savings_fraction
+        )
+
+
+class TestSharedCostPath:
+    """tab03 / fig09 / the capacity planner all read one code path."""
+
+    def test_table3_rows_pin_paper_numbers(self):
+        # Table 3's published savings columns, via the shared function.
+        rows = {row["provider"]: row for row in pricing_table_rows()}
+        assert rows["AWS"]["savings_%"] == pytest.approx(69.99, abs=0.05)
+        assert rows["Microsoft Azure"]["savings_%"] == pytest.approx(
+            45.01, abs=0.05
+        )
+        assert rows["Google Cloud"]["savings_%"] == pytest.approx(
+            70.70, abs=0.05
+        )
+        assert rows["AWS"]["on_demand_$per_h"] == pytest.approx(32.7726)
+        assert rows["AWS"]["spot_$per_h"] == pytest.approx(9.8318)
+
+    def test_tab03_figure_uses_shared_rows(self):
+        from repro.experiments.figures import tab03_pricing
+
+        assert tab03_pricing.run(quick=True).rows == pricing_table_rows()
+
+    def test_provider_to_dict(self):
+        payload = AWS.to_dict()
+        assert payload["provider"] == "AWS"
+        assert payload["savings_fraction"] == pytest.approx(AWS.savings_fraction)
+
+    def test_cost_per_1k_requests(self):
+        assert cost_per_1k_requests(2.0, 4000) == pytest.approx(0.5)
+        assert cost_per_1k_requests(0.0, 0) == 0.0
+        assert cost_per_1k_requests(1.0, 0) == float("inf")
+        with pytest.raises(ClusterError):
+            cost_per_1k_requests(-1.0, 10)
+        with pytest.raises(ClusterError):
+            cost_per_1k_requests(1.0, -10)
+
+    def test_per_scheme_summary_rows(self):
+        class FakeSummary:
+            total_cost = 0.5
+            cost_savings_fraction = 0.7
+            requests_served = 2000
+
+        rows = per_scheme_summary({"protean": FakeSummary()})
+        assert rows == [
+            {
+                "scheme": "protean",
+                "cost_$": 0.5,
+                "savings_%": 70.0,
+                "cost_$per_1k_requests": 0.25,
+                "requests_served": 2000,
+            }
+        ]
 
     def test_negative_charge_rejected(self):
         with pytest.raises(ClusterError):

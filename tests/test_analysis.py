@@ -12,7 +12,9 @@ import pytest
 
 from repro.analysis import (
     consolidation_breakeven,
+    erlang_c,
     mg1,
+    mmc,
     mps_effective_capacity,
 )
 from repro.errors import SchedulingError
@@ -52,6 +54,70 @@ class TestMG1Theory:
             mg1(0.5, 0.0)
         with pytest.raises(SchedulingError):
             mg1(0.5, 1.0).response_percentile(1.5)
+
+
+class TestMMCTheory:
+    def test_erlang_c_known_value(self):
+        # Textbook: c=2, a=1 (rho=0.5) → B = 1/5, C = 1/3.
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_single_server_reduces_to_mm1(self):
+        mm1 = mg1(0.5, 1.0, service_scv=1.0)
+        multi = mmc(0.5, 1.0, servers=1)
+        assert multi.utilization == pytest.approx(mm1.utilization)
+        assert multi.wait_probability == pytest.approx(0.5)  # C = rho
+        assert multi.mean_wait == pytest.approx(mm1.mean_wait)
+        assert multi.mean_response == pytest.approx(mm1.mean_response)
+
+    def test_two_servers_known_values(self):
+        # lambda=1, s=1, c=2: C = 1/3, W_q = C·s/(c−a) = 1/3.
+        prediction = mmc(1.0, 1.0, servers=2)
+        assert prediction.utilization == pytest.approx(0.5)
+        assert prediction.wait_probability == pytest.approx(1.0 / 3.0)
+        assert prediction.mean_wait == pytest.approx(1.0 / 3.0)
+        assert prediction.mean_response == pytest.approx(4.0 / 3.0)
+
+    def test_pooling_beats_split_queues(self):
+        # A shared c=4 pool waits less than one M/M/1 at the same rho.
+        pooled = mmc(3.2, 1.0, servers=4)
+        split = mg1(0.8, 1.0, service_scv=1.0)
+        assert pooled.utilization == pytest.approx(split.utilization)
+        assert pooled.mean_wait < split.mean_wait
+
+    def test_saturation_is_infinite(self):
+        prediction = mmc(2.0, 1.0, servers=2)
+        assert math.isinf(prediction.mean_wait)
+        assert prediction.wait_tail(10.0) == 1.0
+        assert math.isinf(prediction.response_percentile(0.99))
+
+    def test_wait_tail_is_a_survival_function(self):
+        prediction = mmc(3.0, 1.0, servers=4)
+        assert prediction.wait_tail(0.0) == pytest.approx(
+            prediction.wait_probability
+        )
+        assert prediction.wait_tail(1.0) > prediction.wait_tail(5.0) > 0.0
+
+    def test_percentiles_monotone(self):
+        prediction = mmc(6.0, 0.5, servers=4)  # rho = 0.75
+        p50 = prediction.response_percentile(0.50)
+        p90 = prediction.response_percentile(0.90)
+        p99 = prediction.response_percentile(0.99)
+        assert p50 <= p90 < p99
+        assert p50 >= 0.5  # never below the service time
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            mmc(-1.0, 1.0, servers=2)
+        with pytest.raises(SchedulingError):
+            mmc(0.5, 0.0, servers=2)
+        with pytest.raises(SchedulingError):
+            mmc(0.5, 1.0, servers=0)
+        with pytest.raises(SchedulingError):
+            erlang_c(0, 1.0)
+        with pytest.raises(SchedulingError):
+            mmc(1.0, 1.0, servers=2).wait_tail(-1.0)
+        with pytest.raises(SchedulingError):
+            mmc(1.0, 1.0, servers=2).response_percentile(0.0)
 
 
 class TestMpsCapacity:
@@ -106,6 +172,122 @@ class TestTheoryVsSimulator:
         sim.run()
         # Discard the transient.
         return float(np.mean(waits[500:]))
+
+    def _simulate_replica_pool(
+        self, arrival_rate, service_mean, replicas, seed=0, jobs=3000
+    ):
+        """Poisson arrivals into ``replicas`` TIME_SHARE slices behind one
+        shared FIFO dispatch queue — the multi-replica time-sharing shape
+        the capacity planner models as M/M/c (exponential service)."""
+        from collections import deque
+
+        from repro.gpu.engine import GPUSlice, ShareMode, SliceJob
+        from repro.gpu.mig import profile
+        from repro.simulation import Simulator
+
+        sim = Simulator(seed)
+        slices = [
+            GPUSlice(sim, profile("7g"), ShareMode.TIME_SHARE)
+            for _ in range(replicas)
+        ]
+        idle = deque(range(replicas))
+        queue = deque()
+        rng = np.random.default_rng(seed)
+        waits = []
+
+        def dispatch(index, work, submitted_at):
+            def on_complete(job, timing):
+                # Wait = time in the shared queue plus any in-slice delay
+                # (zero here: a slice only ever holds one job).
+                waits.append(timing.finished_at - submitted_at - timing.execution_time)
+                if queue:
+                    dispatch(index, *queue.popleft())
+                else:
+                    idle.append(index)
+
+            slices[index].submit(
+                SliceJob(
+                    work=work,
+                    rdf=1.0,
+                    fbr=0.0,
+                    memory_gb=0.0,
+                    on_complete=on_complete,
+                )
+            )
+
+        def arrive(work):
+            if idle:
+                dispatch(idle.popleft(), work, sim.now)
+            else:
+                queue.append((work, sim.now))
+
+        t = 0.0
+        for _ in range(jobs):
+            t += rng.exponential(1.0 / arrival_rate)
+            work = rng.exponential(service_mean)
+            sim.at(t, lambda w=work: arrive(w))
+        sim.run()
+        return float(np.mean(waits[500:]))
+
+    @pytest.mark.parametrize("replicas,rho", [(2, 0.6), (4, 0.8)])
+    def test_mmc_mean_wait_matches_replica_pool(self, replicas, rho):
+        service = 0.1
+        arrival = rho * replicas / service
+        predicted = mmc(arrival, service, servers=replicas).mean_wait
+        simulated = self._simulate_replica_pool(arrival, service, replicas)
+        assert simulated == pytest.approx(predicted, rel=0.25)
+
+    def test_mmc_wait_probability_matches_replica_pool(self):
+        # With 2 replicas at rho=0.5, a third of arrivals should queue.
+        from collections import deque
+
+        from repro.gpu.engine import GPUSlice, ShareMode, SliceJob
+        from repro.gpu.mig import profile
+        from repro.simulation import Simulator
+
+        replicas, service, arrival = 2, 0.1, 10.0
+        sim = Simulator(1)
+        slices = [
+            GPUSlice(sim, profile("7g"), ShareMode.TIME_SHARE)
+            for _ in range(replicas)
+        ]
+        idle = deque(range(replicas))
+        queue = deque()
+        rng = np.random.default_rng(1)
+        delayed = []
+
+        def dispatch(index, work):
+            def on_complete(job, timing):
+                if queue:
+                    dispatch(index, queue.popleft())
+                else:
+                    idle.append(index)
+
+            slices[index].submit(
+                SliceJob(
+                    work=work,
+                    rdf=1.0,
+                    fbr=0.0,
+                    memory_gb=0.0,
+                    on_complete=on_complete,
+                )
+            )
+
+        def arrive(work):
+            delayed.append(not idle)
+            if idle:
+                dispatch(idle.popleft(), work)
+            else:
+                queue.append(work)
+
+        t = 0.0
+        for _ in range(4000):
+            t += rng.exponential(1.0 / arrival)
+            work = rng.exponential(service)
+            sim.at(t, lambda w=work: arrive(w))
+        sim.run()
+        predicted = mmc(arrival, service, servers=replicas).wait_probability
+        assert float(np.mean(delayed[500:])) == pytest.approx(predicted, abs=0.06)
 
     @pytest.mark.parametrize("rho", [0.4, 0.6, 0.8])
     def test_md1_mean_wait_matches_simulation(self, rho):

@@ -39,6 +39,32 @@ PUBLIC_API = {
         "run_scheme",
         "scheme_names",
     ],
+    "repro.capacity": [
+        "AnalyticBound",
+        "Candidate",
+        "CandidateGrid",
+        "CandidateOutcome",
+        "DEFAULT_MARGIN",
+        "DEFAULT_NODE_COUNTS",
+        "DEFAULT_TARGET",
+        "PLAN_PRESETS",
+        "PLAN_SCHEMA_VERSION",
+        "PROCUREMENT_MODES",
+        "PRUNE_DOMINATED",
+        "PRUNE_INFEASIBLE",
+        "PlanReport",
+        "ScreenDecision",
+        "SimulationEvidence",
+        "WorkloadSpec",
+        "analytic_bound",
+        "estimate_hourly_cost",
+        "pareto_frontier",
+        "plan",
+        "resolve_workload",
+        "screen_candidates",
+        "simulated_optimum",
+        "sweepable_knobs",
+    ],
     "repro.faults": [
         "DEFAULT_FAULT_NAMES",
         "DEFAULT_RECOVERY_NAME",

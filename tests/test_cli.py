@@ -226,3 +226,95 @@ def test_parser_rejects_unknown_scheme():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_plan_command_smoke(tmp_path, capsys):
+    out = tmp_path / "plan.json"
+    code = main(
+        [
+            "plan",
+            "smoke",
+            "--nodes",
+            "2",
+            "4",
+            "--procurement",
+            "on_demand_only",
+            "--json",
+            str(out),
+            "--jobs",
+            "1",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "Pareto frontier" in output
+    assert "recommended:" in output
+    import json
+
+    payload = json.loads(out.read_text())
+    assert payload["version"] == 1
+    assert payload["recommended"]["key"].startswith("protean/")
+    assert payload["recommended"]["evidence"]["attainment"] >= 0.99
+    assert len(payload["candidates"]) == 2
+
+
+def test_plan_command_workload_file(tmp_path, capsys):
+    import json
+
+    from repro.capacity import PLAN_PRESETS
+
+    spec = tmp_path / "workload.json"
+    spec.write_text(json.dumps(PLAN_PRESETS["smoke"].to_dict()))
+    code = main(
+        [
+            "plan",
+            str(spec),
+            "--nodes",
+            "4",
+            "--procurement",
+            "hybrid",
+            "--jobs",
+            "1",
+        ]
+    )
+    assert code == 0
+    assert "protean/hybrid/n4" in capsys.readouterr().out
+
+
+def test_plan_command_unknown_workload(capsys):
+    assert main(["plan", "atlantis"]) == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_plan_command_grid_conflicts_with_inline_flags(tmp_path, capsys):
+    grid = tmp_path / "grid.json"
+    grid.write_text('{"n_nodes": [2]}')
+    code = main(["plan", "smoke", "--grid", str(grid), "--nodes", "4"])
+    assert code == 2
+    assert "exclusive" in capsys.readouterr().err
+
+
+def test_plan_command_exit_one_when_nothing_feasible(capsys):
+    code = main(
+        [
+            "plan",
+            "smoke",
+            "--nodes",
+            "1",
+            "--procurement",
+            "on_demand_only",
+            "--schemes",
+            "molecule",
+            "--jobs",
+            "1",
+        ]
+    )
+    assert code == 1
+    assert "no candidate met the target" in capsys.readouterr().out
+
+
+def test_plan_command_rejects_bad_grid_file(tmp_path, capsys):
+    grid = tmp_path / "grid.json"
+    grid.write_text('{"warp_factor": [9]}')
+    assert main(["plan", "smoke", "--grid", str(grid)]) == 2
+    assert "unknown grid field" in capsys.readouterr().err
