@@ -3,7 +3,7 @@
 The :class:`Auditor` attaches to a live platform through the same cheap
 observer hooks the observability stack uses (``request_observers``,
 ``completion_observers``) plus one periodic sweep event, and verifies the
-five invariant groups of :data:`~repro.audit.violations.CHECK_GROUPS`:
+six invariant groups of :data:`~repro.audit.violations.CHECK_GROUPS`:
 
 1. **request** — every admitted request completes *exactly once*; none
    are stranded at drain (outstanding requests must be locatable in a
@@ -18,6 +18,13 @@ five invariant groups of :data:`~repro.audit.violations.CHECK_GROUPS`:
 5. **spot** — VM and node lifecycles agree: terminated VMs have retired
    nodes, eviction notices imply draining, retired nodes are detached
    from the dispatcher.
+6. **tenant** — tenancy contracts hold (only when the run declares
+   tenants): every admitted request carries a registered tenant id, no
+   tenant's in-flight concurrency exceeds its quota while admission
+   enforcement is on, and exclusive tenants are never co-located on a
+   GPU slice with another tenant's work. The auditor keeps its *own*
+   per-tenant in-flight ledger from the observer hooks, independent of
+   the admission controller it is checking.
 
 The auditor mutates nothing and draws no RNG, so an audited run produces
 bit-identical metrics to an unaudited one (the sweep events shift event
@@ -81,6 +88,9 @@ class Auditor:
         self.violations: list[AuditViolation] = []
         self._admitted: set[int] = set()
         self._completions: dict[int, int] = {}
+        #: Independent per-tenant in-flight ledger (admits − completions);
+        #: populated only when the platform runs with tenancy.
+        self._tenant_in_flight: dict[str, int] = {}
         self._sweeps = 0
         self._last_now = sim.now
         self._last_events = sim.events_processed
@@ -138,6 +148,19 @@ class Auditor:
                 subject=f"request{rid}",
             )
         self._admitted.add(rid)
+        tenancy = self.platform.tenancy
+        if tenancy is not None:
+            tenant_id = request.tenant
+            if tenant_id not in tenancy.tenant_set:
+                self._violate(
+                    "tenant.unregistered",
+                    f"admitted request carries unregistered tenant "
+                    f"{tenant_id!r} (registered: "
+                    f"{list(tenancy.tenant_set.ids)})",
+                    subject=f"request{rid}",
+                )
+            ledger = self._tenant_in_flight
+            ledger[tenant_id] = ledger.get(tenant_id, 0) + 1
 
     def _on_completion(self, batch: RequestBatch, timing: "JobTiming") -> None:
         completions = self._completions
@@ -159,6 +182,10 @@ class Auditor:
                     f"(batch{batch.batch_id})",
                     subject=f"request{rid}",
                 )
+        if self.platform.tenancy is not None:
+            ledger = self._tenant_in_flight
+            for request in batch.requests:
+                ledger[request.tenant] = ledger.get(request.tenant, 0) - 1
         owner = self._owner_of(timing.slice_name)
         if owner is not None and owner.vm.state is VMState.TERMINATED:
             self._violate(
@@ -185,6 +212,46 @@ class Auditor:
         for node in self.platform.all_nodes:
             self._check_gpu(node)
             self._check_lifecycle(node)
+        if self.platform.tenancy is not None:
+            self._check_tenancy()
+
+    def _check_tenancy(self) -> None:
+        tenancy = self.platform.tenancy
+        if tenancy.spec.admission:
+            # Quotas are an admission contract; without enforcement a
+            # tenant exceeding its nominal quota is expected, not a bug.
+            for tenant in tenancy.tenant_set:
+                if tenant.quota is None:
+                    continue
+                in_flight = self._tenant_in_flight.get(tenant.tenant_id, 0)
+                if in_flight > tenant.quota:
+                    self._violate(
+                        "tenant.quota_exceeded",
+                        f"{in_flight} requests in flight against a quota "
+                        f"of {tenant.quota}",
+                        subject=tenant.tenant_id,
+                    )
+        exclusive = {
+            t.tenant_id for t in tenancy.tenant_set if t.exclusive
+        }
+        if not exclusive:
+            return
+        for node in self.platform.all_nodes:
+            for gpu_slice in node.gpu.slices:
+                resident: set[str] = set()
+                for job in gpu_slice.running_jobs + gpu_slice.pending_jobs:
+                    payload = job.payload
+                    tenant_id = getattr(payload, "tenant", None)
+                    if tenant_id is not None:
+                        resident.add(tenant_id)
+                if len(resident) > 1 and resident & exclusive:
+                    self._violate(
+                        "tenant.exclusive_colocation",
+                        f"exclusive tenant(s) "
+                        f"{sorted(resident & exclusive)} share the slice "
+                        f"with {sorted(resident - exclusive) or sorted(resident)}",
+                        subject=gpu_slice.name,
+                    )
 
     def _check_clock(self) -> None:
         now = self.sim.now

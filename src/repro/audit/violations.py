@@ -19,6 +19,7 @@ CHECK_GROUPS = (
     "geometry",  # MIG geometry legality and reconfiguration quiescence
     "clock",     # monotonic time, no activity on tombstoned entities
     "spot",      # VM/node lifecycle agreement under eviction/crash
+    "tenant",    # tenancy contracts: quotas, registration, exclusivity
 )
 
 

@@ -12,6 +12,7 @@ Usage::
     python -m repro audit fig9 --fault-demo --schemes protean
     python -m repro plan wiki --target 0.99 --jobs 4
     python -m repro plan smoke --json plan.json
+    python -m repro tenants noisy-neighbour --json
     python -m repro models
 """
 
@@ -419,6 +420,35 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0 if report.recommended is not None else 1
 
 
+def _cmd_tenants(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.tenancy.scenarios import run_tenancy_scenario
+
+    try:
+        scheme = canonical_name(args.scheme)
+        result = run_tenancy_scenario(
+            args.scenario,
+            scheme=scheme,
+            seed=args.seed,
+            jobs=_cli_jobs(args),
+        )
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json is not None:
+        payload = json.dumps(result.to_dict(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote {args.json}")
+    else:
+        print(result.describe())
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     result = run_scheme(args.scheme, config)
@@ -468,6 +498,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_arg(everything)
     everything.set_defaults(func=_cmd_reproduce_all)
+
+    from repro.tenancy.scenarios import SCENARIOS
+
+    tenants = sub.add_parser(
+        "tenants",
+        help="run a multi-tenant scenario (noisy-neighbour, flash-crowd, "
+        "quota-exhaustion)",
+    )
+    tenants.add_argument("scenario", choices=list(SCENARIOS))
+    tenants.add_argument(
+        "--scheme", default="protean", choices=sorted(scheme_names())
+    )
+    tenants.add_argument("--seed", type=int, default=0)
+    tenants.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit JSON (to PATH, or stdout when no path given)",
+    )
+    _add_jobs_arg(tenants)
+    tenants.set_defaults(func=_cmd_tenants)
 
     run = sub.add_parser("run", help="run one scheme on one workload")
     run.add_argument(

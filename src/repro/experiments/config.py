@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan
+from repro.tenancy.model import TenancySpec
 from repro.workloads.profile import InterferenceCategory, ModelProfile
 from repro.workloads.registry import get_model, models_by_category, opposite_category
 from repro.workloads.scaling import scale_model, scale_models
@@ -91,6 +92,14 @@ class ExperimentConfig:
     #: collecting them into the run's AuditReport.
     audit_fail_fast: bool = False
 
+    #: Multi-tenancy (repro.tenancy). None — the default — runs the
+    #: platform single-tenant and bit-identical to pre-tenancy builds
+    #: (asserted by the default-path regression test). A TenancySpec
+    #: multiplexes the workload across its tenants, enforces per-tenant
+    #: admission quotas at the gateway, and orders batches tenant-fairly
+    #: on every node.
+    tenants: TenancySpec | None = None
+
     # Determinism
     seed: int = 0
 
@@ -117,6 +126,13 @@ class ExperimentConfig:
             raise ConfigurationError(
                 "fault_plan must be a repro.faults.FaultPlan (or None); "
                 f"got {type(self.fault_plan).__name__}"
+            )
+        if self.tenants is not None and not isinstance(
+            self.tenants, TenancySpec
+        ):
+            raise ConfigurationError(
+                "tenants must be a repro.tenancy.TenancySpec (or None); "
+                f"got {type(self.tenants).__name__}"
             )
 
     # ------------------------------------------------------------------
@@ -193,7 +209,7 @@ class ExperimentConfig:
             value = getattr(self, spec.name)
             if spec.name == "be_pool":
                 value = list(value) if value is not None else None
-            elif spec.name == "fault_plan":
+            elif spec.name in ("fault_plan", "tenants"):
                 value = value.to_dict() if value is not None else None
             payload[spec.name] = value
         return payload
@@ -227,4 +243,6 @@ class ExperimentConfig:
             data["be_pool"] = tuple(data["be_pool"])
         if data.get("fault_plan") is not None:
             data["fault_plan"] = FaultPlan.from_dict(data["fault_plan"])
+        if data.get("tenants") is not None:
+            data["tenants"] = TenancySpec.from_dict(data["tenants"])
         return cls(**data)

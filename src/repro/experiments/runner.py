@@ -27,6 +27,7 @@ from repro.metrics.latency import latency_cdf, p50, p99
 from repro.metrics.records import RecordCollector, RequestRecord
 from repro.metrics.slo import slo_compliance
 from repro.metrics.summary import RunSummary, partition_window
+from repro.metrics.tenancy import TenancyReport, tenancy_report
 from repro.observability.span import CATEGORY_RUN
 from repro.observability.telemetry import TelemetrySampler
 from repro.observability.tracer import NULL_TRACER, SimTracer, Tracer
@@ -39,6 +40,7 @@ from repro.serverless.platform import PlatformConfig, ServerlessPlatform
 from repro.serverless.scheme import Scheme
 from repro.simulation.identity import reset_run_ids
 from repro.simulation.simulator import Simulator
+from repro.tenancy.workload import TenantWorkload
 from repro.traces.base import arrival_times, constant_trace
 from repro.traces.mixing import (
     MixSpec,
@@ -76,6 +78,9 @@ class ExperimentResult:
     #: The run's conservation-audit report when ``config.audit`` is set
     #: (``None`` otherwise). Plain data; survives :meth:`detach`.
     audit: AuditReport | None = None
+    #: Per-tenant metrics when ``config.tenants`` is set (``None``
+    #: otherwise). Plain data; survives :meth:`detach`.
+    tenancy: TenancyReport | None = None
 
     def cdf(self, *, strict_only: bool = True, points: int = 200):
         """Latency CDF over the measured window (Figure 8)."""
@@ -115,6 +120,7 @@ class ExperimentResult:
             platform=None,
             tracer=trace,
             audit=self.audit,
+            tenancy=self.tenancy,
         )
 
 
@@ -141,6 +147,12 @@ def build_specs(config: ExperimentConfig) -> list[RequestSpec]:
         slo_multiplier=config.slo_multiplier,
     )
     specs = mix_requests(arrivals, mix, rng)
+    if config.tenants is not None:
+        # Multiplex before batch collapse so arrivals are aligned to
+        # *tenant-homogeneous* batch-formation instants (the batcher
+        # never mixes tenants in a batch). The default path takes no
+        # extra RNG draws, keeping it bit-identical to pre-tenancy runs.
+        specs = TenantWorkload(config.tenants).multiplex(specs, rng)
     if config.batched_arrivals:
         specs = collapse_to_batches(specs)
     return specs
@@ -225,6 +237,7 @@ def run_scheme(
             gpu_device=config.gpu_device,
         ),
         tracer=tracer,
+        tenancy=config.tenants,
     )
     market = SpotMarket(
         sim,
@@ -312,6 +325,17 @@ def run_scheme(
     if auditor is not None:
         result.audit = auditor.finalize()
         result.extras["audit_violations"] = len(result.audit.violations)
+    if config.tenants is not None:
+        # Extras keys and the report exist only when tenancy is active,
+        # so the default path's extras dict is unchanged bit for bit.
+        result.tenancy = tenancy_report(
+            config.tenants.tenant_set,
+            result.measured,
+            platform.collector.rejections,
+            total_cost=platform.meter.total_cost,
+        )
+        result.extras["tenant_rejections"] = platform.gateway.requests_rejected
+        result.extras["tenant_fairness"] = result.tenancy.fairness_index
     if tracer.enabled:
         result.tracer = tracer
     return result

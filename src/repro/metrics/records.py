@@ -36,6 +36,8 @@ class RequestRecord:
     exec_min: float
     deficiency: float
     interference: float
+    #: Owning tenant (the implicit "default" tenant when tenancy is off).
+    tenant: str = "default"
 
     @property
     def latency(self) -> float:
@@ -61,16 +63,42 @@ class RequestRecord:
         }
 
 
+@dataclass(frozen=True)
+class RejectionRecord:
+    """One request turned away at the gateway by tenant admission control.
+
+    Rejections are a terminal outcome distinct from drops: the platform
+    never accepted the request, so it does not count against request
+    conservation or SLO attainment — but per-tenant reporting surfaces it
+    (a tenant whose traffic is being shed should see that, not a
+    mysteriously low throughput).
+    """
+
+    tenant: str
+    model: str
+    strict: bool
+    arrival: float
+
+
 class RecordCollector:
     """Accumulates request records during a run and serves filtered views."""
 
     def __init__(self) -> None:
         self._records: list[RequestRecord] = []
+        self._rejections: list[RejectionRecord] = []
         self.dropped_requests = 0
 
     def add(self, record: RequestRecord) -> None:
         """Store one completed request's outcome."""
         self._records.append(record)
+
+    def add_rejection(self, record: RejectionRecord) -> None:
+        """Store one gateway rejection (tenant quota enforcement)."""
+        self._rejections.append(record)
+
+    @property
+    def rejections(self) -> tuple[RejectionRecord, ...]:
+        return tuple(self._rejections)
 
     def mark_dropped(self, count: int = 1) -> None:
         """Count requests lost (e.g. stranded on an evicted node and never
@@ -98,6 +126,10 @@ class RecordCollector:
     def for_model(self, model: str) -> list[RequestRecord]:
         """Records for one model name."""
         return [r for r in self._records if r.model == model]
+
+    def for_tenant(self, tenant: str) -> list[RequestRecord]:
+        """Records for one tenant id."""
+        return [r for r in self._records if r.tenant == tenant]
 
     def latencies(self, records: Iterable[RequestRecord] | None = None) -> np.ndarray:
         """Latency array over ``records`` (default: everything collected)."""

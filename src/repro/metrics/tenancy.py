@@ -1,0 +1,157 @@
+"""Per-tenant outcome metrics: attainment, fairness, and revenue.
+
+A multi-tenant run is only as good as its *worst-served paying tenant*:
+aggregate SLO compliance can look healthy while one tenant absorbs every
+violation. :func:`tenancy_report` slices the measured window per tenant
+and adds two cross-tenant aggregates:
+
+- **Jain's fairness index** over per-tenant strict SLO attainment —
+  ``(Σx)² / (n·Σx²)``, 1.0 when every tenant attains equally, → 1/n as
+  one tenant monopolises service;
+- **revenue-weighted cost** — the run's cluster cost divided by the
+  billing-weighted request volume, i.e. dollars spent per unit of revenue
+  earned. A platform can cut cost *and* lose money if the shed requests
+  were the premium tenant's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.metrics.latency import p50, p99
+from repro.metrics.records import RejectionRecord, RequestRecord
+from repro.metrics.slo import slo_compliance
+from repro.tenancy.model import TenantSet
+
+
+@dataclass(frozen=True)
+class TenantOutcome:
+    """The measured window's outcome for one tenant."""
+
+    tenant_id: str
+    requests: int
+    strict_requests: int
+    #: Fraction (0–1) of strict requests meeting their deadline; NaN when
+    #: the tenant had no strict requests in the window.
+    slo_attainment: float
+    p50: float
+    p99: float
+    #: Requests turned away at the gateway (quota enforcement).
+    rejections: int
+    #: Billing-weighted served volume: ``requests × billing_rate``.
+    revenue: float
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (CLI ``--json`` output)."""
+        return {
+            "tenant_id": self.tenant_id,
+            "requests": self.requests,
+            "strict_requests": self.strict_requests,
+            "slo_attainment": self.slo_attainment,
+            "p50": self.p50,
+            "p99": self.p99,
+            "rejections": self.rejections,
+            "revenue": self.revenue,
+        }
+
+
+@dataclass(frozen=True)
+class TenancyReport:
+    """Cross-tenant view of one run's measured window."""
+
+    outcomes: tuple[TenantOutcome, ...]
+    #: Jain's index over per-tenant strict SLO attainment (1.0 = equal).
+    fairness_index: float
+    #: Billing-weighted served request volume across tenants.
+    total_revenue: float
+    #: The run's total cluster cost (from the cost meter).
+    total_cost: float
+
+    def outcome(self, tenant_id: str) -> TenantOutcome:
+        """The outcome row for ``tenant_id``."""
+        for outcome in self.outcomes:
+            if outcome.tenant_id == tenant_id:
+                return outcome
+        raise ConfigurationError(
+            f"no outcome for tenant {tenant_id!r}; reported: "
+            f"{[o.tenant_id for o in self.outcomes]}"
+        )
+
+    def attainment_by_tenant(self) -> dict[str, float]:
+        """Per-tenant strict SLO attainment (0–1; NaN = no strict load)."""
+        return {o.tenant_id: o.slo_attainment for o in self.outcomes}
+
+    @property
+    def revenue_weighted_cost(self) -> float:
+        """Cost per unit of revenue earned; NaN with zero revenue."""
+        if self.total_revenue <= 0:
+            return float("nan")
+        return self.total_cost / self.total_revenue
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (CLI ``--json`` output)."""
+        return {
+            "outcomes": [o.to_dict() for o in self.outcomes],
+            "fairness_index": self.fairness_index,
+            "total_revenue": self.total_revenue,
+            "total_cost": self.total_cost,
+            "revenue_weighted_cost": self.revenue_weighted_cost,
+        }
+
+
+def jain_index(values: list[float]) -> float:
+    """Jain's fairness index ``(Σx)² / (n·Σx²)`` over ``values``.
+
+    Defined as 1.0 for empty input or all-zero allocations (nothing to be
+    unfair about).
+    """
+    if not values:
+        return 1.0
+    square_sum = sum(v * v for v in values)
+    if square_sum <= 0:
+        return 1.0
+    total = sum(values)
+    return (total * total) / (len(values) * square_sum)
+
+
+def tenancy_report(
+    tenant_set: TenantSet,
+    records: list[RequestRecord],
+    rejections: tuple[RejectionRecord, ...] = (),
+    *,
+    total_cost: float = 0.0,
+) -> TenancyReport:
+    """Build the per-tenant report for one run's measured window."""
+    outcomes: list[TenantOutcome] = []
+    attainments: list[float] = []
+    total_revenue = 0.0
+    for tenant in tenant_set:
+        mine = [r for r in records if r.tenant == tenant.tenant_id]
+        strict = [r for r in mine if r.strict]
+        attainment = slo_compliance(strict)
+        rejected = sum(
+            1 for r in rejections if r.tenant == tenant.tenant_id
+        )
+        revenue = len(mine) * tenant.billing_rate
+        total_revenue += revenue
+        if strict:
+            attainments.append(attainment)
+        outcomes.append(
+            TenantOutcome(
+                tenant_id=tenant.tenant_id,
+                requests=len(mine),
+                strict_requests=len(strict),
+                slo_attainment=attainment,
+                p50=p50(mine),
+                p99=p99(mine),
+                rejections=rejected,
+                revenue=revenue,
+            )
+        )
+    return TenancyReport(
+        outcomes=tuple(outcomes),
+        fairness_index=jain_index(attainments),
+        total_revenue=total_revenue,
+        total_cost=total_cost,
+    )

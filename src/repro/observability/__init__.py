@@ -46,6 +46,7 @@ from repro.observability.span import (
     CATEGORY_GPU,
     CATEGORY_REQUEST,
     CATEGORY_RUN,
+    CATEGORY_TENANT,
     Span,
 )
 from repro.observability.telemetry import (
@@ -64,6 +65,7 @@ __all__ = [
     "CATEGORY_GPU",
     "CATEGORY_REQUEST",
     "CATEGORY_RUN",
+    "CATEGORY_TENANT",
     "Counter",
     "DetachedTrace",
     "Histogram",

@@ -32,6 +32,8 @@ CATEGORY_RUN = "run"
 CATEGORY_FAULT = "fault"
 #: Runtime-audit findings (conservation-invariant violations).
 CATEGORY_AUDIT = "audit"
+#: Tenant-plane events (admission rejections, quota/fairness decisions).
+CATEGORY_TENANT = "tenant"
 
 _span_ids = itertools.count(1)
 

@@ -1,6 +1,6 @@
 """Request batching (paper Section 4.1).
 
-Requests are grouped per (model, strictness) and flushed as a
+Requests are grouped per (model, strictness, tenant) and flushed as a
 :class:`RequestBatch` either when the model's batch size is reached or
 when the oldest member has waited ``max_wait`` seconds — whichever comes
 first. The timeout keeps low-rate workloads (e.g. ALBERT at 6 rps with
@@ -40,24 +40,29 @@ class Batcher:
         self.on_batch = on_batch
         self.max_wait = max_wait
         self.tracer = tracer
-        self._buffers: dict[tuple[str, bool], list[Request]] = {}
-        self._timers: dict[tuple[str, bool], Event] = {}
-        self._form_spans: dict[tuple[str, bool], Span] = {}
+        self._buffers: dict[tuple[str, bool, str], list[Request]] = {}
+        self._timers: dict[tuple[str, bool, str], Event] = {}
+        self._form_spans: dict[tuple[str, bool, str], Span] = {}
         self._batch_size_hist = tracer.telemetry.histogram("batch.size")
         self.batches_emitted = 0
 
     def add(self, request: Request) -> None:
         """Admit one request; may trigger an immediate flush."""
-        key = (request.model.name, request.strict)
+        key = (request.model.name, request.strict, request.tenant)
         buffer = self._buffers.setdefault(key, [])
         buffer.append(request)
         if self.tracer.enabled and len(buffer) == 1:
+            # The tenant attribute appears only for real tenants so the
+            # default path's span log stays bit-identical to pre-tenancy
+            # builds (pinned by the default-path regression test).
+            attrs = {"model": request.model.name, "strict": request.strict}
+            if request.tenant != "default":
+                attrs["tenant"] = request.tenant
             self._form_spans[key] = self.tracer.begin(
                 "batch.form",
                 category=CATEGORY_REQUEST,
                 track="batch",
-                model=request.model.name,
-                strict=request.strict,
+                **attrs,
             )
         if len(buffer) >= request.model.batch_size:
             self._flush(key)
@@ -92,22 +97,24 @@ class Batcher:
         request-reordering module exposes it to the Job Distributor.
         """
         total = 0.0
-        for (model_name, strict), buffer in self._buffers.items():
+        for (model_name, strict, _tenant), buffer in self._buffers.items():
             if strict or not buffer:
                 continue
             model = buffer[0].model
             total += math.ceil(len(buffer) / model.batch_size) * model.memory_gb
         return total
 
-    def _flush(self, key: tuple[str, bool]) -> None:
+    def _flush(self, key: tuple[str, bool, str]) -> None:
         buffer = self._buffers.get(key)
         if not buffer:
             return
         timer = self._timers.pop(key, None)
         if timer is not None:
             self.sim.cancel(timer)
-        model_name, strict = key
-        batch = RequestBatch(buffer[0].model, strict, created_at=self.sim.now)
+        model_name, strict, tenant = key
+        batch = RequestBatch(
+            buffer[0].model, strict, created_at=self.sim.now, tenant=tenant
+        )
         for request in buffer:
             batch.add(request)
         self._buffers[key] = []

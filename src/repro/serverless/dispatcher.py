@@ -14,7 +14,7 @@ from typing import Callable
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import WorkerNode
 from repro.observability.tracer import NULL_TRACER, Tracer
-from repro.serverless.request import RequestBatch
+from repro.serverless.request import Request, RequestBatch
 from repro.serverless.scheduler import NodeScheduler
 
 
@@ -165,9 +165,18 @@ class Gateway:
         #: for the next request. None = no network fault active.
         self.delay_provider: Callable[[], float] | None = None
         self.delayed_admissions = 0
+        #: Tenancy hook: ``admission(request) -> bool`` decides whether the
+        #: request enters the platform at all. A False return is a
+        #: 429-style rejection — the request is never counted as admitted
+        #: and never reaches the batcher. None = admit everything.
+        self.admission: Callable[[Request], bool] | None = None
+        self.requests_rejected = 0
 
     def admit(self, request) -> None:
-        """Accept one request into the platform."""
+        """Accept one request into the platform (or reject it outright)."""
+        if self.admission is not None and not self.admission(request):
+            self.requests_rejected += 1
+            return
         self.requests_admitted += 1
         if self.delay_provider is not None and self.sim is not None:
             delay = self.delay_provider()

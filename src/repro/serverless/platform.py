@@ -21,8 +21,8 @@ from repro.errors import ConfigurationError
 from repro.gpu.device import GPU
 from repro.gpu.device_models import get_device_model
 from repro.gpu.engine import JobTiming
-from repro.metrics.records import RecordCollector, RequestRecord
-from repro.observability.span import CATEGORY_REQUEST
+from repro.metrics.records import RecordCollector, RejectionRecord, RequestRecord
+from repro.observability.span import CATEGORY_REQUEST, CATEGORY_TENANT
 from repro.observability.tracer import NULL_TRACER, Tracer
 from repro.serverless.batcher import DEFAULT_MAX_WAIT, Batcher
 from repro.serverless.container import (
@@ -34,6 +34,8 @@ from repro.serverless.dispatcher import Dispatcher, Gateway
 from repro.serverless.request import Request, RequestBatch
 from repro.serverless.scheme import Scheme
 from repro.simulation.simulator import Simulator
+from repro.tenancy.model import TenancySpec
+from repro.tenancy.runtime import TenancyRuntime
 from repro.traces.mixing import RequestSpec
 
 
@@ -70,6 +72,7 @@ class ServerlessPlatform:
         collector: RecordCollector | None = None,
         pricing: ProviderPricing = DEFAULT_PRICING,
         tracer: Tracer = NULL_TRACER,
+        tenancy: TenancySpec | None = None,
     ) -> None:
         self.sim = sim
         self.scheme = scheme
@@ -112,6 +115,17 @@ class ServerlessPlatform:
         #: hooks request-conservation checking here).
         self.completion_observers: list = []
         self.gateway = Gateway(self._ingest, sim=sim)
+        #: Live tenancy state; None on the default (single-tenant) path,
+        #: where the platform takes zero tenancy branches per request.
+        self.tenancy: TenancyRuntime | None = None
+        if tenancy is not None:
+            self.tenancy = TenancyRuntime(
+                tenancy, on_reject=self._on_tenant_reject
+            )
+            self.gateway.admission = self.tenancy.admission.try_admit
+            # The counter exists only when tenancy is active so the
+            # default path's telemetry snapshot stays unchanged.
+            self._ctr_rejected = telemetry.counter("tenant.rejections")
         #: Fault-injection hook inherited by every container pool (set on
         #: existing pools *and* pools of nodes built while a container
         #: start-failure window is active). See ContainerPool.
@@ -124,18 +138,47 @@ class ServerlessPlatform:
     def _ingest(self, request: Request) -> None:
         self._ctr_admitted.inc()
         if self.tracer.enabled:
+            # The tenant attribute appears only for real tenants so the
+            # default path's span log stays bit-identical to pre-tenancy
+            # builds (pinned by the default-path regression test).
+            attrs = {
+                "request_id": request.request_id,
+                "model": request.model.name,
+                "strict": request.strict,
+                "deadline": request.deadline,
+            }
+            if request.tenant != "default":
+                attrs["tenant"] = request.tenant
             self.tracer.instant(
                 "gateway.admit",
                 category=CATEGORY_REQUEST,
                 track="gateway",
-                request_id=request.request_id,
-                model=request.model.name,
-                strict=request.strict,
-                deadline=request.deadline,
+                **attrs,
             )
         for observer in self.request_observers:
             observer(request)
         self.batcher.add(request)
+
+    def _on_tenant_reject(self, request: Request) -> None:
+        """Record a 429-style gateway rejection (quota enforcement)."""
+        self._ctr_rejected.inc()
+        self.collector.add_rejection(
+            RejectionRecord(
+                tenant=request.tenant,
+                model=request.model.name,
+                strict=request.strict,
+                arrival=request.arrival,
+            )
+        )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "tenant.reject",
+                category=CATEGORY_TENANT,
+                track="tenant",
+                request_id=request.request_id,
+                tenant=request.tenant,
+                model=request.model.name,
+            )
 
     # ------------------------------------------------------------------
     # Node lifecycle
@@ -171,6 +214,8 @@ class ServerlessPlatform:
         )
         pool.start_interceptor = self.container_start_interceptor
         scheduler = self.scheme.create_scheduler(self, node, pool)
+        if self.tenancy is not None:
+            scheduler.tenant_policy = self.tenancy.make_node_policy()
         self._pools[node.node_id] = pool
         self.cluster.add(node)
         self.all_nodes.append(node)
@@ -250,6 +295,8 @@ class ServerlessPlatform:
         )
         for observer in self.completion_observers:
             observer(batch, timing)
+        if self.tenancy is not None:
+            self.tenancy.release_batch(batch)
         self._ctr_completed.inc(len(batch.requests))
         self._hist_queue_delay.observe(queue_delay)
         if self.tracer.enabled:
@@ -268,6 +315,7 @@ class ServerlessPlatform:
                     exec_min=timing.work,
                     deficiency=timing.deficiency_time,
                     interference=timing.interference_time,
+                    tenant=batch.tenant,
                 )
             )
 
@@ -293,20 +341,25 @@ class ServerlessPlatform:
             cold_start_s=batch.cold_start_seconds,
             queue_delay_s=queue_delay,
         )
+        execute_attrs = {
+            "batch_id": batch.batch_id,
+            "request_ids": request_ids,
+            "model": batch.model.name,
+            "strict": batch.strict,
+            "slice": timing.slice_name,
+            "work_s": timing.work,
+            "deficiency_s": timing.deficiency_time,
+            "interference_s": timing.interference_time,
+        }
+        if batch.tenant != "default":
+            execute_attrs["tenant"] = batch.tenant
         self.tracer.record(
             "slice.execute",
             timing.started_at,
             timing.finished_at,
             category=CATEGORY_REQUEST,
             track="execute",
-            batch_id=batch.batch_id,
-            request_ids=request_ids,
-            model=batch.model.name,
-            strict=batch.strict,
-            slice=timing.slice_name,
-            work_s=timing.work,
-            deficiency_s=timing.deficiency_time,
-            interference_s=timing.interference_time,
+            **execute_attrs,
         )
         for request in batch.requests:
             latency = timing.finished_at - request.arrival

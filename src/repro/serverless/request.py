@@ -29,6 +29,8 @@ class Request:
     arrival: float
     deadline: float | None
     request_id: int = field(default_factory=lambda: next(_request_ids))
+    #: Owning tenant (the implicit "default" tenant when tenancy is off).
+    tenant: str = "default"
 
     @classmethod
     def from_spec(cls, spec: RequestSpec) -> "Request":
@@ -38,11 +40,13 @@ class Request:
             strict=spec.strict,
             arrival=spec.arrival,
             deadline=spec.slo_deadline,
+            tenant=spec.tenant,
         )
 
 
 class RequestBatch:
-    """A batch of same-model, same-strictness requests served as one job.
+    """A batch of same-model, same-strictness, same-tenant requests
+    served as one job.
 
     Strict and best-effort requests are never mixed in a batch: the
     schedulers treat strictness per batch (reordering, slice placement),
@@ -53,11 +57,18 @@ class RequestBatch:
     available, cold start paid) → execution timing from the GPU engine.
     """
 
-    def __init__(self, model: ModelProfile, strict: bool, created_at: float):
+    def __init__(
+        self,
+        model: ModelProfile,
+        strict: bool,
+        created_at: float,
+        tenant: str = "default",
+    ):
         self.batch_id = next(_batch_ids)
         self.model = model
         self.strict = strict
         self.created_at = created_at
+        self.tenant = tenant
         self.requests: list[Request] = []
         # Filled by the platform as the batch progresses.
         self.ready_at: float | None = None
@@ -65,11 +76,21 @@ class RequestBatch:
         self.resubmissions: int = 0
 
     def add(self, request: Request) -> None:
-        """Append a request; model/strictness must match the batch."""
-        if request.model.name != self.model.name or request.strict != self.strict:
+        """Append a request; model/strictness/tenant must match the batch.
+
+        Batches are tenant-homogeneous: fair queueing charges a batch's
+        work to exactly one tenant, and exclusive placement isolates at
+        batch granularity.
+        """
+        if (
+            request.model.name != self.model.name
+            or request.strict != self.strict
+            or request.tenant != self.tenant
+        ):
             raise ConfigurationError(
                 f"request {request.request_id} does not belong in batch "
-                f"{self.batch_id} ({self.model.name}, strict={self.strict})"
+                f"{self.batch_id} ({self.model.name}, strict={self.strict}, "
+                f"tenant={self.tenant!r})"
             )
         self.requests.append(request)
 

@@ -64,6 +64,11 @@ class NodeScheduler(ABC):
         #: When True, dispatch is paused (e.g. draining ahead of a MIG
         #: reconfiguration); queued batches are held until released.
         self.hold = False
+        #: Tenant fairness/isolation policy for this node, installed by
+        #: the platform when tenancy is active (None otherwise — the
+        #: default path takes zero extra branches per batch). See
+        #: :class:`repro.tenancy.fairness.NodeTenancy`.
+        self.tenant_policy = None
 
     # ------------------------------------------------------------------
     # Entry point
@@ -107,6 +112,12 @@ class NodeScheduler(ABC):
         if self.hold or not self.queue:
             return
         self._order_queue(self.queue)
+        tenancy = self.tenant_policy
+        if tenancy is not None:
+            # Tenant-fair ordering (WFQ) sits above the scheme's own
+            # ordering: the sort is stable, so the scheme's order holds
+            # within equal (priority tier, fair tag) pairs.
+            tenancy.order(self.queue)
         remaining: list[RequestBatch] = []
         failures = 0
         for index, batch in enumerate(self.queue):
@@ -114,6 +125,12 @@ class NodeScheduler(ABC):
                 remaining.extend(self.queue[index:])
                 break
             placement = self._place(batch)
+            if placement is not None and tenancy is not None and (
+                not tenancy.placement_allowed(batch, placement.gpu_slice)
+            ):
+                # Soft exclusivity: the slice holds (or the batch is)
+                # exclusive-tenant work; wait like a memory-full slice.
+                placement = None
             if placement is None:
                 remaining.append(batch)
                 failures += 1
@@ -123,6 +140,8 @@ class NodeScheduler(ABC):
         self.queue = remaining
 
     def _launch(self, batch: RequestBatch, placement: Placement) -> None:
+        if self.tenant_policy is not None:
+            self.tenant_policy.on_launch(batch)
         self.in_flight += 1
         job = SliceJob(
             work=batch.work,

@@ -1,0 +1,71 @@
+"""Multi-tenancy: per-tenant SLOs, quotas, and fair scheduling.
+
+The serving stack is natively multi-tenant: a
+:class:`TenancySpec` on :class:`~repro.experiments.config.ExperimentConfig`
+multiplexes the workload across a :class:`TenantSet` (traffic shares,
+optional :class:`TenantSurge` windows), enforces per-tenant concurrency
+quotas at the gateway (429-style rejections), orders every node's batch
+queue tenant-fairly (start-time fair queueing over weights and priority
+tiers), and keeps exclusive tenants alone on their GPU slices. Per-tenant
+outcomes come back as a :class:`~repro.metrics.tenancy.TenancyReport` on
+the run's result.
+
+With ``tenants=None`` (the default) none of this machinery is
+constructed and the platform is bit-identical to a single-tenant build —
+pinned by the default-path regression test.
+
+Typical use::
+
+    from repro.tenancy import Tenant, TenantSet, TenancySpec
+
+    spec = TenancySpec(
+        tenant_set=TenantSet((
+            Tenant("gold", slo_class="premium", priority=0, weight=3.0),
+            Tenant("bronze", quota=16, traffic_share=2.0),
+        )),
+    )
+    result = run_scheme("protean", ExperimentConfig(tenants=spec))
+    print(result.tenancy.attainment_by_tenant())
+
+or from the CLI: ``python -m repro tenants noisy-neighbour``.
+"""
+
+from repro.tenancy.admission import AdmissionController
+from repro.tenancy.fairness import NodeTenancy
+from repro.tenancy.model import (
+    DEFAULT_TENANT_ID,
+    FAIRNESS_POLICIES,
+    SLO_CLASSES,
+    TENANCY_SCHEMA_VERSION,
+    TenancySpec,
+    Tenant,
+    TenantSet,
+    TenantSurge,
+)
+from repro.tenancy.runtime import TenancyRuntime
+from repro.tenancy.scenarios import (
+    SCENARIOS,
+    ScenarioResult,
+    run_tenancy_scenario,
+    scenario_configs,
+)
+from repro.tenancy.workload import TenantWorkload
+
+__all__ = [
+    "AdmissionController",
+    "DEFAULT_TENANT_ID",
+    "FAIRNESS_POLICIES",
+    "NodeTenancy",
+    "SCENARIOS",
+    "SLO_CLASSES",
+    "ScenarioResult",
+    "TENANCY_SCHEMA_VERSION",
+    "TenancyRuntime",
+    "TenancySpec",
+    "Tenant",
+    "TenantSet",
+    "TenantSurge",
+    "TenantWorkload",
+    "run_tenancy_scenario",
+    "scenario_configs",
+]

@@ -1,0 +1,54 @@
+"""The live tenancy state one platform run carries.
+
+A :class:`TenancyRuntime` is constructed by the
+:class:`~repro.serverless.platform.ServerlessPlatform` when an
+experiment's config declares tenants. It owns the gateway
+:class:`~repro.tenancy.admission.AdmissionController`, mints one
+:class:`~repro.tenancy.fairness.NodeTenancy` per worker node, and is the
+single object the auditor and the metrics layer interrogate for tenant
+facts (quotas, exclusivity, billing rates).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.tenancy.admission import AdmissionController
+from repro.tenancy.fairness import NodeTenancy
+from repro.tenancy.model import TenancySpec, TenantSet
+
+
+class TenancyRuntime:
+    """Everything tenancy-related that lives for one platform run."""
+
+    def __init__(
+        self,
+        spec: TenancySpec,
+        *,
+        on_reject: Callable | None = None,
+    ) -> None:
+        self.spec = spec
+        self.admission = AdmissionController(
+            spec.tenant_set,
+            enforce_quotas=spec.admission,
+            on_reject=on_reject,
+        )
+
+    @property
+    def tenant_set(self) -> TenantSet:
+        """The tenants this run serves."""
+        return self.spec.tenant_set
+
+    def make_node_policy(self) -> NodeTenancy:
+        """A fresh per-node fairness/isolation policy object."""
+        return NodeTenancy(self.spec)
+
+    def release_batch(self, batch) -> None:
+        """Return every member request's quota slot on batch completion.
+
+        Batches are tenant-homogeneous, so the whole batch decrements one
+        counter — this runs once per completed batch on the hot path.
+        """
+        in_flight = self.admission.in_flight
+        count = in_flight.get(batch.tenant, 0)
+        in_flight[batch.tenant] = max(0, count - len(batch.requests))

@@ -1,0 +1,133 @@
+"""Per-tenant trace composition: the tenant workload multiplexer.
+
+:class:`TenantWorkload` sits *on top of* the existing workload generators
+(constant/wiki/twitter traces, strict/BE mixing): given an untagged
+time-ordered request stream, it assigns every request an owning tenant —
+drawn from the tenant set's traffic shares, modulated by any declared
+:class:`~repro.tenancy.model.TenantSurge` windows — and applies the
+tenant's SLO class to the request's deadline multiplier. The result is a
+stream the platform serves exactly as before, except every request now
+carries a tenant id through batching, scheduling, records, and spans.
+
+Assignment is a pure function of (stream, spec, rng state): the same seed
+always produces the same tenant labelling, which is what makes tenant
+scenarios reproducible and jobs=1 vs jobs=N bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tenancy.model import TenancySpec
+from repro.traces.mixing import RequestSpec
+
+
+class TenantWorkload:
+    """Multiplexes an untagged request stream across a tenant set."""
+
+    def __init__(self, spec: TenancySpec) -> None:
+        if not isinstance(spec, TenancySpec):
+            raise ConfigurationError(
+                f"TenantWorkload needs a TenancySpec, got "
+                f"{type(spec).__name__}"
+            )
+        self.spec = spec
+        self.tenant_set = spec.tenant_set
+        self._ids = list(self.tenant_set.ids)
+        self._base_shares = np.array(
+            [t.traffic_share for t in self.tenant_set], dtype=float
+        )
+        self._slo_factors = {
+            t.tenant_id: t.slo_factor for t in self.tenant_set
+        }
+
+    def shares_at(self, time: float) -> np.ndarray:
+        """Effective (unnormalised) traffic shares at simulated ``time``."""
+        shares = self._base_shares.copy()
+        for surge in self.spec.surges:
+            if surge.active_at(time):
+                shares[self._ids.index(surge.tenant_id)] *= surge.multiplier
+        return shares
+
+    def multiplex(
+        self, specs: list[RequestSpec], rng: np.random.Generator
+    ) -> list[RequestSpec]:
+        """Tag every request with a tenant and tenant-adjusted deadline.
+
+        One uniform draw per request, mapped through the (possibly
+        surge-modulated) share distribution at the request's arrival
+        time. Requests already tagged with a non-default tenant are
+        validated against the set and passed through unchanged.
+
+        The whole assignment is vectorised (one shares matrix, one
+        cumulative sum, one comparison) — per-request numpy calls were
+        ~20% of a run's wall clock before this.
+        """
+        draws = rng.random(len(specs))
+        if not specs:
+            return []
+        if self.spec.surges:
+            indices = self._surged_indices(specs, draws)
+        else:
+            # Constant shares: one cumulative distribution serves every
+            # request.
+            cumulative = np.cumsum(
+                self._base_shares / self._base_shares.sum()
+            )
+            indices = np.minimum(
+                np.searchsorted(cumulative, draws), len(self._ids) - 1
+            )
+        ids = self._ids
+        factors = [self._slo_factors[tenant_id] for tenant_id in ids]
+        tagged: list[RequestSpec] = []
+        append = tagged.append
+        for spec, index in zip(specs, indices.tolist()):
+            if spec.tenant != "default":
+                # Pre-tagged stream (external trace): ids must be known.
+                self.tenant_set.get(spec.tenant)
+                append(spec)
+                continue
+            append(
+                RequestSpec(
+                    spec.arrival,
+                    spec.model,
+                    spec.strict,
+                    spec.slo_multiplier * factors[index],
+                    ids[index],
+                )
+            )
+        return tagged
+
+    def _surged_indices(
+        self, specs: list[RequestSpec], draws: np.ndarray
+    ) -> np.ndarray:
+        """Per-request tenant indices under surge-modulated shares.
+
+        Row r of ``shares`` is the (unnormalised) distribution in effect
+        at request r's arrival — base shares scaled by every surge whose
+        window covers it.
+        """
+        arrivals = np.array([s.arrival for s in specs], dtype=float)
+        shares = np.broadcast_to(
+            self._base_shares, (len(specs), len(self._ids))
+        ).copy()
+        for surge in self.spec.surges:
+            active = (arrivals >= surge.start) & (arrivals < surge.end)
+            shares[active, self._ids.index(surge.tenant_id)] *= (
+                surge.multiplier
+            )
+        totals = shares.sum(axis=1)
+        if np.any(totals <= 0):
+            when = float(arrivals[np.argmax(totals <= 0)])
+            raise ConfigurationError(
+                f"all tenant traffic shares are zero at t={when:.3f} "
+                "(surges multiplied every share away?)"
+            )
+        cumulative = np.cumsum(shares / totals[:, None], axis=1)
+        # Left insertion point of each draw in its row, as searchsorted
+        # would give: the count of cumulative cells strictly below it.
+        return np.minimum(
+            (cumulative < draws[:, None]).sum(axis=1),
+            len(self._ids) - 1,
+        )

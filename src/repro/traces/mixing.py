@@ -32,6 +32,10 @@ class RequestSpec:
     model: ModelProfile
     strict: bool
     slo_multiplier: float = 3.0
+    #: Owning tenant; the implicit ``"default"`` tenant unless a
+    #: :class:`~repro.tenancy.workload.TenantWorkload` multiplexed the
+    #: stream (see repro.tenancy).
+    tenant: str = "default"
 
     @property
     def slo_deadline(self) -> float | None:
@@ -122,9 +126,11 @@ def collapse_to_batches(specs: Sequence[RequestSpec]) -> list[RequestSpec]:
 
     Returns a new time-ordered spec list; the input is not modified.
     """
-    by_class: dict[tuple[str, bool], list[RequestSpec]] = {}
+    by_class: dict[tuple[str, bool, str], list[RequestSpec]] = {}
     for spec in specs:
-        by_class.setdefault((spec.model.name, spec.strict), []).append(spec)
+        by_class.setdefault(
+            (spec.model.name, spec.strict, spec.tenant), []
+        ).append(spec)
     collapsed: list[RequestSpec] = []
     for class_specs in by_class.values():
         class_specs.sort(key=lambda s: s.arrival)
@@ -139,6 +145,7 @@ def collapse_to_batches(specs: Sequence[RequestSpec]) -> list[RequestSpec]:
                         model=spec.model,
                         strict=spec.strict,
                         slo_multiplier=spec.slo_multiplier,
+                        tenant=spec.tenant,
                     )
                 )
     collapsed.sort(key=lambda s: s.arrival)

@@ -30,7 +30,7 @@ from repro.workloads.scaling import scale_model
 MODEL = scale_model(get_model("resnet50"), 8 / 128)
 
 
-def make_rig(*, n_nodes=2, fail_fast=False):
+def make_rig(*, n_nodes=2, fail_fast=False, tenancy=None):
     """A tiny live platform with an armed auditor (no traffic yet)."""
     reset_run_ids()
     sim = Simulator()
@@ -41,6 +41,7 @@ def make_rig(*, n_nodes=2, fail_fast=False):
         sim,
         scheme,
         PlatformConfig(n_nodes=n_nodes, cold_start_seconds=1.0),
+        tenancy=tenancy,
     )
     platform.provision_initial()
     auditor = Auditor(sim, platform, fail_fast=fail_fast)
@@ -52,13 +53,15 @@ def checks(auditor) -> list[str]:
     return [v.check for v in auditor.violations]
 
 
-def make_request(arrival=0.0) -> Request:
-    spec = RequestSpec(arrival=arrival, model=MODEL, strict=True)
+def make_request(arrival=0.0, tenant="default") -> Request:
+    spec = RequestSpec(arrival=arrival, model=MODEL, strict=True, tenant=tenant)
     return Request.from_spec(spec)
 
 
 def make_batch(request: Request) -> RequestBatch:
-    batch = RequestBatch(MODEL, strict=True, created_at=request.arrival)
+    batch = RequestBatch(
+        MODEL, strict=True, created_at=request.arrival, tenant=request.tenant
+    )
     batch.add(request)
     return batch
 
@@ -74,12 +77,13 @@ def make_timing(slice_name: str = "no-such-gpu/g7#0") -> JobTiming:
     )
 
 
-def make_job(memory_gb=1.0) -> SliceJob:
+def make_job(memory_gb=1.0, payload=None) -> SliceJob:
     return SliceJob(
         work=0.5,
         rdf=1.0,
         fbr=1.0,
         memory_gb=memory_gb,
+        payload=payload,
         on_complete=lambda job, timing: None,
     )
 
@@ -265,6 +269,73 @@ class TestSpotChecks:
         node.state = NodeState.RETIRED  # planted: skipped deregistration
         auditor.sweep()
         assert "spot.dangling_scheduler" in checks(auditor)
+
+
+# ----------------------------------------------------------------------
+# tenant.* — tenancy contracts (quota, registration, exclusivity)
+# ----------------------------------------------------------------------
+def make_tenancy(*tenants):
+    from repro.tenancy import TenancySpec, TenantSet
+
+    return TenancySpec(tenant_set=TenantSet(tuple(tenants)), admission=True)
+
+
+class TestTenantChecks:
+    def test_unregistered_tenant_fires(self):
+        from repro.tenancy import Tenant
+
+        spec = make_tenancy(Tenant("alpha"))
+        _sim, platform, auditor = make_rig(tenancy=spec)
+        # Planted: a request sneaks past the admission controller (the
+        # way a buggy ingest path would) carrying an unknown tenant id.
+        platform._ingest(make_request(tenant="ghost"))
+        assert "tenant.unregistered" in checks(auditor)
+
+    def test_quota_exceeded_fires(self):
+        from repro.tenancy import Tenant
+
+        spec = make_tenancy(Tenant("alpha", quota=1))
+        _sim, platform, auditor = make_rig(tenancy=spec)
+        # Planted: two in-flight requests against a quota of one, both
+        # bypassing the gateway's admission check.
+        platform._ingest(make_request(tenant="alpha"))
+        platform._ingest(make_request(arrival=0.1, tenant="alpha"))
+        auditor.sweep()
+        assert "tenant.quota_exceeded" in checks(auditor)
+
+    def test_exclusive_colocation_fires(self):
+        from repro.tenancy import Tenant
+
+        spec = make_tenancy(
+            Tenant("sealed", exclusive=True), Tenant("noisy")
+        )
+        _sim, platform, auditor = make_rig(tenancy=spec)
+        gpu_slice = platform.all_nodes[0].gpu.slices[0]
+        # Planted: batches of an exclusive and a shared tenant resident
+        # on the same slice (a broken placement guard would allow this).
+        for tenant in ("sealed", "noisy"):
+            batch = make_batch(make_request(tenant=tenant))
+            gpu_slice.submit(make_job(payload=batch))
+        auditor.sweep()
+        assert "tenant.exclusive_colocation" in checks(auditor)
+
+    def test_quota_respected_after_completion_is_clean(self):
+        from repro.tenancy import Tenant
+
+        spec = make_tenancy(Tenant("alpha", quota=1))
+        _sim, platform, auditor = make_rig(tenancy=spec)
+        first = make_request(tenant="alpha")
+        platform._ingest(first)
+        platform.record_batch_completion(make_batch(first), make_timing())
+        platform._ingest(make_request(arrival=0.2, tenant="alpha"))
+        auditor.sweep()
+        assert not [c for c in checks(auditor) if c.startswith("tenant.")]
+
+    def test_default_rig_has_no_tenant_checks(self):
+        _sim, platform, auditor = make_rig()
+        platform.gateway.admit(make_request())
+        auditor.sweep()
+        assert not [c for c in checks(auditor) if c.startswith("tenant.")]
 
 
 # ----------------------------------------------------------------------

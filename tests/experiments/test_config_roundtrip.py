@@ -70,6 +70,59 @@ def test_round_trip_with_fault_plan_and_be_pool():
     assert restored.fault_plan == config.fault_plan
 
 
+def test_round_trip_with_tenancy_spec():
+    from repro.tenancy import Tenant, TenantSet, TenantSurge, TenancySpec
+
+    config = ExperimentConfig(
+        duration=60.0,
+        warmup=10.0,
+        tenants=TenancySpec(
+            tenant_set=TenantSet(
+                (
+                    Tenant(
+                        "gold",
+                        slo_class="premium",
+                        priority=0,
+                        quota=32,
+                        weight=3.0,
+                        exclusive=True,
+                        billing_rate=4.0,
+                    ),
+                    Tenant("bronze", traffic_share=2.0),
+                )
+            ),
+            policy="wfq",
+            admission=True,
+            surges=(TenantSurge("bronze", 10.0, 20.0, 5.0),),
+        ),
+    )
+    payload = json.loads(json.dumps(config.to_dict()))
+    restored = ExperimentConfig.from_dict(payload)
+    assert restored == config
+    assert restored.tenants.tenant_set.get("gold").exclusive
+    assert restored.tenants.surges[0].multiplier == 5.0
+
+
+def test_tenancy_payload_rejects_unknown_keys_and_newer_schema():
+    from repro.errors import ConfigurationError as CfgErr
+    from repro.tenancy import TENANCY_SCHEMA_VERSION, Tenant, TenantSet, TenancySpec
+
+    spec = TenancySpec(tenant_set=TenantSet((Tenant("a"),)))
+    payload = spec.to_dict()
+    payload["mystery"] = 1
+    with pytest.raises(CfgErr):
+        TenancySpec.from_dict(payload)
+    payload = spec.to_dict()
+    payload["version"] = TENANCY_SCHEMA_VERSION + 1
+    with pytest.raises(CfgErr):
+        TenancySpec.from_dict(payload)
+
+
+def test_config_rejects_non_tenancy_spec():
+    with pytest.raises(ConfigurationError):
+        ExperimentConfig(tenants={"tenant_set": {}})
+
+
 def test_from_dict_rejects_unknown_keys():
     payload = ExperimentConfig().to_dict()
     payload["definitely_not_a_field"] = 1

@@ -1,0 +1,110 @@
+"""Per-tenant outcome metrics: attainment slicing, Jain index, revenue."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.records import RejectionRecord, RequestRecord
+from repro.metrics.tenancy import jain_index, tenancy_report
+from repro.tenancy import Tenant, TenantSet
+
+
+def record(tenant, *, met=True, strict=True, latency=0.1):
+    deadline = 1.0 if strict else None
+    completion = (0.5 if met else 2.0) if strict else latency
+    return RequestRecord(
+        model="resnet50",
+        strict=strict,
+        arrival=0.0,
+        completion=completion,
+        deadline=deadline,
+        batch_wait=0.0,
+        cold_start=0.0,
+        queue_delay=0.0,
+        exec_min=completion,
+        deficiency=0.0,
+        interference=0.0,
+        tenant=tenant,
+    )
+
+
+class TestJainIndex:
+    def test_degenerate_inputs_are_perfectly_fair(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_equal_allocations_score_one(self):
+        assert jain_index([0.9, 0.9, 0.9]) == pytest.approx(1.0)
+
+    def test_monopoly_tends_to_one_over_n(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+
+class TestTenancyReport:
+    def tenants(self):
+        return TenantSet(
+            (Tenant("gold", billing_rate=4.0), Tenant("bronze"))
+        )
+
+    def test_slices_attainment_per_tenant(self):
+        records = [
+            record("gold", met=True),
+            record("gold", met=True),
+            record("bronze", met=True),
+            record("bronze", met=False),
+        ]
+        report = tenancy_report(self.tenants(), records)
+        assert report.attainment_by_tenant() == {
+            "gold": pytest.approx(1.0),
+            "bronze": pytest.approx(0.5),
+        }
+        assert report.fairness_index == pytest.approx(
+            jain_index([1.0, 0.5])
+        )
+
+    def test_revenue_and_revenue_weighted_cost(self):
+        records = [record("gold"), record("gold"), record("bronze")]
+        report = tenancy_report(self.tenants(), records, total_cost=3.0)
+        assert report.outcome("gold").revenue == 8.0
+        assert report.total_revenue == 9.0
+        assert report.revenue_weighted_cost == pytest.approx(3.0 / 9.0)
+
+    def test_zero_revenue_yields_nan_cost(self):
+        report = tenancy_report(self.tenants(), [], total_cost=3.0)
+        assert math.isnan(report.revenue_weighted_cost)
+
+    def test_rejections_counted_per_tenant(self):
+        rejections = (
+            RejectionRecord("gold", "resnet50", True, 1.0),
+            RejectionRecord("gold", "resnet50", True, 2.0),
+        )
+        report = tenancy_report(self.tenants(), [], rejections)
+        assert report.outcome("gold").rejections == 2
+        assert report.outcome("bronze").rejections == 0
+
+    def test_tenant_with_no_strict_load_is_excluded_from_fairness(self):
+        records = [
+            record("gold", met=False),
+            record("bronze", strict=False),
+        ]
+        report = tenancy_report(self.tenants(), records)
+        assert math.isnan(report.outcome("bronze").slo_attainment)
+        # Fairness over [0.0] alone, and all-zero input reads as fair.
+        assert report.fairness_index == 1.0
+
+    def test_unknown_tenant_outcome_raises(self):
+        report = tenancy_report(self.tenants(), [])
+        with pytest.raises(ConfigurationError):
+            report.outcome("ghost")
+
+    def test_to_dict_is_json_safe(self):
+        records = [record("gold"), record("bronze", met=False)]
+        report = tenancy_report(self.tenants(), records, total_cost=1.0)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert {o["tenant_id"] for o in payload["outcomes"]} == {
+            "gold",
+            "bronze",
+        }
+        assert "revenue_weighted_cost" in payload

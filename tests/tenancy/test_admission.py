@@ -1,0 +1,72 @@
+"""Gateway admission control: quotas as 429-style rejections."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tenancy import AdmissionController, Tenant, TenantSet
+
+
+def controller(*tenants, **kwargs):
+    return AdmissionController(TenantSet(tuple(tenants)), **kwargs)
+
+
+def request(tenant):
+    return SimpleNamespace(tenant=tenant)
+
+
+def test_quota_rejects_when_full_and_release_frees_a_slot():
+    ctl = controller(Tenant("a", quota=2))
+    assert ctl.try_admit(request("a"))
+    assert ctl.try_admit(request("a"))
+    assert not ctl.try_admit(request("a"))
+    assert ctl.rejected["a"] == 1
+    ctl.release(request("a"))
+    assert ctl.try_admit(request("a"))
+    assert ctl.admitted["a"] == 3
+
+
+def test_no_quota_means_unlimited():
+    ctl = controller(Tenant("a"))
+    for _ in range(100):
+        assert ctl.try_admit(request("a"))
+    assert ctl.total_rejected() == 0
+
+
+def test_enforcement_can_be_disabled():
+    ctl = controller(Tenant("a", quota=1), enforce_quotas=False)
+    assert ctl.try_admit(request("a"))
+    assert ctl.try_admit(request("a"))
+    # Bookkeeping still runs so the auditor can flag the over-quota state.
+    assert ctl.in_flight["a"] == 2
+
+
+def test_unregistered_tenant_is_a_configuration_error():
+    ctl = controller(Tenant("a"))
+    with pytest.raises(ConfigurationError):
+        ctl.try_admit(request("ghost"))
+
+
+def test_on_reject_callback_sees_the_rejected_request():
+    seen = []
+    ctl = controller(Tenant("a", quota=1), on_reject=seen.append)
+    first, second = request("a"), request("a")
+    ctl.try_admit(first)
+    ctl.try_admit(second)
+    assert seen == [second]
+
+
+def test_release_never_goes_negative():
+    ctl = controller(Tenant("a", quota=1))
+    ctl.release(request("a"))  # phantom completion
+    assert ctl.in_flight["a"] == 0
+    assert ctl.try_admit(request("a"))
+    assert not ctl.try_admit(request("a"))
+
+
+def test_total_rejected_sums_across_tenants():
+    ctl = controller(Tenant("a", quota=1), Tenant("b", quota=1))
+    for tenant in ("a", "a", "b", "b"):
+        ctl.try_admit(request(tenant))
+    assert ctl.total_rejected() == 2

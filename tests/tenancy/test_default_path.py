@@ -1,0 +1,66 @@
+"""Pin: tenancy machinery leaves the default path bit-identical.
+
+The tenancy subsystem's core contract is that ``tenants=None`` (the
+default) constructs none of its machinery: no admission hook on the
+gateway, no per-node fairness policy, no extra RNG draws in workload
+generation, no tenant span attributes. The strongest possible statement
+of that contract is a pinned run: the summary row, extras, *and the
+SHA-256 digest of the full span log* below were captured on the commit
+immediately before tenancy landed. If any of them drifts, the default
+path is no longer the pre-tenancy platform — find the leak, don't
+re-pin.
+
+(A re-pin is only legitimate when a *deliberate* behaviour change to the
+core platform lands; say so in the changelog.)
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_scheme
+
+PINNED_CONFIG = ExperimentConfig(
+    duration=25.0,
+    warmup=5.0,
+    drain=50.0,
+    n_nodes=2,
+    seed=11,
+    tracing=True,
+)
+
+PINNED_ROW = {
+    "scheme": "protean",
+    "model": "resnet50",
+    "slo_%": 82.94,
+    "strict_p50_ms": 166.9,
+    "strict_p99_ms": 9603.6,
+    "be_p99_ms": 10160.3,
+    "thru_strict_rps_gpu": 64.03,
+    "gpu_util_%": 57.1,
+    "mem_util_%": 20.7,
+    "cost_$": 0.1707,
+    "savings_%": 0.0,
+}
+
+PINNED_EXTRAS = {
+    "spot_nodes_built": 0,
+    "on_demand_nodes_built": 2,
+    "evictions": 0,
+    "spot_notices": 0,
+    "resubmissions": 0,
+    "backlog_at_end": 0,
+    "cold_starts": 277,
+    "nodes_at_end": 2,
+}
+
+PINNED_SPAN_DIGEST = (
+    "afe53a2db9f6dd88b920996306dad7d91f9c163507ec225756c9fba70f298574"
+)
+
+
+def test_default_path_matches_pre_tenancy_pin():
+    result = run_scheme("protean", PINNED_CONFIG)
+    assert result.summary.row() == PINNED_ROW
+    assert dict(result.extras) == PINNED_EXTRAS
+    assert result.detach().tracer.digest() == PINNED_SPAN_DIGEST
+    # And the tenancy surface itself stays dark:
+    assert result.tenancy is None
+    assert "tenant_rejections" not in result.extras

@@ -1,0 +1,108 @@
+"""Start-time fair queueing and the soft-exclusivity placement guard.
+
+Uses minimal stand-ins for batches and slices: NodeTenancy only reads
+``batch_id``/``tenant``/``work`` from a batch and the job payloads resident
+on a slice, which keeps these tests pinned to the SFQ arithmetic itself.
+"""
+
+import itertools
+from types import SimpleNamespace
+
+from repro.tenancy import NodeTenancy, TenancySpec, Tenant, TenantSet
+
+_ids = itertools.count(1)
+
+
+def batch(tenant, work=1.0):
+    return SimpleNamespace(batch_id=next(_ids), tenant=tenant, work=work)
+
+
+def gpu_slice(*payloads):
+    jobs = [SimpleNamespace(payload=p) for p in payloads]
+    return SimpleNamespace(running_jobs=jobs, pending_jobs=[])
+
+
+def policy(*tenants, policy="wfq"):
+    return NodeTenancy(TenancySpec(TenantSet(tuple(tenants)), policy=policy))
+
+
+class TestOrdering:
+    def test_fifo_policy_preserves_scheme_order(self):
+        node = policy(Tenant("a"), Tenant("b"), policy="fifo")
+        queue = [batch("b"), batch("a"), batch("b")]
+        expect = list(queue)
+        node.order(queue)
+        assert queue == expect
+
+    def test_wfq_interleaves_by_weight(self):
+        # a (weight 2) accrues finish tags half as fast as b (weight 1):
+        # tags a1=0, a2=0.5, a3=1.0 vs b1=0, b2=1.0 — so both of a's
+        # first two batches sort before b's second.
+        node = policy(Tenant("a", weight=2.0), Tenant("b", weight=1.0))
+        a1, a2, a3 = batch("a"), batch("a"), batch("a")
+        b1, b2 = batch("b"), batch("b")
+        queue = [a1, a2, a3, b1, b2]
+        node.order(queue)
+        assert queue == [a1, b1, a2, a3, b2]
+
+    def test_priority_tier_dominates_tags(self):
+        node = policy(Tenant("hi", priority=0), Tenant("lo", priority=1))
+        lo_batches = [batch("lo") for _ in range(3)]
+        hi = batch("hi")
+        queue = [*lo_batches, hi]
+        node.order(queue)
+        assert queue[0] is hi
+
+    def test_sort_is_stable_within_equal_tags(self):
+        node = policy(Tenant("a"), Tenant("b"))
+        a1, b1 = batch("a"), batch("b")  # both tagged start=0
+        queue = [b1, a1]
+        node.order(queue)
+        assert queue == [b1, a1]
+
+    def test_launch_advances_virtual_time(self):
+        node = policy(Tenant("a"), Tenant("b"))
+        early = batch("a", work=4.0)
+        node.order([early])
+        node.on_launch(early)
+        node.on_launch(batch("a"))  # untagged launch is a no-op
+        assert node.virtual_time == 0.0
+        late = batch("a")
+        node.order([late])
+        node.on_launch(late)
+        # late's start tag = a's finish tag of the first batch (4.0/1.0).
+        assert node.virtual_time == 4.0
+        # A newcomer from an idle tenant starts at the advanced clock,
+        # not at zero — no starving the busy tenant with stale tags.
+        fresh = batch("b")
+        node.order([fresh])
+        assert node._tags[fresh.batch_id] == 4.0
+
+
+class TestPlacementGuard:
+    def test_no_exclusive_tenants_short_circuits(self):
+        node = policy(Tenant("a"), Tenant("b"))
+        occupied = gpu_slice(batch("b"))
+        assert node.placement_allowed(batch("a"), occupied)
+
+    def test_exclusive_batch_refuses_shared_slice(self):
+        node = policy(Tenant("vip", exclusive=True), Tenant("b"))
+        assert not node.placement_allowed(batch("vip"), gpu_slice(batch("b")))
+        assert node.placement_allowed(batch("vip"), gpu_slice())
+        assert node.placement_allowed(batch("vip"), gpu_slice(batch("vip")))
+
+    def test_shared_batch_refuses_exclusive_slice(self):
+        node = policy(Tenant("vip", exclusive=True), Tenant("b"))
+        assert not node.placement_allowed(batch("b"), gpu_slice(batch("vip")))
+        assert node.placement_allowed(batch("b"), gpu_slice(batch("b")))
+
+    def test_pending_jobs_count_as_residents(self):
+        node = policy(Tenant("vip", exclusive=True), Tenant("b"))
+        occupied = gpu_slice()
+        occupied.pending_jobs = [SimpleNamespace(payload=batch("b"))]
+        assert not node.placement_allowed(batch("vip"), occupied)
+
+    def test_tenantless_payloads_are_ignored(self):
+        node = policy(Tenant("vip", exclusive=True))
+        occupied = gpu_slice(None, SimpleNamespace())
+        assert node.placement_allowed(batch("vip"), occupied)

@@ -1,0 +1,132 @@
+"""Tenant model validation and wire-format behaviour.
+
+Every misconfiguration must surface as ConfigurationError at construction
+or parse time — never as a KeyError/ValueError mid-run (satellite of the
+tenancy issue). Round-trip coverage of the full config payload lives in
+tests/experiments/test_config_roundtrip.py; this file covers the unit
+validation surface.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tenancy import (
+    DEFAULT_TENANT_ID,
+    SLO_CLASSES,
+    TenancySpec,
+    Tenant,
+    TenantSet,
+    TenantSurge,
+)
+
+
+class TestTenantValidation:
+    def test_defaults_are_valid(self):
+        tenant = Tenant("acme")
+        assert tenant.slo_class == "standard"
+        assert tenant.quota is None
+        assert tenant.slo_factor == 1.0
+
+    def test_slo_factor_tracks_class(self):
+        for name, factor in SLO_CLASSES.items():
+            assert Tenant("t", slo_class=name).slo_factor == factor
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(tenant_id=""),
+            dict(tenant_id="t", slo_class="platinum"),
+            dict(tenant_id="t", priority=-1),
+            dict(tenant_id="t", quota=0),
+            dict(tenant_id="t", quota=-3),
+            dict(tenant_id="t", weight=0.0),
+            dict(tenant_id="t", weight=float("inf")),
+            dict(tenant_id="t", traffic_share=-0.1),
+            dict(tenant_id="t", billing_rate=-1.0),
+        ],
+    )
+    def test_invalid_fields_raise(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Tenant(**kwargs)
+
+    def test_round_trip_and_unknown_key(self):
+        tenant = Tenant("gold", slo_class="premium", quota=8, exclusive=True)
+        payload = json.loads(json.dumps(tenant.to_dict()))
+        assert Tenant.from_dict(payload) == tenant
+        payload["colour"] = "purple"
+        with pytest.raises(ConfigurationError):
+            Tenant.from_dict(payload)
+
+
+class TestTenantSet:
+    def test_duplicate_ids_raise(self):
+        with pytest.raises(ConfigurationError):
+            TenantSet((Tenant("a"), Tenant("a")))
+
+    def test_empty_set_raises(self):
+        with pytest.raises(ConfigurationError):
+            TenantSet(())
+
+    def test_all_zero_shares_raise(self):
+        with pytest.raises(ConfigurationError):
+            TenantSet((Tenant("a", traffic_share=0.0),))
+
+    def test_get_and_contains(self):
+        tenants = TenantSet((Tenant("a"), Tenant("b")))
+        assert tenants.get("b").tenant_id == "b"
+        assert "a" in tenants
+        assert DEFAULT_TENANT_ID not in tenants
+        with pytest.raises(ConfigurationError):
+            tenants.get("ghost")
+
+    def test_normalised_shares_sum_to_one(self):
+        tenants = TenantSet(
+            (Tenant("a", traffic_share=1.0), Tenant("b", traffic_share=3.0))
+        )
+        shares = tenants.normalised_shares()
+        assert shares == {"a": 0.25, "b": 0.75}
+
+
+class TestTenantSurge:
+    def test_active_window_is_half_open(self):
+        surge = TenantSurge("a", start=10.0, end=20.0, multiplier=4.0)
+        assert not surge.active_at(9.999)
+        assert surge.active_at(10.0)
+        assert surge.active_at(19.999)
+        assert not surge.active_at(20.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(tenant_id="", start=0.0, end=1.0, multiplier=1.0),
+            dict(tenant_id="a", start=5.0, end=5.0, multiplier=1.0),
+            dict(tenant_id="a", start=-1.0, end=1.0, multiplier=1.0),
+            dict(tenant_id="a", start=0.0, end=1.0, multiplier=-2.0),
+        ],
+    )
+    def test_invalid_surges_raise(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TenantSurge(**kwargs)
+
+
+class TestTenancySpec:
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ConfigurationError):
+            TenancySpec(tenant_set=TenantSet((Tenant("a"),)), policy="lottery")
+
+    def test_tenant_set_type_checked(self):
+        with pytest.raises(ConfigurationError):
+            TenancySpec(tenant_set=[Tenant("a")])
+
+    def test_surge_for_unknown_tenant_raises(self):
+        with pytest.raises(ConfigurationError):
+            TenancySpec(
+                tenant_set=TenantSet((Tenant("a"),)),
+                surges=(TenantSurge("ghost", 0.0, 1.0, 2.0),),
+            )
+
+    def test_missing_tenant_set_payload_raises(self):
+        with pytest.raises(ConfigurationError):
+            TenancySpec.from_dict({"policy": "wfq"})

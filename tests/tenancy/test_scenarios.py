@@ -1,0 +1,67 @@
+"""Scenario regressions: WFQ protects the victim; fan-out is bit-identical.
+
+The noisy-neighbour test is the acceptance criterion of the tenancy
+issue, stated exactly as the paper-style claim: under a 3× aggressor,
+FIFO lets the victim's SLO attainment collapse by more than 20 points
+while WFQ + admission control holds it within 5 points of its solo
+attainment. The scenario runs are the same configs the CLI executes
+(``python -m repro tenants noisy-neighbour``), so the CLI's quoted
+numbers are the numbers pinned here.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tenancy import SCENARIOS, run_tenancy_scenario, scenario_configs
+
+
+@pytest.fixture(scope="module")
+def noisy_neighbour():
+    return run_tenancy_scenario("noisy-neighbour", seed=0)
+
+
+class TestNoisyNeighbour:
+    def test_fifo_lets_the_victim_collapse(self, noisy_neighbour):
+        assert noisy_neighbour.verdict["fifo_degradation_points"] > 20.0
+
+    def test_wfq_holds_the_victim_near_solo(self, noisy_neighbour):
+        assert abs(noisy_neighbour.verdict["wfq_gap_to_solo_points"]) <= 5.0
+
+    def test_wfq_sheds_aggressor_excess_at_the_gateway(self, noisy_neighbour):
+        wfq = noisy_neighbour.tenancy["wfq"]
+        rejections = {
+            row["tenant_id"]: row["rejections"] for row in wfq["outcomes"]
+        }
+        assert rejections["aggressor"] > 0
+        assert rejections["victim"] == 0
+
+    def test_describe_renders_every_run(self, noisy_neighbour):
+        text = noisy_neighbour.describe()
+        for label in ("solo", "fifo", "wfq"):
+            assert f"run {label}:" in text
+        assert "fifo_degradation_points" in text
+
+
+class TestScenarioSurface:
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ConfigurationError):
+            scenario_configs("noisy-neighbor")  # spelling matters
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_configs_are_seed_deterministic(self, name):
+        assert scenario_configs(name, seed=3) == scenario_configs(name, seed=3)
+        for config in scenario_configs(name, seed=3).values():
+            assert config.tenants is not None
+
+    def test_quota_exhaustion_sheds_only_the_capped_tenant(self):
+        result = run_tenancy_scenario("quota-exhaustion", seed=0)
+        assert result.verdict["capped_rejections"] > 0
+        assert result.verdict["steady_rejections"] == 0
+
+
+def test_parallel_fanout_is_bit_identical():
+    serial = run_tenancy_scenario("noisy-neighbour", seed=1, jobs=1)
+    fanned = run_tenancy_scenario("noisy-neighbour", seed=1, jobs=4)
+    assert serial.rows == fanned.rows
+    assert serial.tenancy == fanned.tenancy
+    assert serial.verdict == fanned.verdict

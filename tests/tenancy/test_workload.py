@@ -1,0 +1,99 @@
+"""The tenant workload multiplexer: deterministic, share-faithful tagging."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tenancy import TenancySpec, Tenant, TenantSet, TenantSurge, TenantWorkload
+from repro.traces.mixing import RequestSpec
+from repro.workloads import get_model
+
+MODEL = get_model("resnet50")
+
+
+def make_specs(n, spacing=0.01):
+    return [
+        RequestSpec(arrival=i * spacing, model=MODEL, strict=True)
+        for i in range(n)
+    ]
+
+
+def make_spec(**overrides):
+    tenants = overrides.pop(
+        "tenant_set",
+        TenantSet(
+            (Tenant("a", traffic_share=1.0), Tenant("b", traffic_share=3.0))
+        ),
+    )
+    return TenancySpec(tenant_set=tenants, **overrides)
+
+
+def test_multiplex_is_deterministic_per_seed():
+    workload = TenantWorkload(make_spec())
+    specs = make_specs(500)
+    first = workload.multiplex(specs, np.random.default_rng(7))
+    second = workload.multiplex(specs, np.random.default_rng(7))
+    assert [s.tenant for s in first] == [s.tenant for s in second]
+    other = workload.multiplex(specs, np.random.default_rng(8))
+    assert [s.tenant for s in first] != [s.tenant for s in other]
+
+
+def test_assignment_tracks_traffic_shares():
+    workload = TenantWorkload(make_spec())
+    tagged = workload.multiplex(make_specs(4000), np.random.default_rng(0))
+    share_b = sum(1 for s in tagged if s.tenant == "b") / len(tagged)
+    assert share_b == pytest.approx(0.75, abs=0.03)
+
+
+def test_surge_window_modulates_shares():
+    spec = make_spec(
+        tenant_set=TenantSet(
+            (Tenant("a", traffic_share=1.0), Tenant("b", traffic_share=1.0))
+        ),
+        surges=(TenantSurge("b", start=10.0, end=20.0, multiplier=0.0),),
+    )
+    workload = TenantWorkload(spec)
+    tagged = workload.multiplex(make_specs(3000), np.random.default_rng(1))
+    inside = [s for s in tagged if 10.0 <= s.arrival < 20.0]
+    outside = [s for s in tagged if s.arrival < 10.0]
+    assert inside and outside
+    assert all(s.tenant == "a" for s in inside)
+    assert any(s.tenant == "b" for s in outside)
+
+
+def test_slo_class_scales_deadline_multiplier():
+    spec = make_spec(
+        tenant_set=TenantSet((Tenant("gold", slo_class="premium"),))
+    )
+    workload = TenantWorkload(spec)
+    base = RequestSpec(arrival=0.0, model=MODEL, strict=True, slo_multiplier=4.0)
+    (tagged,) = workload.multiplex([base], np.random.default_rng(0))
+    assert tagged.tenant == "gold"
+    assert tagged.slo_multiplier == pytest.approx(4.0 * 0.75)
+
+
+def test_pretagged_specs_pass_through_but_must_be_registered():
+    workload = TenantWorkload(make_spec())
+    known = RequestSpec(arrival=0.0, model=MODEL, strict=True, tenant="a")
+    (passed,) = workload.multiplex([known], np.random.default_rng(0))
+    assert passed is known
+    ghost = RequestSpec(arrival=0.0, model=MODEL, strict=True, tenant="ghost")
+    with pytest.raises(ConfigurationError):
+        workload.multiplex([ghost], np.random.default_rng(0))
+
+
+def test_all_shares_surged_to_zero_is_an_error():
+    spec = make_spec(
+        tenant_set=TenantSet(
+            (Tenant("a", traffic_share=1.0), Tenant("b", traffic_share=0.0))
+        ),
+        surges=(TenantSurge("a", start=0.0, end=100.0, multiplier=0.0),),
+    )
+    workload = TenantWorkload(spec)
+    with pytest.raises(ConfigurationError):
+        workload.multiplex(make_specs(1), np.random.default_rng(0))
+
+
+def test_workload_requires_a_tenancy_spec():
+    with pytest.raises(ConfigurationError):
+        TenantWorkload({"policy": "wfq"})

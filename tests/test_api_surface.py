@@ -86,6 +86,7 @@ PUBLIC_API = {
         "CATEGORY_GPU",
         "CATEGORY_REQUEST",
         "CATEGORY_RUN",
+        "CATEGORY_TENANT",
         "Counter",
         "DetachedTrace",
         "Histogram",
@@ -111,6 +112,24 @@ PUBLIC_API = {
         "to_trace_events",
         "write_chrome_trace",
         "write_span_jsonl",
+    ],
+    "repro.tenancy": [
+        "AdmissionController",
+        "DEFAULT_TENANT_ID",
+        "FAIRNESS_POLICIES",
+        "NodeTenancy",
+        "SCENARIOS",
+        "SLO_CLASSES",
+        "ScenarioResult",
+        "TENANCY_SCHEMA_VERSION",
+        "TenancyRuntime",
+        "TenancySpec",
+        "Tenant",
+        "TenantSet",
+        "TenantSurge",
+        "TenantWorkload",
+        "run_tenancy_scenario",
+        "scenario_configs",
     ],
     "repro.parallel": [
         "JOBS_ENV_VAR",
