@@ -13,6 +13,7 @@ Usage::
     python -m repro plan wiki --target 0.99 --jobs 4
     python -m repro plan smoke --json plan.json
     python -m repro tenants noisy-neighbour --json
+    python -m repro hyperscale smoke --jobs 2 --json report.json
     python -m repro models
 """
 
@@ -449,6 +450,61 @@ def _cmd_tenants(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hyperscale(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.errors import HyperscaleError
+    from repro.hyperscale import HyperscaleConfig, run_hyperscale
+
+    overrides = {}
+    if args.nodes is not None:
+        overrides["n_nodes"] = args.nodes
+    if args.rate is not None:
+        overrides["rate"] = args.rate
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    if args.epoch_ticks is not None:
+        overrides["epoch_ticks"] = args.epoch_ticks
+    if args.no_audit:
+        overrides["audit"] = False
+    overrides["seed"] = args.seed
+    preset = HyperscaleConfig.smoke if args.preset == "smoke" else HyperscaleConfig.full
+    try:
+        config = preset(**overrides)
+        jobs = resolve_jobs(args.jobs, default=1)
+        started = time.perf_counter()
+        report = run_hyperscale(config, jobs=jobs)
+    except (ConfigurationError, HyperscaleError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    row = {
+        "nodes": report.n_nodes,
+        "ticks": report.node_ticks,
+        "arrivals": report.total_arrivals,
+        "served": report.total_served,
+        "slo": round(report.slo_attainment, 4),
+        "p50_s": round(report.latency_p50, 3),
+        "p99_s": round(report.latency_p99, 3),
+        "backlog": report.final_backlog,
+    }
+    print(format_table([row], title=f"hyperscale {args.preset} (jobs={jobs})"))
+    print(f"  identity_digest: {report.identity_digest}")
+    # Wall time goes to stdout only — the JSON stays deterministic so CI
+    # can diff serial and sharded runs byte for byte.
+    print(
+        f"  wall: {elapsed:.1f}s "
+        f"({report.total_arrivals / max(elapsed, 1e-9):,.0f} arrivals/s)"
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"  wrote {args.json}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     result = run_scheme(args.scheme, config)
@@ -521,6 +577,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_arg(tenants)
     tenants.set_defaults(func=_cmd_tenants)
+
+    hyper = sub.add_parser(
+        "hyperscale",
+        help="run the vectorised hyperscale engine (1000-node/100k-rps "
+        "scale); report is bit-identical for any --jobs value",
+    )
+    hyper.add_argument(
+        "preset",
+        nargs="?",
+        default="smoke",
+        choices=["smoke", "full"],
+        help="smoke: 32 nodes / 10 min (CI); full: 1000 nodes / 24 h",
+    )
+    hyper.add_argument("--nodes", type=int, default=None)
+    hyper.add_argument("--rate", type=float, default=None, help="cluster rps")
+    hyper.add_argument(
+        "--duration", type=float, default=None, help="simulated seconds"
+    )
+    hyper.add_argument(
+        "--epoch-ticks",
+        type=int,
+        default=None,
+        help="ticks per epoch (the shard barrier interval)",
+    )
+    hyper.add_argument("--seed", type=int, default=0)
+    hyper.add_argument(
+        "--no-audit",
+        action="store_true",
+        help="skip the exact integer conservation checks",
+    )
+    hyper.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the deterministic report JSON here (no wall time; "
+        "serial and sharded runs produce identical files)",
+    )
+    _add_jobs_arg(hyper)
+    hyper.set_defaults(func=_cmd_hyperscale)
 
     run = sub.add_parser("run", help="run one scheme on one workload")
     run.add_argument(

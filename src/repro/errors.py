@@ -102,6 +102,10 @@ class ConfigurationError(ReproError, ValueError):
     """
 
 
+class HyperscaleError(ReproError):
+    """The hyperscale engine hit an invalid state (shard/merge misuse)."""
+
+
 class AuditError(ReproError):
     """Base class for runtime-audit errors."""
 

@@ -100,6 +100,16 @@ class ExperimentConfig:
     #: on every node.
     tenants: TenancySpec | None = None
 
+    #: Streaming metrics (repro.metrics.streaming). False — the default —
+    #: collects every RequestRecord as before (exact summaries, O(n)
+    #: memory, raw records available to figures). True swaps in the
+    #: bounded-memory StreamingCollector: percentile sketches + running
+    #: counters, for million-request hyperscale runs. Counters, SLO
+    #: compliance, throughput, and cost are exact either way; percentiles
+    #: and the tail breakdown carry the documented sketch bounds
+    #: (docs/hyperscale.md), and ``ExperimentResult.measured`` is empty.
+    streaming_metrics: bool = False
+
     # Determinism
     seed: int = 0
 

@@ -26,6 +26,7 @@ from repro.metrics.breakdown import tail_breakdown
 from repro.metrics.latency import latency_cdf, p50, p99
 from repro.metrics.records import RecordCollector, RequestRecord
 from repro.metrics.slo import slo_compliance
+from repro.metrics.streaming import StreamingCollector
 from repro.metrics.summary import RunSummary, partition_window
 from repro.metrics.tenancy import TenancyReport, tenancy_report
 from repro.observability.span import CATEGORY_RUN
@@ -34,6 +35,7 @@ from repro.observability.tracer import NULL_TRACER, SimTracer, Tracer
 from repro.metrics.throughput import (
     cluster_utilization,
     strict_throughput_per_gpu,
+    throughput_per_gpu_from_counts,
     total_throughput_per_gpu,
 )
 from repro.serverless.platform import PlatformConfig, ServerlessPlatform
@@ -225,6 +227,16 @@ def run_scheme(
     reset_run_ids()
     sim = Simulator(config.seed)
     tracer: Tracer = SimTracer(sim) if config.tracing else NULL_TRACER
+    # Streaming mode swaps the collector for the bounded-memory one; the
+    # default path passes None and gets the plain RecordCollector, so its
+    # behaviour (and bit-identity) is untouched.
+    collector = (
+        StreamingCollector(
+            window_start=config.warmup, window_end=config.duration
+        )
+        if config.streaming_metrics
+        else None
+    )
     platform = ServerlessPlatform(
         sim,
         scheme,
@@ -236,6 +248,7 @@ def run_scheme(
             reconfig_seconds=config.reconfig_seconds,
             gpu_device=config.gpu_device,
         ),
+        collector=collector,
         tracer=tracer,
         tenancy=config.tenants,
     )
@@ -328,12 +341,18 @@ def run_scheme(
     if config.tenants is not None:
         # Extras keys and the report exist only when tenancy is active,
         # so the default path's extras dict is unchanged bit for bit.
-        result.tenancy = tenancy_report(
-            config.tenants.tenant_set,
-            result.measured,
-            platform.collector.rejections,
-            total_cost=platform.meter.total_cost,
-        )
+        if isinstance(platform.collector, StreamingCollector):
+            result.tenancy = platform.collector.tenancy_report(
+                config.tenants.tenant_set,
+                total_cost=platform.meter.total_cost,
+            )
+        else:
+            result.tenancy = tenancy_report(
+                config.tenants.tenant_set,
+                result.measured,
+                platform.collector.rejections,
+                total_cost=platform.meter.total_cost,
+            )
         result.extras["tenant_rejections"] = platform.gateway.requests_rejected
         result.extras["tenant_fairness"] = result.tenancy.fairness_index
     if tracer.enabled:
@@ -405,6 +424,23 @@ def _summarize(
     utilization,
 ) -> ExperimentResult:
     window_start, window_end = config.warmup, config.duration
+    expected_strict = sum(
+        1
+        for s in specs
+        if s.strict and window_start <= s.arrival < window_end
+    )
+    window = window_end - window_start
+    meter = platform.meter
+    if isinstance(platform.collector, StreamingCollector):
+        return _summarize_streaming(
+            scheme_name,
+            config,
+            platform,
+            procurement,
+            utilization,
+            expected_strict=expected_strict,
+            window=window,
+        )
     # Throughput counts requests that both arrived and completed inside
     # the window: an overloaded scheme's completions lag its arrivals
     # (Figure 10a's differentiation), while backlog drained from before
@@ -412,14 +448,7 @@ def _summarize(
     measured, strict, best_effort, completed_in_window = partition_window(
         list(platform.collector.records), window_start, window_end
     )
-    expected_strict = sum(
-        1
-        for s in specs
-        if s.strict and window_start <= s.arrival < window_end
-    )
     dropped_strict = max(0, expected_strict - len(strict))
-    window = window_end - window_start
-    meter = platform.meter
     summary = RunSummary(
         scheme=scheme_name,
         strict_model=config.strict_model,
@@ -445,7 +474,20 @@ def _summarize(
         cost_savings_fraction=meter.savings_fraction,
         dropped_requests=dropped_strict,
     )
-    extras = {
+    extras = _runner_extras(platform, procurement)
+    return ExperimentResult(
+        scheme=scheme_name,
+        config=config,
+        summary=summary,
+        collector=platform.collector,
+        measured=measured,
+        extras=extras,
+        platform=platform,
+    )
+
+
+def _runner_extras(platform: ServerlessPlatform, procurement: Procurement) -> dict:
+    return {
         "spot_nodes_built": procurement.spot_nodes_built,
         "on_demand_nodes_built": procurement.on_demand_nodes_built,
         "evictions": procurement.market.evictions,
@@ -455,12 +497,63 @@ def _summarize(
         "cold_starts": platform.total_cold_starts(),
         "nodes_at_end": len(platform.cluster),
     }
+
+
+def _summarize_streaming(
+    scheme_name: str,
+    config: ExperimentConfig,
+    platform: ServerlessPlatform,
+    procurement: Procurement,
+    utilization,
+    *,
+    expected_strict: int,
+    window: float,
+) -> ExperimentResult:
+    """Streaming twin of the record-based summary below.
+
+    Counters, SLO compliance, throughput, and cost match the record path
+    exactly; percentiles and the tail breakdown come from the collector's
+    sketches with the bounds documented in ``docs/hyperscale.md``. The
+    result carries no measured records (``measured == []``) — streaming
+    mode exists precisely so they are never materialised.
+    """
+    collector = platform.collector
+    assert isinstance(collector, StreamingCollector)
+    dropped_strict = max(0, expected_strict - collector.strict_count)
+    meter = platform.meter
+    summary = RunSummary(
+        scheme=scheme_name,
+        strict_model=config.strict_model,
+        requests_served=collector.measured_count,
+        strict_requests=collector.strict_count,
+        slo_compliance=collector.slo_compliance(dropped_strict=dropped_strict),
+        strict_p50=collector.strict_percentile(50),
+        strict_p99=collector.strict_percentile(99),
+        be_p50=collector.be_percentile(50),
+        be_p99=collector.be_percentile(99),
+        tail_breakdown=collector.tail_breakdown(),
+        strict_throughput_per_gpu=throughput_per_gpu_from_counts(
+            collector.completed_strict_in_window, config.n_nodes, window
+        ),
+        total_throughput_per_gpu=throughput_per_gpu_from_counts(
+            collector.completed_in_window, config.n_nodes, window
+        ),
+        gpu_busy_fraction=utilization.gpu_busy_fraction,
+        gpu_any_busy_fraction=utilization.gpu_any_busy_fraction,
+        memory_fraction=utilization.memory_fraction,
+        reconfigurations=utilization.reconfigurations,
+        total_cost=meter.total_cost,
+        cost_savings_fraction=meter.savings_fraction,
+        dropped_requests=dropped_strict,
+    )
+    extras = _runner_extras(platform, procurement)
+    extras["streaming_metrics"] = True
     return ExperimentResult(
         scheme=scheme_name,
         config=config,
         summary=summary,
-        collector=platform.collector,
-        measured=measured,
+        collector=collector,
+        measured=[],
         extras=extras,
         platform=platform,
     )

@@ -1,0 +1,46 @@
+"""Hyperscale engine: vectorised 1000-node / 100k-rps simulation.
+
+The event-driven core (:mod:`repro.simulation`) dispatches one Python
+callback per event — perfect for the paper's 8-node testbed, hours of
+wall time for a simulated day at 1000 nodes. This package trades the
+per-event generality away: node queue dynamics become integer array
+recurrences over (nodes × ticks) epoch blocks, randomness becomes a
+counter-based hash RNG (a pure function of ``(seed, node, tick)``, so
+results are independent of how nodes are partitioned), and metrics
+stream into per-node :class:`~repro.metrics.streaming.QuantileDigest`
+sketches.
+
+Sharding (:func:`run_hyperscale` with ``jobs > 1``) partitions nodes
+across worker processes behind a conservative synchronised-clock
+barrier — every shard finishes epoch *k* before any enters *k+1* — and
+merges per-node results in node order, so a sharded run is bit-identical
+to the serial one (asserted in CI on the smoke preset).
+
+See ``docs/hyperscale.md`` for the design and its accuracy bounds, and
+``benchmarks/bench_hyperscale.py`` for the recorded throughput.
+"""
+
+from repro.hyperscale.config import HyperscaleConfig
+from repro.hyperscale.engine import ShardResult, run_engine
+from repro.hyperscale.hashrng import (
+    hash_normal,
+    hash_poisson,
+    hash_u01,
+    hash_u64,
+)
+from repro.hyperscale.report import HyperscaleReport, build_report
+from repro.hyperscale.shard import run_hyperscale, shard_ranges
+
+__all__ = [
+    "HyperscaleConfig",
+    "HyperscaleReport",
+    "ShardResult",
+    "build_report",
+    "hash_normal",
+    "hash_poisson",
+    "hash_u01",
+    "hash_u64",
+    "run_engine",
+    "run_hyperscale",
+    "shard_ranges",
+]

@@ -1,0 +1,205 @@
+"""The vectorised hyperscale engine: epoch-blocked Lindley recursion.
+
+Each node is an integer single-server queue sampled on the config tick.
+Per epoch and per node block the engine draws a full (nodes × ticks)
+Poisson arrival grid from the counter-based hash RNG, then solves the
+whole backlog trajectory with one closed form instead of a tick loop:
+
+    cser    = q0 + cumsum(arrivals - c)            # unreflected walk
+    run_min = minimum.accumulate(min(cser, 0))     # reflection correction
+    q       = cser - run_min                       # Lindley backlog
+
+which equals the classic ``q[t] = max(q[t-1] + a[t] - c, 0)`` recursion
+(the running minimum is exactly the total reflection absorbed at the
+zero boundary so far). Served work then follows by conservation:
+``served[t] = q[t-1] + a[t] - q[t]``. Everything is int64, so the audit
+invariants hold *exactly*, not within float tolerance.
+
+Latency model: an arrival during tick ``t`` waits behind the backlog
+``q[t-1]`` already queued, which drains at ``c`` per tick, then takes
+its own service tick — ``latency = (q[t-1] / c + 1) · tick`` seconds.
+Its SLO is met when the waiting component ``q[t-1] / c`` is at most
+``slo_ticks``. Arrivals within one tick share a latency value, so the
+per-node sketch ingests one weighted point per tick.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import AuditViolationError, HyperscaleError
+from repro.hyperscale.config import HyperscaleConfig
+from repro.hyperscale.hashrng import hash_poisson
+from repro.metrics.streaming import QuantileDigest
+
+
+@dataclass(slots=True)
+class ShardResult:
+    """Per-node outcome of one engine run over ``[node_lo, node_hi)``.
+
+    Everything is a plain numpy array or list of arrays, so the object
+    pickles cheaply across the shard worker queue. Arrays are indexed by
+    node-within-shard (``node - node_lo``).
+    """
+
+    node_lo: int
+    node_hi: int
+    #: Simulated ticks covered (same for every node).
+    node_ticks: int
+    #: Per-node totals over the whole horizon (int64).
+    arrivals: np.ndarray
+    served: np.ndarray
+    slo_met: np.ndarray
+    #: Backlog still queued at the horizon (int64).
+    final_backlog: np.ndarray
+    #: Per-node latency sketches as centroid runs ``(means, weights)``.
+    digests: list[tuple[np.ndarray, np.ndarray]]
+
+    def __post_init__(self) -> None:
+        n = self.node_hi - self.node_lo
+        if n <= 0:
+            raise HyperscaleError("ShardResult covers no nodes")
+        for name in ("arrivals", "served", "slo_met", "final_backlog"):
+            if getattr(self, name).shape != (n,):
+                raise HyperscaleError(
+                    f"ShardResult.{name} must have shape ({n},)"
+                )
+        if len(self.digests) != n:
+            raise HyperscaleError(f"ShardResult needs {n} digests")
+
+
+def run_engine(
+    config: HyperscaleConfig,
+    node_lo: int = 0,
+    node_hi: int | None = None,
+    *,
+    epoch_hook: Callable[[int], None] | None = None,
+) -> ShardResult:
+    """Simulate nodes ``[node_lo, node_hi)`` over the full horizon.
+
+    ``epoch_hook(epoch_index)`` fires after every completed epoch — the
+    shard runner hangs its synchronised-clock barrier on it, so all
+    shards finish epoch *k* before any enters *k + 1*. Because the hash
+    RNG keys randomness by absolute ``(node, tick)`` coordinates, the
+    result for a node is identical whatever range it is computed in.
+    """
+    if node_hi is None:
+        node_hi = config.n_nodes
+    if not 0 <= node_lo < node_hi <= config.n_nodes:
+        raise HyperscaleError(
+            f"invalid node range [{node_lo}, {node_hi}) for "
+            f"{config.n_nodes} nodes"
+        )
+
+    n_local = node_hi - node_lo
+    n_ticks = config.n_ticks
+    c = config.capacity_per_tick
+    base_lam = config.mean_arrivals_per_node_tick
+    slo_wait_ticks = config.slo_ticks
+
+    backlog = np.zeros(n_local, dtype=np.int64)
+    arrivals_total = np.zeros(n_local, dtype=np.int64)
+    served_total = np.zeros(n_local, dtype=np.int64)
+    slo_met_total = np.zeros(n_local, dtype=np.int64)
+    digests = [QuantileDigest(config.max_centroids) for _ in range(n_local)]
+
+    for epoch in range(config.n_epochs):
+        t0 = epoch * config.epoch_ticks
+        t1 = min(t0 + config.epoch_ticks, n_ticks)
+        ticks = np.arange(t0, t1, dtype=np.int64)
+        # Diurnal modulation is a pure function of absolute tick time, so
+        # every shard computes the identical rate profile.
+        lam_t = base_lam * (
+            1.0
+            + config.diurnal_amplitude
+            * np.sin(2.0 * math.pi * (ticks * config.tick) / config.diurnal_period)
+        )
+
+        for blo in range(0, n_local, config.block_nodes):
+            bhi = min(blo + config.block_nodes, n_local)
+            nodes = np.arange(node_lo + blo, node_lo + bhi, dtype=np.int64)
+            arrivals = hash_poisson(
+                lam_t[None, :], config.seed, nodes[:, None], ticks[None, :]
+            )
+
+            q0 = backlog[blo:bhi]
+            cser = q0[:, None] + np.cumsum(arrivals - c, axis=1)
+            run_min = np.minimum.accumulate(np.minimum(cser, 0), axis=1)
+            q = cser - run_min
+            q_prev = np.concatenate([q0[:, None], q[:, :-1]], axis=1)
+            served = q_prev + arrivals - q
+
+            if config.audit:
+                _audit_block(nodes, q0, arrivals, q_prev, q, served, c)
+
+            wait_ticks = q_prev.astype(np.float64) / c
+            latency = (wait_ticks + 1.0) * config.tick
+            met = wait_ticks <= slo_wait_ticks
+
+            arrivals_total[blo:bhi] += arrivals.sum(axis=1)
+            served_total[blo:bhi] += served.sum(axis=1)
+            slo_met_total[blo:bhi] += np.where(met, arrivals, 0).sum(axis=1)
+            backlog[blo:bhi] = q[:, -1]
+
+            for i in range(bhi - blo):
+                digests[blo + i].add_many(latency[i], arrivals[i])
+
+        if epoch_hook is not None:
+            epoch_hook(epoch)
+
+    return ShardResult(
+        node_lo=node_lo,
+        node_hi=node_hi,
+        node_ticks=n_ticks,
+        arrivals=arrivals_total,
+        served=served_total,
+        slo_met=slo_met_total,
+        final_backlog=backlog,
+        digests=[d.to_arrays() for d in digests],
+    )
+
+
+def _audit_block(
+    nodes: np.ndarray,
+    q0: np.ndarray,
+    arrivals: np.ndarray,
+    q_prev: np.ndarray,
+    q: np.ndarray,
+    served: np.ndarray,
+    c: int,
+) -> None:
+    """Exact integer conservation checks over one epoch block.
+
+    The recursion is closed-form, so these are genuine invariants — any
+    failure means a bug (or bit corruption), never rounding.
+    """
+    if np.any(q < 0):
+        raise AuditViolationError(
+            f"negative backlog at node {int(nodes[np.where(q < 0)[0][0]])}"
+        )
+    if np.any(served < 0):
+        raise AuditViolationError(
+            f"negative served count at node "
+            f"{int(nodes[np.where(served < 0)[0][0]])}"
+        )
+    if np.any(served > c):
+        raise AuditViolationError(
+            f"served beyond capacity at node "
+            f"{int(nodes[np.where(served > c)[0][0]])}"
+        )
+    expected = np.minimum(q_prev + arrivals, c)
+    if not np.array_equal(served, expected):
+        bad = int(nodes[np.where(np.any(served != expected, axis=1))[0][0]])
+        raise AuditViolationError(
+            f"work-conserving service violated at node {bad}"
+        )
+    # Flow conservation across the whole block: in = out + queued delta.
+    lhs = q0 + arrivals.sum(axis=1)
+    rhs = served.sum(axis=1) + q[:, -1]
+    if not np.array_equal(lhs, rhs):
+        bad = int(nodes[np.where(lhs != rhs)[0][0]])
+        raise AuditViolationError(f"flow conservation violated at node {bad}")

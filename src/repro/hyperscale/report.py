@@ -1,0 +1,131 @@
+"""Merging shard results into one deterministic hyperscale report.
+
+The merge is where the bit-identity guarantee gets cashed in: every
+per-node quantity (counters and digest centroid runs) is identical
+whichever shard computed it, so concatenating shards in node order and
+reducing yields the same report as a serial run — byte for byte. The
+report carries a SHA-256 ``identity_digest`` over exactly that per-node
+state, which is what CI diffs between the serial and ``--jobs 2`` smoke
+runs.
+
+Nothing in the report depends on wall time; timings live with the CLI
+and the benchmark, never in :meth:`HyperscaleReport.to_dict`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import HyperscaleError
+from repro.hyperscale.config import HyperscaleConfig
+from repro.hyperscale.engine import ShardResult
+from repro.metrics.streaming import QuantileDigest
+
+
+@dataclass(frozen=True, slots=True)
+class HyperscaleReport:
+    """Cluster-level summary of one hyperscale run."""
+
+    n_nodes: int
+    node_ticks: int
+    #: Cluster totals over the horizon.
+    total_arrivals: int
+    total_served: int
+    total_slo_met: int
+    final_backlog: int
+    #: Fraction of arrivals whose queueing wait met the SLO.
+    slo_attainment: float
+    #: Cluster latency percentiles (seconds) from the merged sketch.
+    latency_p50: float
+    latency_p99: float
+    #: SHA-256 over the per-node counters and digest states in node
+    #: order — the serial-vs-sharded bit-identity fingerprint.
+    identity_digest: str
+    #: Provenance: the config that produced this report.
+    config: dict
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation; deterministic (no wall time)."""
+        return {
+            "n_nodes": self.n_nodes,
+            "node_ticks": self.node_ticks,
+            "total_arrivals": self.total_arrivals,
+            "total_served": self.total_served,
+            "total_slo_met": self.total_slo_met,
+            "final_backlog": self.final_backlog,
+            "slo_attainment": self.slo_attainment,
+            "latency_p50": self.latency_p50,
+            "latency_p99": self.latency_p99,
+            "identity_digest": self.identity_digest,
+            "config": dict(self.config),
+        }
+
+
+def build_report(
+    config: HyperscaleConfig, results: Sequence[ShardResult]
+) -> HyperscaleReport:
+    """Merge shard results (any order) into the canonical report.
+
+    Shards must tile ``[0, config.n_nodes)`` exactly; gaps, overlaps, or
+    mismatched tick counts are structural errors, not data.
+    """
+    if not results:
+        raise HyperscaleError("no shard results to merge")
+    ordered = sorted(results, key=lambda r: r.node_lo)
+    cursor = 0
+    for shard in ordered:
+        if shard.node_lo != cursor:
+            raise HyperscaleError(
+                f"shard results do not tile the node range: expected a "
+                f"shard starting at node {cursor}, got {shard.node_lo}"
+            )
+        if shard.node_ticks != ordered[0].node_ticks:
+            raise HyperscaleError("shards simulated different horizons")
+        cursor = shard.node_hi
+    if cursor != config.n_nodes:
+        raise HyperscaleError(
+            f"shard results cover {cursor} nodes, config has {config.n_nodes}"
+        )
+
+    arrivals = np.concatenate([s.arrivals for s in ordered])
+    served = np.concatenate([s.served for s in ordered])
+    slo_met = np.concatenate([s.slo_met for s in ordered])
+    backlog = np.concatenate([s.final_backlog for s in ordered])
+
+    # Merge protocol: absorb per-node centroid runs in node order into a
+    # fresh digest. Per-node runs are shard-independent, so this digest —
+    # and every quantile read from it — matches the serial run exactly.
+    merged = QuantileDigest(config.max_centroids)
+    hasher = hashlib.sha256()
+    for shard in ordered:
+        for i in range(shard.node_hi - shard.node_lo):
+            means, weights = shard.digests[i]
+            merged.absorb(means, weights)
+            hasher.update(np.ascontiguousarray(means, dtype=np.float64))
+            hasher.update(np.ascontiguousarray(weights, dtype=np.float64))
+    hasher.update(np.ascontiguousarray(arrivals, dtype=np.int64))
+    hasher.update(np.ascontiguousarray(served, dtype=np.int64))
+    hasher.update(np.ascontiguousarray(slo_met, dtype=np.int64))
+    hasher.update(np.ascontiguousarray(backlog, dtype=np.int64))
+
+    total_arrivals = int(arrivals.sum())
+    total_slo_met = int(slo_met.sum())
+    return HyperscaleReport(
+        n_nodes=config.n_nodes,
+        node_ticks=int(ordered[0].node_ticks),
+        total_arrivals=total_arrivals,
+        total_served=int(served.sum()),
+        total_slo_met=total_slo_met,
+        final_backlog=int(backlog.sum()),
+        slo_attainment=(
+            total_slo_met / total_arrivals if total_arrivals else 1.0
+        ),
+        latency_p50=merged.percentile(50.0),
+        latency_p99=merged.percentile(99.0),
+        identity_digest=hasher.hexdigest(),
+        config=config.to_dict(),
+    )

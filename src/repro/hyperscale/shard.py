@@ -1,0 +1,107 @@
+"""Process-sharded hyperscale runs behind a synchronised-clock barrier.
+
+Nodes are partitioned into contiguous ranges, one worker process per
+range (via :func:`repro.parallel.mp_context`). Workers advance in
+lockstep: a :class:`multiprocessing.Barrier` fires in every worker's
+``epoch_hook``, so all shards finish simulated epoch *k* before any
+enters *k + 1* — a conservative synchronised-clock protocol. Today's
+node queues are workload-independent, so the barrier is not needed for
+*correctness* of the current model; it is the contract that keeps the
+sharding bit-identical once cross-node coupling (work stealing, global
+admission) lands, and it already bounds shard skew so memory stays one
+epoch block per worker.
+
+Bit-identity itself comes from the counter-based RNG (randomness keyed
+by absolute node/tick coordinates) plus the node-order merge in
+:func:`repro.hyperscale.report.build_report`; CI asserts it by diffing
+the serial and ``--jobs 2`` smoke reports.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+from repro.errors import HyperscaleError
+from repro.hyperscale.config import HyperscaleConfig
+from repro.hyperscale.engine import run_engine
+from repro.hyperscale.report import HyperscaleReport, build_report
+from repro.parallel import mp_context
+
+
+def shard_ranges(n_nodes: int, jobs: int) -> list[tuple[int, int]]:
+    """Partition ``[0, n_nodes)`` into ``jobs`` contiguous ranges.
+
+    Sizes differ by at most one; empty ranges are dropped (asking for
+    more jobs than nodes just yields fewer shards).
+    """
+    if n_nodes < 1:
+        raise HyperscaleError("n_nodes must be >= 1")
+    if jobs < 1:
+        raise HyperscaleError("jobs must be >= 1")
+    jobs = min(jobs, n_nodes)
+    base, extra = divmod(n_nodes, jobs)
+    ranges: list[tuple[int, int]] = []
+    lo = 0
+    for i in range(jobs):
+        hi = lo + base + (1 if i < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def _shard_worker(config, node_lo, node_hi, barrier, queue) -> None:
+    """Run one shard, synchronising with siblings at every epoch edge."""
+    try:
+        result = run_engine(
+            config,
+            node_lo,
+            node_hi,
+            epoch_hook=lambda epoch: barrier.wait(),
+        )
+        queue.put((node_lo, result))
+    except BaseException:
+        # Release siblings parked at the barrier, then surface the
+        # traceback through the queue so the parent can re-raise.
+        barrier.abort()
+        queue.put((node_lo, traceback.format_exc()))
+
+
+def run_hyperscale(
+    config: HyperscaleConfig, jobs: int = 1
+) -> HyperscaleReport:
+    """Run the full cluster, serially or sharded across ``jobs`` workers.
+
+    Whatever ``jobs`` is, the returned report is bit-identical — same
+    counters, same percentiles, same ``identity_digest``.
+    """
+    if jobs < 1:
+        raise HyperscaleError("jobs must be >= 1")
+    ranges = shard_ranges(config.n_nodes, jobs)
+    if len(ranges) == 1:
+        return build_report(config, [run_engine(config)])
+
+    ctx = mp_context()
+    barrier = ctx.Barrier(len(ranges))
+    queue = ctx.Queue()
+    workers = [
+        ctx.Process(
+            target=_shard_worker,
+            args=(config, lo, hi, barrier, queue),
+            daemon=True,
+        )
+        for lo, hi in ranges
+    ]
+    for worker in workers:
+        worker.start()
+    # Drain before join: a worker blocks on queue.put for large payloads
+    # until the parent reads them, so joining first would deadlock.
+    payloads = [queue.get() for _ in ranges]
+    for worker in workers:
+        worker.join()
+    failures = [p for p in payloads if isinstance(p[1], str)]
+    if failures:
+        lo, tb = failures[0]
+        raise HyperscaleError(
+            f"shard starting at node {lo} failed:\n{tb}"
+        )
+    return build_report(config, [result for _, result in payloads])

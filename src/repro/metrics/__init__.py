@@ -19,9 +19,11 @@ from repro.metrics.records import RecordCollector, RequestRecord
 from repro.metrics.slo import (
     collector_compliance,
     slo_compliance,
+    slo_compliance_from_counts,
     slo_compliance_percent,
     violations,
 )
+from repro.metrics.streaming import QuantileDigest, StreamingCollector
 from repro.metrics.stats import (
     ConfidenceInterval,
     cohens_d,
@@ -39,6 +41,7 @@ from repro.metrics.throughput import (
     ClusterUtilization,
     cluster_utilization,
     strict_throughput_per_gpu,
+    throughput_per_gpu_from_counts,
     total_throughput_per_gpu,
 )
 
@@ -47,9 +50,11 @@ __all__ = [
     "ClusterUtilization",
     "ConfidenceInterval",
     "LatencyBreakdown",
+    "QuantileDigest",
     "RecordCollector",
     "RequestRecord",
     "RunSummary",
+    "StreamingCollector",
     "arrival_rate_series",
     "ascii_cdf",
     "ascii_series",
@@ -70,10 +75,12 @@ __all__ = [
     "p99_stacked_breakdown",
     "percentile",
     "slo_compliance",
+    "slo_compliance_from_counts",
     "slo_compliance_percent",
     "strict_throughput_per_gpu",
     "tail_breakdown",
     "tail_records",
+    "throughput_per_gpu_from_counts",
     "total_throughput_per_gpu",
     "violations",
     "welch_t_test",

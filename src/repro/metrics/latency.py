@@ -41,21 +41,29 @@ def latency_cdf(
     """Empirical CDF of end-to-end latency (Figure 8).
 
     Returns ``(latency_values, cumulative_fraction)`` arrays of length
-    ``points`` (or fewer for tiny samples), evaluated on evenly spaced
-    quantiles so the curve is directly plottable.
+    ``points`` (or fewer for tiny samples). Every returned pair lies
+    exactly on the empirical CDF ``F(x) = #{latency <= x} / N``: the
+    fraction grid runs from ``1/n`` to ``1`` (the sample minimum has
+    cumulative mass ``1/N``, never 0 — an earlier version anchored the
+    grid at 0.0, which overstated the low tail by one sample's worth),
+    and values are the order statistics at those fractions (no
+    interpolation between samples).
     """
     latencies = np.sort(np.asarray([r.latency for r in records], dtype=float))
     if latencies.size == 0:
         return np.empty(0), np.empty(0)
     n = min(points, latencies.size)
-    if n == 1:
-        # A one-point linspace would yield fraction [0.0], a CDF that
-        # never reaches 1; the curve must terminate at cumulative 1.0.
-        fractions = np.array([1.0])
-    else:
-        fractions = np.linspace(0.0, 1.0, n)
-    # Quantile positions over the sorted sample.
-    values = np.quantile(latencies, fractions)
+    grid = np.linspace(1.0 / n, 1.0, n)
+    # Order statistics: value at nominal fraction f is x_(ceil(f*N)), the
+    # inverted-CDF quantile. The *returned* fraction is the ECDF evaluated
+    # at that value — #{latency <= value} / N — so every (value, fraction)
+    # pair sits exactly on the ECDF step even when the curve is
+    # subsampled (points < N) or the sample has ties.
+    indices = np.ceil(grid * latencies.size).astype(int) - 1
+    values = latencies[indices]
+    fractions = (
+        np.searchsorted(latencies, values, side="right") / latencies.size
+    )
     return values, fractions
 
 

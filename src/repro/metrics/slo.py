@@ -34,6 +34,21 @@ def slo_compliance(
     return met / total
 
 
+def slo_compliance_from_counts(
+    met: int, strict_total: int, *, dropped_strict: int = 0
+) -> float:
+    """:func:`slo_compliance` from running counters (streaming mode).
+
+    ``met`` strict requests met their deadline out of ``strict_total``
+    served; ``dropped_strict`` count as violations, exactly as in the
+    record-based computation.
+    """
+    total = strict_total + dropped_strict
+    if total == 0:
+        return float("nan")
+    return met / total
+
+
 def slo_compliance_percent(
     records: Iterable[RequestRecord], *, dropped_strict: int = 0
 ) -> float:

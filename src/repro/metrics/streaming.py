@@ -1,0 +1,426 @@
+"""Streaming metrics: quantile sketches and the incremental collector.
+
+A default run keeps every :class:`~repro.metrics.records.RequestRecord`
+and summarises at the end — exact, but a million-request hyperscale run
+would hold gigabytes of records. This module provides the O(1)-memory
+alternative:
+
+- :class:`QuantileDigest` — a deterministic, mergeable quantile sketch
+  (t-digest family, uniform weight buckets). Exact below
+  ``max_centroids`` samples; above, quantile-space error is bounded by
+  one bucket: ``|F(q̂) - q| <= (capacity + w_max) / W`` where
+  ``capacity = W / max_centroids`` and ``w_max`` is the largest single
+  insert weight — about ``1/max_centroids`` for unit weights (~0.1% at
+  the default 1024 centroids). See ``docs/hyperscale.md``.
+- :class:`StreamingCollector` — a drop-in
+  :class:`~repro.metrics.records.RecordCollector` that folds each record
+  into running counters, latency digests, and a bounded worst-strict-
+  records heap instead of storing it, then feeds the existing
+  slo/latency/throughput/tenancy reports.
+
+Determinism: both classes are pure functions of their insertion
+sequence — no RNG, no wall clock, no id()-order iteration — so the
+sharded hyperscale merge (per-node digests concatenated in node order,
+compressed once at top level) is bit-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.metrics.breakdown import LatencyBreakdown, breakdown
+from repro.metrics.records import (
+    RecordCollector,
+    RejectionRecord,
+    RequestRecord,
+)
+from repro.metrics.slo import slo_compliance_from_counts
+
+#: Default number of retained centroids. 1024 bounds quantile-space error
+#: near 0.1% for unit weights — p99 on a million-request run resolves to
+#: p98.9–p99.1 — while keeping a digest under 20 kB.
+DEFAULT_MAX_CENTROIDS = 1024
+
+#: Unsorted inserts buffered before a merge pass (amortises the sort).
+_BUFFER_SIZE = 4096
+
+
+class QuantileDigest:
+    """Deterministic mergeable quantile sketch over weighted values.
+
+    Centroids are kept sorted by mean; compression walks the sorted run
+    and buckets by cumulative weight (``W / max_centroids`` per bucket),
+    replacing each bucket with its weighted mean. The whole pipeline is
+    a pure function of the insertion sequence, which is what lets a
+    sharded run rebuild the exact serial digest by replaying per-node
+    centroid runs in node order.
+
+    Quantile queries use inverted-CDF semantics (the first centroid whose
+    cumulative weight reaches ``q·W``), so while the sample count is at
+    most ``max_centroids`` every answer is an exact order statistic.
+    """
+
+    __slots__ = (
+        "max_centroids",
+        "_means",
+        "_weights",
+        "_buffer_values",
+        "_buffer_weights",
+        "count",
+    )
+
+    def __init__(self, max_centroids: int = DEFAULT_MAX_CENTROIDS) -> None:
+        if max_centroids < 2:
+            raise ConfigurationError("max_centroids must be >= 2")
+        self.max_centroids = max_centroids
+        self._means = np.empty(0, dtype=float)
+        self._weights = np.empty(0, dtype=float)
+        self._buffer_values: list[float] = []
+        self._buffer_weights: list[float] = []
+        #: Number of ``add``/``add_many`` data points folded in (not the
+        #: total weight — see :attr:`total_weight`).
+        self.count = 0
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def add(self, value: float, weight: float = 1.0) -> None:
+        """Fold one weighted value into the sketch."""
+        if weight <= 0:
+            if weight == 0:
+                return
+            raise ConfigurationError("weight must be non-negative")
+        self._buffer_values.append(float(value))
+        self._buffer_weights.append(float(weight))
+        self.count += 1
+        if len(self._buffer_values) >= _BUFFER_SIZE:
+            self._flush()
+
+    def add_many(
+        self,
+        values: Sequence[float] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> None:
+        """Fold a batch of values (zero-weight entries are skipped)."""
+        values = np.asarray(values, dtype=float).ravel()
+        if weights is None:
+            kept = values
+            kept_weights = np.ones_like(kept)
+        else:
+            weights = np.asarray(weights, dtype=float).ravel()
+            if weights.shape != values.shape:
+                raise ConfigurationError(
+                    "values and weights must have the same length"
+                )
+            if np.any(weights < 0):
+                raise ConfigurationError("weight must be non-negative")
+            mask = weights > 0
+            kept = values[mask]
+            kept_weights = weights[mask]
+        if kept.size == 0:
+            return
+        self._buffer_values.extend(kept.tolist())
+        self._buffer_weights.extend(kept_weights.tolist())
+        self.count += int(kept.size)
+        if len(self._buffer_values) >= _BUFFER_SIZE:
+            self._flush()
+
+    def absorb(
+        self, means: np.ndarray, weights: np.ndarray
+    ) -> None:
+        """Fold another digest's centroid run (its :meth:`to_arrays`).
+
+        Feeding per-node centroid runs in node order and compressing once
+        reproduces the serial digest exactly — the sharded merge protocol
+        (``docs/hyperscale.md``).
+        """
+        self.add_many(means, weights)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _flush(self) -> None:
+        if not self._buffer_values:
+            return
+        values = np.concatenate(
+            [self._means, np.asarray(self._buffer_values, dtype=float)]
+        )
+        weights = np.concatenate(
+            [self._weights, np.asarray(self._buffer_weights, dtype=float)]
+        )
+        self._buffer_values.clear()
+        self._buffer_weights.clear()
+        # Stable sort: equal values keep insertion order, so the layout
+        # is a pure function of the insertion sequence.
+        order = np.argsort(values, kind="stable")
+        values = values[order]
+        weights = weights[order]
+        if values.size > self.max_centroids:
+            total = float(weights.sum())
+            capacity = total / self.max_centroids
+            # Midpoint rule: a centroid belongs to the bucket its weight
+            # midpoint falls in. Deterministic, and keeps every centroid
+            # a singleton while total weight < max_centroids buckets.
+            midpoints = np.cumsum(weights) - weights / 2.0
+            buckets = np.minimum(
+                (midpoints / capacity).astype(np.int64),
+                self.max_centroids - 1,
+            )
+            bucket_weight = np.bincount(
+                buckets, weights=weights, minlength=self.max_centroids
+            )
+            bucket_mass = np.bincount(
+                buckets, weights=weights * values, minlength=self.max_centroids
+            )
+            occupied = bucket_weight > 0
+            weights = bucket_weight[occupied]
+            values = bucket_mass[occupied] / weights
+        self._means = values
+        self._weights = weights
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def total_weight(self) -> float:
+        """Sum of all folded weights."""
+        return float(self._weights.sum()) + float(
+            np.sum(self._buffer_weights) if self._buffer_weights else 0.0
+        )
+
+    def quantile(self, q: float) -> float:
+        """Inverted-CDF quantile at ``q`` in [0, 1]; NaN when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError("q must lie in [0, 1]")
+        self._flush()
+        if self._means.size == 0:
+            return float("nan")
+        cumulative = np.cumsum(self._weights)
+        target = q * cumulative[-1]
+        index = int(np.searchsorted(cumulative, target, side="left"))
+        index = min(index, self._means.size - 1)
+        return float(self._means[index])
+
+    def percentile(self, p: float) -> float:
+        """:meth:`quantile` on the 0–100 scale."""
+        return self.quantile(p / 100.0)
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The centroid run ``(means, weights)`` — picklable, mergeable."""
+        self._flush()
+        return self._means.copy(), self._weights.copy()
+
+    def state_digest(self) -> str:
+        """SHA-256 over the centroid run — the bit-identity fingerprint."""
+        self._flush()
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(self._means).tobytes())
+        digest.update(np.ascontiguousarray(self._weights).tobytes())
+        return digest.hexdigest()
+
+    def __len__(self) -> int:
+        return self._means.size + len(self._buffer_values)
+
+
+class StreamingCollector(RecordCollector):
+    """A bounded-memory :class:`RecordCollector` for million-request runs.
+
+    Instead of storing records it folds each one into:
+
+    - running counters over the measured window ``[window_start,
+      window_end)`` — totals, strict/BE splits, SLO met counts, and
+      completed-in-window counts (the throughput numerator);
+    - strict and best-effort latency :class:`QuantileDigest` sketches;
+    - per-tenant counters + latency digests (feeding the tenancy report);
+    - a bounded min-heap of the ``tail_keep`` worst strict records, from
+      which the tail breakdown is computed (exact whenever the strict
+      tail above p99 fits in ``tail_keep``; the worst-``tail_keep``
+      approximation otherwise).
+
+    ``records``/``strict()``/... views are empty by design — callers that
+    need raw records should run without streaming mode. Rejections are
+    counted per tenant, not stored.
+    """
+
+    def __init__(
+        self,
+        window_start: float = 0.0,
+        window_end: float = math.inf,
+        *,
+        max_centroids: int = DEFAULT_MAX_CENTROIDS,
+        tail_keep: int = 4096,
+    ) -> None:
+        super().__init__()
+        if window_end <= window_start:
+            raise ConfigurationError("window_end must exceed window_start")
+        if tail_keep < 1:
+            raise ConfigurationError("tail_keep must be >= 1")
+        self.window_start = window_start
+        self.window_end = window_end
+        self.tail_keep = tail_keep
+        self.total_seen = 0
+        self.measured_count = 0
+        self.strict_count = 0
+        self.be_count = 0
+        self.slo_met_count = 0
+        self.completed_in_window = 0
+        self.completed_strict_in_window = 0
+        self.strict_digest = QuantileDigest(max_centroids)
+        self.be_digest = QuantileDigest(max_centroids)
+        self._tenants: dict[str, dict] = {}
+        self._tail: list[tuple[float, int, RequestRecord]] = []
+        self._tail_seq = 0
+
+    # ------------------------------------------------------------------
+    # Ingest (platform-facing surface, same as RecordCollector)
+    # ------------------------------------------------------------------
+    def add(self, record: RequestRecord) -> None:
+        """Fold one completed request's outcome; the record is not kept."""
+        self.total_seen += 1
+        arrival = record.arrival
+        if arrival < self.window_start or arrival >= self.window_end:
+            return
+        self.measured_count += 1
+        latency = record.latency
+        tenant = self._tenant_state(record.tenant)
+        tenant["requests"] += 1
+        tenant["digest"].add(latency)
+        if record.strict:
+            self.strict_count += 1
+            tenant["strict"] += 1
+            self.strict_digest.add(latency)
+            if record.slo_met:
+                self.slo_met_count += 1
+                tenant["slo_met"] += 1
+            self._keep_tail(latency, record)
+        else:
+            self.be_count += 1
+            self.be_digest.add(latency)
+        if record.completion < self.window_end:
+            self.completed_in_window += 1
+            if record.strict:
+                self.completed_strict_in_window += 1
+
+    def add_rejection(self, record: RejectionRecord) -> None:
+        """Count a gateway rejection per tenant; the record is not kept."""
+        self._tenant_state(record.tenant)["rejections"] += 1
+
+    def _tenant_state(self, tenant: str) -> dict:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = {
+                "requests": 0,
+                "strict": 0,
+                "slo_met": 0,
+                "rejections": 0,
+                "digest": QuantileDigest(256),
+            }
+            self._tenants[tenant] = state
+        return state
+
+    def _keep_tail(self, latency: float, record: RequestRecord) -> None:
+        self._tail_seq += 1
+        entry = (latency, self._tail_seq, record)
+        if len(self._tail) < self.tail_keep:
+            heapq.heappush(self._tail, entry)
+        elif entry > self._tail[0]:
+            heapq.heapreplace(self._tail, entry)
+
+    # ------------------------------------------------------------------
+    # Report surface (consumed by the experiment runner)
+    # ------------------------------------------------------------------
+    def slo_compliance(self, *, dropped_strict: int = 0) -> float:
+        """Windowed strict SLO compliance from the running counters."""
+        return slo_compliance_from_counts(
+            self.slo_met_count, self.strict_count, dropped_strict=dropped_strict
+        )
+
+    def strict_percentile(self, p: float) -> float:
+        """Strict latency percentile from the sketch (NaN when empty)."""
+        return self.strict_digest.percentile(p)
+
+    def be_percentile(self, p: float) -> float:
+        """Best-effort latency percentile from the sketch (NaN when empty)."""
+        return self.be_digest.percentile(p)
+
+    def strict_tail_records(self, q: float = 99.0) -> list[RequestRecord]:
+        """The retained strict records at or above the ``q``-th percentile.
+
+        The threshold comes from the digest over *all* strict records;
+        the candidates are the worst ``tail_keep`` retained ones, so the
+        result is exact when the true tail fits in ``tail_keep``.
+        """
+        if not self._tail:
+            return []
+        threshold = self.strict_digest.percentile(q)
+        tail = [
+            record
+            for latency, _seq, record in self._tail
+            if latency >= threshold
+        ]
+        if not tail:
+            # Sketch rounding can push the threshold just past the worst
+            # retained record; degrade to the single worst record rather
+            # than reporting an empty tail.
+            tail = [max(self._tail)[2]]
+        return tail
+
+    def tail_breakdown(self, q: float = 99.0) -> LatencyBreakdown:
+        """Latency decomposition of the strict tail (streaming analogue
+        of :func:`repro.metrics.breakdown.tail_breakdown`)."""
+        return breakdown(self.strict_tail_records(q))
+
+    def tenant_counters(self) -> dict[str, dict]:
+        """Per-tenant running counters (read-only snapshot, plus digests)."""
+        return {
+            tenant: dict(state) for tenant, state in self._tenants.items()
+        }
+
+    def tenancy_report(self, tenant_set, *, total_cost: float = 0.0):
+        """Per-tenant report from counters (streaming analogue of
+        :func:`repro.metrics.tenancy.tenancy_report`)."""
+        from repro.metrics.tenancy import (
+            TenancyReport,
+            TenantOutcome,
+            jain_index,
+        )
+
+        outcomes = []
+        attainments = []
+        total_revenue = 0.0
+        for tenant in tenant_set:
+            state = self._tenants.get(tenant.tenant_id)
+            requests = state["requests"] if state else 0
+            strict = state["strict"] if state else 0
+            attainment = slo_compliance_from_counts(
+                state["slo_met"] if state else 0, strict
+            )
+            revenue = requests * tenant.billing_rate
+            total_revenue += revenue
+            if strict:
+                attainments.append(attainment)
+            digest = state["digest"] if state else None
+            outcomes.append(
+                TenantOutcome(
+                    tenant_id=tenant.tenant_id,
+                    requests=requests,
+                    strict_requests=strict,
+                    slo_attainment=attainment,
+                    p50=digest.percentile(50) if digest else float("nan"),
+                    p99=digest.percentile(99) if digest else float("nan"),
+                    rejections=state["rejections"] if state else 0,
+                    revenue=revenue,
+                )
+            )
+        return TenancyReport(
+            outcomes=tuple(outcomes),
+            fairness_index=jain_index(attainments),
+            total_revenue=total_revenue,
+            total_cost=total_cost,
+        )

@@ -77,7 +77,10 @@ class ServerlessPlatform:
         self.sim = sim
         self.scheme = scheme
         self.config = config or PlatformConfig()
-        self.collector = collector or RecordCollector()
+        # Identity check, not truthiness: an empty collector is falsy
+        # (len() == 0), and a fresh StreamingCollector must not be
+        # silently replaced by the record-keeping default.
+        self.collector = collector if collector is not None else RecordCollector()
         self.meter = CostMeter(pricing)
         self.tracer = tracer
         self.cluster = Cluster(reconfig_fraction=self.config.reconfig_fraction)

@@ -20,9 +20,14 @@ def reset_ids() -> None:
     _batch_ids = itertools.count()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
-    """One user request as admitted by the gateway."""
+    """One user request as admitted by the gateway.
+
+    ``slots=True``: requests are the most numerous live objects in a run
+    (one per in-flight arrival), so the slotted layout matters at
+    hyperscale request counts.
+    """
 
     model: ModelProfile
     strict: bool
@@ -56,6 +61,18 @@ class RequestBatch:
     ``created_at`` (flush from the batcher) → ``ready_at`` (container
     available, cold start paid) → execution timing from the GPU engine.
     """
+
+    __slots__ = (
+        "batch_id",
+        "model",
+        "strict",
+        "created_at",
+        "tenant",
+        "requests",
+        "ready_at",
+        "cold_start_seconds",
+        "resubmissions",
+    )
 
     def __init__(
         self,

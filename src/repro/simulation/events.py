@@ -147,9 +147,20 @@ class EventQueue:
         return event
 
     def compact(self) -> None:
-        """Rebuild the heap without cancelled entries."""
-        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
-        heapq.heapify(self._heap)
+        """Rebuild the heap without cancelled entries.
+
+        The rebuild is **in place** (slice assignment on the existing
+        list, never a rebind): :meth:`Simulator.run` inlines the dispatch
+        loop around a local binding of this list, and an event callback —
+        an observer, an audit sweep — is allowed to call ``compact()``
+        mid-run. Replacing the list object here would strand that local
+        binding on the stale heap, silently dropping every event
+        scheduled afterwards (regression-tested by the mid-run
+        compaction test in ``tests/simulation/test_simulator.py``).
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[3].cancelled]
+        heapq.heapify(heap)
 
     @property
     def dead_fraction(self) -> float:

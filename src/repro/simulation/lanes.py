@@ -1,0 +1,107 @@
+"""Vectorised event lanes: array-backed timers for homogeneous event storms.
+
+The heap-based :class:`~repro.simulation.events.EventQueue` pays one Python
+callback dispatch per event (~50–60k events/sec). That is the right shape
+for *heterogeneous* events — every batch completion reschedules differently
+— but hyperscale workloads are dominated by **homogeneous steady-state
+timers**: per-tick arrival injections, autoscaler sweeps, telemetry
+samples, millions of identical firings whose times are known up front.
+
+An :class:`EventLane` stores those firing times as one sorted numpy array
+and delivers them to a single handler in **chunks**: all lane entries that
+fire before the next heap event (or before another lane's next entry) are
+dispatched as one ``handler(times_chunk)`` call. The simulator's clock and
+``events_processed`` counter advance as if each entry had been a heap
+event, but the per-event Python frame is gone — throughput becomes an
+array-slicing problem (tens of millions of entries/sec; see
+``benchmarks/bench_hyperscale.py``).
+
+Ordering contract (what keeps lane runs deterministic):
+
+- lane entries never overtake heap events: at equal timestamps the heap
+  event fires first;
+- between lanes, ties go to the earlier-registered lane;
+- a chunk never spans a heap event or another lane's next entry, so any
+  event a handler schedules is observed by later entries exactly as it
+  would have been event-by-event.
+
+Handler contract: the clock is already at the chunk's **last** timestamp
+when the handler runs (the chunk was dispatched as one aggregate), so a
+handler may only schedule heap events at or after that time. Lanes are for
+steady-state aggregation; anything that needs to react mid-chunk belongs
+on the heap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+#: Handler signature: receives the chunk's firing times (a read-only view
+#: into the lane's array, sorted ascending, length >= 1).
+LaneHandler = Callable[[np.ndarray], None]
+
+
+class EventLane:
+    """A sorted array of firing times serviced by one chunk handler.
+
+    Built through :meth:`repro.simulation.simulator.Simulator.add_lane`;
+    the constructor only validates and freezes the times array.
+    """
+
+    __slots__ = ("times", "handler", "label", "_cursor")
+
+    def __init__(
+        self,
+        times: Sequence[float] | np.ndarray,
+        handler: LaneHandler,
+        *,
+        label: str = "",
+    ) -> None:
+        array = np.ascontiguousarray(times, dtype=float)
+        if array.ndim != 1:
+            raise SimulationError(
+                f"lane times must be 1-D, got shape {array.shape}"
+            )
+        if array.size and not np.all(np.isfinite(array)):
+            raise SimulationError("lane times must be finite")
+        if array.size and np.any(np.diff(array) < 0):
+            raise SimulationError("lane times must be sorted non-decreasing")
+        if array.size and array[0] < 0:
+            raise SimulationError("lane times must be non-negative")
+        array.flags.writeable = False
+        self.times = array
+        self.handler = handler
+        self.label = label
+        self._cursor = 0
+
+    @property
+    def remaining(self) -> int:
+        """Entries not yet fired."""
+        return self.times.size - self._cursor
+
+    def peek(self) -> float:
+        """Next firing time; ``inf`` when the lane is exhausted."""
+        if self._cursor >= self.times.size:
+            return math.inf
+        return float(self.times[self._cursor])
+
+    def take_until(self, stop_index: int) -> np.ndarray:
+        """Advance the cursor to ``stop_index`` and return the chunk view.
+
+        Internal — only the simulator's lane-aware run loop calls this,
+        with a ``stop_index`` it computed from the ordering contract.
+        """
+        chunk = self.times[self._cursor : stop_index]
+        self._cursor = stop_index
+        return chunk
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EventLane({self.label!r}, {self.remaining}/{self.times.size} "
+            f"remaining)"
+        )

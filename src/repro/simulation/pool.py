@@ -1,0 +1,114 @@
+"""Object and array pooling for allocation-heavy hot paths.
+
+Hyperscale runs churn through millions of short-lived objects — per-epoch
+scratch arrays in the vectorised engine, per-chunk record buffers in event
+lanes. Allocating them fresh each time puts the allocator (and, for numpy
+scratch, page-zeroing) on the critical path. These pools recycle instead:
+
+- :class:`ObjectPool` — a freelist of arbitrary objects with an optional
+  reset hook, for mutable per-event records;
+- :class:`ArrayPool` — freelists of numpy arrays keyed by
+  ``(shape, dtype)``, for epoch-sized scratch buffers.
+
+Both are deliberately simple and single-threaded (the simulator core is
+single-threaded by design; sharded hyperscale runs hold one pool per
+process). Neither clears recycled storage — callers own overwriting it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, TypeVar
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+class ObjectPool(Generic[T]):
+    """A bounded freelist of reusable objects.
+
+    ``factory`` builds a fresh object when the freelist is empty;
+    ``reset`` (optional) is applied to an object on :meth:`release`
+    before it re-enters the freelist. At most ``max_size`` objects are
+    retained — releases beyond that are dropped for the GC, so a burst
+    does not pin memory forever.
+    """
+
+    __slots__ = ("_factory", "_reset", "_free", "max_size", "created", "reused")
+
+    def __init__(
+        self,
+        factory: Callable[[], T],
+        reset: Callable[[T], None] | None = None,
+        *,
+        max_size: int = 1024,
+    ) -> None:
+        if max_size < 1:
+            raise ConfigurationError("max_size must be >= 1")
+        self._factory = factory
+        self._reset = reset
+        self._free: list[T] = []
+        self.max_size = max_size
+        #: Objects built by ``factory`` (cache misses).
+        self.created = 0
+        #: Objects served from the freelist (cache hits).
+        self.reused = 0
+
+    def acquire(self) -> T:
+        """Take an object — recycled when available, fresh otherwise."""
+        if self._free:
+            self.reused += 1
+            return self._free.pop()
+        self.created += 1
+        return self._factory()
+
+    def release(self, obj: T) -> None:
+        """Return ``obj`` to the pool (reset first, dropped when full)."""
+        if self._reset is not None:
+            self._reset(obj)
+        if len(self._free) < self.max_size:
+            self._free.append(obj)
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+
+class ArrayPool:
+    """Freelists of numpy scratch arrays keyed by ``(shape, dtype)``.
+
+    :meth:`take` returns an array of the requested shape/dtype whose
+    contents are **unspecified** (recycled arrays are not zeroed — that
+    is the point); :meth:`give` returns it for reuse. The vectorised
+    hyperscale engine runs one epoch block per ``take``/``give`` pair,
+    so a 24-epoch run touches each buffer shape exactly once per block
+    instead of reallocating ~30 MB per epoch.
+    """
+
+    __slots__ = ("_free", "max_per_key", "created", "reused")
+
+    def __init__(self, *, max_per_key: int = 8) -> None:
+        if max_per_key < 1:
+            raise ConfigurationError("max_per_key must be >= 1")
+        self._free: dict[tuple[tuple[int, ...], str], list[np.ndarray]] = {}
+        self.max_per_key = max_per_key
+        self.created = 0
+        self.reused = 0
+
+    def take(self, shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """An array of ``shape``/``dtype`` with unspecified contents."""
+        key = (tuple(shape), np.dtype(dtype).str)
+        free = self._free.get(key)
+        if free:
+            self.reused += 1
+            return free.pop()
+        self.created += 1
+        return np.empty(shape, dtype=dtype)
+
+    def give(self, array: np.ndarray) -> None:
+        """Return ``array`` to its freelist (dropped when the key is full)."""
+        key = (array.shape, array.dtype.str)
+        free = self._free.setdefault(key, [])
+        if len(free) < self.max_per_key:
+            free.append(array)

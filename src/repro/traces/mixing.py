@@ -24,9 +24,13 @@ from repro.workloads.profile import ModelProfile
 DEFAULT_ROTATION_PERIOD = 20.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestSpec:
-    """One request to be injected into the platform."""
+    """One request to be injected into the platform.
+
+    ``slots=True``: a hyperscale trace materialises millions of specs up
+    front, so the slotted layout halves the stream's memory footprint.
+    """
 
     arrival: float
     model: ModelProfile
@@ -73,6 +77,28 @@ class MixSpec:
             raise TraceError("slo_multiplier must be positive")
 
 
+def _draw_mix_layout(
+    stamps: np.ndarray, mix: MixSpec, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """The shared RNG draw layout of :func:`mix_requests`.
+
+    Draw order is part of the reproducibility contract: first the
+    per-request strictness uniforms (``stamps.size`` draws), then — when
+    a BE pool exists — one rotation index per ``rotation_period`` window
+    up to the **last arrival** (not the nominal trace duration). Both
+    :func:`mix_requests` and :func:`be_model_schedule` must consume the
+    generator through this one helper; a second, diverging copy of the
+    layout is exactly the bug the rotation regression test pins.
+    """
+    strict_flags = rng.random(stamps.size) < mix.strict_fraction
+    if mix.be_pool:
+        windows = int(stamps[-1] // mix.rotation_period) + 1 if stamps.size else 0
+        rotation = rng.integers(0, len(mix.be_pool), size=max(windows, 1))
+    else:
+        rotation = None
+    return strict_flags, rotation
+
+
 def mix_requests(
     arrivals: Sequence[float] | np.ndarray,
     mix: MixSpec,
@@ -88,12 +114,7 @@ def mix_requests(
     stamps = np.sort(np.asarray(arrivals, dtype=float))
     if stamps.size and stamps[0] < 0:
         raise TraceError("arrival timestamps must be non-negative")
-    strict_flags = rng.random(stamps.size) < mix.strict_fraction
-    if mix.be_pool:
-        windows = int(stamps[-1] // mix.rotation_period) + 1 if stamps.size else 0
-        rotation = rng.integers(0, len(mix.be_pool), size=max(windows, 1))
-    else:
-        rotation = None
+    strict_flags, rotation = _draw_mix_layout(stamps, mix, rng)
     requests: list[RequestSpec] = []
     for arrival, strict in zip(stamps.tolist(), strict_flags.tolist()):
         if strict:
@@ -153,19 +174,53 @@ def collapse_to_batches(specs: Sequence[RequestSpec]) -> list[RequestSpec]:
 
 
 def be_model_schedule(
-    duration: float, mix: MixSpec, rng: np.random.Generator
+    duration: float,
+    mix: MixSpec,
+    rng: np.random.Generator,
+    *,
+    arrivals: Sequence[float] | np.ndarray | None = None,
 ) -> list[tuple[float, ModelProfile]]:
     """The (window start, BE model) rotation schedule over ``duration``.
 
-    Uses the same draw layout as :func:`mix_requests` — with the same rng
-    state it reproduces exactly the models requests will see, which the
-    Oracle baseline and Figure 7's annotations rely on.
+    Pass the **same** ``arrivals`` handed to :func:`mix_requests` and an
+    ``rng`` in the same state: the schedule then consumes the generator
+    through the identical draw layout (strictness uniforms first, then
+    one rotation draw per window up to the last arrival) and reproduces
+    exactly the models requests will see — the guarantee the Oracle
+    baseline and Figure 7's annotations rely on.
+
+    Historical note: this function used to re-derive the window count
+    from ``duration`` while :func:`mix_requests` derives it from the last
+    arrival stamp, and it skipped the strictness draws entirely — with
+    the same rng state the two silently diverged whenever the final
+    arrival did not land in ``duration``'s window (or at all, unless the
+    caller hand-burned the strictness uniforms). Without ``arrivals`` the
+    legacy layout is kept for callers that only want *a* schedule, but it
+    must not be used to annotate a generated request stream.
+
+    Windows that start after the last arrival carry no BE requests; they
+    are filled by cycling deterministically through ``be_pool`` from the
+    last drawn index (annotation-only, consumes no RNG draws).
     """
     if not mix.be_pool:
         return []
     windows = int(duration // mix.rotation_period) + 1
-    rotation = rng.integers(0, len(mix.be_pool), size=max(windows, 1))
-    return [
-        (w * mix.rotation_period, mix.be_pool[int(rotation[w])])
-        for w in range(windows)
-    ]
+    if arrivals is not None:
+        stamps = np.sort(np.asarray(arrivals, dtype=float))
+        _, rotation = _draw_mix_layout(stamps, mix, rng)
+        assert rotation is not None
+    else:
+        rotation = rng.integers(0, len(mix.be_pool), size=max(windows, 1))
+    schedule: list[tuple[float, ModelProfile]] = []
+    for w in range(windows):
+        if w < rotation.size:
+            index = int(rotation[w])
+        else:
+            # Past the last arrival: no requests exist to agree with, so
+            # extend predictably instead of inventing extra draws that
+            # would perturb callers sharing the generator.
+            index = (int(rotation[-1]) + (w - rotation.size + 1)) % len(
+                mix.be_pool
+            )
+        schedule.append((w * mix.rotation_period, mix.be_pool[index]))
+    return schedule

@@ -1,0 +1,115 @@
+"""Streaming-metrics runs must match record-collecting runs.
+
+``streaming_metrics=True`` swaps the platform's RecordCollector for the
+bounded-memory StreamingCollector. The simulation itself is untouched
+(the collector is a pure observer), so counters/SLO/throughput/cost are
+exact and percentiles come from a sketch that is exact below its
+centroid budget — at this experiment size every summary field must
+match the record-based run bit for bit.
+"""
+
+import bisect
+import dataclasses
+import math
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_scheme
+from repro.metrics.streaming import StreamingCollector
+from repro.tenancy import TenancySpec, Tenant, TenantSet
+
+
+def quick_config(**overrides):
+    return ExperimentConfig(
+        duration=60.0, warmup=20.0, n_nodes=4, seed=3, **overrides
+    )
+
+
+def summaries_equal(a, b):
+    for spec in dataclasses.fields(a):
+        if spec.name in ("tail_breakdown", "extras"):
+            continue
+        left = getattr(a, spec.name)
+        right = getattr(b, spec.name)
+        if isinstance(left, float) and math.isnan(left):
+            assert math.isnan(right), spec.name
+        else:
+            assert left == right, (spec.name, left, right)
+
+
+class TestStreamingParity:
+    def test_summary_matches_record_mode(self):
+        record_run = run_scheme("protean", quick_config())
+        streaming_run = run_scheme(
+            "protean", quick_config(streaming_metrics=True)
+        )
+        summaries_equal(record_run.summary, streaming_run.summary)
+        # The tail breakdown comes from the retained worst records; at
+        # this size the whole tail fits, leaving only the threshold
+        # convention (sketch order statistic vs interpolation).
+        assert streaming_run.summary.tail_breakdown.total == pytest.approx(
+            record_run.summary.tail_breakdown.total, rel=0.1
+        )
+
+    def test_streaming_run_keeps_no_records(self):
+        result = run_scheme("protean", quick_config(streaming_metrics=True))
+        assert result.measured == []
+        assert result.extras.get("streaming_metrics") is True
+        assert isinstance(result.collector, StreamingCollector)
+        assert len(result.collector) == 0  # nothing retained
+
+    def test_streaming_tenancy_report_matches(self):
+        tenants = TenancySpec(
+            tenant_set=TenantSet(
+                (
+                    Tenant("gold", weight=2.0, traffic_share=0.6),
+                    Tenant("bronze", weight=1.0, traffic_share=0.4),
+                )
+            )
+        )
+        record_run = run_scheme("protean", quick_config(tenants=tenants))
+        streaming_run = run_scheme(
+            "protean", quick_config(tenants=tenants, streaming_metrics=True)
+        )
+        exact = record_run.tenancy
+        sketched = streaming_run.tenancy
+        assert sketched is not None and exact is not None
+        assert sketched.fairness_index == pytest.approx(exact.fairness_index)
+        assert sketched.total_revenue == pytest.approx(exact.total_revenue)
+        by_id = {o.tenant_id: o for o in exact.outcomes}
+        for outcome in sketched.outcomes:
+            reference = by_id[outcome.tenant_id]
+            assert outcome.requests == reference.requests
+            assert outcome.strict_requests == reference.strict_requests
+            assert outcome.rejections == reference.rejections
+            assert outcome.slo_attainment == pytest.approx(
+                reference.slo_attainment
+            )
+            # The sketch's guarantee is on quantile rank, not value:
+            # with 256 centroids per tenant the sketched percentile's
+            # empirical rank must land within ~1/256 of the target
+            # (plus one-sample discreteness on this modest window).
+            # Latencies are heavily tied here, so one value occupies a
+            # whole rank interval — assert that interval overlaps the
+            # target, not that a single-sided rank equals it.
+            latencies = sorted(
+                r.latency
+                for r in record_run.measured
+                if r.tenant == outcome.tenant_id
+            )
+            n = len(latencies)
+            bound = 2.0 / 256.0 + 1.0 / n
+            for value, target in ((outcome.p50, 0.50), (outcome.p99, 0.99)):
+                rank_lo = bisect.bisect_left(latencies, value) / n
+                rank_hi = bisect.bisect_right(latencies, value) / n
+                assert rank_lo <= target + bound, (
+                    outcome.tenant_id,
+                    target,
+                    rank_lo,
+                )
+                assert rank_hi >= target - bound, (
+                    outcome.tenant_id,
+                    target,
+                    rank_hi,
+                )

@@ -1,0 +1,78 @@
+"""Counter-based hash RNG: determinism, independence, and distributions."""
+
+import numpy as np
+import pytest
+
+from repro.hyperscale import hash_normal, hash_poisson, hash_u01, hash_u64
+
+
+def test_pure_function_of_coordinates():
+    nodes = np.arange(16)
+    ticks = np.arange(100)
+    a = hash_u64(7, nodes[:, None], ticks[None, :])
+    b = hash_u64(7, nodes[:, None], ticks[None, :])
+    assert np.array_equal(a, b)
+
+
+def test_partition_independence():
+    # The whole point: node 11's randomness is identical whether it is
+    # computed alone, in a grid, or in any sub-range.
+    ticks = np.arange(50)
+    grid = hash_u64(3, np.arange(32)[:, None], ticks[None, :])
+    solo = hash_u64(3, np.uint64(11), ticks)
+    assert np.array_equal(grid[11], solo)
+
+
+def test_coordinates_decorrelate():
+    base = hash_u64(0, 5, 7)
+    assert hash_u64(1, 5, 7) != base  # seed
+    assert hash_u64(0, 6, 7) != base  # node
+    assert hash_u64(0, 5, 8) != base  # tick
+    assert hash_u64(0, 5, 7, stream=1) != base  # stream
+
+
+def test_u01_range_and_moments():
+    u = hash_u01(0, np.arange(1000)[:, None], np.arange(1000)[None, :])
+    assert np.all(u > 0.0)
+    assert np.all(u <= 1.0)
+    assert u.mean() == pytest.approx(0.5, abs=0.005)
+    assert u.var() == pytest.approx(1.0 / 12.0, rel=0.02)
+
+
+def test_normal_moments():
+    z = hash_normal(0, np.arange(1000)[:, None], np.arange(1000)[None, :])
+    assert z.mean() == pytest.approx(0.0, abs=0.01)
+    assert z.std() == pytest.approx(1.0, rel=0.01)
+
+
+@pytest.mark.parametrize("lam", [0.5, 4.0, 20.0, 100.0])
+def test_poisson_moments(lam):
+    counts = hash_poisson(
+        np.full((1000, 1000), lam),
+        0,
+        np.arange(1000)[:, None],
+        np.arange(1000)[None, :],
+    )
+    assert counts.dtype == np.int64
+    assert np.all(counts >= 0)
+    assert counts.mean() == pytest.approx(lam, rel=0.01)
+    assert counts.var() == pytest.approx(lam, rel=0.02)
+
+
+def test_poisson_zero_rate_and_empty():
+    counts = hash_poisson(np.zeros(10), 0, np.arange(10), 0)
+    assert np.array_equal(counts, np.zeros(10, dtype=np.int64))
+    empty = hash_poisson(np.empty(0), 0, np.empty(0, dtype=np.uint64), 0)
+    assert empty.size == 0
+
+
+def test_poisson_mixed_regimes_are_partition_independent():
+    # Rates straddling the exact/approx threshold within one call must
+    # still match the single-rate calls elementwise.
+    lam = np.array([1.0, 8.0, 31.9, 32.0, 200.0])
+    mixed = hash_poisson(lam, 0, np.uint64(2), np.arange(5))
+    for i, rate in enumerate(lam):
+        solo = hash_poisson(
+            np.array([rate]), 0, np.uint64(2), np.array([i])
+        )
+        assert mixed[i] == solo[0]

@@ -1,0 +1,91 @@
+"""Shard partitioning, the barrier protocol, and serial/sharded identity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HyperscaleError
+from repro.hyperscale import (
+    HyperscaleConfig,
+    build_report,
+    run_engine,
+    run_hyperscale,
+    shard_ranges,
+)
+
+
+class TestShardRanges:
+    def test_contiguous_and_balanced(self):
+        ranges = shard_ranges(10, 3)
+        assert ranges == [(0, 4), (4, 7), (7, 10)]
+        sizes = [hi - lo for lo, hi in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_jobs_than_nodes(self):
+        assert shard_ranges(2, 8) == [(0, 1), (1, 2)]
+
+    def test_single_job(self):
+        assert shard_ranges(5, 1) == [(0, 5)]
+
+    def test_validation(self):
+        with pytest.raises(HyperscaleError):
+            shard_ranges(0, 2)
+        with pytest.raises(HyperscaleError):
+            shard_ranges(4, 0)
+
+
+def smoke_config():
+    # Smaller than the CLI smoke preset: keeps the forked workers quick.
+    return HyperscaleConfig.smoke(
+        n_nodes=8, rate=400.0, duration=120.0, epoch_ticks=30
+    )
+
+
+class TestSerialShardedIdentity:
+    def test_sharded_report_is_bit_identical(self):
+        config = smoke_config()
+        serial = run_hyperscale(config, jobs=1)
+        sharded = run_hyperscale(config, jobs=3)
+        assert serial.identity_digest == sharded.identity_digest
+        assert serial.to_dict() == sharded.to_dict()
+
+    def test_manual_shard_merge_matches_serial(self):
+        # The same identity without processes: run_engine per range,
+        # merge via build_report.
+        config = smoke_config()
+        serial = build_report(config, [run_engine(config)])
+        parts = [
+            run_engine(config, lo, hi) for lo, hi in shard_ranges(8, 3)
+        ]
+        merged = build_report(config, list(reversed(parts)))  # any order
+        assert merged.identity_digest == serial.identity_digest
+        assert merged.to_dict() == serial.to_dict()
+
+
+class TestBuildReportValidation:
+    def test_rejects_gap(self):
+        config = smoke_config()
+        parts = [run_engine(config, 0, 4), run_engine(config, 5, 8)]
+        with pytest.raises(HyperscaleError, match="tile"):
+            build_report(config, parts)
+
+    def test_rejects_incomplete_coverage(self):
+        config = smoke_config()
+        with pytest.raises(HyperscaleError, match="cover"):
+            build_report(config, [run_engine(config, 0, 4)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(HyperscaleError):
+            build_report(smoke_config(), [])
+
+
+def test_report_totals_are_consistent():
+    config = smoke_config()
+    report = run_hyperscale(config, jobs=2)
+    assert report.total_arrivals == report.total_served + report.final_backlog
+    assert 0.0 <= report.slo_attainment <= 1.0
+    assert report.latency_p50 <= report.latency_p99
+    assert report.latency_p50 >= config.tick  # service tick is a floor
+    payload = report.to_dict()
+    assert "wall" not in str(payload)  # deterministic: no timings
+    assert payload["config"]["n_nodes"] == 8
+    assert np.isfinite(payload["latency_p99"])

@@ -61,7 +61,7 @@ class TestCdf:
         records = [record(l) for l in np.random.default_rng(0).random(500)]
         values, fractions = latency_cdf(records)
         assert (np.diff(values) >= 0).all()
-        assert fractions[0] == 0.0 and fractions[-1] == 1.0
+        assert fractions[0] > 0.0 and fractions[-1] == 1.0
 
     def test_cdf_empty(self):
         values, fractions = latency_cdf([])
@@ -74,10 +74,32 @@ class TestCdf:
         assert fractions.tolist() == [1.0]
         assert values.tolist() == [0.25]
 
-    def test_cdf_two_samples_spans_zero_to_one(self):
+    def test_cdf_minimum_has_mass_one_over_n(self):
+        # Regression: the fraction grid used linspace(0, 1, n), assigning
+        # cumulative fraction 0.0 to the sample minimum. An empirical CDF
+        # starts at 1/n — the smallest sample accounts for 1/N of the mass.
+        records = [record(l) for l in np.linspace(0.1, 1.0, 10)]
+        values, fractions = latency_cdf(records)
+        assert fractions[0] == pytest.approx(0.1)
+        assert values[0] == pytest.approx(0.1)
+
+    def test_cdf_two_samples(self):
         values, fractions = latency_cdf([record(0.1), record(0.3)])
-        assert fractions.tolist() == [0.0, 1.0]
+        assert fractions.tolist() == [0.5, 1.0]
         assert values.tolist() == [0.1, 0.3]
+
+    def test_cdf_points_lie_on_empirical_cdf(self):
+        # Every returned (value, fraction) pair must satisfy
+        # fraction == #{latency <= value} / N exactly, including when the
+        # curve is subsampled (points < N).
+        latencies = np.random.default_rng(3).random(257)
+        records = [record(l) for l in latencies]
+        for points in (257, 64, 10, 3):
+            values, fractions = latency_cdf(records, points=points)
+            assert len(values) == min(points, len(records))
+            for value, fraction in zip(values, fractions):
+                empirical = np.sum(latencies <= value) / latencies.size
+                assert fraction == pytest.approx(empirical)
 
     def test_cdf_median_matches_percentile(self):
         records = [record(l) for l in np.linspace(0.0, 1.0, 101)]

@@ -1,0 +1,211 @@
+"""Quantile digest and streaming collector: exactness, bounds, parity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics import (
+    QuantileDigest,
+    RecordCollector,
+    StreamingCollector,
+    slo_compliance,
+    slo_compliance_from_counts,
+    tail_breakdown,
+    throughput_per_gpu_from_counts,
+)
+from repro.metrics.records import RejectionRecord, RequestRecord
+
+
+def record(
+    *,
+    strict=True,
+    arrival=50.0,
+    latency=0.1,
+    slo_ok=True,
+    tenant="default",
+    model="resnet50",
+):
+    completion = arrival + latency
+    deadline = None
+    if strict:
+        deadline = completion + (0.01 if slo_ok else -0.01)
+    return RequestRecord(
+        model=model,
+        strict=strict,
+        arrival=arrival,
+        completion=completion,
+        deadline=deadline,
+        batch_wait=0.2 * latency,
+        cold_start=0.0,
+        queue_delay=0.3 * latency,
+        exec_min=0.5 * latency,
+        deficiency=0.0,
+        interference=0.0,
+        tenant=tenant,
+    )
+
+
+class TestQuantileDigest:
+    def test_exact_below_capacity(self):
+        rng = np.random.default_rng(0)
+        values = rng.exponential(size=500)
+        digest = QuantileDigest(max_centroids=1024)
+        digest.add_many(values)
+        ordered = np.sort(values)
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            # Inverted CDF: the first order statistic whose cumulative
+            # weight reaches q*n.
+            index = min(max(int(np.ceil(q * values.size)) - 1, 0), values.size - 1)
+            assert digest.quantile(q) == pytest.approx(ordered[index])
+
+    def test_quantile_error_bound_above_capacity(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=100_000)
+        digest = QuantileDigest(max_centroids=1024)
+        digest.add_many(values)
+        ordered = np.sort(values)
+        for q in (0.01, 0.5, 0.9, 0.99):
+            estimate = digest.quantile(q)
+            # Quantile-space error <= ~2/max_centroids for unit weights.
+            rank = np.searchsorted(ordered, estimate) / values.size
+            assert abs(rank - q) <= 2.0 / 1024
+
+    def test_deterministic_state_digest(self):
+        # Same insertion sequence (same call batching) -> same state,
+        # whether values arrive one by one or in one batch.
+        values = np.random.default_rng(2).uniform(size=20_000)
+        a, b = QuantileDigest(64), QuantileDigest(64)
+        a.add_many(values)
+        b.add_many(values)
+        assert a.state_digest() == b.state_digest()
+        c, d = QuantileDigest(64), QuantileDigest(64)
+        for v in values:
+            c.add(v)
+            d.add(v)
+        assert c.state_digest() == d.state_digest()
+        assert a.quantile(0.5) == pytest.approx(c.quantile(0.5), rel=0.05)
+
+    def test_node_order_merge_reproduces_serial(self):
+        rng = np.random.default_rng(3)
+        per_node = [rng.gamma(2.0, size=5_000) for _ in range(8)]
+        serial = QuantileDigest(128)
+        shards = []
+        for values in per_node:
+            serial_part = QuantileDigest(128)
+            serial_part.add_many(values)
+            shards.append(serial_part.to_arrays())
+        for means, weights in shards:
+            serial.absorb(means, weights)
+        merged = QuantileDigest(128)
+        for means, weights in shards:
+            merged.absorb(means, weights)
+        assert merged.state_digest() == serial.state_digest()
+
+    def test_weighted_and_zero_weight_inserts(self):
+        digest = QuantileDigest(64)
+        digest.add(1.0, weight=3.0)
+        digest.add(2.0, weight=0.0)  # skipped
+        digest.add_many([5.0], [1.0])
+        assert digest.total_weight == pytest.approx(4.0)
+        assert digest.quantile(0.5) == pytest.approx(1.0)
+        assert digest.quantile(1.0) == pytest.approx(5.0)
+        with pytest.raises(ConfigurationError):
+            digest.add(1.0, weight=-1.0)
+
+    def test_empty_digest(self):
+        digest = QuantileDigest(16)
+        assert np.isnan(digest.quantile(0.5))
+        assert digest.total_weight == 0.0
+        assert len(digest) == 0
+
+
+class TestStreamingCollector:
+    def _populate(self, collector):
+        rng = np.random.default_rng(7)
+        records = []
+        for i in range(2_000):
+            records.append(
+                record(
+                    strict=i % 2 == 0,
+                    arrival=float(rng.uniform(0, 100)),
+                    latency=float(rng.exponential(0.1)),
+                    slo_ok=i % 10 != 0,
+                    tenant="t0" if i % 3 else "t1",
+                )
+            )
+        for r in records:
+            collector.add(r)
+        return records
+
+    def test_counters_match_record_collector_exactly(self):
+        streaming = StreamingCollector(window_start=10.0, window_end=90.0)
+        reference = RecordCollector()
+        records = self._populate(streaming)
+        for r in records:
+            reference.add(r)
+        measured = [r for r in records if 10.0 <= r.arrival < 90.0]
+        strict = [r for r in measured if r.strict]
+        assert streaming.total_seen == len(records)
+        assert streaming.measured_count == len(measured)
+        assert streaming.strict_count == len(strict)
+        assert streaming.be_count == len(measured) - len(strict)
+        assert streaming.slo_met_count == sum(1 for r in strict if r.slo_met)
+        assert streaming.completed_in_window == sum(
+            1 for r in measured if r.completion < 90.0
+        )
+        assert streaming.slo_compliance() == pytest.approx(
+            slo_compliance(strict)
+        )
+
+    def test_percentiles_track_exact_values(self):
+        streaming = StreamingCollector(window_start=0.0, window_end=200.0)
+        records = self._populate(streaming)
+        strict_latencies = np.sort(
+            [r.latency for r in records if r.strict]
+        )
+        p99 = streaming.strict_percentile(99.0)
+        rank = np.searchsorted(strict_latencies, p99) / strict_latencies.size
+        assert abs(rank - 0.99) <= 0.01
+
+    def test_tail_breakdown_matches_exact_when_tail_retained(self):
+        streaming = StreamingCollector(window_start=0.0, window_end=200.0)
+        records = self._populate(streaming)
+        strict = [r for r in records if r.strict]
+        exact = tail_breakdown(strict, q=99)
+        approx = streaming.tail_breakdown(q=99)
+        # tail_keep (4096) far exceeds the 1% tail of 1000 records, so
+        # every tail candidate is retained; the only slack left is the
+        # threshold convention (digest order statistic vs interpolated
+        # percentile), which can move one boundary record in or out.
+        assert approx.total == pytest.approx(exact.total, rel=0.05)
+        for name, value in exact.as_dict().items():
+            assert approx.as_dict()[name] == pytest.approx(
+                value, rel=0.05, abs=1e-9
+            )
+
+    def test_records_views_stay_empty(self):
+        streaming = StreamingCollector()
+        self._populate(streaming)
+        assert len(streaming) == 0
+        assert streaming.strict() == []
+
+    def test_rejections_counted_per_tenant(self):
+        streaming = StreamingCollector()
+        streaming.add_rejection(
+            RejectionRecord(model="m", strict=True, arrival=1.0, tenant="t9")
+        )
+        assert streaming.tenant_counters()["t9"]["rejections"] == 1
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            StreamingCollector(window_start=5.0, window_end=5.0)
+
+
+def test_count_based_helpers():
+    assert slo_compliance_from_counts(99, 100) == pytest.approx(0.99)
+    # No strict traffic: nan, matching the record-based slo_compliance.
+    assert np.isnan(slo_compliance_from_counts(0, 0))
+    assert slo_compliance_from_counts(
+        99, 100, dropped_strict=100
+    ) == pytest.approx(0.495)
+    assert throughput_per_gpu_from_counts(800, 8, 100.0) == pytest.approx(1.0)

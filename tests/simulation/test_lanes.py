@@ -1,0 +1,156 @@
+"""Event-lane semantics: ordering, chunking, accounting, validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import EventLane, Simulator
+
+
+def test_lane_validation_rejects_bad_arrays():
+    handler = lambda chunk: None  # noqa: E731
+    with pytest.raises(SimulationError):
+        EventLane(np.array([[1.0, 2.0]]), handler)  # not 1-D
+    with pytest.raises(SimulationError):
+        EventLane(np.array([2.0, 1.0]), handler)  # unsorted
+    with pytest.raises(SimulationError):
+        EventLane(np.array([-1.0, 2.0]), handler)  # negative time
+    with pytest.raises(SimulationError):
+        EventLane(np.array([math.nan]), handler)  # non-finite
+
+
+def test_lane_times_are_frozen():
+    lane = EventLane(np.array([1.0, 2.0]), lambda chunk: None)
+    with pytest.raises((ValueError, RuntimeError)):
+        lane.times[0] = 0.5
+
+
+def test_add_lane_rejects_times_before_now():
+    sim = Simulator()
+    sim.after(1.0, lambda: None)
+    sim.run(until=1.0)
+    with pytest.raises(SimulationError):
+        sim.add_lane(np.array([0.5]), lambda chunk: None)
+
+
+def test_heap_and_lane_interleave_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.add_lane(
+        np.array([1.0, 3.0, 5.0]),
+        lambda chunk: seen.extend(("lane", t) for t in chunk),
+    )
+    for t in (2.0, 4.0):
+        sim.after(t, lambda t=t: seen.append(("heap", t)))
+    sim.run()
+    assert seen == [
+        ("lane", 1.0),
+        ("heap", 2.0),
+        ("lane", 3.0),
+        ("heap", 4.0),
+        ("lane", 5.0),
+    ]
+    assert sim.now == 5.0
+    assert sim.events_processed == 5
+
+
+def test_heap_wins_timestamp_ties_with_lane():
+    sim = Simulator()
+    seen = []
+    sim.add_lane(np.array([1.0, 2.0]), lambda chunk: seen.extend(chunk))
+    sim.after(2.0, lambda: seen.append("heap@2"))
+    sim.run()
+    # The lane chunk up to (but excluding) t=2.0 fires, then the heap
+    # event at 2.0, then the remaining lane entry at 2.0.
+    assert seen == [1.0, "heap@2", 2.0]
+
+
+def test_earlier_registered_lane_wins_ties():
+    sim = Simulator()
+    seen = []
+    sim.add_lane(np.array([1.0, 2.0]), lambda c: seen.extend(("a", t) for t in c))
+    sim.add_lane(np.array([1.0, 2.0]), lambda c: seen.extend(("b", t) for t in c))
+    sim.run()
+    assert seen == [("a", 1.0), ("b", 1.0), ("a", 2.0), ("b", 2.0)]
+
+
+def test_lane_chunks_are_maximal_between_heap_events():
+    sim = Simulator()
+    chunks = []
+    sim.add_lane(
+        np.arange(1, 11, dtype=np.float64), lambda c: chunks.append(c.copy())
+    )
+    sim.after(5.5, lambda: None)
+    sim.run()
+    assert [list(c) for c in chunks] == [
+        [1.0, 2.0, 3.0, 4.0, 5.0],
+        [6.0, 7.0, 8.0, 9.0, 10.0],
+    ]
+
+
+def test_lane_handler_may_schedule_heap_events():
+    sim = Simulator()
+    seen = []
+
+    def on_chunk(chunk):
+        seen.append(("chunk", float(chunk[-1])))
+        # Clock sits at the chunk's last entry; follow-ups land after it.
+        sim.after(0.25, lambda: seen.append(("follow", sim.now)))
+
+    sim.add_lane(np.array([1.0, 2.0]), on_chunk)
+    # A heap event between the entries bounds the first chunk at t=1.0
+    # (a chunk never spans a heap event that exists when it dispatches).
+    sim.after(1.5, lambda: None)
+    sim.run()
+    assert seen == [
+        ("chunk", 1.0),
+        ("follow", 1.25),
+        ("chunk", 2.0),
+        ("follow", 2.25),
+    ]
+
+
+def test_run_until_stops_mid_lane():
+    sim = Simulator()
+    seen = []
+    sim.add_lane(np.array([1.0, 2.0, 3.0, 4.0]), lambda c: seen.extend(c))
+    sim.run(until=2.5)
+    assert seen == [1.0, 2.0]
+    assert sim.now == 2.5
+    # The rest dispatches on the next run().
+    sim.run()
+    assert seen == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_lane_entries_count_toward_max_events():
+    sim = Simulator()
+    sim.add_lane(np.arange(1, 6, dtype=np.float64), lambda c: None)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=3)
+    # The whole chunk dispatched (chunks are atomic) before the check.
+    assert sim.events_processed == 5
+
+
+def test_step_refuses_while_lane_pending():
+    sim = Simulator()
+    sim.add_lane(np.array([1.0]), lambda c: None)
+    sim.after(0.5, lambda: None)
+    with pytest.raises(SimulationError, match="lane"):
+        sim.step()
+    # Once the lane drains, step() works again.
+    sim.run()
+    sim.after(2.0, lambda: None)  # relative: fires at now + 2.0 = 3.0
+    assert sim.step() is True
+    assert sim.now == 3.0
+
+
+def test_exhausted_lane_leaves_default_loop_untouched():
+    sim = Simulator()
+    sim.add_lane(np.array([1.0]), lambda c: None)
+    sim.run()
+    seen = []
+    sim.after(2.0, lambda: seen.append(sim.now))  # fires at 1.0 + 2.0
+    sim.run()
+    assert seen == [3.0]

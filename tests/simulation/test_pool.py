@@ -1,0 +1,56 @@
+"""Object and array pools: reuse, reset, and bounded retention."""
+
+import numpy as np
+
+from repro.simulation import ArrayPool, ObjectPool
+
+
+def test_object_pool_reuses_released_objects():
+    pool = ObjectPool(factory=list)
+    first = pool.acquire()
+    first.append(1)
+    pool.release(first)
+    second = pool.acquire()
+    assert second is first
+    assert pool.created == 1
+    assert pool.reused == 1
+
+
+def test_object_pool_reset_runs_on_release():
+    pool = ObjectPool(factory=list, reset=list.clear)
+    obj = pool.acquire()
+    obj.extend([1, 2, 3])
+    pool.release(obj)
+    assert pool.acquire() == []
+
+
+def test_object_pool_respects_max_size():
+    pool = ObjectPool(factory=list, max_size=2)
+    objs = [pool.acquire() for _ in range(5)]
+    for obj in objs:
+        pool.release(obj)
+    assert len(pool) == 2
+    assert pool.created == 5
+
+
+def test_array_pool_reuses_matching_shape_and_dtype():
+    pool = ArrayPool()
+    a = pool.take((4, 3), np.int64)
+    pool.give(a)
+    b = pool.take((4, 3), np.int64)
+    assert b is a
+    # Different shape or dtype allocates fresh.
+    c = pool.take((4, 3), np.float64)
+    assert c is not a
+    d = pool.take((3, 4), np.int64)
+    assert d is not a
+
+
+def test_array_pool_bounds_retention_per_key():
+    pool = ArrayPool(max_per_key=2)
+    arrays = [pool.take((8,), np.float64) for _ in range(4)]
+    for array in arrays:
+        pool.give(array)
+    kept = [pool.take((8,), np.float64) for _ in range(4)]
+    reused = sum(1 for k in kept if any(k is a for a in arrays))
+    assert reused == 2

@@ -131,6 +131,19 @@ PUBLIC_API = {
         "run_tenancy_scenario",
         "scenario_configs",
     ],
+    "repro.hyperscale": [
+        "HyperscaleConfig",
+        "HyperscaleReport",
+        "ShardResult",
+        "build_report",
+        "hash_normal",
+        "hash_poisson",
+        "hash_u01",
+        "hash_u64",
+        "run_engine",
+        "run_hyperscale",
+        "shard_ranges",
+    ],
     "repro.parallel": [
         "JOBS_ENV_VAR",
         "RunRequest",

@@ -96,13 +96,53 @@ def test_be_schedule_matches_mix_with_same_rng_state():
     rng_a = np.random.default_rng(7)
     requests = mix_requests(arrivals, mix, rng_a)
     rng_b = np.random.default_rng(7)
-    rng_b.random(len(arrivals))  # consume the strictness draws
-    schedule = be_model_schedule(float(arrivals[-1]), mix, rng_b)
+    schedule = be_model_schedule(
+        float(arrivals[-1]), mix, rng_b, arrivals=arrivals
+    )
     lookup = dict(schedule)
     for request in requests:
         if not request.strict:
             window_start = (request.arrival // 20.0) * 20.0
             assert lookup[window_start].name == request.model.name
+
+
+def test_be_schedule_matches_mix_when_last_arrival_precedes_duration():
+    # Regression: the schedule derived its window count from `duration`
+    # while mix_requests derives it from the last arrival stamp, and it
+    # skipped the strictness uniforms — with the same rng state the two
+    # rotations silently diverged. This is the layout the Oracle baseline
+    # and fig07's annotations assume agrees with the generated requests.
+    mix = make_mix()
+    duration = 200.0
+    # Last arrival at 143.0: int(143//20)+1 = 8 rotation windows drawn,
+    # while int(200//20)+1 = 11 — the legacy layout drew three extra.
+    arrivals = np.linspace(0.0, 143.0, 4001)
+    rng_a = np.random.default_rng(21)
+    requests = mix_requests(arrivals, mix, rng_a)
+    rng_b = np.random.default_rng(21)
+    schedule = be_model_schedule(duration, mix, rng_b, arrivals=arrivals)
+    # The schedule covers the full nominal duration for annotation...
+    assert len(schedule) == int(duration // mix.rotation_period) + 1
+    # ...and agrees with every generated BE request.
+    lookup = dict(schedule)
+    be_requests = [r for r in requests if not r.strict]
+    assert be_requests, "expected BE requests"
+    for request in be_requests:
+        window_start = (request.arrival // 20.0) * 20.0
+        assert lookup[window_start].name == request.model.name
+
+
+def test_be_schedule_with_arrivals_consumes_rng_identically():
+    # The shared-layout contract: after the schedule call the generator
+    # must be in exactly the state mix_requests would have left it in, so
+    # downstream draws (e.g. tenancy multiplexing) stay aligned.
+    mix = make_mix()
+    arrivals = np.linspace(0.0, 77.0, 1000)
+    rng_a = np.random.default_rng(9)
+    mix_requests(arrivals, mix, rng_a)
+    rng_b = np.random.default_rng(9)
+    be_model_schedule(90.0, mix, rng_b, arrivals=arrivals)
+    assert rng_a.bit_generator.state == rng_b.bit_generator.state
 
 
 def test_slo_deadline_only_for_strict():
