@@ -6,11 +6,14 @@ and through ``execute_runs(jobs=min(4, cpu_count))``, asserts
 bit-identical summaries, and records wall-clock, speedup, and events/sec
 into ``BENCH_runner.json`` at the repo root (uploaded as a CI artifact).
 
-The speedup assertion is host-aware: on a single-core container the
-parallel path degenerates to one worker and no speedup is expected (or
-demanded); equivalence is always enforced. CI's multi-core runners are
-where the recorded speedup is meaningful — the issue's bar is >= 2.5x
-with 4 workers.
+The benchmark is host-aware: on a single-core container the parallel
+path degenerates to one worker, so the fanned leg is skipped entirely
+and the record carries ``"speedup": null`` plus the measured
+``cpu_count`` — a 1-worker "parallel" timing would only advertise
+process-spawn overhead as a slowdown. CI's multi-core runners are where
+the recorded speedup is meaningful — the issue's bar is >= 2.5x with 4
+workers, and equivalence against the serial run is enforced whenever
+the fanned leg runs.
 """
 
 import json
@@ -36,34 +39,45 @@ SCHEMES = ("molecule", "naive_slicing", "infless_llama", "protean")
 
 
 def test_parallel_scaling_and_equivalence():
-    fan_jobs = min(4, cpu_jobs())
+    cpu_count = cpu_jobs()
+    fan_jobs = min(4, cpu_count)
 
     start = time.perf_counter()
     serial = [run_scheme(name, CONFIG) for name in SCHEMES]
     serial_s = time.perf_counter() - start
     events = sum(r.platform.sim.events_processed for r in serial)
 
-    requests = [
-        RunRequest(key=name, scheme=name, config=CONFIG) for name in SCHEMES
-    ]
-    start = time.perf_counter()
-    fanned = execute_runs(requests, jobs=fan_jobs)
-    fanned_s = time.perf_counter() - start
+    if cpu_count > 1:
+        requests = [
+            RunRequest(key=name, scheme=name, config=CONFIG)
+            for name in SCHEMES
+        ]
+        start = time.perf_counter()
+        fanned = execute_runs(requests, jobs=fan_jobs)
+        fanned_s = time.perf_counter() - start
 
-    # Equivalence first — speed means nothing if the bits differ.
-    for one, many in zip(serial, fanned):
-        assert one.summary.row() == many.summary.row()
-        assert one.extras == many.extras
+        # Equivalence first — speed means nothing if the bits differ.
+        for one, many in zip(serial, fanned):
+            assert one.summary.row() == many.summary.row()
+            assert one.extras == many.extras
+        speedup = serial_s / fanned_s if fanned_s else 0.0
+        parallel_s = round(fanned_s, 3)
+        speedup_record = round(speedup, 3)
+    else:
+        # Single-CPU host: one worker cannot speed anything up, so the
+        # fanned leg is skipped and the record says so explicitly.
+        speedup = None
+        parallel_s = None
+        speedup_record = None
 
-    speedup = serial_s / fanned_s if fanned_s else 0.0
     payload = {
         "benchmark": "runner_scaling",
         "schemes": list(SCHEMES),
-        "cpu_count": cpu_jobs(),
+        "cpu_count": cpu_count,
         "jobs": fan_jobs,
         "serial_seconds": round(serial_s, 3),
-        "parallel_seconds": round(fanned_s, 3),
-        "speedup": round(speedup, 3),
+        "parallel_seconds": parallel_s,
+        "speedup": speedup_record,
         "events_processed": events,
         "serial_events_per_sec": round(events / serial_s) if serial_s else 0,
     }
@@ -74,6 +88,6 @@ def test_parallel_scaling_and_equivalence():
     BENCH_PATH.write_text(json.dumps(existing, indent=2) + "\n")
     print(f"\n{json.dumps(payload, indent=2)}\n[saved to {BENCH_PATH}]")
 
-    if fan_jobs >= 4:
+    if fan_jobs >= 4 and speedup is not None:
         # The acceptance bar from the issue: >= 2.5x on a 4-core runner.
         assert speedup >= 2.5, f"speedup {speedup:.2f}x below 2.5x bar"

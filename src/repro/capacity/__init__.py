@@ -3,14 +3,18 @@
 The decision layer on top of the reproduction: given a workload
 (:class:`WorkloadSpec`) and an SLO attainment goal, :func:`plan` searches
 a declarative grid of cluster configurations (:class:`CandidateGrid` —
-cluster size, spot/on-demand procurement, scheme, extra config knobs) in
-two stages: an analytic pre-screen built on the
+mixed GPU fleets, spot/on-demand procurement, scheme, extra config
+knobs) in two stages: a vectorised analytic pre-screen built on the
 :mod:`repro.analysis.queueing` models prunes infeasible and dominated
 candidates with a conservative admissibility margin, then the survivors
-are validated by full simulation through :mod:`repro.parallel`. The
-:class:`PlanReport` carries the cost-vs-attainment Pareto frontier, the
-recommended configuration, and per-candidate evidence — including why
-every pruned candidate was pruned.
+are validated by full simulation through :mod:`repro.parallel` — mixed
+fleets as per-class sub-runs deduplicated by a content-addressed
+:class:`SimulationCache`. On heterogeneous grids the Mélange-style
+allocator (:func:`solve_fleet`) proposes the cheapest conservatively
+feasible fleet per candidate group. The :class:`PlanReport` carries the
+cost-vs-attainment Pareto frontier, the recommended configuration, cache
+accounting, and per-candidate evidence — including why every pruned
+candidate was pruned.
 
 Typical use::
 
@@ -20,20 +24,36 @@ Typical use::
     print(report.describe())
     best = report.recommended_outcome.decision.candidate.config
 
-or ``python -m repro plan wiki --target 0.99 --jobs 4``. See
-``docs/capacity_planner.md``.
+or ``python -m repro plan wiki --target 0.99 --jobs 4`` (add
+``--grid hetero-smoke`` for a mixed-fleet search). See
+``docs/capacity_planner.md`` and ``docs/hardware.md``.
 """
 
+from repro.capacity.cache import SimulationCache, config_digest
+from repro.capacity.fleet import (
+    GPU_CLASSES,
+    GpuClass,
+    canonical_fleet,
+    fleet_hourly_cost,
+    fleet_key,
+    fleet_nodes,
+    fleet_subset,
+    split_streams,
+    stream_stats,
+)
 from repro.capacity.grid import (
     DEFAULT_NODE_COUNTS,
+    GRID_PRESETS,
     PROCUREMENT_MODES,
     Candidate,
     CandidateGrid,
+    SubRun,
     sweepable_knobs,
 )
 from repro.capacity.planner import (
     DEFAULT_TARGET,
     plan,
+    resolve_grid,
     resolve_workload,
     simulated_optimum,
 )
@@ -51,9 +71,11 @@ from repro.capacity.screen import (
     AnalyticBound,
     ScreenDecision,
     analytic_bound,
+    analytic_bounds_batch,
     estimate_hourly_cost,
     screen_candidates,
 )
+from repro.capacity.solver import FleetSolution, solve_fleet, solver_cost_matrix
 from repro.capacity.spec import PLAN_PRESETS, WorkloadSpec
 
 __all__ = [
@@ -64,6 +86,10 @@ __all__ = [
     "DEFAULT_MARGIN",
     "DEFAULT_NODE_COUNTS",
     "DEFAULT_TARGET",
+    "FleetSolution",
+    "GPU_CLASSES",
+    "GRID_PRESETS",
+    "GpuClass",
     "PLAN_PRESETS",
     "PLAN_SCHEMA_VERSION",
     "PROCUREMENT_MODES",
@@ -71,14 +97,28 @@ __all__ = [
     "PRUNE_INFEASIBLE",
     "PlanReport",
     "ScreenDecision",
+    "SimulationCache",
     "SimulationEvidence",
+    "SubRun",
     "WorkloadSpec",
     "analytic_bound",
+    "analytic_bounds_batch",
+    "canonical_fleet",
+    "config_digest",
     "estimate_hourly_cost",
+    "fleet_hourly_cost",
+    "fleet_key",
+    "fleet_nodes",
+    "fleet_subset",
     "pareto_frontier",
     "plan",
+    "resolve_grid",
     "resolve_workload",
     "screen_candidates",
     "simulated_optimum",
+    "solve_fleet",
+    "solver_cost_matrix",
+    "split_streams",
+    "stream_stats",
     "sweepable_knobs",
 ]

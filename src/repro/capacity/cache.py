@@ -1,0 +1,97 @@
+"""Content-addressed simulation cache for the capacity planner.
+
+Stage two of the planner simulates candidate configurations — the
+expensive part of a planning run. Two different places can ask for the
+*same* simulation: mixed fleets decompose into per-class homogeneous
+sub-runs that overlap between candidates, and escalation rounds /
+repeated :func:`~repro.capacity.planner.plan` calls (staged vs
+exhaustive in the property tests, re-planning after a grid tweak)
+revisit configurations already measured.
+
+The cache keys each simulation by the **content** of what would run: the
+sha256 of the canonical JSON of ``(scheme, ExperimentConfig.to_dict())``.
+Because ``to_dict`` is the versioned, normalised serialisation (sorted
+keys, every field explicit), two requests collide exactly when the
+simulator would be handed identical inputs — and the simulator is
+deterministic, so returning the cached result is not an approximation.
+Keying by config *identity* or candidate key would miss cross-candidate
+overlap; keying by fewer fields would alias distinct runs.
+
+Hit/miss counters are surfaced in ``PlanReport.to_dict()["cache"]`` so a
+plan's dedup factor is auditable. A hit is counted whenever a requested
+digest is already resolved *or already scheduled* in the current batch
+(the second requester shares the first's run); a miss is counted exactly
+once per simulation actually executed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import AbstractSet
+
+from repro.experiments.config import ExperimentConfig
+
+
+def config_digest(scheme: str, config: ExperimentConfig) -> str:
+    """sha256 content address of one (scheme, config) simulation."""
+    payload = {"scheme": scheme, "config": config.to_dict()}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class SimulationCache:
+    """In-memory content-addressed store of simulation results.
+
+    One instance normally lives for one :func:`plan` call; passing the
+    same instance to several calls extends dedup across them (the
+    property tests run staged and exhaustive plans off one cache, so the
+    exhaustive pass only simulates what the staged pass pruned).
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    def lookup(self, digest: str, *, pending: AbstractSet[str] = frozenset()):
+        """Counted lookup: the planner's one read path when scheduling.
+
+        Returns the cached result, or ``None`` when ``digest`` still
+        needs simulating. A digest already in ``pending`` (scheduled
+        earlier in the same batch) counts as a hit but still returns
+        ``None`` — the caller reads it via :meth:`peek` once the batch
+        resolves.
+        """
+        entry = self._entries.get(digest)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        if digest in pending:
+            self.hits += 1
+            return None
+        self.misses += 1
+        return None
+
+    def peek(self, digest: str):
+        """Uncounted read (post-batch result collection)."""
+        return self._entries.get(digest)
+
+    def store(self, digest: str, result) -> None:
+        self._entries[digest] = result
+
+    def stats(self) -> dict:
+        """JSON-safe counters for ``PlanReport.to_dict()["cache"]``."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "hit_rate": round(self.hits / total, 4) if total else 0.0,
+        }

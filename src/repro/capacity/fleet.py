@@ -1,0 +1,304 @@
+"""Heterogeneous GPU fleets: the planner's hardware axis.
+
+A *fleet* is a mixed cluster ``{gpu_class: count}`` — the Mélange
+observation (PAPERS.md) is that the cheapest SLO-compliant deployment is
+usually heterogeneous: strict traffic needs fast parts, but best-effort
+work is cheapest on small time-slicing GPUs. This module owns everything
+shared between the analytic screen, the allocator, and the simulation
+decomposition:
+
+- the **class catalogue** (:data:`GPU_CLASSES`): each planner class binds
+  a :mod:`repro.gpu.device_models` part to its pricing class and a
+  conservative scheduling-efficiency factor;
+- **fleet canonicalisation** (:func:`canonical_fleet`, :func:`fleet_key`)
+  and the componentwise-subset order (:func:`fleet_subset`) that makes
+  domination pruning sound for fleets — a subset fleet always costs
+  strictly less, so cost-only comparisons are never needed;
+- the **deterministic stream split** (:func:`split_streams`): which
+  fraction of the strict and best-effort streams each class serves. The
+  conservative bound, the solver's feasibility test, and the per-class
+  simulation sub-runs all use this one policy, so the three layers agree
+  on what a fleet *means*.
+
+The split policy: classes that can meet the strict SLO at all
+(``slo >= strict_latency / speed``) share the strict stream in proportion
+to their capacity ``count × speed``; best-effort work goes to whatever
+capacity remains (proportional to the post-strict residual, or to raw
+capacity when nothing is left over). On a homogeneous fleet every share
+is exactly ``1.0`` — the arithmetic below is arranged so the shares are
+*bit-exact* ones, keeping single-class bounds identical to the scalar
+formulas they generalise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.cluster.pricing import pricing_for_device
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.gpu.device_models import MigDeviceModel, get_device_model
+
+
+@dataclass(frozen=True)
+class GpuClass:
+    """One planner-visible GPU class (catalogue + calibration entry)."""
+
+    #: Canonical planner name (also the pricing class and config
+    #: ``gpu_device`` value).
+    name: str
+    #: The simulated part backing this class.
+    device: MigDeviceModel
+    #: Conservative fraction of the scheme's ideal throughput this class
+    #: actually delivers (1.0 for MIG parts; time-slicing parts pay an
+    #: interference penalty on top of their speed factor).
+    efficiency: float
+
+    @property
+    def speed(self) -> float:
+        """Sustained throughput relative to a full A100-40GB."""
+        return self.device.speed_factor
+
+    @property
+    def partitionable(self) -> bool:
+        return self.device.partitionable
+
+
+#: The planner's GPU-class catalogue. Every entry is simulatable (its
+#: ``name`` is a valid ``ExperimentConfig.gpu_device``) and priced
+#: (``repro.cluster.pricing.GPU_CLASS_HOURLY``). The A100-40GB entry uses
+#: efficiency exactly 1.0 so homogeneous plans stay bit-identical to the
+#: pre-heterogeneity planner.
+GPU_CLASSES: dict[str, GpuClass] = {
+    "a100": GpuClass("a100", get_device_model("a100"), efficiency=1.0),
+    "a100-80gb": GpuClass(
+        "a100-80gb", get_device_model("a100-80gb"), efficiency=1.0
+    ),
+    "h100": GpuClass("h100", get_device_model("h100"), efficiency=1.0),
+    "a10": GpuClass("a10", get_device_model("a10"), efficiency=0.85),
+    "t4": GpuClass("t4", get_device_model("t4"), efficiency=0.85),
+}
+
+#: A fleet: ``((class_name, count), ...)`` — canonically sorted by class
+#: name, every count >= 1.
+Fleet = tuple[tuple[str, int], ...]
+
+
+def gpu_class(name: str) -> GpuClass:
+    """Resolve a catalogue entry by canonical name."""
+    entry = GPU_CLASSES.get(name.lower().strip())
+    if entry is None:
+        raise ConfigurationError(
+            f"unknown GPU class {name!r}; known: {', '.join(sorted(GPU_CLASSES))}"
+        )
+    return entry
+
+
+def canonical_fleet(
+    fleet: Mapping[str, int] | Iterable[tuple[str, int]],
+) -> Fleet:
+    """Normalise a fleet mapping: known classes, positive counts, sorted."""
+    if isinstance(fleet, Mapping):
+        pairs = fleet.items()
+    else:
+        pairs = tuple(fleet)
+    merged: dict[str, int] = {}
+    for name, count in pairs:
+        entry = gpu_class(name)
+        if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+            raise ConfigurationError(
+                f"fleet count for {name!r} must be a non-negative int, "
+                f"got {count!r}"
+            )
+        merged[entry.name] = merged.get(entry.name, 0) + count
+    canonical = tuple(
+        (name, count) for name, count in sorted(merged.items()) if count > 0
+    )
+    if not canonical:
+        raise ConfigurationError("a fleet needs at least one GPU")
+    return canonical
+
+
+def fleet_key(fleet: Fleet) -> str:
+    """Candidate-key fragment: ``"a100:2+t4:4"``."""
+    return "+".join(f"{name}:{count}" for name, count in fleet)
+
+
+def fleet_nodes(fleet: Fleet) -> int:
+    """Total GPU count across classes."""
+    return sum(count for _name, count in fleet)
+
+
+def fleet_subset(smaller: Fleet, larger: Fleet) -> bool:
+    """Componentwise ``smaller <= larger`` with ``smaller != larger``.
+
+    This is the order domination pruning uses: a subset fleet provisions
+    no more of any class, so its simulated cost is strictly lower — which
+    is exactly the property that keeps "staged == exhaustive optimum"
+    structural on heterogeneous grids (cost-*estimate* orderings between
+    incomparable fleets can flip under simulation; the subset order
+    cannot).
+    """
+    if smaller == larger:
+        return False
+    larger_counts = dict(larger)
+    return all(
+        count <= larger_counts.get(name, 0) for name, count in smaller
+    )
+
+
+def strict_capable(entry: GpuClass, strict_latency: float, slo: float) -> bool:
+    """Whether a class can meet the strict SLO even on an idle GPU."""
+    return slo >= strict_latency / entry.speed
+
+
+def split_streams(
+    fleet: Fleet,
+    *,
+    strict_latency: float,
+    slo: float,
+    strict_work_rate: float,
+) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """Per-class shares of the strict and best-effort streams.
+
+    Returns ``(strict_shares, be_shares)`` aligned with ``fleet`` order;
+    each tuple sums to 1.0 (or is all zeros for the strict shares when no
+    class can meet the SLO). ``strict_work_rate`` is the offered strict
+    work in A100-seconds per second (batch rate × solo latency), used to
+    compute each class's post-strict residual capacity.
+    """
+    entries = [gpu_class(name) for name, _count in fleet]
+    capable = [
+        strict_capable(entry, strict_latency, slo) for entry in entries
+    ]
+    capacity = [
+        count * entry.speed
+        for (_name, count), entry in zip(fleet, entries)
+    ]
+    capable_capacity = 0.0
+    for index in range(len(fleet)):
+        if capable[index]:
+            capable_capacity = capable_capacity + capacity[index]
+    total_capacity = 0.0
+    for index in range(len(fleet)):
+        total_capacity = total_capacity + capacity[index]
+
+    strict_shares = [
+        capacity[index] / capable_capacity
+        if capable[index] and capable_capacity > 0.0
+        else 0.0
+        for index in range(len(fleet))
+    ]
+    residual = [
+        max(capacity[index] - strict_shares[index] * strict_work_rate, 0.0)
+        for index in range(len(fleet))
+    ]
+    total_residual = 0.0
+    for index in range(len(fleet)):
+        total_residual = total_residual + residual[index]
+    if total_residual > 0.0:
+        be_shares = [
+            residual[index] / total_residual for index in range(len(fleet))
+        ]
+    else:
+        be_shares = [
+            capacity[index] / total_capacity for index in range(len(fleet))
+        ]
+    return tuple(strict_shares), tuple(be_shares)
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """Batch-level workload statistics shared by screen, solver, split.
+
+    The simulator executes whole batches (``batched_arrivals``), so the
+    queueing unit is a batch; a strict batch's work is the strict model's
+    solo 7g latency itself. Work rates are in A100-seconds per second —
+    the capacity unit fleets are measured in.
+    """
+
+    strict_batch_rate: float
+    be_batch_rate: float
+    strict_work_rate: float
+    be_work_rate: float
+    strict_latency: float
+    slo: float
+
+    @property
+    def batch_rate(self) -> float:
+        return self.strict_batch_rate + self.be_batch_rate
+
+    @property
+    def mean_batch_work(self) -> float:
+        return (self.strict_work_rate + self.be_work_rate) / (
+            self.strict_batch_rate + self.be_batch_rate
+        )
+
+
+def stream_stats(config: ExperimentConfig) -> StreamStats:
+    """Compute :class:`StreamStats` for one candidate config.
+
+    Depends only on the workload side (models, rate, fractions, SLO) —
+    never on ``n_nodes`` or ``gpu_device`` — so one computation serves
+    every fleet in a planning grid.
+    """
+    strict = config.strict_profile()
+    rate = config.request_rate()
+    strict_batch_rate = rate * config.strict_fraction / strict.batch_size
+    strict_work_rate = strict_batch_rate * strict.solo_latency_7g
+    be_batch_rate = 0.0
+    be_work_rate = 0.0
+    if config.strict_fraction < 1.0:
+        pool = config.be_profiles()
+        be_request_rate = rate * (1.0 - config.strict_fraction)
+        be_batch_rate = be_request_rate * float(
+            np.mean([1.0 / m.batch_size for m in pool])
+        )
+        be_work_rate = be_request_rate * float(
+            np.mean([m.solo_latency_7g / m.batch_size for m in pool])
+        )
+    return StreamStats(
+        strict_batch_rate=strict_batch_rate,
+        be_batch_rate=be_batch_rate,
+        strict_work_rate=strict_work_rate,
+        be_work_rate=be_work_rate,
+        strict_latency=strict.solo_latency_7g,
+        slo=config.slo_multiplier * strict.solo_latency_7g,
+    )
+
+
+def per_node_hourly(
+    class_name: str, procurement: str, spot_availability: str
+) -> float:
+    """Steady-state $/hour of one node of ``class_name``.
+
+    Hybrid procurement is priced at the revocation-weighted blend, the
+    same convention as :func:`repro.capacity.screen.estimate_hourly_cost`.
+    """
+    from repro.cluster.spot import AVAILABILITY_LEVELS
+    from repro.cluster.pricing import VMTier
+
+    pricing = pricing_for_device(class_name)
+    on_demand = pricing.per_gpu_hourly(VMTier.ON_DEMAND)
+    spot = pricing.per_gpu_hourly(VMTier.SPOT)
+    if procurement == "on_demand_only":
+        return on_demand
+    if procurement == "spot_only":
+        return spot
+    p_rev = AVAILABILITY_LEVELS[spot_availability].revocation_probability
+    return (1.0 - p_rev) * spot + p_rev * on_demand
+
+
+def fleet_hourly_cost(
+    fleet: Fleet, procurement: str, spot_availability: str
+) -> float:
+    """Steady-state $/hour of a whole fleet."""
+    cost = 0.0
+    for name, count in fleet:
+        cost = cost + count * per_node_hourly(
+            name, procurement, spot_availability
+        )
+    return cost

@@ -4,26 +4,36 @@
 still meets my SLO attainment target?" for a fixed workload:
 
 1. **Analytic pre-screen** (:mod:`repro.capacity.screen`) bounds every
-   candidate's attainment in closed form and prunes the infeasible and
-   dominated ones — cheaply, with a conservative admissibility margin so
-   the true optimum always survives to stage two.
+   candidate's attainment in closed form — vectorised over the whole
+   grid — and prunes the infeasible and dominated ones cheaply, with a
+   conservative admissibility margin so the true optimum always survives
+   to stage two. On heterogeneous grids the Mélange-style allocator
+   (:mod:`repro.capacity.solver`) additionally proposes the cheapest
+   conservatively-feasible mixed fleet per candidate group, recorded in
+   ``report.extra["solver"]``.
 2. **Simulation validation** fans the survivors out through
    :mod:`repro.parallel` (``jobs`` worker processes, bit-identical to
    serial) and measures real attainment, dollar cost, and tail latency
-   per candidate. When a conservative dominator turns out to *miss* the
-   target under simulation, the planner **escalates**: the candidates it
-   dominated are re-admitted smallest-first and simulated until the
-   group produces a validated-feasible member (or runs out). Domination
+   per candidate. Mixed fleets decompose into per-class homogeneous
+   sub-runs whose evidence is merged back (attainment weighted by strict
+   request count, costs summed). Every sub-run goes through a
+   content-addressed :class:`~repro.capacity.cache.SimulationCache`, so
+   overlapping sub-runs, escalation rounds, and repeated plans never
+   simulate the same configuration twice. When a conservative dominator
+   turns out to *miss* the target under simulation, the planner
+   **escalates**: dominated candidates lacking a validated
+   componentwise-smaller fleet are re-admitted cheapest-first and
+   simulated until every group is covered (or runs out). Domination
    pruning is therefore sound by construction — a candidate stays pruned
-   only while a cheaper validated-feasible configuration exists below
-   it — rather than relying on the analytic lower bound being perfectly
-   calibrated.
+   only while a strictly-cheaper validated-feasible configuration exists
+   below it — rather than relying on the analytic lower bound being
+   perfectly calibrated.
 
 The result is a :class:`~repro.capacity.report.PlanReport`: the simulated
 cost-vs-attainment Pareto frontier, the recommended configuration
-(cheapest candidate meeting the target, serialised via the versioned
-``ExperimentConfig.to_dict``), and per-candidate evidence including the
-prune reason for everything screened out.
+(cheapest candidate meeting the target), per-candidate evidence including
+the prune reason for everything screened out, and the cache's hit/miss
+accounting.
 """
 
 from __future__ import annotations
@@ -32,7 +42,9 @@ import dataclasses
 import math
 from typing import Callable
 
-from repro.capacity.grid import CandidateGrid
+from repro.capacity.cache import SimulationCache, config_digest
+from repro.capacity.fleet import fleet_subset
+from repro.capacity.grid import GRID_PRESETS, Candidate, CandidateGrid, SubRun
 from repro.capacity.report import (
     CandidateOutcome,
     PlanReport,
@@ -74,6 +86,28 @@ def resolve_workload(workload: WorkloadSpec | dict | str) -> WorkloadSpec:
     )
 
 
+def resolve_grid(grid: CandidateGrid | dict | str | None) -> CandidateGrid:
+    """Coerce a grid argument: preset name, payload dict, or grid."""
+    if grid is None:
+        return CandidateGrid()
+    if isinstance(grid, CandidateGrid):
+        return grid
+    if isinstance(grid, str):
+        preset = GRID_PRESETS.get(grid.lower().strip())
+        if preset is None:
+            raise ConfigurationError(
+                f"unknown grid preset {grid!r}; "
+                f"known: {', '.join(sorted(GRID_PRESETS))}"
+            )
+        return preset
+    if isinstance(grid, dict):
+        return CandidateGrid.from_dict(grid)
+    raise ConfigurationError(
+        "grid must be a CandidateGrid, a preset name, or a dict; "
+        f"got {type(grid).__name__}"
+    )
+
+
 def _evidence(result: ExperimentResult) -> SimulationEvidence:
     summary = result.summary
     attainment = summary.slo_compliance
@@ -91,20 +125,67 @@ def _evidence(result: ExperimentResult) -> SimulationEvidence:
     )
 
 
+def _merge_evidence(
+    pairs: list[tuple[SubRun, ExperimentResult]]
+) -> SimulationEvidence:
+    """Combine per-class sub-run results into one candidate verdict.
+
+    Homogeneous candidates (a single sub-run) reproduce the single-run
+    evidence exactly. Mixed fleets sum costs, served requests, and
+    evictions across classes; attainment is the strict-request-weighted
+    mean (classes that saw no strict traffic carry no attainment
+    signal); strict p99 is the worst class's tail.
+    """
+    if len(pairs) == 1:
+        return _evidence(pairs[0][1])
+    total_cost = 0.0
+    requests_served = 0
+    evictions = 0
+    weighted_attainment = 0.0
+    weight = 0.0
+    strict_p99 = 0.0
+    for _sub, result in pairs:
+        summary = result.summary
+        total_cost += summary.total_cost
+        requests_served += summary.requests_served
+        evictions += int(result.extras.get("evictions", 0))
+        strict = summary.strict_requests
+        attainment = summary.slo_compliance
+        if strict > 0 and not math.isnan(attainment):
+            weighted_attainment += strict * attainment
+            weight += strict
+            if not math.isnan(summary.strict_p99):
+                strict_p99 = max(strict_p99, summary.strict_p99)
+    return SimulationEvidence(
+        attainment=weighted_attainment / weight if weight > 0 else 0.0,
+        total_cost=total_cost,
+        cost_per_1k_requests=cost_per_1k_requests(
+            total_cost, requests_served
+        ),
+        requests_served=requests_served,
+        strict_p99=strict_p99,
+        evictions=evictions,
+    )
+
+
 def _escalate(
     decisions: list[ScreenDecision],
-    results: dict,
+    evidences: dict[str, SimulationEvidence],
     simulate: Callable,
     target: float,
 ) -> list[ScreenDecision]:
     """Re-admit dominated candidates whose dominator failed validation.
 
-    Domination pruning assumed a cheaper same-group candidate would
-    validate; while a group has no simulated member meeting the target,
-    its smallest still-pruned dominated candidate is simulated next
-    (one per group per round, batched across groups through the same
-    parallel fan-out). Mutates ``results`` in place and returns the
-    updated decision list, with escalated candidates marked admitted.
+    Domination pruning assumed a cheaper componentwise-smaller fleet
+    would validate; a dominated candidate may stay pruned only while
+    some *validated* (simulated, target-meeting) group member whose
+    fleet is a subset of its own exists — that member is strictly
+    cheaper, so the pruned candidate cannot be optimal. While any group
+    has uncovered dominated candidates, the cheapest one (by analytic
+    cost estimate, then size, then key) is simulated next — one per
+    group per round, batched across groups through the same parallel
+    fan-out. Mutates ``evidences`` in place and returns the updated
+    decision list, with escalated candidates marked admitted.
     """
     groups: dict[tuple, list[ScreenDecision]] = {}
     for decision in decisions:
@@ -117,30 +198,34 @@ def _escalate(
     while True:
         batch = []
         for members in groups.values():
-            satisfied = any(
-                decision.candidate.key in results
-                and _evidence(
-                    results[decision.candidate.key]
-                ).attainment
-                >= target
+            validated = [
+                decision.candidate
                 for decision in members
-            )
-            if satisfied:
-                continue
-            pending = sorted(
-                (
-                    decision.candidate
-                    for decision in members
-                    if decision.prune_reason == PRUNE_DOMINATED
-                    and decision.candidate.key not in results
-                ),
-                key=lambda candidate: candidate.n_nodes,
-            )
+                if decision.candidate.key in evidences
+                and evidences[decision.candidate.key].attainment >= target
+            ]
+            pending = [
+                decision
+                for decision in members
+                if decision.prune_reason == PRUNE_DOMINATED
+                and decision.candidate.key not in evidences
+                and not any(
+                    fleet_subset(winner.fleet, decision.candidate.fleet)
+                    for winner in validated
+                )
+            ]
             if pending:
-                batch.append(pending[0])
+                pending.sort(
+                    key=lambda decision: (
+                        decision.bound.est_hourly_cost,
+                        decision.candidate.n_nodes,
+                        decision.candidate.key,
+                    )
+                )
+                batch.append(pending[0].candidate)
         if not batch:
             break
-        results.update(simulate(batch))
+        evidences.update(simulate(batch))
         escalated.update(candidate.key for candidate in batch)
 
     if not escalated:
@@ -189,14 +274,60 @@ def simulated_optimum(
     return best.key
 
 
+def _solver_proposals(
+    spec: WorkloadSpec,
+    grid: CandidateGrid,
+    *,
+    target: float,
+    margin: float,
+) -> dict:
+    """Run the Mélange allocator once per candidate group of the grid."""
+    import itertools
+
+    from repro.capacity.solver import solve_fleet
+
+    max_per_class = max(grid.class_counts)
+    knob_names = [name for name, _values in grid.knobs]
+    knob_spaces = [values for _name, values in grid.knobs]
+    proposals = {}
+    for scheme in grid.schemes:
+        for procurement in grid.procurement:
+            for combo in itertools.product(*knob_spaces):
+                knobs = tuple(zip(knob_names, combo))
+                label = f"{scheme}/{procurement}" + "".join(
+                    f"/{k}={v}" for k, v in knobs
+                )
+                solution = solve_fleet(
+                    spec,
+                    scheme=scheme,
+                    procurement=procurement,
+                    classes=grid.gpu_classes,
+                    max_per_class=max_per_class,
+                    target=target,
+                    margin=margin,
+                    knobs=knobs,
+                )
+                if solution is None:
+                    proposals[label] = None
+                    continue
+                payload = solution.to_dict()
+                payload["candidate_key"] = (
+                    f"{scheme}/{procurement}/{solution.key_fragment}"
+                    + "".join(f"/{k}={v}" for k, v in knobs)
+                )
+                proposals[label] = payload
+    return proposals
+
+
 def plan(
     workload: WorkloadSpec | dict | str,
     *,
-    grid: CandidateGrid | dict | None = None,
+    grid: CandidateGrid | dict | str | None = None,
     target: float = DEFAULT_TARGET,
     margin: float = DEFAULT_MARGIN,
     jobs: int | None = None,
     exhaustive: bool = False,
+    cache: SimulationCache | None = None,
     progress: Callable[[str, float], None] | None = None,
 ) -> PlanReport:
     """Search ``grid`` for the cheapest configuration meeting ``target``.
@@ -204,7 +335,9 @@ def plan(
     Stable entry point: ``workload`` positional, everything else
     keyword-only. ``workload`` is a :class:`WorkloadSpec`, a preset name
     (``"wiki"``, ``"twitter"``, ...), or a spec payload dict; ``grid``
-    defaults to :class:`CandidateGrid`'s standard search space.
+    is a :class:`CandidateGrid`, a grid-preset name (``"hetero-smoke"``,
+    ...), or a payload dict, defaulting to the standard homogeneous
+    search space.
 
     ``jobs`` controls the stage-two fan-out exactly like
     :func:`repro.experiments.run_comparison` (``None`` resolves the
@@ -212,40 +345,59 @@ def plan(
     the pruned candidates are simulated too — the screen's verdicts are
     still recorded, which is how the property tests and
     ``benchmarks/bench_planner.py`` audit the pre-screen against ground
-    truth.
+    truth. ``cache`` shares a simulation cache across plan calls;
+    ``None`` gives the run its own. Either way the hit/miss accounting
+    lands in ``report.cache_stats``.
     """
     from repro.parallel import RunRequest, execute_keyed
 
     if not 0.0 < target <= 1.0:
         raise ConfigurationError("attainment target must lie in (0, 1]")
     spec = resolve_workload(workload)
-    if grid is None:
-        grid = CandidateGrid()
-    elif isinstance(grid, dict):
-        grid = CandidateGrid.from_dict(grid)
-    elif not isinstance(grid, CandidateGrid):
-        raise ConfigurationError(
-            f"grid must be a CandidateGrid or dict, got {type(grid).__name__}"
-        )
+    grid = resolve_grid(grid)
+    if cache is None:
+        cache = SimulationCache()
 
     candidates = grid.candidates(spec)
     decisions = screen_candidates(candidates, target=target, margin=margin)
 
-    def simulate(batch):
-        return execute_keyed(
-            [
-                RunRequest(
-                    key=candidate.key,
-                    scheme=candidate.scheme,
-                    config=candidate.config,
-                )
-                for candidate in batch
-            ],
-            jobs=jobs,
-            progress=progress,
-        )
+    def simulate(batch: list[Candidate]) -> dict[str, SimulationEvidence]:
+        requests = []
+        pending: dict[str, str] = {}
+        batch_subs: list[tuple[Candidate, list[tuple[SubRun, str]]]] = []
+        for candidate in batch:
+            subs = []
+            for sub in candidate.subruns():
+                digest = config_digest(candidate.scheme, sub.config)
+                subs.append((sub, digest))
+                cached = cache.lookup(digest, pending=pending.keys())
+                if cached is None and digest not in pending:
+                    run_key = (
+                        candidate.key
+                        if candidate.homogeneous
+                        else f"{candidate.key}#{sub.gpu_class}"
+                    )
+                    pending[digest] = run_key
+                    requests.append(
+                        RunRequest(
+                            key=run_key,
+                            scheme=candidate.scheme,
+                            config=sub.config,
+                        )
+                    )
+            batch_subs.append((candidate, subs))
+        if requests:
+            resolved = execute_keyed(requests, jobs=jobs, progress=progress)
+            for digest, run_key in pending.items():
+                cache.store(digest, resolved[run_key])
+        return {
+            candidate.key: _merge_evidence(
+                [(sub, cache.peek(digest)) for sub, digest in subs]
+            )
+            for candidate, subs in batch_subs
+        }
 
-    results = simulate(
+    evidences = simulate(
         [
             decision.candidate
             for decision in decisions
@@ -254,16 +406,12 @@ def plan(
     )
 
     if not exhaustive:
-        decisions = _escalate(decisions, results, simulate, target)
+        decisions = _escalate(decisions, evidences, simulate, target)
 
     outcomes = tuple(
         CandidateOutcome(
             decision=decision,
-            simulated=(
-                _evidence(results[decision.candidate.key])
-                if decision.candidate.key in results
-                else None
-            ),
+            simulated=evidences.get(decision.candidate.key),
         )
         for decision in decisions
     )
@@ -274,6 +422,11 @@ def plan(
             if o.simulated is not None
         ]
     )
+    extra = {}
+    if grid.heterogeneous:
+        extra["solver"] = _solver_proposals(
+            spec, grid, target=target, margin=margin
+        )
     return PlanReport(
         workload=spec,
         grid=grid,
@@ -283,4 +436,6 @@ def plan(
         frontier=frontier,
         recommended=simulated_optimum(outcomes, target),
         exhaustive=exhaustive,
+        cache_stats=cache.stats(),
+        extra=extra,
     )

@@ -115,6 +115,8 @@ class PlanReport:
     #: Whether pruned candidates were simulated anyway (property tests,
     #: benchmarking the screen).
     exhaustive: bool = False
+    #: Simulation-cache accounting (hits/misses/entries/hit_rate).
+    cache_stats: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -229,6 +231,23 @@ class PlanReport:
     def to_dict(self) -> dict:
         """JSON-safe, versioned export (the ``--json`` payload)."""
         recommended = self.recommended_outcome
+        if recommended is None:
+            recommended_payload = None
+        else:
+            candidate = recommended.decision.candidate
+            recommended_payload = {
+                "key": recommended.key,
+                "scheme": candidate.scheme,
+                "fleet": dict(candidate.fleet),
+                # Mixed fleets have no single config — consumers rebuild
+                # them from the fleet + workload via Candidate.subruns().
+                "config": (
+                    candidate.config.to_dict()
+                    if candidate.homogeneous
+                    else None
+                ),
+                "evidence": recommended.simulated.to_dict(),
+            }
         return {
             "version": PLAN_SCHEMA_VERSION,
             "workload": self.workload.to_dict(),
@@ -241,15 +260,7 @@ class PlanReport:
             "prune_ratio": round(self.prune_ratio, 4),
             "simulated": self.simulated_count,
             "frontier": list(self.frontier),
-            "recommended": (
-                None
-                if recommended is None
-                else {
-                    "key": recommended.key,
-                    "scheme": recommended.decision.candidate.scheme,
-                    "config": recommended.decision.candidate.config.to_dict(),
-                    "evidence": recommended.simulated.to_dict(),
-                }
-            ),
+            "recommended": recommended_payload,
+            "cache": dict(self.cache_stats),
             **({"extra": self.extra} if self.extra else {}),
         }

@@ -1,24 +1,41 @@
 """Analytic pre-screen: bound attainment before paying for simulation.
 
-Stage one of the planner. For every candidate the screen computes two
-closed-form bounds on strict-SLO attainment from the extended queueing
-models in :mod:`repro.analysis.queueing`:
+Stage one of the planner. For every candidate fleet the screen computes
+two closed-form bounds on strict-SLO attainment from the extended
+queueing models in :mod:`repro.analysis.queueing`:
 
-- an **optimistic upper bound** — the cluster behaves as an ideal pool
-  of full-speed GPUs serving *only the strict stream* (an ideal
-  scheduler gives strict traffic absolute priority, so best-effort load
-  cannot lower this bound) with capacity further inflated by the
-  admissibility margin and zero queueing variance. If even this bound
-  misses the target — the SLO is tighter than a solo batch, or strict
-  demand overloads the inflated capacity — the candidate is *infeasible*
-  and pruned: no scheduling policy can beat an ideal work-conserving
-  pool with extra capacity.
-- a **conservative lower bound** — arrivals inflated by a trace burst
-  factor, per-node capacity deflated by a scheme-pessimistic efficiency
-  and the margin, spot procurement further discounted by the revocation
-  probability. When a candidate clears the target *on this bound*, any
-  strictly larger cluster with identical knobs is *dominated*: it can
-  only cost more, so it cannot be the cheapest SLO-compliant choice.
+- an **optimistic upper bound** — the fleet's strict-capable classes
+  behave as one ideal pool of A100-equivalent capacity serving *only the
+  strict stream* (an ideal scheduler gives strict traffic absolute
+  priority, so best-effort load cannot lower this bound) with capacity
+  further inflated by the admissibility margin and zero queueing
+  variance. If even this bound misses the target — no class meets the
+  SLO even idle, or strict demand overloads the inflated pool — the
+  candidate is *infeasible* and pruned: no scheduling policy can beat an
+  ideal work-conserving pool with extra capacity.
+- a **conservative lower bound** — the fleet is split into per-class
+  M/M/c queues by the deterministic stream-split policy
+  (:func:`repro.capacity.fleet.split_streams`), each with arrivals
+  inflated by a trace burst factor and capacity deflated by the
+  scheme-pessimistic efficiency, the class's interference penalty, its
+  speed factor, and the margin; spot procurement is further discounted
+  by the revocation probability. Per-class attainments combine weighted
+  by strict share. When a candidate clears the target *on this bound*,
+  any componentwise-larger fleet with identical knobs is *dominated*:
+  it provisions at least as much of every class, so it costs strictly
+  more and cannot be the cheapest SLO-compliant choice.
+
+Both bounds come in two implementations that are **bit-identical** by
+construction: a scalar per-candidate path (:func:`analytic_bound`) and a
+vectorised path (:func:`analytic_bounds_batch`) that evaluates the whole
+candidate set as numpy arrays — workload statistics computed once per
+knob combination, Erlang-C via the batched recursion
+(:func:`repro.analysis.queueing.erlang_c_batch`), and the final
+exponential tails via ``math.exp`` per element so not even libm SIMD
+rounding can diverge. On a homogeneous A100 grid both reduce exactly to
+the pre-heterogeneity scalar formulas. ``screen_candidates`` feeds either
+path's bounds through one shared verdict pass, so "the vectorised screen
+prunes exactly what the scalar screen prunes" is structural.
 
 The margin is the safety knob of the screen: it widens the gap between
 the two bounds so the verdicts here rarely need second-guessing. They
@@ -33,16 +50,26 @@ carries its reason in the report; nothing is dropped silently.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.queueing import mmc, mps_effective_capacity
+from repro.analysis.queueing import erlang_c_batch, mmc, mps_effective_capacity
+from repro.capacity.fleet import (
+    StreamStats,
+    fleet_hourly_cost,
+    fleet_subset,
+    gpu_class,
+    split_streams,
+    stream_stats,
+)
 from repro.capacity.grid import Candidate
-from repro.cluster.pricing import DEFAULT_PRICING, ProviderPricing, VMTier
+from repro.cluster.pricing import ProviderPricing, VMTier
 from repro.cluster.spot import AVAILABILITY_LEVELS
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
+from repro.workloads.profile import ModelProfile
 
 #: Default admissibility margin: the optimistic bound assumes capacity
 #: (1 + margin)× better than ideal, the conservative bound assumes it
@@ -112,55 +139,27 @@ class ScreenDecision:
     detail: str = ""
 
 
-def _stream_stats(
-    config: ExperimentConfig,
-) -> tuple[float, float, float, float, float]:
-    """Batch-level workload statistics for the two bounds.
+def _base_config(candidate: Candidate) -> ExperimentConfig:
+    """A single-node config carrying the candidate's workload + knobs.
 
-    Returns ``(strict_batch_rate, total_batch_rate, mean_batch_work,
-    strict_latency, slo)``. The simulator executes whole batches
-    (``batched_arrivals``), so the queueing unit is a batch; a strict
-    batch's work is ``strict_latency`` itself. The strict-only stream
-    feeds the optimistic bound (an ideal scheduler serves strict traffic
-    at absolute priority, unaffected by BE load); the total stream —
-    mean work the arrival-weighted mix of strict and BE batch latencies
-    on a full 7g GPU — feeds the conservative bound.
+    Stream statistics never depend on ``n_nodes`` or ``gpu_device``, so
+    one such config per knob combination serves every fleet in a grid —
+    the key saving of the vectorised path.
     """
-    strict = config.strict_profile()
-    rate = config.request_rate()
-    strict_batch_rate = rate * config.strict_fraction / strict.batch_size
-    batch_rate = strict_batch_rate
-    work_rate = strict_batch_rate * strict.solo_latency_7g
-    if config.strict_fraction < 1.0:
-        pool = config.be_profiles()
-        be_request_rate = rate * (1.0 - config.strict_fraction)
-        be_batch_rate = be_request_rate * float(
-            np.mean([1.0 / m.batch_size for m in pool])
-        )
-        batch_rate += be_batch_rate
-        work_rate += be_request_rate * float(
-            np.mean([m.solo_latency_7g / m.batch_size for m in pool])
-        )
-    mean_batch_work = work_rate / batch_rate
-    slo = config.slo_multiplier * strict.solo_latency_7g
-    return (
-        strict_batch_rate,
-        batch_rate,
-        mean_batch_work,
-        strict.solo_latency_7g,
-        slo,
+    return candidate.workload.to_config(
+        n_nodes=1,
+        procurement=candidate.procurement,
+        **dict(candidate.knobs),
     )
 
 
-def _pessimistic_efficiency(candidate: Candidate) -> float:
+def _pessimistic_efficiency(scheme: str, strict: ModelProfile) -> float:
     """Lower-bound fraction of ideal throughput one node delivers."""
-    efficiency = SCHEME_EFFICIENCY.get(candidate.scheme, DEFAULT_EFFICIENCY)
-    if candidate.scheme == "infless_llama":
+    efficiency = SCHEME_EFFICIENCY.get(scheme, DEFAULT_EFFICIENCY)
+    if scheme == "infless_llama":
         # MPS-only consolidation saturates at the FBR breakeven (Eq. 1):
         # with a typical packing depth the per-job share of effective
         # capacity caps the node's useful throughput.
-        config = candidate.config
-        strict = config.strict_profile()
         depth = 3.0
         efficiency = min(
             DEFAULT_EFFICIENCY,
@@ -169,14 +168,12 @@ def _pessimistic_efficiency(candidate: Candidate) -> float:
     return efficiency
 
 
-def _spot_discount(candidate: Candidate) -> float:
+def _spot_discount(procurement: str, spot_availability: str) -> float:
     """Multiplier on the conservative attainment bound for spot risk."""
-    p_rev = AVAILABILITY_LEVELS[
-        candidate.config.spot_availability
-    ].revocation_probability
-    if candidate.procurement == "spot_only":
+    p_rev = AVAILABILITY_LEVELS[spot_availability].revocation_probability
+    if procurement == "spot_only":
         return 1.0 - p_rev
-    if candidate.procurement == "hybrid":
+    if procurement == "hybrid":
         # Hybrid falls back to on-demand after a notice; only in-flight
         # work on the evicted node is at risk.
         return 1.0 - 0.25 * p_rev
@@ -184,13 +181,21 @@ def _spot_discount(candidate: Candidate) -> float:
 
 
 def estimate_hourly_cost(
-    candidate: Candidate, pricing: ProviderPricing = DEFAULT_PRICING
+    candidate: Candidate, pricing: ProviderPricing | None = None
 ) -> float:
-    """Steady-state $/hour of the candidate cluster (Table 3 pricing).
+    """Steady-state $/hour of the candidate fleet.
 
-    Hybrid procurement is priced at the revocation-weighted blend: spot
-    while available, on-demand fallback while revoked.
+    By default every GPU class is priced at its own Table-3-derived rate
+    (:func:`repro.capacity.fleet.per_node_hourly`); passing ``pricing``
+    overrides the rate uniformly across the fleet. Hybrid procurement is
+    priced at the revocation-weighted blend: spot while available,
+    on-demand fallback while revoked.
     """
+    spot_availability = candidate.workload.spot_availability
+    if pricing is None:
+        return fleet_hourly_cost(
+            candidate.fleet, candidate.procurement, spot_availability
+        )
     on_demand = pricing.per_gpu_hourly(VMTier.ON_DEMAND)
     spot = pricing.per_gpu_hourly(VMTier.SPOT)
     if candidate.procurement == "on_demand_only":
@@ -198,61 +203,95 @@ def estimate_hourly_cost(
     elif candidate.procurement == "spot_only":
         per_node = spot
     else:
-        p_rev = AVAILABILITY_LEVELS[
-            candidate.config.spot_availability
-        ].revocation_probability
+        p_rev = AVAILABILITY_LEVELS[spot_availability].revocation_probability
         per_node = (1.0 - p_rev) * spot + p_rev * on_demand
     return candidate.n_nodes * per_node
 
 
-def analytic_bound(candidate: Candidate, *, margin: float = DEFAULT_MARGIN) -> AnalyticBound:
-    """Compute both attainment bounds for one candidate."""
-    if margin < 0:
-        raise ConfigurationError("admissibility margin must be non-negative")
-    config = candidate.config
-    strict_rate, batch_rate, mean_work, strict_latency, slo = _stream_stats(
-        config
+def _fleet_bound(
+    candidate: Candidate,
+    stats: StreamStats,
+    *,
+    margin: float,
+    efficiency: float,
+    mean_factor: float,
+    burst_factor: float,
+    spot_availability: str,
+) -> AnalyticBound:
+    """Scalar bound for one fleet (reference for the vectorised path)."""
+    fleet = candidate.fleet
+    entries = [gpu_class(name) for name, _count in fleet]
+    strict_shares, be_shares = split_streams(
+        fleet,
+        strict_latency=stats.strict_latency,
+        slo=stats.slo,
+        strict_work_rate=stats.strict_work_rate,
     )
-    mean_factor = TRACE_MEAN_FACTOR[config.trace]
-    effective_strict_rate = strict_rate * mean_factor
-    effective_rate = batch_rate * mean_factor
-    c = candidate.n_nodes
-    utilization = effective_rate * mean_work / c
 
-    # Optimistic: an ideal pool of full-speed GPUs serving only the
-    # strict stream (strict-priority scheduling shields it from BE load)
-    # with margin extra capacity and zero arrival/service variance — the
-    # simulator's constant trace and fixed batch latencies really are
+    total_capacity = 0.0
+    for (_name, count), entry in zip(fleet, entries):
+        total_capacity = total_capacity + count * entry.speed
+
+    # Optimistic: the strict-capable classes form one ideal pool of
+    # A100-equivalent capacity serving only the strict stream with margin
+    # extra headroom and zero arrival/service variance — the simulator's
+    # constant trace and fixed batch latencies really are
     # near-deterministic, so a stable ideal pool misses nothing. Only
-    # genuine impossibilities prune: the SLO is tighter than a solo
-    # batch, or strict demand exceeds margin-inflated capacity (then
+    # genuine impossibilities prune: no class meets the SLO even with the
+    # margin, or strict demand exceeds margin-inflated capacity (then
     # attainment cannot beat the served fraction 1/rho).
-    service_opt = strict_latency / (1.0 + margin)
-    rho_opt = effective_strict_rate * service_opt / c
-    if slo < service_opt:
+    eq_capacity = 0.0
+    for (_name, count), entry in zip(fleet, entries):
+        if stats.slo >= stats.strict_latency / (entry.speed * (1.0 + margin)):
+            eq_capacity = eq_capacity + count * entry.speed
+    effective_strict_rate = stats.strict_batch_rate * mean_factor
+    service_opt = stats.strict_latency / (1.0 + margin)
+    if eq_capacity <= 0.0:
         attainment_upper = 0.0
-    elif rho_opt >= 1.0:
-        attainment_upper = min(1.0, 1.0 / rho_opt)
     else:
-        attainment_upper = 1.0
-
-    # Conservative: bursty strict + BE arrivals into a
-    # pessimistic-efficiency pool.
-    efficiency = _pessimistic_efficiency(candidate)
-    burst_rate = effective_rate * TRACE_BURST_FACTOR[config.trace]
-    service_cons = mean_work * (1.0 + margin) / efficiency
-    rho_cons = burst_rate * service_cons / c
-    if rho_cons >= 1.0:
-        attainment_lower = 0.0
-    else:
-        prediction = mmc(burst_rate, service_cons, c)
-        slack = slo - strict_latency * (1.0 + margin) / efficiency
-        if slack <= 0:
-            attainment_lower = 0.0
+        rho_opt = effective_strict_rate * service_opt / eq_capacity
+        if rho_opt >= 1.0:
+            attainment_upper = min(1.0, 1.0 / rho_opt)
         else:
-            attainment_lower = max(
-                0.0, 1.0 - prediction.wait_tail(slack)
-            ) * _spot_discount(candidate)
+            attainment_upper = 1.0
+
+    # Utilisation and the conservative bound both follow the per-class
+    # stream split: each class is its own M/M/c fed by its share of the
+    # bursty strict + best-effort streams at pessimistic efficiency.
+    utilization_work = 0.0
+    attainment = 0.0
+    for index, ((_name, count), entry) in enumerate(zip(fleet, entries)):
+        s_share = strict_shares[index]
+        b_share = be_shares[index]
+        lam_raw = (
+            s_share * stats.strict_batch_rate
+            + b_share * stats.be_batch_rate
+        )
+        if lam_raw <= 0.0:
+            continue
+        mean_work = (
+            s_share * stats.strict_work_rate + b_share * stats.be_work_rate
+        ) / lam_raw
+        utilization_work = utilization_work + (lam_raw * mean_factor) * mean_work
+        if s_share <= 0.0:
+            continue
+        denom = efficiency * entry.efficiency * entry.speed
+        burst = (lam_raw * mean_factor) * burst_factor
+        service = mean_work * (1.0 + margin) / denom
+        rho = burst * service / count
+        if rho >= 1.0:
+            continue
+        prediction = mmc(burst, service, count)
+        slack = stats.slo - stats.strict_latency * (1.0 + margin) / denom
+        if slack <= 0.0:
+            continue
+        attainment = attainment + s_share * max(
+            0.0, 1.0 - prediction.wait_tail(slack)
+        )
+    utilization = utilization_work / total_capacity
+    attainment_lower = attainment * _spot_discount(
+        candidate.procurement, spot_availability
+    )
     attainment_lower = min(attainment_lower, attainment_upper)
 
     return AnalyticBound(
@@ -263,43 +302,262 @@ def analytic_bound(candidate: Candidate, *, margin: float = DEFAULT_MARGIN) -> A
     )
 
 
+def analytic_bound(
+    candidate: Candidate, *, margin: float = DEFAULT_MARGIN
+) -> AnalyticBound:
+    """Compute both attainment bounds for one candidate."""
+    if margin < 0:
+        raise ConfigurationError("admissibility margin must be non-negative")
+    config = _base_config(candidate)
+    stats = stream_stats(config)
+    return _fleet_bound(
+        candidate,
+        stats,
+        margin=margin,
+        efficiency=_pessimistic_efficiency(
+            candidate.scheme, config.strict_profile()
+        ),
+        mean_factor=TRACE_MEAN_FACTOR[config.trace],
+        burst_factor=TRACE_BURST_FACTOR[config.trace],
+        spot_availability=config.spot_availability,
+    )
+
+
+def analytic_bounds_batch(
+    candidates: tuple[Candidate, ...] | list[Candidate],
+    *,
+    margin: float = DEFAULT_MARGIN,
+) -> list[AnalyticBound]:
+    """Vectorised :func:`analytic_bound` over a whole candidate set.
+
+    Evaluates every candidate simultaneously as numpy arrays — one
+    stream-statistics computation per distinct (workload, knobs)
+    combination, one batched Erlang recursion per GPU class — instead of
+    one config construction and one ``O(servers)`` Python loop per
+    candidate. Every arithmetic step mirrors the scalar path's IEEE-754
+    operation sequence exactly (accumulations run in the same class
+    order, masked lanes contribute literal ``0.0``, exponential tails go
+    through ``math.exp``), so the returned bounds are bit-identical to
+    ``[analytic_bound(c, margin=margin) for c in candidates]``.
+    """
+    if margin < 0:
+        raise ConfigurationError("admissibility margin must be non-negative")
+    candidates = list(candidates)
+    if not candidates:
+        return []
+    n = len(candidates)
+
+    class_names = sorted({name for c in candidates for name, _ in c.fleet})
+    entries = [gpu_class(name) for name in class_names]
+    index_of = {name: i for i, name in enumerate(class_names)}
+    counts = np.zeros((len(class_names), n))
+    for j, cand in enumerate(candidates):
+        for name, count in cand.fleet:
+            counts[index_of[name], j] = count
+
+    strict_rate = np.empty(n)
+    be_rate = np.empty(n)
+    strict_work = np.empty(n)
+    be_work = np.empty(n)
+    strict_latency = np.empty(n)
+    slo = np.empty(n)
+    mean_factor = np.empty(n)
+    burst_factor = np.empty(n)
+    efficiency = np.empty(n)
+    discount = np.empty(n)
+    cost_groups: dict[tuple[str, str], list[int]] = {}
+    stats_cache: dict[tuple, tuple] = {}
+    for j, cand in enumerate(candidates):
+        cache_key = (cand.workload, cand.knobs)
+        cached = stats_cache.get(cache_key)
+        if cached is None:
+            config = _base_config(cand)
+            cached = (
+                stream_stats(config),
+                config.strict_profile(),
+                config.trace,
+                config.spot_availability,
+            )
+            stats_cache[cache_key] = cached
+        stats, strict_profile, trace, availability = cached
+        strict_rate[j] = stats.strict_batch_rate
+        be_rate[j] = stats.be_batch_rate
+        strict_work[j] = stats.strict_work_rate
+        be_work[j] = stats.be_work_rate
+        strict_latency[j] = stats.strict_latency
+        slo[j] = stats.slo
+        mean_factor[j] = TRACE_MEAN_FACTOR[trace]
+        burst_factor[j] = TRACE_BURST_FACTOR[trace]
+        efficiency[j] = _pessimistic_efficiency(cand.scheme, strict_profile)
+        discount[j] = _spot_discount(cand.procurement, availability)
+        cost_groups.setdefault((cand.procurement, availability), []).append(j)
+
+    speed = np.array([entry.speed for entry in entries])
+    class_eff = np.array([entry.efficiency for entry in entries])
+    capacity = counts * speed[:, None]
+
+    # Vectorised split_streams: per-class capability is elementwise over
+    # (class, candidate); accumulations run class-by-class in sorted
+    # order so absent classes add a literal 0.0 — exactly what the
+    # scalar split skips.
+    capable = slo[None, :] >= strict_latency[None, :] / speed[:, None]
+    capable_cap = np.zeros(n)
+    total_cap = np.zeros(n)
+    for c in range(len(class_names)):
+        capable_cap = capable_cap + np.where(capable[c], capacity[c], 0.0)
+        total_cap = total_cap + capacity[c]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        s_shares = np.where(
+            capable & (capable_cap[None, :] > 0.0),
+            capacity / capable_cap[None, :],
+            0.0,
+        )
+        residual = np.maximum(capacity - s_shares * strict_work[None, :], 0.0)
+        total_residual = np.zeros(n)
+        for c in range(len(class_names)):
+            total_residual = total_residual + residual[c]
+        b_shares = np.where(
+            total_residual[None, :] > 0.0,
+            residual / total_residual[None, :],
+            capacity / total_cap[None, :],
+        )
+
+    # Optimistic bound.
+    capable_opt = slo[None, :] >= strict_latency[None, :] / (
+        speed[:, None] * (1.0 + margin)
+    )
+    eq_cap = np.zeros(n)
+    for c in range(len(class_names)):
+        eq_cap = eq_cap + np.where(capable_opt[c], capacity[c], 0.0)
+    effective_strict = strict_rate * mean_factor
+    service_opt = strict_latency / (1.0 + margin)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rho_opt = effective_strict * service_opt / eq_cap
+        upper = np.where(
+            eq_cap <= 0.0,
+            0.0,
+            np.where(
+                rho_opt >= 1.0, np.minimum(1.0, 1.0 / rho_opt), 1.0
+            ),
+        )
+
+    # Utilisation + conservative bound, class by class.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        lam_raw = s_shares * strict_rate[None, :] + b_shares * be_rate[None, :]
+        mean_work = (
+            s_shares * strict_work[None, :] + b_shares * be_work[None, :]
+        ) / lam_raw
+    utilization_work = np.zeros(n)
+    attainment = np.zeros(n)
+    for c in range(len(class_names)):
+        loaded = lam_raw[c] > 0.0
+        utilization_work = utilization_work + np.where(
+            loaded, (lam_raw[c] * mean_factor) * mean_work[c], 0.0
+        )
+        denom = efficiency * class_eff[c] * speed[c]
+        burst = (lam_raw[c] * mean_factor) * burst_factor
+        with np.errstate(divide="ignore", invalid="ignore"):
+            service = mean_work[c] * (1.0 + margin) / denom
+            rho = burst * service / counts[c]
+            slack = slo - strict_latency * (1.0 + margin) / denom
+        ok = loaded & (s_shares[c] > 0.0) & (rho < 1.0) & (slack > 0.0)
+        if not np.any(ok):
+            continue
+        servers = np.where(ok, counts[c], 1.0).astype(np.int64)
+        offered = np.where(ok, burst * service, 0.0)
+        delay = erlang_c_batch(servers, offered)
+        with np.errstate(invalid="ignore"):
+            drain = (counts[c] - counts[c] * rho) / service
+            arg = np.where(ok, -drain * slack, 0.0)
+        # math.exp, not np.exp: libm's SIMD exp can differ in the last
+        # ulp, and the scalar path's tails go through math.exp.
+        tails = np.array([math.exp(value) for value in arg])
+        tail = np.where(delay <= 0.0, 0.0, delay * tails)
+        attainment = attainment + np.where(
+            ok, s_shares[c] * np.maximum(0.0, 1.0 - tail), 0.0
+        )
+    utilization = utilization_work / total_cap
+    lower = np.minimum(attainment * discount, upper)
+
+    # Estimated cost: per-class rates resolved once per
+    # (procurement, availability) group, accumulated in class order.
+    from repro.capacity.fleet import per_node_hourly
+
+    cost = np.zeros(n)
+    for c, name in enumerate(class_names):
+        rate = np.empty(n)
+        for (procurement, availability), members in cost_groups.items():
+            rate[members] = per_node_hourly(name, procurement, availability)
+        cost = cost + counts[c] * rate
+
+    return [
+        AnalyticBound(
+            utilization=float(utilization[j]),
+            attainment_upper=float(upper[j]),
+            attainment_lower=float(lower[j]),
+            est_hourly_cost=float(cost[j]),
+        )
+        for j in range(n)
+    ]
+
+
 def screen_candidates(
     candidates: tuple[Candidate, ...] | list[Candidate],
     *,
     target: float,
     margin: float = DEFAULT_MARGIN,
+    vectorised: bool = True,
 ) -> list[ScreenDecision]:
     """Stage-one verdicts for a candidate set, in input order.
 
-    Pruning is two-phase. *Infeasible*: the optimistic bound misses the
-    target. *Dominated*: within each (scheme, procurement, knobs) group —
-    where cost is strictly monotone in ``n_nodes`` — every candidate
-    larger than the smallest one whose conservative bound clears the
-    target is pruned; the smaller cluster already meets the SLO under the
-    pessimistic model, so paying for more nodes cannot be optimal.
+    Bounds come from the vectorised batch path by default
+    (``vectorised=False`` selects the scalar reference path; both yield
+    bit-identical bounds, so the verdicts cannot differ). Pruning is
+    two-phase. *Infeasible*: the optimistic bound misses the target.
+    *Dominated*: within each (scheme, procurement, knobs) group, a
+    candidate is pruned when some componentwise-smaller fleet — no more
+    GPUs of any class, hence strictly cheaper — already clears the
+    target on its conservative bound; the smaller fleet meets the SLO
+    under the pessimistic model, so paying for more nodes cannot be
+    optimal. On homogeneous grids this reduces to the classic rule:
+    everything larger than the smallest conservatively-feasible cluster
+    is dominated.
     """
     if not 0.0 < target <= 1.0:
         raise ConfigurationError("attainment target must lie in (0, 1]")
+    candidates = list(candidates)
+    if vectorised:
+        bound_list = analytic_bounds_batch(candidates, margin=margin)
+    else:
+        bound_list = [analytic_bound(c, margin=margin) for c in candidates]
     bounds = {
-        candidate.key: analytic_bound(candidate, margin=margin)
-        for candidate in candidates
+        candidate.key: bound
+        for candidate, bound in zip(candidates, bound_list)
     }
 
-    # Group by everything but n_nodes; domination only applies where the
-    # cost ordering is certain.
+    # Group by everything but the fleet; domination only applies where
+    # the cost ordering is certain (the componentwise-subset order).
     groups: dict[tuple, list[Candidate]] = {}
     for candidate in candidates:
         group_key = (candidate.scheme, candidate.procurement, candidate.knobs)
         groups.setdefault(group_key, []).append(candidate)
     dominated: dict[str, str] = {}
     for members in groups.values():
-        members = sorted(members, key=lambda c: c.n_nodes)
-        dominator: Candidate | None = None
+        members = sorted(members, key=lambda c: (c.n_nodes, c.key))
+        dominators: list[Candidate] = []
         for candidate in members:
+            dominator = next(
+                (
+                    d
+                    for d in dominators
+                    if fleet_subset(d.fleet, candidate.fleet)
+                ),
+                None,
+            )
             if dominator is not None:
                 dominated[candidate.key] = dominator.key
             elif bounds[candidate.key].attainment_lower >= target:
-                dominator = candidate
+                dominators.append(candidate)
 
     decisions = []
     for candidate in candidates:

@@ -1,0 +1,265 @@
+"""Mélange-style heterogeneous fleet allocator.
+
+Given a workload, a scheme, and a procurement mode, :func:`solve_fleet`
+finds the **cheapest mixed fleet whose conservative analytic bound meets
+the attainment target** — the same Erlang-C feasibility criterion the
+pre-screen's domination rule trusts (PAPERS.md: Mélange frames GPU
+selection as cost minimisation over a GPU × request-size allocation
+matrix; here the "buckets" are the strict and best-effort streams and
+the bound generator is :func:`repro.capacity.screen.analytic_bound`).
+
+The search is exact, not a heuristic: fleet cost is strictly monotone in
+every per-class count (adding a GPU always costs more), so a
+Dijkstra-style cheapest-first walk over the count lattice — pop the
+cheapest unvisited fleet, test feasibility, push its +1-per-class
+neighbours — terminates at the *global* cheapest feasible vertex the
+first time a feasible fleet is popped. No feasible fleet can be cheaper
+than the first feasible pop, because every fleet cheaper than it was
+popped (and found infeasible) earlier. Ties break by the canonical count
+tuple so the answer is deterministic.
+
+The solver proposes; simulation disposes. :func:`repro.capacity.planner.
+plan` records the solver's pick per candidate group in
+``report.extra["solver"]`` and validates it through the same staged
+simulation + dominator-escalation pipeline as every other candidate, so
+"solver pick == simulated optimum of the conservatively-feasible set"
+stays a checked property, not an assumption (see the solver equality
+tests and the CI hetero-smoke step).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.capacity.fleet import (
+    Fleet,
+    fleet_hourly_cost,
+    fleet_key,
+    gpu_class,
+    stream_stats,
+)
+from repro.capacity.grid import Candidate
+from repro.capacity.screen import (
+    DEFAULT_MARGIN,
+    TRACE_BURST_FACTOR,
+    TRACE_MEAN_FACTOR,
+    AnalyticBound,
+    _base_config,
+    _fleet_bound,
+    _pessimistic_efficiency,
+)
+from repro.capacity.spec import WorkloadSpec
+from repro.errors import ConfigurationError
+
+#: Default per-class count ceiling of the solver lattice.
+DEFAULT_MAX_PER_CLASS = 16
+
+
+@dataclass(frozen=True)
+class FleetSolution:
+    """The solver's answer for one (workload, scheme, procurement)."""
+
+    fleet: Fleet
+    scheme: str
+    procurement: str
+    #: Conservative/optimistic bounds of the winning fleet.
+    bound: AnalyticBound
+    #: Steady-state $/hour (same pricing as the screen's estimates).
+    est_hourly_cost: float
+    #: Estimated $ per 1k requests at the workload's offered rate.
+    est_cost_per_1k_requests: float
+    #: Lattice vertices popped before the winner — the search effort.
+    explored: int
+    #: Mélange-style cost matrix: $/1k requests per class × bucket.
+    cost_matrix: tuple[dict, ...]
+
+    @property
+    def key_fragment(self) -> str:
+        return fleet_key(self.fleet)
+
+    def to_dict(self) -> dict:
+        return {
+            "fleet": dict(self.fleet),
+            "fleet_key": self.key_fragment,
+            "scheme": self.scheme,
+            "procurement": self.procurement,
+            "est_hourly_cost": round(self.est_hourly_cost, 4),
+            "est_cost_per_1k_requests": round(
+                self.est_cost_per_1k_requests, 4
+            ),
+            "bound": self.bound.to_dict(),
+            "explored": self.explored,
+            "cost_matrix": list(self.cost_matrix),
+        }
+
+
+def solver_cost_matrix(
+    workload: WorkloadSpec,
+    *,
+    classes: tuple[str, ...],
+    procurement: str,
+) -> tuple[dict, ...]:
+    """Per-(class, bucket) serving cost: the Mélange allocation matrix.
+
+    For each GPU class and each request bucket (strict / best-effort),
+    the dollar cost of serving one thousand requests of that bucket on
+    that class alone at full utilisation — hourly rate divided by the
+    class's request throughput. Strict rows are ``inf`` on classes that
+    cannot meet the strict SLO even idle. This is the matrix the lattice
+    search implicitly minimises over; it is exported for reports and
+    docs rather than consumed by the search itself.
+    """
+    config = workload.to_config(n_nodes=1, procurement=procurement)
+    stats = stream_stats(config)
+    rate = workload.resolved_rate()
+    strict_requests = rate * workload.strict_fraction
+    be_requests = rate - strict_requests
+    rows = []
+    for name in classes:
+        entry = gpu_class(name)
+        hourly = fleet_hourly_cost(
+            ((entry.name, 1),), procurement, workload.spot_availability
+        )
+        row = {"gpu_class": entry.name, "per_node_hourly": round(hourly, 4)}
+        for bucket, requests, work_rate in (
+            ("strict", strict_requests, stats.strict_work_rate),
+            ("best_effort", be_requests, stats.be_work_rate),
+        ):
+            if requests <= 0.0 or work_rate <= 0.0:
+                row[f"{bucket}_$per_1k"] = None
+                continue
+            if bucket == "strict" and stats.slo < (
+                stats.strict_latency / entry.speed
+            ):
+                row[f"{bucket}_$per_1k"] = float("inf")
+                continue
+            work_per_request = work_rate / requests
+            served_per_second = (entry.speed * entry.efficiency) / (
+                work_per_request
+            )
+            row[f"{bucket}_$per_1k"] = round(
+                1000.0 * hourly / 3600.0 / served_per_second, 6
+            )
+        rows.append(row)
+    return tuple(rows)
+
+
+def solve_fleet(
+    workload: WorkloadSpec,
+    *,
+    scheme: str = "protean",
+    procurement: str = "on_demand_only",
+    classes: tuple[str, ...] = ("a100",),
+    max_per_class: int = DEFAULT_MAX_PER_CLASS,
+    target: float = 0.99,
+    margin: float = DEFAULT_MARGIN,
+    knobs: Mapping[str, object] | tuple[tuple[str, object], ...] = (),
+) -> FleetSolution | None:
+    """Cheapest fleet over ``classes`` meeting ``target`` conservatively.
+
+    Pure-python exact search (see module docstring for the optimality
+    argument). Returns ``None`` when no fleet within ``max_per_class``
+    GPUs of each class clears the conservative bound — the caller should
+    widen the lattice or relax the target, exactly as with an empty
+    plan recommendation.
+    """
+    if not 0.0 < target <= 1.0:
+        raise ConfigurationError("attainment target must lie in (0, 1]")
+    if max_per_class < 1:
+        raise ConfigurationError("max_per_class must be at least 1")
+    class_names = tuple(sorted(gpu_class(name).name for name in classes))
+    if len(set(class_names)) != len(class_names):
+        raise ConfigurationError("duplicate GPU classes for the solver")
+    knob_items = (
+        tuple(sorted(knobs.items()))
+        if isinstance(knobs, Mapping)
+        else tuple(knobs)
+    )
+
+    def candidate_for(counts: tuple[int, ...]) -> Candidate:
+        fleet = tuple(
+            (name, count)
+            for name, count in zip(class_names, counts)
+            if count > 0
+        )
+        return Candidate(
+            key=f"solver/{scheme}/{procurement}/{fleet_key(fleet)}",
+            scheme=scheme,
+            procurement=procurement,
+            knobs=knob_items,
+            fleet=fleet,
+            workload=workload,
+        )
+
+    # Workload statistics and pessimistic factors are fleet-independent:
+    # compute once, reuse for every lattice vertex.
+    probe = candidate_for(tuple(1 for _ in class_names))
+    config = _base_config(probe)
+    stats = stream_stats(config)
+    efficiency = _pessimistic_efficiency(scheme, config.strict_profile())
+    mean_factor = TRACE_MEAN_FACTOR[config.trace]
+    burst_factor = TRACE_BURST_FACTOR[config.trace]
+
+    per_node = [
+        fleet_hourly_cost(
+            ((name, 1),), procurement, workload.spot_availability
+        )
+        for name in class_names
+    ]
+
+    def cost_of(counts: tuple[int, ...]) -> float:
+        total = 0.0
+        for index, count in enumerate(counts):
+            total = total + count * per_node[index]
+        return total
+
+    origin = tuple(0 for _ in class_names)
+    heap: list[tuple[float, tuple[int, ...]]] = [(0.0, origin)]
+    seen = {origin}
+    explored = 0
+    while heap:
+        cost, counts = heapq.heappop(heap)
+        if any(counts):
+            explored += 1
+            candidate = candidate_for(counts)
+            bound = _fleet_bound(
+                candidate,
+                stats,
+                margin=margin,
+                efficiency=efficiency,
+                mean_factor=mean_factor,
+                burst_factor=burst_factor,
+                spot_availability=config.spot_availability,
+            )
+            if bound.attainment_lower >= target:
+                rate = workload.resolved_rate()
+                per_1k = (
+                    1000.0 * (cost / 3600.0) / rate
+                    if rate > 0
+                    else float("inf")
+                )
+                return FleetSolution(
+                    fleet=candidate.fleet,
+                    scheme=scheme,
+                    procurement=procurement,
+                    bound=bound,
+                    est_hourly_cost=cost,
+                    est_cost_per_1k_requests=per_1k,
+                    explored=explored,
+                    cost_matrix=solver_cost_matrix(
+                        workload, classes=class_names, procurement=procurement
+                    ),
+                )
+        for index in range(len(class_names)):
+            if counts[index] >= max_per_class:
+                continue
+            neighbour = (
+                counts[:index] + (counts[index] + 1,) + counts[index + 1 :]
+            )
+            if neighbour in seen:
+                continue
+            seen.add(neighbour)
+            heapq.heappush(heap, (cost_of(neighbour), neighbour))
+    return None

@@ -166,4 +166,23 @@ PLAN_PRESETS: dict[str, WorkloadSpec] = {
         drain=60.0,
         spot_availability="high",
     ),
+    # Mixed-fleet demonstrator for the ``hetero-smoke`` grid: 40% of
+    # the traffic is strict (A100-only — the T4 cannot meet the SLO
+    # even idle) and the best-effort bulk is cheap to soak on T4s, so a
+    # single A100 drowns, a second A100 meets the target at far higher
+    # cost, and the cheapest feasible cluster is genuinely
+    # heterogeneous. Pinned by the mixed-beats-homogeneous regression
+    # test and the CI smoke step.
+    "hetero-smoke": WorkloadSpec(
+        name="hetero-smoke",
+        strict_model="mobilenet",
+        trace="constant",
+        strict_fraction=0.4,
+        offered_load=1.2,
+        reference_nodes=2,
+        duration=40.0,
+        warmup=20.0,
+        drain=60.0,
+        spot_availability="high",
+    ),
 }

@@ -351,6 +351,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
     from repro.capacity import (
         DEFAULT_MARGIN,
+        GRID_PRESETS,
         PLAN_PRESETS,
         CandidateGrid,
         plan,
@@ -392,9 +393,19 @@ def _cmd_plan(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
                 return 2
-            grid = CandidateGrid.from_dict(
-                json.loads(Path(args.grid).read_text())
-            )
+            if args.grid.lower().strip() in GRID_PRESETS:
+                grid = GRID_PRESETS[args.grid.lower().strip()]
+            elif Path(args.grid).is_file():
+                grid = CandidateGrid.from_dict(
+                    json.loads(Path(args.grid).read_text())
+                )
+            else:
+                print(
+                    f"unknown grid {args.grid!r}: not a preset "
+                    f"({', '.join(sorted(GRID_PRESETS))}) or a JSON file",
+                    file=sys.stderr,
+                )
+                return 2
         else:
             grid = CandidateGrid(**inline)
 
@@ -413,6 +424,25 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     print(report.describe())
+    stats = report.cache_stats
+    if stats.get("hits", 0) or stats.get("misses", 0):
+        print(
+            f"\nsimulation cache: {stats['hits']} hit(s), "
+            f"{stats['misses']} miss(es), {stats['entries']} entrie(s) "
+            f"(hit rate {stats['hit_rate'] * 100:.1f}%)"
+        )
+    for group, solution in report.extra.get("solver", {}).items():
+        if solution is None:
+            print(
+                f"solver [{group}]: no fleet within the lattice clears "
+                "the target conservatively"
+            )
+        else:
+            print(
+                f"solver [{group}]: proposes {solution['fleet_key']} at "
+                f"${solution['est_hourly_cost']:.2f}/h "
+                f"({solution['explored']} fleets explored)"
+            )
     if args.json:
         Path(args.json).write_text(
             json.dumps(report.to_dict(), indent=2) + "\n"
@@ -758,7 +788,10 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 0.2; larger = prune less, safer)",
     )
     plan.add_argument(
-        "--grid", default=None, help="CandidateGrid JSON file to search"
+        "--grid",
+        default=None,
+        help="grid preset name (e.g. hetero-smoke) or CandidateGrid "
+        "JSON file to search",
     )
     plan.add_argument(
         "--nodes",

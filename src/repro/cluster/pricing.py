@@ -82,6 +82,80 @@ PROVIDERS: dict[str, ProviderPricing] = {
 DEFAULT_PRICING = AWS
 
 
+#: Per-GPU hourly (on-demand, spot) rates by device class, USD. The A100
+#: rows are the Table 3 AWS instance prorated to one GPU; the other
+#: classes are averaged US-east/west AWS list prices for the closest
+#: single-GPU instance family (p4de/p5 for the 80 GB parts, g5 for the
+#: A10, g4dn for the T4 — calibration sources in ``docs/hardware.md``).
+GPU_CLASS_HOURLY: dict[str, tuple[float, float]] = {
+    "a100": (
+        AWS.on_demand_hourly / GPUS_PER_REFERENCE_INSTANCE,
+        AWS.spot_hourly / GPUS_PER_REFERENCE_INSTANCE,
+    ),
+    "a100-80gb": (5.12, 1.54),
+    "h100": (6.88, 2.75),
+    "a10": (1.006, 0.402),
+    "t4": (0.526, 0.158),
+}
+#: Aliases resolving device-model catalogue names onto pricing classes.
+_GPU_CLASS_ALIASES: dict[str, str] = {
+    "a100-40gb": "a100",
+    "h100-80gb": "h100",
+    "a10-24gb": "a10",
+    "t4-16gb": "t4",
+}
+
+
+def gpu_class_for_device(name: str) -> str:
+    """Canonical pricing-class name for a device-model name."""
+    key = name.lower().strip()
+    key = _GPU_CLASS_ALIASES.get(key, key)
+    if key not in GPU_CLASS_HOURLY:
+        raise ClusterError(
+            f"no pricing for GPU class {name!r}; known: "
+            f"{sorted(GPU_CLASS_HOURLY)}"
+        )
+    return key
+
+
+def pricing_for_device(name: str) -> ProviderPricing:
+    """Provider pricing object for one GPU class.
+
+    The A100-40GB returns :data:`DEFAULT_PRICING` itself, keeping every
+    pre-heterogeneity cost number bit-identical; other classes get an AWS
+    pricing object whose instance price is the per-GPU rate scaled back up
+    by :data:`GPUS_PER_REFERENCE_INSTANCE` so ``per_gpu_hourly`` yields
+    exactly the class rate.
+    """
+    key = gpu_class_for_device(name)
+    if key == "a100":
+        return DEFAULT_PRICING
+    on_demand, spot = GPU_CLASS_HOURLY[key]
+    return ProviderPricing(
+        provider=f"AWS/{key}",
+        on_demand_hourly=on_demand * GPUS_PER_REFERENCE_INSTANCE,
+        spot_hourly=spot * GPUS_PER_REFERENCE_INSTANCE,
+    )
+
+
+def gpu_class_table_rows() -> list[dict]:
+    """Per-GPU-class hourly pricing rows (the docs/hardware.md table)."""
+    rows = []
+    for name in sorted(GPU_CLASS_HOURLY):
+        pricing = pricing_for_device(name)
+        rows.append(
+            {
+                "gpu_class": name,
+                "on_demand_$per_gpu_h": round(
+                    pricing.per_gpu_hourly(VMTier.ON_DEMAND), 4
+                ),
+                "spot_$per_gpu_h": round(pricing.per_gpu_hourly(VMTier.SPOT), 4),
+                "savings_%": round(pricing.savings_fraction * 100, 2),
+            }
+        )
+    return rows
+
+
 def get_provider(name: str) -> ProviderPricing:
     """Look up a provider's Table 3 pricing by short name."""
     pricing = PROVIDERS.get(name.lower())

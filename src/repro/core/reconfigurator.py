@@ -150,7 +150,9 @@ class GpuReconfigurator:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Arm the monitoring loop."""
+        """Arm the monitoring loop (a no-op on non-MIG parts)."""
+        if not self.device.partitionable:
+            return
         self._process.start()
 
     def stop(self) -> None:

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.audit import AuditReport, Auditor
 from repro.baselines.oracle import GeometryPlan
+from repro.cluster.pricing import pricing_for_device
 from repro.cluster.spot import AVAILABILITY_LEVELS, SpotMarket
 from repro.core.procurement import Procurement, ProcurementConfig, ProcurementMode
 from repro.core.reconfigurator import decide_geometry
@@ -249,6 +250,7 @@ def run_scheme(
             gpu_device=config.gpu_device,
         ),
         collector=collector,
+        pricing=pricing_for_device(config.gpu_device),
         tracer=tracer,
         tenancy=config.tenants,
     )

@@ -19,7 +19,11 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.errors import ReconfigurationInProgressError, SliceBusyError
+from repro.errors import (
+    GPUError,
+    ReconfigurationInProgressError,
+    SliceBusyError,
+)
 from repro.gpu.device_models import A100_40GB, MigDeviceModel, geometry_profiles
 from repro.gpu.engine import GPUSlice, ShareMode
 from repro.gpu.mig import Geometry, GEOMETRY_FULL
@@ -73,6 +77,11 @@ class GPU:
         self.mode = mode
         self.tracer = tracer
         self.device_model = device_model
+        if not device_model.partitionable and geometry != GEOMETRY_FULL:
+            raise GPUError(
+                f"{device_model.name} is not MIG-capable: only the full "
+                "(7g) geometry is valid for time-slicing parts"
+            )
         self.reconfig_seconds = reconfig_seconds
         self.gpu_id = next(_gpu_ids)
         self.name = name or f"gpu{self.gpu_id}"
@@ -139,6 +148,12 @@ class GPU:
         ReconfigurationInProgressError
             If a change is already underway.
         """
+        if not self.device_model.partitionable:
+            raise GPUError(
+                f"{self.name} ({self.device_model.name}) is not MIG-capable: "
+                "time-slicing parts run one full-GPU slice and never "
+                "reconfigure"
+            )
         if self.reconfiguring:
             raise ReconfigurationInProgressError(
                 f"{self.name} is already reconfiguring"

@@ -1,4 +1,4 @@
-"""MIG device models beyond the A100-40GB.
+"""GPU device models beyond the A100-40GB.
 
 The paper's title targets "emerging GPU architectures" and §7 argues
 PROTEAN generalizes to any accelerator offering MIG-like partitioning and
@@ -15,6 +15,21 @@ fractions — and differ in total memory:
 Because slice *fractions* are identical across these parts, the slowdown
 model (RDF power law, slice-relative FBR) transfers unchanged; only
 memory capacities — and therefore packing density — differ.
+
+Two **non-MIG time-slicing** parts complete the heterogeneous-fleet
+catalogue (calibration sources in ``docs/hardware.md``):
+
+- **T4-16GB** and **A10-24GB** offer no MIG partitioning: the whole GPU
+  is one shared device, replicas time-slice it with no memory or fault
+  isolation between them. The platform models them as a single full-GPU
+  slice under MPS-style concurrent sharing (FBR interference), never
+  reconfigured (``partitionable=False``).
+
+Each model carries a ``speed_factor``: sustained inference throughput of
+the full device relative to a full A100-40GB (the unit every workload
+profile's ``solo_latency_7g`` is calibrated in). The scheduler divides a
+batch's work by this factor, so the default A100 path is bit-identical
+(``work / 1.0``).
 """
 
 from __future__ import annotations
@@ -29,11 +44,22 @@ from repro.gpu.mig import MIG_PROFILES, SliceKind, SliceProfile
 
 @dataclass(frozen=True)
 class MigDeviceModel:
-    """One MIG-capable GPU part: its profile table and totals."""
+    """One GPU part: its slice-profile table, totals, and relative speed."""
 
     name: str
     total_memory_gb: float
     profiles: Mapping[SliceKind, SliceProfile]
+    #: Sustained throughput of the full device relative to a full
+    #: A100-40GB (workload profiles are calibrated on the A100's 7g).
+    speed_factor: float = 1.0
+    #: Whether the part supports MIG partitioning. Non-partitionable
+    #: parts (T4, A10) run as a single full-GPU slice, time-sliced
+    #: between replicas; the reconfigurator never arms for them.
+    partitionable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.speed_factor <= 0:
+            raise GPUError("speed_factor must be positive")
 
     def profile(self, kind: SliceKind | str) -> SliceProfile:
         """Look up one of this device's slice profiles."""
@@ -64,11 +90,13 @@ A100_40GB = MigDeviceModel(
     profiles=MappingProxyType(dict(MIG_PROFILES)),
 )
 
-#: The 80 GB Ampere part: same slice shapes, double memory.
+#: The 80 GB Ampere part: same slice shapes, double memory; HBM2e gives
+#: it a modest throughput edge on the memory-bound inference mixes.
 A100_80GB = MigDeviceModel(
     name="A100-80GB",
     total_memory_gb=80.0,
     profiles=_scaled_profiles(2.0),
+    speed_factor=1.1,
 )
 
 #: Hopper: identical MIG shape to the A100-80GB for scheduling purposes.
@@ -76,6 +104,25 @@ H100_80GB = MigDeviceModel(
     name="H100-80GB",
     total_memory_gb=80.0,
     profiles=_scaled_profiles(2.0),
+    speed_factor=1.8,
+)
+
+#: Turing inference part: no MIG — replicas time-slice the whole GPU.
+T4_16GB = MigDeviceModel(
+    name="T4-16GB",
+    total_memory_gb=16.0,
+    profiles=_scaled_profiles(0.4),
+    speed_factor=0.25,
+    partitionable=False,
+)
+
+#: Ampere inference part: no MIG — replicas time-slice the whole GPU.
+A10_24GB = MigDeviceModel(
+    name="A10-24GB",
+    total_memory_gb=24.0,
+    profiles=_scaled_profiles(0.6),
+    speed_factor=0.45,
+    partitionable=False,
 )
 
 DEVICE_MODELS: dict[str, MigDeviceModel] = {
@@ -84,6 +131,10 @@ DEVICE_MODELS: dict[str, MigDeviceModel] = {
     "a100-80gb": A100_80GB,
     "h100": H100_80GB,
     "h100-80gb": H100_80GB,
+    "t4": T4_16GB,
+    "t4-16gb": T4_16GB,
+    "a10": A10_24GB,
+    "a10-24gb": A10_24GB,
 }
 
 

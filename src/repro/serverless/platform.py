@@ -20,7 +20,8 @@ from repro.cluster.vm import VM, VMState
 from repro.errors import ConfigurationError
 from repro.gpu.device import GPU
 from repro.gpu.device_models import get_device_model
-from repro.gpu.engine import JobTiming
+from repro.gpu.engine import JobTiming, ShareMode
+from repro.gpu.mig import GEOMETRY_FULL
 from repro.metrics.records import RecordCollector, RejectionRecord, RequestRecord
 from repro.observability.span import CATEGORY_REQUEST, CATEGORY_TENANT
 from repro.observability.tracer import NULL_TRACER, Tracer
@@ -189,12 +190,20 @@ class ServerlessPlatform:
     def build_node(self, tier: VMTier) -> WorkerNode:
         """Provision a VM + GPU + scheduler and join it to the cluster."""
         vm = VM(self.sim, tier, self.meter)
+        device_model = get_device_model(self.config.gpu_device)
+        geometry = self.scheme.initial_geometry()
+        mode = self.scheme.share_mode
+        if not device_model.partitionable:
+            # Non-MIG parts (T4/A10) run one full-GPU slice with replicas
+            # time-slicing it — modelled as MPS-style concurrent sharing.
+            geometry = GEOMETRY_FULL
+            mode = ShareMode.MPS
         gpu = GPU(
             self.sim,
-            self.scheme.initial_geometry(),
-            self.scheme.share_mode,
+            geometry,
+            mode,
             reconfig_seconds=self.config.reconfig_seconds,
-            device_model=get_device_model(self.config.gpu_device),
+            device_model=device_model,
             tracer=self.tracer,
         )
         node = WorkerNode(vm, gpu)

@@ -144,7 +144,9 @@ class NodeScheduler(ABC):
             self.tenant_policy.on_launch(batch)
         self.in_flight += 1
         job = SliceJob(
-            work=batch.work,
+            # Workload profiles are calibrated on a full A100-40GB; faster
+            # (or slower) parts scale the work, not the profile tables.
+            work=batch.work / self.node.gpu.device_model.speed_factor,
             rdf=placement.rdf,
             fbr=placement.fbr,
             memory_gb=batch.memory_gb,

@@ -1,0 +1,154 @@
+"""Tests for the content-addressed simulation cache."""
+
+import pytest
+
+from repro.capacity import (
+    CandidateGrid,
+    PLAN_PRESETS,
+    SimulationCache,
+    config_digest,
+    plan,
+)
+
+
+class TestConfigDigest:
+    def test_digest_is_deterministic_and_content_addressed(self):
+        config = PLAN_PRESETS["smoke"].to_config(n_nodes=2)
+        assert config_digest("protean", config) == config_digest(
+            "protean", config
+        )
+
+    def test_digest_distinguishes_scheme_and_config(self):
+        config = PLAN_PRESETS["smoke"].to_config(n_nodes=2)
+        other = PLAN_PRESETS["smoke"].to_config(n_nodes=4)
+        assert config_digest("protean", config) != config_digest(
+            "molecule", config
+        )
+        assert config_digest("protean", config) != config_digest(
+            "protean", other
+        )
+
+
+class TestSimulationCache:
+    def test_lookup_counts_hits_and_misses(self):
+        cache = SimulationCache()
+        assert cache.lookup("d1") is None
+        cache.store("d1", "result")
+        assert cache.lookup("d1") == "result"
+        assert "d1" in cache
+        assert len(cache) == 1
+        stats = cache.stats()
+        assert stats == {
+            "hits": 1,
+            "misses": 1,
+            "entries": 1,
+            "hit_rate": 0.5,
+        }
+
+    def test_pending_digests_count_as_hits(self):
+        # A digest already queued in the current batch is a dedup hit
+        # even though its result has not landed yet.
+        cache = SimulationCache()
+        assert cache.lookup("d1", pending={"d1"}) is None
+        assert cache.stats()["hits"] == 1
+
+    def test_peek_does_not_count(self):
+        cache = SimulationCache()
+        cache.store("d1", "result")
+        assert cache.peek("d1") == "result"
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["misses"] == 0
+
+    def test_empty_cache_hit_rate_is_zero(self):
+        assert SimulationCache().stats()["hit_rate"] == 0.0
+
+
+class TestPlanCacheIntegration:
+    def test_no_duplicate_simulations_across_escalation_rounds(
+        self, monkeypatch
+    ):
+        # The escalation scenario from the planner property tests: seed 2
+        # re-admits dominated candidates round by round. Every simulated
+        # config must reach the executor exactly once.
+        import dataclasses
+
+        import repro.parallel
+
+        real = repro.parallel.execute_keyed
+        submitted = []
+
+        def spy(requests, **kwargs):
+            submitted.extend(
+                config_digest(r.scheme, r.config) for r in requests
+            )
+            return real(requests, **kwargs)
+
+        monkeypatch.setattr(repro.parallel, "execute_keyed", spy)
+        workload = dataclasses.replace(PLAN_PRESETS["smoke"], seed=2)
+        grid = CandidateGrid(
+            n_nodes=(2, 4, 6, 8, 12),
+            procurement=("hybrid",),
+            schemes=("protean",),
+        )
+        report = plan(workload, grid=grid, target=0.99, jobs=1)
+        assert len(submitted) == len(set(submitted)), (
+            "a config digest was simulated twice"
+        )
+        assert report.cache_stats["misses"] == len(submitted)
+
+    def test_shared_cache_makes_the_second_plan_free(self, monkeypatch):
+        import repro.parallel
+
+        real = repro.parallel.execute_keyed
+        calls = []
+
+        def spy(requests, **kwargs):
+            calls.append(len(requests))
+            return real(requests, **kwargs)
+
+        monkeypatch.setattr(repro.parallel, "execute_keyed", spy)
+        cache = SimulationCache()
+        grid = CandidateGrid(
+            n_nodes=(2, 4), procurement=("on_demand_only",)
+        )
+        first = plan("smoke", grid=grid, target=0.99, jobs=1, cache=cache)
+        first_calls = len(calls)
+        second = plan("smoke", grid=grid, target=0.99, jobs=1, cache=cache)
+        assert len(calls) == first_calls, (
+            "a warm cache must not re-simulate anything"
+        )
+        assert second.recommended == first.recommended
+        assert second.cache_stats["hits"] > first.cache_stats["hits"]
+
+    def test_exhaustive_rerun_reuses_every_staged_simulation(self):
+        # The property tests compare staged against exhaustive plans; a
+        # shared cache means the exhaustive pass only pays for what the
+        # staged pass pruned.
+        cache = SimulationCache()
+        staged = plan("hetero-smoke", grid="hetero-smoke", jobs=1, cache=cache)
+        staged_misses = staged.cache_stats["misses"]
+        exhaustive = plan(
+            "hetero-smoke",
+            grid="hetero-smoke",
+            jobs=1,
+            exhaustive=True,
+            cache=cache,
+        )
+        assert exhaustive.cache_stats["hits"] >= staged_misses
+        assert staged.recommended == exhaustive.recommended
+        assert (
+            exhaustive.cache_stats["entries"]
+            == exhaustive.cache_stats["misses"]
+        )
+
+    def test_cache_stats_survive_to_dict(self):
+        grid = CandidateGrid(n_nodes=(2,), procurement=("on_demand_only",))
+        report = plan("smoke", grid=grid, target=0.99, jobs=1)
+        payload = report.to_dict()
+        assert payload["cache"]["misses"] >= 1
+        assert set(payload["cache"]) == {
+            "hits",
+            "misses",
+            "entries",
+            "hit_rate",
+        }

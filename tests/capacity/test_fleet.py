@@ -1,0 +1,149 @@
+"""Tests for the fleet model: GPU classes, fleets, stream splitting."""
+
+import pytest
+
+from repro.capacity import (
+    GPU_CLASSES,
+    PLAN_PRESETS,
+    canonical_fleet,
+    fleet_hourly_cost,
+    fleet_key,
+    fleet_nodes,
+    fleet_subset,
+    split_streams,
+    stream_stats,
+)
+from repro.capacity.fleet import gpu_class
+from repro.cluster.pricing import DEFAULT_PRICING, VMTier
+from repro.errors import ConfigurationError
+
+
+class TestGpuClasses:
+    def test_catalogue_entries_are_simulatable_and_priced(self):
+        from repro.cluster.pricing import gpu_class_for_device
+        from repro.gpu.device_models import get_device_model
+
+        for name, entry in GPU_CLASSES.items():
+            assert entry.name == name
+            assert entry.device is get_device_model(name)
+            assert gpu_class_for_device(name) == name
+
+    def test_a100_is_the_reference_class(self):
+        entry = gpu_class("a100")
+        assert entry.speed == 1.0
+        assert entry.efficiency == 1.0
+        assert entry.partitionable
+
+    def test_time_sliced_classes_pay_an_efficiency_tax(self):
+        # The T4 and A10 cannot partition via MIG; their calibrated
+        # time-slicing efficiency must be strictly below the MIG parts'.
+        for name in ("t4", "a10"):
+            entry = gpu_class(name)
+            assert not entry.partitionable
+            assert entry.efficiency < 1.0
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown GPU class"):
+            gpu_class("b200")
+
+
+class TestFleets:
+    def test_canonical_fleet_sorts_merges_and_drops_zeros(self):
+        fleet = canonical_fleet({"t4": 2, "a100": 1, "h100": 0})
+        assert fleet == (("a100", 1), ("t4", 2))
+        assert canonical_fleet([("t4", 1), ("t4", 1)]) == (("t4", 2),)
+
+    def test_fleet_key_and_nodes(self):
+        fleet = canonical_fleet({"a100": 2, "t4": 4})
+        assert fleet_key(fleet) == "a100:2+t4:4"
+        assert fleet_nodes(fleet) == 6
+
+    def test_fleet_subset_is_componentwise_and_strict(self):
+        small = canonical_fleet({"a100": 1})
+        mixed = canonical_fleet({"a100": 1, "t4": 2})
+        large = canonical_fleet({"a100": 2, "t4": 2})
+        assert fleet_subset(small, mixed)
+        assert fleet_subset(mixed, large)
+        assert not fleet_subset(large, mixed)
+        # A fleet is not a subset of itself: domination needs a
+        # *strictly* cheaper configuration.
+        assert not fleet_subset(mixed, mixed)
+        # Incomparable fleets (extra class on each side) are not subsets.
+        assert not fleet_subset(
+            canonical_fleet({"t4": 1}), canonical_fleet({"a100": 4})
+        )
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            canonical_fleet({"a100": -1})
+
+
+class TestSplitStreams:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        config = PLAN_PRESETS["hetero-smoke"].to_config(n_nodes=1)
+        return stream_stats(config)
+
+    def _split(self, fleet, stats):
+        return split_streams(
+            fleet,
+            strict_latency=stats.strict_latency,
+            slo=stats.slo,
+            strict_work_rate=stats.strict_work_rate,
+        )
+
+    def test_homogeneous_fleet_takes_everything(self, stats):
+        strict, best_effort = self._split(canonical_fleet({"a100": 4}), stats)
+        # Bit-exact ones keep single-class bounds identical to the
+        # scalar formulas they generalise.
+        assert strict == (1.0,)
+        assert best_effort == (1.0,)
+
+    def test_strict_traffic_avoids_incapable_classes(self, stats):
+        # The T4 cannot meet the strict SLO even idle (speed 0.25 vs an
+        # SLO multiplier of 3), so the strict stream lands entirely on
+        # the A100s while the T4s still soak best-effort work.
+        fleet = canonical_fleet({"a100": 1, "t4": 2})
+        strict, best_effort = self._split(fleet, stats)
+        shares = dict(zip([name for name, _ in fleet], strict))
+        assert shares["t4"] == 0.0
+        assert shares["a100"] == pytest.approx(1.0)
+        be_shares = dict(zip([name for name, _ in fleet], best_effort))
+        assert be_shares["t4"] > 0.0
+
+    def test_shares_sum_to_one(self, stats):
+        for spec in ({"a100": 2, "t4": 3}, {"a100": 1, "h100": 1, "t4": 1}):
+            strict, best_effort = self._split(canonical_fleet(spec), stats)
+            assert sum(strict) == pytest.approx(1.0)
+            assert sum(best_effort) == pytest.approx(1.0)
+
+
+class TestFleetHourlyCost:
+    def test_single_a100_matches_default_pricing(self):
+        expected = DEFAULT_PRICING.per_gpu_hourly(VMTier.ON_DEMAND)
+        cost = fleet_hourly_cost(
+            canonical_fleet({"a100": 1}), "on_demand_only", "moderate"
+        )
+        assert cost == expected
+
+    def test_mixed_fleet_cost_is_the_sum_of_classes(self):
+        kwargs = ("on_demand_only", "moderate")
+        mixed = fleet_hourly_cost(
+            canonical_fleet({"a100": 2, "t4": 4}), *kwargs
+        )
+        a100 = fleet_hourly_cost(canonical_fleet({"a100": 2}), *kwargs)
+        t4 = fleet_hourly_cost(canonical_fleet({"t4": 4}), *kwargs)
+        assert mixed == pytest.approx(a100 + t4)
+
+    def test_t4_is_cheaper_than_a100(self):
+        kwargs = ("on_demand_only", "moderate")
+        assert fleet_hourly_cost(
+            canonical_fleet({"t4": 1}), *kwargs
+        ) < fleet_hourly_cost(canonical_fleet({"a100": 1}), *kwargs)
+
+    def test_spot_procurement_discounts(self):
+        fleet = canonical_fleet({"a100": 1, "t4": 1})
+        on_demand = fleet_hourly_cost(fleet, "on_demand_only", "moderate")
+        hybrid = fleet_hourly_cost(fleet, "hybrid", "moderate")
+        spot = fleet_hourly_cost(fleet, "spot_only", "moderate")
+        assert spot < hybrid < on_demand

@@ -1,0 +1,170 @@
+"""Heterogeneous-fleet planning: grids, bit-identical batch screening,
+the staged==exhaustive property on mixed grids, and the pinned
+mixed-beats-homogeneous recommendation."""
+
+import dataclasses
+
+import pytest
+
+from repro.capacity import (
+    CandidateGrid,
+    GRID_PRESETS,
+    PLAN_PRESETS,
+    SimulationCache,
+    analytic_bound,
+    analytic_bounds_batch,
+    plan,
+    resolve_grid,
+    simulated_optimum,
+)
+from repro.errors import ConfigurationError
+
+
+class TestHeterogeneousGrid:
+    def test_fleet_keys_and_counts(self):
+        grid = CandidateGrid(
+            procurement=("on_demand_only",),
+            schemes=("protean",),
+            gpu_classes=("a100", "t4"),
+            class_counts=(0, 1, 2),
+        )
+        candidates = grid.candidates(PLAN_PRESETS["hetero-smoke"])
+        keys = [c.key.split("/", 2)[2] for c in candidates]
+        # 3^2 - 1 fleets (the empty fleet is skipped).
+        assert len(candidates) == len(grid) == 8
+        assert "a100:1+t4:2" in keys
+        assert all(":" in key for key in keys)
+
+    def test_single_class_grids_keep_legacy_keys(self):
+        grid = CandidateGrid(
+            n_nodes=(2,), procurement=("on_demand_only",)
+        )
+        (candidate,) = grid.candidates(PLAN_PRESETS["smoke"])
+        assert candidate.key == "protean/on_demand_only/n2"
+
+    def test_round_trips_through_dict_with_gpu_axes(self):
+        grid = GRID_PRESETS["hetero-wide"]
+        payload = grid.to_dict()
+        assert payload["gpu_classes"] == ["a100", "h100", "t4"]
+        assert CandidateGrid.from_dict(payload) == grid
+
+    def test_homogeneous_to_dict_omits_gpu_axes(self):
+        payload = CandidateGrid().to_dict()
+        assert "gpu_classes" not in payload
+        assert "class_counts" not in payload
+
+    def test_class_counts_rejected_on_single_class_grids(self):
+        with pytest.raises(ConfigurationError, match="class_counts"):
+            CandidateGrid(class_counts=(0, 2))
+
+    def test_resolve_grid_accepts_preset_names(self):
+        assert resolve_grid("hetero-smoke") is GRID_PRESETS["hetero-smoke"]
+        with pytest.raises(ConfigurationError, match="unknown grid preset"):
+            resolve_grid("hetero-galaxy")
+
+    def test_hetero_wide_candidate_space_dwarfs_the_default(self):
+        # The perf target: the vectorised screen must make grids two
+        # orders of magnitude past the old planner's routine.
+        assert len(GRID_PRESETS["hetero-wide"]) >= 50 * len(CandidateGrid())
+
+    def test_mixed_candidate_has_no_single_config(self):
+        grid = GRID_PRESETS["hetero-smoke"]
+        mixed = [
+            c
+            for c in grid.candidates(PLAN_PRESETS["hetero-smoke"])
+            if not c.homogeneous
+        ]
+        assert mixed
+        with pytest.raises(ConfigurationError, match="mixed fleet"):
+            _ = mixed[0].config
+        subruns = mixed[0].subruns()
+        assert len(subruns) == len(mixed[0].fleet)
+        assert sum(s.config.n_nodes for s in subruns) == mixed[0].n_nodes
+
+
+class TestBatchScreenBitIdentity:
+    @pytest.mark.parametrize(
+        "grid_name, workload, seed",
+        [
+            ("hetero-smoke", "hetero-smoke", 0),
+            ("hetero-smoke", "hetero-smoke", 7),
+            ("hetero-wide", "wiki", 0),
+            ("hetero-wide", "twitter", 3),
+        ],
+    )
+    def test_batch_bounds_equal_scalar_bounds_bitwise(
+        self, grid_name, workload, seed
+    ):
+        # Not approx — the vectorised screen must reproduce the scalar
+        # reference bit for bit, or verdicts could differ between the
+        # benchmark path and the planner path.
+        spec = dataclasses.replace(PLAN_PRESETS[workload], seed=seed)
+        candidates = GRID_PRESETS[grid_name].candidates(spec)
+        batch = analytic_bounds_batch(candidates)
+        for candidate, batched in zip(candidates, batch):
+            scalar = analytic_bound(candidate)
+            assert scalar.utilization == batched.utilization
+            assert scalar.attainment_upper == batched.attainment_upper
+            assert scalar.attainment_lower == batched.attainment_lower
+            assert scalar.est_hourly_cost == batched.est_hourly_cost
+
+
+class TestHeterogeneousPlanProperty:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_staged_equals_exhaustive_on_mixed_grids(self, seed):
+        workload = dataclasses.replace(PLAN_PRESETS["hetero-smoke"], seed=seed)
+        grid = GRID_PRESETS["hetero-smoke"]
+        cache = SimulationCache()
+        staged = plan(workload, grid=grid, target=0.99, jobs=1, cache=cache)
+        exhaustive = plan(
+            workload,
+            grid=grid,
+            target=0.99,
+            jobs=1,
+            exhaustive=True,
+            cache=cache,
+        )
+        optimum = simulated_optimum(exhaustive.outcomes, exhaustive.target)
+        assert staged.recommended == optimum
+
+
+class TestMixedBeatsHomogeneous:
+    """The tentpole's pinned acceptance regression."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return plan("hetero-smoke", grid="hetero-smoke", target=0.99, jobs=1)
+
+    def test_recommended_fleet_is_mixed(self, report):
+        assert report.recommended == "protean/on_demand_only/a100:1+t4:2"
+        candidate = report.recommended_outcome.decision.candidate
+        assert candidate.fleet == (("a100", 1), ("t4", 2))
+        assert not candidate.homogeneous
+
+    def test_mixed_beats_best_homogeneous_on_cost_per_1k(self, report):
+        recommended = report.recommended_outcome.simulated
+        assert recommended.attainment >= report.target
+        feasible_homogeneous = [
+            o
+            for o in report.outcomes
+            if o.decision.candidate.homogeneous and o.feasible(report.target)
+        ]
+        # At least one homogeneous candidate meets the SLO — the mixed
+        # fleet wins on price, not by default.
+        assert feasible_homogeneous
+        for outcome in feasible_homogeneous:
+            assert (
+                recommended.cost_per_1k_requests
+                < outcome.simulated.cost_per_1k_requests
+            )
+
+    def test_solver_proposal_is_recorded(self, report):
+        proposals = report.extra["solver"]
+        assert "protean/on_demand_only" in proposals
+
+    def test_report_payload_carries_fleet_and_cache(self, report):
+        payload = report.to_dict()
+        assert payload["recommended"]["fleet"] == {"a100": 1, "t4": 2}
+        # Mixed fleets have no single config in the payload.
+        assert payload["recommended"]["config"] is None
+        assert payload["cache"]["misses"] > 0

@@ -1,0 +1,143 @@
+"""Tests for the Mélange-style fleet allocator."""
+
+import itertools
+
+import pytest
+
+from repro.capacity import (
+    DEFAULT_MARGIN,
+    PLAN_PRESETS,
+    Candidate,
+    analytic_bound,
+    fleet_hourly_cost,
+    solve_fleet,
+    solver_cost_matrix,
+)
+from repro.errors import ConfigurationError
+
+WORKLOAD = PLAN_PRESETS["hetero-smoke"]
+
+
+def _exhaustive_optimum(workload, classes, max_per_class, target):
+    """Ground truth: enumerate the whole count lattice, keep the
+    cheapest conservatively-feasible fleet (ties by count tuple — the
+    same order the solver's heap pops in)."""
+    class_names = tuple(sorted(classes))
+    best = None
+    for counts in itertools.product(
+        range(max_per_class + 1), repeat=len(class_names)
+    ):
+        if not any(counts):
+            continue
+        fleet = tuple(
+            (name, count)
+            for name, count in zip(class_names, counts)
+            if count > 0
+        )
+        candidate = Candidate(
+            key=f"exhaustive/{counts}",
+            scheme="protean",
+            procurement="on_demand_only",
+            knobs=(),
+            fleet=fleet,
+            workload=workload,
+        )
+        bound = analytic_bound(candidate, margin=DEFAULT_MARGIN)
+        if bound.attainment_lower < target:
+            continue
+        cost = fleet_hourly_cost(
+            fleet, "on_demand_only", workload.spot_availability
+        )
+        if best is None or (cost, counts) < best[:2]:
+            best = (cost, counts, fleet)
+    return best
+
+
+class TestSolveFleet:
+    @pytest.mark.parametrize("max_per_class", [2, 4, 8])
+    def test_matches_exhaustive_lattice_enumeration(self, max_per_class):
+        # The optimality argument made checkable: the Dijkstra walk must
+        # return exactly what brute-force enumeration of the lattice
+        # declares cheapest-feasible (or None when nothing qualifies).
+        classes = ("a100", "t4")
+        target = 0.99
+        solution = solve_fleet(
+            WORKLOAD,
+            classes=classes,
+            max_per_class=max_per_class,
+            target=target,
+        )
+        truth = _exhaustive_optimum(WORKLOAD, classes, max_per_class, target)
+        if truth is None:
+            assert solution is None
+        else:
+            assert solution is not None
+            assert solution.fleet == truth[2]
+            assert solution.est_hourly_cost == truth[0]
+
+    def test_hetero_smoke_proposal_is_mixed(self):
+        # On the demonstrator workload the conservatively-cheapest fleet
+        # itself mixes classes: T4s soak best-effort work the A100s
+        # would otherwise be overprovisioned for.
+        solution = solve_fleet(
+            WORKLOAD, classes=("a100", "t4"), max_per_class=8
+        )
+        assert solution is not None
+        assert len(solution.fleet) >= 2
+        assert solution.bound.attainment_lower >= 0.99
+        assert solution.explored >= 1
+
+    def test_returns_none_when_lattice_too_small(self):
+        assert (
+            solve_fleet(WORKLOAD, classes=("a100", "t4"), max_per_class=2)
+            is None
+        )
+
+    def test_solution_serialises(self):
+        import json
+
+        solution = solve_fleet(
+            WORKLOAD, classes=("a100", "t4"), max_per_class=8
+        )
+        payload = json.loads(json.dumps(solution.to_dict()))
+        assert payload["fleet_key"] == solution.key_fragment
+        assert payload["explored"] == solution.explored
+        assert payload["bound"]["attainment_lower"] >= 0.99
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError, match="target"):
+            solve_fleet(WORKLOAD, target=0.0)
+        with pytest.raises(ConfigurationError, match="max_per_class"):
+            solve_fleet(WORKLOAD, max_per_class=0)
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            solve_fleet(WORKLOAD, classes=("a100", "A100"))
+
+
+class TestSolverCostMatrix:
+    def test_strict_is_inf_on_incapable_classes(self):
+        rows = {
+            row["gpu_class"]: row
+            for row in solver_cost_matrix(
+                WORKLOAD,
+                classes=("a100", "t4"),
+                procurement="on_demand_only",
+            )
+        }
+        assert rows["t4"]["strict_$per_1k"] == float("inf")
+        assert rows["a100"]["strict_$per_1k"] > 0.0
+
+    def test_best_effort_is_cheapest_on_the_t4(self):
+        # The Mélange premise in one assertion: per best-effort request,
+        # the small time-slicing part undercuts the flagship.
+        rows = {
+            row["gpu_class"]: row
+            for row in solver_cost_matrix(
+                WORKLOAD,
+                classes=("a100", "t4"),
+                procurement="on_demand_only",
+            )
+        }
+        assert (
+            rows["t4"]["best_effort_$per_1k"]
+            < rows["a100"]["best_effort_$per_1k"]
+        )

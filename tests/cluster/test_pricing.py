@@ -156,3 +156,60 @@ class TestSharedCostPath:
     def test_negative_charge_rejected(self):
         with pytest.raises(ClusterError):
             CostMeter(AWS).charge(VMTier.SPOT, -1.0)
+
+
+class TestGpuClassPricing:
+    """Per-class rates behind the heterogeneous-fleet planner."""
+
+    def test_every_planner_class_is_priced(self):
+        from repro.capacity import GPU_CLASSES
+        from repro.cluster.pricing import GPU_CLASS_HOURLY
+
+        assert set(GPU_CLASSES) == set(GPU_CLASS_HOURLY)
+        for on_demand, spot in GPU_CLASS_HOURLY.values():
+            assert 0.0 < spot < on_demand
+
+    def test_a100_class_is_default_pricing_itself(self):
+        # The identity (not just equality) keeps every pre-heterogeneity
+        # cost number bit-identical.
+        from repro.cluster.pricing import DEFAULT_PRICING, pricing_for_device
+
+        assert pricing_for_device("a100") is DEFAULT_PRICING
+        assert pricing_for_device("a100-40gb") is DEFAULT_PRICING
+
+    def test_per_gpu_rates_pin_the_catalogue(self):
+        from repro.cluster.pricing import pricing_for_device
+
+        expected = {
+            "a100": (32.7726 / 8, 9.8318 / 8),
+            "a100-80gb": (5.12, 1.54),
+            "h100": (6.88, 2.75),
+            "a10": (1.006, 0.402),
+            "t4": (0.526, 0.158),
+        }
+        for name, (on_demand, spot) in expected.items():
+            pricing = pricing_for_device(name)
+            assert pricing.per_gpu_hourly(VMTier.ON_DEMAND) == pytest.approx(
+                on_demand
+            )
+            assert pricing.per_gpu_hourly(VMTier.SPOT) == pytest.approx(spot)
+
+    def test_device_aliases_resolve(self):
+        from repro.cluster.pricing import gpu_class_for_device
+
+        assert gpu_class_for_device("h100-80gb") == "h100"
+        assert gpu_class_for_device("T4-16GB") == "t4"
+        with pytest.raises(ClusterError, match="no pricing"):
+            gpu_class_for_device("b200")
+
+    def test_gpu_class_table_rows_cover_all_classes(self):
+        from repro.cluster.pricing import (
+            GPU_CLASS_HOURLY,
+            gpu_class_table_rows,
+        )
+
+        rows = gpu_class_table_rows()
+        assert [row["gpu_class"] for row in rows] == sorted(GPU_CLASS_HOURLY)
+        for row in rows:
+            assert row["spot_$per_gpu_h"] < row["on_demand_$per_gpu_h"]
+            assert 0.0 < row["savings_%"] < 100.0

@@ -47,6 +47,10 @@ PUBLIC_API = {
         "DEFAULT_MARGIN",
         "DEFAULT_NODE_COUNTS",
         "DEFAULT_TARGET",
+        "FleetSolution",
+        "GPU_CLASSES",
+        "GRID_PRESETS",
+        "GpuClass",
         "PLAN_PRESETS",
         "PLAN_SCHEMA_VERSION",
         "PROCUREMENT_MODES",
@@ -54,15 +58,29 @@ PUBLIC_API = {
         "PRUNE_INFEASIBLE",
         "PlanReport",
         "ScreenDecision",
+        "SimulationCache",
         "SimulationEvidence",
+        "SubRun",
         "WorkloadSpec",
         "analytic_bound",
+        "analytic_bounds_batch",
+        "canonical_fleet",
+        "config_digest",
         "estimate_hourly_cost",
+        "fleet_hourly_cost",
+        "fleet_key",
+        "fleet_nodes",
+        "fleet_subset",
         "pareto_frontier",
         "plan",
+        "resolve_grid",
         "resolve_workload",
         "screen_candidates",
         "simulated_optimum",
+        "solve_fleet",
+        "solver_cost_matrix",
+        "split_streams",
+        "stream_stats",
         "sweepable_knobs",
     ],
     "repro.faults": [
