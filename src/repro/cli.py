@@ -552,6 +552,56 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the serving stack pulls in asyncio wiring that no
+    # other subcommand needs.
+    import json as _json
+
+    from repro.serving import replay, serve, serve_preset
+
+    try:
+        config = serve_preset(args.replay if args.replay else args.experiment)
+        overrides: dict = {"speedup": args.speedup}
+        if args.scheme:
+            overrides["scheme"] = args.scheme
+        if args.port is not None:
+            overrides["port"] = args.port
+        if args.host:
+            overrides["host"] = args.host
+        if args.executor:
+            overrides["executor"] = args.executor
+        config = config.with_overrides(**overrides)
+        if args.seed is not None:
+            config = config.with_overrides(
+                experiment=config.experiment.with_overrides(seed=args.seed)
+            )
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.replay:
+        attempts = max(1, args.retries)
+        for attempt in range(1, attempts + 1):
+            report = replay(config=config)
+            if report.agrees or attempt == attempts:
+                break
+            # Live runs share the host with everything else; one noisy
+            # attempt is not a verdict, so burn a retry before failing.
+            print(f"attempt {attempt}/{attempts} disagreed; retrying")
+        if args.json:
+            with open(args.json, "w") as handle:
+                _json.dump(report.to_dict(), handle, indent=2)
+            print(f"wrote {args.json}")
+        print("\n".join(report.summary_lines()))
+        return 0 if report.agrees else 1
+    print(
+        f"serving {args.experiment!r} (scheme={config.scheme}) on "
+        f"http://{config.host}:{config.port} — GET /healthz, GET /metrics, "
+        "POST /v1/requests; Ctrl-C to stop"
+    )
+    serve(config=config)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -826,6 +876,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_arg(plan)
     plan.set_defaults(func=_cmd_plan)
+
+    serve = sub.add_parser(
+        "serve",
+        help="live serving mode: the platform on a wall clock behind an "
+        "HTTP gateway, or --replay for a sim-vs-live cross-check",
+    )
+    serve.add_argument(
+        "experiment",
+        nargs="?",
+        default="smoke",
+        help="serve preset name (see repro.serving.SERVE_PRESETS)",
+    )
+    serve.add_argument(
+        "--replay",
+        metavar="TRACE",
+        help="replay this preset's trace instead of serving HTTP, and "
+        "emit the sim-vs-live agreement report (exit 1 on disagreement)",
+    )
+    serve.add_argument(
+        "--speedup",
+        type=float,
+        default=1.0,
+        help="trace seconds per wall second (replay accelerator)",
+    )
+    serve.add_argument("--port", type=int, default=None, help="gateway port")
+    serve.add_argument("--host", default=None, help="gateway bind address")
+    serve.add_argument("--scheme", default=None, help="scheme registry name")
+    serve.add_argument(
+        "--executor", default=None, help="executor registry name"
+    )
+    serve.add_argument(
+        "--seed", type=int, default=None, help="override the preset's seed"
+    )
+    serve.add_argument(
+        "--json", default=None, help="write the replay report JSON here"
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="total replay attempts before a disagreement is final "
+        "(smoke-test guard against wall-clock scheduling noise)",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

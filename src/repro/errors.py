@@ -102,6 +102,10 @@ class ConfigurationError(ReproError, ValueError):
     """
 
 
+class ServingError(ReproError):
+    """The live serving runtime hit an invalid state (gateway/replay)."""
+
+
 class HyperscaleError(ReproError):
     """The hyperscale engine hit an invalid state (shard/merge misuse)."""
 

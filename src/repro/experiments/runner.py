@@ -194,6 +194,58 @@ def build_oracle_plan(
     return plan
 
 
+def assemble_platform(
+    clock,
+    scheme: Scheme,
+    config: ExperimentConfig,
+    *,
+    collector=None,
+    tracer: Tracer = NULL_TRACER,
+) -> tuple[ServerlessPlatform, SpotMarket, Procurement]:
+    """Wire platform + spot market + procurement for one run.
+
+    Shared by :func:`run_scheme` (discrete-event clock) and the live
+    serving runtime (:mod:`repro.serving`, wall clock): ``clock`` is any
+    :class:`~repro.simulation.clock.Clock` with an ``rng`` registry. The
+    construction order — platform, then market (which draws the
+    ``"spot"`` RNG stream), then procurement — is part of the default
+    path's bit-identity and must not change.
+    """
+    platform = ServerlessPlatform(
+        clock,
+        scheme,
+        PlatformConfig(
+            n_nodes=config.n_nodes,
+            cold_start_seconds=config.cold_start_seconds,
+            keep_alive_seconds=config.keep_alive_seconds,
+            batch_max_wait=config.batch_max_wait,
+            reconfig_seconds=config.reconfig_seconds,
+            gpu_device=config.gpu_device,
+        ),
+        collector=collector,
+        pricing=pricing_for_device(config.gpu_device),
+        tracer=tracer,
+        tenancy=config.tenants,
+    )
+    market = SpotMarket(
+        clock,
+        clock.rng.stream("spot"),
+        AVAILABILITY_LEVELS[config.spot_availability],
+        notice_seconds=config.spot_notice_seconds,
+        check_interval=config.spot_check_interval,
+        tracer=tracer,
+    )
+    procurement = Procurement(
+        platform,
+        market,
+        ProcurementConfig(
+            mode=ProcurementMode(config.procurement),
+            provision_seconds=config.provision_seconds,
+        ),
+    )
+    return platform, market, procurement
+
+
 def run_scheme(
     scheme,
     config: ExperimentConfig,
@@ -238,37 +290,8 @@ def run_scheme(
         if config.streaming_metrics
         else None
     )
-    platform = ServerlessPlatform(
-        sim,
-        scheme,
-        PlatformConfig(
-            n_nodes=config.n_nodes,
-            cold_start_seconds=config.cold_start_seconds,
-            keep_alive_seconds=config.keep_alive_seconds,
-            batch_max_wait=config.batch_max_wait,
-            reconfig_seconds=config.reconfig_seconds,
-            gpu_device=config.gpu_device,
-        ),
-        collector=collector,
-        pricing=pricing_for_device(config.gpu_device),
-        tracer=tracer,
-        tenancy=config.tenants,
-    )
-    market = SpotMarket(
-        sim,
-        sim.rng.stream("spot"),
-        AVAILABILITY_LEVELS[config.spot_availability],
-        notice_seconds=config.spot_notice_seconds,
-        check_interval=config.spot_check_interval,
-        tracer=tracer,
-    )
-    procurement = Procurement(
-        platform,
-        market,
-        ProcurementConfig(
-            mode=ProcurementMode(config.procurement),
-            provision_seconds=config.provision_seconds,
-        ),
+    platform, market, procurement = assemble_platform(
+        sim, scheme, config, collector=collector, tracer=tracer
     )
     # The auditor is a pure observer (no mutation, no RNG): an audited
     # run's metrics are bit-identical to an unaudited one.

@@ -21,7 +21,7 @@ from __future__ import annotations
 from repro.errors import ObservabilityError
 from repro.observability.span import CATEGORY_CONTROL, Span
 from repro.observability.telemetry import NullTelemetry, TelemetryRegistry
-from repro.simulation.simulator import Simulator
+from repro.simulation.clock import Clock
 
 
 class Tracer:
@@ -105,7 +105,14 @@ NULL_TRACER = NullTracer()
 
 
 class SimTracer(Tracer):
-    """Live tracer bound to a :class:`Simulator` clock.
+    """Live tracer bound to a clock.
+
+    Historically always a :class:`~repro.simulation.simulator.Simulator`;
+    any :class:`~repro.simulation.clock.Clock` works — the tracer only
+    reads ``now``. The live serving runtime passes the wall view of an
+    :class:`~repro.simulation.wallclock.AsyncioClock` so live-mode spans
+    carry *wall-clock* timestamps (only a readable ``now`` is required;
+    the tracer never schedules).
 
     Spans land in :attr:`spans` in completion order (open spans are
     tracked separately and flushed by :meth:`close_open_spans` at the end
@@ -114,11 +121,16 @@ class SimTracer(Tracer):
 
     enabled = True
 
-    def __init__(self, sim: Simulator) -> None:
+    def __init__(self, sim: Clock) -> None:
         self.sim = sim
         self.telemetry = TelemetryRegistry()
         self.spans: list[Span] = []
         self._open: dict[int, Span] = {}
+
+    @property
+    def clock(self) -> Clock:
+        """The time source spans are stamped against (alias of ``sim``)."""
+        return self.sim
 
     # ------------------------------------------------------------------
     # Span API

@@ -69,6 +69,11 @@ class NodeScheduler(ABC):
         #: default path takes zero extra branches per batch). See
         #: :class:`repro.tenancy.fairness.NodeTenancy`.
         self.tenant_policy = None
+        #: Invoked as ``launch_observer(batch, placement)`` right after a
+        #: batch's job is submitted to its slice. None on the default
+        #: path (zero overhead); the live serving runtime installs the
+        #: executor bridge here (see :mod:`repro.serving.executor`).
+        self.launch_observer = None
 
     # ------------------------------------------------------------------
     # Entry point
@@ -155,6 +160,8 @@ class NodeScheduler(ABC):
             on_complete=self._on_job_complete,
         )
         placement.gpu_slice.submit(job)
+        if self.launch_observer is not None:
+            self.launch_observer(batch, placement)
 
     def _on_job_complete(self, job: SliceJob, timing: JobTiming) -> None:
         batch = job.payload

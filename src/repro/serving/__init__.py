@@ -1,0 +1,57 @@
+"""Live serving mode: the simulated platform behind a real HTTP gateway.
+
+The same scheduler/batcher/dispatcher/engine stack every experiment
+simulates runs here against a wall clock
+(:class:`~repro.simulation.wallclock.AsyncioClock`), with a pluggable
+:class:`Executor` realizing each batch's profiled duration (the default
+:class:`SleepExecutor` sleeps it) and an asyncio HTTP gateway in front
+(``python -m repro serve``). :func:`replay` drives a recorded trace at
+``speedup``× real time and cross-checks measured p50/p99/attainment
+against the discrete-event prediction for the same seed — the
+:class:`ReplayReport` is the sim-to-real agreement artifact.
+
+See ``docs/live_serving.md`` for the clock boundary contract, the
+executor plugin API, and the replay/cross-check workflow.
+"""
+
+from repro.serving.config import (
+    SERVE_PRESETS,
+    SERVE_SCHEMA_VERSION,
+    ServeConfig,
+    serve_preset,
+)
+from repro.serving.executor import (
+    Executor,
+    SleepExecutor,
+    executor_names,
+    get_executor,
+    register_executor,
+)
+from repro.serving.gateway import HttpGateway
+from repro.serving.replay import (
+    REPLAY_SCHEMA_VERSION,
+    ReplayReport,
+    replay,
+    replay_async,
+)
+from repro.serving.runtime import LiveRun, serve, serve_async
+
+__all__ = [
+    "Executor",
+    "HttpGateway",
+    "LiveRun",
+    "REPLAY_SCHEMA_VERSION",
+    "ReplayReport",
+    "SERVE_PRESETS",
+    "SERVE_SCHEMA_VERSION",
+    "ServeConfig",
+    "SleepExecutor",
+    "executor_names",
+    "get_executor",
+    "register_executor",
+    "replay",
+    "replay_async",
+    "serve",
+    "serve_async",
+    "serve_preset",
+]

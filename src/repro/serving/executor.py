@@ -1,0 +1,124 @@
+"""Pluggable executors: what "running a batch" means in live mode.
+
+In the discrete-event simulator, a batch's execution is purely virtual —
+the GPU engine schedules a completion event ``work × rdf × interference``
+seconds ahead and nobody actually computes anything. In live mode the
+engine's clock-driven completion logic still decides *when* a batch
+finishes (its interference model stays authoritative, so sim and live
+agree by construction for the sleep stub), and an :class:`Executor`
+*realizes* the work concurrently: the default :class:`SleepExecutor`
+holds a wall-clock timer for the profiled duration; a real deployment
+would swap in an executor that forwards the batch to a model container.
+
+Executors attach at the job-launch boundary (the scheduler's
+``launch_observer`` hook, installed by the serving runtime) and report
+back through ``on_done`` — a sanity channel the replay report uses to
+confirm every launched batch was realized, not a scheduling signal.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.serverless.request import RequestBatch
+from repro.simulation.clock import Clock
+
+#: Completion callback: ``on_done(batch, realized_seconds)``.
+DoneCallback = Callable[[RequestBatch, float], None]
+
+
+class Executor(ABC):
+    """Interface a live-mode batch executor implements."""
+
+    #: Registry name (what ``ServeConfig.executor`` selects).
+    name: str = "executor"
+
+    @abstractmethod
+    def launch(
+        self,
+        batch: RequestBatch,
+        *,
+        planned_seconds: float,
+        clock: Clock,
+        on_done: DoneCallback,
+    ) -> None:
+        """Realize ``batch``'s execution.
+
+        ``planned_seconds`` is the engine's interference-free execution
+        estimate on the assigned slice (work scaled by device speed and
+        RDF), on ``clock``'s timeline. Implementations must call
+        ``on_done(batch, realized_seconds)`` exactly once when the work
+        is finished.
+        """
+
+    def close(self) -> None:
+        """Release executor resources at the end of a run (optional)."""
+
+
+class SleepExecutor(Executor):
+    """The default stub: consume each batch's profiled duration as time.
+
+    A pure clock wait — ``launch`` schedules ``on_done`` exactly
+    ``planned_seconds`` later on the active clock (wall time divided by
+    the replay speedup). No GPU, no model, no payload inspection: this is
+    the executor that makes sim-vs-live cross-checks meaningful, because
+    any disagreement is then attributable to the serving machinery, not
+    the workload.
+    """
+
+    name = "sleep"
+
+    def __init__(self) -> None:
+        self.launched = 0
+        self.completed = 0
+
+    def launch(
+        self,
+        batch: RequestBatch,
+        *,
+        planned_seconds: float,
+        clock: Clock,
+        on_done: DoneCallback,
+    ) -> None:
+        self.launched += 1
+
+        def done() -> None:
+            self.completed += 1
+            on_done(batch, planned_seconds)
+
+        clock.after(max(0.0, planned_seconds), done, label="executor.sleep")
+
+
+#: Executor registry: name → zero-argument factory.
+_EXECUTORS: dict[str, Callable[[], Executor]] = {}
+
+
+def register_executor(
+    name: str, factory: Callable[[], Executor], *, replace: bool = False
+) -> None:
+    """Register an executor factory under ``name`` (case-insensitive)."""
+    key = name.lower().strip()
+    if not replace and key in _EXECUTORS:
+        raise ConfigurationError(f"executor {key!r} is already registered")
+    _EXECUTORS[key] = factory
+
+
+def executor_names() -> tuple[str, ...]:
+    """Registered executor names, sorted."""
+    return tuple(sorted(_EXECUTORS))
+
+
+def get_executor(name: str) -> Executor:
+    """Build a fresh executor by registry name."""
+    key = name.lower().strip()
+    factory = _EXECUTORS.get(key)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown executor {name!r}; available: {', '.join(executor_names())}"
+        )
+    return factory()
+
+
+register_executor("sleep", SleepExecutor)

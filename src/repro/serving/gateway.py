@@ -1,0 +1,192 @@
+"""Minimal stdlib HTTP gateway in front of a :class:`LiveRun`.
+
+Endpoints (JSON in, JSON out; HTTP/1.1, one request per connection):
+
+- ``GET /healthz`` — liveness + clock readings.
+- ``GET /metrics`` — live counters and latency percentiles.
+- ``POST /v1/requests`` — admit one inference request through the real
+  platform (gateway → batcher → dispatcher → scheduler → engine) and
+  respond when it completes, with per-request latency on both the trace
+  and wall timelines.
+
+Built on :func:`asyncio.start_server` — no dependencies beyond the
+standard library, and the handler shares the event loop with the
+platform's timers so there is no cross-thread state to guard.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.errors import ConfigurationError, ReproError, UnknownModelError
+from repro.serverless.request import Request
+from repro.serving.runtime import LiveRun
+from repro.workloads.registry import get_model
+from repro.workloads.scaling import scale_model
+
+#: Refuse request bodies beyond this size (the API carries tiny JSON).
+_MAX_BODY_BYTES = 64 * 1024
+#: Wall-second cap on waiting for one request's completion.
+_COMPLETION_TIMEOUT_WALL = 120.0
+
+
+class HttpGateway:
+    """The HTTP front door: routes requests into a started LiveRun."""
+
+    def __init__(self, run: LiveRun, *, host: str, port: int) -> None:
+        self.run = run
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "HttpGateway":
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        # Port 0 asks the OS to pick; report what was actually bound.
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._dispatch(reader)
+        except ConfigurationError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except ReproError as exc:
+            status, payload = 500, {"error": str(exc)}
+        except (asyncio.IncompleteReadError, ValueError) as exc:
+            status, payload = 400, {"error": f"malformed request: {exc}"}
+        try:
+            body = json.dumps(payload).encode()
+            reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                      405: "Method Not Allowed", 429: "Too Many Requests",
+                      500: "Internal Server Error",
+                      504: "Gateway Timeout"}.get(status, "OK")
+            writer.write(
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n".encode() + body
+            )
+            await writer.drain()
+        finally:
+            writer.close()
+
+    async def _dispatch(self, reader: asyncio.StreamReader):
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            return 400, {"error": "empty request"}
+        parts = request_line.split()
+        if len(parts) != 3:
+            return 400, {"error": f"malformed request line: {request_line!r}"}
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            key, _, value = line.partition(":")
+            headers[key.strip().lower()] = value.strip()
+        if method == "GET" and path == "/healthz":
+            return 200, {
+                "status": "ok",
+                "clock_now": self.run.clock.now,
+                "wall_now": self.run.clock.wall_now,
+            }
+        if method == "GET" and path == "/metrics":
+            return 200, self.run.metrics_snapshot()
+        if path == "/v1/requests":
+            if method != "POST":
+                return 405, {"error": "use POST for /v1/requests"}
+            length = int(headers.get("content-length", "0"))
+            if length > _MAX_BODY_BYTES:
+                return 400, {"error": "request body too large"}
+            raw = await reader.readexactly(length) if length else b"{}"
+            return await self._handle_inference(raw)
+        return 404, {"error": f"no route for {method} {path}"}
+
+    # ------------------------------------------------------------------
+    # Inference route
+    # ------------------------------------------------------------------
+    async def _handle_inference(self, raw: bytes):
+        try:
+            body = json.loads(raw or b"{}")
+        except json.JSONDecodeError as exc:
+            return 400, {"error": f"invalid JSON body: {exc}"}
+        if not isinstance(body, dict):
+            return 400, {"error": "request body must be a JSON object"}
+        experiment = self.run.config.experiment
+        name = body.get("model", experiment.strict_model)
+        strict = bool(body.get("strict", True))
+        multiplier = float(body.get("slo_multiplier", experiment.slo_multiplier))
+        tenant = str(body.get("tenant", "default"))
+        try:
+            profile = scale_model(get_model(name), experiment.scale)
+        except UnknownModelError as exc:
+            return 400, {"error": str(exc)}
+        arrival = self.run.clock.now
+        deadline = (
+            arrival + profile.slo_target(multiplier) if strict else None
+        )
+        request = Request(
+            model=profile,
+            strict=strict,
+            arrival=arrival,
+            deadline=deadline,
+            tenant=tenant,
+        )
+        wall_start = self.run.clock.wall_now
+        future = self.run.submit(request)
+        try:
+            outcome = await asyncio.wait_for(
+                future, timeout=_COMPLETION_TIMEOUT_WALL
+            )
+        except asyncio.TimeoutError:
+            return 504, {
+                "error": "request did not complete in time",
+                "request_id": request.request_id,
+            }
+        if outcome is None:
+            # Tenancy quota said no: a 429-style gateway rejection.
+            return 429, {
+                "request_id": request.request_id,
+                "rejected": True,
+                "tenant": tenant,
+            }
+        _completed, finished_at = outcome
+        latency = finished_at - arrival
+        return 200, {
+            "request_id": request.request_id,
+            "model": profile.name,
+            "strict": strict,
+            "rejected": False,
+            "latency_s": latency,
+            "wall_latency_s": self.run.clock.wall_now - wall_start,
+            "deadline": deadline,
+            "slo_violated": (
+                finished_at > deadline if deadline is not None else None
+            ),
+        }

@@ -1,0 +1,286 @@
+"""The live serving runtime: the simulated platform on a wall clock.
+
+:class:`LiveRun` assembles exactly the object graph
+:func:`repro.experiments.runner.run_scheme` builds — platform, spot
+market, procurement, prewarmed container pools — but hands every
+component an :class:`~repro.simulation.wallclock.AsyncioClock` instead
+of the discrete-event :class:`~repro.simulation.simulator.Simulator`.
+Nothing in the scheduler/batcher/dispatcher/engine stack knows the
+difference: they were written against the Clock protocol surface
+(``now``/``at``/``after``/``cancel``) and run unchanged.
+
+The one live-mode addition is the executor bridge: a
+:class:`_LiveScheme` wrapper installs the configured
+:class:`~repro.serving.executor.Executor` on every per-node scheduler's
+``launch_observer`` hook, so each batch's profiled duration is *realized*
+(slept, by default) concurrently with the engine's virtual accounting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import ServingError
+from repro.experiments.runner import _prewarm, assemble_platform
+from repro.experiments.schemes import get_scheme
+from repro.observability.tracer import NULL_TRACER, SimTracer, Tracer
+from repro.serverless.platform import ServerlessPlatform
+from repro.serverless.request import Request, RequestBatch
+from repro.serverless.scheduler import NodeScheduler, Placement
+from repro.serverless.scheme import Scheme
+from repro.serving.config import ServeConfig
+from repro.serving.executor import Executor, get_executor
+from repro.simulation.identity import reset_run_ids
+from repro.simulation.wallclock import AsyncioClock
+
+
+class _LiveScheme(Scheme):
+    """Delegating wrapper that wires the executor bridge per scheduler.
+
+    Every policy decision is forwarded to the wrapped scheme untouched;
+    the only addition is setting ``launch_observer`` on each scheduler
+    the scheme creates. This keeps executor attachment out of the scheme
+    and scheduler code paths entirely — the default (simulated) path
+    never sees a wrapper.
+    """
+
+    def __init__(self, inner: Scheme, on_launch) -> None:
+        self._inner = inner
+        self._on_launch = on_launch
+        # Class-attribute knobs are read off instances by the platform;
+        # shadow them with the wrapped scheme's values.
+        self.name = inner.name
+        self.share_mode = inner.share_mode
+        self.dispatch_policy = inner.dispatch_policy
+        self.consolidation_limit = inner.consolidation_limit
+
+    def initial_geometry(self):
+        return self._inner.initial_geometry()
+
+    def create_scheduler(self, platform, node, pool) -> NodeScheduler:
+        scheduler = self._inner.create_scheduler(platform, node, pool)
+
+        def observe(batch: RequestBatch, placement: Placement) -> None:
+            self._on_launch(scheduler, batch, placement)
+
+        scheduler.launch_observer = observe
+        return scheduler
+
+    def on_node_added(self, platform, node, scheduler) -> None:
+        self._inner.on_node_added(platform, node, scheduler)
+
+    def on_node_retired(self, platform, node) -> None:
+        self._inner.on_node_retired(platform, node)
+
+    def on_platform_start(self, platform) -> None:
+        self._inner.on_platform_start(platform)
+
+
+class LiveRun:
+    """One live deployment: clock + platform + executor + counters.
+
+    Build it, then ``await start()`` from inside a running event loop.
+    Requests enter through :meth:`submit` (the HTTP gateway) or
+    :meth:`inject` (trace replay); :meth:`drain` waits for completions.
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.clock = AsyncioClock(
+            config.experiment.seed, speedup=config.speedup
+        )
+        self.executor: Executor = get_executor(config.executor)
+        self.platform: ServerlessPlatform | None = None
+        self.tracer: Tracer = NULL_TRACER
+        self.requests_completed = 0
+        self.requests_injected = 0
+        self.executor_incomplete = 0
+        self._waiters: dict[int, asyncio.Future] = {}
+        self._procurement = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "LiveRun":
+        """Bind the clock, assemble the platform, prewarm containers."""
+        if self.platform is not None:
+            raise ServingError("LiveRun.start called twice")
+        self.clock.start()
+        experiment = self.config.experiment
+        # Fresh id spaces, as every runner entry point guarantees.
+        reset_run_ids()
+        if experiment.tracing:
+            # Spans are stamped on the live clock's timeline: measured
+            # wall time (scaled by the replay speedup), not simulated
+            # time — see docs/live_serving.md.
+            self.tracer = SimTracer(self.clock)
+        scheme = _LiveScheme(get_scheme(self.config.scheme), self._on_launch)
+        platform, _market, procurement = assemble_platform(
+            self.clock, scheme, experiment, tracer=self.tracer
+        )
+        self.platform = platform
+        self._procurement = procurement
+        platform.completion_observers.append(self._on_batch_complete)
+        procurement.provision_initial()
+        _prewarm(platform, experiment)
+        return self
+
+    async def stop(self) -> None:
+        """Tear down: cancel timers, settle billing, close the executor."""
+        if self.platform is not None:
+            self.platform.finalize()
+        if self.tracer.enabled:
+            self.tracer.close_open_spans(reason="serve stopped")
+        self.executor.close()
+        self.clock.shutdown()
+        for future in self._waiters.values():
+            if not future.done():
+                future.cancel()
+        self._waiters.clear()
+
+    def _require_platform(self) -> ServerlessPlatform:
+        if self.platform is None:
+            raise ServingError("LiveRun is not started; await start() first")
+        return self.platform
+
+    # ------------------------------------------------------------------
+    # Executor bridge
+    # ------------------------------------------------------------------
+    def _on_launch(
+        self,
+        scheduler: NodeScheduler,
+        batch: RequestBatch,
+        placement: Placement,
+    ) -> None:
+        planned = (
+            batch.work
+            / scheduler.node.gpu.device_model.speed_factor
+            * placement.rdf
+        )
+        self.executor_incomplete += 1
+        self.executor.launch(
+            batch,
+            planned_seconds=planned,
+            clock=self.clock,
+            on_done=self._on_executor_done,
+        )
+
+    def _on_executor_done(self, batch: RequestBatch, realized: float) -> None:
+        self.executor_incomplete -= 1
+
+    # ------------------------------------------------------------------
+    # Request paths
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> asyncio.Future:
+        """Admit one request; resolve a future with its completion record.
+
+        The future resolves to ``(request, finished_at)`` on completion,
+        or to ``None`` if the gateway rejected the request outright.
+        """
+        platform = self._require_platform()
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        admitted_before = platform.gateway.requests_admitted
+        self._waiters[request.request_id] = future
+        self.requests_injected += 1
+        platform.gateway.admit(request)
+        if platform.gateway.requests_admitted == admitted_before:
+            # Rejected (tenant quota): resolve immediately with None.
+            self._waiters.pop(request.request_id, None)
+            future.set_result(None)
+        return future
+
+    def inject(self, specs) -> int:
+        """Schedule a whole trace for arrival (replay path)."""
+        platform = self._require_platform()
+        specs = list(specs)
+        self.requests_injected += len(specs)
+        platform.inject(specs)
+        return len(specs)
+
+    def _on_batch_complete(self, batch: RequestBatch, timing) -> None:
+        self.requests_completed += len(batch.requests)
+        if not self._waiters:
+            return
+        for request in batch.requests:
+            future = self._waiters.pop(request.request_id, None)
+            if future is not None and not future.done():
+                future.set_result((request, timing.finished_at))
+
+    # ------------------------------------------------------------------
+    # Progress / drain
+    # ------------------------------------------------------------------
+    @property
+    def requests_admitted(self) -> int:
+        return self._require_platform().gateway.requests_admitted
+
+    @property
+    def requests_rejected(self) -> int:
+        return self._require_platform().gateway.requests_rejected
+
+    def settled(self) -> bool:
+        """Whether every injected request has completed or been rejected."""
+        return (
+            self.requests_completed + self.requests_rejected
+            >= self.requests_injected
+        )
+
+    async def drain(self, *, timeout_wall: float) -> bool:
+        """Wait (wall-bounded) until the run settles. Returns success."""
+        return await self.clock.wait_for(
+            self.settled, timeout_wall=timeout_wall
+        )
+
+    def metrics_snapshot(self) -> dict:
+        """Live counters + latency percentiles (the /metrics payload)."""
+        from repro.metrics.latency import p50, p99
+
+        platform = self._require_platform()
+        records = list(platform.collector.records)
+        return {
+            "clock_now": self.clock.now,
+            "wall_now": self.clock.wall_now,
+            "speedup": self.config.speedup,
+            "scheme": self.config.scheme,
+            "executor": self.executor.name,
+            "requests_injected": self.requests_injected,
+            "requests_admitted": platform.gateway.requests_admitted,
+            "requests_rejected": platform.gateway.requests_rejected,
+            "requests_completed": self.requests_completed,
+            "executor_incomplete": self.executor_incomplete,
+            "nodes_active": len(platform.cluster.active_nodes),
+            "dispatch_backlog": platform.dispatcher.backlog_size,
+            "latency_p50_s": p50(records),
+            "latency_p99_s": p99(records),
+        }
+
+
+async def serve_async(
+    config: ServeConfig, *, ready=None
+) -> None:
+    """Run the HTTP gateway until cancelled (the ``repro serve`` body).
+
+    ``ready`` is an optional callback invoked with the
+    :class:`~repro.serving.gateway.HttpGateway` once it is listening
+    (tests use it to learn the bound port).
+    """
+    from repro.serving.gateway import HttpGateway
+
+    run = await LiveRun(config).start()
+    gateway = HttpGateway(run, host=config.host, port=config.port)
+    await gateway.start()
+    try:
+        if ready is not None:
+            ready(gateway)
+        await gateway.serve_forever()
+    finally:
+        await gateway.stop()
+        await run.stop()
+
+
+def serve(*, config: ServeConfig) -> None:
+    """Blocking entry point: serve ``config`` until interrupted."""
+    try:
+        asyncio.run(serve_async(config))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import warnings
 from typing import Callable, Sequence
 
 import numpy as np
@@ -37,6 +38,12 @@ _COMPACT_CHECK_EVERY = 1024
 
 class Simulator:
     """Deterministic discrete-event simulator.
+
+    ``Simulator`` is the discrete-event implementation of the
+    :class:`~repro.simulation.clock.Clock` protocol (``now`` /
+    ``schedule`` / ``at`` / ``after`` / ``cancel``); the wall-clock
+    implementation is :class:`~repro.simulation.wallclock.AsyncioClock`.
+    Components written against that surface run unchanged on either.
 
     Parameters
     ----------
@@ -65,9 +72,43 @@ class Simulator:
         """Total number of events executed so far."""
         return self._events_processed
 
+    @property
+    def heap(self) -> list:
+        """Deprecated: the raw event heap is an implementation detail.
+
+        Direct heap pokes bypass tombstone accounting and the Clock
+        protocol; schedule through :meth:`schedule`/:meth:`at`/
+        :meth:`after` and cancel through :meth:`cancel` instead.
+        """
+        warnings.warn(
+            "Simulator.heap is deprecated; use the Clock protocol methods "
+            "(schedule/at/after/cancel) instead of poking the event heap",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.queue._heap
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``.
+
+        The canonical Clock-protocol spelling; :meth:`at` is the
+        historical alias. Times in the past raise
+        :class:`~repro.errors.ClockError` (a discrete-event clock can
+        enforce this; the wall clock clamps instead).
+        """
+        validate_schedule_time(self._now, time)
+        return self.queue.schedule(time, callback, priority=priority, label=label)
+
     def at(
         self,
         time: float,

@@ -1,0 +1,96 @@
+"""Executor plugin API: registry + the sleep stub on either clock."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving import (
+    SleepExecutor,
+    executor_names,
+    get_executor,
+    register_executor,
+)
+from repro.serving.executor import Executor
+from repro.simulation import Simulator
+
+
+class TestRegistry:
+    def test_sleep_is_registered(self):
+        assert "sleep" in executor_names()
+        executor = get_executor("sleep")
+        assert isinstance(executor, SleepExecutor)
+
+    def test_lookup_is_case_insensitive(self):
+        assert isinstance(get_executor("  SLEEP "), SleepExecutor)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown executor"):
+            get_executor("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="registered"):
+            register_executor("sleep", SleepExecutor)
+
+    def test_custom_executor_plugs_in(self):
+        class Recording(Executor):
+            name = "recording-test"
+
+            def __init__(self):
+                self.batches = []
+
+            def launch(self, batch, *, planned_seconds, clock, on_done):
+                self.batches.append((batch, planned_seconds))
+                on_done(batch, 0.0)
+
+        register_executor("recording-test", Recording)
+        try:
+            executor = get_executor("recording-test")
+            done = []
+            executor.launch(
+                "batch", planned_seconds=1.0, clock=None,
+                on_done=lambda b, s: done.append(b),
+            )
+            assert executor.batches == [("batch", 1.0)]
+            assert done == ["batch"]
+        finally:
+            from repro.serving.executor import _EXECUTORS
+
+            _EXECUTORS.pop("recording-test", None)
+
+
+class TestSleepExecutor:
+    def test_consumes_exactly_the_planned_duration(self):
+        # The executor only needs the Clock protocol, so the
+        # deterministic simulator doubles as its test harness.
+        sim = Simulator(seed=0)
+        executor = SleepExecutor()
+        done = []
+        executor.launch(
+            "batch-a",
+            planned_seconds=1.5,
+            clock=sim,
+            on_done=lambda batch, s: done.append((batch, s, sim.now)),
+        )
+        executor.launch(
+            "batch-b",
+            planned_seconds=0.5,
+            clock=sim,
+            on_done=lambda batch, s: done.append((batch, s, sim.now)),
+        )
+        assert executor.launched == 2 and executor.completed == 0
+        sim.run()
+        assert executor.completed == 2
+        assert done == [
+            ("batch-b", 0.5, 0.5),
+            ("batch-a", 1.5, 1.5),
+        ]
+
+    def test_negative_plan_clamps_to_zero(self):
+        sim = Simulator(seed=0)
+        executor = SleepExecutor()
+        done = []
+        executor.launch(
+            "b", planned_seconds=-1.0, clock=sim,
+            on_done=lambda batch, s: done.append(sim.now),
+        )
+        sim.run()
+        assert done == [0.0]

@@ -1,0 +1,115 @@
+"""The HTTP gateway in front of a live run (stdlib asyncio end to end)."""
+
+import asyncio
+import json
+
+from repro.serving import HttpGateway, LiveRun, serve_preset
+
+
+async def _http(host, port, method, path, body=None):
+    reader, writer = await asyncio.open_connection(host, port)
+    payload = json.dumps(body).encode() if body is not None else b""
+    writer.write(
+        (
+            f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+            f"Content-Length: {len(payload)}\r\n\r\n"
+        ).encode()
+        + payload
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, data = raw.partition(b"\r\n\r\n")
+    return int(head.split()[1]), json.loads(data)
+
+
+def _with_gateway(scenario):
+    """Run ``scenario(host, port, run)`` against a started smoke gateway."""
+
+    async def body():
+        config = serve_preset("smoke").with_overrides(port=0, speedup=20.0)
+        run = await LiveRun(config).start()
+        gateway = await HttpGateway(
+            run, host=config.host, port=config.port
+        ).start()
+        try:
+            await scenario(config.host, gateway.port, run)
+        finally:
+            await gateway.stop()
+            await run.stop()
+
+    asyncio.run(body())
+
+
+def test_healthz_reports_clock():
+    async def scenario(host, port, run):
+        status, payload = await _http(host, port, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["clock_now"] >= 0.0
+
+    _with_gateway(scenario)
+
+
+def test_inference_round_trip_and_metrics():
+    async def scenario(host, port, run):
+        status, payload = await _http(
+            host, port, "POST", "/v1/requests",
+            {"model": "resnet50", "strict": True},
+        )
+        assert status == 200
+        assert payload["rejected"] is False
+        assert payload["latency_s"] > 0.0
+        assert payload["wall_latency_s"] > 0.0
+        assert payload["deadline"] is not None
+        status, metrics = await _http(host, port, "GET", "/metrics")
+        assert status == 200
+        assert metrics["requests_admitted"] == 1
+        assert metrics["requests_completed"] == 1
+        assert metrics["executor_incomplete"] == 0
+        assert metrics["latency_p50_s"] == payload["latency_s"]
+
+    _with_gateway(scenario)
+
+
+def test_default_model_comes_from_the_experiment():
+    async def scenario(host, port, run):
+        status, payload = await _http(host, port, "POST", "/v1/requests", {})
+        assert status == 200
+        assert payload["model"] == run.config.experiment.strict_model
+
+    _with_gateway(scenario)
+
+
+def test_error_routes():
+    async def scenario(host, port, run):
+        status, payload = await _http(host, port, "GET", "/nope")
+        assert status == 404
+        status, payload = await _http(host, port, "GET", "/v1/requests")
+        assert status == 405
+        status, payload = await _http(
+            host, port, "POST", "/v1/requests", {"model": "not-a-model"}
+        )
+        assert status == 400
+        assert "error" in payload
+
+    _with_gateway(scenario)
+
+
+def test_malformed_json_is_a_400():
+    async def scenario(host, port, run):
+        reader, writer = await asyncio.open_connection(host, port)
+        body = b"{not json"
+        writer.write(
+            (
+                "POST /v1/requests HTTP/1.1\r\nHost: test\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n"
+            ).encode()
+            + body
+        )
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        assert b"400" in raw.split(b"\r\n", 1)[0]
+
+    _with_gateway(scenario)

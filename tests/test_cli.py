@@ -318,3 +318,27 @@ def test_plan_command_rejects_bad_grid_file(tmp_path, capsys):
     grid.write_text('{"warp_factor": [9]}')
     assert main(["plan", "smoke", "--grid", str(grid)]) == 2
     assert "unknown grid field" in capsys.readouterr().err
+
+
+def test_serve_replay_smoke(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "report.json"
+    code = main(
+        [
+            "serve", "--replay", "smoke", "--speedup", "50",
+            "--retries", "3", "--json", str(out),
+        ]
+    )
+    output = capsys.readouterr().out
+    assert code == 0, output
+    report = json.loads(out.read_text())
+    assert report["drained"] is True
+    assert report["completed"] > 0
+    assert report["agrees"] is True
+    assert "verdict:" in output
+
+
+def test_serve_unknown_preset(capsys):
+    assert main(["serve", "nope"]) == 2
+    assert "preset" in capsys.readouterr().err
