@@ -3,7 +3,7 @@
 The :class:`Auditor` attaches to a live platform through the same cheap
 observer hooks the observability stack uses (``request_observers``,
 ``completion_observers``) plus one periodic sweep event, and verifies the
-six invariant groups of :data:`~repro.audit.violations.CHECK_GROUPS`:
+seven invariant groups of :data:`~repro.audit.violations.CHECK_GROUPS`:
 
 1. **request** — every admitted request completes *exactly once*; none
    are stranded at drain (outstanding requests must be locatable in a
@@ -25,6 +25,16 @@ six invariant groups of :data:`~repro.audit.violations.CHECK_GROUPS`:
    GPU slice with another tenant's work. The auditor keeps its *own*
    per-tenant in-flight ledger from the observer hooks, independent of
    the admission controller it is checking.
+7. **pipeline** — workflow lifecycle contracts hold (only when the run
+   declares pipelines): every stage request belongs to the declared DAG
+   and to a workflow whose root was seen, no stage is admitted before
+   all of its parents completed, no (workflow, stage) pair completes
+   more than once, and at drain no workflow is left with a stage whose
+   parents all finished long enough ago for the handoff to have fired
+   but which was never admitted (an *orphaned* stage — the workflow can
+   then neither complete nor be accounted as rejected). The auditor
+   keeps its *own* (workflow, stage) completion ledger from the
+   observer hooks, independent of the pipeline runtime it is checking.
 
 The auditor mutates nothing and draws no RNG, so an audited run produces
 bit-identical metrics to an unaudited one (the sweep events shift event
@@ -91,6 +101,13 @@ class Auditor:
         #: Independent per-tenant in-flight ledger (admits − completions);
         #: populated only when the platform runs with tenancy.
         self._tenant_in_flight: dict[str, int] = {}
+        #: Independent workflow ledgers (populated only when the platform
+        #: runs with pipelines): workflows whose root stage was admitted,
+        #: workflow → admitted stages, and workflow → stage →
+        #: (completion count, last completion time).
+        self._pipeline_workflows: set[str] = set()
+        self._pipeline_admitted: dict[str, set[str]] = {}
+        self._pipeline_completions: dict[str, dict[str, tuple[int, float]]] = {}
         self._sweeps = 0
         self._last_now = sim.now
         self._last_events = sim.events_processed
@@ -123,6 +140,7 @@ class Auditor:
         self._finalized = True
         self._process.stop()
         self.sweep()
+        self._check_pipeline_orphans()
         residual = self._check_request_conservation()
         return self.report(residual=residual)
 
@@ -148,6 +166,8 @@ class Auditor:
                 subject=f"request{rid}",
             )
         self._admitted.add(rid)
+        if request.workflow is not None:
+            self._audit_stage_admission(request)
         tenancy = self.platform.tenancy
         if tenancy is not None:
             tenant_id = request.tenant
@@ -186,6 +206,9 @@ class Auditor:
             ledger = self._tenant_in_flight
             for request in batch.requests:
                 ledger[request.tenant] = ledger.get(request.tenant, 0) - 1
+        for request in batch.requests:
+            if request.workflow is not None:
+                self._audit_stage_completion(request, timing)
         owner = self._owner_of(timing.slice_name)
         if owner is not None and owner.vm.state is VMState.TERMINATED:
             self._violate(
@@ -201,6 +224,109 @@ class Auditor:
         if len(self._gpu_owner) != len(nodes):
             self._gpu_owner = {node.gpu.name: node for node in nodes}
         return self._gpu_owner.get(gpu_name)
+
+    # ------------------------------------------------------------------
+    # Pipeline workflow lifecycle
+    # ------------------------------------------------------------------
+    def _audit_stage_admission(self, request: "Request") -> None:
+        """Check one workflow-tagged admission against the declared DAG."""
+        runtime = self.platform.pipelines
+        workflow = request.workflow
+        stage = request.stage
+        rid = request.request_id
+        if runtime is None:
+            self._violate(
+                "pipeline.unknown_workflow",
+                f"request carries workflow lineage ({workflow}/{stage}) "
+                "but no pipeline runtime is armed",
+                subject=f"request{rid}",
+            )
+            return
+        compiled = runtime.compiled
+        if stage not in compiled.parents:
+            self._violate(
+                "pipeline.unknown_workflow",
+                f"stage {stage!r} is not a stage of pipeline "
+                f"{runtime.spec.name!r}",
+                subject=f"request{rid}",
+            )
+            return
+        if stage in compiled.roots:
+            self._pipeline_workflows.add(workflow)
+        elif workflow not in self._pipeline_workflows:
+            self._violate(
+                "pipeline.unknown_workflow",
+                f"non-root stage {stage!r} admitted for workflow "
+                f"{workflow!r} whose root was never seen",
+                subject=f"{workflow}/{stage}",
+            )
+        completions = self._pipeline_completions.get(workflow, {})
+        for parent in compiled.parents[stage]:
+            if parent not in completions:
+                self._violate(
+                    "pipeline.premature_stage",
+                    f"stage {stage!r} admitted before parent {parent!r} "
+                    "completed",
+                    subject=f"{workflow}/{stage}",
+                )
+        self._pipeline_admitted.setdefault(workflow, set()).add(stage)
+
+    def _audit_stage_completion(
+        self, request: "Request", timing: "JobTiming"
+    ) -> None:
+        """Count (workflow, stage) completions; flag any second one."""
+        workflow = request.workflow
+        stage = request.stage
+        ledger = self._pipeline_completions.setdefault(workflow, {})
+        count, _ = ledger.get(stage, (0, 0.0))
+        ledger[stage] = (count + 1, timing.finished_at)
+        if count + 1 > 1:
+            self._violate(
+                "pipeline.double_completion",
+                f"stage {stage!r} completed {count + 1} times via "
+                f"distinct requests (latest request{request.request_id})",
+                subject=f"{workflow}/{stage}",
+            )
+
+    def _check_pipeline_orphans(self) -> None:
+        """Drain-time check: no workflow is wedged on a never-admitted stage.
+
+        A stage whose parents all completed at least ``handoff_latency``
+        before drain end should itself have been admitted; if it never
+        was, its workflow can neither complete nor be accounted as
+        rejected — it is silently abandoned. The handoff-plus-epsilon
+        grace window keeps legitimately in-flight handoffs (parents
+        finished at the very end of the drain) from false-positiving.
+        """
+        runtime = self.platform.pipelines
+        if runtime is None:
+            return
+        compiled = runtime.compiled
+        grace = runtime.spec.handoff_latency + _TIME_EPS
+        now = self.sim.now
+        for workflow in sorted(self._pipeline_workflows):
+            completions = self._pipeline_completions.get(workflow, {})
+            if all(sink in completions for sink in compiled.sinks):
+                continue  # workflow finished; nothing can be orphaned
+            admitted = self._pipeline_admitted.get(workflow, set())
+            for stage in compiled.order:
+                if stage in admitted:
+                    continue
+                parents = compiled.parents[stage]
+                if not parents:
+                    continue  # roots are admitted by the trace, not released
+                if all(parent in completions for parent in parents):
+                    ready_at = max(
+                        completions[parent][1] for parent in parents
+                    )
+                    if ready_at <= now - grace:
+                        self._violate(
+                            "pipeline.orphaned_stage",
+                            f"stage {stage!r} ready at t={ready_at:.3f} "
+                            f"(all parents complete) but never admitted "
+                            f"by drain end",
+                            subject=f"{workflow}/{stage}",
+                        )
 
     # ------------------------------------------------------------------
     # Periodic sweep

@@ -20,6 +20,7 @@ CHECK_GROUPS = (
     "clock",     # monotonic time, no activity on tombstoned entities
     "spot",      # VM/node lifecycle agreement under eviction/crash
     "tenant",    # tenancy contracts: quotas, registration, exclusivity
+    "pipeline",  # workflow lifecycle: stage ordering, exactly-once stages
 )
 
 

@@ -13,6 +13,7 @@ Usage::
     python -m repro plan wiki --target 0.99 --jobs 4
     python -m repro plan smoke --json plan.json
     python -m repro tenants noisy-neighbour --json
+    python -m repro pipelines chain --json
     python -m repro hyperscale smoke --jobs 2 --json report.json
     python -m repro models
 """
@@ -480,6 +481,35 @@ def _cmd_tenants(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pipelines(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.pipelines.scenarios import run_pipeline_scenario
+
+    try:
+        scheme = canonical_name(args.scheme)
+        result = run_pipeline_scenario(
+            args.scenario,
+            scheme=scheme,
+            seed=args.seed,
+            jobs=_cli_jobs(args),
+        )
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json is not None:
+        payload = json.dumps(result.to_dict(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote {args.json}")
+    else:
+        print(result.describe())
+    return 0
+
+
 def _cmd_hyperscale(args: argparse.Namespace) -> int:
     import json
     import time
@@ -657,6 +687,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_arg(tenants)
     tenants.set_defaults(func=_cmd_tenants)
+
+    from repro.pipelines.scenarios import SCENARIOS as PIPELINE_SCENARIOS
+
+    pipelines = sub.add_parser(
+        "pipelines",
+        help="run a multi-stage workflow scenario (chain, ensemble, "
+        "branchy), comparing naive vs pipeline-aware deadline splitting",
+    )
+    pipelines.add_argument("scenario", choices=list(PIPELINE_SCENARIOS))
+    pipelines.add_argument(
+        "--scheme", default="protean", choices=sorted(scheme_names())
+    )
+    pipelines.add_argument("--seed", type=int, default=0)
+    pipelines.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit JSON (to PATH, or stdout when no path given)",
+    )
+    _add_jobs_arg(pipelines)
+    pipelines.set_defaults(func=_cmd_pipelines)
 
     hyper = sub.add_parser(
         "hyperscale",

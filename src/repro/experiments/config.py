@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan
+from repro.pipelines.model import PipelineSpec
 from repro.tenancy.model import TenancySpec
 from repro.workloads.profile import InterferenceCategory, ModelProfile
 from repro.workloads.registry import get_model, models_by_category, opposite_category
@@ -100,6 +101,17 @@ class ExperimentConfig:
     #: on every node.
     tenants: TenancySpec | None = None
 
+    #: Multi-stage workflows (repro.pipelines). None — the default —
+    #: keeps the single-stage request path bit-identical to
+    #: pre-pipelines builds (pinned by the default-path regression
+    #: test). A PipelineSpec replaces the strict/BE mix entirely: the
+    #: workload becomes a stream of workflow arrivals whose root stages
+    #: enter at the gateway and whose downstream stages are released
+    #: live by the PipelineRuntime as their parents complete, with
+    #: per-stage deadlines split from the end-to-end SLO by the spec's
+    #: deadline policy.
+    pipelines: PipelineSpec | None = None
+
     #: Streaming metrics (repro.metrics.streaming). False — the default —
     #: collects every RequestRecord as before (exact summaries, O(n)
     #: memory, raw records available to figures). True swaps in the
@@ -143,6 +155,26 @@ class ExperimentConfig:
             raise ConfigurationError(
                 "tenants must be a repro.tenancy.TenancySpec (or None); "
                 f"got {type(self.tenants).__name__}"
+            )
+        if self.pipelines is not None and not isinstance(
+            self.pipelines, PipelineSpec
+        ):
+            raise ConfigurationError(
+                "pipelines must be a repro.pipelines.PipelineSpec (or "
+                f"None); got {type(self.pipelines).__name__}"
+            )
+        if self.pipelines is not None and self.streaming_metrics:
+            raise ConfigurationError(
+                "pipelines cannot be combined with streaming_metrics "
+                "(per-stage records back the pipeline report)"
+            )
+        if self.pipelines is not None and self.tenants is not None:
+            # Tenant multiplexing rebuilds RequestSpecs without the
+            # workflow/stage lineage, which would silently orphan every
+            # workflow — refuse the combination outright.
+            raise ConfigurationError(
+                "pipelines cannot be combined with tenants (the tenant "
+                "multiplexer does not preserve workflow lineage)"
             )
 
     # ------------------------------------------------------------------
@@ -219,7 +251,7 @@ class ExperimentConfig:
             value = getattr(self, spec.name)
             if spec.name == "be_pool":
                 value = list(value) if value is not None else None
-            elif spec.name in ("fault_plan", "tenants"):
+            elif spec.name in ("fault_plan", "tenants", "pipelines"):
                 value = value.to_dict() if value is not None else None
             payload[spec.name] = value
         return payload
@@ -255,4 +287,6 @@ class ExperimentConfig:
             data["fault_plan"] = FaultPlan.from_dict(data["fault_plan"])
         if data.get("tenants") is not None:
             data["tenants"] = TenancySpec.from_dict(data["tenants"])
+        if data.get("pipelines") is not None:
+            data["pipelines"] = PipelineSpec.from_dict(data["pipelines"])
         return cls(**data)

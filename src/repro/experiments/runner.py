@@ -25,6 +25,7 @@ from repro.experiments.schemes import get_scheme
 from repro.faults.injector import FaultInjector
 from repro.metrics.breakdown import tail_breakdown
 from repro.metrics.latency import latency_cdf, p50, p99
+from repro.metrics.pipelines import PipelineReport, pipeline_report
 from repro.metrics.records import RecordCollector, RequestRecord
 from repro.metrics.slo import slo_compliance
 from repro.metrics.streaming import StreamingCollector
@@ -33,6 +34,9 @@ from repro.metrics.tenancy import TenancyReport, tenancy_report
 from repro.observability.span import CATEGORY_RUN
 from repro.observability.telemetry import TelemetrySampler
 from repro.observability.tracer import NULL_TRACER, SimTracer, Tracer
+from repro.pipelines.model import compile_pipeline
+from repro.pipelines.runtime import PipelineRuntime
+from repro.pipelines.workload import PipelineWorkload
 from repro.metrics.throughput import (
     cluster_utilization,
     strict_throughput_per_gpu,
@@ -84,6 +88,9 @@ class ExperimentResult:
     #: Per-tenant metrics when ``config.tenants`` is set (``None``
     #: otherwise). Plain data; survives :meth:`detach`.
     tenancy: TenancyReport | None = None
+    #: Workflow-level metrics when ``config.pipelines`` is set (``None``
+    #: otherwise). Plain data; survives :meth:`detach`.
+    pipelines: PipelineReport | None = None
 
     def cdf(self, *, strict_only: bool = True, points: int = 200):
         """Latency CDF over the measured window (Figure 8)."""
@@ -124,11 +131,20 @@ class ExperimentResult:
             tracer=trace,
             audit=self.audit,
             tenancy=self.tenancy,
+            pipelines=self.pipelines,
         )
 
 
 def build_specs(config: ExperimentConfig) -> list[RequestSpec]:
-    """Generate the run's full request stream from its config."""
+    """Generate the run's full request stream from its config.
+
+    With ``config.pipelines`` set the stream holds only *root* stage
+    requests (one per workflow arrival); downstream stages are released
+    live by the :class:`~repro.pipelines.runtime.PipelineRuntime` as
+    their parents complete, so they cannot be pre-generated here.
+    """
+    if config.pipelines is not None:
+        return _build_pipeline_specs(config)
     rng = np.random.default_rng(config.seed)
     rate = config.request_rate()
     if config.trace == "constant":
@@ -159,6 +175,41 @@ def build_specs(config: ExperimentConfig) -> list[RequestSpec]:
     if config.batched_arrivals:
         specs = collapse_to_batches(specs)
     return specs
+
+
+def _build_pipeline_specs(config: ExperimentConfig) -> list[RequestSpec]:
+    """Root-stage request stream for a pipeline run.
+
+    Arrival shaping reuses the standard traces, but the rate is *per
+    workflow*: ``offered_load`` is converted through the pipeline's total
+    per-workflow work (every stage, batch-amortised) so a chain offers
+    the same solo-7g work per GPU-second as the equivalent single-stage
+    run. ``batched_arrivals`` is not applied — batch collapse rewrites
+    specs without workflow lineage, and workflow arrivals are individual
+    by nature (each is its own DAG instance).
+    """
+    assert config.pipelines is not None
+    rng = np.random.default_rng(config.seed)
+    workload = PipelineWorkload(
+        config.pipelines,
+        scale=config.scale,
+        slo_multiplier=config.slo_multiplier,
+        strict_fraction=config.strict_fraction,
+    )
+    if config.rate is not None:
+        rate = config.rate * config.scale
+    else:
+        rate = workload.workflow_rate(config.offered_load, config.n_nodes)
+    if config.trace == "constant":
+        trace = constant_trace(rate, config.duration)
+    elif config.trace == "wiki":
+        trace = wiki_trace(config.duration, rng, mean_rate=rate)
+    elif config.trace == "twitter":
+        trace = twitter_trace(config.duration, rng, peak_rate=rate)
+    else:  # pragma: no cover - guarded by config validation
+        raise ConfigurationError(f"unknown trace {config.trace!r}")
+    arrivals = arrival_times(trace, rng)
+    return workload.root_specs(arrivals, rng)
 
 
 def build_oracle_plan(
@@ -293,6 +344,23 @@ def run_scheme(
     platform, market, procurement = assemble_platform(
         sim, scheme, config, collector=collector, tracer=tracer
     )
+    # The pipeline runtime arms *before* the auditor so a root admission
+    # registers its workflow before the auditor's admit hook checks it
+    # (observers run in append order).
+    pipeline_runtime: PipelineRuntime | None = None
+    if config.pipelines is not None:
+        pipeline_runtime = PipelineRuntime(
+            sim,
+            platform,
+            config.pipelines,
+            scale=config.scale,
+            base_multiplier=config.slo_multiplier,
+        )
+        # Bulk-register workflows off the hot path (no-op when tracing;
+        # the admission hook then registers them at admission time so
+        # the pipeline.admit span keeps its true timestamp).
+        pipeline_runtime.seed(specs)
+        pipeline_runtime.arm()
     # The auditor is a pure observer (no mutation, no RNG): an audited
     # run's metrics are bit-identical to an unaudited one.
     auditor: Auditor | None = None
@@ -380,6 +448,20 @@ def run_scheme(
             )
         result.extras["tenant_rejections"] = platform.gateway.requests_rejected
         result.extras["tenant_fairness"] = result.tenancy.fairness_index
+    if pipeline_runtime is not None:
+        # Extras keys and the report exist only when pipelines are
+        # active, so the default path's extras dict is unchanged.
+        result.pipelines = pipeline_report(
+            pipeline_runtime,
+            platform.collector.records,
+            window_start=config.warmup,
+            window_end=config.duration,
+        )
+        result.extras["pipeline_workflows"] = (
+            pipeline_runtime.workflows_started
+        )
+        result.extras["pipeline_rebudgets"] = pipeline_runtime.rebudgets
+        result.extras["pipeline_retries"] = pipeline_runtime.stage_retries
     if tracer.enabled:
         result.tracer = tracer
     return result
@@ -430,9 +512,16 @@ def run_comparison(
 def _prewarm(platform: ServerlessPlatform, config: ExperimentConfig) -> None:
     if config.prewarm_containers <= 0:
         return
-    models = [config.strict_profile()]
-    if config.strict_fraction < 1.0:
-        models.extend(config.be_profiles())
+    if config.pipelines is not None:
+        compiled = compile_pipeline(config.pipelines, config.scale)
+        # Dedupe by name: two stages sharing a model need one warm pool.
+        models = list(
+            {p.name: p for p in compiled.profiles.values()}.values()
+        )
+    else:
+        models = [config.strict_profile()]
+        if config.strict_fraction < 1.0:
+            models.extend(config.be_profiles())
     for node in platform.cluster.nodes:
         pool = platform.pool_for(node)
         for model in models:

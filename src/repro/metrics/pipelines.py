@@ -1,0 +1,209 @@
+"""Pipeline outcome metrics: end-to-end attainment plus per-stage tails.
+
+A pipeline run has two truths and both matter. The *workflow* view is
+the SLO that was actually promised: did the whole chain finish inside
+its end-to-end deadline (a workflow still incomplete at drain is a miss,
+not a non-event). The *stage* view is where the time went: per-stage
+latency percentiles, per-stage deadline attainment, and mean queueing —
+the breakdown that shows *which* stage a policy sacrificed.
+:func:`pipeline_report` assembles both from the runtime's workflow
+ledger and the run's stage-level request records, restricted to
+workflows that *arrived* in the measured window (stages released after
+the window close still belong to their workflow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.metrics.latency import p50, p99, percentile
+from repro.metrics.records import RequestRecord
+from repro.metrics.slo import slo_compliance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipelines.runtime import PipelineRuntime
+
+#: Deadline comparison slack (matches RequestRecord.slo_met).
+_DEADLINE_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class StageOutcome:
+    """The measured window's outcome for one pipeline stage."""
+
+    stage: str
+    model: str
+    requests: int
+    #: Stage-level latency percentiles (release → completion).
+    p50: float
+    p99: float
+    #: Fraction of the stage's strict requests meeting their *stage*
+    #: deadline (the policy-assigned one); NaN with no strict requests.
+    stage_attainment: float
+    #: Mean scheduler queueing delay of the stage's requests.
+    mean_queue_delay: float
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (CLI ``--json`` output)."""
+        return {
+            "stage": self.stage,
+            "model": self.model,
+            "requests": self.requests,
+            "p50": self.p50,
+            "p99": self.p99,
+            "stage_attainment": self.stage_attainment,
+            "mean_queue_delay": self.mean_queue_delay,
+        }
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Workflow-level view of one run's measured window."""
+
+    pipeline: str
+    policy: str
+    #: Workflows arriving in the window.
+    workflows: int
+    strict_workflows: int
+    #: Workflows whose every sink completed (by drain end).
+    completed: int
+    #: Workflows still unfinished at drain — every strict one is an
+    #: end-to-end SLO miss.
+    incomplete: int
+    #: Fraction of strict workflows finishing within their end-to-end
+    #: deadline (incomplete counts as a miss); NaN with no strict load.
+    e2e_attainment: float
+    #: End-to-end latency percentiles over completed strict workflows.
+    e2e_p50: float
+    e2e_p99: float
+    per_stage: tuple[StageOutcome, ...]
+    #: Runtime counters (releases, rebudgets, stage retries, ...).
+    stats: dict
+
+    def stage(self, name: str) -> StageOutcome:
+        """The outcome row for stage ``name``."""
+        for outcome in self.per_stage:
+            if outcome.stage == name:
+                return outcome
+        raise KeyError(name)
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (CLI ``--json``, CI artifact)."""
+        return {
+            "pipeline": self.pipeline,
+            "policy": self.policy,
+            "workflows": self.workflows,
+            "strict_workflows": self.strict_workflows,
+            "completed": self.completed,
+            "incomplete": self.incomplete,
+            "e2e_attainment": self.e2e_attainment,
+            "e2e_p50": self.e2e_p50,
+            "e2e_p99": self.e2e_p99,
+            "per_stage": [outcome.to_dict() for outcome in self.per_stage],
+            "stats": dict(self.stats),
+        }
+
+    def describe(self) -> str:
+        """Multi-line text rendering for the CLI."""
+        attainment = (
+            f"{100.0 * self.e2e_attainment:5.1f}%"
+            if self.e2e_attainment == self.e2e_attainment  # not NaN
+            else "  n/a"
+        )
+        lines = [
+            f"pipeline {self.pipeline} [{self.policy}]: "
+            f"e2e slo={attainment}  "
+            f"workflows={self.workflows} (strict={self.strict_workflows}, "
+            f"incomplete={self.incomplete})  "
+            f"e2e p50={self.e2e_p50:.3f}s p99={self.e2e_p99:.3f}s"
+        ]
+        for outcome in self.per_stage:
+            shown = (
+                f"{100.0 * outcome.stage_attainment:5.1f}%"
+                if outcome.stage_attainment == outcome.stage_attainment
+                else "  n/a"
+            )
+            lines.append(
+                f"  stage {outcome.stage:<12} ({outcome.model}) "
+                f"n={outcome.requests:>5}  slo={shown}  "
+                f"p99={outcome.p99:.3f}s  queue={outcome.mean_queue_delay:.3f}s"
+            )
+        lines.append(
+            "  releases={stages_released} rebudgets={rebudgets} "
+            "retries={stage_retries}".format(**self.stats)
+        )
+        return "\n".join(lines)
+
+
+def pipeline_report(
+    runtime: "PipelineRuntime",
+    records: Iterable[RequestRecord],
+    *,
+    window_start: float,
+    window_end: float,
+) -> PipelineReport:
+    """Build the workflow report for one run's measured window."""
+    compiled = runtime.compiled
+    # One pass over the ledger: the loop runs once per workflow of the
+    # whole trace, so the window filter, attainment counts, and latency
+    # samples are all collected together.
+    measured_ids: set[str] = set()
+    n_workflows = n_strict = n_completed = on_time = 0
+    strict_latencies: list[float] = []
+    for state in runtime.workflows.values():
+        arrival = state.arrival
+        if not window_start <= arrival < window_end:
+            continue
+        n_workflows += 1
+        measured_ids.add(state.workflow_id)
+        finished_at = state.finished_at
+        if finished_at is not None:
+            n_completed += 1
+        if state.strict:
+            n_strict += 1
+            if finished_at is not None:
+                strict_latencies.append(finished_at - arrival)
+                deadline = state.deadline
+                if deadline is not None and finished_at <= deadline + _DEADLINE_EPS:
+                    on_time += 1
+    e2e_attainment = on_time / n_strict if n_strict else float("nan")
+    by_stage: dict[str, list[RequestRecord]] = {
+        name: [] for name in compiled.order
+    }
+    for record in records:
+        if record.workflow in measured_ids and record.stage in by_stage:
+            by_stage[record.stage].append(record)
+    per_stage = []
+    for name in compiled.order:
+        mine = by_stage[name]
+        strict_records = [r for r in mine if r.strict]
+        queue_delays = [r.queue_delay for r in mine]
+        per_stage.append(
+            StageOutcome(
+                stage=name,
+                model=compiled.profiles[name].name,
+                requests=len(mine),
+                p50=p50(mine),
+                p99=p99(mine),
+                stage_attainment=slo_compliance(strict_records),
+                mean_queue_delay=(
+                    sum(queue_delays) / len(queue_delays)
+                    if queue_delays
+                    else float("nan")
+                ),
+            )
+        )
+    return PipelineReport(
+        pipeline=runtime.spec.name,
+        policy=runtime.policy,
+        workflows=n_workflows,
+        strict_workflows=n_strict,
+        completed=n_completed,
+        incomplete=n_workflows - n_completed,
+        e2e_attainment=e2e_attainment,
+        e2e_p50=percentile(strict_latencies, 50.0),
+        e2e_p99=percentile(strict_latencies, 99.0),
+        per_stage=tuple(per_stage),
+        stats=runtime.stats(),
+    )

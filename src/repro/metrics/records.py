@@ -43,6 +43,10 @@ class RequestRecord:
     interference: float
     #: Owning tenant (the implicit "default" tenant when tenancy is off).
     tenant: str = "default"
+    #: Owning workflow id and stage name for pipeline stage requests
+    #: (see repro.pipelines); None on the default single-stage path.
+    workflow: str | None = None
+    stage: str | None = None
 
     @property
     def latency(self) -> float:

@@ -44,6 +44,7 @@ from repro.observability.span import (
     CATEGORY_CONTROL,
     CATEGORY_FAULT,
     CATEGORY_GPU,
+    CATEGORY_PIPELINE,
     CATEGORY_REQUEST,
     CATEGORY_RUN,
     CATEGORY_TENANT,
@@ -63,6 +64,7 @@ __all__ = [
     "CATEGORY_CONTROL",
     "CATEGORY_FAULT",
     "CATEGORY_GPU",
+    "CATEGORY_PIPELINE",
     "CATEGORY_REQUEST",
     "CATEGORY_RUN",
     "CATEGORY_TENANT",

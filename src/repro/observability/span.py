@@ -34,6 +34,8 @@ CATEGORY_FAULT = "fault"
 CATEGORY_AUDIT = "audit"
 #: Tenant-plane events (admission rejections, quota/fairness decisions).
 CATEGORY_TENANT = "tenant"
+#: Pipeline workflow lifecycle (workflow admit, stage release, complete).
+CATEGORY_PIPELINE = "pipeline"
 
 _span_ids = itertools.count(1)
 

@@ -1,0 +1,87 @@
+"""Multi-stage DAG workflows with end-to-end SLOs.
+
+A :class:`PipelineSpec` on
+:class:`~repro.experiments.config.ExperimentConfig` turns the workload
+into a stream of *workflow* arrivals: each is one instance of a DAG of
+model stages (chains, fan-out/fan-in) whose SLO is promised end to end —
+``M ×`` the DAG's profiled critical path. Root stages enter at the
+gateway like ordinary requests; the :class:`PipelineRuntime` releases
+each downstream stage the moment its parents complete (plus a handoff
+latency), assigning the stage's deadline by the spec's splitting policy:
+``naive`` gives every stage an independent ``M×L_s`` budget, while
+``pipeline-aware`` divides the *remaining* end-to-end slack proportional
+to profiled downstream latency, re-budgeting live whenever queueing,
+retries, or MIG reconfigurations put a workflow behind schedule.
+Workflow-level outcomes come back as a
+:class:`~repro.metrics.pipelines.PipelineReport` on the run's result.
+
+With ``pipelines=None`` (the default) none of this machinery is
+constructed and the platform is bit-identical to a single-stage build —
+pinned by the default-path regression test.
+
+Typical use::
+
+    from repro.pipelines import PipelineSpec, StageSpec
+
+    spec = PipelineSpec(
+        name="detect-then-classify",
+        stages=(
+            StageSpec(name="detect", model="resnet50"),
+            StageSpec(name="classify", model="resnet18", parents=("detect",)),
+        ),
+        deadline_policy="pipeline-aware",
+    )
+    result = run_scheme("protean", ExperimentConfig(pipelines=spec))
+    print(result.pipelines.e2e_attainment)
+
+or from the CLI: ``python -m repro pipelines chain``.
+"""
+
+from repro.pipelines.deadlines import (
+    REBUDGET_EPS,
+    aware_stage_deadline,
+    is_rebudget,
+    naive_stage_deadline,
+    root_slo_multiplier,
+)
+from repro.pipelines.model import (
+    DEADLINE_POLICIES,
+    DEFAULT_HANDOFF_LATENCY,
+    PIPELINE_SCHEMA_VERSION,
+    CompiledPipeline,
+    PipelineSpec,
+    StageSpec,
+    compile_pipeline,
+)
+from repro.pipelines.runtime import PipelineRuntime, WorkflowState
+from repro.pipelines.scenarios import (
+    POLICY_ARMS,
+    SCENARIOS,
+    ScenarioResult,
+    run_pipeline_scenario,
+    scenario_configs,
+)
+from repro.pipelines.workload import PipelineWorkload
+
+__all__ = [
+    "CompiledPipeline",
+    "DEADLINE_POLICIES",
+    "DEFAULT_HANDOFF_LATENCY",
+    "PIPELINE_SCHEMA_VERSION",
+    "POLICY_ARMS",
+    "PipelineRuntime",
+    "PipelineSpec",
+    "PipelineWorkload",
+    "REBUDGET_EPS",
+    "SCENARIOS",
+    "ScenarioResult",
+    "StageSpec",
+    "WorkflowState",
+    "aware_stage_deadline",
+    "compile_pipeline",
+    "is_rebudget",
+    "naive_stage_deadline",
+    "root_slo_multiplier",
+    "run_pipeline_scenario",
+    "scenario_configs",
+]

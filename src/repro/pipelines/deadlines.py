@@ -1,0 +1,99 @@
+"""Deadline splitting: budgeting end-to-end slack across pipeline stages.
+
+Every strict workflow carries one end-to-end deadline
+
+    ``D = arrival + M × critical_path``
+
+where ``M`` is the run's SLO multiplier and ``critical_path`` the longest
+profiled root→sink latency path (:class:`~repro.pipelines.model.
+CompiledPipeline.critical_path`). The *policy* question is what deadline
+each **stage request** carries — that deadline is what PROTEAN's
+strict-first EDF reordering and slice placement act on.
+
+**naive** — PROTEAN-as-is: every stage gets its independent single-stage
+SLO, ``release + M × L_s``. Each stage may individually meet its deadline
+while the workflow misses ``D``: per-stage budgets sum to ``M ×
+critical_path`` along the chain, so any handoff latency or accumulated
+queueing overshoot lands past the end-to-end deadline, and a workflow
+that fell behind gets no scheduling priority to catch up.
+
+**pipeline-aware** — the workflow's *remaining* slack is re-measured at
+every stage release and split across the longest remaining path
+proportionally to profiled stage latency:
+
+    ``budget_s = (D − release) × L_s / downstream(s)``
+    ``deadline_s = release + max(budget_s, L_s)``
+
+with ``downstream(s)`` the longest latency path from ``s`` inclusive.
+On-schedule workflows get exactly the naive budgets (the proportional
+split telescopes to ``D``); a workflow delayed by queueing, a stage
+retry, or a mid-pipeline MIG reconfiguration gets *tighter* stage
+deadlines — EDF then serves it earlier, spending the cluster's slack on
+the workflows that need it. The ``max(…, L_s)`` floor keeps a hopelessly
+late stage schedulable instead of assigning it a deadline in the past.
+
+Re-budgeting is continuous: nothing is ever planned ahead, so every
+source of mid-pipeline delay (reconfiguration downtime, resubmission
+after eviction, batch queueing) is absorbed at the next release boundary.
+"""
+
+from __future__ import annotations
+
+from repro.pipelines.model import CompiledPipeline
+
+#: Tolerance for deciding a release deviates from the nominal plan.
+REBUDGET_EPS = 1e-9
+
+
+def naive_stage_deadline(
+    release: float, latency: float, multiplier: float
+) -> float:
+    """Independent per-stage SLO: ``release + M × L_s``."""
+    return release + multiplier * latency
+
+
+def aware_stage_deadline(
+    release: float, end_deadline: float, latency: float, downstream: float
+) -> float:
+    """Remaining slack split proportional to profiled stage latency."""
+    budget = (end_deadline - release) * latency / downstream
+    return release + max(budget, latency)
+
+
+def root_slo_multiplier(
+    compiled: CompiledPipeline, stage: str, base_multiplier: float
+) -> float:
+    """The per-stage multiplier a *root* stage spec carries.
+
+    Root releases coincide with workflow arrival, so both policies reduce
+    to a plain ``RequestSpec.slo_multiplier``:
+
+    - naive: ``M`` (the stage's independent SLO);
+    - aware: ``(D − arrival) × L_root / downstream(root) / L_root =
+      M × critical_path / downstream(root)`` — equal to ``M`` for any
+      root on the critical path, looser for roots on shorter branches.
+    """
+    if compiled.spec.deadline_policy == "naive":
+        return base_multiplier
+    return base_multiplier * compiled.critical_path / compiled.downstream[stage]
+
+
+def is_rebudget(
+    release: float,
+    end_deadline: float,
+    downstream: float,
+    base_multiplier: float,
+) -> bool:
+    """Whether an aware release deviates from the nominal schedule.
+
+    On the nominal plan the remaining slack at a stage's release equals
+    ``M × downstream(s)`` — the workflow is exactly on its proportional
+    schedule and the aware deadline coincides with the naive one. Any
+    deviation (the workflow ran early or fell behind) means the split
+    just *re-budgeted* the stage, which is what the runtime counts and
+    tags on the ``pipeline.stage.release`` span.
+    """
+    remaining = end_deadline - release
+    return abs(remaining - base_multiplier * downstream) > max(
+        REBUDGET_EPS, REBUDGET_EPS * abs(remaining)
+    )

@@ -1,0 +1,382 @@
+"""Live workflow state: inter-stage queueing on the simulated platform.
+
+The :class:`PipelineRuntime` is the run-time half of the pipeline
+subsystem. It observes the platform through the same cheap hooks the
+observability and audit stacks use (``request_observers``,
+``completion_observers``, the dispatcher's resubmit observers) and owns
+the workflow ledger:
+
+- a *root* stage request arriving at the gateway registers its workflow
+  (id, arrival, strictness, end-to-end deadline);
+- a stage request completing marks the stage done and **releases** every
+  child whose parents are now all complete — after the pipeline's
+  handoff latency, as a fresh gateway admission carrying the deadline
+  its policy computes *at release time* (see
+  :mod:`repro.pipelines.deadlines`);
+- the last sink completing finishes the workflow: one
+  ``pipeline.complete`` / ``pipeline.violation`` span against the
+  end-to-end deadline.
+
+Releasing at completion time is what makes the deadline split *live*:
+queueing, stage retries after an eviction, and MIG reconfiguration
+downtime all move the release instant, and the pipeline-aware policy
+re-budgets the remaining slack at exactly that boundary (counted in
+``rebudgets`` and tagged on the ``pipeline.stage.release`` span).
+
+The runtime mutates nothing outside its own ledger and draws no RNG:
+with ``config.pipelines`` unset none of it is constructed and the
+platform is bit-identical to a pipeline-free build (pinned by the
+default-path regression test).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.observability.span import CATEGORY_PIPELINE
+from repro.pipelines.deadlines import (
+    aware_stage_deadline,
+    is_rebudget,
+    naive_stage_deadline,
+)
+from repro.pipelines.model import PipelineSpec, compile_pipeline
+from repro.serverless.request import Request, RequestBatch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gpu.engine import JobTiming
+    from repro.serverless.platform import ServerlessPlatform
+    from repro.simulation.simulator import Simulator
+
+#: Deadline comparison slack (matches RequestRecord.slo_met).
+_DEADLINE_EPS = 1e-12
+
+
+class WorkflowState:
+    """Ledger entry for one in-flight (or finished) workflow."""
+
+    __slots__ = (
+        "workflow_id",
+        "arrival",
+        "strict",
+        "tenant",
+        "deadline",
+        "released",
+        "completed",
+        "pending_sinks",
+        "finished_at",
+        "violated",
+        "retries",
+    )
+
+    def __init__(
+        self,
+        workflow_id: str,
+        arrival: float,
+        strict: bool,
+        tenant: str,
+        deadline: float | None,
+        pending_sinks: int = 0,
+    ) -> None:
+        self.workflow_id = workflow_id
+        self.arrival = arrival
+        self.strict = strict
+        self.tenant = tenant
+        #: End-to-end deadline (None for best-effort workflows).
+        self.deadline = deadline
+        #: Stages released (admitted or scheduled for admission).
+        self.released: set[str] = set()
+        #: Stages whose request completed.
+        self.completed: set[str] = set()
+        #: Sink stages not yet complete; the workflow finishes at zero.
+        self.pending_sinks = pending_sinks
+        #: Simulated time the last sink completed; None while in flight.
+        self.finished_at: float | None = None
+        #: Strict workflow finished past its end-to-end deadline.
+        self.violated = False
+        #: Stage requests resubmitted (eviction recovery) so far.
+        self.retries = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.finished_at is not None
+
+    @property
+    def e2e_latency(self) -> float | None:
+        """End-to-end latency once finished; None while in flight."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.arrival
+
+
+class PipelineRuntime:
+    """Inter-stage queueing and deadline splitting for one run."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        platform: "ServerlessPlatform",
+        spec: PipelineSpec,
+        *,
+        scale: float = 1.0,
+        base_multiplier: float = 3.0,
+    ) -> None:
+        self.sim = sim
+        self.platform = platform
+        self.spec = spec
+        self.compiled = compile_pipeline(spec, scale)
+        self.policy = spec.deadline_policy
+        self.base_multiplier = base_multiplier
+        self.tracer = platform.tracer
+        # Hot-path caches: the admission and completion hooks run once
+        # per stage request, so topology lookups are hoisted out of the
+        # compiled dataclass and the tracer flag is read once (tracing
+        # never toggles mid-run).
+        self._roots = frozenset(self.compiled.roots)
+        self._children = self.compiled.children
+        self._parents = self.compiled.parents
+        self._n_sinks = len(self.compiled.sinks)
+        self._e2e_budget = base_multiplier * self.compiled.critical_path
+        self._tracing = self.tracer.enabled
+        self.workflows: dict[str, WorkflowState] = {}
+        self.workflows_started = 0
+        self.workflows_completed = 0
+        self.workflows_violated = 0
+        self.stages_released = 0
+        #: Aware releases whose remaining slack deviated from the nominal
+        #: proportional schedule (always 0 under the naive policy).
+        self.rebudgets = 0
+        self.stage_retries = 0
+        self._armed = False
+        self._seeded = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def seed(self, specs) -> int:
+        """Bulk-register every workflow of a generated root stream.
+
+        The ledger contents are identical to lazy per-admission
+        registration (deadline, strictness, and tenant are pure
+        functions of the root spec), but seeding happens in one tight
+        loop *outside* the event loop, letting :meth:`arm` skip the
+        per-admission observer entirely — the measurable cost of the
+        pipeline machinery on the hot path (see
+        benchmarks/bench_pipelines.py).
+
+        Skipped (returns 0) when tracing is enabled: the lazy hook then
+        registers workflows so the ``pipeline.admit`` span fires at the
+        true admission instant. Metrics are bit-identical either way;
+        only the bookkeeping cost moves.
+        """
+        if self._armed:
+            raise ConfigurationError("seed the pipeline runtime before arming")
+        if self._tracing:
+            return 0
+        workflows = self.workflows
+        roots = self._roots
+        n_sinks = self._n_sinks
+        budget = self._e2e_budget
+        count = 0
+        for spec in specs:
+            workflow_id = spec.workflow
+            if workflow_id is None or workflow_id in workflows:
+                continue
+            # Positional construction: this loop runs once per workflow
+            # of the whole trace, and keyword binding costs ~0.4us/call.
+            state = WorkflowState(
+                workflow_id,
+                spec.arrival,
+                spec.strict,
+                spec.tenant,
+                spec.arrival + budget if spec.strict else None,
+                n_sinks,
+            )
+            # Roots are released by the trace itself.
+            state.released.update(roots)
+            workflows[workflow_id] = state
+            count += 1
+        self.workflows_started += count
+        self._seeded = count > 0
+        return count
+
+    def arm(self) -> None:
+        """Hook the platform observers and publish ``platform.pipelines``."""
+        if self._armed:
+            raise ConfigurationError("pipeline runtime already armed")
+        self._armed = True
+        if not self._seeded:
+            self.platform.request_observers.append(self._on_admit)
+        self.platform.completion_observers.append(self._on_batch_completion)
+        self.platform.dispatcher.resubmit_observers.append(self._on_resubmit)
+        self.platform.pipelines = self
+
+    # ------------------------------------------------------------------
+    # Observer hooks
+    # ------------------------------------------------------------------
+    def _on_admit(self, request: Request) -> None:
+        workflow_id = request.workflow
+        if workflow_id is None:
+            return
+        state = self.workflows.get(workflow_id)
+        if state is None and request.stage in self._roots:
+            deadline = None
+            if request.strict:
+                deadline = request.arrival + self._e2e_budget
+            state = WorkflowState(
+                workflow_id=workflow_id,
+                arrival=request.arrival,
+                strict=request.strict,
+                tenant=request.tenant,
+                deadline=deadline,
+                pending_sinks=self._n_sinks,
+            )
+            self.workflows[workflow_id] = state
+            self.workflows_started += 1
+            if self._tracing:
+                self.tracer.instant(
+                    "pipeline.admit",
+                    category=CATEGORY_PIPELINE,
+                    track="pipeline",
+                    workflow=workflow_id,
+                    pipeline=self.spec.name,
+                    policy=self.policy,
+                    strict=request.strict,
+                    deadline=deadline,
+                )
+        if state is not None and request.stage is not None:
+            state.released.add(request.stage)
+
+    def _on_batch_completion(
+        self, batch: RequestBatch, timing: "JobTiming"
+    ) -> None:
+        finished_at = timing.finished_at
+        stage_completed = self._stage_completed
+        for request in batch.requests:
+            if request.workflow is not None:
+                stage_completed(request, finished_at)
+
+    def _on_resubmit(self, batch: RequestBatch) -> None:
+        for request in batch.requests:
+            if request.workflow is None:
+                continue
+            self.stage_retries += 1
+            state = self.workflows.get(request.workflow)
+            if state is not None:
+                state.retries += 1
+
+    # ------------------------------------------------------------------
+    # Stage graph walking
+    # ------------------------------------------------------------------
+    def _stage_completed(self, request: Request, finished_at: float) -> None:
+        state = self.workflows.get(request.workflow)
+        stage = request.stage
+        if state is None or stage is None:
+            return
+        completed = state.completed
+        if stage in completed:
+            # A duplicate stage completion is a platform bug; the audit
+            # checker (pipeline.double_completion) flags it — the runtime
+            # must not walk the graph twice off it.
+            return
+        completed.add(stage)
+        children = self._children[stage]
+        if children:
+            for child in children:
+                if child in state.released:
+                    continue
+                if all(p in completed for p in self._parents[child]):
+                    state.released.add(child)
+                    self._schedule_release(state, child)
+        else:
+            # No children ⇔ a sink stage: count down to the finish line.
+            state.pending_sinks -= 1
+            if state.pending_sinks == 0 and state.finished_at is None:
+                # Inlined workflow finish: this branch fires once per
+                # workflow of the whole run.
+                state.finished_at = finished_at
+                self.workflows_completed += 1
+                deadline = state.deadline
+                violated = (
+                    deadline is not None
+                    and finished_at > deadline + _DEADLINE_EPS
+                )
+                state.violated = violated
+                if violated:
+                    self.workflows_violated += 1
+                if self._tracing:
+                    self.tracer.instant(
+                        "pipeline.violation" if violated else "pipeline.complete",
+                        category=CATEGORY_PIPELINE,
+                        track="pipeline",
+                        workflow=state.workflow_id,
+                        latency_s=finished_at - state.arrival,
+                        deadline=deadline,
+                    )
+
+    def _schedule_release(self, state: WorkflowState, stage: str) -> None:
+        """Admit ``stage`` after the handoff latency, deadline-split live."""
+
+        def admit() -> None:
+            now = self.sim.now
+            deadline = None
+            rebudgeted = False
+            if state.strict:
+                latency = self.compiled.latency[stage]
+                if self.policy == "naive":
+                    deadline = naive_stage_deadline(
+                        now, latency, self.base_multiplier
+                    )
+                else:
+                    downstream = self.compiled.downstream[stage]
+                    assert state.deadline is not None
+                    deadline = aware_stage_deadline(
+                        now, state.deadline, latency, downstream
+                    )
+                    rebudgeted = is_rebudget(
+                        now, state.deadline, downstream, self.base_multiplier
+                    )
+                    if rebudgeted:
+                        self.rebudgets += 1
+            self.stages_released += 1
+            if self._tracing:
+                self.tracer.instant(
+                    "pipeline.stage.release",
+                    category=CATEGORY_PIPELINE,
+                    track="pipeline",
+                    workflow=state.workflow_id,
+                    stage=stage,
+                    deadline=deadline,
+                    rebudgeted=rebudgeted,
+                )
+            self.platform.gateway.admit(
+                Request(
+                    model=self.compiled.profiles[stage],
+                    strict=state.strict,
+                    arrival=now,
+                    deadline=deadline,
+                    tenant=state.tenant,
+                    workflow=state.workflow_id,
+                    stage=stage,
+                )
+            )
+
+        # Always asynchronous — even with zero handoff — so child
+        # admission never re-enters the platform mid-completion.
+        self.sim.after(
+            self.spec.handoff_latency, admit, label="pipeline-handoff"
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Run-level counters (rides in the :class:`PipelineReport`)."""
+        return {
+            "workflows_started": self.workflows_started,
+            "workflows_completed": self.workflows_completed,
+            "workflows_violated": self.workflows_violated,
+            "stages_released": self.stages_released,
+            "rebudgets": self.rebudgets,
+            "stage_retries": self.stage_retries,
+        }

@@ -1,0 +1,135 @@
+"""Workflow generation: turning an arrival stream into pipeline traffic.
+
+A :class:`PipelineWorkload` owns the compiled pipeline for one run and
+emits the *root* stage requests: one workflow per trace arrival, a
+Bernoulli(``strict_fraction``) strictness draw per workflow (the whole
+workflow is strict or best-effort — an end-to-end SLO over a half-strict
+workflow is meaningless), and a shared ``workflow_id`` every stage
+request of the workflow carries. Non-root stages are *not* materialised
+here: the :class:`~repro.pipelines.runtime.PipelineRuntime` releases
+them live, when their parents complete — inter-stage queueing is a
+simulator phenomenon, not a trace artifact.
+
+Load convention: ``offered_load`` keeps the meaning it has for
+single-stage runs — offered solo-7g work per GPU per second as a
+fraction of serial capacity — except a *workflow* is the unit of
+arrival, so the per-arrival work is the sum of every stage's per-request
+work ``L_s / batch_size_s``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.pipelines.deadlines import root_slo_multiplier
+from repro.pipelines.model import CompiledPipeline, PipelineSpec, compile_pipeline
+from repro.traces.mixing import RequestSpec
+from repro.workloads.profile import ModelProfile
+
+
+class PipelineWorkload:
+    """Generator of a pipeline's root request stream for one run."""
+
+    def __init__(
+        self,
+        spec: PipelineSpec,
+        *,
+        scale: float = 1.0,
+        slo_multiplier: float = 3.0,
+        strict_fraction: float = 0.5,
+    ) -> None:
+        if slo_multiplier <= 0:
+            raise ConfigurationError("slo_multiplier must be positive")
+        if not 0.0 <= strict_fraction <= 1.0:
+            raise ConfigurationError("strict_fraction must lie in [0, 1]")
+        self.spec = spec
+        self.compiled: CompiledPipeline = compile_pipeline(spec, scale)
+        self.slo_multiplier = slo_multiplier
+        self.strict_fraction = strict_fraction
+        self._root_multipliers = {
+            root: root_slo_multiplier(self.compiled, root, slo_multiplier)
+            for root in self.compiled.roots
+        }
+
+    # ------------------------------------------------------------------
+    # Load derivation
+    # ------------------------------------------------------------------
+    def work_per_workflow(self) -> float:
+        """Offered solo-7g seconds one workflow adds across all stages."""
+        compiled = self.compiled
+        return sum(
+            compiled.latency[name] / compiled.profiles[name].batch_size
+            for name in compiled.order
+        )
+
+    def workflow_rate(self, offered_load: float, n_nodes: int) -> float:
+        """Workflow arrivals per second hitting the load target."""
+        per_workflow = self.work_per_workflow()
+        if per_workflow <= 0:
+            raise ConfigurationError(
+                "degenerate pipeline: zero per-workflow work"
+            )
+        return offered_load * n_nodes / per_workflow
+
+    def profiles(self) -> tuple[ModelProfile, ...]:
+        """The distinct scaled stage profiles (container prewarming)."""
+        seen: dict[str, ModelProfile] = {}
+        for name in self.compiled.order:
+            profile = self.compiled.profiles[name]
+            seen.setdefault(profile.name, profile)
+        return tuple(seen.values())
+
+    # ------------------------------------------------------------------
+    # Workflow stream
+    # ------------------------------------------------------------------
+    def end_deadline(self, arrival: float) -> float:
+        """The end-to-end deadline of a strict workflow arriving then."""
+        return arrival + self.slo_multiplier * self.compiled.critical_path
+
+    def root_specs(
+        self,
+        arrivals: Sequence[float] | np.ndarray,
+        rng: np.random.Generator,
+    ) -> list[RequestSpec]:
+        """One workflow per arrival: the root stage requests to inject.
+
+        Draw order (one strictness uniform per workflow, nothing else) is
+        part of the reproducibility contract. Workflow ids are assigned
+        in arrival order (``wf0``, ``wf1``, ...) so the stream is a pure
+        function of ``(arrivals, rng state)``.
+        """
+        stamps = np.sort(np.asarray(arrivals, dtype=float))
+        if stamps.size and stamps[0] < 0:
+            raise ConfigurationError(
+                "workflow arrival timestamps must be non-negative"
+            )
+        strict_flags = rng.random(stamps.size) < self.strict_fraction
+        compiled = self.compiled
+        # Per-root profile and multiplier are workflow-independent; hoist
+        # the lookups out of the per-workflow loop (one iteration per
+        # trace arrival).
+        root_info = [
+            (root, compiled.profiles[root], self._root_multipliers[root])
+            for root in compiled.roots
+        ]
+        specs: list[RequestSpec] = []
+        append = specs.append
+        for index, (arrival, strict) in enumerate(
+            zip(stamps.tolist(), strict_flags.tolist())
+        ):
+            workflow_id = f"wf{index}"
+            for root, profile, multiplier in root_info:
+                append(
+                    RequestSpec(
+                        arrival=arrival,
+                        model=profile,
+                        strict=strict,
+                        slo_multiplier=multiplier,
+                        workflow=workflow_id,
+                        stage=root,
+                    )
+                )
+        return specs

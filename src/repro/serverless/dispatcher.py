@@ -60,6 +60,9 @@ class Dispatcher:
         self._backlog: list[RequestBatch] = []
         self.batches_routed = 0
         self.resubmissions = 0
+        #: Observers invoked as ``observer(batch)`` on every resubmission
+        #: (the pipeline runtime counts stage retries here).
+        self.resubmit_observers: list = []
 
     # ------------------------------------------------------------------
     # Wiring
@@ -108,6 +111,8 @@ class Dispatcher:
         """Re-route a batch recovered from an evicted node."""
         batch.resubmissions += 1
         self.resubmissions += 1
+        for observer in self.resubmit_observers:
+            observer(batch)
         self.route(batch)
 
     def _pick_node(self) -> WorkerNode | None:

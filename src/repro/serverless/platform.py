@@ -119,6 +119,11 @@ class ServerlessPlatform:
         #: hooks request-conservation checking here).
         self.completion_observers: list = []
         self.gateway = Gateway(self._ingest, sim=sim)
+        #: Live pipeline runtime; None on the default (single-stage) path.
+        #: Set by PipelineRuntime.arm() — the platform itself never
+        #: branches on it (observers do all the work), but the auditor
+        #: reads the armed runtime's compiled DAG from here.
+        self.pipelines = None
         #: Live tenancy state; None on the default (single-tenant) path,
         #: where the platform takes zero tenancy branches per request.
         self.tenancy: TenancyRuntime | None = None
@@ -153,6 +158,9 @@ class ServerlessPlatform:
             }
             if request.tenant != "default":
                 attrs["tenant"] = request.tenant
+            if request.workflow is not None:
+                attrs["workflow"] = request.workflow
+                attrs["stage"] = request.stage
             self.tracer.instant(
                 "gateway.admit",
                 category=CATEGORY_REQUEST,
@@ -328,6 +336,8 @@ class ServerlessPlatform:
                     deficiency=timing.deficiency_time,
                     interference=timing.interference_time,
                     tenant=batch.tenant,
+                    workflow=request.workflow,
+                    stage=request.stage,
                 )
             )
 
@@ -382,14 +392,20 @@ class ServerlessPlatform:
             )
             if violated:
                 self._ctr_violations.inc()
+            complete_attrs = {
+                "request_id": request.request_id,
+                "batch_id": batch.batch_id,
+                "latency_s": latency,
+                "deadline": request.deadline,
+            }
+            if request.workflow is not None:
+                complete_attrs["workflow"] = request.workflow
+                complete_attrs["stage"] = request.stage
             self.tracer.instant(
                 "slo_violation" if violated else "complete",
                 category=CATEGORY_REQUEST,
                 track="complete",
-                request_id=request.request_id,
-                batch_id=batch.batch_id,
-                latency_s=latency,
-                deadline=request.deadline,
+                **complete_attrs,
             )
 
     # ------------------------------------------------------------------

@@ -36,6 +36,10 @@ class Request:
     request_id: int = field(default_factory=lambda: next(_request_ids))
     #: Owning tenant (the implicit "default" tenant when tenancy is off).
     tenant: str = "default"
+    #: Owning workflow id and stage name for pipeline stage requests
+    #: (see repro.pipelines); None on the default single-stage path.
+    workflow: str | None = None
+    stage: str | None = None
 
     @classmethod
     def from_spec(cls, spec: RequestSpec) -> "Request":
@@ -46,6 +50,8 @@ class Request:
             arrival=spec.arrival,
             deadline=spec.slo_deadline,
             tenant=spec.tenant,
+            workflow=spec.workflow,
+            stage=spec.stage,
         )
 
 

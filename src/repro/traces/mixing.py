@@ -40,6 +40,11 @@ class RequestSpec:
     #: :class:`~repro.tenancy.workload.TenantWorkload` multiplexed the
     #: stream (see repro.tenancy).
     tenant: str = "default"
+    #: Owning workflow id and stage name when the spec is one stage of a
+    #: multi-stage pipeline (see repro.pipelines); None on the default
+    #: single-stage path.
+    workflow: str | None = None
+    stage: str | None = None
 
     @property
     def slo_deadline(self) -> float | None:

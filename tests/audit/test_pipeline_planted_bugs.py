@@ -1,0 +1,192 @@
+"""Planted-bug tests for the pipeline workflow-lifecycle checkers.
+
+Same discipline as test_planted_bugs.py: build a tiny live platform with
+a real :class:`PipelineRuntime` armed *before* the auditor (the wiring
+order the runner uses), plant exactly one workflow-lifecycle defect the
+way a real bug would introduce it, and assert the matching
+``pipeline.*`` check fires. The clean-path test at the bottom proves the
+checkers stay silent on a correctly-ordered workflow — they fire on
+bugs, not on pipelines.
+"""
+
+import pytest
+
+from repro.audit import Auditor
+from repro.errors import AuditViolationError
+from repro.gpu.engine import JobTiming
+from repro.pipelines import PipelineRuntime, PipelineSpec, StageSpec
+from repro.serverless.platform import PlatformConfig, ServerlessPlatform
+from repro.serverless.request import Request, RequestBatch
+from repro.simulation import Simulator
+from repro.simulation.identity import reset_run_ids
+from repro.workloads import get_model
+from repro.workloads.scaling import scale_model
+
+MODEL = scale_model(get_model("resnet50"), 8 / 128)
+
+SPEC = PipelineSpec(
+    name="two-step",
+    stages=(
+        StageSpec(name="a", model="resnet50"),
+        StageSpec(name="b", model="resnet18", parents=("a",)),
+    ),
+)
+
+
+def make_rig(*, spec=SPEC, fail_fast=False):
+    """Live platform + armed runtime + armed auditor (runtime first)."""
+    reset_run_ids()
+    sim = Simulator()
+    from repro.core.protean import ProteanScheme
+
+    scheme = ProteanScheme(enable_reconfigurator=False, enable_autoscaler=False)
+    platform = ServerlessPlatform(
+        sim, scheme, PlatformConfig(n_nodes=2, cold_start_seconds=1.0)
+    )
+    platform.provision_initial()
+    runtime = None
+    if spec is not None:
+        runtime = PipelineRuntime(sim, platform, spec, scale=8 / 128)
+        runtime.arm()
+    auditor = Auditor(sim, platform, fail_fast=fail_fast)
+    auditor.arm()
+    return sim, platform, runtime, auditor
+
+
+def checks(auditor) -> list[str]:
+    return [v.check for v in auditor.violations]
+
+
+def stage_request(workflow, stage, *, arrival=0.0, strict=True) -> Request:
+    return Request(
+        model=MODEL,
+        strict=strict,
+        arrival=arrival,
+        deadline=arrival + 1.0 if strict else None,
+        workflow=workflow,
+        stage=stage,
+    )
+
+
+def complete(platform, request, finished_at=0.2) -> None:
+    batch = RequestBatch(
+        request.model,
+        strict=request.strict,
+        created_at=request.arrival,
+        tenant=request.tenant,
+    )
+    batch.add(request)
+    timing = JobTiming(
+        submitted_at=0.0,
+        started_at=0.1,
+        finished_at=finished_at,
+        work=0.1,
+        rdf=1.0,
+        slice_name="no-such-gpu/g7#0",
+    )
+    platform.record_batch_completion(batch, timing)
+
+
+class TestPrematureStage:
+    def test_child_admitted_before_parent_completes_fires(self):
+        _sim, platform, _runtime, auditor = make_rig()
+        platform.gateway.admit(stage_request("wf0", "a"))
+        # planted: something admits the child while the parent is in
+        # flight (a broken release path would do exactly this).
+        platform.gateway.admit(stage_request("wf0", "b"))
+        assert "pipeline.premature_stage" in checks(auditor)
+
+    def test_fail_fast_raises(self):
+        _sim, platform, _runtime, _auditor = make_rig(fail_fast=True)
+        platform.gateway.admit(stage_request("wf0", "a"))
+        with pytest.raises(AuditViolationError):
+            platform.gateway.admit(stage_request("wf0", "b"))
+
+
+class TestDoubleCompletion:
+    def test_same_stage_completing_twice_fires(self):
+        _sim, platform, _runtime, auditor = make_rig()
+        first = stage_request("wf0", "a")
+        second = stage_request("wf0", "a")
+        # planted: the platform runs the same logical stage twice via two
+        # distinct requests (e.g. a retry that was not cancelled).
+        platform.gateway.admit(first)
+        platform.gateway.admit(second)
+        complete(platform, first)
+        complete(platform, second, finished_at=0.3)
+        assert "pipeline.double_completion" in checks(auditor)
+
+    def test_runtime_does_not_walk_the_graph_twice(self):
+        _sim, platform, runtime, _auditor = make_rig()
+        first = stage_request("wf0", "a")
+        second = stage_request("wf0", "a")
+        platform.gateway.admit(first)
+        platform.gateway.admit(second)
+        complete(platform, first)
+        complete(platform, second, finished_at=0.3)
+        # The duplicate is flagged by the auditor, but the runtime must
+        # release the child exactly once.
+        assert runtime.workflows["wf0"].released == {"a", "b"}
+
+
+class TestOrphanedStage:
+    def test_lost_completion_orphans_the_child(self):
+        sim, platform, runtime, auditor = make_rig()
+        # planted: the runtime's completion hook is lost (an unhooked
+        # observer), so the parent's completion never releases the child.
+        platform.completion_observers.remove(runtime._on_batch_completion)
+        root = stage_request("wf0", "a")
+        platform.gateway.admit(root)
+        complete(platform, root)
+        sim.at(5.0, lambda: None)
+        sim.run(until=5.0)
+        auditor.finalize()
+        assert "pipeline.orphaned_stage" in checks(auditor)
+
+    def test_in_flight_handoff_is_not_an_orphan(self):
+        sim, platform, _runtime, auditor = make_rig()
+        root = stage_request("wf0", "a")
+        platform.gateway.admit(root)
+        complete(platform, root)
+        # Finalize immediately: the handoff is still inside its grace
+        # window, so the not-yet-admitted child is not an orphan.
+        auditor.finalize()
+        assert "pipeline.orphaned_stage" not in checks(auditor)
+
+
+class TestUnknownWorkflow:
+    def test_lineage_without_a_runtime_fires(self):
+        _sim, platform, _runtime, auditor = make_rig(spec=None)
+        platform.gateway.admit(stage_request("wf0", "a"))
+        assert "pipeline.unknown_workflow" in checks(auditor)
+
+    def test_stage_outside_the_dag_fires(self):
+        _sim, platform, _runtime, auditor = make_rig()
+        platform.gateway.admit(stage_request("wf0", "zz"))
+        assert "pipeline.unknown_workflow" in checks(auditor)
+
+    def test_non_root_stage_of_unseen_workflow_fires(self):
+        _sim, platform, _runtime, auditor = make_rig()
+        # planted: a child stage arrives for a workflow whose root the
+        # platform never admitted (cross-run leakage, forged lineage...).
+        platform.gateway.admit(stage_request("ghost", "b"))
+        assert "pipeline.unknown_workflow" in checks(auditor)
+
+
+class TestCleanWorkflow:
+    def test_properly_ordered_workflow_raises_nothing(self):
+        sim, platform, runtime, auditor = make_rig()
+        released = []
+        platform.request_observers.append(
+            lambda request: released.append(request)
+        )
+        root = stage_request("wf0", "a")
+        platform.gateway.admit(root)
+        complete(platform, root)
+        sim.run(until=1.0)  # let the handoff admit the child
+        children = [r for r in released if r.stage == "b"]
+        assert len(children) == 1
+        complete(platform, children[0], finished_at=1.2)
+        auditor.finalize()
+        assert not [c for c in checks(auditor) if c.startswith("pipeline.")]
+        assert runtime.workflows["wf0"].finished

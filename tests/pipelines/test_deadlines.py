@@ -1,0 +1,149 @@
+"""Deadline-splitting math: naive vs pipeline-aware budgets.
+
+Pure-function tests — no simulator. The one structural fact worth
+pinning: on the nominal schedule the aware split *telescopes* to the
+end-to-end deadline along a chain, so the two policies only diverge once
+a workflow runs off-plan.
+"""
+
+import pytest
+
+from repro.pipelines import (
+    REBUDGET_EPS,
+    PipelineSpec,
+    StageSpec,
+    aware_stage_deadline,
+    compile_pipeline,
+    is_rebudget,
+    naive_stage_deadline,
+    root_slo_multiplier,
+)
+
+
+def chain(policy="pipeline-aware"):
+    return PipelineSpec(
+        name="chain",
+        stages=(
+            StageSpec(name="a", model="resnet50"),
+            StageSpec(name="b", model="resnet18", parents=("a",)),
+            StageSpec(name="c", model="googlenet", parents=("b",)),
+        ),
+        deadline_policy=policy,
+    )
+
+
+def branchy(policy="pipeline-aware"):
+    return PipelineSpec(
+        name="branchy",
+        stages=(
+            StageSpec(name="root", model="mobilenet"),
+            StageSpec(name="heavy", model="vgg19", parents=("root",)),
+            StageSpec(name="light", model="resnet18", parents=("root",)),
+            StageSpec(name="join", model="googlenet", parents=("heavy", "light")),
+        ),
+        deadline_policy=policy,
+    )
+
+
+class TestNaive:
+    def test_formula(self):
+        assert naive_stage_deadline(10.0, 0.2, 3.0) == pytest.approx(10.6)
+
+    def test_independent_of_history(self):
+        # A late release just shifts the budget — the naive policy never
+        # looks at the end-to-end deadline.
+        early = naive_stage_deadline(1.0, 0.2, 3.0)
+        late = naive_stage_deadline(9.0, 0.2, 3.0)
+        assert late - early == pytest.approx(8.0)
+
+
+class TestAware:
+    def test_on_schedule_matches_naive(self):
+        # Release exactly when the nominal plan says (remaining slack ==
+        # M × downstream): proportional split reproduces M × L_s.
+        latency, downstream, mult = 0.25, 1.0, 3.0
+        release = 5.0
+        end_deadline = release + mult * downstream
+        aware = aware_stage_deadline(release, end_deadline, latency, downstream)
+        assert aware == pytest.approx(
+            naive_stage_deadline(release, latency, mult)
+        )
+
+    def test_late_release_tightens(self):
+        latency, downstream = 0.25, 1.0
+        end_deadline = 8.0
+        on_time = aware_stage_deadline(5.0, end_deadline, latency, downstream)
+        behind = aware_stage_deadline(6.5, end_deadline, latency, downstream)
+        assert behind - 6.5 < on_time - 5.0  # tighter per-stage budget
+
+    def test_early_release_loosens(self):
+        latency, downstream = 0.25, 1.0
+        end_deadline = 8.0
+        on_time = aware_stage_deadline(5.0, end_deadline, latency, downstream)
+        ahead = aware_stage_deadline(4.0, end_deadline, latency, downstream)
+        assert ahead - 4.0 > on_time - 5.0
+
+    def test_latency_floor_for_hopeless_stage(self):
+        # Release is already past the end-to-end deadline: the budget is
+        # negative, but the stage still gets a schedulable L_s window.
+        latency = 0.25
+        deadline = aware_stage_deadline(10.0, 8.0, latency, 1.0)
+        assert deadline == pytest.approx(10.0 + latency)
+
+    def test_telescopes_to_end_deadline_on_chain(self):
+        compiled = compile_pipeline(chain())
+        mult = 3.0
+        arrival = 2.0
+        end_deadline = arrival + mult * compiled.critical_path
+        release = arrival
+        for name in compiled.order:  # a → b → c, nominal execution
+            deadline = aware_stage_deadline(
+                release,
+                end_deadline,
+                compiled.latency[name],
+                compiled.downstream[name],
+            )
+            release = deadline  # each stage uses its entire budget
+        assert release == pytest.approx(end_deadline)
+
+
+class TestRootMultiplier:
+    def test_naive_keeps_base(self):
+        compiled = compile_pipeline(chain(policy="naive"))
+        assert root_slo_multiplier(compiled, "a", 3.0) == pytest.approx(3.0)
+
+    def test_aware_critical_root_keeps_base(self):
+        # A single-root chain's root is on the critical path:
+        # downstream(root) == critical_path, so the ratio is 1.
+        compiled = compile_pipeline(chain())
+        assert root_slo_multiplier(compiled, "a", 3.0) == pytest.approx(3.0)
+
+    def test_aware_ratio_is_critical_path_over_downstream(self):
+        compiled = compile_pipeline(branchy())
+        expected = 3.0 * compiled.critical_path / compiled.downstream["root"]
+        assert root_slo_multiplier(compiled, "root", 3.0) == pytest.approx(
+            expected
+        )
+
+
+class TestRebudget:
+    def test_nominal_release_is_not_a_rebudget(self):
+        downstream, mult = 0.8, 3.0
+        release = 4.0
+        end_deadline = release + mult * downstream
+        assert not is_rebudget(release, end_deadline, downstream, mult)
+
+    def test_off_plan_release_is_a_rebudget(self):
+        downstream, mult = 0.8, 3.0
+        end_deadline = 4.0 + mult * downstream
+        assert is_rebudget(4.1, end_deadline, downstream, mult)
+
+    def test_tolerance_is_relative(self):
+        # A deviation below the relative epsilon never counts.
+        downstream, mult = 0.8, 3.0
+        release = 4.0
+        end_deadline = release + mult * downstream
+        wiggle = REBUDGET_EPS * 0.1 * (end_deadline - release)
+        assert not is_rebudget(
+            release + wiggle, end_deadline + wiggle, downstream, mult
+        )

@@ -1,0 +1,45 @@
+"""Pin: pipeline machinery leaves the single-stage default path bit-identical.
+
+With ``pipelines=None`` (the default) none of the pipeline subsystem is
+constructed: no runtime hooks on the platform observers, no workflow
+attributes on spans, no extra RNG draws, no pipeline report. The proof
+is the same pinned run the tenancy subsystem uses — summary row, extras,
+and the SHA-256 digest of the full span log captured *before* either
+subsystem landed. The digest is the strong form: a single new span
+attribute or reordered event on the default path changes it.
+
+If this drifts, the default path is no longer the pre-pipelines
+platform — find the leak, don't re-pin.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_scheme
+from tests.tenancy.test_default_path import (
+    PINNED_CONFIG,
+    PINNED_EXTRAS,
+    PINNED_ROW,
+    PINNED_SPAN_DIGEST,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_scheme("protean", PINNED_CONFIG)
+
+
+def test_default_path_matches_pre_pipelines_pin(result):
+    assert result.summary.row() == PINNED_ROW
+    assert dict(result.extras) == PINNED_EXTRAS
+    assert result.detach().tracer.digest() == PINNED_SPAN_DIGEST
+
+
+def test_pipeline_surface_stays_dark(result):
+    assert result.pipelines is None
+    assert not any(key.startswith("pipeline_") for key in result.extras)
+    assert result.platform.pipelines is None
+
+
+def test_default_records_carry_no_workflow_lineage(result):
+    assert result.measured  # the run measured something
+    assert all(r.workflow is None and r.stage is None for r in result.measured)

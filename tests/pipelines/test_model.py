@@ -1,0 +1,230 @@
+"""PipelineSpec/StageSpec validation, DAG compilation, serialisation.
+
+Misconfiguration is a first-class surface here: cycles, unknown models,
+zero-stage DAGs, duplicate stages, and unknown parents must all arrive
+as :class:`ConfigurationError` with messages naming the offender — the
+CLI maps that one exception type to exit code 2.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pipelines import (
+    DEADLINE_POLICIES,
+    DEFAULT_HANDOFF_LATENCY,
+    PIPELINE_SCHEMA_VERSION,
+    PipelineSpec,
+    StageSpec,
+    compile_pipeline,
+)
+
+
+def chain(policy="pipeline-aware", **overrides):
+    kwargs = dict(
+        name="chain",
+        stages=(
+            StageSpec(name="a", model="resnet50"),
+            StageSpec(name="b", model="resnet18", parents=("a",)),
+            StageSpec(name="c", model="googlenet", parents=("b",)),
+        ),
+        deadline_policy=policy,
+    )
+    kwargs.update(overrides)
+    return PipelineSpec(**kwargs)
+
+
+def diamond():
+    return PipelineSpec(
+        name="diamond",
+        stages=(
+            StageSpec(name="root", model="mobilenet"),
+            StageSpec(name="left", model="resnet50", parents=("root",)),
+            StageSpec(name="right", model="resnet18", parents=("root",)),
+            StageSpec(name="join", model="googlenet", parents=("left", "right")),
+        ),
+    )
+
+
+class TestStageSpec:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            StageSpec(name="", model="resnet50")
+
+    def test_rejects_duplicate_parents(self):
+        with pytest.raises(ConfigurationError):
+            StageSpec(name="b", model="resnet50", parents=("a", "a"))
+
+    def test_rejects_self_parent(self):
+        with pytest.raises(ConfigurationError):
+            StageSpec(name="a", model="resnet50", parents=("a",))
+
+    def test_round_trips(self):
+        stage = StageSpec(name="b", model="resnet18", parents=("a",))
+        assert StageSpec.from_dict(stage.to_dict()) == stage
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError):
+            StageSpec.from_dict(
+                {"name": "a", "model": "resnet50", "weight": 2}
+            )
+
+
+class TestPipelineSpecValidation:
+    def test_zero_stage_dag_rejected(self):
+        with pytest.raises(ConfigurationError, match="zero-stage"):
+            PipelineSpec(name="empty", stages=())
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            PipelineSpec(
+                name="dup",
+                stages=(
+                    StageSpec(name="a", model="resnet50"),
+                    StageSpec(name="a", model="resnet18"),
+                ),
+            )
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            PipelineSpec(
+                name="dangling",
+                stages=(
+                    StageSpec(name="a", model="resnet50"),
+                    StageSpec(name="b", model="resnet18", parents=("ghost",)),
+                ),
+            )
+
+    def test_unknown_model_becomes_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="no-such-model"):
+            PipelineSpec(
+                name="bad-model",
+                stages=(StageSpec(name="a", model="no-such-model"),),
+            )
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ConfigurationError, match="cycle"):
+            PipelineSpec(
+                name="loop",
+                stages=(
+                    StageSpec(name="a", model="resnet50", parents=("b",)),
+                    StageSpec(name="b", model="resnet18", parents=("a",)),
+                ),
+            )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="policy"):
+            chain(policy="clairvoyant")
+
+    def test_negative_handoff_rejected(self):
+        with pytest.raises(ConfigurationError):
+            chain(handoff_latency=-0.001)
+
+    def test_policies_are_the_documented_pair(self):
+        assert DEADLINE_POLICIES == ("naive", "pipeline-aware")
+
+    def test_default_handoff_applied(self):
+        assert chain().handoff_latency == DEFAULT_HANDOFF_LATENCY
+
+
+class TestGraphQueries:
+    def test_chain_topology(self):
+        spec = chain()
+        assert spec.roots() == ("a",)
+        assert spec.sinks() == ("c",)
+        assert spec.children()["a"] == ("b",)
+        assert spec.topological() == ("a", "b", "c")
+
+    def test_diamond_topology(self):
+        spec = diamond()
+        assert spec.roots() == ("root",)
+        assert spec.sinks() == ("join",)
+        assert set(spec.children()["root"]) == {"left", "right"}
+        order = spec.topological()
+        assert order.index("root") < order.index("left") < order.index("join")
+        assert order.index("root") < order.index("right") < order.index("join")
+
+
+class TestCompiledPipeline:
+    def test_chain_downstream_telescopes(self):
+        compiled = compile_pipeline(chain())
+        lat = compiled.latency
+        assert compiled.downstream["c"] == pytest.approx(lat["c"])
+        assert compiled.downstream["b"] == pytest.approx(lat["b"] + lat["c"])
+        assert compiled.downstream["a"] == pytest.approx(
+            lat["a"] + lat["b"] + lat["c"]
+        )
+        assert compiled.critical_path == pytest.approx(
+            compiled.downstream["a"]
+        )
+
+    def test_diamond_critical_path_takes_the_slower_branch(self):
+        compiled = compile_pipeline(diamond())
+        lat = compiled.latency
+        slow = max(lat["left"], lat["right"])
+        assert compiled.downstream["root"] == pytest.approx(
+            lat["root"] + slow + lat["join"]
+        )
+
+    def test_scale_shrinks_batch_size_not_structure(self):
+        # scale_model reduces per-request work via the batch size; the
+        # profiled full-batch latency (the deadline unit) is unchanged.
+        base = compile_pipeline(chain(), scale=1.0)
+        scaled = compile_pipeline(chain(), scale=8 / 128)
+        assert scaled.order == base.order
+        for name in base.latency:
+            assert scaled.latency[name] == base.latency[name]
+            assert (
+                scaled.profiles[name].batch_size
+                < base.profiles[name].batch_size
+            )
+
+
+class TestSerialisation:
+    def test_round_trips(self):
+        for spec in (chain(), chain(policy="naive"), diamond()):
+            assert PipelineSpec.from_dict(spec.to_dict()) == spec
+
+    def test_payload_is_versioned(self):
+        assert chain().to_dict()["version"] == PIPELINE_SCHEMA_VERSION
+
+    def test_newer_schema_refused(self):
+        payload = chain().to_dict()
+        payload["version"] = PIPELINE_SCHEMA_VERSION + 1
+        with pytest.raises(ConfigurationError, match="version"):
+            PipelineSpec.from_dict(payload)
+
+    def test_unknown_keys_refused(self):
+        payload = chain().to_dict()
+        payload["retries"] = 3
+        with pytest.raises(ConfigurationError, match="retries"):
+            PipelineSpec.from_dict(payload)
+
+    def test_rides_in_experiment_config(self):
+        from repro.experiments.config import ExperimentConfig
+
+        config = ExperimentConfig(pipelines=chain())
+        restored = ExperimentConfig.from_dict(config.to_dict())
+        assert restored == config
+        assert restored.pipelines == chain()
+
+
+class TestConfigGuards:
+    def test_pipelines_plus_tenants_refused(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.tenancy import Tenant, TenancySpec, TenantSet
+
+        tenants = TenancySpec(tenant_set=TenantSet((Tenant("solo"),)))
+        with pytest.raises(ConfigurationError, match="tenants"):
+            ExperimentConfig(pipelines=chain(), tenants=tenants)
+
+    def test_pipelines_plus_streaming_refused(self):
+        from repro.experiments.config import ExperimentConfig
+
+        with pytest.raises(ConfigurationError, match="streaming"):
+            ExperimentConfig(pipelines=chain(), streaming_metrics=True)
+
+    def test_wrong_type_refused(self):
+        from repro.experiments.config import ExperimentConfig
+
+        with pytest.raises(ConfigurationError, match="PipelineSpec"):
+            ExperimentConfig(pipelines={"name": "chain"})

@@ -1,0 +1,138 @@
+"""PipelineWorkload: root-stream generation and load accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pipelines import PipelineSpec, PipelineWorkload, StageSpec
+
+
+def chain(policy="pipeline-aware"):
+    return PipelineSpec(
+        name="chain",
+        stages=(
+            StageSpec(name="a", model="resnet50"),
+            StageSpec(name="b", model="resnet18", parents=("a",)),
+            StageSpec(name="c", model="googlenet", parents=("b",)),
+        ),
+        deadline_policy=policy,
+    )
+
+
+def fanout():
+    return PipelineSpec(
+        name="fanout",
+        stages=(
+            StageSpec(name="left", model="resnet50"),
+            StageSpec(name="right", model="resnet18"),
+            StageSpec(name="join", model="googlenet", parents=("left", "right")),
+        ),
+    )
+
+
+def make_workload(spec=None, **kwargs):
+    return PipelineWorkload(spec or chain(), scale=8 / 128, **kwargs)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_multiplier(self):
+        with pytest.raises(ConfigurationError):
+            make_workload(slo_multiplier=0.0)
+
+    def test_rejects_out_of_range_strict_fraction(self):
+        with pytest.raises(ConfigurationError):
+            make_workload(strict_fraction=1.5)
+
+
+class TestLoad:
+    def test_work_per_workflow_sums_stage_work(self):
+        workload = make_workload()
+        compiled = workload.compiled
+        expected = sum(
+            compiled.latency[n] / compiled.profiles[n].batch_size
+            for n in compiled.order
+        )
+        assert workload.work_per_workflow() == pytest.approx(expected)
+
+    def test_workflow_rate_scales_with_nodes_and_load(self):
+        workload = make_workload()
+        base = workload.workflow_rate(1.0, 2)
+        assert workload.workflow_rate(2.0, 2) == pytest.approx(2 * base)
+        assert workload.workflow_rate(1.0, 4) == pytest.approx(2 * base)
+
+    def test_profiles_deduplicate_by_model(self):
+        spec = PipelineSpec(
+            name="twins",
+            stages=(
+                StageSpec(name="a", model="resnet50"),
+                StageSpec(name="b", model="resnet50", parents=("a",)),
+            ),
+        )
+        workload = make_workload(spec)
+        assert len(workload.profiles()) == 1
+
+    def test_end_deadline(self):
+        workload = make_workload(slo_multiplier=3.0)
+        assert workload.end_deadline(2.0) == pytest.approx(
+            2.0 + 3.0 * workload.compiled.critical_path
+        )
+
+
+class TestRootSpecs:
+    def test_one_root_spec_per_workflow_on_a_chain(self):
+        workload = make_workload()
+        specs = workload.root_specs(
+            [0.0, 0.5, 1.0], np.random.default_rng(0)
+        )
+        assert len(specs) == 3
+        assert [s.workflow for s in specs] == ["wf0", "wf1", "wf2"]
+        assert all(s.stage == "a" for s in specs)
+
+    def test_multi_root_dag_emits_every_root_per_workflow(self):
+        workload = make_workload(fanout())
+        specs = workload.root_specs([0.0, 1.0], np.random.default_rng(0))
+        assert len(specs) == 4
+        by_wf = {}
+        for s in specs:
+            by_wf.setdefault(s.workflow, set()).add(s.stage)
+        assert by_wf == {"wf0": {"left", "right"}, "wf1": {"left", "right"}}
+
+    def test_strictness_is_per_workflow_not_per_root(self):
+        workload = make_workload(fanout())
+        specs = workload.root_specs(
+            np.arange(50, dtype=float), np.random.default_rng(7)
+        )
+        by_wf = {}
+        for s in specs:
+            by_wf.setdefault(s.workflow, set()).add(s.strict)
+        assert all(len(flags) == 1 for flags in by_wf.values())
+
+    def test_deterministic_under_fixed_rng(self):
+        arrivals = np.linspace(0.0, 10.0, 40)
+        first = make_workload().root_specs(arrivals, np.random.default_rng(3))
+        second = make_workload().root_specs(arrivals, np.random.default_rng(3))
+        assert first == second
+
+    def test_arrivals_are_sorted_into_order(self):
+        workload = make_workload()
+        specs = workload.root_specs([2.0, 0.5, 1.0], np.random.default_rng(0))
+        assert [s.arrival for s in specs] == [0.5, 1.0, 2.0]
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_workload().root_specs([-0.1, 1.0], np.random.default_rng(0))
+
+    def test_naive_root_multiplier_is_base(self):
+        workload = make_workload(chain(policy="naive"), slo_multiplier=4.0)
+        specs = workload.root_specs([0.0], np.random.default_rng(0))
+        assert specs[0].slo_multiplier == pytest.approx(4.0)
+
+    def test_aware_off_critical_root_is_looser(self):
+        workload = make_workload(fanout(), slo_multiplier=3.0)
+        compiled = workload.compiled
+        light_root = min(
+            ("left", "right"), key=lambda r: compiled.downstream[r]
+        )
+        specs = workload.root_specs([0.0], np.random.default_rng(0))
+        light = next(s for s in specs if s.stage == light_root)
+        assert light.slo_multiplier > 3.0
